@@ -1,0 +1,183 @@
+// Microbenchmarks for the core embedding machinery, checking the complexity
+// claims of Section 4.4: vector construction is linear in the total number
+// of nodes, the binary branch distance is linear in the profile sizes, and
+// the optimistic bound search adds only a log factor.
+#include <memory>
+#include <vector>
+
+#include "benchmark/benchmark.h"
+#include "core/branch_profile.h"
+#include "core/inverted_file.h"
+#include "core/positional.h"
+#include "core/vptree.h"
+#include "datagen/synthetic_generator.h"
+
+namespace treesim {
+namespace {
+
+SyntheticParams ParamsForSize(int size) {
+  SyntheticParams p;
+  p.size_mean = size;
+  p.size_stddev = size / 25.0 + 1;
+  p.label_count = 8;
+  return p;
+}
+
+void BM_ProfileConstruction(benchmark::State& state) {
+  const int size = static_cast<int>(state.range(0));
+  auto labels = std::make_shared<LabelDictionary>();
+  SyntheticGenerator gen(ParamsForSize(size), labels, 7);
+  const Tree t = gen.GenerateSeedTree();
+  BranchDictionary dict(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BranchProfile::FromTree(t, dict));
+  }
+  state.SetItemsProcessed(state.iterations() * t.size());
+}
+BENCHMARK(BM_ProfileConstruction)->Arg(25)->Arg(50)->Arg(125)->Arg(500);
+
+void BM_ProfileConstructionQ(benchmark::State& state) {
+  const int q = static_cast<int>(state.range(0));
+  auto labels = std::make_shared<LabelDictionary>();
+  SyntheticGenerator gen(ParamsForSize(50), labels, 7);
+  const Tree t = gen.GenerateSeedTree();
+  BranchDictionary dict(q);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BranchProfile::FromTree(t, dict));
+  }
+}
+BENCHMARK(BM_ProfileConstructionQ)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_InvertedFileBuild(benchmark::State& state) {
+  const int count = static_cast<int>(state.range(0));
+  auto labels = std::make_shared<LabelDictionary>();
+  SyntheticGenerator gen(ParamsForSize(50), labels, 7);
+  const std::vector<Tree> trees = gen.GenerateDataset(count);
+  for (auto _ : state) {
+    InvertedFileIndex index(2);
+    for (const Tree& t : trees) index.Add(t);
+    benchmark::DoNotOptimize(index.BuildProfiles());
+  }
+  state.SetItemsProcessed(state.iterations() * count);
+}
+BENCHMARK(BM_InvertedFileBuild)->Arg(100)->Arg(500)->Arg(2000);
+
+class ProfilePairFixture : public benchmark::Fixture {
+ public:
+  void SetUp(const ::benchmark::State& state) override {
+    const int size = static_cast<int>(state.range(0));
+    auto labels = std::make_shared<LabelDictionary>();
+    SyntheticGenerator gen(ParamsForSize(size), labels, 11);
+    dict_ = std::make_unique<BranchDictionary>(2);
+    a_ = std::make_unique<BranchProfile>(
+        BranchProfile::FromTree(gen.GenerateSeedTree(), *dict_));
+    b_ = std::make_unique<BranchProfile>(
+        BranchProfile::FromTree(gen.GenerateSeedTree(), *dict_));
+  }
+  void TearDown(const ::benchmark::State&) override {
+    a_.reset();
+    b_.reset();
+    dict_.reset();
+  }
+
+ protected:
+  std::unique_ptr<BranchDictionary> dict_;
+  std::unique_ptr<BranchProfile> a_, b_;
+};
+
+BENCHMARK_DEFINE_F(ProfilePairFixture, BranchDistance)
+(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BranchDistance(*a_, *b_));
+  }
+}
+BENCHMARK_REGISTER_F(ProfilePairFixture, BranchDistance)
+    ->Arg(25)
+    ->Arg(50)
+    ->Arg(125)
+    ->Arg(500);
+
+BENCHMARK_DEFINE_F(ProfilePairFixture, PositionalDistance)
+(benchmark::State& state) {
+  const int pr = static_cast<int>(state.range(0)) / 10;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PositionalBranchDistance(*a_, *b_, pr));
+  }
+}
+BENCHMARK_REGISTER_F(ProfilePairFixture, PositionalDistance)
+    ->Arg(25)
+    ->Arg(50)
+    ->Arg(125)
+    ->Arg(500);
+
+BENCHMARK_DEFINE_F(ProfilePairFixture, OptimisticBound)
+(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(OptimisticBound(*a_, *b_));
+  }
+}
+BENCHMARK_REGISTER_F(ProfilePairFixture, OptimisticBound)
+    ->Arg(25)
+    ->Arg(50)
+    ->Arg(125)
+    ->Arg(500);
+
+void BM_VpTreeRangeVsLinear(benchmark::State& state) {
+  // Candidate retrieval for one range query: VP-tree ball search vs a
+  // linear BDist scan, on size-spread data where metric pruning applies.
+  const bool use_vptree = state.range(0) != 0;
+  auto labels = std::make_shared<LabelDictionary>();
+  std::vector<BranchProfile> profiles;
+  BranchDictionary dict(2);
+  {
+    Rng rng(21);
+    SyntheticParams params;
+    params.seed_count = 50;
+    for (int size = 10; size <= 150; size += 10) {
+      params.size_mean = size;
+      SyntheticGenerator gen(params, labels, 21 + static_cast<uint64_t>(size));
+      for (Tree& t : gen.GenerateDataset(100)) {
+        profiles.push_back(BranchProfile::FromTree(t, dict));
+      }
+    }
+  }
+  Rng tree_rng(23);
+  const VpTree index(&profiles, tree_rng);
+  const BranchProfile& query = profiles[777];
+  const int64_t radius = 10;
+  for (auto _ : state) {
+    if (use_vptree) {
+      benchmark::DoNotOptimize(index.RangeSearch(query, radius));
+    } else {
+      std::vector<int> hits;
+      for (size_t i = 0; i < profiles.size(); ++i) {
+        if (BranchDistance(query, profiles[i]) <= radius) {
+          hits.push_back(static_cast<int>(i));
+        }
+      }
+      benchmark::DoNotOptimize(hits);
+    }
+  }
+}
+BENCHMARK(BM_VpTreeRangeVsLinear)->Arg(0)->Arg(1);
+
+void BM_OptimisticBoundGreedyVsExact(benchmark::State& state) {
+  auto labels = std::make_shared<LabelDictionary>();
+  SyntheticGenerator gen(ParamsForSize(100), labels, 13);
+  BranchDictionary dict(2);
+  const BranchProfile a = BranchProfile::FromTree(gen.GenerateSeedTree(), dict);
+  const BranchProfile b = BranchProfile::FromTree(gen.GenerateSeedTree(), dict);
+  const MatchingMode mode = static_cast<MatchingMode>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(OptimisticBound(a, b, mode));
+  }
+}
+BENCHMARK(BM_OptimisticBoundGreedyVsExact)
+    ->Arg(static_cast<int>(MatchingMode::kExact))
+    ->Arg(static_cast<int>(MatchingMode::kGreedy))
+    ->Arg(static_cast<int>(MatchingMode::kAuto));
+
+}  // namespace
+}  // namespace treesim
+
+BENCHMARK_MAIN();

@@ -1,0 +1,87 @@
+// Quickstart: the binary branch embedding in five minutes.
+//
+// Builds the two trees from the paper's running example (Fig. 1), shows the
+// normalized binary tree transform, the branch vectors, the lower bounds and
+// a small filter-and-refine search.
+//
+//   ./quickstart
+#include <cstdio>
+#include <memory>
+
+#include "treesim.h"
+
+namespace {
+
+using namespace treesim;  // example code; the library never does this
+
+int Run() {
+  // Every tree in a dataset shares one label dictionary.
+  auto labels = std::make_shared<LabelDictionary>();
+
+  // Bracket notation: children in braces, siblings separated by spaces.
+  Tree t1 = *ParseBracket("a{b{c d} b{c d} e}", labels);
+  Tree t2 = *ParseBracket("a{b{c d b{e}} c d e}", labels);
+  std::printf("T1 = %s (%d nodes)\n", ToBracket(t1).c_str(), t1.size());
+  std::printf("T2 = %s (%d nodes)\n\n", ToBracket(t2).c_str(), t2.size());
+
+  // The exact tree edit distance (Zhang-Shasha) is the gold standard ...
+  const int edist = TreeEditDistance(t1, t2);
+  std::printf("exact edit distance EDist(T1,T2) = %d\n\n", edist);
+
+  // ... and the binary branch transform gives a cheap lower bound: T is
+  // normalized into a full binary tree B(T) (ε-padded left-child /
+  // right-sibling form) ...
+  const NormalizedBinaryTree b1 = NormalizedBinaryTree::FromTree(t1);
+  std::printf("B(T1): %d original + %d epsilon nodes\n%s\n",
+              b1.original_count(), b1.epsilon_count(),
+              b1.ToString(*labels).c_str());
+
+  // ... and every node contributes one binary branch (its one-level
+  // neighborhood in B(T)) to a sparse count vector.
+  BranchDictionary branches(/*q=*/2);
+  const BranchProfile p1 = BranchProfile::FromTree(t1, branches);
+  const BranchProfile p2 = BranchProfile::FromTree(t2, branches);
+  std::printf("BRV(T1) non-zero dims:");
+  for (const BranchEntry& e : p1.entries) {
+    std::printf(" %s:%d", branches.Name(e.branch, *labels).c_str(),
+                e.count());
+  }
+  std::printf("\n");
+
+  // Theorem 3.2: L1(BRV(T1), BRV(T2)) <= 5 * EDist.
+  const int64_t bdist = BranchDistance(p1, p2);
+  std::printf("BDist = %lld  ->  lower bound ceil(BDist/5) = %d\n",
+              static_cast<long long>(bdist), BranchDistanceLowerBound(p1, p2));
+
+  // Positional branches tighten the bound (Section 4.2).
+  std::printf("positional optimistic bound propt = %d (EDist = %d)\n\n",
+              OptimisticBound(p1, p2), edist);
+
+  // Filter-and-refine search over a small database.
+  auto db = std::make_unique<TreeDatabase>(labels);
+  db->Add(t1);
+  db->Add(t2);
+  db->Add(*ParseBracket("a{b{c d} b{c d} e f}", labels));
+  db->Add(*ParseBracket("x{y z w v u t s r}", labels));
+  SimilaritySearch engine(db.get(), std::make_unique<BiBranchFilter>());
+
+  const RangeResult range = engine.Range(t1, /*tau=*/3);
+  std::printf("range query (tau=3) around T1:\n");
+  for (const auto& [id, dist] : range.matches) {
+    std::printf("  tree %d at distance %d: %s\n", id, dist,
+                ToBracket(db->tree(id)).c_str());
+  }
+  std::printf("  refined %lld of %lld trees (filter pruned the rest)\n",
+              static_cast<long long>(range.stats.candidates),
+              static_cast<long long>(range.stats.database_size));
+
+  const KnnResult knn = engine.Knn(t2, /*k=*/2);
+  std::printf("2-NN of T2: tree %d (d=%d), tree %d (d=%d)\n",
+              knn.neighbors[0].first, knn.neighbors[0].second,
+              knn.neighbors[1].first, knn.neighbors[1].second);
+  return 0;
+}
+
+}  // namespace
+
+int main() { return Run(); }

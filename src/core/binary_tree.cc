@@ -1,0 +1,73 @@
+#include "core/binary_tree.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace treesim {
+
+NormalizedBinaryTree NormalizedBinaryTree::FromTree(const Tree& t) {
+  TREESIM_CHECK(!t.empty());
+  NormalizedBinaryTree b;
+  b.nodes_.reserve(static_cast<size_t>(2 * t.size() + 1));
+
+  // Iterative construction: each work item materializes one B(T) slot for
+  // either an original T node or an ε pad. For an original node u,
+  // left(u) = first child of u in T (or ε) and right(u) = next sibling of u
+  // in T (or ε); the root has no sibling, so its right child is ε.
+  struct Work {
+    NodeId original;         // kInvalidNode => ε node
+    BNodeId slot;            // index in nodes_ to fill
+  };
+  b.nodes_.push_back(BNode{});
+  std::vector<Work> stack = {{t.root(), 0}};
+  while (!stack.empty()) {
+    const Work w = stack.back();
+    stack.pop_back();
+    BNode& node = b.nodes_[static_cast<size_t>(w.slot)];
+    if (w.original == kInvalidNode) {
+      node = BNode{kEpsilonLabel, kNoChild, kNoChild, kInvalidNode};
+      continue;
+    }
+    ++b.original_count_;
+    node.label = t.label(w.original);
+    node.original = w.original;
+    const BNodeId left_slot = static_cast<BNodeId>(b.nodes_.size());
+    b.nodes_.push_back(BNode{});
+    const BNodeId right_slot = static_cast<BNodeId>(b.nodes_.size());
+    b.nodes_.push_back(BNode{});
+    // `node` may dangle after push_back; re-fetch.
+    b.nodes_[static_cast<size_t>(w.slot)].left = left_slot;
+    b.nodes_[static_cast<size_t>(w.slot)].right = right_slot;
+    stack.push_back({t.first_child(w.original), left_slot});
+    stack.push_back({t.next_sibling(w.original), right_slot});
+  }
+  TREESIM_DCHECK(b.original_count_ == t.size());
+  return b;
+}
+
+std::string NormalizedBinaryTree::ToString(
+    const LabelDictionary& labels) const {
+  std::string out;
+  struct Frame {
+    BNodeId node;
+    int depth;
+    char edge;  // 'L', 'R' or '*' for the root
+  };
+  std::vector<Frame> stack = {{root(), 0, '*'}};
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    out.append(static_cast<size_t>(2 * f.depth), ' ');
+    out.push_back(f.edge);
+    out.push_back(' ');
+    out.append(labels.Name(nodes_[static_cast<size_t>(f.node)].label));
+    out.push_back('\n');
+    const BNode& n = nodes_[static_cast<size_t>(f.node)];
+    if (n.right != kNoChild) stack.push_back({n.right, f.depth + 1, 'R'});
+    if (n.left != kNoChild) stack.push_back({n.left, f.depth + 1, 'L'});
+  }
+  return out;
+}
+
+}  // namespace treesim

@@ -1,0 +1,62 @@
+#ifndef TREESIM_CORE_BINARY_TREE_H_
+#define TREESIM_CORE_BINARY_TREE_H_
+
+#include <string>
+#include <vector>
+
+#include "tree/tree.h"
+
+namespace treesim {
+
+/// The normalized binary tree representation B(T) of Section 3.2: the
+/// left-child/right-sibling transform of T, padded with ε nodes so that
+/// every ORIGINAL node has exactly two children and every leaf is an ε node
+/// (Fig. 2 of the paper). Materialized explicitly for inspection, testing
+/// and documentation; the branch extractor navigates T directly and never
+/// needs this structure.
+class NormalizedBinaryTree {
+ public:
+  /// Index into nodes(). The root of B(T) is node 0.
+  using BNodeId = int32_t;
+  static constexpr BNodeId kNoChild = -1;
+
+  struct BNode {
+    /// Label of the node; kEpsilonLabel for padding nodes.
+    LabelId label = kEpsilonLabel;
+    /// Left/right children; kNoChild only for ε nodes (originals are padded).
+    BNodeId left = kNoChild;
+    BNodeId right = kNoChild;
+    /// The T node this B(T) node mirrors, or kInvalidNode for ε nodes.
+    NodeId original = kInvalidNode;
+  };
+
+  /// Builds B(T) from a non-empty tree.
+  static NormalizedBinaryTree FromTree(const Tree& t);
+
+  const std::vector<BNode>& nodes() const { return nodes_; }
+  BNodeId root() const { return 0; }
+
+  /// Number of B(T) nodes that mirror original T nodes.
+  int original_count() const { return original_count_; }
+
+  /// Number of ε padding nodes. Every original node has exactly two
+  /// children in the normalized form, so this is original_count() + 1.
+  int epsilon_count() const {
+    return static_cast<int>(nodes_.size()) - original_count_;
+  }
+
+  bool is_epsilon(BNodeId n) const {
+    return nodes_[static_cast<size_t>(n)].original == kInvalidNode;
+  }
+
+  /// Multi-line ASCII rendering (indented preorder), for debugging/examples.
+  std::string ToString(const LabelDictionary& labels) const;
+
+ private:
+  std::vector<BNode> nodes_;
+  int original_count_ = 0;
+};
+
+}  // namespace treesim
+
+#endif  // TREESIM_CORE_BINARY_TREE_H_

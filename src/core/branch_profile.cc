@@ -1,0 +1,73 @@
+#include "core/branch_profile.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/logging.h"
+
+namespace treesim {
+
+int BranchProfile::total_count() const {
+  int total = 0;
+  for (const BranchEntry& e : entries) total += e.count();
+  return total;
+}
+
+BranchProfile BranchProfile::FromTree(const Tree& t, BranchDictionary& dict) {
+  BranchProfile p;
+  p.tree_size = t.size();
+  p.q = dict.q();
+  p.factor = dict.edit_distance_factor();
+
+  std::vector<BranchOccurrence> occurrences = ExtractBranches(t, dict);
+  std::sort(occurrences.begin(), occurrences.end(),
+            [](const BranchOccurrence& x, const BranchOccurrence& y) {
+              if (x.branch != y.branch) return x.branch < y.branch;
+              return x.pre < y.pre;
+            });
+  for (const BranchOccurrence& occ : occurrences) {
+    if (p.entries.empty() || p.entries.back().branch != occ.branch) {
+      p.entries.push_back(BranchEntry{occ.branch, {}, {}});
+    }
+    p.entries.back().occurrences.emplace_back(occ.pre, occ.post);
+    p.entries.back().posts_sorted.push_back(occ.post);
+  }
+  for (BranchEntry& e : p.entries) {
+    std::sort(e.posts_sorted.begin(), e.posts_sorted.end());
+  }
+  return p;
+}
+
+int64_t BranchDistance(const BranchProfile& a, const BranchProfile& b) {
+  TREESIM_CHECK_EQ(a.q, b.q) << "profiles extracted at different levels";
+  int64_t dist = 0;
+  size_t i = 0;
+  size_t j = 0;
+  // Merge over the two id-sorted sparse vectors.
+  while (i < a.entries.size() && j < b.entries.size()) {
+    const BranchEntry& ea = a.entries[i];
+    const BranchEntry& eb = b.entries[j];
+    if (ea.branch == eb.branch) {
+      dist += std::abs(ea.count() - eb.count());
+      ++i;
+      ++j;
+    } else if (ea.branch < eb.branch) {
+      dist += ea.count();
+      ++i;
+    } else {
+      dist += eb.count();
+      ++j;
+    }
+  }
+  for (; i < a.entries.size(); ++i) dist += a.entries[i].count();
+  for (; j < b.entries.size(); ++j) dist += b.entries[j].count();
+  return dist;
+}
+
+int BranchDistanceLowerBound(const BranchProfile& a, const BranchProfile& b) {
+  const int64_t dist = BranchDistance(a, b);
+  const int64_t factor = a.factor;
+  return static_cast<int>((dist + factor - 1) / factor);
+}
+
+}  // namespace treesim

@@ -1,0 +1,59 @@
+#ifndef TREESIM_CORE_BRANCH_PROFILE_H_
+#define TREESIM_CORE_BRANCH_PROFILE_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/binary_branch.h"
+#include "tree/tree.h"
+
+namespace treesim {
+
+/// All occurrences of one distinct branch inside one tree, with positional
+/// information (Section 4.2). `occurrences` is sorted by preorder position;
+/// `posts_sorted` holds the same postorder positions sorted ascending (the
+/// two ascending sequences Algorithm 1 builds per branch).
+struct BranchEntry {
+  BranchId branch = 0;
+  /// (preorder, postorder) position pairs, ascending by preorder.
+  std::vector<std::pair<int, int>> occurrences;
+  /// Postorder positions, ascending.
+  std::vector<int> posts_sorted;
+
+  int count() const { return static_cast<int>(occurrences.size()); }
+};
+
+/// The sparse binary branch vector BRV(T) of Definition 3 plus the
+/// positional sequences of Section 4.3 — everything the filters need about
+/// one tree. Entries are sorted by branch id; only non-zero dimensions are
+/// stored (as in the paper's implementation, Section 5).
+struct BranchProfile {
+  /// |T|; prmin/prmax of the optimistic bound search derive from it.
+  int tree_size = 0;
+  /// Branch level q the profile was extracted at.
+  int q = 2;
+  /// Divisor of the lower bound: 4(q-1)+1.
+  int factor = 5;
+  /// Non-zero dimensions, ascending by branch id.
+  std::vector<BranchEntry> entries;
+
+  /// Total branch occurrences (= tree_size: one branch per node).
+  int total_count() const;
+
+  /// Builds the profile of one tree, interning new branches into `dict`.
+  /// O(|T| * 2^q + d log d) where d is the number of distinct branches.
+  static BranchProfile FromTree(const Tree& t, BranchDictionary& dict);
+};
+
+/// The binary branch distance BDist(T1, T2) of Definition 4: the L1 distance
+/// of the two (sparse) branch vectors. O(|entries1| + |entries2|).
+int64_t BranchDistance(const BranchProfile& a, const BranchProfile& b);
+
+/// The non-positional lower bound of the edit distance from Theorem 3.2/3.3:
+/// ceil(BDist / (4(q-1)+1)). Requires a.q == b.q.
+int BranchDistanceLowerBound(const BranchProfile& a, const BranchProfile& b);
+
+}  // namespace treesim
+
+#endif  // TREESIM_CORE_BRANCH_PROFILE_H_

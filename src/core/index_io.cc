@@ -1,0 +1,288 @@
+#include "core/index_io.h"
+
+#include <algorithm>
+#include <charconv>
+#include <utility>
+
+#include "tree/forest_io.h"
+#include "util/logging.h"
+
+// Serialized grammar (line oriented, '\n' separated):
+//
+//   treesim-branch-index 1
+//   q <q>
+//   labels <count>                  # user labels; ε (id 0) is implicit
+//   <escaped label name>            # count lines, ids 1..count
+//   branches <count>
+//   <id id ... id>                  # count lines, key_length ids each
+//   profiles <count>
+//   tree <size> <entry count>       # per tree, then per entry:
+//   <branch id> <pre post pre post ...>
+//
+// Label names are escaped (\\ -> "\\\\", \n -> "\\n") so arbitrary XML text
+// labels survive the line format.
+
+namespace treesim {
+namespace {
+
+constexpr char kMagic[] = "treesim-branch-index 1";
+
+std::string EscapeLabel(std::string_view label) {
+  std::string out;
+  out.reserve(label.size());
+  for (const char c : label) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string UnescapeLabel(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '\\' && i + 1 < text.size()) {
+      ++i;
+      out.push_back(text[i] == 'n' ? '\n' : text[i]);
+    } else {
+      out.push_back(text[i]);
+    }
+  }
+  return out;
+}
+
+/// Line/token cursor over the serialized text with Status-based errors.
+class Reader {
+ public:
+  explicit Reader(std::string_view text) : text_(text) {}
+
+  StatusOr<std::string_view> NextLine() {
+    if (pos_ > text_.size()) return Err("unexpected end of index");
+    size_t end = text_.find('\n', pos_);
+    if (end == std::string_view::npos) end = text_.size();
+    std::string_view line = text_.substr(pos_, end - pos_);
+    pos_ = end + 1;
+    ++line_number_;
+    return line;
+  }
+
+  /// Parses "<keyword> <non-negative int>".
+  StatusOr<int64_t> KeywordCount(std::string_view keyword) {
+    TREESIM_ASSIGN_OR_RETURN(std::string_view line, NextLine());
+    if (line.substr(0, keyword.size()) != keyword ||
+        line.size() <= keyword.size() || line[keyword.size()] != ' ') {
+      return Err("expected '" + std::string(keyword) + " <n>'");
+    }
+    return ParseInt(line.substr(keyword.size() + 1));
+  }
+
+  StatusOr<int64_t> ParseInt(std::string_view token) {
+    int64_t value = 0;
+    const auto [ptr, ec] =
+        std::from_chars(token.data(), token.data() + token.size(), value);
+    if (ec != std::errc() || ptr != token.data() + token.size() ||
+        value < 0) {
+      return Err("bad integer '" + std::string(token) + "'");
+    }
+    return value;
+  }
+
+  Status Err(const std::string& what) const {
+    return Status::InvalidArgument("index line " +
+                                   std::to_string(line_number_) + ": " + what);
+  }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+  int line_number_ = 0;
+};
+
+/// Splits a line into integer tokens.
+StatusOr<std::vector<int64_t>> ParseIntLine(Reader& reader,
+                                            std::string_view line) {
+  std::vector<int64_t> out;
+  size_t pos = 0;
+  while (pos < line.size()) {
+    size_t end = line.find(' ', pos);
+    if (end == std::string_view::npos) end = line.size();
+    if (end > pos) {
+      TREESIM_ASSIGN_OR_RETURN(const int64_t v,
+                               reader.ParseInt(line.substr(pos, end - pos)));
+      out.push_back(v);
+    }
+    pos = end + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string BranchIndexToString(const LabelDictionary& labels,
+                                const BranchDictionary& branches,
+                                const std::vector<BranchProfile>& profiles) {
+  // Note: appended piecewise (no "literal" + to_string temporaries) to stay
+  // clear of GCC 12's spurious -Wrestrict diagnostic on string operator+.
+  std::string out = kMagic;
+  out += "\nq ";
+  out += std::to_string(branches.q());
+  out += "\nlabels ";
+  out += std::to_string(labels.size());
+  for (LabelId id = 1; id < labels.id_bound(); ++id) {
+    out.push_back('\n');
+    out += EscapeLabel(labels.Name(id));
+  }
+  out += "\nbranches ";
+  out += std::to_string(branches.size());
+  for (BranchId id = 0; id < branches.size(); ++id) {
+    out.push_back('\n');
+    const BranchKey& key = branches.Key(id);
+    for (size_t i = 0; i < key.size(); ++i) {
+      if (i > 0) out.push_back(' ');
+      out += std::to_string(key[i]);
+    }
+  }
+  out += "\nprofiles ";
+  out += std::to_string(profiles.size());
+  for (const BranchProfile& p : profiles) {
+    TREESIM_CHECK_EQ(p.q, branches.q()) << "profile/dictionary q mismatch";
+    out += "\ntree ";
+    out += std::to_string(p.tree_size);
+    out.push_back(' ');
+    out += std::to_string(p.entries.size());
+    for (const BranchEntry& e : p.entries) {
+      out.push_back('\n');
+      out += std::to_string(e.branch);
+      for (const auto& [pre, post] : e.occurrences) {
+        out.push_back(' ');
+        out += std::to_string(pre);
+        out.push_back(' ');
+        out += std::to_string(post);
+      }
+    }
+  }
+  out.push_back('\n');
+  return out;
+}
+
+StatusOr<LoadedBranchIndex> BranchIndexFromString(std::string_view text) {
+  Reader reader(text);
+  TREESIM_ASSIGN_OR_RETURN(std::string_view magic, reader.NextLine());
+  if (magic != kMagic) {
+    return Status::InvalidArgument("not a treesim branch index (bad magic)");
+  }
+  TREESIM_ASSIGN_OR_RETURN(const int64_t q, reader.KeywordCount("q"));
+  if (q < 2 || q > 20) return reader.Err("q out of range");
+
+  LoadedBranchIndex index;
+  index.labels = std::make_shared<LabelDictionary>();
+  TREESIM_ASSIGN_OR_RETURN(const int64_t label_count,
+                           reader.KeywordCount("labels"));
+  for (int64_t i = 0; i < label_count; ++i) {
+    TREESIM_ASSIGN_OR_RETURN(std::string_view line, reader.NextLine());
+    const std::string name = UnescapeLabel(line);
+    if (name.empty()) return reader.Err("empty label");
+    const LabelId id = index.labels->Intern(name);
+    if (id != static_cast<LabelId>(i + 1)) {
+      return reader.Err("duplicate label '" + name + "'");
+    }
+  }
+
+  index.branches = std::make_unique<BranchDictionary>(static_cast<int>(q));
+  TREESIM_ASSIGN_OR_RETURN(const int64_t branch_count,
+                           reader.KeywordCount("branches"));
+  for (int64_t i = 0; i < branch_count; ++i) {
+    TREESIM_ASSIGN_OR_RETURN(std::string_view line, reader.NextLine());
+    TREESIM_ASSIGN_OR_RETURN(std::vector<int64_t> ids,
+                             ParseIntLine(reader, line));
+    if (static_cast<int>(ids.size()) != index.branches->key_length()) {
+      return reader.Err("branch key length mismatch");
+    }
+    BranchKey key;
+    key.reserve(ids.size());
+    for (const int64_t id : ids) {
+      if (id >= index.labels->id_bound()) {
+        return reader.Err("branch references unknown label id");
+      }
+      key.push_back(static_cast<LabelId>(id));
+    }
+    if (index.branches->Intern(key) != static_cast<BranchId>(i)) {
+      return reader.Err("duplicate branch key");
+    }
+  }
+
+  TREESIM_ASSIGN_OR_RETURN(const int64_t profile_count,
+                           reader.KeywordCount("profiles"));
+  index.profiles.reserve(static_cast<size_t>(profile_count));
+  for (int64_t t = 0; t < profile_count; ++t) {
+    TREESIM_ASSIGN_OR_RETURN(std::string_view header, reader.NextLine());
+    if (header.rfind("tree ", 0) != 0) {
+      return reader.Err("expected 'tree <size> <entries>'");
+    }
+    TREESIM_ASSIGN_OR_RETURN(std::vector<int64_t> head,
+                             ParseIntLine(reader, header.substr(5)));
+    if (head.size() != 2) {
+      return reader.Err("expected 'tree <size> <entries>'");
+    }
+    BranchProfile profile;
+    profile.tree_size = static_cast<int>(head[0]);
+    profile.q = static_cast<int>(q);
+    profile.factor = index.branches->edit_distance_factor();
+    BranchId previous_branch = 0;
+    for (int64_t e = 0; e < head[1]; ++e) {
+      TREESIM_ASSIGN_OR_RETURN(std::string_view line, reader.NextLine());
+      TREESIM_ASSIGN_OR_RETURN(std::vector<int64_t> nums,
+                               ParseIntLine(reader, line));
+      if (nums.size() < 3 || nums.size() % 2 == 0) {
+        return reader.Err("expected '<branch> <pre post>+'");
+      }
+      BranchEntry entry;
+      if (nums[0] >= static_cast<int64_t>(index.branches->size())) {
+        return reader.Err("profile references unknown branch id");
+      }
+      entry.branch = static_cast<BranchId>(nums[0]);
+      if (e > 0 && entry.branch <= previous_branch) {
+        return reader.Err("entries not ascending by branch id");
+      }
+      previous_branch = entry.branch;
+      for (size_t i = 1; i + 1 < nums.size(); i += 2) {
+        const int pre = static_cast<int>(nums[i]);
+        const int post = static_cast<int>(nums[i + 1]);
+        if (pre < 1 || post < 1 || pre > profile.tree_size ||
+            post > profile.tree_size) {
+          return reader.Err("position outside the tree");
+        }
+        entry.occurrences.emplace_back(pre, post);
+        entry.posts_sorted.push_back(post);
+      }
+      if (!std::is_sorted(entry.occurrences.begin(),
+                          entry.occurrences.end())) {
+        return reader.Err("occurrences not ascending by preorder");
+      }
+      std::sort(entry.posts_sorted.begin(), entry.posts_sorted.end());
+      profile.entries.push_back(std::move(entry));
+    }
+    index.profiles.push_back(std::move(profile));
+  }
+  return index;
+}
+
+Status SaveBranchIndex(const LabelDictionary& labels,
+                       const BranchDictionary& branches,
+                       const std::vector<BranchProfile>& profiles,
+                       const std::string& path) {
+  return WriteStringToFile(BranchIndexToString(labels, branches, profiles),
+                           path);
+}
+
+StatusOr<LoadedBranchIndex> LoadBranchIndex(const std::string& path) {
+  TREESIM_ASSIGN_OR_RETURN(const std::string text, ReadFileToString(path));
+  return BranchIndexFromString(text);
+}
+
+}  // namespace treesim

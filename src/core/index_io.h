@@ -1,0 +1,46 @@
+#ifndef TREESIM_CORE_INDEX_IO_H_
+#define TREESIM_CORE_INDEX_IO_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/binary_branch.h"
+#include "core/branch_profile.h"
+#include "tree/label_dictionary.h"
+#include "util/status.h"
+
+namespace treesim {
+
+/// A persisted branch index loaded back into memory: the shared label
+/// dictionary, the branch vocabulary and one positional profile per tree
+/// (ids preserved). Lets long-lived services skip re-extracting vectors for
+/// a large corpus; the trees themselves live in the forest file.
+struct LoadedBranchIndex {
+  std::shared_ptr<LabelDictionary> labels;
+  std::unique_ptr<BranchDictionary> branches;
+  std::vector<BranchProfile> profiles;
+};
+
+/// Serializes dictionary + vocabulary + profiles to the versioned text
+/// format (see index_io.cc for the grammar). `profiles` must have been
+/// extracted with `branches`, whose labels come from `labels`.
+std::string BranchIndexToString(const LabelDictionary& labels,
+                                const BranchDictionary& branches,
+                                const std::vector<BranchProfile>& profiles);
+
+/// Parses a serialized index. Label and branch ids are preserved, so
+/// profiles, distances and bounds computed from the loaded index are
+/// bit-identical to the originals.
+StatusOr<LoadedBranchIndex> BranchIndexFromString(std::string_view text);
+
+/// File variants.
+Status SaveBranchIndex(const LabelDictionary& labels,
+                       const BranchDictionary& branches,
+                       const std::vector<BranchProfile>& profiles,
+                       const std::string& path);
+StatusOr<LoadedBranchIndex> LoadBranchIndex(const std::string& path);
+
+}  // namespace treesim
+
+#endif  // TREESIM_CORE_INDEX_IO_H_

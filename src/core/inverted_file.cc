@@ -1,0 +1,71 @@
+#include "core/inverted_file.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace treesim {
+
+int InvertedFileIndex::Add(const Tree& t) {
+  const int tree_id = tree_count_++;
+  tree_sizes_.push_back(t.size());
+  // Traverse(), insertPreOrder()/insertPostOrder() of Algorithm 1: one pass
+  // produces every branch occurrence with both positions; appending at the
+  // tail of the inverted list keeps each update O(1).
+  std::vector<BranchOccurrence> occurrences = ExtractBranches(t, dict_);
+  if (lists_.size() < dict_.size()) lists_.resize(dict_.size());
+  std::sort(occurrences.begin(), occurrences.end(),
+            [](const BranchOccurrence& x, const BranchOccurrence& y) {
+              if (x.branch != y.branch) return x.branch < y.branch;
+              return x.pre < y.pre;
+            });
+  for (const BranchOccurrence& occ : occurrences) {
+    std::vector<Posting>& list = lists_[static_cast<size_t>(occ.branch)];
+    if (list.empty() || list.back().tree_id != tree_id) {
+      list.push_back(Posting{tree_id, {}});
+    }
+    list.back().positions.emplace_back(occ.pre, occ.post);
+  }
+  return tree_id;
+}
+
+const std::vector<InvertedFileIndex::Posting>& InvertedFileIndex::postings(
+    BranchId branch) const {
+  TREESIM_CHECK_LT(static_cast<size_t>(branch), lists_.size());
+  return lists_[static_cast<size_t>(branch)];
+}
+
+std::vector<int> InvertedFileIndex::TreesContaining(BranchId branch) const {
+  std::vector<int> out;
+  for (const Posting& p : postings(branch)) out.push_back(p.tree_id);
+  return out;
+}
+
+std::vector<BranchProfile> InvertedFileIndex::BuildProfiles() const {
+  std::vector<BranchProfile> profiles(static_cast<size_t>(tree_count_));
+  for (int i = 0; i < tree_count_; ++i) {
+    BranchProfile& p = profiles[static_cast<size_t>(i)];
+    p.tree_size = tree_sizes_[static_cast<size_t>(i)];
+    p.q = dict_.q();
+    p.factor = dict_.edit_distance_factor();
+  }
+  // One scan of the IFI; branch ids ascend, so each profile's entries come
+  // out sorted by branch id (Algorithm 1, lines 6-13).
+  for (size_t branch = 0; branch < lists_.size(); ++branch) {
+    for (const Posting& posting : lists_[branch]) {
+      BranchProfile& p = profiles[static_cast<size_t>(posting.tree_id)];
+      BranchEntry entry;
+      entry.branch = static_cast<BranchId>(branch);
+      entry.occurrences = posting.positions;
+      entry.posts_sorted.reserve(posting.positions.size());
+      for (const auto& [pre, post] : posting.positions) {
+        entry.posts_sorted.push_back(post);
+      }
+      std::sort(entry.posts_sorted.begin(), entry.posts_sorted.end());
+      p.entries.push_back(std::move(entry));
+    }
+  }
+  return profiles;
+}
+
+}  // namespace treesim

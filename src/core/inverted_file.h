@@ -1,0 +1,69 @@
+#ifndef TREESIM_CORE_INVERTED_FILE_H_
+#define TREESIM_CORE_INVERTED_FILE_H_
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/binary_branch.h"
+#include "core/branch_profile.h"
+#include "tree/tree.h"
+
+namespace treesim {
+
+/// The extended inverted file IFI of Algorithm 1 (Fig. 3a): a vocabulary of
+/// binary branches plus, per branch, an inverted list of
+/// (tree id, occurrence count, positions). Vector representations of a whole
+/// dataset are built by one scan of the IFI, exactly as Algorithm 1 does.
+/// Construction is O(sum |Ti|) time and space (Section 4.4).
+class InvertedFileIndex {
+ public:
+  /// One inverted-list element: all occurrences of the branch in one tree.
+  struct Posting {
+    int tree_id = 0;
+    /// (preorder, postorder) positions, ascending by preorder.
+    std::vector<std::pair<int, int>> positions;
+
+    int count() const { return static_cast<int>(positions.size()); }
+  };
+
+  /// `q` is the branch level (2 = the binary branch of Definition 2).
+  explicit InvertedFileIndex(int q) : dict_(q) {}
+
+  InvertedFileIndex(const InvertedFileIndex&) = delete;
+  InvertedFileIndex& operator=(const InvertedFileIndex&) = delete;
+  InvertedFileIndex(InvertedFileIndex&&) = default;
+  InvertedFileIndex& operator=(InvertedFileIndex&&) = default;
+
+  /// Indexes one tree; returns its dense tree id (0, 1, 2, ...).
+  int Add(const Tree& t);
+
+  /// Number of indexed trees.
+  int tree_count() const { return tree_count_; }
+
+  /// The branch vocabulary (shared with query profile extraction so ids
+  /// agree between database and query vectors).
+  BranchDictionary& branch_dict() { return dict_; }
+  const BranchDictionary& branch_dict() const { return dict_; }
+
+  /// Inverted list of one branch, ordered by tree id.
+  const std::vector<Posting>& postings(BranchId branch) const;
+
+  /// Trees (by id) containing `branch`; convenience for examples/tools.
+  std::vector<int> TreesContaining(BranchId branch) const;
+
+  /// Materializes the sparse vector + positional sequences of every indexed
+  /// tree by scanning the inverted lists (Algorithm 1, lines 6-13).
+  /// Result is indexed by tree id; entries are sorted by branch id.
+  std::vector<BranchProfile> BuildProfiles() const;
+
+ private:
+  BranchDictionary dict_;
+  std::vector<std::vector<Posting>> lists_;  // indexed by BranchId
+  std::vector<int> tree_sizes_;              // indexed by tree id
+  int tree_count_ = 0;
+};
+
+}  // namespace treesim
+
+#endif  // TREESIM_CORE_INVERTED_FILE_H_

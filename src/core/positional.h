@@ -1,0 +1,71 @@
+#ifndef TREESIM_CORE_POSITIONAL_H_
+#define TREESIM_CORE_POSITIONAL_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/branch_profile.h"
+
+namespace treesim {
+
+/// How |M'max(T1, T2, BiB, pr)| — the maximum one-to-one pairing of equal
+/// branches whose preorder AND postorder positions differ by at most pr —
+/// is computed. Soundness of the resulting lower bound only needs the
+/// computed size to be >= the pairing induced by the optimal edit mapping
+/// (Proposition 4.1/4.2); both modes satisfy that:
+enum class MatchingMode {
+  /// Exact maximum bipartite matching under both positional constraints
+  /// (Kuhn's augmenting paths). Tightest PosBDist, O(occ^3) per branch.
+  kExact,
+  /// min(max 1-D matching on preorder, max 1-D matching on postorder):
+  /// the linear-time evaluation the paper describes (each 1-D matching is an
+  /// optimal greedy sweep over an ascending sequence). Never smaller than
+  /// kExact, so PosBDist is never larger — still sound, slightly weaker.
+  kGreedy,
+  /// kExact when occurrence lists are small (the common case: most branches
+  /// occur once or twice), kGreedy otherwise.
+  kAuto,
+};
+
+/// Maximum one-to-one matching between ascending sequences `xs` and `ys`
+/// allowing pairs with |x - y| <= pr. Greedy two-pointer sweep; optimal for
+/// the 1-D problem. O(|xs| + |ys|).
+int MaxMatching1D(const std::vector<int>& xs, const std::vector<int>& ys,
+                  int pr);
+
+/// Exact maximum bipartite matching between occurrence lists `a` and `b`
+/// (each (pre, post)), edges where both coordinates differ by <= pr.
+int MaxMatchingExact(const std::vector<std::pair<int, int>>& a,
+                     const std::vector<std::pair<int, int>>& b, int pr);
+
+/// |M'max| for one shared branch (Section 4.2), per `mode`.
+int MaxPositionalMatching(const BranchEntry& a, const BranchEntry& b, int pr,
+                          MatchingMode mode);
+
+/// The positional binary branch distance PosBDist(T1, T2, pr) of
+/// Definition 6. Non-increasing in pr; equals BDist at
+/// pr >= max(|T1|, |T2|) - 1. Requires a.q == b.q.
+int64_t PositionalBranchDistance(const BranchProfile& a,
+                                 const BranchProfile& b, int pr,
+                                 MatchingMode mode = MatchingMode::kAuto);
+
+/// The optimistic lower bound `propt` of EDist(T1, T2) found by the
+/// SearchLBound binary search of Algorithm 2: the smallest pr in
+/// [ ||T1|-|T2||, max(|T1|,|T2|) ] with PosBDist(pr) <= factor * pr, where
+/// factor = 4(q-1)+1. Guarantees
+///   propt >= ceil(BDist / factor)  and  propt >= ||T1| - |T2||.
+/// O((|T1|+|T2|) log min(|T1|,|T2|)) with kGreedy matching (Section 4.4).
+int OptimisticBound(const BranchProfile& a, const BranchProfile& b,
+                    MatchingMode mode = MatchingMode::kAuto);
+
+/// Range-query filter test of Section 4.3: returns false when the candidate
+/// can be pruned, i.e. when PosBDist(T1, T2, tau) > factor * tau, which by
+/// Proposition 4.2 implies EDist > tau. Equivalent to `propt <= tau` but
+/// needs a single PosBDist evaluation instead of a binary search.
+bool RangeFilterPasses(const BranchProfile& a, const BranchProfile& b,
+                       int tau, MatchingMode mode = MatchingMode::kAuto);
+
+}  // namespace treesim
+
+#endif  // TREESIM_CORE_POSITIONAL_H_

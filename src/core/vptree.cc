@@ -1,0 +1,131 @@
+#include "core/vptree.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace treesim {
+
+VpTree::VpTree(const std::vector<BranchProfile>* profiles, Rng& rng)
+    : profiles_(profiles) {
+  TREESIM_CHECK(profiles_ != nullptr);
+  std::vector<int> ids(profiles_->size());
+  for (size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<int>(i);
+  if (!ids.empty()) {
+    nodes_.reserve(2 * ids.size() / kLeafSize + 4);
+    root_ = Build(ids, 0, ids.size(), rng);
+  }
+}
+
+int VpTree::Build(std::vector<int>& ids, size_t begin, size_t end, Rng& rng) {
+  const int node_index = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  if (end - begin <= kLeafSize) {
+    Node& leaf = nodes_.back();
+    leaf.is_leaf = true;
+    leaf.bucket.assign(ids.begin() + static_cast<ptrdiff_t>(begin),
+                       ids.begin() + static_cast<ptrdiff_t>(end));
+    std::sort(leaf.bucket.begin(), leaf.bucket.end());
+    return node_index;
+  }
+
+  // Random vantage point; median split on distance to it.
+  const size_t vp_at = begin + rng.UniformIndex(end - begin);
+  std::swap(ids[begin], ids[vp_at]);
+  const int vp = ids[begin];
+  const BranchProfile& vantage = (*profiles_)[static_cast<size_t>(vp)];
+
+  std::vector<std::pair<int64_t, int>> by_distance;
+  by_distance.reserve(end - begin - 1);
+  for (size_t i = begin + 1; i < end; ++i) {
+    by_distance.emplace_back(
+        BranchDistance(vantage, (*profiles_)[static_cast<size_t>(ids[i])]),
+        ids[i]);
+  }
+  const size_t mid = by_distance.size() / 2;
+  std::nth_element(by_distance.begin(),
+                   by_distance.begin() + static_cast<ptrdiff_t>(mid),
+                   by_distance.end());
+  const int64_t median = by_distance[mid].first;
+
+  // Partition: inside = d <= median (includes the median element so the
+  // inside half is never empty), outside = d > median.
+  size_t write = begin + 1;
+  std::stable_partition(
+      by_distance.begin(), by_distance.end(),
+      [median](const std::pair<int64_t, int>& p) { return p.first <= median; });
+  size_t inside_end = begin + 1;
+  for (const auto& [d, id] : by_distance) {
+    ids[write++] = id;
+    if (d <= median) ++inside_end;
+  }
+
+  // Degenerate split (all distances equal): fall back to a leaf to
+  // guarantee termination.
+  if (inside_end == end || inside_end == begin + 1) {
+    Node& leaf = nodes_[static_cast<size_t>(node_index)];
+    leaf.is_leaf = true;
+    leaf.bucket.assign(ids.begin() + static_cast<ptrdiff_t>(begin),
+                       ids.begin() + static_cast<ptrdiff_t>(end));
+    std::sort(leaf.bucket.begin(), leaf.bucket.end());
+    return node_index;
+  }
+
+  const int inside = Build(ids, begin + 1, inside_end, rng);
+  const int outside = Build(ids, inside_end, end, rng);
+  Node& node = nodes_[static_cast<size_t>(node_index)];
+  node.profile = vp;
+  node.radius = median;
+  node.inside = inside;
+  node.outside = outside;
+  return node_index;
+}
+
+void VpTree::Search(int node_index, const BranchProfile& query,
+                    int64_t radius, std::vector<int>& out,
+                    int64_t& calls) const {
+  const Node& node = nodes_[static_cast<size_t>(node_index)];
+  if (node.is_leaf) {
+    for (const int id : node.bucket) {
+      ++calls;
+      if (BranchDistance(query, (*profiles_)[static_cast<size_t>(id)]) <=
+          radius) {
+        out.push_back(id);
+      }
+    }
+    return;
+  }
+  ++calls;
+  const int64_t d =
+      BranchDistance(query, (*profiles_)[static_cast<size_t>(node.profile)]);
+  if (d <= radius) out.push_back(node.profile);
+  // Triangle inequality pruning: the inside ball holds points within
+  // node.radius of the vantage point, so it can contain a result only if
+  // d - radius <= node.radius; the outside shell only if
+  // d + radius > node.radius.
+  if (d - radius <= node.radius) Search(node.inside, query, radius, out, calls);
+  if (d + radius > node.radius) Search(node.outside, query, radius, out, calls);
+}
+
+std::vector<int> VpTree::RangeSearch(const BranchProfile& query,
+                                     int64_t radius,
+                                     int64_t* stats_distance_calls) const {
+  std::vector<int> out;
+  int64_t calls = 0;
+  if (root_ >= 0 && radius >= 0) Search(root_, query, radius, out, calls);
+  std::sort(out.begin(), out.end());
+  if (stats_distance_calls != nullptr) *stats_distance_calls = calls;
+  return out;
+}
+
+int VpTree::DepthOf(int node) const {
+  if (node < 0) return 0;
+  const Node& n = nodes_[static_cast<size_t>(node)];
+  if (n.is_leaf) return 1;
+  return 1 + std::max(DepthOf(n.inside), DepthOf(n.outside));
+}
+
+int VpTree::Depth() const { return DepthOf(root_); }
+
+}  // namespace treesim

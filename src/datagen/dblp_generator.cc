@@ -1,0 +1,146 @@
+#include "datagen/dblp_generator.h"
+
+#include <cmath>
+#include <string>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace treesim {
+namespace {
+
+std::vector<LabelId> MakePool(LabelDictionary& dict, const std::string& prefix,
+                              int n) {
+  std::vector<LabelId> pool;
+  pool.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    pool.push_back(dict.Intern(prefix + std::to_string(i)));
+  }
+  return pool;
+}
+
+}  // namespace
+
+DblpGenerator::DblpGenerator(DblpParams params,
+                             std::shared_ptr<LabelDictionary> labels,
+                             uint64_t seed)
+    : params_(params), labels_(std::move(labels)), rng_(seed) {
+  TREESIM_CHECK(labels_ != nullptr);
+  article_ = labels_->Intern("article");
+  inproceedings_ = labels_->Intern("inproceedings");
+  www_ = labels_->Intern("www");
+  proceedings_ = labels_->Intern("proceedings");
+  author_ = labels_->Intern("author");
+  editor_ = labels_->Intern("editor");
+  title_ = labels_->Intern("title");
+  year_ = labels_->Intern("year");
+  journal_ = labels_->Intern("journal");
+  booktitle_ = labels_->Intern("booktitle");
+  publisher_ = labels_->Intern("publisher");
+  isbn_ = labels_->Intern("isbn");
+  pages_ = labels_->Intern("pages");
+  ee_ = labels_->Intern("ee");
+  url_ = labels_->Intern("url");
+  authors_ = MakePool(*labels_, "auth", params_.author_pool);
+  titles_ = MakePool(*labels_, "ttl", params_.title_pool);
+  years_ = MakePool(*labels_, "y", params_.year_pool);
+  venues_ = MakePool(*labels_, "venue", params_.venue_pool);
+  page_values_ = MakePool(*labels_, "pg", params_.page_pool);
+  publishers_ = MakePool(*labels_, "pub", 12);
+  isbns_ = MakePool(*labels_, "isbn", 25);
+}
+
+LabelId DblpGenerator::Pick(const std::vector<LabelId>& pool) {
+  return pool[rng_.UniformIndex(pool.size())];
+}
+
+LabelId DblpGenerator::PickSkewed(const std::vector<LabelId>& pool) {
+  const double p = params_.value_skew;
+  if (p <= 0.0) return Pick(pool);
+  // Geometric head-skew, clamped to the pool: popular values repeat across
+  // records, as years/venues/prolific authors do in the real DBLP.
+  const double u = std::max(rng_.UniformReal(), 1e-12);
+  const size_t index = static_cast<size_t>(std::log(u) / std::log(1.0 - p));
+  return pool[std::min(index, pool.size() - 1)];
+}
+
+Tree DblpGenerator::Next() {
+  const double type_draw = rng_.UniformReal();
+  enum { kArticle, kInproceedings, kWww, kProceedings } type = kArticle;
+  if (type_draw < params_.p_www) {
+    type = kWww;
+  } else if (type_draw < params_.p_www + params_.p_proceedings) {
+    type = kProceedings;
+  } else if (type_draw <
+             params_.p_www + params_.p_proceedings + params_.p_inproceedings) {
+    type = kInproceedings;
+  }
+
+  TreeBuilder builder(labels_);
+  // Values are drawn before the field node is added so the RNG consumption
+  // order does not depend on argument evaluation order. Titles are
+  // unique-ish (uniform); the other values are head-skewed like real DBLP.
+  NodeId root = kInvalidNode;
+  auto add_field = [&](LabelId field, LabelId value) {
+    builder.AddChildId(builder.AddChildId(root, field), value);
+  };
+
+  switch (type) {
+    case kWww: {
+      // Homepage stub: author, title, bare url leaf.
+      root = builder.AddRootId(www_);
+      const LabelId author_value = PickSkewed(authors_);
+      add_field(author_, author_value);
+      add_field(title_, Pick(titles_));
+      builder.AddChildId(root, url_);
+      break;
+    }
+    case kProceedings: {
+      root = builder.AddRootId(proceedings_);
+      for (int i = 0; i < 2; ++i) add_field(editor_, PickSkewed(authors_));
+      add_field(title_, Pick(titles_));
+      add_field(year_, PickSkewed(years_));
+      add_field(publisher_, PickSkewed(publishers_));
+      add_field(isbn_, Pick(isbns_));
+      break;
+    }
+    case kArticle:
+    case kInproceedings: {
+      root = builder.AddRootId(type == kArticle ? article_ : inproceedings_);
+      const double a = rng_.UniformReal();
+      int author_count = 1;
+      if (a < params_.p_four_authors) {
+        author_count = 4;
+      } else if (a < params_.p_four_authors + params_.p_three_authors) {
+        author_count = 3;
+      } else if (a < params_.p_four_authors + params_.p_three_authors +
+                         params_.p_two_authors) {
+        author_count = 2;
+      }
+      for (int i = 0; i < author_count; ++i) {
+        add_field(author_, PickSkewed(authors_));
+      }
+      add_field(title_, Pick(titles_));
+      add_field(year_, PickSkewed(years_));
+      add_field(type == kArticle ? journal_ : booktitle_,
+                PickSkewed(venues_));
+      if (rng_.Bernoulli(params_.p_pages)) {
+        add_field(pages_, PickSkewed(page_values_));
+      }
+      if (rng_.Bernoulli(params_.p_ee)) builder.AddChildId(root, ee_);
+      if (rng_.Bernoulli(params_.p_url)) builder.AddChildId(root, url_);
+      break;
+    }
+  }
+  return std::move(builder).Build();
+}
+
+std::vector<Tree> DblpGenerator::Generate(int count) {
+  TREESIM_CHECK_GE(count, 0);
+  std::vector<Tree> out;
+  out.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) out.push_back(Next());
+  return out;
+}
+
+}  // namespace treesim

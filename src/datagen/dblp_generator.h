@@ -1,0 +1,87 @@
+#ifndef TREESIM_DATAGEN_DBLP_GENERATOR_H_
+#define TREESIM_DATAGEN_DBLP_GENERATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "tree/tree.h"
+#include "util/random.h"
+
+namespace treesim {
+
+/// Knobs of the DBLP-like record generator. Defaults are calibrated so a
+/// generated sample reproduces the shape statistics the paper reports for
+/// its real 2000-record DBLP sample: shallow (avg depth 2.902), bushy,
+/// avg 10.15 nodes per tree, and an average pairwise edit distance of ~5
+/// (see DESIGN.md, substitutions; fig13/fig14 print the realized values).
+struct DblpParams {
+  /// Distinct values per field; small pools keep the label universe — and
+  /// hence the binary branch universe — small, which drives the paper's
+  /// Section 5.2/5.3 observations about shallow data.
+  int author_pool = 120;
+  int title_pool = 80;
+  int year_pool = 30;
+  int venue_pool = 40;
+  int page_pool = 25;
+
+  /// P(author count = 2..4); remaining mass goes to 1 author.
+  double p_two_authors = 0.15;
+  double p_three_authors = 0.05;
+  double p_four_authors = 0.01;
+
+  /// Record type mix (remaining mass goes to <article>). Real DBLP is
+  /// heterogeneous: small <www> homepage entries and larger <proceedings>
+  /// records sit beside papers — the structural spread the binary branch
+  /// filter exploits (Section 5.2).
+  double p_inproceedings = 0.25;
+  double p_www = 0.15;
+  double p_proceedings = 0.08;
+
+  /// Probability of the optional fields (papers only).
+  double p_pages = 0.12;
+  double p_ee = 0.15;
+  double p_url = 0.08;
+
+  /// Geometric skew of value popularity (real DBLP values — years, venues,
+  /// frequent authors — are heavily head-skewed, which is what keeps the
+  /// average pairwise edit distance near the paper's 5.03). 0 = uniform.
+  double value_skew = 0.65;
+};
+
+/// Generates bibliographic-record trees shaped like DBLP XML entries.
+/// Four record types:
+///
+///   article / inproceedings: author x(1-4), title, year, journal|booktitle
+///                            [pages] [ee] [url] - value leaves under fields
+///   www:                     author, title, url - small homepage stubs
+///   proceedings:             editor x2, title, year, publisher, isbn
+///
+/// Deterministic given the seed.
+class DblpGenerator {
+ public:
+  DblpGenerator(DblpParams params, std::shared_ptr<LabelDictionary> labels,
+                uint64_t seed);
+
+  /// One record.
+  Tree Next();
+
+  /// A dataset of `count` records.
+  std::vector<Tree> Generate(int count);
+
+ private:
+  LabelId Pick(const std::vector<LabelId>& pool);
+  LabelId PickSkewed(const std::vector<LabelId>& pool);
+
+  DblpParams params_;
+  std::shared_ptr<LabelDictionary> labels_;
+  Rng rng_;
+  LabelId article_, inproceedings_, www_, proceedings_, author_, editor_,
+      title_, year_, journal_, booktitle_, publisher_, isbn_, pages_, ee_,
+      url_;
+  std::vector<LabelId> authors_, titles_, years_, venues_, page_values_,
+      publishers_, isbns_;
+};
+
+}  // namespace treesim
+
+#endif  // TREESIM_DATAGEN_DBLP_GENERATOR_H_

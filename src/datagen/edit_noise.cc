@@ -1,0 +1,55 @@
+#include "datagen/edit_noise.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace treesim {
+
+EditOperation RandomEditOperation(const Tree& t,
+                                  const std::vector<LabelId>& label_pool,
+                                  Rng& rng) {
+  TREESIM_CHECK(!label_pool.empty());
+  TREESIM_CHECK(!t.empty());
+  while (true) {
+    const int kind = rng.UniformInt(0, 2);
+    const NodeId node = static_cast<NodeId>(
+        rng.UniformIndex(static_cast<size_t>(t.size())));
+    switch (kind) {
+      case 0: {  // relabel (possibly to the same label when the pool is 1)
+        const LabelId label = label_pool[rng.UniformIndex(label_pool.size())];
+        if (label == t.label(node) && label_pool.size() > 1) continue;
+        return EditOperation::MakeRelabel(node, label);
+      }
+      case 1: {  // delete (never the root)
+        if (node == t.root()) continue;
+        return EditOperation::MakeDelete(node);
+      }
+      default: {  // insert under `node`, adopting a random child run
+        const LabelId label = label_pool[rng.UniformIndex(label_pool.size())];
+        const int degree = t.Degree(node);
+        const int begin = rng.UniformInt(0, degree);
+        const int count = rng.UniformInt(0, degree - begin);
+        return EditOperation::MakeInsert(node, label, begin, count);
+      }
+    }
+  }
+}
+
+NoisyTree ApplyRandomEdits(const Tree& t, int ops,
+                           const std::vector<LabelId>& label_pool, Rng& rng) {
+  NoisyTree out;
+  out.tree = t;
+  out.script.reserve(static_cast<size_t>(ops));
+  for (int i = 0; i < ops; ++i) {
+    const EditOperation op = RandomEditOperation(out.tree, label_pool, rng);
+    StatusOr<Tree> edited = ApplyEditOperation(out.tree, op);
+    TREESIM_CHECK(edited.ok()) << edited.status() << " applying "
+                               << ToString(op, *out.tree.label_dict());
+    out.tree = std::move(edited).value();
+    out.script.push_back(op);
+  }
+  return out;
+}
+
+}  // namespace treesim

@@ -1,0 +1,36 @@
+#ifndef TREESIM_DATAGEN_EDIT_NOISE_H_
+#define TREESIM_DATAGEN_EDIT_NOISE_H_
+
+#include <vector>
+
+#include "ted/edit_operation.h"
+#include "tree/tree.h"
+#include "util/random.h"
+
+namespace treesim {
+
+/// A tree derived by a known random edit script. |script| is an upper bound
+/// on EDist(original, tree) — the handle the property tests use to check
+/// Theorem 3.2/3.3 without computing scripts themselves.
+struct NoisyTree {
+  Tree tree;
+  std::vector<EditOperation> script;
+};
+
+/// Applies `ops` random edit operations (insert / delete / relabel,
+/// equiprobable) to `t`, drawing labels for relabels/inserts uniformly from
+/// `label_pool` (must be non-empty). Deletions never target the root; an
+/// operation that cannot apply (e.g. delete on a single-node tree) is
+/// re-drawn, so the returned script always has exactly `ops` entries.
+NoisyTree ApplyRandomEdits(const Tree& t, int ops,
+                           const std::vector<LabelId>& label_pool, Rng& rng);
+
+/// Generates one random edit operation valid for `t`. Exposed for tests
+/// that exercise single-operation invariants (the Theorem 3.2 case split).
+EditOperation RandomEditOperation(const Tree& t,
+                                  const std::vector<LabelId>& label_pool,
+                                  Rng& rng);
+
+}  // namespace treesim
+
+#endif  // TREESIM_DATAGEN_EDIT_NOISE_H_

@@ -1,0 +1,96 @@
+#include "datagen/synthetic_generator.h"
+
+#include <deque>
+#include <sstream>
+#include <utility>
+
+#include "datagen/edit_noise.h"
+#include "util/logging.h"
+
+namespace treesim {
+
+std::string SyntheticParams::ToString() const {
+  std::ostringstream os;
+  os << "N{" << fanout_mean << "," << fanout_stddev << "}N{" << size_mean
+     << "," << size_stddev << "}L" << label_count << "D" << decay;
+  return os.str();
+}
+
+SyntheticGenerator::SyntheticGenerator(SyntheticParams params,
+                                       std::shared_ptr<LabelDictionary> labels,
+                                       uint64_t seed)
+    : params_(params), labels_(std::move(labels)), rng_(seed) {
+  TREESIM_CHECK(labels_ != nullptr);
+  TREESIM_CHECK_GE(params_.label_count, 1);
+  TREESIM_CHECK_GE(params_.seed_count, 1);
+  TREESIM_CHECK(params_.decay >= 0.0 && params_.decay <= 1.0);
+  label_ids_.reserve(static_cast<size_t>(params_.label_count));
+  for (int i = 0; i < params_.label_count; ++i) {
+    label_ids_.push_back(labels_->Intern("l" + std::to_string(i)));
+  }
+}
+
+LabelId SyntheticGenerator::RandomLabel() {
+  return label_ids_[rng_.UniformIndex(label_ids_.size())];
+}
+
+Tree SyntheticGenerator::GenerateSeedTree() {
+  // Breadth-first growth (Section 5.1): draw the maximum size, then expand
+  // nodes in FIFO order, sampling each node's child count from the fanout
+  // distribution until the budget is exhausted.
+  const int max_size =
+      rng_.NormalInt(params_.size_mean, params_.size_stddev, 1, 1 << 20);
+  TreeBuilder builder(labels_);
+  std::deque<NodeId> frontier = {builder.AddRootId(RandomLabel())};
+  while (!frontier.empty() && builder.size() < max_size) {
+    const NodeId node = frontier.front();
+    frontier.pop_front();
+    const int fanout =
+        rng_.NormalInt(params_.fanout_mean, params_.fanout_stddev, 0, 1 << 20);
+    for (int i = 0; i < fanout && builder.size() < max_size; ++i) {
+      frontier.push_back(builder.AddChildId(node, RandomLabel()));
+    }
+  }
+  return std::move(builder).Build();
+}
+
+Tree SyntheticGenerator::Mutate(const Tree& t) {
+  // Each node independently mutates with probability `decay`; the total op
+  // count is therefore Binomial(|T|, decay). Ops target random nodes of the
+  // evolving tree (the tree changes under the script, so per-op re-sampling
+  // is the faithful way to apply it).
+  int ops = 0;
+  for (int i = 0; i < t.size(); ++i) {
+    if (rng_.Bernoulli(params_.decay)) ++ops;
+  }
+  if (ops == 0) return t;
+  const NoisyTree noisy = ApplyRandomEdits(t, ops, label_ids_, rng_);
+  return noisy.tree;
+}
+
+std::vector<Tree> SyntheticGenerator::GenerateDataset(int count) {
+  TREESIM_CHECK_GE(count, 1);
+  std::vector<Tree> dataset;
+  std::vector<int> chain_depth;
+  std::vector<size_t> eligible_parents;  // indices with depth < max depth
+  dataset.reserve(static_cast<size_t>(count));
+  const int seeds = std::min(params_.seed_count, count);
+  for (int i = 0; i < seeds; ++i) {
+    dataset.push_back(GenerateSeedTree());
+    chain_depth.push_back(0);
+    eligible_parents.push_back(static_cast<size_t>(i));
+  }
+  while (static_cast<int>(dataset.size()) < count) {
+    const size_t parent =
+        eligible_parents[rng_.UniformIndex(eligible_parents.size())];
+    dataset.push_back(Mutate(dataset[parent]));
+    const int depth = chain_depth[parent] + 1;
+    chain_depth.push_back(depth);
+    if (depth < params_.max_chain_depth) {
+      eligible_parents.push_back(dataset.size() - 1);
+    }
+  }
+  return dataset;
+}
+
+}  // namespace treesim

@@ -1,0 +1,102 @@
+#include "filters/bibranch_filter.h"
+
+#include <cmath>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace treesim {
+namespace {
+
+class BiBranchQueryContext final : public QueryContext {
+ public:
+  explicit BiBranchQueryContext(BranchProfile profile)
+      : profile_(std::move(profile)) {}
+  const BranchProfile& profile() const { return profile_; }
+
+ private:
+  BranchProfile profile_;
+};
+
+}  // namespace
+
+BiBranchFilter::BiBranchFilter() : BiBranchFilter(Options()) {}
+
+BiBranchFilter::BiBranchFilter(Options options)
+    : options_(options), index_(options.q) {}
+
+std::string BiBranchFilter::name() const {
+  std::string n = "BiBranch(" + std::to_string(options_.q) + ")";
+  if (!options_.positional) n += "-plain";
+  return n;
+}
+
+void BiBranchFilter::Build(const std::vector<Tree>& trees) {
+  TREESIM_CHECK(profiles_.empty()) << "Build() called twice";
+  for (const Tree& t : trees) index_.Add(t);
+  profiles_ = index_.BuildProfiles();
+  if (options_.use_vptree) {
+    Rng rng(0x5eed);  // fixed seed: deterministic index shape
+    vptree_ = std::make_unique<VpTree>(&profiles_, rng);
+  }
+}
+
+std::unique_ptr<QueryContext> BiBranchFilter::PrepareQuery(const Tree& query) {
+  return std::make_unique<BiBranchQueryContext>(
+      BranchProfile::FromTree(query, index_.branch_dict()));
+}
+
+double BiBranchFilter::LowerBound(const QueryContext& ctx,
+                                  int tree_id) const {
+  const auto& q = static_cast<const BiBranchQueryContext&>(ctx);
+  const BranchProfile& data = profiles_[static_cast<size_t>(tree_id)];
+  if (options_.positional) {
+    return OptimisticBound(q.profile(), data, options_.matching);
+  }
+  return BranchDistanceLowerBound(q.profile(), data);
+}
+
+std::optional<std::vector<int>> BiBranchFilter::TryRangeCandidates(
+    const QueryContext& ctx, double tau) const {
+  if (vptree_ == nullptr) return std::nullopt;
+  const auto& q = static_cast<const BiBranchQueryContext&>(ctx);
+  const int itau = static_cast<int>(std::floor(tau));
+  if (itau < 0) return std::vector<int>{};
+  // Anything a BDist-based filter keeps satisfies
+  // BDist <= factor * tau (Theorem 3.2/3.3), so the metric ball around the
+  // query with that radius is a complete candidate set...
+  int64_t calls = 0;
+  std::vector<int> ball = vptree_->RangeSearch(
+      q.profile(),
+      static_cast<int64_t>(index_.branch_dict().edit_distance_factor()) *
+          itau,
+      &calls);
+  vptree_distance_calls_ += calls;
+  if (!options_.positional) return ball;
+  // ... which the positional test then narrows to exactly the MayQualify
+  // set (the ball already guarantees the BDist part).
+  std::vector<int> candidates;
+  candidates.reserve(ball.size());
+  for (const int id : ball) {
+    if (RangeFilterPasses(q.profile(),
+                          profiles_[static_cast<size_t>(id)], itau,
+                          options_.matching)) {
+      candidates.push_back(id);
+    }
+  }
+  return candidates;
+}
+
+bool BiBranchFilter::MayQualify(const QueryContext& ctx, int tree_id,
+                                double tau) const {
+  const auto& q = static_cast<const BiBranchQueryContext&>(ctx);
+  const BranchProfile& data = profiles_[static_cast<size_t>(tree_id)];
+  // Unit-cost distances are integral, so testing at floor(tau) is exact.
+  const int itau = static_cast<int>(std::floor(tau));
+  if (options_.positional) {
+    return RangeFilterPasses(q.profile(), data, itau, options_.matching);
+  }
+  return BranchDistanceLowerBound(q.profile(), data) <= itau;
+}
+
+}  // namespace treesim

@@ -1,0 +1,71 @@
+#ifndef TREESIM_FILTERS_BIBRANCH_FILTER_H_
+#define TREESIM_FILTERS_BIBRANCH_FILTER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/inverted_file.h"
+#include "core/positional.h"
+#include "core/vptree.h"
+#include "filters/filter_index.h"
+
+namespace treesim {
+
+/// The paper's filter: q-level binary branch vectors with (optionally)
+/// positional information. Lower bounds:
+///   positional:  propt from the SearchLBound binary search (Section 4.2),
+///                with the PosBDist(tau) single-shot test for range queries
+///                (Section 4.3);
+///   plain:       ceil(BDist / (4(q-1)+1)) (Theorem 3.2/3.3).
+class BiBranchFilter final : public FilterIndex {
+ public:
+  struct Options {
+    /// Branch level; 2 is the binary branch of Definition 2.
+    int q = 2;
+    /// Use positional binary branches (the paper's full method). When
+    /// false, only the occurrence counts are compared (plain BDist).
+    bool positional = true;
+    /// How per-branch positional matchings are computed; see MatchingMode.
+    MatchingMode matching = MatchingMode::kAuto;
+    /// Index the branch vectors in a VP-tree (BDist satisfies the triangle
+    /// inequality) so range queries retrieve their candidate set
+    /// sublinearly instead of scanning every vector. Identical results;
+    /// pays O(N log N) BDist evaluations at Build().
+    bool use_vptree = false;
+  };
+
+  /// Default options: q = 2, positional.
+  BiBranchFilter();
+  explicit BiBranchFilter(Options options);
+
+  std::string name() const override;
+  void Build(const std::vector<Tree>& trees) override;
+  std::unique_ptr<QueryContext> PrepareQuery(const Tree& query) override;
+  double LowerBound(const QueryContext& ctx, int tree_id) const override;
+  bool MayQualify(const QueryContext& ctx, int tree_id,
+                  double tau) const override;
+  std::optional<std::vector<int>> TryRangeCandidates(
+      const QueryContext& ctx, double tau) const override;
+
+  /// The underlying inverted file (for inspection/examples).
+  const InvertedFileIndex& inverted_file() const { return index_; }
+
+  /// Database profiles, indexed by tree id (for inspection/tests).
+  const std::vector<BranchProfile>& profiles() const { return profiles_; }
+
+  /// Cumulative BDist evaluations spent inside VP-tree range searches
+  /// (for benchmarking sublinearity; 0 when use_vptree is off).
+  int64_t vptree_distance_calls() const { return vptree_distance_calls_; }
+
+ private:
+  Options options_;
+  InvertedFileIndex index_;
+  std::vector<BranchProfile> profiles_;
+  std::unique_ptr<VpTree> vptree_;
+  mutable int64_t vptree_distance_calls_ = 0;
+};
+
+}  // namespace treesim
+
+#endif  // TREESIM_FILTERS_BIBRANCH_FILTER_H_

@@ -1,0 +1,66 @@
+#ifndef TREESIM_FILTERS_FILTER_INDEX_H_
+#define TREESIM_FILTERS_FILTER_INDEX_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tree/tree.h"
+
+namespace treesim {
+
+/// Query-side state a FilterIndex derives once per query tree (e.g. the
+/// query's branch profile) and reuses against every database tree.
+class QueryContext {
+ public:
+  virtual ~QueryContext() = default;
+};
+
+/// A lower-bounding filter over a fixed database of trees, pluggable into
+/// the filter-and-refine engine (Section 4.1). Implementations must be
+/// SOUND: LowerBound() never exceeds the exact tree edit distance, so the
+/// engine reports no false negatives.
+class FilterIndex {
+ public:
+  virtual ~FilterIndex() = default;
+
+  /// Short name for reports ("BiBranch", "Histo", ...).
+  virtual std::string name() const = 0;
+
+  /// Indexes the database. Called once, before any query.
+  virtual void Build(const std::vector<Tree>& trees) = 0;
+
+  /// Derives the per-query state. Non-const: filters may extend shared
+  /// dictionaries with branches/labels first seen in the query.
+  virtual std::unique_ptr<QueryContext> PrepareQuery(const Tree& query) = 0;
+
+  /// A lower bound of EDist(query, tree `tree_id`).
+  virtual double LowerBound(const QueryContext& ctx, int tree_id) const = 0;
+
+  /// Range-query test: false when the tree is certainly farther than `tau`.
+  /// Default uses LowerBound(); overridden where a cheaper tau-specific test
+  /// exists (the positional BiBranch filter, Section 4.3).
+  virtual bool MayQualify(const QueryContext& ctx, int tree_id,
+                          double tau) const {
+    return LowerBound(ctx, tree_id) <= tau;
+  }
+
+  /// Optional sublinear candidate retrieval for range queries: when a
+  /// filter owns a metric index over its vectors it can return the entire
+  /// may-qualify id set (ascending) without being probed per tree. nullopt
+  /// (the default) makes the engine fall back to the MayQualify scan. The
+  /// returned set must equal { id : MayQualify(ctx, id, tau) } — candidates
+  /// are refined with the exact distance either way, so soundness is about
+  /// completeness of this set.
+  virtual std::optional<std::vector<int>> TryRangeCandidates(
+      const QueryContext& ctx, double tau) const {
+    (void)ctx;
+    (void)tau;
+    return std::nullopt;
+  }
+};
+
+}  // namespace treesim
+
+#endif  // TREESIM_FILTERS_FILTER_INDEX_H_

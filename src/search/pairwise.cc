@@ -1,0 +1,71 @@
+#include "search/pairwise.h"
+
+#include <atomic>
+#include <thread>
+
+#include "util/logging.h"
+
+namespace treesim {
+
+int PairwiseDistances::At(int i, int j) const {
+  TREESIM_DCHECK(i >= 0 && i < size_ && j >= 0 && j < size_);
+  if (i == j) return 0;
+  if (i > j) std::swap(i, j);
+  const size_t index = static_cast<size_t>(i) * static_cast<size_t>(size_) -
+                       static_cast<size_t>(i) * (static_cast<size_t>(i) + 1) /
+                           2 +
+                       static_cast<size_t>(j - i - 1);
+  return upper_[index];
+}
+
+double PairwiseDistances::Mean() const {
+  if (upper_.empty()) return 0.0;
+  int64_t total = 0;
+  for (const int d : upper_) total += d;
+  return static_cast<double>(total) / static_cast<double>(upper_.size());
+}
+
+PairwiseDistances ComputePairwiseDistances(const TreeDatabase& db,
+                                           int threads) {
+  PairwiseDistances result;
+  result.size_ = db.size();
+  const size_t pairs = static_cast<size_t>(db.size()) *
+                       (static_cast<size_t>(db.size()) - 1) / 2;
+  result.upper_.resize(pairs);
+  if (pairs == 0) return result;
+
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads <= 0) threads = 1;
+  }
+
+  // Workers pull rows off a shared counter; each row i computes the
+  // distances (i, i+1..n-1). Rows shrink with i, so the dynamic schedule
+  // balances better than a static split.
+  std::atomic<int> next_row{0};
+  auto worker = [&]() {
+    while (true) {
+      const int i = next_row.fetch_add(1);
+      if (i >= db.size() - 1) return;
+      const size_t row_base =
+          static_cast<size_t>(i) * static_cast<size_t>(db.size()) -
+          static_cast<size_t>(i) * (static_cast<size_t>(i) + 1) / 2;
+      for (int j = i + 1; j < db.size(); ++j) {
+        result.upper_[row_base + static_cast<size_t>(j - i - 1)] =
+            TreeEditDistance(db.ted_view(i), db.ted_view(j));
+      }
+    }
+  };
+
+  if (threads == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<size_t>(threads));
+    for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+  return result;
+}
+
+}  // namespace treesim

@@ -1,0 +1,42 @@
+#ifndef TREESIM_SEARCH_PAIRWISE_H_
+#define TREESIM_SEARCH_PAIRWISE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "search/tree_database.h"
+
+namespace treesim {
+
+/// A dense symmetric pairwise distance matrix over a database (the input of
+/// hierarchical clustering, MDS visualization, medoid seeding, ...).
+class PairwiseDistances {
+ public:
+  /// Entry (i, j); i == j is 0. Symmetric.
+  int At(int i, int j) const;
+
+  int size() const { return size_; }
+
+  /// Mean off-diagonal distance (0 when size < 2).
+  double Mean() const;
+
+ private:
+  friend PairwiseDistances ComputePairwiseDistances(const TreeDatabase&, int);
+
+  int size_ = 0;
+  /// Upper triangle, row-major: entry (i, j) with i < j lives at
+  /// i * size - i*(i+1)/2 + (j - i - 1).
+  std::vector<int> upper_;
+};
+
+/// Computes all |D|*(|D|-1)/2 exact unit-cost edit distances. `threads` > 1
+/// fans the (embarrassingly parallel) pair computations out over worker
+/// threads — TedTree views are immutable and the Zhang–Shasha kernel is
+/// pure, so this is safe; results are identical for any thread count.
+/// threads <= 0 picks the hardware concurrency.
+PairwiseDistances ComputePairwiseDistances(const TreeDatabase& db,
+                                           int threads = 1);
+
+}  // namespace treesim
+
+#endif  // TREESIM_SEARCH_PAIRWISE_H_

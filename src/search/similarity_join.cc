@@ -1,0 +1,64 @@
+#include "search/similarity_join.h"
+
+#include <utility>
+
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace treesim {
+
+SimilarityJoin::SimilarityJoin(const TreeDatabase* right,
+                               std::unique_ptr<FilterIndex> filter)
+    : right_(right), filter_(std::move(filter)) {
+  TREESIM_CHECK(right_ != nullptr);
+  if (filter_ != nullptr) filter_->Build(right_->trees());
+}
+
+JoinResult SimilarityJoin::Join(const TreeDatabase& left, int tau) {
+  return JoinImpl(left, tau, /*self=*/false);
+}
+
+JoinResult SimilarityJoin::SelfJoin(int tau) {
+  return JoinImpl(*right_, tau, /*self=*/true);
+}
+
+JoinResult SimilarityJoin::JoinImpl(const TreeDatabase& left, int tau,
+                                    bool self) {
+  TREESIM_CHECK(left.label_dict() == right_->label_dict())
+      << "join sides must share one label dictionary";
+  JoinResult result;
+  for (int l = 0; l < left.size(); ++l) {
+    // In a self join every unordered pair is probed from its smaller id;
+    // the filter still scans all of `right_`, so prune r <= l afterwards
+    // (cheap: MayQualify already ran, but the exact distance is skipped).
+    Stopwatch filter_timer;
+    std::vector<int> candidates;
+    if (filter_ == nullptr) {
+      for (int r = self ? l + 1 : 0; r < right_->size(); ++r) {
+        candidates.push_back(r);
+      }
+      result.stats.database_size += right_->size() - (self ? l + 1 : 0);
+    } else {
+      const std::unique_ptr<QueryContext> ctx =
+          filter_->PrepareQuery(left.tree(l));
+      for (int r = self ? l + 1 : 0; r < right_->size(); ++r) {
+        if (filter_->MayQualify(*ctx, r, tau)) candidates.push_back(r);
+      }
+      result.stats.database_size += right_->size() - (self ? l + 1 : 0);
+    }
+    result.stats.filter_seconds += filter_timer.ElapsedSeconds();
+    result.stats.candidates += static_cast<int64_t>(candidates.size());
+
+    Stopwatch refine_timer;
+    for (const int r : candidates) {
+      const int d = TreeEditDistance(left.ted_view(l), right_->ted_view(r));
+      ++result.stats.edit_distance_calls;
+      if (d <= tau) result.pairs.emplace_back(l, r, d);
+    }
+    result.stats.refine_seconds += refine_timer.ElapsedSeconds();
+  }
+  result.stats.results = static_cast<int64_t>(result.pairs.size());
+  return result;
+}
+
+}  // namespace treesim

@@ -1,0 +1,54 @@
+#ifndef TREESIM_SEARCH_SIMILARITY_JOIN_H_
+#define TREESIM_SEARCH_SIMILARITY_JOIN_H_
+
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "filters/filter_index.h"
+#include "search/query_stats.h"
+#include "search/tree_database.h"
+
+namespace treesim {
+
+/// Result of an approximate (similarity) join: all tree pairs within edit
+/// distance tau, with the exact distance. Ascending by (left id, right id).
+struct JoinResult {
+  /// (left tree id, right tree id, exact distance).
+  std::vector<std::tuple<int, int, int>> pairs;
+  /// Aggregated over all probes; database_size counts candidate pairs.
+  QueryStats stats;
+};
+
+/// The approximate-join operation from the paper's introduction ("these
+/// problems form the core operation for many database manipulations (e.g.,
+/// approximate join, ...)"), built on the filter-and-refine engine: the
+/// filter indexes the right side once, every left tree probes it with a
+/// range query.
+class SimilarityJoin {
+ public:
+  /// Builds `filter` over `right` (nullptr = no filtering). Both databases
+  /// must outlive this object and share a label dictionary.
+  SimilarityJoin(const TreeDatabase* right,
+                 std::unique_ptr<FilterIndex> filter);
+
+  SimilarityJoin(const SimilarityJoin&) = delete;
+  SimilarityJoin& operator=(const SimilarityJoin&) = delete;
+
+  /// All (l, r) with EDist(left[l], right[r]) <= tau.
+  JoinResult Join(const TreeDatabase& left, int tau);
+
+  /// Self join of the right-side database: all unordered pairs l < r within
+  /// tau (each pair probed once).
+  JoinResult SelfJoin(int tau);
+
+ private:
+  JoinResult JoinImpl(const TreeDatabase& left, int tau, bool self);
+
+  const TreeDatabase* right_;
+  std::unique_ptr<FilterIndex> filter_;
+};
+
+}  // namespace treesim
+
+#endif  // TREESIM_SEARCH_SIMILARITY_JOIN_H_

@@ -1,0 +1,243 @@
+#include "search/similarity_search.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace treesim {
+
+SimilaritySearch::SimilaritySearch(const TreeDatabase* db,
+                                   std::unique_ptr<FilterIndex> filter)
+    : db_(db), filter_(std::move(filter)) {
+  TREESIM_CHECK(db_ != nullptr);
+  if (filter_ != nullptr) filter_->Build(db_->trees());
+}
+
+std::string SimilaritySearch::filter_name() const {
+  return filter_ == nullptr ? "Sequential" : filter_->name();
+}
+
+RangeResult SimilaritySearch::Range(const Tree& query, int tau) {
+  RangeResult result;
+  result.stats.database_size = db_->size();
+
+  // Filtering step.
+  std::vector<int> candidates;
+  Stopwatch filter_timer;
+  if (filter_ == nullptr) {
+    candidates.resize(static_cast<size_t>(db_->size()));
+    for (int id = 0; id < db_->size(); ++id) {
+      candidates[static_cast<size_t>(id)] = id;
+    }
+  } else {
+    const std::unique_ptr<QueryContext> ctx = filter_->PrepareQuery(query);
+    std::optional<std::vector<int>> batch =
+        filter_->TryRangeCandidates(*ctx, tau);
+    if (batch.has_value()) {
+      candidates = std::move(*batch);  // metric-index fast path
+    } else {
+      for (int id = 0; id < db_->size(); ++id) {
+        if (filter_->MayQualify(*ctx, id, tau)) candidates.push_back(id);
+      }
+    }
+  }
+  result.stats.filter_seconds = filter_timer.ElapsedSeconds();
+  result.stats.candidates = static_cast<int64_t>(candidates.size());
+
+  // Refinement step: verify every candidate with the exact distance.
+  Stopwatch refine_timer;
+  const TedTree query_view = TedTree::FromTree(query);
+  for (const int id : candidates) {
+    const int d = TreeEditDistance(query_view, db_->ted_view(id));
+    ++result.stats.edit_distance_calls;
+    if (d <= tau) result.matches.emplace_back(id, d);
+  }
+  result.stats.refine_seconds = refine_timer.ElapsedSeconds();
+
+  std::sort(result.matches.begin(), result.matches.end(),
+            [](const std::pair<int, int>& a, const std::pair<int, int>& b) {
+              if (a.second != b.second) return a.second < b.second;
+              return a.first < b.first;
+            });
+  result.stats.results = static_cast<int64_t>(result.matches.size());
+  return result;
+}
+
+KnnResult SimilaritySearch::Knn(const Tree& query, int k) {
+  TREESIM_CHECK_GT(k, 0);
+  KnnResult result;
+  result.stats.database_size = db_->size();
+  if (db_->size() == 0) return result;
+
+  // Step 1: lower bound for every database tree (Algorithm 2, lines 1-3).
+  Stopwatch filter_timer;
+  std::vector<double> bounds(static_cast<size_t>(db_->size()), 0.0);
+  std::vector<int> order(static_cast<size_t>(db_->size()));
+  for (int id = 0; id < db_->size(); ++id) {
+    order[static_cast<size_t>(id)] = id;
+  }
+  if (filter_ != nullptr) {
+    const std::unique_ptr<QueryContext> ctx = filter_->PrepareQuery(query);
+    for (int id = 0; id < db_->size(); ++id) {
+      bounds[static_cast<size_t>(id)] = filter_->LowerBound(*ctx, id);
+    }
+    // Step 2: ascending by optimistic bound (line 4), so the most promising
+    // trees are refined first and the break triggers as early as possible.
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+      const double ba = bounds[static_cast<size_t>(a)];
+      const double bb = bounds[static_cast<size_t>(b)];
+      if (ba != bb) return ba < bb;
+      return a < b;
+    });
+  }
+  result.stats.filter_seconds = filter_timer.ElapsedSeconds();
+
+  // Step 3: pruning sweep with a max-heap of the k best exact distances
+  // (lines 5-15). Heap entries are (distance, id); top() is the current
+  // k-th best under the deterministic (distance, id) order.
+  Stopwatch refine_timer;
+  const TedTree query_view = TedTree::FromTree(query);
+  std::priority_queue<std::pair<int, int>> heap;
+  for (const int id : order) {
+    if (static_cast<int>(heap.size()) == k &&
+        bounds[static_cast<size_t>(id)] >
+            static_cast<double>(heap.top().first)) {
+      break;  // every remaining bound is at least this large
+    }
+    const int d = TreeEditDistance(query_view, db_->ted_view(id));
+    ++result.stats.edit_distance_calls;
+    if (static_cast<int>(heap.size()) < k) {
+      heap.emplace(d, id);
+    } else if (std::make_pair(d, id) < heap.top()) {
+      heap.pop();
+      heap.emplace(d, id);
+    }
+  }
+  result.stats.refine_seconds = refine_timer.ElapsedSeconds();
+  result.stats.candidates = result.stats.edit_distance_calls;
+
+  result.neighbors.resize(heap.size());
+  for (size_t i = heap.size(); i-- > 0;) {
+    result.neighbors[i] = {heap.top().second, heap.top().first};
+    heap.pop();
+  }
+  result.stats.results = static_cast<int64_t>(result.neighbors.size());
+  return result;
+}
+
+WeightedRangeResult SimilaritySearch::RangeWeighted(const Tree& query,
+                                                    double tau,
+                                                    const CostModel& costs) {
+  const double c_min = costs.MinOperationCost();
+  TREESIM_CHECK_GT(c_min, 0.0) << "MinOperationCost must be positive";
+  WeightedRangeResult result;
+  result.stats.database_size = db_->size();
+
+  // Filtering step: a tree within weighted distance tau needs at most
+  // floor(tau / c_min) unit operations, so the unit-cost filters apply at
+  // that scaled threshold.
+  const double unit_tau = tau / c_min;
+  std::vector<int> candidates;
+  Stopwatch filter_timer;
+  if (filter_ == nullptr) {
+    candidates.resize(static_cast<size_t>(db_->size()));
+    for (int id = 0; id < db_->size(); ++id) {
+      candidates[static_cast<size_t>(id)] = id;
+    }
+  } else {
+    const std::unique_ptr<QueryContext> ctx = filter_->PrepareQuery(query);
+    std::optional<std::vector<int>> batch =
+        filter_->TryRangeCandidates(*ctx, unit_tau);
+    if (batch.has_value()) {
+      candidates = std::move(*batch);
+    } else {
+      for (int id = 0; id < db_->size(); ++id) {
+        if (filter_->MayQualify(*ctx, id, unit_tau)) candidates.push_back(id);
+      }
+    }
+  }
+  result.stats.filter_seconds = filter_timer.ElapsedSeconds();
+  result.stats.candidates = static_cast<int64_t>(candidates.size());
+
+  Stopwatch refine_timer;
+  const TedTree query_view = TedTree::FromTree(query);
+  for (const int id : candidates) {
+    const double d =
+        TreeEditDistanceWeighted(query_view, db_->ted_view(id), costs);
+    ++result.stats.edit_distance_calls;
+    if (d <= tau) result.matches.emplace_back(id, d);
+  }
+  result.stats.refine_seconds = refine_timer.ElapsedSeconds();
+  std::sort(result.matches.begin(), result.matches.end(),
+            [](const std::pair<int, double>& a,
+               const std::pair<int, double>& b) {
+              if (a.second != b.second) return a.second < b.second;
+              return a.first < b.first;
+            });
+  result.stats.results = static_cast<int64_t>(result.matches.size());
+  return result;
+}
+
+WeightedKnnResult SimilaritySearch::KnnWeighted(const Tree& query, int k,
+                                                const CostModel& costs) {
+  const double c_min = costs.MinOperationCost();
+  TREESIM_CHECK_GT(c_min, 0.0) << "MinOperationCost must be positive";
+  TREESIM_CHECK_GT(k, 0);
+  WeightedKnnResult result;
+  result.stats.database_size = db_->size();
+  if (db_->size() == 0) return result;
+
+  Stopwatch filter_timer;
+  std::vector<double> bounds(static_cast<size_t>(db_->size()), 0.0);
+  std::vector<int> order(static_cast<size_t>(db_->size()));
+  for (int id = 0; id < db_->size(); ++id) {
+    order[static_cast<size_t>(id)] = id;
+  }
+  if (filter_ != nullptr) {
+    const std::unique_ptr<QueryContext> ctx = filter_->PrepareQuery(query);
+    for (int id = 0; id < db_->size(); ++id) {
+      // Unit bound scaled into the weighted space.
+      bounds[static_cast<size_t>(id)] = c_min * filter_->LowerBound(*ctx, id);
+    }
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+      const double ba = bounds[static_cast<size_t>(a)];
+      const double bb = bounds[static_cast<size_t>(b)];
+      if (ba != bb) return ba < bb;
+      return a < b;
+    });
+  }
+  result.stats.filter_seconds = filter_timer.ElapsedSeconds();
+
+  Stopwatch refine_timer;
+  const TedTree query_view = TedTree::FromTree(query);
+  std::priority_queue<std::pair<double, int>> heap;
+  for (const int id : order) {
+    if (static_cast<int>(heap.size()) == k &&
+        bounds[static_cast<size_t>(id)] > heap.top().first) {
+      break;
+    }
+    const double d =
+        TreeEditDistanceWeighted(query_view, db_->ted_view(id), costs);
+    ++result.stats.edit_distance_calls;
+    if (static_cast<int>(heap.size()) < k) {
+      heap.emplace(d, id);
+    } else if (std::make_pair(d, id) < heap.top()) {
+      heap.pop();
+      heap.emplace(d, id);
+    }
+  }
+  result.stats.refine_seconds = refine_timer.ElapsedSeconds();
+  result.stats.candidates = result.stats.edit_distance_calls;
+
+  result.neighbors.resize(heap.size());
+  for (size_t i = heap.size(); i-- > 0;) {
+    result.neighbors[i] = {heap.top().second, heap.top().first};
+    heap.pop();
+  }
+  result.stats.results = static_cast<int64_t>(result.neighbors.size());
+  return result;
+}
+
+}  // namespace treesim

@@ -1,0 +1,86 @@
+#ifndef TREESIM_SEARCH_SIMILARITY_SEARCH_H_
+#define TREESIM_SEARCH_SIMILARITY_SEARCH_H_
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "filters/filter_index.h"
+#include "search/query_stats.h"
+#include "search/tree_database.h"
+#include "ted/cost_model.h"
+
+namespace treesim {
+
+/// Result of a range query: ids of trees within distance tau of the query,
+/// ascending by (distance, id).
+struct RangeResult {
+  std::vector<std::pair<int, int>> matches;  // (tree id, exact distance)
+  QueryStats stats;
+};
+
+/// Result of a k-NN query: the k nearest trees, ascending by
+/// (distance, id); fewer when the database is smaller than k.
+struct KnnResult {
+  std::vector<std::pair<int, int>> neighbors;  // (tree id, exact distance)
+  QueryStats stats;
+};
+
+/// Weighted-cost variants (general CostModel distances are real-valued).
+struct WeightedRangeResult {
+  std::vector<std::pair<int, double>> matches;
+  QueryStats stats;
+};
+struct WeightedKnnResult {
+  std::vector<std::pair<int, double>> neighbors;
+  QueryStats stats;
+};
+
+/// The filter-and-refine similarity search engine of Section 4 (Algorithm 2
+/// and its range variant), parameterized by any sound FilterIndex. With a
+/// null filter it degenerates to the sequential scan used as the timing
+/// baseline in Section 5.
+class SimilaritySearch {
+ public:
+  /// Builds `filter` over `db` (pass nullptr for sequential scan). `db`
+  /// must outlive this object.
+  SimilaritySearch(const TreeDatabase* db,
+                   std::unique_ptr<FilterIndex> filter);
+
+  SimilaritySearch(const SimilaritySearch&) = delete;
+  SimilaritySearch& operator=(const SimilaritySearch&) = delete;
+  SimilaritySearch(SimilaritySearch&&) = default;
+  SimilaritySearch& operator=(SimilaritySearch&&) = default;
+
+  /// All trees with EDist(query, tree) <= tau. Filtering uses
+  /// FilterIndex::MayQualify; survivors are verified with exact TED.
+  RangeResult Range(const Tree& query, int tau);
+
+  /// The k nearest neighbors by exact TED, via the optimal multi-step
+  /// strategy (Algorithm 2): lower bounds for every tree, ascending sweep,
+  /// early break once the k-th best exact distance is below the next bound.
+  KnnResult Knn(const Tree& query, int k);
+
+  /// Name of the active filter ("Sequential" when none).
+  std::string filter_name() const;
+
+  /// Range query under a general cost model — the extension the paper notes
+  /// in Section 2.1: every filter bound counts unit operations, and any
+  /// weighted-optimal script has at least that many operations, each
+  /// costing >= costs.MinOperationCost(), so bounds scale by that constant
+  /// and exactness is preserved. costs.MinOperationCost() must be > 0.
+  WeightedRangeResult RangeWeighted(const Tree& query, double tau,
+                                    const CostModel& costs);
+
+  /// k-NN under a general cost model (same scaling argument).
+  WeightedKnnResult KnnWeighted(const Tree& query, int k,
+                                const CostModel& costs);
+
+ private:
+  const TreeDatabase* db_;
+  std::unique_ptr<FilterIndex> filter_;
+};
+
+}  // namespace treesim
+
+#endif  // TREESIM_SEARCH_SIMILARITY_SEARCH_H_

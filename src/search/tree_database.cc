@@ -1,0 +1,60 @@
+#include "search/tree_database.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace treesim {
+
+TreeDatabase::TreeDatabase(std::shared_ptr<LabelDictionary> labels)
+    : labels_(std::move(labels)) {
+  TREESIM_CHECK(labels_ != nullptr);
+}
+
+int TreeDatabase::Add(Tree t) {
+  TREESIM_CHECK(!t.empty()) << "cannot index an empty tree";
+  TREESIM_CHECK(t.label_dict() == labels_)
+      << "tree does not share the database label dictionary";
+  const int id = size();
+  ted_views_.push_back(TedTree::FromTree(t));
+  trees_.push_back(std::move(t));
+  return id;
+}
+
+void TreeDatabase::AddAll(std::vector<Tree> trees) {
+  for (Tree& t : trees) Add(std::move(t));
+}
+
+const Tree& TreeDatabase::tree(int id) const {
+  TREESIM_CHECK(id >= 0 && id < size());
+  return trees_[static_cast<size_t>(id)];
+}
+
+const TedTree& TreeDatabase::ted_view(int id) const {
+  TREESIM_CHECK(id >= 0 && id < size());
+  return ted_views_[static_cast<size_t>(id)];
+}
+
+double TreeDatabase::AverageTreeSize() const {
+  if (trees_.empty()) return 0.0;
+  int64_t total = 0;
+  for (const Tree& t : trees_) total += t.size();
+  return static_cast<double>(total) / static_cast<double>(trees_.size());
+}
+
+double TreeDatabase::EstimateAverageDistance(Rng& rng,
+                                             int sample_pairs) const {
+  TREESIM_CHECK_GE(size(), 2);
+  TREESIM_CHECK_GT(sample_pairs, 0);
+  int64_t total = 0;
+  for (int s = 0; s < sample_pairs; ++s) {
+    const int i = static_cast<int>(rng.UniformIndex(trees_.size()));
+    int j = static_cast<int>(rng.UniformIndex(trees_.size() - 1));
+    if (j >= i) ++j;  // distinct pair, uniform
+    total += TreeEditDistance(ted_views_[static_cast<size_t>(i)],
+                              ted_views_[static_cast<size_t>(j)]);
+  }
+  return static_cast<double>(total) / static_cast<double>(sample_pairs);
+}
+
+}  // namespace treesim

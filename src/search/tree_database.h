@@ -1,0 +1,56 @@
+#ifndef TREESIM_SEARCH_TREE_DATABASE_H_
+#define TREESIM_SEARCH_TREE_DATABASE_H_
+
+#include <memory>
+#include <vector>
+
+#include "ted/zhang_shasha.h"
+#include "tree/tree.h"
+#include "util/random.h"
+
+namespace treesim {
+
+/// An in-memory collection of trees sharing one label dictionary, with the
+/// per-tree Zhang–Shasha views precomputed (the refinement step reuses them
+/// across queries). Tree ids are dense, in insertion order.
+class TreeDatabase {
+ public:
+  explicit TreeDatabase(std::shared_ptr<LabelDictionary> labels);
+
+  TreeDatabase(const TreeDatabase&) = delete;
+  TreeDatabase& operator=(const TreeDatabase&) = delete;
+  TreeDatabase(TreeDatabase&&) = default;
+  TreeDatabase& operator=(TreeDatabase&&) = default;
+
+  /// Adds a tree (must share this database's label dictionary); returns its
+  /// id.
+  int Add(Tree t);
+
+  /// Bulk Add.
+  void AddAll(std::vector<Tree> trees);
+
+  int size() const { return static_cast<int>(trees_.size()); }
+  const Tree& tree(int id) const;
+  const TedTree& ted_view(int id) const;
+  const std::vector<Tree>& trees() const { return trees_; }
+  const std::shared_ptr<LabelDictionary>& label_dict() const {
+    return labels_;
+  }
+
+  /// Average |T| over the database (0 when empty).
+  double AverageTreeSize() const;
+
+  /// Estimates the average pairwise unit-cost edit distance from
+  /// `sample_pairs` random pairs — the paper sets range-query radii to 1/5
+  /// of this (Section 5.1). Exact when sample_pairs covers all pairs.
+  double EstimateAverageDistance(Rng& rng, int sample_pairs) const;
+
+ private:
+  std::shared_ptr<LabelDictionary> labels_;
+  std::vector<Tree> trees_;
+  std::vector<TedTree> ted_views_;
+};
+
+}  // namespace treesim
+
+#endif  // TREESIM_SEARCH_TREE_DATABASE_H_

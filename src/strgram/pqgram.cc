@@ -1,0 +1,95 @@
+#include "strgram/pqgram.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace treesim {
+
+PqGramProfile::PqGramProfile(const Tree& t, int p, int q) : p_(p), q_(q) {
+  TREESIM_CHECK_GE(p, 1);
+  TREESIM_CHECK_GE(q, 1);
+  TREESIM_CHECK(!t.empty());
+
+  // Stem register per node: (ancestor_{p-1}, ..., parent, node) with ε (the
+  // * dummy) above the root.
+  std::vector<LabelId> stem(static_cast<size_t>(p), kEpsilonLabel);
+  std::vector<LabelId> gram(static_cast<size_t>(p + q));
+
+  // One anchor per node: the leaf case registers a single all-dummy base;
+  // an internal node with k children registers k + q - 1 sliding windows
+  // over (q-1 dummies, children, q-1 dummies).
+  auto emit = [&](const std::vector<LabelId>& base_window) {
+    std::copy(stem.begin(), stem.end(), gram.begin());
+    std::copy(base_window.begin(), base_window.end(),
+              gram.begin() + static_cast<ptrdiff_t>(p_));
+    grams_.push_back(gram);
+  };
+
+  // Depth-first traversal carrying the stem register. Recursion depth is
+  // the tree depth; tolerable for the profile's intended inputs (database
+  // records); matches the reference algorithm's structure.
+  auto visit = [&](auto&& self, NodeId node) -> void {
+    // Push this node onto the stem.
+    const LabelId evicted = stem.front();
+    stem.erase(stem.begin());
+    stem.push_back(t.label(node));
+
+    if (t.is_leaf(node)) {
+      emit(std::vector<LabelId>(static_cast<size_t>(q_), kEpsilonLabel));
+    } else {
+      std::vector<LabelId> window(static_cast<size_t>(q_), kEpsilonLabel);
+      for (NodeId c = t.first_child(node); c != kInvalidNode;
+           c = t.next_sibling(c)) {
+        window.erase(window.begin());
+        window.push_back(t.label(c));
+        emit(window);
+      }
+      for (int i = 0; i < q_ - 1; ++i) {
+        window.erase(window.begin());
+        window.push_back(kEpsilonLabel);
+        emit(window);
+      }
+    }
+    for (NodeId c = t.first_child(node); c != kInvalidNode;
+         c = t.next_sibling(c)) {
+      self(self, c);
+    }
+
+    // Pop this node off the stem.
+    stem.pop_back();
+    stem.insert(stem.begin(), evicted);
+  };
+  visit(visit, t.root());
+  std::sort(grams_.begin(), grams_.end());
+}
+
+int PqGramProfile::SharedWith(const PqGramProfile& other) const {
+  TREESIM_CHECK(p_ == other.p_ && q_ == other.q_)
+      << "profiles extracted with different p/q";
+  int shared = 0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < grams_.size() && j < other.grams_.size()) {
+    if (grams_[i] == other.grams_[j]) {
+      ++shared;
+      ++i;
+      ++j;
+    } else if (grams_[i] < other.grams_[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return shared;
+}
+
+double PqGramProfile::DistanceTo(const PqGramProfile& other) const {
+  const int shared = SharedWith(other);
+  const int total = size() + other.size();
+  if (total == 0) return 0.0;
+  return 1.0 - 2.0 * static_cast<double>(shared) /
+                   static_cast<double>(total);
+}
+
+}  // namespace treesim

@@ -1,0 +1,52 @@
+#ifndef TREESIM_STRGRAM_PQGRAM_H_
+#define TREESIM_STRGRAM_PQGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tree/tree.h"
+
+namespace treesim {
+
+/// pq-gram profile of a tree [Augsten, Böhlen & Gamper, VLDB 2005] — an
+/// EXTENSION beyond the reproduced paper, included because it is the other
+/// contemporaneous gram-style tree sketch and makes a useful approximate
+/// comparator in the ablation benches.
+///
+/// A pq-gram is a "stem" of p ancestors joined with a window of q
+/// consecutive children, extracted from the tree extended with * (dummy)
+/// nodes: p-1 dummies above the root, q-1 leading/trailing dummies around
+/// every child list, and q dummy children under every leaf. The pq-gram
+/// DISTANCE (normalized symmetric difference of the profiles) approximates
+/// a fanout-weighted tree edit distance; unlike the binary branch distance
+/// it is NOT a lower bound of the standard edit distance, so it cannot
+/// drive an exact filter — it trades false negatives for speed.
+class PqGramProfile {
+ public:
+  /// Extracts the profile with stem length `p` >= 1 and base `q` >= 1.
+  PqGramProfile(const Tree& t, int p, int q);
+
+  int p() const { return p_; }
+  int q() const { return q_; }
+
+  /// Number of pq-grams (with multiplicity).
+  int size() const { return static_cast<int>(grams_.size()); }
+
+  /// Multiset intersection size with `other` (same p, q required).
+  int SharedWith(const PqGramProfile& other) const;
+
+  /// The pq-gram distance: 1 - 2*shared / (|P1| + |P2|), in [0, 1].
+  /// 0 for identical trees; 1 for trees sharing no pq-gram.
+  double DistanceTo(const PqGramProfile& other) const;
+
+ private:
+  int p_;
+  int q_;
+  /// Each gram is the label sequence of its p stem + q base slots, with
+  /// kEpsilonLabel standing in for the * dummies; sorted for merging.
+  std::vector<std::vector<LabelId>> grams_;
+};
+
+}  // namespace treesim
+
+#endif  // TREESIM_STRGRAM_PQGRAM_H_

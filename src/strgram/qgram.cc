@@ -1,0 +1,54 @@
+#include "strgram/qgram.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace treesim {
+
+QGramProfile::QGramProfile(const std::vector<LabelId>& sequence, int q)
+    : q_(q), sequence_length_(static_cast<int>(sequence.size())) {
+  TREESIM_CHECK_GE(q, 1);
+  if (sequence_length_ < q) return;
+  grams_.reserve(static_cast<size_t>(sequence_length_ - q + 1));
+  for (int i = 0; i + q <= sequence_length_; ++i) {
+    grams_.emplace_back(sequence.begin() + i, sequence.begin() + i + q);
+  }
+  std::sort(grams_.begin(), grams_.end());
+}
+
+int QGramProfile::SharedWith(const QGramProfile& other) const {
+  TREESIM_CHECK_EQ(q_, other.q_);
+  int shared = 0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < grams_.size() && j < other.grams_.size()) {
+    if (grams_[i] == other.grams_[j]) {
+      ++shared;
+      ++i;
+      ++j;
+    } else if (grams_[i] < other.grams_[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return shared;
+}
+
+int64_t QGramProfile::L1Distance(const QGramProfile& other) const {
+  const int shared = SharedWith(other);
+  return static_cast<int64_t>(size()) + other.size() - 2 * shared;
+}
+
+int QGramLowerBound(const QGramProfile& a, const QGramProfile& b) {
+  const int q = a.q();
+  const int max_len = std::max(a.sequence_length(), b.sequence_length());
+  if (max_len < q) return 0;  // no gram evidence at all
+  const int shared = a.SharedWith(b);
+  const int deficit = (max_len - q + 1) - shared;
+  if (deficit <= 0) return 0;
+  return (deficit + q - 1) / q;
+}
+
+}  // namespace treesim

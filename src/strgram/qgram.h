@@ -1,0 +1,54 @@
+#ifndef TREESIM_STRGRAM_QGRAM_H_
+#define TREESIM_STRGRAM_QGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tree/label_dictionary.h"
+
+namespace treesim {
+
+/// String q-grams over label sequences — the technique of Ukkonen [19] that
+/// the binary branch embedding generalizes to trees (Section 1/3.4). A
+/// profile is the sorted multiset of the |s| - q + 1 contiguous windows.
+class QGramProfile {
+ public:
+  /// Builds the profile of `sequence` with window length `q` >= 1.
+  /// Sequences shorter than q have an empty profile.
+  QGramProfile(const std::vector<LabelId>& sequence, int q);
+
+  int q() const { return q_; }
+  int sequence_length() const { return sequence_length_; }
+
+  /// Number of q-grams (|s| - q + 1, or 0).
+  int size() const { return static_cast<int>(grams_.size()); }
+
+  /// Number of q-grams shared with `other` (multiset intersection).
+  int SharedWith(const QGramProfile& other) const;
+
+  /// L1 distance of the two q-gram count vectors.
+  int64_t L1Distance(const QGramProfile& other) const;
+
+ private:
+  int q_;
+  int sequence_length_;
+  /// Each gram packed as its label-id window, sorted lexicographically.
+  std::vector<std::vector<LabelId>> grams_;
+};
+
+/// Ukkonen's count filter, rearranged as a lower bound: a string of length
+/// n contains n - q + 1 q-grams and one edit operation destroys at most q
+/// of them, so SED(s1, s2) = k implies
+///   shared >= max(|s1|, |s2|) - q + 1 - k * q
+/// (the paper's Section 1 recalls the same filter with a slightly different
+/// constant; we use the directly provable form and property-test it), hence
+///   SED >= ceil((max(|s1|,|s2|) - q + 1 - shared) / q),
+/// clamped at 0. Also a lower bound of the TREE edit distance when the
+/// sequences are the preorder (or postorder) traversals of the trees, since
+/// a tree edit script induces a string edit script of equal length on the
+/// traversal sequence.
+int QGramLowerBound(const QGramProfile& a, const QGramProfile& b);
+
+}  // namespace treesim
+
+#endif  // TREESIM_STRGRAM_QGRAM_H_

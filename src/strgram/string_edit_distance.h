@@ -1,0 +1,23 @@
+#ifndef TREESIM_STRGRAM_STRING_EDIT_DISTANCE_H_
+#define TREESIM_STRGRAM_STRING_EDIT_DISTANCE_H_
+
+#include <vector>
+
+#include "tree/label_dictionary.h"
+
+namespace treesim {
+
+/// Unit-cost string edit (Levenshtein) distance between two label
+/// sequences. O(|a| * |b|) time, O(min) space.
+int StringEditDistance(const std::vector<LabelId>& a,
+                       const std::vector<LabelId>& b);
+
+/// Banded variant: returns the exact distance when it is <= `limit`, and
+/// any value > `limit` otherwise (Ukkonen's diagonal band, O(limit * min)
+/// time). Useful for threshold tests without paying the full quadratic DP.
+int StringEditDistanceBounded(const std::vector<LabelId>& a,
+                              const std::vector<LabelId>& b, int limit);
+
+}  // namespace treesim
+
+#endif  // TREESIM_STRGRAM_STRING_EDIT_DISTANCE_H_

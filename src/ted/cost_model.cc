@@ -1,0 +1,10 @@
+#include "ted/cost_model.h"
+
+namespace treesim {
+
+const UnitCostModel& UnitCostModel::Get() {
+  static const UnitCostModel* const kInstance = new UnitCostModel();
+  return *kInstance;
+}
+
+}  // namespace treesim

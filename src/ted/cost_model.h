@@ -1,0 +1,50 @@
+#ifndef TREESIM_TED_COST_MODEL_H_
+#define TREESIM_TED_COST_MODEL_H_
+
+#include "tree/label_dictionary.h"
+
+namespace treesim {
+
+/// Cost of the three edit operations of Section 2.1 (relabel, insert,
+/// delete). The paper adopts the unit-cost distance; the general model is
+/// supported for the extension mentioned there ("our algorithm can be easily
+/// extended to the general edit distance measure if there is a lower bound
+/// on the cost for each edit operation").
+class CostModel {
+ public:
+  virtual ~CostModel() = default;
+
+  /// Cost of relabeling `from` to `to`. Must be 0 when from == to.
+  virtual double Relabel(LabelId from, LabelId to) const {
+    return from == to ? 0.0 : 1.0;
+  }
+
+  /// Cost of inserting a node labeled `label`.
+  virtual double Insert(LabelId label) const {
+    (void)label;
+    return 1.0;
+  }
+
+  /// Cost of deleting a node labeled `label`.
+  virtual double Delete(LabelId label) const {
+    (void)label;
+    return 1.0;
+  }
+
+  /// A positive lower bound on the cost of any single operation (between
+  /// distinct labels, for Relabel). Lets the embedding bounds scale:
+  /// BDist <= 5 * EDist / MinOperationCost() becomes
+  /// EDist >= MinOperationCost() * BDist / 5.
+  virtual double MinOperationCost() const { return 1.0; }
+};
+
+/// The paper's default: every operation costs 1.
+class UnitCostModel final : public CostModel {
+ public:
+  /// Shared immutable instance.
+  static const UnitCostModel& Get();
+};
+
+}  // namespace treesim
+
+#endif  // TREESIM_TED_COST_MODEL_H_

@@ -1,0 +1,209 @@
+#include "ted/edit_mapping.h"
+
+#include <algorithm>
+
+#include "ted/zhang_shasha.h"
+#include "tree/traversal.h"
+#include "util/logging.h"
+
+namespace treesim {
+namespace {
+
+/// Backtracks through the Zhang–Shasha program. Each Trace() call owns one
+/// forest-pair window: it recomputes the forest-distance table for that
+/// window (the DP discards them) and walks from the corner back to the
+/// origin, emitting matched postorder pairs. "Sub" transitions (a whole
+/// subtree matched against a whole subtree) recurse into the subtree pair's
+/// own window, mirroring how the forward DP consumed td[] entries.
+class MappingBacktracker {
+ public:
+  MappingBacktracker(const TedTree& t1, const TedTree& t2,
+                     const std::vector<int>& td)
+      : t1_(t1), t2_(t2), td_(td), n2_(t2.size()) {
+    fd_.resize((static_cast<size_t>(t1_.size()) + 1) *
+               (static_cast<size_t>(t2_.size()) + 1));
+    fd_stride_ = static_cast<size_t>(t2_.size()) + 1;
+  }
+
+  /// Matched (postorder index in T1, postorder index in T2) pairs.
+  std::vector<std::pair<int, int>> Run() {
+    Trace(0, t1_.size() - 1, 0, t2_.size() - 1);
+    std::sort(matches_.begin(), matches_.end());
+    return matches_;
+  }
+
+ private:
+  int Td(int i, int j) const {
+    return td_[static_cast<size_t>(i) * static_cast<size_t>(n2_) +
+               static_cast<size_t>(j)];
+  }
+
+  int& Fd(int x, int y) {
+    return fd_[static_cast<size_t>(x) * fd_stride_ + static_cast<size_t>(y)];
+  }
+
+  int Rel(int i, int j) const {
+    return t1_.labels[static_cast<size_t>(i)] ==
+                   t2_.labels[static_cast<size_t>(j)]
+               ? 0
+               : 1;
+  }
+
+  /// Recomputes the forest-distance window [l1..i1] x [l2..i2] (unit costs),
+  /// identical to the forward DP restricted to this window.
+  void FillWindow(int l1, int i1, int l2, int i2) {
+    Fd(0, 0) = 0;
+    for (int di = l1; di <= i1; ++di) Fd(di - l1 + 1, 0) = di - l1 + 1;
+    for (int dj = l2; dj <= i2; ++dj) Fd(0, dj - l2 + 1) = dj - l2 + 1;
+    for (int di = l1; di <= i1; ++di) {
+      const int x = di - l1 + 1;
+      const int lml1 = t1_.lml[static_cast<size_t>(di)];
+      for (int dj = l2; dj <= i2; ++dj) {
+        const int y = dj - l2 + 1;
+        const int lml2 = t2_.lml[static_cast<size_t>(dj)];
+        const int del = Fd(x - 1, y) + 1;
+        const int ins = Fd(x, y - 1) + 1;
+        if (lml1 == l1 && lml2 == l2) {
+          Fd(x, y) = std::min({del, ins, Fd(x - 1, y - 1) + Rel(di, dj)});
+        } else {
+          Fd(x, y) =
+              std::min({del, ins, Fd(lml1 - l1, lml2 - l2) + Td(di, dj)});
+        }
+      }
+    }
+  }
+
+  void Trace(int l1, int i1, int l2, int i2) {
+    if (l1 > i1 || l2 > i2) return;  // one side empty: pure ins/del
+    FillWindow(l1, i1, l2, i2);
+    int x = i1;
+    int y = i2;
+    while (x >= l1 && y >= l2) {
+      const int px = x - l1 + 1;
+      const int py = y - l2 + 1;
+      const int here = Fd(px, py);
+      const int lml1 = t1_.lml[static_cast<size_t>(x)];
+      const int lml2 = t2_.lml[static_cast<size_t>(y)];
+      if (lml1 == l1 && lml2 == l2) {
+        if (here == Fd(px - 1, py - 1) + Rel(x, y)) {
+          matches_.emplace_back(x, y);
+          --x;
+          --y;
+        } else if (here == Fd(px - 1, py) + 1) {
+          --x;  // delete x
+        } else {
+          TREESIM_DCHECK(here == Fd(px, py - 1) + 1);
+          --y;  // insert y
+        }
+      } else {
+        if (here == Fd(px - 1, py) + 1) {
+          --x;
+        } else if (here == Fd(px, py - 1) + 1) {
+          --y;
+        } else {
+          TREESIM_DCHECK(here == Fd(lml1 - l1, lml2 - l2) + Td(x, y));
+          // Subtree x matched against subtree y as whole trees: the inner
+          // alignment lives in the subtree pair's own window. Recursing
+          // clobbers fd_, so remember where this window's walk resumes and
+          // refill afterwards.
+          const int resume_x = lml1 - 1;
+          const int resume_y = lml2 - 1;
+          Trace(lml1, x, lml2, y);
+          x = resume_x;
+          y = resume_y;
+          if (x >= l1 && y >= l2) FillWindow(l1, i1, l2, i2);
+        }
+      }
+    }
+    // Whatever remains on either side is deletions/insertions (unmapped).
+  }
+
+  const TedTree& t1_;
+  const TedTree& t2_;
+  const std::vector<int>& td_;
+  int n2_;
+  std::vector<int> fd_;
+  size_t fd_stride_ = 0;
+  std::vector<std::pair<int, int>> matches_;
+};
+
+}  // namespace
+
+EditMapping ComputeEditMapping(const Tree& t1, const Tree& t2) {
+  TREESIM_CHECK(!t1.empty() && !t2.empty());
+  const TedTree v1 = TedTree::FromTree(t1);
+  const TedTree v2 = TedTree::FromTree(t2);
+  const std::vector<int> td = TreeDistanceMatrix(v1, v2);
+  const std::vector<std::pair<int, int>> matches =
+      MappingBacktracker(v1, v2, td).Run();
+
+  const std::vector<NodeId> post1 = PostorderSequence(t1);
+  const std::vector<NodeId> post2 = PostorderSequence(t2);
+  EditMapping mapping;
+  mapping.cost = td.back();
+  for (const auto& [i, j] : matches) {
+    mapping.pairs.emplace_back(post1[static_cast<size_t>(i)],
+                               post2[static_cast<size_t>(j)]);
+    if (v1.labels[static_cast<size_t>(i)] !=
+        v2.labels[static_cast<size_t>(j)]) {
+      ++mapping.relabels;
+    }
+  }
+  mapping.deletions = t1.size() - static_cast<int>(mapping.pairs.size());
+  mapping.insertions = t2.size() - static_cast<int>(mapping.pairs.size());
+  return mapping;
+}
+
+std::string ValidateEditMapping(const Tree& t1, const Tree& t2,
+                                const EditMapping& mapping) {
+  const TraversalPositions pos1 = ComputePositions(t1);
+  const TraversalPositions pos2 = ComputePositions(t2);
+  std::vector<char> used1(static_cast<size_t>(t1.size()), 0);
+  std::vector<char> used2(static_cast<size_t>(t2.size()), 0);
+  int relabels = 0;
+  for (const auto& [u, v] : mapping.pairs) {
+    if (u < 0 || u >= t1.size() || v < 0 || v >= t2.size()) {
+      return "pair outside the trees";
+    }
+    if (used1[static_cast<size_t>(u)]++ != 0) return "T1 node mapped twice";
+    if (used2[static_cast<size_t>(v)]++ != 0) return "T2 node mapped twice";
+    if (t1.label(u) != t2.label(v)) ++relabels;
+  }
+  // Order preservation: for every two pairs, preorder AND postorder orders
+  // must agree (this encodes both the ancestor and the sibling condition of
+  // Section 2.1).
+  for (size_t a = 0; a < mapping.pairs.size(); ++a) {
+    for (size_t b = a + 1; b < mapping.pairs.size(); ++b) {
+      const auto& [u1, v1] = mapping.pairs[a];
+      const auto& [u2, v2] = mapping.pairs[b];
+      const bool pre_less = pos1.pre[static_cast<size_t>(u1)] <
+                            pos1.pre[static_cast<size_t>(u2)];
+      const bool post_less = pos1.post[static_cast<size_t>(u1)] <
+                             pos1.post[static_cast<size_t>(u2)];
+      if (pre_less != (pos2.pre[static_cast<size_t>(v1)] <
+                       pos2.pre[static_cast<size_t>(v2)])) {
+        return "preorder not preserved";
+      }
+      if (post_less != (pos2.post[static_cast<size_t>(v1)] <
+                        pos2.post[static_cast<size_t>(v2)])) {
+        return "postorder not preserved";
+      }
+    }
+  }
+  if (relabels != mapping.relabels) return "relabel count mismatch";
+  if (mapping.deletions !=
+      t1.size() - static_cast<int>(mapping.pairs.size())) {
+    return "deletion count mismatch";
+  }
+  if (mapping.insertions !=
+      t2.size() - static_cast<int>(mapping.pairs.size())) {
+    return "insertion count mismatch";
+  }
+  if (mapping.cost !=
+      mapping.relabels + mapping.deletions + mapping.insertions) {
+    return "cost does not match the operation counts";
+  }
+  return "";
+}
+
+}  // namespace treesim

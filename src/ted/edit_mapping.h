@@ -1,0 +1,45 @@
+#ifndef TREESIM_TED_EDIT_MAPPING_H_
+#define TREESIM_TED_EDIT_MAPPING_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tree/tree.h"
+
+namespace treesim {
+
+/// An optimal edit mapping between two trees (Section 2.1 / [23]): a
+/// one-to-one node correspondence preserving ancestor and sibling order that
+/// realizes the unit-cost edit distance. Unmapped T1 nodes are deletions,
+/// unmapped T2 nodes are insertions, mapped pairs with different labels are
+/// relabelings:
+///   cost = relabels + (|T1| - |pairs|) + (|T2| - |pairs|).
+struct EditMapping {
+  /// Mapped (T1 node, T2 node) pairs, ascending by T1 postorder.
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  /// Total unit cost; equals TreeEditDistance(t1, t2).
+  int cost = 0;
+  /// Mapped pairs whose labels differ.
+  int relabels = 0;
+  /// |T1| - |pairs|.
+  int deletions = 0;
+  /// |T2| - |pairs|.
+  int insertions = 0;
+};
+
+/// Computes an optimal edit mapping by backtracking through the
+/// Zhang–Shasha dynamic program. Same asymptotic cost as the distance
+/// computation. Both trees must be non-empty.
+EditMapping ComputeEditMapping(const Tree& t1, const Tree& t2);
+
+/// Validates the mapping invariants of Section 2.1 against the two trees:
+/// one-to-one, ancestor order preserved, sibling (preorder) order preserved,
+/// and the cost accounting above. Returns a diagnostic ("" when valid).
+/// Used by tests and available for debugging.
+std::string ValidateEditMapping(const Tree& t1, const Tree& t2,
+                                const EditMapping& mapping);
+
+}  // namespace treesim
+
+#endif  // TREESIM_TED_EDIT_MAPPING_H_

@@ -1,0 +1,152 @@
+#include "ted/edit_operation.h"
+
+#include <functional>
+#include <utility>
+
+namespace treesim {
+namespace {
+
+Status ValidateNode(const Tree& t, NodeId n) {
+  if (n < 0 || n >= t.size()) {
+    return Status::OutOfRange("node id " + std::to_string(n) +
+                              " outside tree of size " +
+                              std::to_string(t.size()));
+  }
+  return Status::Ok();
+}
+
+/// Copies `t` while relabeling one node. NodeIds are freshly assigned by the
+/// builder; the recursion depth equals the tree depth.
+Tree CopyWithRelabel(const Tree& t, NodeId target, LabelId label) {
+  TreeBuilder builder(t.label_dict());
+  std::function<void(NodeId, NodeId)> copy = [&](NodeId src, NodeId parent) {
+    const LabelId l = (src == target) ? label : t.label(src);
+    const NodeId dst = (parent == kInvalidNode) ? builder.AddRootId(l)
+                                                : builder.AddChildId(parent, l);
+    for (NodeId c = t.first_child(src); c != kInvalidNode;
+         c = t.next_sibling(c)) {
+      copy(c, dst);
+    }
+  };
+  copy(t.root(), kInvalidNode);
+  return std::move(builder).Build();
+}
+
+/// Copies `t` while deleting one (non-root) node: its children are emitted
+/// in its place in the parent's child list.
+Tree CopyWithDelete(const Tree& t, NodeId target) {
+  TreeBuilder builder(t.label_dict());
+  std::function<void(NodeId, NodeId)> copy = [&](NodeId src, NodeId parent) {
+    if (src == target) {
+      for (NodeId c = t.first_child(src); c != kInvalidNode;
+           c = t.next_sibling(c)) {
+        copy(c, parent);
+      }
+      return;
+    }
+    const NodeId dst = (parent == kInvalidNode)
+                           ? builder.AddRootId(t.label(src))
+                           : builder.AddChildId(parent, t.label(src));
+    for (NodeId c = t.first_child(src); c != kInvalidNode;
+         c = t.next_sibling(c)) {
+      copy(c, dst);
+    }
+  };
+  copy(t.root(), kInvalidNode);
+  return std::move(builder).Build();
+}
+
+/// Copies `t` inserting a node labeled `label` under `parent_target`,
+/// adopting children [begin, begin+count).
+Tree CopyWithInsert(const Tree& t, NodeId parent_target, LabelId label,
+                    int begin, int count) {
+  TreeBuilder builder(t.label_dict());
+  std::function<void(NodeId, NodeId)> copy = [&](NodeId src, NodeId parent) {
+    const NodeId dst = (parent == kInvalidNode)
+                           ? builder.AddRootId(t.label(src))
+                           : builder.AddChildId(parent, t.label(src));
+    if (src != parent_target) {
+      for (NodeId c = t.first_child(src); c != kInvalidNode;
+           c = t.next_sibling(c)) {
+        copy(c, dst);
+      }
+      return;
+    }
+    const std::vector<NodeId> children = t.Children(src);
+    int i = 0;
+    NodeId inserted = kInvalidNode;
+    for (const NodeId c : children) {
+      if (i == begin) {
+        inserted = builder.AddChildId(dst, label);
+      }
+      if (i >= begin && i < begin + count) {
+        copy(c, inserted);
+      } else {
+        copy(c, dst);
+      }
+      ++i;
+    }
+    if (begin == static_cast<int>(children.size())) {
+      builder.AddChildId(dst, label);  // appended as new last (leaf) child
+    }
+  };
+  copy(t.root(), kInvalidNode);
+  return std::move(builder).Build();
+}
+
+}  // namespace
+
+StatusOr<Tree> ApplyEditOperation(const Tree& t, const EditOperation& op) {
+  if (t.empty()) return Status::FailedPrecondition("empty tree");
+  TREESIM_RETURN_IF_ERROR(ValidateNode(t, op.node));
+  switch (op.kind) {
+    case EditOperation::Kind::kRelabel:
+      return CopyWithRelabel(t, op.node, op.label);
+    case EditOperation::Kind::kDelete:
+      if (op.node == t.root()) {
+        return Status::InvalidArgument(
+            "deleting the root is not supported (it would leave a forest)");
+      }
+      return CopyWithDelete(t, op.node);
+    case EditOperation::Kind::kInsert: {
+      const int degree = t.Degree(op.node);
+      if (op.child_begin < 0 || op.child_count < 0 ||
+          op.child_begin + op.child_count > degree) {
+        return Status::OutOfRange(
+            "insert range [" + std::to_string(op.child_begin) + ", " +
+            std::to_string(op.child_begin + op.child_count) +
+            ") exceeds degree " + std::to_string(degree));
+      }
+      return CopyWithInsert(t, op.node, op.label, op.child_begin,
+                            op.child_count);
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+StatusOr<Tree> ApplyEditScript(const Tree& t,
+                               const std::vector<EditOperation>& script) {
+  Tree current = t;
+  for (const EditOperation& op : script) {
+    TREESIM_ASSIGN_OR_RETURN(current, ApplyEditOperation(current, op));
+  }
+  return current;
+}
+
+std::string ToString(const EditOperation& op, const LabelDictionary& labels) {
+  switch (op.kind) {
+    case EditOperation::Kind::kRelabel:
+      return "relabel(" + std::to_string(op.node) + " -> '" +
+             std::string(labels.Name(op.label)) + "')";
+    case EditOperation::Kind::kDelete:
+      return "delete(" + std::to_string(op.node) + ")";
+    case EditOperation::Kind::kInsert:
+      return "insert('" + std::string(labels.Name(op.label)) + "' under " +
+             std::to_string(op.node) + " adopting [" +
+             std::to_string(op.child_begin) + ", " +
+             std::to_string(op.child_begin + op.child_count) + "))";
+  }
+  return "?";
+}
+
+}  // namespace treesim

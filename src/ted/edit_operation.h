@@ -1,0 +1,72 @@
+#ifndef TREESIM_TED_EDIT_OPERATION_H_
+#define TREESIM_TED_EDIT_OPERATION_H_
+
+#include <string>
+#include <vector>
+
+#include "tree/tree.h"
+#include "util/status.h"
+
+namespace treesim {
+
+/// One of the three node edit operations of Section 2.1, addressed by NodeId
+/// of the tree it is applied to. Applying an operation produces a new tree
+/// (trees are immutable), so a script addresses nodes of successive
+/// intermediate trees.
+struct EditOperation {
+  enum class Kind {
+    /// Change label(node) to `label`.
+    kRelabel,
+    /// Remove `node` (not the root): its children are spliced into its
+    /// parent's child list at the position `node` occupied.
+    kDelete,
+    /// Add a new node labeled `label` under parent `node`: the consecutive
+    /// children [child_begin, child_begin + child_count) of `node` become
+    /// the children of the new node, which takes their place.
+    kInsert,
+  };
+
+  Kind kind;
+  /// Target node (kRelabel, kDelete) or parent of the new node (kInsert).
+  NodeId node = kInvalidNode;
+  /// New label (kRelabel, kInsert); ignored for kDelete.
+  LabelId label = kEpsilonLabel;
+  /// First adopted child position (kInsert only), 0-based among `node`'s
+  /// children; must satisfy 0 <= child_begin <= degree(node).
+  int child_begin = 0;
+  /// Number of adopted children (kInsert only);
+  /// child_begin + child_count <= degree(node).
+  int child_count = 0;
+
+  static EditOperation MakeRelabel(NodeId node, LabelId label) {
+    return {Kind::kRelabel, node, label, 0, 0};
+  }
+  static EditOperation MakeDelete(NodeId node) {
+    return {Kind::kDelete, node, kEpsilonLabel, 0, 0};
+  }
+  static EditOperation MakeInsert(NodeId parent, LabelId label,
+                                  int child_begin, int child_count) {
+    return {Kind::kInsert, parent, label, child_begin, child_count};
+  }
+};
+
+/// Applies one operation, returning the edited tree. Errors (rather than
+/// aborting) on out-of-range nodes, deleting the root, or invalid child
+/// ranges — callers like the random generator probe with arbitrary targets.
+///
+/// Guarantee: the returned tree numbers its nodes in preorder (NodeId ==
+/// 0-based preorder rank). Script producers (edit-script synthesis) rely on
+/// this to address nodes of intermediate trees they never materialize.
+StatusOr<Tree> ApplyEditOperation(const Tree& t, const EditOperation& op);
+
+/// Applies a whole script in order. The script length is an upper bound on
+/// EDist(t, result) — the property the embedding tests lean on.
+StatusOr<Tree> ApplyEditScript(const Tree& t,
+                               const std::vector<EditOperation>& script);
+
+/// Debug representation, e.g. "relabel(3 -> 'x')".
+std::string ToString(const EditOperation& op, const LabelDictionary& labels);
+
+}  // namespace treesim
+
+#endif  // TREESIM_TED_EDIT_OPERATION_H_

@@ -1,0 +1,238 @@
+#include "ted/edit_script_synthesis.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "tree/traversal.h"
+#include "util/logging.h"
+
+namespace treesim {
+namespace {
+
+/// Mutable working copy of the evolving tree. Arena indices are stable;
+/// preorder addresses are recomputed per emitted operation (the script
+/// addresses the intermediate trees, whose ids are preorder ranks — see the
+/// ApplyEditOperation guarantee).
+struct ShadowNode {
+  LabelId label = kEpsilonLabel;
+  std::vector<int> children;
+  /// The T2 node this will become; kInvalidNode marks a pending deletion.
+  NodeId t2_image = kInvalidNode;
+};
+
+class ScriptBuilder {
+ public:
+  ScriptBuilder(const Tree& t1, const Tree& t2, const EditMapping& mapping)
+      : t1_(t1), t2_(t2), mapping_(mapping), t2_pos_(ComputePositions(t2)) {}
+
+  StatusOr<std::vector<EditOperation>> Run() {
+    TREESIM_RETURN_IF_ERROR(CheckRoots());
+    BuildShadow();
+    Relabels();
+    Deletions();
+    TREESIM_RETURN_IF_ERROR(Insertions());
+    return std::move(script_);
+  }
+
+ private:
+  Status CheckRoots() {
+    for (const auto& [u, v] : mapping_.pairs) {
+      if (u == t1_.root() && v == t2_.root()) return Status::Ok();
+      if (u == t1_.root() || v == t2_.root()) break;
+    }
+    return Status::Unimplemented(
+        "the mapping does not pair the two roots; root deletion/creation is "
+        "outside the supported operation set");
+  }
+
+  void BuildShadow() {
+    // One shadow node per T1 node, same arena indices.
+    shadow_.resize(static_cast<size_t>(t1_.size()));
+    for (NodeId n = 0; n < t1_.size(); ++n) {
+      shadow_[static_cast<size_t>(n)].label = t1_.label(n);
+      for (const NodeId c : t1_.Children(n)) {
+        shadow_[static_cast<size_t>(n)].children.push_back(c);
+      }
+    }
+    root_ = t1_.root();
+    for (const auto& [u, v] : mapping_.pairs) {
+      shadow_[static_cast<size_t>(u)].t2_image = v;
+    }
+  }
+
+  /// Preorder rank of `target` in the current shadow, converted to the
+  /// NodeId the next intermediate tree uses for it.
+  NodeId AddressOf(int target) const {
+    int rank = 0;
+    int found = -1;
+    // Iterative preorder over the shadow.
+    std::vector<int> stack = {root_};
+    while (!stack.empty()) {
+      const int node = stack.back();
+      stack.pop_back();
+      if (node == target) {
+        found = rank;
+        break;
+      }
+      ++rank;
+      const std::vector<int>& kids =
+          shadow_[static_cast<size_t>(node)].children;
+      for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+        stack.push_back(*it);
+      }
+    }
+    TREESIM_CHECK_GE(found, 0) << "target not in the shadow tree";
+    // The very first operation addresses the original t1, whose NodeIds may
+    // not be preorder ranks; later intermediates are rebuilt in preorder.
+    if (script_.empty()) {
+      return PreorderSequence(t1_)[static_cast<size_t>(found)];
+    }
+    return found;
+  }
+
+  void Relabels() {
+    for (const auto& [u, v] : mapping_.pairs) {
+      if (t1_.label(u) != t2_.label(v)) {
+        script_.push_back(
+            EditOperation::MakeRelabel(AddressOf(u), t2_.label(v)));
+        shadow_[static_cast<size_t>(u)].label = t2_.label(v);
+      }
+    }
+  }
+
+  void Deletions() {
+    // Delete unmapped nodes one at a time; splicing children up keeps the
+    // shadow consistent with what ApplyEditOperation would produce.
+    while (true) {
+      int victim = -1;
+      int parent = -1;
+      std::vector<std::pair<int, int>> stack = {{root_, -1}};
+      while (!stack.empty()) {
+        const auto [node, par] = stack.back();
+        stack.pop_back();
+        if (shadow_[static_cast<size_t>(node)].t2_image == kInvalidNode) {
+          victim = node;
+          parent = par;
+          break;
+        }
+        const std::vector<int>& kids =
+            shadow_[static_cast<size_t>(node)].children;
+        for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+          stack.push_back({*it, node});
+        }
+      }
+      if (victim < 0) return;
+      TREESIM_CHECK_GE(parent, 0) << "root must be mapped here";
+      script_.push_back(EditOperation::MakeDelete(AddressOf(victim)));
+      std::vector<int>& siblings =
+          shadow_[static_cast<size_t>(parent)].children;
+      const auto at = std::find(siblings.begin(), siblings.end(), victim);
+      TREESIM_CHECK(at != siblings.end());
+      const std::vector<int> orphans =
+          shadow_[static_cast<size_t>(victim)].children;
+      siblings.insert(siblings.erase(at), orphans.begin(), orphans.end());
+    }
+  }
+
+  bool IsAncestorInT2(NodeId ancestor, NodeId node) const {
+    return t2_pos_.pre[static_cast<size_t>(ancestor)] <
+               t2_pos_.pre[static_cast<size_t>(node)] &&
+           t2_pos_.post[static_cast<size_t>(ancestor)] >
+               t2_pos_.post[static_cast<size_t>(node)];
+  }
+
+  Status Insertions() {
+    // Shadow index per T2 node, filled as nodes materialize.
+    std::vector<int> shadow_of_t2(static_cast<size_t>(t2_.size()), -1);
+    for (size_t i = 0; i < shadow_.size(); ++i) {
+      const NodeId image = shadow_[i].t2_image;
+      if (image != kInvalidNode) {
+        shadow_of_t2[static_cast<size_t>(image)] = static_cast<int>(i);
+      }
+    }
+    for (const NodeId v : PreorderSequence(t2_)) {
+      if (shadow_of_t2[static_cast<size_t>(v)] >= 0) continue;  // mapped
+      const NodeId t2_parent = t2_.parent(v);
+      if (t2_parent == kInvalidNode) {
+        return Status::Internal("unmapped T2 root slipped past CheckRoots");
+      }
+      const int parent_shadow = shadow_of_t2[static_cast<size_t>(t2_parent)];
+      if (parent_shadow < 0) {
+        return Status::Internal("T2 parent not materialized in preorder");
+      }
+      // The current children of the parent that belong under v form a
+      // consecutive run (descendant intervals are contiguous).
+      std::vector<int>& kids =
+          shadow_[static_cast<size_t>(parent_shadow)].children;
+      int begin = -1;
+      int count = 0;
+      for (size_t i = 0; i < kids.size(); ++i) {
+        const NodeId image =
+            shadow_[static_cast<size_t>(kids[i])].t2_image;
+        if (IsAncestorInT2(v, image)) {
+          if (begin < 0) begin = static_cast<int>(i);
+          if (static_cast<int>(i) != begin + count) {
+            return Status::Internal("adopted children are not consecutive");
+          }
+          ++count;
+        }
+      }
+      if (begin < 0) {
+        // No descendants present yet: v lands at the position determined by
+        // its T2 preorder among the parent's current children.
+        begin = 0;
+        for (const int kid : kids) {
+          const NodeId image = shadow_[static_cast<size_t>(kid)].t2_image;
+          if (t2_pos_.pre[static_cast<size_t>(image)] <
+              t2_pos_.pre[static_cast<size_t>(v)]) {
+            ++begin;
+          }
+        }
+      }
+      script_.push_back(EditOperation::MakeInsert(
+          AddressOf(parent_shadow), t2_.label(v), begin, count));
+      // Materialize in the shadow.
+      const int fresh = static_cast<int>(shadow_.size());
+      shadow_.push_back(ShadowNode{});
+      shadow_.back().label = t2_.label(v);
+      shadow_.back().t2_image = v;
+      std::vector<int>& kids2 =
+          shadow_[static_cast<size_t>(parent_shadow)].children;
+      shadow_.back().children.assign(
+          kids2.begin() + begin, kids2.begin() + begin + count);
+      kids2.erase(kids2.begin() + begin, kids2.begin() + begin + count);
+      kids2.insert(kids2.begin() + begin, fresh);
+      shadow_of_t2[static_cast<size_t>(v)] = fresh;
+    }
+    return Status::Ok();
+  }
+
+  const Tree& t1_;
+  const Tree& t2_;
+  const EditMapping& mapping_;
+  TraversalPositions t2_pos_;
+  std::vector<ShadowNode> shadow_;
+  int root_ = 0;
+  std::vector<EditOperation> script_;
+};
+
+}  // namespace
+
+StatusOr<std::vector<EditOperation>> SynthesizeEditScript(
+    const Tree& t1, const Tree& t2, const EditMapping& mapping) {
+  if (t1.empty() || t2.empty()) {
+    return Status::FailedPrecondition("trees must be non-empty");
+  }
+  const std::string diagnosis = ValidateEditMapping(t1, t2, mapping);
+  if (!diagnosis.empty()) {
+    return Status::InvalidArgument("invalid mapping: " + diagnosis);
+  }
+  return ScriptBuilder(t1, t2, mapping).Run();
+}
+
+StatusOr<std::vector<EditOperation>> ComputeEditScript(const Tree& t1,
+                                                       const Tree& t2) {
+  return SynthesizeEditScript(t1, t2, ComputeEditMapping(t1, t2));
+}
+
+}  // namespace treesim

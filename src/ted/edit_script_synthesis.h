@@ -1,0 +1,40 @@
+#ifndef TREESIM_TED_EDIT_SCRIPT_SYNTHESIS_H_
+#define TREESIM_TED_EDIT_SCRIPT_SYNTHESIS_H_
+
+#include <vector>
+
+#include "ted/edit_mapping.h"
+#include "ted/edit_operation.h"
+#include "tree/tree.h"
+#include "util/status.h"
+
+namespace treesim {
+
+/// Synthesizes an executable edit script from an edit mapping — the
+/// constructive direction of the mapping/script duality of Section 2.1:
+/// a mapping of cost k yields a script of exactly k operations
+/// (relabels of mapped pairs, deletions of unmapped T1 nodes bottom-up,
+/// insertions of unmapped T2 nodes top-down), and
+/// ApplyEditScript(t1, script) reproduces t2.
+///
+/// The script addresses nodes of the successive intermediate trees; it is
+/// valid input for ApplyEditScript. Combined with ComputeEditMapping this
+/// yields a "tree patch": the minimal operation sequence transforming t1
+/// into t2.
+///
+/// Limitation: the library's operation set cannot delete or create a root
+/// (Section 2.1 footnote in edit_operation.h), so a mapping that leaves
+/// either root unmapped — or maps the two roots to non-root nodes — is
+/// rejected with kUnimplemented. ComputeEditMapping produces such mappings
+/// only when relabeling the roots is not optimal, which is rare; callers
+/// can fall back to reporting the mapping itself.
+StatusOr<std::vector<EditOperation>> SynthesizeEditScript(
+    const Tree& t1, const Tree& t2, const EditMapping& mapping);
+
+/// Convenience: optimal mapping + synthesis in one call.
+StatusOr<std::vector<EditOperation>> ComputeEditScript(const Tree& t1,
+                                                       const Tree& t2);
+
+}  // namespace treesim
+
+#endif  // TREESIM_TED_EDIT_SCRIPT_SYNTHESIS_H_

@@ -1,0 +1,73 @@
+#include "ted/naive_ted.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+
+#include "ted/zhang_shasha.h"
+#include "util/logging.h"
+
+namespace treesim {
+namespace {
+
+/// Memoized forest distance between the postorder-contiguous forests
+/// T1[l1..i1] and T2[l2..i2] (empty when l > i). This is the textbook
+/// recurrence evaluated top-down, deliberately structured differently from
+/// the keyroot-based production implementation.
+class NaiveTed {
+ public:
+  NaiveTed(const TedTree& t1, const TedTree& t2) : t1_(t1), t2_(t2) {}
+
+  int Run() { return Fd(0, t1_.size() - 1, 0, t2_.size() - 1); }
+
+ private:
+  uint64_t Key(int l1, int i1, int l2, int i2) const {
+    const uint64_t n1 = static_cast<uint64_t>(t1_.size()) + 2;
+    const uint64_t n2 = static_cast<uint64_t>(t2_.size()) + 2;
+    uint64_t k = static_cast<uint64_t>(l1 + 1);
+    k = k * n1 + static_cast<uint64_t>(i1 + 1);
+    k = k * n2 + static_cast<uint64_t>(l2 + 1);
+    k = k * n2 + static_cast<uint64_t>(i2 + 1);
+    return k;
+  }
+
+  int Fd(int l1, int i1, int l2, int i2) {
+    const bool empty1 = l1 > i1;
+    const bool empty2 = l2 > i2;
+    if (empty1 && empty2) return 0;
+    if (empty1) return i2 - l2 + 1;  // insert everything
+    if (empty2) return i1 - l1 + 1;  // delete everything
+    const uint64_t key = Key(l1, i1, l2, i2);
+    auto it = memo_.find(key);
+    if (it != memo_.end()) return it->second;
+
+    const int del = Fd(l1, i1 - 1, l2, i2) + 1;
+    const int ins = Fd(l1, i1, l2, i2 - 1) + 1;
+    const int lml1 = std::max(t1_.lml[static_cast<size_t>(i1)], l1);
+    const int lml2 = std::max(t2_.lml[static_cast<size_t>(i2)], l2);
+    const int relabel = t1_.labels[static_cast<size_t>(i1)] ==
+                                t2_.labels[static_cast<size_t>(i2)]
+                            ? 0
+                            : 1;
+    const int match = Fd(l1, lml1 - 1, l2, lml2 - 1) +
+                      Fd(lml1, i1 - 1, lml2, i2 - 1) + relabel;
+    const int best = std::min({del, ins, match});
+    memo_.emplace(key, best);
+    return best;
+  }
+
+  const TedTree& t1_;
+  const TedTree& t2_;
+  std::unordered_map<uint64_t, int> memo_;
+};
+
+}  // namespace
+
+int NaiveTreeEditDistance(const Tree& t1, const Tree& t2) {
+  TREESIM_CHECK(!t1.empty() && !t2.empty());
+  const TedTree v1 = TedTree::FromTree(t1);
+  const TedTree v2 = TedTree::FromTree(t2);
+  return NaiveTed(v1, v2).Run();
+}
+
+}  // namespace treesim

@@ -1,0 +1,16 @@
+#ifndef TREESIM_TED_NAIVE_TED_H_
+#define TREESIM_TED_NAIVE_TED_H_
+
+#include "tree/tree.h"
+
+namespace treesim {
+
+/// Exact unit-cost tree edit distance computed by a direct memoized
+/// evaluation of the forest-distance recurrence (no keyroot decomposition).
+/// O(n^4) time/space — intended only as an independent oracle for testing
+/// the production Zhang–Shasha implementation on small trees (<= ~30 nodes).
+int NaiveTreeEditDistance(const Tree& t1, const Tree& t2);
+
+}  // namespace treesim
+
+#endif  // TREESIM_TED_NAIVE_TED_H_

@@ -1,0 +1,69 @@
+#include "ted/tree_diff.h"
+
+#include <vector>
+
+#include "tree/traversal.h"
+#include "util/logging.h"
+
+namespace treesim {
+namespace {
+
+/// Renders one tree, one node per line, with a per-node marker and an
+/// optional "-> other label" suffix for relabeled nodes.
+void RenderPane(const Tree& t, const std::vector<char>& marker,
+                const std::vector<NodeId>& partner_label_of,
+                const Tree* partner, std::string& out) {
+  const std::vector<int> depth = NodeDepths(t);
+  for (const NodeId n : PreorderSequence(t)) {
+    out.push_back(marker[static_cast<size_t>(n)]);
+    out.push_back(' ');
+    out.append(static_cast<size_t>(2 * (depth[static_cast<size_t>(n)] - 1)),
+               ' ');
+    out.append(t.LabelName(n));
+    if (partner != nullptr &&
+        partner_label_of[static_cast<size_t>(n)] != kInvalidNode) {
+      out += " -> ";
+      out.append(partner->LabelName(
+          partner_label_of[static_cast<size_t>(n)]));
+    }
+    out.push_back('\n');
+  }
+}
+
+}  // namespace
+
+std::string RenderTreeDiff(const Tree& t1, const Tree& t2,
+                           const EditMapping& mapping) {
+  TREESIM_CHECK(!t1.empty() && !t2.empty());
+  // Per-node markers: default delete/insert; mapped pairs become
+  // unchanged or relabeled.
+  std::vector<char> marker1(static_cast<size_t>(t1.size()), '-');
+  std::vector<char> marker2(static_cast<size_t>(t2.size()), '+');
+  std::vector<NodeId> relabel_target(static_cast<size_t>(t1.size()),
+                                     kInvalidNode);
+  const std::vector<NodeId> no_partner(static_cast<size_t>(t2.size()),
+                                       kInvalidNode);
+  for (const auto& [u, v] : mapping.pairs) {
+    if (t1.label(u) == t2.label(v)) {
+      marker1[static_cast<size_t>(u)] = ' ';
+      marker2[static_cast<size_t>(v)] = ' ';
+    } else {
+      marker1[static_cast<size_t>(u)] = '~';
+      marker2[static_cast<size_t>(v)] = '~';
+      relabel_target[static_cast<size_t>(u)] = v;
+    }
+  }
+  std::string out = "--- T1 (" + std::to_string(mapping.deletions) +
+                    " deleted, " + std::to_string(mapping.relabels) +
+                    " relabeled)\n";
+  RenderPane(t1, marker1, relabel_target, &t2, out);
+  out += "+++ T2 (" + std::to_string(mapping.insertions) + " inserted)\n";
+  RenderPane(t2, marker2, no_partner, nullptr, out);
+  return out;
+}
+
+std::string RenderTreeDiff(const Tree& t1, const Tree& t2) {
+  return RenderTreeDiff(t1, t2, ComputeEditMapping(t1, t2));
+}
+
+}  // namespace treesim

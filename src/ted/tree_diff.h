@@ -1,0 +1,33 @@
+#ifndef TREESIM_TED_TREE_DIFF_H_
+#define TREESIM_TED_TREE_DIFF_H_
+
+#include <string>
+
+#include "ted/edit_mapping.h"
+#include "tree/tree.h"
+
+namespace treesim {
+
+/// Renders an edit mapping as a unified-diff-style, two-pane text view:
+///
+///   --- T1
+///     a
+///   -   b        (deleted)
+///   ~   c -> x   (relabeled)
+///   +++ T2
+///     a
+///   +   d        (inserted)
+///   ~   x        (relabel target)
+///
+/// Indentation mirrors each tree's structure; markers: ' ' unchanged,
+/// '-' deleted, '+' inserted, '~' relabeled. Intended for tooling output
+/// (the CLI's `mapping`/`patch` commands) and debugging.
+std::string RenderTreeDiff(const Tree& t1, const Tree& t2,
+                           const EditMapping& mapping);
+
+/// Convenience: computes the optimal mapping first.
+std::string RenderTreeDiff(const Tree& t1, const Tree& t2);
+
+}  // namespace treesim
+
+#endif  // TREESIM_TED_TREE_DIFF_H_

@@ -1,0 +1,147 @@
+#include "ted/zhang_shasha.h"
+
+#include <algorithm>
+
+#include "tree/traversal.h"
+#include "util/logging.h"
+
+namespace treesim {
+namespace {
+
+/// Unit costs with integer arithmetic (the common case in the paper).
+struct UnitCosts {
+  using Dist = int;
+  int Delete(LabelId) const { return 1; }
+  int Insert(LabelId) const { return 1; }
+  int Relabel(LabelId a, LabelId b) const { return a == b ? 0 : 1; }
+};
+
+/// Arbitrary costs via the virtual CostModel.
+struct ModelCosts {
+  using Dist = double;
+  const CostModel& model;
+  double Delete(LabelId l) const { return model.Delete(l); }
+  double Insert(LabelId l) const { return model.Insert(l); }
+  double Relabel(LabelId a, LabelId b) const { return model.Relabel(a, b); }
+};
+
+/// The Zhang–Shasha dynamic program. `td` and `fd` layouts follow the
+/// original paper: td[i*n2+j] is the distance between the subtrees rooted at
+/// postorder nodes i of T1 and j of T2; fd is the forest-distance scratch
+/// matrix of one keyroot pair, reused across pairs to avoid reallocation.
+/// Returns the full td matrix; the overall distance is its last entry.
+template <typename Costs>
+std::vector<typename Costs::Dist> ZhangShashaImpl(const TedTree& t1,
+                                                  const TedTree& t2,
+                                                  const Costs& costs) {
+  using Dist = typename Costs::Dist;
+  const int n1 = t1.size();
+  const int n2 = t2.size();
+  TREESIM_CHECK(n1 > 0 && n2 > 0) << "trees must be non-empty";
+
+  std::vector<Dist> td(static_cast<size_t>(n1) * static_cast<size_t>(n2));
+  std::vector<Dist> fd(static_cast<size_t>(n1 + 1) *
+                       static_cast<size_t>(n2 + 1));
+  const size_t fd_stride = static_cast<size_t>(n2) + 1;
+  auto fd_at = [&](int x, int y) -> Dist& {
+    return fd[static_cast<size_t>(x) * fd_stride + static_cast<size_t>(y)];
+  };
+
+  for (const int k1 : t1.keyroots) {
+    for (const int k2 : t2.keyroots) {
+      const int l1 = t1.lml[static_cast<size_t>(k1)];
+      const int l2 = t2.lml[static_cast<size_t>(k2)];
+      // fd indices are offset: x = di - l1 + 1, y = dj - l2 + 1.
+      fd_at(0, 0) = Dist{0};
+      for (int di = l1; di <= k1; ++di) {
+        fd_at(di - l1 + 1, 0) =
+            fd_at(di - l1, 0) + costs.Delete(t1.labels[static_cast<size_t>(di)]);
+      }
+      for (int dj = l2; dj <= k2; ++dj) {
+        fd_at(0, dj - l2 + 1) =
+            fd_at(0, dj - l2) + costs.Insert(t2.labels[static_cast<size_t>(dj)]);
+      }
+      for (int di = l1; di <= k1; ++di) {
+        const int x = di - l1 + 1;
+        const LabelId a = t1.labels[static_cast<size_t>(di)];
+        const int lml1 = t1.lml[static_cast<size_t>(di)];
+        for (int dj = l2; dj <= k2; ++dj) {
+          const int y = dj - l2 + 1;
+          const LabelId b = t2.labels[static_cast<size_t>(dj)];
+          const Dist del = fd_at(x - 1, y) + costs.Delete(a);
+          const Dist ins = fd_at(x, y - 1) + costs.Insert(b);
+          if (lml1 == l1 && t2.lml[static_cast<size_t>(dj)] == l2) {
+            // Both prefixes are whole subtrees: this cell is a tree distance.
+            const Dist rel = fd_at(x - 1, y - 1) + costs.Relabel(a, b);
+            const Dist best = std::min({del, ins, rel});
+            fd_at(x, y) = best;
+            td[static_cast<size_t>(di) * static_cast<size_t>(n2) +
+               static_cast<size_t>(dj)] = best;
+          } else {
+            const Dist sub =
+                fd_at(lml1 - l1, t2.lml[static_cast<size_t>(dj)] - l2) +
+                td[static_cast<size_t>(di) * static_cast<size_t>(n2) +
+                   static_cast<size_t>(dj)];
+            fd_at(x, y) = std::min({del, ins, sub});
+          }
+        }
+      }
+    }
+  }
+  return td;
+}
+
+}  // namespace
+
+TedTree TedTree::FromTree(const Tree& t) {
+  TREESIM_CHECK(!t.empty());
+  TedTree out;
+  const std::vector<NodeId> post = PostorderSequence(t);
+  const int n = t.size();
+  std::vector<int> post_index(static_cast<size_t>(n), 0);
+  for (int i = 0; i < n; ++i) {
+    post_index[static_cast<size_t>(post[static_cast<size_t>(i)])] = i;
+  }
+  out.labels.resize(static_cast<size_t>(n));
+  out.lml.resize(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const NodeId node = post[static_cast<size_t>(i)];
+    out.labels[static_cast<size_t>(i)] = t.label(node);
+    const NodeId fc = t.first_child(node);
+    // Children precede parents in postorder, so lml of the first child is
+    // already final.
+    out.lml[static_cast<size_t>(i)] =
+        (fc == kInvalidNode)
+            ? i
+            : out.lml[static_cast<size_t>(post_index[static_cast<size_t>(fc)])];
+  }
+  for (int i = 0; i < n; ++i) {
+    const NodeId node = post[static_cast<size_t>(i)];
+    const NodeId parent = t.parent(node);
+    const bool has_left_sibling =
+        parent != kInvalidNode && t.first_child(parent) != node;
+    if (parent == kInvalidNode || has_left_sibling) {
+      out.keyroots.push_back(i);
+    }
+  }
+  return out;
+}
+
+int TreeEditDistance(const TedTree& t1, const TedTree& t2) {
+  return ZhangShashaImpl(t1, t2, UnitCosts{}).back();
+}
+
+std::vector<int> TreeDistanceMatrix(const TedTree& t1, const TedTree& t2) {
+  return ZhangShashaImpl(t1, t2, UnitCosts{});
+}
+
+int TreeEditDistance(const Tree& t1, const Tree& t2) {
+  return TreeEditDistance(TedTree::FromTree(t1), TedTree::FromTree(t2));
+}
+
+double TreeEditDistanceWeighted(const TedTree& t1, const TedTree& t2,
+                                const CostModel& costs) {
+  return ZhangShashaImpl(t1, t2, ModelCosts{costs}).back();
+}
+
+}  // namespace treesim

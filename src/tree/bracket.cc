@@ -1,0 +1,170 @@
+#include "tree/bracket.h"
+
+#include <cctype>
+#include <utility>
+#include <vector>
+
+namespace treesim {
+namespace {
+
+bool IsPlainLabelChar(char c) {
+  return !std::isspace(static_cast<unsigned char>(c)) && c != '{' &&
+         c != '}' && c != '\'';
+}
+
+/// Recursive-descent parser over a string_view cursor. Iterative child loops
+/// keep the recursion depth equal to the tree depth; an explicit depth cap
+/// protects against stack exhaustion on adversarial input.
+class BracketParser {
+ public:
+  BracketParser(std::string_view text, std::shared_ptr<LabelDictionary> labels)
+      : text_(text), builder_(std::move(labels)) {}
+
+  StatusOr<Tree> Run() {
+    SkipSpace();
+    TREESIM_ASSIGN_OR_RETURN(std::string root_label, ParseLabel());
+    const NodeId root = builder_.AddRoot(root_label);
+    TREESIM_RETURN_IF_ERROR(ParseChildren(root, /*depth=*/1));
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Status::InvalidArgument("trailing characters at offset " +
+                                     std::to_string(pos_));
+    }
+    return std::move(builder_).Build();
+  }
+
+ private:
+  // The parser recurses per nesting level; the cap keeps adversarial input
+  // well inside the default thread stack.
+  static constexpr int kMaxDepth = 20000;
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+
+  StatusOr<std::string> ParseLabel() {
+    if (AtEnd()) return Status::InvalidArgument("expected label, got EOF");
+    if (Peek() == '\'') return ParseQuotedLabel();
+    const size_t start = pos_;
+    while (!AtEnd() && IsPlainLabelChar(Peek())) ++pos_;
+    if (pos_ == start) {
+      return Status::InvalidArgument("expected label at offset " +
+                                     std::to_string(pos_));
+    }
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  StatusOr<std::string> ParseQuotedLabel() {
+    ++pos_;  // opening quote
+    std::string label;
+    while (!AtEnd()) {
+      const char c = text_[pos_++];
+      if (c == '\'') {
+        if (label.empty()) {
+          return Status::InvalidArgument("empty quoted label");
+        }
+        return label;
+      }
+      if (c == '\\') {
+        if (AtEnd()) break;
+        label.push_back(text_[pos_++]);
+      } else {
+        label.push_back(c);
+      }
+    }
+    return Status::InvalidArgument("unterminated quoted label");
+  }
+
+  Status ParseChildren(NodeId parent, int depth) {
+    SkipSpace();
+    if (AtEnd() || Peek() != '{') return Status::Ok();  // leaf
+    if (depth > kMaxDepth) {
+      return Status::InvalidArgument("tree nesting exceeds depth limit");
+    }
+    ++pos_;  // '{'
+    SkipSpace();
+    while (!AtEnd() && Peek() != '}') {
+      TREESIM_ASSIGN_OR_RETURN(std::string label, ParseLabel());
+      const NodeId child = builder_.AddChild(parent, label);
+      TREESIM_RETURN_IF_ERROR(ParseChildren(child, depth + 1));
+      SkipSpace();
+    }
+    if (AtEnd()) return Status::InvalidArgument("unbalanced '{'");
+    ++pos_;  // '}'
+    return Status::Ok();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  TreeBuilder builder_;
+};
+
+bool NeedsQuoting(std::string_view label) {
+  for (const char c : label) {
+    if (!IsPlainLabelChar(c)) return true;
+  }
+  return label.empty();
+}
+
+void AppendLabel(std::string_view label, std::string& out) {
+  if (!NeedsQuoting(label)) {
+    out.append(label);
+    return;
+  }
+  out.push_back('\'');
+  for (const char c : label) {
+    if (c == '\'' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  out.push_back('\'');
+}
+
+}  // namespace
+
+StatusOr<Tree> ParseBracket(std::string_view text,
+                            std::shared_ptr<LabelDictionary> labels) {
+  if (labels == nullptr) {
+    return Status::InvalidArgument("label dictionary must not be null");
+  }
+  return BracketParser(text, std::move(labels)).Run();
+}
+
+std::string ToBracket(const Tree& t) {
+  std::string out;
+  if (t.empty()) return out;
+  // Iterative preorder with an explicit "close brace" marker per frame.
+  struct Frame {
+    NodeId node;
+    bool closer;  // emit '}' instead of visiting
+  };
+  std::vector<Frame> stack = {{t.root(), false}};
+  bool first_token = true;
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    if (f.closer) {
+      out.push_back('}');
+      continue;
+    }
+    if (!first_token && out.back() != '{') out.push_back(' ');
+    first_token = false;
+    AppendLabel(t.LabelName(f.node), out);
+    if (!t.is_leaf(f.node)) {
+      out.push_back('{');
+      stack.push_back({f.node, true});
+      std::vector<NodeId> children = t.Children(f.node);
+      for (auto it = children.rbegin(); it != children.rend(); ++it) {
+        stack.push_back({*it, false});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace treesim

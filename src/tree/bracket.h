@@ -1,0 +1,31 @@
+#ifndef TREESIM_TREE_BRACKET_H_
+#define TREESIM_TREE_BRACKET_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "tree/tree.h"
+#include "util/status.h"
+
+namespace treesim {
+
+/// Parses the bracket notation for ordered labeled trees:
+///
+///   tree  := label [ '{' tree* '}' ]
+///   label := plain token (no whitespace or { } ' characters)
+///            | 'single-quoted' with \' and \\ escapes
+///
+/// Example: "a{b{c d} e}" is the tree a with children b (children c, d)
+/// and e. Whitespace between tokens is insignificant. Labels are interned
+/// into `labels`.
+StatusOr<Tree> ParseBracket(std::string_view text,
+                            std::shared_ptr<LabelDictionary> labels);
+
+/// Serializes `t` back to bracket notation (inverse of ParseBracket up to
+/// whitespace). Labels needing quoting are single-quoted with escapes.
+std::string ToBracket(const Tree& t);
+
+}  // namespace treesim
+
+#endif  // TREESIM_TREE_BRACKET_H_

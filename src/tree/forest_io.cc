@@ -1,0 +1,87 @@
+#include "tree/forest_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "tree/bracket.h"
+
+namespace treesim {
+
+std::string ForestToString(const std::vector<Tree>& forest) {
+  std::string out;
+  out += "# treesim forest: " + std::to_string(forest.size()) +
+         " trees, one bracket tree per line\n";
+  for (const Tree& t : forest) {
+    out += ToBracket(t);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+StatusOr<std::vector<Tree>> ForestFromString(
+    std::string_view text, std::shared_ptr<LabelDictionary> labels) {
+  if (labels == nullptr) {
+    return Status::InvalidArgument("label dictionary must not be null");
+  }
+  std::vector<Tree> forest;
+  size_t line_start = 0;
+  int line_number = 0;
+  while (line_start <= text.size()) {
+    size_t line_end = text.find('\n', line_start);
+    if (line_end == std::string_view::npos) line_end = text.size();
+    std::string_view line = text.substr(line_start, line_end - line_start);
+    ++line_number;
+    line_start = line_end + 1;
+    // Trim and skip blanks/comments.
+    while (!line.empty() && (line.front() == ' ' || line.front() == '\t' ||
+                             line.front() == '\r')) {
+      line.remove_prefix(1);
+    }
+    while (!line.empty() && (line.back() == ' ' || line.back() == '\t' ||
+                             line.back() == '\r')) {
+      line.remove_suffix(1);
+    }
+    if (line.empty() || line.front() == '#') continue;
+    StatusOr<Tree> tree = ParseBracket(line, labels);
+    if (!tree.ok()) {
+      return Status(tree.status().code(),
+                    "line " + std::to_string(line_number) + ": " +
+                        tree.status().message());
+    }
+    forest.push_back(std::move(tree).value());
+  }
+  return forest;
+}
+
+StatusOr<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Status::Internal("error while reading " + path);
+  return buffer.str();
+}
+
+Status WriteStringToFile(const std::string& content,
+                         const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::InvalidArgument("cannot open " + path +
+                                           " for writing");
+  out << content;
+  out.flush();
+  if (!out) return Status::Internal("error while writing " + path);
+  return Status::Ok();
+}
+
+Status SaveForest(const std::vector<Tree>& forest, const std::string& path) {
+  return WriteStringToFile(ForestToString(forest), path);
+}
+
+StatusOr<std::vector<Tree>> LoadForest(
+    const std::string& path, std::shared_ptr<LabelDictionary> labels) {
+  TREESIM_ASSIGN_OR_RETURN(const std::string text, ReadFileToString(path));
+  return ForestFromString(text, std::move(labels));
+}
+
+}  // namespace treesim

@@ -1,0 +1,37 @@
+#ifndef TREESIM_TREE_FOREST_IO_H_
+#define TREESIM_TREE_FOREST_IO_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tree/tree.h"
+#include "util/status.h"
+
+namespace treesim {
+
+/// Serializes a forest to the line-oriented bracket format: one tree per
+/// line, '#' starts a comment line, blank lines ignored. The format
+/// round-trips through ParseBracket/ToBracket.
+std::string ForestToString(const std::vector<Tree>& forest);
+
+/// Parses a forest from the line-oriented bracket format.
+StatusOr<std::vector<Tree>> ForestFromString(
+    std::string_view text, std::shared_ptr<LabelDictionary> labels);
+
+/// Writes `forest` to `path` (overwrites).
+Status SaveForest(const std::vector<Tree>& forest, const std::string& path);
+
+/// Reads a forest from `path`.
+StatusOr<std::vector<Tree>> LoadForest(
+    const std::string& path, std::shared_ptr<LabelDictionary> labels);
+
+/// Reads a whole file into a string (shared helper for loaders/tools).
+StatusOr<std::string> ReadFileToString(const std::string& path);
+
+/// Writes a string to a file (overwrites).
+Status WriteStringToFile(const std::string& content, const std::string& path);
+
+}  // namespace treesim
+
+#endif  // TREESIM_TREE_FOREST_IO_H_

@@ -1,0 +1,32 @@
+#include "tree/label_dictionary.h"
+
+#include "util/logging.h"
+
+namespace treesim {
+
+LabelDictionary::LabelDictionary() {
+  names_.push_back("\xCE\xB5");  // UTF-8 "ε", slot 0
+}
+
+LabelId LabelDictionary::Intern(std::string_view label) {
+  TREESIM_CHECK(!label.empty()) << "empty labels are reserved for ε";
+  auto it = ids_.find(std::string(label));
+  if (it != ids_.end()) return it->second;
+  const LabelId id = static_cast<LabelId>(names_.size());
+  names_.emplace_back(label);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+std::optional<LabelId> LabelDictionary::Lookup(std::string_view label) const {
+  auto it = ids_.find(std::string(label));
+  if (it == ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string_view LabelDictionary::Name(LabelId id) const {
+  TREESIM_CHECK_LT(id, names_.size()) << "unknown LabelId";
+  return names_[id];
+}
+
+}  // namespace treesim

@@ -1,0 +1,58 @@
+#ifndef TREESIM_TREE_LABEL_DICTIONARY_H_
+#define TREESIM_TREE_LABEL_DICTIONARY_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace treesim {
+
+/// Dense integer id of an interned node label. Id 0 is reserved for the
+/// ε padding label used by the normalized binary tree representation
+/// (Section 3.2 of the paper); user labels start at 1.
+using LabelId = uint32_t;
+
+/// The reserved ε label (appended nodes in the normalized binary tree).
+inline constexpr LabelId kEpsilonLabel = 0;
+
+/// Interns label strings to dense LabelIds shared by all trees of a dataset
+/// and its queries. Interning makes node comparison O(1) and keeps binary
+/// branch keys compact. Not thread-safe; share one instance per dataset.
+class LabelDictionary {
+ public:
+  LabelDictionary();
+
+  LabelDictionary(const LabelDictionary&) = delete;
+  LabelDictionary& operator=(const LabelDictionary&) = delete;
+  LabelDictionary(LabelDictionary&&) = default;
+  LabelDictionary& operator=(LabelDictionary&&) = default;
+
+  /// Returns the id of `label`, interning it on first sight. `label` must be
+  /// non-empty (the empty string is reserved for ε).
+  LabelId Intern(std::string_view label);
+
+  /// Returns the id of `label` if already interned, otherwise nullopt.
+  std::optional<LabelId> Lookup(std::string_view label) const;
+
+  /// Returns the string for an id previously returned by Intern (or "ε" for
+  /// kEpsilonLabel). Aborts on out-of-range ids.
+  std::string_view Name(LabelId id) const;
+
+  /// Number of distinct user labels interned so far (excludes ε).
+  size_t size() const { return names_.size() - 1; }
+
+  /// One past the largest valid id; useful to size per-label arrays
+  /// (includes the ε slot at index 0).
+  LabelId id_bound() const { return static_cast<LabelId>(names_.size()); }
+
+ private:
+  std::unordered_map<std::string, LabelId> ids_;
+  std::vector<std::string> names_;  // names_[0] == "ε"
+};
+
+}  // namespace treesim
+
+#endif  // TREESIM_TREE_LABEL_DICTIONARY_H_

@@ -1,0 +1,105 @@
+#include "tree/traversal.h"
+
+#include <algorithm>
+
+namespace treesim {
+
+std::vector<NodeId> PreorderSequence(const Tree& t) {
+  std::vector<NodeId> out;
+  if (t.empty()) return out;
+  out.reserve(static_cast<size_t>(t.size()));
+  std::vector<NodeId> stack = {t.root()};
+  while (!stack.empty()) {
+    const NodeId n = stack.back();
+    stack.pop_back();
+    out.push_back(n);
+    // Push children in reverse so the first child is processed first.
+    std::vector<NodeId> children = t.Children(n);
+    for (auto it = children.rbegin(); it != children.rend(); ++it) {
+      stack.push_back(*it);
+    }
+  }
+  return out;
+}
+
+std::vector<NodeId> PostorderSequence(const Tree& t) {
+  std::vector<NodeId> out;
+  if (t.empty()) return out;
+  out.reserve(static_cast<size_t>(t.size()));
+  // Two-phase iterative postorder: emit in reverse-preorder of mirrored
+  // children, then reverse.
+  std::vector<NodeId> stack = {t.root()};
+  while (!stack.empty()) {
+    const NodeId n = stack.back();
+    stack.pop_back();
+    out.push_back(n);
+    for (NodeId c = t.first_child(n); c != kInvalidNode;
+         c = t.next_sibling(c)) {
+      stack.push_back(c);
+    }
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+TraversalPositions ComputePositions(const Tree& t) {
+  TraversalPositions p;
+  p.pre.assign(static_cast<size_t>(t.size()), 0);
+  p.post.assign(static_cast<size_t>(t.size()), 0);
+  const std::vector<NodeId> pre = PreorderSequence(t);
+  for (size_t i = 0; i < pre.size(); ++i) {
+    p.pre[static_cast<size_t>(pre[i])] = static_cast<int>(i) + 1;
+  }
+  const std::vector<NodeId> post = PostorderSequence(t);
+  for (size_t i = 0; i < post.size(); ++i) {
+    p.post[static_cast<size_t>(post[i])] = static_cast<int>(i) + 1;
+  }
+  return p;
+}
+
+std::vector<int> NodeDepths(const Tree& t) {
+  std::vector<int> depth(static_cast<size_t>(t.size()), 0);
+  for (const NodeId n : PreorderSequence(t)) {
+    const NodeId p = t.parent(n);
+    depth[static_cast<size_t>(n)] =
+        (p == kInvalidNode) ? 1 : depth[static_cast<size_t>(p)] + 1;
+  }
+  return depth;
+}
+
+std::vector<int> NodeHeights(const Tree& t) {
+  std::vector<int> height(static_cast<size_t>(t.size()), 1);
+  // Postorder guarantees children are finalized before their parent.
+  for (const NodeId n : PostorderSequence(t)) {
+    const NodeId p = t.parent(n);
+    if (p != kInvalidNode) {
+      height[static_cast<size_t>(p)] = std::max(
+          height[static_cast<size_t>(p)], height[static_cast<size_t>(n)] + 1);
+    }
+  }
+  return height;
+}
+
+int TreeHeight(const Tree& t) {
+  if (t.empty()) return 0;
+  return NodeHeights(t)[static_cast<size_t>(t.root())];
+}
+
+int LeafCount(const Tree& t) {
+  int leaves = 0;
+  for (NodeId n = 0; n < t.size(); ++n) {
+    if (t.is_leaf(n)) ++leaves;
+  }
+  return leaves;
+}
+
+std::vector<int> NodeDegrees(const Tree& t) {
+  std::vector<int> degree(static_cast<size_t>(t.size()), 0);
+  for (NodeId n = 0; n < t.size(); ++n) {
+    const NodeId p = t.parent(n);
+    if (p != kInvalidNode) ++degree[static_cast<size_t>(p)];
+  }
+  return degree;
+}
+
+}  // namespace treesim

@@ -1,0 +1,46 @@
+#ifndef TREESIM_TREE_TRAVERSAL_H_
+#define TREESIM_TREE_TRAVERSAL_H_
+
+#include <vector>
+
+#include "tree/tree.h"
+
+namespace treesim {
+
+/// Nodes of `t` in preorder (document order). Iterative; safe for deep trees.
+std::vector<NodeId> PreorderSequence(const Tree& t);
+
+/// Nodes of `t` in postorder.
+std::vector<NodeId> PostorderSequence(const Tree& t);
+
+/// 1-based preorder and postorder positions of every node, as used by the
+/// positional binary branch structures of Section 4.2 (the paper numbers
+/// nodes from 1; Fig. 2 annotates each node with "(pre, post)").
+/// Indexed by NodeId.
+struct TraversalPositions {
+  std::vector<int> pre;
+  std::vector<int> post;
+};
+
+/// Computes both position arrays in one pass.
+TraversalPositions ComputePositions(const Tree& t);
+
+/// Depth of every node in levels, root = 1. Indexed by NodeId.
+std::vector<int> NodeDepths(const Tree& t);
+
+/// Height of every node in levels: leaves = 1, internal = 1 + max(children).
+/// Indexed by NodeId.
+std::vector<int> NodeHeights(const Tree& t);
+
+/// Height of the whole tree in levels (= NodeHeights[root]); 0 for empty.
+int TreeHeight(const Tree& t);
+
+/// Number of leaf nodes.
+int LeafCount(const Tree& t);
+
+/// Degree (child count) of every node. Indexed by NodeId.
+std::vector<int> NodeDegrees(const Tree& t);
+
+}  // namespace treesim
+
+#endif  // TREESIM_TREE_TRAVERSAL_H_

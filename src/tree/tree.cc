@@ -1,0 +1,89 @@
+#include "tree/tree.h"
+
+#include <utility>
+
+namespace treesim {
+
+int Tree::Degree(NodeId n) const {
+  int d = 0;
+  for (NodeId c = first_child(n); c != kInvalidNode; c = next_sibling(c)) ++d;
+  return d;
+}
+
+std::vector<NodeId> Tree::Children(NodeId n) const {
+  std::vector<NodeId> out;
+  for (NodeId c = first_child(n); c != kInvalidNode; c = next_sibling(c)) {
+    out.push_back(c);
+  }
+  return out;
+}
+
+bool Tree::StructurallyEquals(const Tree& other) const {
+  if (size() != other.size()) return false;
+  if (empty()) return true;
+  // Parallel iterative preorder walk over both trees; mismatched shape shows
+  // up as one side running out of children/siblings before the other.
+  std::vector<std::pair<NodeId, NodeId>> stack = {{root(), other.root()}};
+  while (!stack.empty()) {
+    auto [a, b] = stack.back();
+    stack.pop_back();
+    if (label(a) != other.label(b)) return false;
+    NodeId ca = first_child(a);
+    NodeId cb = other.first_child(b);
+    while (ca != kInvalidNode && cb != kInvalidNode) {
+      stack.emplace_back(ca, cb);
+      ca = next_sibling(ca);
+      cb = other.next_sibling(cb);
+    }
+    if (ca != cb) return false;  // both must be kInvalidNode here
+  }
+  return true;
+}
+
+TreeBuilder::TreeBuilder(std::shared_ptr<LabelDictionary> labels)
+    : labels_(std::move(labels)) {
+  TREESIM_CHECK(labels_ != nullptr);
+}
+
+NodeId TreeBuilder::AddRoot(std::string_view label) {
+  return AddRootId(labels_->Intern(label));
+}
+
+NodeId TreeBuilder::AddRootId(LabelId label) {
+  TREESIM_CHECK(!has_root_) << "AddRoot called twice";
+  has_root_ = true;
+  nodes_.push_back(Tree::Node{label, kInvalidNode, kInvalidNode,
+                              kInvalidNode});
+  last_child_.push_back(kInvalidNode);
+  return 0;
+}
+
+NodeId TreeBuilder::AddChild(NodeId parent, std::string_view label) {
+  return AddChildId(parent, labels_->Intern(label));
+}
+
+NodeId TreeBuilder::AddChildId(NodeId parent, LabelId label) {
+  TREESIM_CHECK(parent >= 0 && parent < size()) << "bad parent id " << parent;
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(Tree::Node{label, parent, kInvalidNode, kInvalidNode});
+  last_child_.push_back(kInvalidNode);
+  const size_t p = static_cast<size_t>(parent);
+  if (last_child_[p] == kInvalidNode) {
+    nodes_[p].first_child = id;
+  } else {
+    nodes_[static_cast<size_t>(last_child_[p])].next_sibling = id;
+  }
+  last_child_[p] = id;
+  return id;
+}
+
+Tree TreeBuilder::Build() && {
+  TREESIM_CHECK(has_root_) << "Build() without AddRoot()";
+  Tree t;
+  t.nodes_ = std::move(nodes_);
+  t.root_ = 0;
+  t.labels_ = std::move(labels_);
+  return t;
+}
+
+}  // namespace treesim

@@ -1,0 +1,146 @@
+#ifndef TREESIM_TREE_TREE_H_
+#define TREESIM_TREE_TREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tree/label_dictionary.h"
+#include "util/logging.h"
+#include "util/status.h"
+
+namespace treesim {
+
+/// Index of a node inside one Tree's arena. Ids are dense: every value in
+/// [0, tree.size()) names a live node. Ids are otherwise arbitrary (in
+/// particular they are NOT traversal positions; see traversal.h).
+using NodeId = int32_t;
+
+/// Sentinel for "no such node" (no parent / no child / no sibling).
+inline constexpr NodeId kInvalidNode = -1;
+
+/// A rooted, ordered, labeled tree (Section 2 of the paper), stored as a
+/// contiguous arena of nodes in first-child / next-sibling form — which is
+/// exactly the left-child/right-sibling binary tree representation B(T) that
+/// the binary branch transformation is defined on (Section 2.3).
+///
+/// Trees are immutable after construction; build them with TreeBuilder or the
+/// parsers, derive edited copies with the functions in ted/edit_operation.h.
+/// The label dictionary is shared (and may be extended by later trees).
+class Tree {
+ public:
+  /// One arena slot. Plain data; all fields are maintained by TreeBuilder.
+  struct Node {
+    LabelId label = kEpsilonLabel;
+    NodeId parent = kInvalidNode;
+    NodeId first_child = kInvalidNode;
+    NodeId next_sibling = kInvalidNode;
+  };
+
+  Tree() = default;
+
+  Tree(const Tree&) = default;
+  Tree& operator=(const Tree&) = default;
+  Tree(Tree&&) = default;
+  Tree& operator=(Tree&&) = default;
+
+  /// Number of nodes, |T|.
+  int size() const { return static_cast<int>(nodes_.size()); }
+
+  /// True when the tree has no nodes. Most algorithms require non-empty
+  /// trees; parsers never produce empty ones.
+  bool empty() const { return nodes_.empty(); }
+
+  /// Root node id. Requires a non-empty tree.
+  NodeId root() const {
+    TREESIM_DCHECK(!empty());
+    return root_;
+  }
+
+  LabelId label(NodeId n) const { return node(n).label; }
+  NodeId parent(NodeId n) const { return node(n).parent; }
+  NodeId first_child(NodeId n) const { return node(n).first_child; }
+  NodeId next_sibling(NodeId n) const { return node(n).next_sibling; }
+
+  /// True when `n` has no children.
+  bool is_leaf(NodeId n) const { return node(n).first_child == kInvalidNode; }
+
+  /// Number of children of `n` (walks the child list; O(degree)).
+  int Degree(NodeId n) const;
+
+  /// Children of `n` in sibling order.
+  std::vector<NodeId> Children(NodeId n) const;
+
+  /// Label string of node `n` (via the shared dictionary).
+  std::string_view LabelName(NodeId n) const {
+    return labels_->Name(label(n));
+  }
+
+  /// The shared label dictionary (never null for a built tree).
+  const std::shared_ptr<LabelDictionary>& label_dict() const {
+    return labels_;
+  }
+
+  /// Structural + label equality (same shape, same labels, same sibling
+  /// order). Node ids need not coincide. Both trees must share comparable
+  /// label ids (i.e., the same dictionary) for labels to match.
+  bool StructurallyEquals(const Tree& other) const;
+
+ private:
+  friend class TreeBuilder;
+
+  const Node& node(NodeId n) const {
+    TREESIM_DCHECK(n >= 0 && n < size());
+    return nodes_[static_cast<size_t>(n)];
+  }
+
+  std::vector<Node> nodes_;
+  NodeId root_ = kInvalidNode;
+  std::shared_ptr<LabelDictionary> labels_;
+};
+
+/// Incrementally constructs a Tree. Children are appended in sibling order.
+/// Typical use:
+///
+///   auto dict = std::make_shared<LabelDictionary>();
+///   TreeBuilder b(dict);
+///   NodeId root = b.AddRoot("a");
+///   NodeId x = b.AddChild(root, "b");
+///   b.AddChild(x, "c");
+///   Tree t = std::move(b).Build();
+class TreeBuilder {
+ public:
+  /// `labels` must be non-null; it is shared with the built tree.
+  explicit TreeBuilder(std::shared_ptr<LabelDictionary> labels);
+
+  TreeBuilder(const TreeBuilder&) = delete;
+  TreeBuilder& operator=(const TreeBuilder&) = delete;
+  TreeBuilder(TreeBuilder&&) = default;
+  TreeBuilder& operator=(TreeBuilder&&) = default;
+
+  /// Creates the root. Must be the first node added, exactly once.
+  NodeId AddRoot(std::string_view label);
+  NodeId AddRootId(LabelId label);
+
+  /// Appends a new last child under `parent`. `parent` must exist.
+  NodeId AddChild(NodeId parent, std::string_view label);
+  NodeId AddChildId(NodeId parent, LabelId label);
+
+  /// Number of nodes added so far.
+  int size() const { return static_cast<int>(nodes_.size()); }
+
+  /// Finalizes the tree. The builder is consumed; the tree is non-empty
+  /// (aborts if AddRoot was never called — that is a programming error).
+  Tree Build() &&;
+
+ private:
+  std::vector<Tree::Node> nodes_;
+  std::vector<NodeId> last_child_;  // per node, for O(1) append
+  std::shared_ptr<LabelDictionary> labels_;
+  bool has_root_ = false;
+};
+
+}  // namespace treesim
+
+#endif  // TREESIM_TREE_TREE_H_

@@ -1,0 +1,75 @@
+#include "util/flags.h"
+
+#include <cstdlib>
+
+namespace treesim {
+
+FlagParser::FlagParser(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string tok = argv[i];
+    if (tok.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(tok));
+      continue;
+    }
+    tok = tok.substr(2);
+    const size_t eq = tok.find('=');
+    if (eq == std::string::npos) {
+      values_[tok] = "";
+    } else {
+      values_[tok.substr(0, eq)] = tok.substr(eq + 1);
+    }
+  }
+}
+
+bool FlagParser::Has(const std::string& key) const {
+  return values_.count(key) > 0;
+}
+
+std::string FlagParser::GetString(const std::string& key,
+                                  const std::string& def) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? def : it->second;
+}
+
+int64_t FlagParser::GetInt(const std::string& key, int64_t def) const {
+  auto it = values_.find(key);
+  if (it == values_.end() || it->second.empty()) return def;
+  char* end = nullptr;
+  const int64_t v = std::strtoll(it->second.c_str(), &end, 10);
+  return (end != nullptr && *end == '\0') ? v : def;
+}
+
+double FlagParser::GetDouble(const std::string& key, double def) const {
+  auto it = values_.find(key);
+  if (it == values_.end() || it->second.empty()) return def;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  return (end != nullptr && *end == '\0') ? v : def;
+}
+
+bool FlagParser::GetBool(const std::string& key, bool def) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  const std::string& v = it->second;
+  if (v.empty() || v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  return def;
+}
+
+std::vector<std::string> FlagParser::UnknownKeys(
+    const std::vector<std::string>& known) const {
+  std::vector<std::string> unknown;
+  for (const auto& [key, value] : values_) {
+    bool found = false;
+    for (const std::string& k : known) {
+      if (k == key) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) unknown.push_back(key);
+  }
+  return unknown;
+}
+
+}  // namespace treesim

@@ -1,0 +1,71 @@
+#ifndef TREESIM_UTIL_LOGGING_H_
+#define TREESIM_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace treesim {
+namespace internal_logging {
+
+/// Accumulates a fatal diagnostic; aborts the process when destroyed.
+/// Used only via the TREESIM_CHECK* macros below.
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* condition) {
+    stream_ << "CHECK failed at " << file << ":" << line << ": " << condition
+            << " ";
+  }
+
+  FatalMessage(const FatalMessage&) = delete;
+  FatalMessage& operator=(const FatalMessage&) = delete;
+
+  [[noreturn]] ~FatalMessage() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  FatalMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Gives the streamed message chain type `void` so it can sit in the branch
+/// of a ternary whose other arm is `void` (classic glog voidify trick;
+/// `&` binds more loosely than `<<`).
+class Voidify {
+ public:
+  void operator&(const FatalMessage&) {}
+};
+
+}  // namespace internal_logging
+}  // namespace treesim
+
+/// Aborts with a diagnostic when `condition` is false. Streams extra context:
+///   TREESIM_CHECK(i < n) << "i=" << i;
+#define TREESIM_CHECK(condition)                        \
+  (condition) ? static_cast<void>(0)                    \
+              : ::treesim::internal_logging::Voidify()& \
+                    ::treesim::internal_logging::FatalMessage( \
+                        __FILE__, __LINE__, #condition)
+
+#define TREESIM_CHECK_EQ(a, b) TREESIM_CHECK((a) == (b))
+#define TREESIM_CHECK_NE(a, b) TREESIM_CHECK((a) != (b))
+#define TREESIM_CHECK_LT(a, b) TREESIM_CHECK((a) < (b))
+#define TREESIM_CHECK_LE(a, b) TREESIM_CHECK((a) <= (b))
+#define TREESIM_CHECK_GT(a, b) TREESIM_CHECK((a) > (b))
+#define TREESIM_CHECK_GE(a, b) TREESIM_CHECK((a) >= (b))
+
+/// Debug-only check; the condition is not evaluated in release builds.
+#ifndef NDEBUG
+#define TREESIM_DCHECK(condition) TREESIM_CHECK(condition)
+#else
+#define TREESIM_DCHECK(condition) TREESIM_CHECK(true || (condition))
+#endif
+
+#endif  // TREESIM_UTIL_LOGGING_H_

@@ -1,0 +1,21 @@
+#include "util/random.h"
+
+#include <numeric>
+
+namespace treesim {
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  TREESIM_CHECK_LE(k, n);
+  // Partial Fisher–Yates: after i swaps the first i entries are a uniform
+  // sample without replacement.
+  std::vector<size_t> pool(n);
+  std::iota(pool.begin(), pool.end(), 0);
+  for (size_t i = 0; i < k; ++i) {
+    const size_t j = i + UniformIndex(n - i);
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(k);
+  return pool;
+}
+
+}  // namespace treesim

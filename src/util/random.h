@@ -1,0 +1,84 @@
+#ifndef TREESIM_UTIL_RANDOM_H_
+#define TREESIM_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace treesim {
+
+/// Deterministic pseudo-random source used by generators, benchmarks and
+/// property tests. All experiment binaries take an explicit seed so every
+/// reported number is reproducible. Not thread-safe.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  Rng(const Rng&) = delete;
+  Rng& operator=(const Rng&) = delete;
+  Rng(Rng&&) = default;
+  Rng& operator=(Rng&&) = default;
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int UniformInt(int lo, int hi) {
+    TREESIM_DCHECK(lo <= hi);
+    return std::uniform_int_distribution<int>(lo, hi)(engine_);
+  }
+
+  /// Uniform index in [0, n). Requires n > 0.
+  size_t UniformIndex(size_t n) {
+    TREESIM_DCHECK(n > 0);
+    return std::uniform_int_distribution<size_t>(0, n - 1)(engine_);
+  }
+
+  /// Uniform real in [0, 1).
+  double UniformReal() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// True with probability p (clamped to [0, 1]).
+  bool Bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Sample from N(mean, stddev).
+  double Normal(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Sample from N(mean, stddev), rounded to the nearest integer and clamped
+  /// to [lo, hi]. The paper's generator draws fanout and tree size this way.
+  int NormalInt(double mean, double stddev, int lo, int hi) {
+    TREESIM_DCHECK(lo <= hi);
+    const double x = Normal(mean, stddev);
+    const int r = static_cast<int>(x + (x >= 0 ? 0.5 : -0.5));
+    if (r < lo) return lo;
+    if (r > hi) return hi;
+    return r;
+  }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[UniformIndex(i)]);
+    }
+  }
+
+  /// Draws `k` distinct indices from [0, n) (k <= n), in random order.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+  /// Underlying engine, for std distributions not wrapped here.
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace treesim
+
+#endif  // TREESIM_UTIL_RANDOM_H_

@@ -1,0 +1,152 @@
+#ifndef TREESIM_UTIL_STATUS_H_
+#define TREESIM_UTIL_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "util/logging.h"
+
+namespace treesim {
+
+/// Error category for a failed operation. The library is exception-free;
+/// fallible operations return Status (or StatusOr<T>).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kOutOfRange = 3,
+  kFailedPrecondition = 4,
+  kUnimplemented = 5,
+  kInternal = 6,
+};
+
+/// Returns a stable human-readable name ("OK", "INVALID_ARGUMENT", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Value-type result of a fallible operation: a code plus, for errors, a
+/// diagnostic message. Cheap to copy in the OK case (empty message).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  /// Constructs a status with the given code and diagnostic message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "CODE: message".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Either a value of type T or an error Status. Dereferencing a non-OK
+/// StatusOr aborts the process (programming error), mirroring absl::StatusOr.
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from a value (implicit, like absl::StatusOr).
+  StatusOr(T value) : rep_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Constructs from an error status; `status.ok()` must be false.
+  StatusOr(Status status)  // NOLINT(runtime/explicit)
+      : rep_(std::move(status)) {
+    TREESIM_CHECK(!std::get<Status>(rep_).ok())
+        << "StatusOr constructed from OK status without a value";
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  /// Returns the error status, or OK when a value is held.
+  Status status() const {
+    return ok() ? Status::Ok() : std::get<Status>(rep_);
+  }
+
+  const T& value() const& {
+    TREESIM_CHECK(ok()) << "StatusOr::value() on error: "
+                        << std::get<Status>(rep_).ToString();
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    TREESIM_CHECK(ok()) << "StatusOr::value() on error: "
+                        << std::get<Status>(rep_).ToString();
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    TREESIM_CHECK(ok()) << "StatusOr::value() on error: "
+                        << std::get<Status>(rep_).ToString();
+    return std::get<T>(std::move(rep_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<Status, T> rep_;
+};
+
+/// Propagates an error Status out of the enclosing function.
+#define TREESIM_RETURN_IF_ERROR(expr)            \
+  do {                                           \
+    ::treesim::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+/// Assigns the value of a StatusOr expression to `lhs`, or propagates the
+/// error out of the enclosing function.
+#define TREESIM_ASSIGN_OR_RETURN(lhs, expr)      \
+  TREESIM_ASSIGN_OR_RETURN_IMPL_(                \
+      TREESIM_STATUS_CONCAT_(_status_or, __LINE__), lhs, expr)
+
+#define TREESIM_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                   \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).value()
+
+#define TREESIM_STATUS_CONCAT_(a, b) TREESIM_STATUS_CONCAT_IMPL_(a, b)
+#define TREESIM_STATUS_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace treesim
+
+#endif  // TREESIM_UTIL_STATUS_H_

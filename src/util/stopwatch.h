@@ -1,0 +1,37 @@
+#ifndef TREESIM_UTIL_STOPWATCH_H_
+#define TREESIM_UTIL_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace treesim {
+
+/// Monotonic wall-clock stopwatch used by the query engine and benchmarks.
+/// Starts running on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch from zero.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction/Reset, in seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time since construction/Reset, in microseconds.
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace treesim
+
+#endif  // TREESIM_UTIL_STOPWATCH_H_

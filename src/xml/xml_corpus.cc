@@ -1,0 +1,48 @@
+#include "xml/xml_corpus.h"
+
+#include <functional>
+#include <utility>
+
+#include "tree/forest_io.h"
+#include "util/logging.h"
+
+namespace treesim {
+
+std::vector<Tree> SplitChildren(const Tree& corpus) {
+  std::vector<Tree> records;
+  if (corpus.empty()) return records;
+  for (const NodeId record_root : corpus.Children(corpus.root())) {
+    TreeBuilder builder(corpus.label_dict());
+    std::function<void(NodeId, NodeId)> copy = [&](NodeId src,
+                                                   NodeId parent) {
+      const NodeId dst =
+          (parent == kInvalidNode)
+              ? builder.AddRootId(corpus.label(src))
+              : builder.AddChildId(parent, corpus.label(src));
+      for (NodeId c = corpus.first_child(src); c != kInvalidNode;
+           c = corpus.next_sibling(c)) {
+        copy(c, dst);
+      }
+    };
+    copy(record_root, kInvalidNode);
+    records.push_back(std::move(builder).Build());
+  }
+  return records;
+}
+
+StatusOr<std::vector<Tree>> ParseXmlCorpus(
+    std::string_view xml, std::shared_ptr<LabelDictionary> labels,
+    const XmlParseOptions& options) {
+  TREESIM_ASSIGN_OR_RETURN(const Tree corpus,
+                           ParseXml(xml, std::move(labels), options));
+  return SplitChildren(corpus);
+}
+
+StatusOr<std::vector<Tree>> LoadXmlCorpus(
+    const std::string& path, std::shared_ptr<LabelDictionary> labels,
+    const XmlParseOptions& options) {
+  TREESIM_ASSIGN_OR_RETURN(const std::string text, ReadFileToString(path));
+  return ParseXmlCorpus(text, std::move(labels), options);
+}
+
+}  // namespace treesim

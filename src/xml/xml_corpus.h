@@ -1,0 +1,37 @@
+#ifndef TREESIM_XML_XML_CORPUS_H_
+#define TREESIM_XML_XML_CORPUS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tree/tree.h"
+#include "util/status.h"
+#include "xml/xml_parser.h"
+
+namespace treesim {
+
+/// Splits a tree into the forest of its root's child subtrees — the shape
+/// of corpus documents like the real DBLP dump, where one <dblp> root wraps
+/// millions of record elements. Each child becomes an independent Tree
+/// sharing the source's label dictionary. The root's own label is dropped.
+std::vector<Tree> SplitChildren(const Tree& corpus);
+
+/// Parses an XML corpus document and returns one tree per record element
+/// (child of the document root). This is how the paper's DBLP experiment
+/// input would be loaded from the real dump:
+///
+///   auto records = ParseXmlCorpus(dblp_xml, labels);
+///   db->AddAll(std::move(*records));
+StatusOr<std::vector<Tree>> ParseXmlCorpus(
+    std::string_view xml, std::shared_ptr<LabelDictionary> labels,
+    const XmlParseOptions& options = {});
+
+/// Reads and parses an XML corpus file.
+StatusOr<std::vector<Tree>> LoadXmlCorpus(
+    const std::string& path, std::shared_ptr<LabelDictionary> labels,
+    const XmlParseOptions& options = {});
+
+}  // namespace treesim
+
+#endif  // TREESIM_XML_XML_CORPUS_H_

@@ -1,0 +1,386 @@
+#include "xml/xml_parser.h"
+
+#include <cctype>
+#include <utility>
+#include <vector>
+
+namespace treesim {
+namespace {
+
+bool IsNameStartChar(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+
+bool IsNameChar(char c) {
+  return IsNameStartChar(c) || std::isdigit(static_cast<unsigned char>(c)) ||
+         c == '-' || c == '.';
+}
+
+bool IsSpace(char c) { return std::isspace(static_cast<unsigned char>(c)); }
+
+std::string_view Trim(std::string_view s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && IsSpace(s[b])) ++b;
+  while (e > b && IsSpace(s[e - 1])) --e;
+  return s.substr(b, e - b);
+}
+
+/// Streaming parser; elements are pushed on an explicit stack, so document
+/// depth is bounded only by memory.
+class XmlParser {
+ public:
+  XmlParser(std::string_view text, std::shared_ptr<LabelDictionary> labels,
+            const XmlParseOptions& options)
+      : text_(text), options_(options), builder_(std::move(labels)) {}
+
+  StatusOr<Tree> Run() {
+    while (true) {
+      TREESIM_RETURN_IF_ERROR(SkipMisc());
+      if (AtEnd()) break;
+      if (Peek() != '<') {
+        TREESIM_RETURN_IF_ERROR(ConsumeText());
+        continue;
+      }
+      TREESIM_RETURN_IF_ERROR(ConsumeMarkup());
+      if (root_done_ && open_.empty()) break;
+    }
+    if (!open_.empty()) return Error("unclosed element");
+    if (!root_done_) return Error("no root element");
+    TREESIM_RETURN_IF_ERROR(SkipMisc());
+    if (!AtEnd()) return Error("content after the root element");
+    return std::move(builder_).Build();
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+  bool StartsWith(std::string_view s) const {
+    return text_.substr(pos_, s.size()) == s;
+  }
+
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument("XML error at offset " +
+                                   std::to_string(pos_) + ": " + what);
+  }
+
+  /// Skips whitespace and non-element markup allowed outside elements.
+  Status SkipMisc() {
+    while (!AtEnd()) {
+      if (IsSpace(Peek())) {
+        ++pos_;
+      } else if (StartsWith("<?")) {
+        TREESIM_RETURN_IF_ERROR(SkipUntil("?>"));
+      } else if (StartsWith("<!--")) {
+        TREESIM_RETURN_IF_ERROR(SkipUntil("-->"));
+      } else if (StartsWith("<!DOCTYPE")) {
+        TREESIM_RETURN_IF_ERROR(SkipDoctype());
+      } else if (!open_.empty()) {
+        break;  // inside the root, anything else is content/markup
+      } else if (Peek() == '<') {
+        break;  // root element start
+      } else {
+        return Error("unexpected character outside the root element");
+      }
+    }
+    return Status::Ok();
+  }
+
+  Status SkipUntil(std::string_view terminator) {
+    const size_t at = text_.find(terminator, pos_);
+    if (at == std::string_view::npos) {
+      return Error("unterminated '" + std::string(terminator) + "'");
+    }
+    pos_ = at + terminator.size();
+    return Status::Ok();
+  }
+
+  Status SkipDoctype() {
+    // DOCTYPE may contain an internal subset in [...]; track both nestings.
+    int angle = 0;
+    bool in_subset = false;
+    while (!AtEnd()) {
+      const char c = text_[pos_++];
+      if (c == '[') in_subset = true;
+      if (c == ']') in_subset = false;
+      if (c == '<') ++angle;
+      if (c == '>') {
+        --angle;
+        if (angle == 0 && !in_subset) return Status::Ok();
+      }
+    }
+    return Error("unterminated DOCTYPE");
+  }
+
+  Status ConsumeMarkup() {
+    if (StartsWith("<?")) return SkipUntil("?>");
+    if (StartsWith("<!--")) return SkipUntil("-->");
+    if (StartsWith("<![CDATA[")) return ConsumeCdata();
+    if (StartsWith("</")) return ConsumeCloseTag();
+    return ConsumeOpenTag();
+  }
+
+  Status ConsumeCdata() {
+    const size_t start = pos_ + 9;  // after "<![CDATA["
+    const size_t end = text_.find("]]>", start);
+    if (end == std::string_view::npos) return Error("unterminated CDATA");
+    text_buffer_.append(text_.substr(start, end - start));
+    pos_ = end + 3;
+    return Status::Ok();
+  }
+
+  Status ConsumeText() {
+    const size_t start = pos_;
+    while (!AtEnd() && Peek() != '<') ++pos_;
+    if (open_.empty()) {
+      if (!Trim(text_.substr(start, pos_ - start)).empty()) {
+        return Error("text outside the root element");
+      }
+      return Status::Ok();
+    }
+    TREESIM_ASSIGN_OR_RETURN(
+        const std::string decoded,
+        DecodeEntities(text_.substr(start, pos_ - start)));
+    text_buffer_.append(decoded);
+    return Status::Ok();
+  }
+
+  /// Emits the accumulated text (if any) as a leaf under the current
+  /// element, per options.
+  void FlushText() {
+    if (open_.empty()) {
+      text_buffer_.clear();
+      return;
+    }
+    const std::string_view trimmed = Trim(text_buffer_);
+    if (!trimmed.empty() &&
+        options_.text_mode == XmlParseOptions::TextMode::kAsLeaf) {
+      builder_.AddChild(open_.back(),
+                        trimmed.substr(0, options_.max_text_label_length));
+    }
+    text_buffer_.clear();
+  }
+
+  StatusOr<std::string> ParseName() {
+    if (AtEnd() || !IsNameStartChar(Peek())) return Error("expected a name");
+    const size_t start = pos_;
+    while (!AtEnd() && IsNameChar(Peek())) ++pos_;
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  void SkipWs() {
+    while (!AtEnd() && IsSpace(Peek())) ++pos_;
+  }
+
+  Status ConsumeOpenTag() {
+    FlushText();
+    ++pos_;  // '<'
+    TREESIM_ASSIGN_OR_RETURN(const std::string name, ParseName());
+    NodeId node;
+    if (open_.empty()) {
+      if (root_done_) return Error("multiple root elements");
+      node = builder_.AddRoot(name);
+      root_done_ = true;
+    } else {
+      node = builder_.AddChild(open_.back(), name);
+    }
+    // Attributes.
+    while (true) {
+      SkipWs();
+      if (AtEnd()) return Error("unterminated start tag");
+      if (Peek() == '>') {
+        ++pos_;
+        open_.push_back(node);
+        names_.push_back(name);
+        return Status::Ok();
+      }
+      if (StartsWith("/>")) {
+        pos_ += 2;
+        return Status::Ok();
+      }
+      TREESIM_ASSIGN_OR_RETURN(const std::string attr, ParseName());
+      SkipWs();
+      if (AtEnd() || Peek() != '=') return Error("expected '=' in attribute");
+      ++pos_;
+      SkipWs();
+      if (AtEnd() || (Peek() != '"' && Peek() != '\'')) {
+        return Error("expected a quoted attribute value");
+      }
+      const char quote = Peek();
+      ++pos_;
+      const size_t vstart = pos_;
+      while (!AtEnd() && Peek() != quote) ++pos_;
+      if (AtEnd()) return Error("unterminated attribute value");
+      TREESIM_ASSIGN_OR_RETURN(
+          const std::string value,
+          DecodeEntities(text_.substr(vstart, pos_ - vstart)));
+      ++pos_;  // closing quote
+      if (options_.include_attributes) {
+        const NodeId attr_node = builder_.AddChild(node, "@" + attr);
+        if (options_.text_mode == XmlParseOptions::TextMode::kAsLeaf &&
+            !value.empty()) {
+          builder_.AddChild(
+              attr_node,
+              std::string_view(value).substr(
+                  0, options_.max_text_label_length));
+        }
+      }
+    }
+  }
+
+  Status ConsumeCloseTag() {
+    FlushText();
+    pos_ += 2;  // "</"
+    TREESIM_ASSIGN_OR_RETURN(const std::string name, ParseName());
+    SkipWs();
+    if (AtEnd() || Peek() != '>') return Error("malformed end tag");
+    ++pos_;
+    if (open_.empty()) return Error("end tag without a matching start tag");
+    if (names_.back() != name) {
+      return Error("mismatched end tag </" + name + ">, expected </" +
+                   names_.back() + ">");
+    }
+    open_.pop_back();
+    names_.pop_back();
+    return Status::Ok();
+  }
+
+  StatusOr<std::string> DecodeEntities(std::string_view s) {
+    std::string out;
+    out.reserve(s.size());
+    for (size_t i = 0; i < s.size(); ++i) {
+      if (s[i] != '&') {
+        out.push_back(s[i]);
+        continue;
+      }
+      const size_t semi = s.find(';', i);
+      if (semi == std::string_view::npos) return Error("unterminated entity");
+      const std::string_view entity = s.substr(i + 1, semi - i - 1);
+      if (entity == "lt") {
+        out.push_back('<');
+      } else if (entity == "gt") {
+        out.push_back('>');
+      } else if (entity == "amp") {
+        out.push_back('&');
+      } else if (entity == "apos") {
+        out.push_back('\'');
+      } else if (entity == "quot") {
+        out.push_back('"');
+      } else if (!entity.empty() && entity[0] == '#') {
+        int code = 0;
+        const bool hex = entity.size() > 1 && (entity[1] == 'x' ||
+                                               entity[1] == 'X');
+        for (size_t j = hex ? 2 : 1; j < entity.size(); ++j) {
+          const char c = entity[j];
+          int digit;
+          if (c >= '0' && c <= '9') {
+            digit = c - '0';
+          } else if (hex && c >= 'a' && c <= 'f') {
+            digit = c - 'a' + 10;
+          } else if (hex && c >= 'A' && c <= 'F') {
+            digit = c - 'A' + 10;
+          } else {
+            return Error("bad character reference");
+          }
+          code = code * (hex ? 16 : 10) + digit;
+          if (code > 0x10FFFF) return Error("character reference too large");
+        }
+        // Encode as UTF-8.
+        if (code < 0x80) {
+          out.push_back(static_cast<char>(code));
+        } else if (code < 0x800) {
+          out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+          out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        } else if (code < 0x10000) {
+          out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+          out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+          out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        } else {
+          out.push_back(static_cast<char>(0xF0 | (code >> 18)));
+          out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+          out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+          out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        }
+      } else {
+        return Error("unknown entity &" + std::string(entity) + ";");
+      }
+      i = semi;
+    }
+    return out;
+  }
+
+  std::string_view text_;
+  XmlParseOptions options_;
+  TreeBuilder builder_;
+  size_t pos_ = 0;
+  std::vector<NodeId> open_;
+  std::vector<std::string> names_;
+  std::string text_buffer_;
+  bool root_done_ = false;
+};
+
+void EscapeInto(std::string_view s, std::string& out) {
+  for (const char c : s) {
+    switch (c) {
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '&':
+        out += "&amp;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+}
+
+}  // namespace
+
+StatusOr<Tree> ParseXml(std::string_view xml,
+                        std::shared_ptr<LabelDictionary> labels,
+                        const XmlParseOptions& options) {
+  if (labels == nullptr) {
+    return Status::InvalidArgument("label dictionary must not be null");
+  }
+  return XmlParser(xml, std::move(labels), options).Run();
+}
+
+std::string ToXml(const Tree& t) {
+  std::string out;
+  if (t.empty()) return out;
+  struct Frame {
+    NodeId node;
+    int depth;
+    bool closer;
+  };
+  std::vector<Frame> stack = {{t.root(), 0, false}};
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    out.append(static_cast<size_t>(2 * f.depth), ' ');
+    if (f.closer) {
+      out += "</";
+      EscapeInto(t.LabelName(f.node), out);
+      out += ">\n";
+      continue;
+    }
+    out.push_back('<');
+    EscapeInto(t.LabelName(f.node), out);
+    if (t.is_leaf(f.node)) {
+      out += "/>\n";
+      continue;
+    }
+    out += ">\n";
+    stack.push_back({f.node, f.depth, true});
+    std::vector<NodeId> children = t.Children(f.node);
+    for (auto it = children.rbegin(); it != children.rend(); ++it) {
+      stack.push_back({*it, f.depth + 1, false});
+    }
+  }
+  return out;
+}
+
+}  // namespace treesim

@@ -1,0 +1,49 @@
+#ifndef TREESIM_XML_XML_PARSER_H_
+#define TREESIM_XML_XML_PARSER_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "tree/tree.h"
+#include "util/status.h"
+
+namespace treesim {
+
+/// How XML constructs map onto ordered labeled tree nodes.
+struct XmlParseOptions {
+  enum class TextMode {
+    /// Text content is dropped; only the element structure remains.
+    kIgnore,
+    /// Non-whitespace text becomes a leaf child labeled with the (trimmed,
+    /// possibly truncated) text — the usual encoding when similarity should
+    /// reflect content as well as structure (e.g. the DBLP experiments).
+    kAsLeaf,
+  };
+
+  TextMode text_mode = TextMode::kAsLeaf;
+  /// When true, each attribute becomes a child labeled "@name" (with the
+  /// value as its own leaf child under kAsLeaf), ordered before element
+  /// children in attribute order.
+  bool include_attributes = false;
+  /// Text leaf labels are truncated to this many bytes.
+  size_t max_text_label_length = 64;
+};
+
+/// Parses one XML document (a useful subset: elements, attributes, text,
+/// CDATA, comments, processing instructions, DOCTYPE, the five predefined
+/// entities and numeric character references) into a Tree whose node labels
+/// are element names (and optionally attributes/text). Not a validating
+/// parser; namespaces are kept verbatim in names.
+StatusOr<Tree> ParseXml(std::string_view xml,
+                        std::shared_ptr<LabelDictionary> labels,
+                        const XmlParseOptions& options = {});
+
+/// Renders a tree as indented XML, treating every node label as an element
+/// name (labels that are not valid XML names are emitted inside the tag
+/// as-is; intended for demos and debugging, not round-tripping).
+std::string ToXml(const Tree& t);
+
+}  // namespace treesim
+
+#endif  // TREESIM_XML_XML_PARSER_H_

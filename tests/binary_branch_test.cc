@@ -1,0 +1,180 @@
+#include "core/binary_branch.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+#include "tree/traversal.h"
+
+namespace treesim {
+namespace {
+
+using testing::MakeLabelPool;
+using testing::MakeTree;
+using testing::RandomTree;
+
+// Collects branch-name -> count for readable assertions.
+std::map<std::string, int> BranchCounts(const Tree& t, BranchDictionary& dict) {
+  std::map<std::string, int> counts;
+  for (const BranchOccurrence& occ : ExtractBranches(t, dict)) {
+    ++counts[dict.Name(occ.branch, *t.label_dict())];
+  }
+  return counts;
+}
+
+TEST(BranchDictionaryTest, KeyLengthAndFactor) {
+  EXPECT_EQ(BranchDictionary(2).key_length(), 3);
+  EXPECT_EQ(BranchDictionary(3).key_length(), 7);
+  EXPECT_EQ(BranchDictionary(4).key_length(), 15);
+  EXPECT_EQ(BranchDictionary(2).edit_distance_factor(), 5);
+  EXPECT_EQ(BranchDictionary(3).edit_distance_factor(), 9);
+  EXPECT_EQ(BranchDictionary(4).edit_distance_factor(), 13);
+}
+
+TEST(BranchDictionaryTest, InternIsIdempotentAndDense) {
+  BranchDictionary dict(2);
+  const BranchKey k1 = {1, 2, 0};
+  const BranchKey k2 = {1, 0, 0};
+  EXPECT_EQ(dict.Intern(k1), 0u);
+  EXPECT_EQ(dict.Intern(k2), 1u);
+  EXPECT_EQ(dict.Intern(k1), 0u);
+  EXPECT_EQ(dict.size(), 2u);
+  EXPECT_EQ(dict.Key(1), k2);
+  ASSERT_TRUE(dict.Lookup(k1).has_value());
+  EXPECT_EQ(*dict.Lookup(k1), 0u);
+  EXPECT_FALSE(dict.Lookup({5, 5, 5}).has_value());
+}
+
+TEST(BranchDictionaryDeathTest, WrongKeyLengthAborts) {
+  BranchDictionary dict(2);
+  EXPECT_DEATH(dict.Intern({1, 2}), "");
+}
+
+TEST(BranchDictionaryDeathTest, QBelowTwoAborts) {
+  EXPECT_DEATH(BranchDictionary(1), "");
+}
+
+TEST(ExtractBranchesTest, PaperT1Vector) {
+  // Fig. 3(b): BRV(T1) over the lexicographic vocabulary
+  //   a(b,ε) b(c,b) b(c,c) b(c,e) b(e,ε) c(ε,d) d(ε,b) d(ε,e) d(ε,ε) e(ε,ε)
+  // is (1,1,0,1,0,2,0,0,2,1).
+  auto dict = std::make_shared<LabelDictionary>();
+  Tree t1 = MakeTree("a{b{c d} b{c d} e}", dict);
+  BranchDictionary branches(2);
+  const std::map<std::string, int> counts = BranchCounts(t1, branches);
+  const std::map<std::string, int> expected = {
+      {"a(b,\xCE\xB5)", 1}, {"b(c,b)", 1},          {"b(c,e)", 1},
+      {"c(\xCE\xB5,d)", 2}, {"d(\xCE\xB5,\xCE\xB5)", 2},
+      {"e(\xCE\xB5,\xCE\xB5)", 1},
+  };
+  EXPECT_EQ(counts, expected);
+}
+
+TEST(ExtractBranchesTest, PaperT2Vector) {
+  // Fig. 3(b): BRV(T2) = (1,0,1,0,1,2,1,1,0,2) over the same vocabulary.
+  auto dict = std::make_shared<LabelDictionary>();
+  Tree t2 = MakeTree("a{b{c d b{e}} c d e}", dict);
+  BranchDictionary branches(2);
+  const std::map<std::string, int> counts = BranchCounts(t2, branches);
+  const std::map<std::string, int> expected = {
+      {"a(b,\xCE\xB5)", 1}, {"b(c,c)", 1},          {"b(e,\xCE\xB5)", 1},
+      {"c(\xCE\xB5,d)", 2}, {"d(\xCE\xB5,b)", 1},   {"d(\xCE\xB5,e)", 1},
+      {"e(\xCE\xB5,\xCE\xB5)", 2},
+  };
+  EXPECT_EQ(counts, expected);
+}
+
+TEST(ExtractBranchesTest, OneBranchPerNodeWithPositions) {
+  auto dict = std::make_shared<LabelDictionary>();
+  Tree t = MakeTree("a{b{c d} b{c d} e}", dict);
+  BranchDictionary branches(2);
+  const std::vector<BranchOccurrence> occ = ExtractBranches(t, branches);
+  ASSERT_EQ(static_cast<int>(occ.size()), t.size());
+  // Extraction follows preorder: positions are 1..n in order.
+  for (size_t i = 0; i < occ.size(); ++i) {
+    EXPECT_EQ(occ[i].pre, static_cast<int>(i) + 1);
+    EXPECT_GE(occ[i].post, 1);
+    EXPECT_LE(occ[i].post, t.size());
+  }
+}
+
+TEST(ExtractBranchesTest, SingleNodeTree) {
+  auto dict = std::make_shared<LabelDictionary>();
+  Tree t = MakeTree("a", dict);
+  BranchDictionary branches(2);
+  const std::vector<BranchOccurrence> occ = ExtractBranches(t, branches);
+  ASSERT_EQ(occ.size(), 1u);
+  EXPECT_EQ(branches.Name(occ[0].branch, *dict),
+            "a(\xCE\xB5,\xCE\xB5)");
+  EXPECT_EQ(occ[0].pre, 1);
+  EXPECT_EQ(occ[0].post, 1);
+}
+
+TEST(ExtractBranchesTest, ThreeLevelBranchOfChain) {
+  // For q=3 the branch rooted at a covers two levels of B(T) below it.
+  // T = a{b{c}}: B(T): a.left=b, b.left=c; all rights are ε.
+  auto dict = std::make_shared<LabelDictionary>();
+  Tree t = MakeTree("a{b{c}}", dict);
+  BranchDictionary branches(3);
+  const std::vector<BranchOccurrence> occ = ExtractBranches(t, branches);
+  ASSERT_EQ(occ.size(), 3u);
+  EXPECT_EQ(branches.Name(occ[0].branch, *dict),
+            "a(b(c,\xCE\xB5),\xCE\xB5(\xCE\xB5,\xCE\xB5))");
+  EXPECT_EQ(branches.Name(occ[1].branch, *dict),
+            "b(c(\xCE\xB5,\xCE\xB5),\xCE\xB5(\xCE\xB5,\xCE\xB5))");
+}
+
+TEST(ExtractBranchesTest, SharedDictionaryAcrossTrees) {
+  auto labels = std::make_shared<LabelDictionary>();
+  Tree t1 = MakeTree("a{b}", labels);
+  Tree t2 = MakeTree("a{b}", labels);
+  BranchDictionary branches(2);
+  const auto occ1 = ExtractBranches(t1, branches);
+  const auto occ2 = ExtractBranches(t2, branches);
+  EXPECT_EQ(occ1[0].branch, occ2[0].branch);
+  EXPECT_EQ(occ1[1].branch, occ2[1].branch);
+  EXPECT_EQ(branches.size(), 2u);  // a(b,ε), b(ε,ε)
+}
+
+TEST(ExtractBranchesTest, LemmaThreeOne_NodeAppearsInAtMostTwoBranches) {
+  // Lemma 3.1: each node of T occurs in at most two binary branches of
+  // B(T): once as a root, at most once as a child. Equivalently, the total
+  // number of (branch slot != ε) fillings equals <= 2 per node; we verify by
+  // counting non-ε slots across all extracted q=2 keys: each node
+  // contributes its own root slot, and appears as left child of its parent
+  // XOR as right child of its previous sibling (or in no other branch).
+  auto dict = std::make_shared<LabelDictionary>();
+  const std::vector<LabelId> pool = MakeLabelPool(dict, 3);
+  Rng rng(79);
+  for (int trial = 0; trial < 20; ++trial) {
+    Tree t = RandomTree(rng.UniformInt(1, 50), pool, dict, rng);
+    BranchDictionary branches(2);
+    int non_epsilon_slots = 0;
+    for (const BranchOccurrence& occ : ExtractBranches(t, branches)) {
+      for (const LabelId l : branches.Key(occ.branch)) {
+        if (l != kEpsilonLabel) ++non_epsilon_slots;
+      }
+    }
+    // Root slot per node (n) + every node except the root is someone's left
+    // or right child exactly once (n - 1).
+    EXPECT_EQ(non_epsilon_slots, 2 * t.size() - 1);
+  }
+}
+
+TEST(ExtractBranchesTest, QLevelBranchCountEqualsTreeSizeForAllQ) {
+  auto dict = std::make_shared<LabelDictionary>();
+  const std::vector<LabelId> pool = MakeLabelPool(dict, 3);
+  Rng rng(83);
+  Tree t = RandomTree(40, pool, dict, rng);
+  for (int q = 2; q <= 5; ++q) {
+    BranchDictionary branches(q);
+    EXPECT_EQ(static_cast<int>(ExtractBranches(t, branches).size()),
+              t.size());
+  }
+}
+
+}  // namespace
+}  // namespace treesim

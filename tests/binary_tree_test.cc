@@ -1,0 +1,113 @@
+#include "core/binary_tree.h"
+
+#include <memory>
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+#include "tree/traversal.h"
+
+namespace treesim {
+namespace {
+
+using testing::MakeLabelPool;
+using testing::MakeTree;
+using testing::RandomTree;
+using BNode = NormalizedBinaryTree::BNode;
+
+std::string LabelOf(const NormalizedBinaryTree& b, const LabelDictionary& d,
+                    NormalizedBinaryTree::BNodeId n) {
+  return std::string(d.Name(b.nodes()[static_cast<size_t>(n)].label));
+}
+
+TEST(NormalizedBinaryTreeTest, SingleNode) {
+  Tree t = MakeTree("a");
+  const NormalizedBinaryTree b = NormalizedBinaryTree::FromTree(t);
+  EXPECT_EQ(b.original_count(), 1);
+  EXPECT_EQ(b.epsilon_count(), 2);  // both children padded
+  const BNode& root = b.nodes()[0];
+  EXPECT_TRUE(b.is_epsilon(root.left));
+  EXPECT_TRUE(b.is_epsilon(root.right));
+}
+
+TEST(NormalizedBinaryTreeTest, EveryOriginalNodeHasTwoChildren) {
+  auto dict = std::make_shared<LabelDictionary>();
+  const std::vector<LabelId> pool = MakeLabelPool(dict, 3);
+  Rng rng(71);
+  for (int trial = 0; trial < 20; ++trial) {
+    Tree t = RandomTree(rng.UniformInt(1, 60), pool, dict, rng);
+    const NormalizedBinaryTree b = NormalizedBinaryTree::FromTree(t);
+    EXPECT_EQ(b.original_count(), t.size());
+    EXPECT_EQ(b.epsilon_count(), t.size() + 1);
+    for (const BNode& n : b.nodes()) {
+      if (n.original != kInvalidNode) {
+        EXPECT_NE(n.left, NormalizedBinaryTree::kNoChild);
+        EXPECT_NE(n.right, NormalizedBinaryTree::kNoChild);
+      } else {
+        EXPECT_EQ(n.label, kEpsilonLabel);
+        EXPECT_EQ(n.left, NormalizedBinaryTree::kNoChild);
+        EXPECT_EQ(n.right, NormalizedBinaryTree::kNoChild);
+      }
+    }
+  }
+}
+
+TEST(NormalizedBinaryTreeTest, MatchesPaperFig2ForT1) {
+  // T1 = a{b{c d} b{c d} e}; Fig. 2 shows B(T1):
+  //   a.left = b, a.right = ε; b.left = c, b.right = b';
+  //   c.left = ε, c.right = d; ...; b'.right = e.
+  auto dict = std::make_shared<LabelDictionary>();
+  Tree t = MakeTree("a{b{c d} b{c d} e}", dict);
+  const NormalizedBinaryTree b = NormalizedBinaryTree::FromTree(t);
+  const auto& nodes = b.nodes();
+
+  const auto root = b.root();
+  EXPECT_EQ(LabelOf(b, *dict, root), "a");
+  EXPECT_TRUE(b.is_epsilon(nodes[static_cast<size_t>(root)].right));
+
+  const auto b1 = nodes[static_cast<size_t>(root)].left;
+  EXPECT_EQ(LabelOf(b, *dict, b1), "b");
+  const auto c1 = nodes[static_cast<size_t>(b1)].left;
+  const auto b2 = nodes[static_cast<size_t>(b1)].right;
+  EXPECT_EQ(LabelOf(b, *dict, c1), "c");
+  EXPECT_EQ(LabelOf(b, *dict, b2), "b");
+
+  EXPECT_TRUE(b.is_epsilon(nodes[static_cast<size_t>(c1)].left));
+  const auto d1 = nodes[static_cast<size_t>(c1)].right;
+  EXPECT_EQ(LabelOf(b, *dict, d1), "d");
+  EXPECT_TRUE(b.is_epsilon(nodes[static_cast<size_t>(d1)].left));
+  EXPECT_TRUE(b.is_epsilon(nodes[static_cast<size_t>(d1)].right));
+
+  const auto e = nodes[static_cast<size_t>(b2)].right;
+  EXPECT_EQ(LabelOf(b, *dict, e), "e");
+  EXPECT_TRUE(b.is_epsilon(nodes[static_cast<size_t>(e)].left));
+  EXPECT_TRUE(b.is_epsilon(nodes[static_cast<size_t>(e)].right));
+}
+
+TEST(NormalizedBinaryTreeTest, LeftChildIsFirstChildRightIsSibling) {
+  auto dict = std::make_shared<LabelDictionary>();
+  const std::vector<LabelId> pool = MakeLabelPool(dict, 4);
+  Rng rng(73);
+  Tree t = RandomTree(40, pool, dict, rng);
+  const NormalizedBinaryTree b = NormalizedBinaryTree::FromTree(t);
+  for (const BNode& n : b.nodes()) {
+    if (n.original == kInvalidNode) continue;
+    const BNode& left = b.nodes()[static_cast<size_t>(n.left)];
+    const BNode& right = b.nodes()[static_cast<size_t>(n.right)];
+    EXPECT_EQ(left.original, t.first_child(n.original));
+    EXPECT_EQ(right.original, t.next_sibling(n.original));
+    EXPECT_EQ(n.label, t.label(n.original));
+  }
+}
+
+TEST(NormalizedBinaryTreeTest, ToStringRendersStructure) {
+  auto dict = std::make_shared<LabelDictionary>();
+  Tree t = MakeTree("a{b}", dict);
+  const std::string s = NormalizedBinaryTree::FromTree(t).ToString(*dict);
+  // Root a, left child b, epsilons elsewhere.
+  EXPECT_NE(s.find("* a"), std::string::npos);
+  EXPECT_NE(s.find("L b"), std::string::npos);
+  EXPECT_NE(s.find("R \xCE\xB5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace treesim

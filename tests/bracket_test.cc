@@ -1,0 +1,125 @@
+#include "tree/bracket.h"
+
+#include <memory>
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace treesim {
+namespace {
+
+using testing::MakeLabelPool;
+using testing::MakeTree;
+using testing::RandomTree;
+
+TEST(BracketParseTest, SingleNode) {
+  Tree t = MakeTree("hello");
+  EXPECT_EQ(t.size(), 1);
+  EXPECT_EQ(t.LabelName(t.root()), "hello");
+}
+
+TEST(BracketParseTest, NestedChildren) {
+  Tree t = MakeTree("a{b{c d} e}");
+  EXPECT_EQ(t.size(), 5);
+  EXPECT_EQ(t.LabelName(t.root()), "a");
+  const std::vector<NodeId> kids = t.Children(t.root());
+  ASSERT_EQ(kids.size(), 2u);
+  EXPECT_EQ(t.LabelName(kids[0]), "b");
+  EXPECT_EQ(t.LabelName(kids[1]), "e");
+  EXPECT_EQ(t.Degree(kids[0]), 2);
+}
+
+TEST(BracketParseTest, WhitespaceInsensitive) {
+  auto dict = std::make_shared<LabelDictionary>();
+  Tree a = MakeTree("a{b{c d} e}", dict);
+  Tree b = MakeTree("  a {\n b { c\td }\n e }  ", dict);
+  EXPECT_TRUE(a.StructurallyEquals(b));
+}
+
+TEST(BracketParseTest, QuotedLabels) {
+  Tree t = MakeTree("'a label'{'with {braces}' 'and \\'quotes\\''}");
+  EXPECT_EQ(t.LabelName(t.root()), "a label");
+  const std::vector<NodeId> kids = t.Children(t.root());
+  ASSERT_EQ(kids.size(), 2u);
+  EXPECT_EQ(t.LabelName(kids[0]), "with {braces}");
+  EXPECT_EQ(t.LabelName(kids[1]), "and 'quotes'");
+}
+
+TEST(BracketParseTest, EmptyChildListIsLeaf) {
+  Tree t = MakeTree("a{}");
+  EXPECT_EQ(t.size(), 1);
+  EXPECT_TRUE(t.is_leaf(t.root()));
+}
+
+TEST(BracketParseTest, ErrorOnEmptyInput) {
+  auto dict = std::make_shared<LabelDictionary>();
+  EXPECT_FALSE(ParseBracket("", dict).ok());
+  EXPECT_FALSE(ParseBracket("   ", dict).ok());
+}
+
+TEST(BracketParseTest, ErrorOnUnbalancedBraces) {
+  auto dict = std::make_shared<LabelDictionary>();
+  EXPECT_FALSE(ParseBracket("a{b", dict).ok());
+  EXPECT_FALSE(ParseBracket("a{b}}", dict).ok());
+  EXPECT_FALSE(ParseBracket("a}b", dict).ok());
+}
+
+TEST(BracketParseTest, ErrorOnTrailingGarbage) {
+  auto dict = std::make_shared<LabelDictionary>();
+  EXPECT_FALSE(ParseBracket("a b", dict).ok());  // two roots
+  EXPECT_FALSE(ParseBracket("a{b} c", dict).ok());
+}
+
+TEST(BracketParseTest, ErrorOnUnterminatedQuote) {
+  auto dict = std::make_shared<LabelDictionary>();
+  EXPECT_FALSE(ParseBracket("'abc", dict).ok());
+  EXPECT_FALSE(ParseBracket("''", dict).ok());  // empty label
+}
+
+TEST(BracketParseTest, ErrorOnNullDictionary) {
+  EXPECT_FALSE(ParseBracket("a", nullptr).ok());
+}
+
+TEST(BracketWriteTest, CanonicalForm) {
+  Tree t = MakeTree("a{b{c d} e}");
+  EXPECT_EQ(ToBracket(t), "a{b{c d} e}");
+}
+
+TEST(BracketWriteTest, QuotesWhenNeeded) {
+  auto dict = std::make_shared<LabelDictionary>();
+  TreeBuilder b(dict);
+  const NodeId root = b.AddRoot("has space");
+  b.AddChild(root, "ok");
+  Tree t = std::move(b).Build();
+  EXPECT_EQ(ToBracket(t), "'has space'{ok}");
+}
+
+TEST(BracketWriteTest, EmptyTree) {
+  Tree t;
+  EXPECT_EQ(ToBracket(t), "");
+}
+
+TEST(BracketRoundTripTest, RandomTrees) {
+  auto dict = std::make_shared<LabelDictionary>();
+  const std::vector<LabelId> pool = MakeLabelPool(dict, 5);
+  Rng rng(23);
+  for (int trial = 0; trial < 50; ++trial) {
+    Tree t = RandomTree(rng.UniformInt(1, 80), pool, dict, rng);
+    Tree back = MakeTree(ToBracket(t), dict);
+    EXPECT_TRUE(t.StructurallyEquals(back)) << ToBracket(t);
+  }
+}
+
+TEST(BracketRoundTripTest, AwkwardLabels) {
+  auto dict = std::make_shared<LabelDictionary>();
+  TreeBuilder b(dict);
+  const NodeId root = b.AddRoot("a'b\\c");
+  b.AddChild(root, "{x}");
+  b.AddChild(root, " ");
+  Tree t = std::move(b).Build();
+  Tree back = MakeTree(ToBracket(t), dict);
+  EXPECT_TRUE(t.StructurallyEquals(back)) << ToBracket(t);
+}
+
+}  // namespace
+}  // namespace treesim

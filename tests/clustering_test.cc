@@ -1,0 +1,147 @@
+#include "search/clustering.h"
+
+#include <memory>
+#include <set>
+
+#include "gtest/gtest.h"
+#include "datagen/synthetic_generator.h"
+#include "test_util.h"
+
+namespace treesim {
+namespace {
+
+using testing::MakeTree;
+
+/// Three well-separated families: different sizes and disjoint label pools.
+std::unique_ptr<TreeDatabase> ThreeClusterDb(
+    const std::shared_ptr<LabelDictionary>& dict, int per_cluster,
+    uint64_t seed) {
+  auto db = std::make_unique<TreeDatabase>(dict);
+  for (int family = 0; family < 3; ++family) {
+    SyntheticParams params;
+    params.size_mean = 10 + 12 * family;
+    params.size_stddev = 1;
+    params.label_count = 4;
+    params.seed_count = 1;
+    params.decay = 0.04;
+    // Distinct label namespaces per family via distinct generators sharing
+    // the dictionary but different label prefixes are not supported, so
+    // separate by size; sizes 10/22/34 are far apart under edit distance.
+    SyntheticGenerator gen(params, dict, seed + static_cast<uint64_t>(family));
+    for (Tree& t : gen.GenerateDataset(per_cluster)) db->Add(std::move(t));
+  }
+  return db;
+}
+
+TEST(KMedoidsTest, RecoversWellSeparatedClusters) {
+  auto dict = std::make_shared<LabelDictionary>();
+  auto db = ThreeClusterDb(dict, 12, 31);
+  KMedoidsOptions options;
+  options.k = 3;
+  Rng rng(17);
+  const ClusteringResult r = KMedoids(*db, options, rng);
+
+  ASSERT_EQ(r.medoids.size(), 3u);
+  ASSERT_EQ(static_cast<int>(r.assignment.size()), db->size());
+  // Every tree of a generated family must share its cluster with its own
+  // family (families occupy id ranges [0,12), [12,24), [24,36)).
+  for (int family = 0; family < 3; ++family) {
+    const int representative = r.assignment[static_cast<size_t>(family * 12)];
+    for (int i = family * 12; i < (family + 1) * 12; ++i) {
+      EXPECT_EQ(r.assignment[static_cast<size_t>(i)], representative)
+          << "tree " << i;
+    }
+  }
+  // And the three families land in three distinct clusters.
+  std::set<int> distinct = {r.assignment[0], r.assignment[12],
+                            r.assignment[24]};
+  EXPECT_EQ(distinct.size(), 3u);
+}
+
+TEST(KMedoidsTest, FilteredAndUnfilteredAgree) {
+  auto dict = std::make_shared<LabelDictionary>();
+  auto db = ThreeClusterDb(dict, 8, 37);
+  KMedoidsOptions with_filter;
+  with_filter.k = 3;
+  with_filter.use_filter = true;
+  KMedoidsOptions without_filter = with_filter;
+  without_filter.use_filter = false;
+
+  Rng rng1(99);
+  Rng rng2(99);
+  const ClusteringResult a = KMedoids(*db, with_filter, rng1);
+  const ClusteringResult b = KMedoids(*db, without_filter, rng2);
+  EXPECT_EQ(a.medoids, b.medoids);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_EQ(a.total_cost, b.total_cost);
+  // The filter must actually prune something on separated clusters.
+  EXPECT_GT(a.pruned_by_filter, 0);
+  EXPECT_LE(a.edit_distance_calls, b.edit_distance_calls);
+}
+
+TEST(KMedoidsTest, MedoidsBelongToTheirClusters) {
+  auto dict = std::make_shared<LabelDictionary>();
+  auto db = ThreeClusterDb(dict, 10, 41);
+  KMedoidsOptions options;
+  options.k = 4;
+  Rng rng(5);
+  const ClusteringResult r = KMedoids(*db, options, rng);
+  for (size_t c = 0; c < r.medoids.size(); ++c) {
+    const int medoid = r.medoids[c];
+    EXPECT_EQ(r.assignment[static_cast<size_t>(medoid)], static_cast<int>(c))
+        << "medoid of cluster " << c << " assigned elsewhere";
+  }
+}
+
+TEST(KMedoidsTest, KEqualsOne) {
+  auto dict = std::make_shared<LabelDictionary>();
+  auto db = ThreeClusterDb(dict, 5, 43);
+  KMedoidsOptions options;
+  options.k = 1;
+  Rng rng(7);
+  const ClusteringResult r = KMedoids(*db, options, rng);
+  ASSERT_EQ(r.medoids.size(), 1u);
+  for (const int a : r.assignment) EXPECT_EQ(a, 0);
+  EXPECT_GT(r.total_cost, 0);
+}
+
+TEST(KMedoidsTest, KEqualsDatabaseSize) {
+  auto dict = std::make_shared<LabelDictionary>();
+  auto db = std::make_unique<TreeDatabase>(dict);
+  db->Add(MakeTree("a", dict));
+  db->Add(MakeTree("b{c}", dict));
+  db->Add(MakeTree("d{e f}", dict));
+  KMedoidsOptions options;
+  options.k = 3;
+  Rng rng(11);
+  const ClusteringResult r = KMedoids(*db, options, rng);
+  EXPECT_EQ(r.total_cost, 0);  // every tree is its own medoid
+  std::set<int> medoids(r.medoids.begin(), r.medoids.end());
+  EXPECT_EQ(medoids.size(), 3u);
+}
+
+TEST(KMedoidsTest, DeterministicGivenSeed) {
+  auto dict = std::make_shared<LabelDictionary>();
+  auto db = ThreeClusterDb(dict, 8, 47);
+  KMedoidsOptions options;
+  options.k = 3;
+  Rng rng1(123);
+  Rng rng2(123);
+  const ClusteringResult a = KMedoids(*db, options, rng1);
+  const ClusteringResult b = KMedoids(*db, options, rng2);
+  EXPECT_EQ(a.medoids, b.medoids);
+  EXPECT_EQ(a.assignment, b.assignment);
+}
+
+TEST(KMedoidsDeathTest, InvalidK) {
+  auto dict = std::make_shared<LabelDictionary>();
+  auto db = std::make_unique<TreeDatabase>(dict);
+  db->Add(MakeTree("a", dict));
+  KMedoidsOptions options;
+  options.k = 2;  // > database size
+  Rng rng(1);
+  EXPECT_DEATH((void)KMedoids(*db, options, rng), "");
+}
+
+}  // namespace
+}  // namespace treesim

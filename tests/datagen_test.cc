@@ -1,0 +1,224 @@
+#include <memory>
+#include <set>
+
+#include "gtest/gtest.h"
+#include "datagen/dblp_generator.h"
+#include "datagen/synthetic_generator.h"
+#include "search/tree_database.h"
+#include "ted/zhang_shasha.h"
+#include "test_util.h"
+#include "tree/traversal.h"
+
+namespace treesim {
+namespace {
+
+TEST(SyntheticParamsTest, ToStringMatchesPaperNotation) {
+  SyntheticParams p;
+  p.fanout_mean = 4;
+  p.fanout_stddev = 0.5;
+  p.size_mean = 50;
+  p.size_stddev = 2;
+  p.label_count = 8;
+  p.decay = 0.05;
+  EXPECT_EQ(p.ToString(), "N{4,0.5}N{50,2}L8D0.05");
+}
+
+TEST(SyntheticGeneratorTest, SeedTreesRespectSizeDistribution) {
+  auto dict = std::make_shared<LabelDictionary>();
+  SyntheticParams p;
+  p.size_mean = 50;
+  p.size_stddev = 2;
+  SyntheticGenerator gen(p, dict, 11);
+  double total = 0;
+  for (int i = 0; i < 100; ++i) {
+    Tree t = gen.GenerateSeedTree();
+    EXPECT_GE(t.size(), 40);
+    EXPECT_LE(t.size(), 60);
+    total += t.size();
+  }
+  EXPECT_NEAR(total / 100.0, 50.0, 2.0);
+}
+
+TEST(SyntheticGeneratorTest, FanoutTracksMean) {
+  auto dict = std::make_shared<LabelDictionary>();
+  SyntheticParams p;
+  p.fanout_mean = 4;
+  p.fanout_stddev = 0.5;
+  p.size_mean = 100;
+  SyntheticGenerator gen(p, dict, 13);
+  int64_t internal = 0;
+  int64_t children = 0;
+  for (int i = 0; i < 30; ++i) {
+    Tree t = gen.GenerateSeedTree();
+    for (NodeId n = 0; n < t.size(); ++n) {
+      const int d = t.Degree(n);
+      if (d > 0) {
+        ++internal;
+        children += d;
+      }
+    }
+  }
+  // Internal nodes have ~4 children (the frontier truncation can clip the
+  // last node's brood, so allow slack).
+  EXPECT_NEAR(static_cast<double>(children) / static_cast<double>(internal),
+              4.0, 0.5);
+}
+
+TEST(SyntheticGeneratorTest, UsesExactlyTheLabelUniverse) {
+  auto dict = std::make_shared<LabelDictionary>();
+  SyntheticParams p;
+  p.label_count = 8;
+  SyntheticGenerator gen(p, dict, 17);
+  std::set<std::string> seen;
+  for (int i = 0; i < 20; ++i) {
+    Tree t = gen.GenerateSeedTree();
+    for (NodeId n = 0; n < t.size(); ++n) {
+      seen.insert(std::string(t.LabelName(n)));
+    }
+  }
+  EXPECT_LE(seen.size(), 8u);
+  EXPECT_GE(seen.size(), 6u);  // overwhelmingly likely all 8 appear
+}
+
+TEST(SyntheticGeneratorTest, DeterministicGivenSeed) {
+  auto d1 = std::make_shared<LabelDictionary>();
+  auto d2 = std::make_shared<LabelDictionary>();
+  SyntheticParams p;
+  SyntheticGenerator g1(p, d1, 99);
+  SyntheticGenerator g2(p, d2, 99);
+  const std::vector<Tree> a = g1.GenerateDataset(10);
+  const std::vector<Tree> b = g2.GenerateDataset(10);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(a[i].StructurallyEquals(b[i])) << i;
+  }
+}
+
+TEST(SyntheticGeneratorTest, DatasetEvolutionKeepsTreesClose) {
+  auto dict = std::make_shared<LabelDictionary>();
+  SyntheticParams p;
+  p.size_mean = 30;
+  p.decay = 0.05;
+  p.seed_count = 1;
+  SyntheticGenerator gen(p, dict, 23);
+  const std::vector<Tree> data = gen.GenerateDataset(20);
+  ASSERT_EQ(data.size(), 20u);
+  // With one seed and 5% decay, consecutive derivations stay within a small
+  // edit distance of some earlier tree; spot-check overall cohesion.
+  int64_t total = 0;
+  int pairs = 0;
+  for (size_t i = 1; i < data.size(); i += 3) {
+    total += TreeEditDistance(data[0], data[i]);
+    ++pairs;
+  }
+  EXPECT_LT(static_cast<double>(total) / pairs, 25.0);
+}
+
+TEST(SyntheticGeneratorTest, MutateAppliesBinomialEdits) {
+  auto dict = std::make_shared<LabelDictionary>();
+  SyntheticParams p;
+  p.size_mean = 40;
+  p.decay = 0.1;
+  SyntheticGenerator gen(p, dict, 29);
+  Tree seed = gen.GenerateSeedTree();
+  int changed = 0;
+  for (int i = 0; i < 30; ++i) {
+    Tree m = gen.Mutate(seed);
+    const int d = TreeEditDistance(seed, m);
+    EXPECT_LE(d, 20);  // far below size: mutation is light
+    if (d > 0) ++changed;
+  }
+  EXPECT_GT(changed, 20);  // at ~4 expected ops, rarely a no-op
+}
+
+TEST(DblpGeneratorTest, ShapeMatchesPaperStatistics) {
+  auto dict = std::make_shared<LabelDictionary>();
+  DblpGenerator gen(DblpParams{}, dict, 41);
+  const std::vector<Tree> data = gen.Generate(500);
+  double total_size = 0;
+  double total_depth = 0;
+  for (const Tree& t : data) {
+    total_size += t.size();
+    total_depth += TreeHeight(t);
+    EXPECT_LE(TreeHeight(t), 3);  // shallow and bushy
+    EXPECT_GE(t.size(), 6);       // the smallest type is the www stub
+  }
+  // Paper: avg 10.15 nodes, avg depth 2.902 on its DBLP sample.
+  EXPECT_NEAR(total_size / 500.0, 10.15, 1.5);
+  EXPECT_NEAR(total_depth / 500.0, 2.9, 0.15);
+}
+
+TEST(DblpGeneratorTest, RecordsAreWellFormedBibEntries) {
+  auto dict = std::make_shared<LabelDictionary>();
+  DblpGenerator gen(DblpParams{}, dict, 43);
+  std::set<std::string> types_seen;
+  for (int i = 0; i < 200; ++i) {
+    Tree t = gen.Next();
+    const std::string root(t.LabelName(t.root()));
+    types_seen.insert(root);
+    int authors = 0;
+    int editors = 0;
+    bool has_title = false;
+    bool has_year = false;
+    bool has_venue = false;
+    bool has_url = false;
+    for (const NodeId c : t.Children(t.root())) {
+      const std::string f(t.LabelName(c));
+      if (f == "author") ++authors;
+      if (f == "editor") ++editors;
+      if (f == "title") has_title = true;
+      if (f == "year") has_year = true;
+      if (f == "journal" || f == "booktitle") has_venue = true;
+      if (f == "url") has_url = true;
+      if (f == "journal") {
+        EXPECT_EQ(root, "article");
+      }
+      if (f == "booktitle") {
+        EXPECT_EQ(root, "inproceedings");
+      }
+      if (f == "editor") {
+        EXPECT_EQ(root, "proceedings");
+      }
+    }
+    EXPECT_TRUE(has_title);
+    if (root == "article" || root == "inproceedings") {
+      EXPECT_GE(authors, 1);
+      EXPECT_LE(authors, 4);
+      EXPECT_TRUE(has_year);
+      EXPECT_TRUE(has_venue);
+    } else if (root == "www") {
+      EXPECT_EQ(authors, 1);
+      EXPECT_TRUE(has_url);
+    } else if (root == "proceedings") {
+      EXPECT_EQ(editors, 2);
+      EXPECT_TRUE(has_year);
+    } else {
+      ADD_FAILURE() << "unexpected record type " << root;
+    }
+  }
+  // All four record types appear in a 200-record sample.
+  EXPECT_EQ(types_seen.size(), 4u);
+}
+
+TEST(DblpGeneratorTest, AveragePairwiseDistanceNearPaper) {
+  auto dict = std::make_shared<LabelDictionary>();
+  DblpGenerator gen(DblpParams{}, dict, 47);
+  TreeDatabase db(dict);
+  for (Tree& t : gen.Generate(200)) db.Add(std::move(t));
+  Rng rng(49);
+  // Paper: average distance 5.031 among its DBLP records.
+  EXPECT_NEAR(db.EstimateAverageDistance(rng, 400), 5.0, 1.5);
+}
+
+TEST(DblpGeneratorTest, DeterministicGivenSeed) {
+  auto d1 = std::make_shared<LabelDictionary>();
+  auto d2 = std::make_shared<LabelDictionary>();
+  DblpGenerator g1(DblpParams{}, d1, 53);
+  DblpGenerator g2(DblpParams{}, d2, 53);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(g1.Next().StructurallyEquals(g2.Next()));
+  }
+}
+
+}  // namespace
+}  // namespace treesim

@@ -1,0 +1,157 @@
+#include "ted/edit_mapping.h"
+
+#include <memory>
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+#include "ted/zhang_shasha.h"
+#include "tree/bracket.h"
+#include "tree/traversal.h"
+
+namespace treesim {
+namespace {
+
+using testing::MakeLabelPool;
+using testing::MakeTree;
+using testing::RandomTree;
+
+TEST(EditMappingTest, IdenticalTreesMapEverything) {
+  auto dict = std::make_shared<LabelDictionary>();
+  Tree a = MakeTree("a{b{c d} e}", dict);
+  Tree b = MakeTree("a{b{c d} e}", dict);
+  const EditMapping m = ComputeEditMapping(a, b);
+  EXPECT_EQ(m.cost, 0);
+  EXPECT_EQ(static_cast<int>(m.pairs.size()), a.size());
+  EXPECT_EQ(m.relabels, 0);
+  EXPECT_EQ(m.deletions, 0);
+  EXPECT_EQ(m.insertions, 0);
+  EXPECT_EQ(ValidateEditMapping(a, b, m), "");
+}
+
+TEST(EditMappingTest, SingleRelabel) {
+  auto dict = std::make_shared<LabelDictionary>();
+  Tree a = MakeTree("a{b c}", dict);
+  Tree b = MakeTree("a{x c}", dict);
+  const EditMapping m = ComputeEditMapping(a, b);
+  EXPECT_EQ(m.cost, 1);
+  EXPECT_EQ(m.relabels, 1);
+  EXPECT_EQ(m.deletions, 0);
+  EXPECT_EQ(m.insertions, 0);
+  EXPECT_EQ(ValidateEditMapping(a, b, m), "");
+}
+
+TEST(EditMappingTest, PureDeletion) {
+  auto dict = std::make_shared<LabelDictionary>();
+  Tree a = MakeTree("a{b{c d} e}", dict);
+  Tree b = MakeTree("a{c d e}", dict);  // b deleted
+  const EditMapping m = ComputeEditMapping(a, b);
+  EXPECT_EQ(m.cost, 1);
+  EXPECT_EQ(m.relabels, 0);
+  EXPECT_EQ(m.deletions, 1);
+  EXPECT_EQ(m.insertions, 0);
+  EXPECT_EQ(ValidateEditMapping(a, b, m), "");
+}
+
+TEST(EditMappingTest, PaperExamplePair) {
+  auto dict = std::make_shared<LabelDictionary>();
+  Tree a = MakeTree("a{b{c d} b{c d} e}", dict);
+  Tree b = MakeTree("a{b{c d b{e}} c d e}", dict);
+  const EditMapping m = ComputeEditMapping(a, b);
+  EXPECT_EQ(m.cost, TreeEditDistance(a, b));
+  EXPECT_EQ(m.cost, 3);
+  EXPECT_EQ(ValidateEditMapping(a, b, m), "");
+}
+
+TEST(EditMappingTest, CostAlwaysMatchesDistanceOnRandomPairs) {
+  auto dict = std::make_shared<LabelDictionary>();
+  const std::vector<LabelId> pool = MakeLabelPool(dict, 3);
+  Rng rng(601);
+  for (int trial = 0; trial < 120; ++trial) {
+    Tree a = RandomTree(rng.UniformInt(1, 28), pool, dict, rng);
+    Tree b = RandomTree(rng.UniformInt(1, 28), pool, dict, rng);
+    const EditMapping m = ComputeEditMapping(a, b);
+    EXPECT_EQ(m.cost, TreeEditDistance(a, b))
+        << ToBracket(a) << " vs " << ToBracket(b);
+    EXPECT_EQ(ValidateEditMapping(a, b, m), "")
+        << ToBracket(a) << " vs " << ToBracket(b);
+  }
+}
+
+TEST(EditMappingTest, SingleLabelStructuralPairs) {
+  auto dict = std::make_shared<LabelDictionary>();
+  const std::vector<LabelId> pool = MakeLabelPool(dict, 1);
+  Rng rng(607);
+  for (int trial = 0; trial < 60; ++trial) {
+    Tree a = RandomTree(rng.UniformInt(1, 15), pool, dict, rng);
+    Tree b = RandomTree(rng.UniformInt(1, 15), pool, dict, rng);
+    const EditMapping m = ComputeEditMapping(a, b);
+    EXPECT_EQ(m.cost, TreeEditDistance(a, b));
+    EXPECT_EQ(ValidateEditMapping(a, b, m), "");
+    EXPECT_EQ(m.relabels, 0);  // only one label exists
+  }
+}
+
+TEST(EditMappingTest, Proposition41_PositionDisplacementBoundedByDistance) {
+  // The direct statement of Proposition 4.1: in an optimal mapping, a T1
+  // node can only map to a T2 node whose preorder and postorder positions
+  // differ by at most EDist.
+  auto dict = std::make_shared<LabelDictionary>();
+  const std::vector<LabelId> pool = MakeLabelPool(dict, 4);
+  Rng rng(613);
+  for (int trial = 0; trial < 80; ++trial) {
+    Tree a = RandomTree(rng.UniformInt(1, 30), pool, dict, rng);
+    Tree b = RandomTree(rng.UniformInt(1, 30), pool, dict, rng);
+    const EditMapping m = ComputeEditMapping(a, b);
+    const TraversalPositions pa = ComputePositions(a);
+    const TraversalPositions pb = ComputePositions(b);
+    for (const auto& [u, v] : m.pairs) {
+      EXPECT_LE(std::abs(pa.pre[static_cast<size_t>(u)] -
+                         pb.pre[static_cast<size_t>(v)]),
+                m.cost)
+          << ToBracket(a) << " vs " << ToBracket(b);
+      EXPECT_LE(std::abs(pa.post[static_cast<size_t>(u)] -
+                         pb.post[static_cast<size_t>(v)]),
+                m.cost)
+          << ToBracket(a) << " vs " << ToBracket(b);
+    }
+  }
+}
+
+TEST(EditMappingTest, MappedPairsSortedByT1Postorder) {
+  auto dict = std::make_shared<LabelDictionary>();
+  const std::vector<LabelId> pool = MakeLabelPool(dict, 3);
+  Rng rng(617);
+  Tree a = RandomTree(25, pool, dict, rng);
+  Tree b = RandomTree(25, pool, dict, rng);
+  const EditMapping m = ComputeEditMapping(a, b);
+  const TraversalPositions pa = ComputePositions(a);
+  for (size_t i = 1; i < m.pairs.size(); ++i) {
+    EXPECT_LT(pa.post[static_cast<size_t>(m.pairs[i - 1].first)],
+              pa.post[static_cast<size_t>(m.pairs[i].first)]);
+  }
+}
+
+TEST(EditMappingValidateTest, DetectsBrokenMappings) {
+  auto dict = std::make_shared<LabelDictionary>();
+  Tree a = MakeTree("a{b c}", dict);
+  Tree b = MakeTree("a{b c}", dict);
+  EditMapping m = ComputeEditMapping(a, b);
+  ASSERT_EQ(ValidateEditMapping(a, b, m), "");
+
+  EditMapping twice = m;
+  twice.pairs.push_back(twice.pairs[0]);
+  EXPECT_NE(ValidateEditMapping(a, b, twice), "");
+
+  EditMapping bad_cost = m;
+  bad_cost.cost += 1;
+  EXPECT_NE(ValidateEditMapping(a, b, bad_cost), "");
+
+  // Swap two T2 targets: breaks order preservation.
+  EditMapping swapped = m;
+  ASSERT_GE(swapped.pairs.size(), 2u);
+  std::swap(swapped.pairs[0].second, swapped.pairs[1].second);
+  EXPECT_NE(ValidateEditMapping(a, b, swapped), "");
+}
+
+}  // namespace
+}  // namespace treesim

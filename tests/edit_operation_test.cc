@@ -1,0 +1,194 @@
+#include "ted/edit_operation.h"
+
+#include <memory>
+
+#include "gtest/gtest.h"
+#include "datagen/edit_noise.h"
+#include "ted/zhang_shasha.h"
+#include "test_util.h"
+#include "tree/bracket.h"
+#include "tree/traversal.h"
+
+namespace treesim {
+namespace {
+
+using testing::MakeLabelPool;
+using testing::MakeTree;
+using testing::RandomTree;
+
+// Finds the node at 1-based preorder position `pos`.
+NodeId AtPreorder(const Tree& t, int pos) {
+  return PreorderSequence(t)[static_cast<size_t>(pos - 1)];
+}
+
+TEST(EditOperationTest, RelabelChangesOneLabel) {
+  auto dict = std::make_shared<LabelDictionary>();
+  Tree t = MakeTree("a{b{c} d}", dict);
+  const LabelId x = dict->Intern("x");
+  StatusOr<Tree> r =
+      ApplyEditOperation(t, EditOperation::MakeRelabel(AtPreorder(t, 2), x));
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(ToBracket(*r), "a{x{c} d}");
+  EXPECT_EQ(r->size(), t.size());
+}
+
+TEST(EditOperationTest, DeleteSplicesChildrenInPlace) {
+  auto dict = std::make_shared<LabelDictionary>();
+  // Paper Section 3.1: deleting the second b of T1 hands its children (c, d)
+  // to a, between the first b and e.
+  Tree t = MakeTree("a{b{c d} b{c d} e}", dict);
+  StatusOr<Tree> r =
+      ApplyEditOperation(t, EditOperation::MakeDelete(AtPreorder(t, 5)));
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(ToBracket(*r), "a{b{c d} c d e}");
+}
+
+TEST(EditOperationTest, DeleteLeaf) {
+  auto dict = std::make_shared<LabelDictionary>();
+  Tree t = MakeTree("a{b c d}", dict);
+  StatusOr<Tree> r =
+      ApplyEditOperation(t, EditOperation::MakeDelete(AtPreorder(t, 3)));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(ToBracket(*r), "a{b d}");
+}
+
+TEST(EditOperationTest, DeleteRootRejected) {
+  auto dict = std::make_shared<LabelDictionary>();
+  Tree t = MakeTree("a{b}", dict);
+  StatusOr<Tree> r = ApplyEditOperation(t, EditOperation::MakeDelete(t.root()));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EditOperationTest, InsertLeafAtPosition) {
+  auto dict = std::make_shared<LabelDictionary>();
+  Tree t = MakeTree("a{b c}", dict);
+  const LabelId x = dict->Intern("x");
+  // Insert before c, adopting nothing.
+  StatusOr<Tree> r = ApplyEditOperation(
+      t, EditOperation::MakeInsert(t.root(), x, /*child_begin=*/1,
+                                   /*child_count=*/0));
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(ToBracket(*r), "a{b x c}");
+}
+
+TEST(EditOperationTest, InsertAppendsAtEnd) {
+  auto dict = std::make_shared<LabelDictionary>();
+  Tree t = MakeTree("a{b c}", dict);
+  const LabelId x = dict->Intern("x");
+  StatusOr<Tree> r = ApplyEditOperation(
+      t, EditOperation::MakeInsert(t.root(), x, 2, 0));
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(ToBracket(*r), "a{b c x}");
+}
+
+TEST(EditOperationTest, InsertAdoptingConsecutiveChildren) {
+  auto dict = std::make_shared<LabelDictionary>();
+  Tree t = MakeTree("a{b c d e}", dict);
+  const LabelId x = dict->Intern("x");
+  // Adopt c, d (positions 1, 2).
+  StatusOr<Tree> r = ApplyEditOperation(
+      t, EditOperation::MakeInsert(t.root(), x, 1, 2));
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(ToBracket(*r), "a{b x{c d} e}");
+}
+
+TEST(EditOperationTest, InsertAdoptingAllChildren) {
+  auto dict = std::make_shared<LabelDictionary>();
+  Tree t = MakeTree("a{b c}", dict);
+  const LabelId x = dict->Intern("x");
+  StatusOr<Tree> r = ApplyEditOperation(
+      t, EditOperation::MakeInsert(t.root(), x, 0, 2));
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(ToBracket(*r), "a{x{b c}}");
+}
+
+TEST(EditOperationTest, InsertUnderLeaf) {
+  auto dict = std::make_shared<LabelDictionary>();
+  Tree t = MakeTree("a{b}", dict);
+  const LabelId x = dict->Intern("x");
+  StatusOr<Tree> r = ApplyEditOperation(
+      t, EditOperation::MakeInsert(AtPreorder(t, 2), x, 0, 0));
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(ToBracket(*r), "a{b{x}}");
+}
+
+TEST(EditOperationTest, InsertBadRangeRejected) {
+  auto dict = std::make_shared<LabelDictionary>();
+  Tree t = MakeTree("a{b c}", dict);
+  const LabelId x = dict->Intern("x");
+  EXPECT_FALSE(
+      ApplyEditOperation(t, EditOperation::MakeInsert(t.root(), x, 1, 2))
+          .ok());
+  EXPECT_FALSE(
+      ApplyEditOperation(t, EditOperation::MakeInsert(t.root(), x, 3, 0))
+          .ok());
+  EXPECT_FALSE(
+      ApplyEditOperation(t, EditOperation::MakeInsert(t.root(), x, -1, 0))
+          .ok());
+}
+
+TEST(EditOperationTest, OutOfRangeNodeRejected) {
+  auto dict = std::make_shared<LabelDictionary>();
+  Tree t = MakeTree("a{b}", dict);
+  EXPECT_FALSE(ApplyEditOperation(t, EditOperation::MakeDelete(99)).ok());
+  EXPECT_FALSE(
+      ApplyEditOperation(t, EditOperation::MakeRelabel(-1, 1)).ok());
+}
+
+TEST(EditOperationTest, DeleteThenInsertInverts) {
+  auto dict = std::make_shared<LabelDictionary>();
+  Tree t = MakeTree("a{b x{c d} e}", dict);
+  StatusOr<Tree> del =
+      ApplyEditOperation(t, EditOperation::MakeDelete(AtPreorder(t, 3)));
+  ASSERT_TRUE(del.ok());
+  EXPECT_EQ(ToBracket(*del), "a{b c d e}");
+  const LabelId x = *dict->Lookup("x");
+  StatusOr<Tree> back = ApplyEditOperation(
+      *del, EditOperation::MakeInsert(del->root(), x, 1, 2));
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->StructurallyEquals(t));
+}
+
+TEST(EditScriptTest, AppliesInOrder) {
+  auto dict = std::make_shared<LabelDictionary>();
+  Tree t = MakeTree("a{b}", dict);
+  const LabelId x = dict->Intern("x");
+  const LabelId y = dict->Intern("y");
+  // Script addresses nodes of successive trees: after the insert, preorder
+  // ids shift.
+  std::vector<EditOperation> script = {
+      EditOperation::MakeInsert(t.root(), x, 0, 1),  // a{x{b}}
+      EditOperation::MakeRelabel(0, y),              // root relabel: y{x{b}}
+  };
+  StatusOr<Tree> r = ApplyEditScript(t, script);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(ToBracket(*r), "y{x{b}}");
+}
+
+TEST(EditScriptTest, ScriptLengthBoundsEditDistance) {
+  auto dict = std::make_shared<LabelDictionary>();
+  const std::vector<LabelId> pool = MakeLabelPool(dict, 4);
+  Rng rng(67);
+  for (int trial = 0; trial < 60; ++trial) {
+    Tree t = RandomTree(rng.UniformInt(2, 30), pool, dict, rng);
+    const int k = rng.UniformInt(0, 6);
+    const NoisyTree noisy = ApplyRandomEdits(t, k, pool, rng);
+    ASSERT_EQ(static_cast<int>(noisy.script.size()), k);
+    EXPECT_LE(TreeEditDistance(t, noisy.tree), k)
+        << ToBracket(t) << " -> " << ToBracket(noisy.tree);
+  }
+}
+
+TEST(EditOperationTest, ToStringFormats) {
+  auto dict = std::make_shared<LabelDictionary>();
+  const LabelId x = dict->Intern("x");
+  EXPECT_EQ(ToString(EditOperation::MakeRelabel(3, x), *dict),
+            "relabel(3 -> 'x')");
+  EXPECT_EQ(ToString(EditOperation::MakeDelete(2), *dict), "delete(2)");
+  EXPECT_EQ(ToString(EditOperation::MakeInsert(0, x, 1, 2), *dict),
+            "insert('x' under 0 adopting [1, 3))");
+}
+
+}  // namespace
+}  // namespace treesim

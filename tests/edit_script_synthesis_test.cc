@@ -1,0 +1,178 @@
+#include "ted/edit_script_synthesis.h"
+
+#include <memory>
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+#include "ted/zhang_shasha.h"
+#include "tree/bracket.h"
+#include "tree/traversal.h"
+
+namespace treesim {
+namespace {
+
+using testing::MakeLabelPool;
+using testing::MakeTree;
+using testing::RandomTree;
+
+/// Replays the script and checks it reproduces t2 with |script| == cost.
+void ExpectScriptTransforms(const Tree& t1, const Tree& t2) {
+  const EditMapping mapping = ComputeEditMapping(t1, t2);
+  StatusOr<std::vector<EditOperation>> script =
+      SynthesizeEditScript(t1, t2, mapping);
+  if (!script.ok() &&
+      script.status().code() == StatusCode::kUnimplemented) {
+    return;  // root-replacement mapping: documented limitation
+  }
+  ASSERT_TRUE(script.ok()) << script.status() << "  " << ToBracket(t1)
+                           << " -> " << ToBracket(t2);
+  EXPECT_EQ(static_cast<int>(script->size()), mapping.cost);
+  StatusOr<Tree> result = ApplyEditScript(t1, *script);
+  ASSERT_TRUE(result.ok()) << result.status() << "  " << ToBracket(t1)
+                           << " -> " << ToBracket(t2);
+  EXPECT_TRUE(result->StructurallyEquals(t2))
+      << ToBracket(t1) << " -> " << ToBracket(*result) << " wanted "
+      << ToBracket(t2);
+}
+
+TEST(EditScriptSynthesisTest, IdenticalTreesGiveEmptyScript) {
+  auto dict = std::make_shared<LabelDictionary>();
+  Tree t = MakeTree("a{b{c} d}", dict);
+  StatusOr<std::vector<EditOperation>> script = ComputeEditScript(t, t);
+  ASSERT_TRUE(script.ok());
+  EXPECT_TRUE(script->empty());
+}
+
+TEST(EditScriptSynthesisTest, PureRelabels) {
+  auto dict = std::make_shared<LabelDictionary>();
+  ExpectScriptTransforms(MakeTree("a{b c}", dict), MakeTree("x{b z}", dict));
+}
+
+TEST(EditScriptSynthesisTest, PureDeletions) {
+  auto dict = std::make_shared<LabelDictionary>();
+  ExpectScriptTransforms(MakeTree("a{b{c d} e{f}}", dict),
+                         MakeTree("a{c d e}", dict));
+}
+
+TEST(EditScriptSynthesisTest, PureInsertions) {
+  auto dict = std::make_shared<LabelDictionary>();
+  ExpectScriptTransforms(MakeTree("a{c d e}", dict),
+                         MakeTree("a{b{c d} e{f}}", dict));
+}
+
+TEST(EditScriptSynthesisTest, PaperExamplePair) {
+  auto dict = std::make_shared<LabelDictionary>();
+  Tree t1 = MakeTree("a{b{c d} b{c d} e}", dict);
+  Tree t2 = MakeTree("a{b{c d b{e}} c d e}", dict);
+  const EditMapping m = ComputeEditMapping(t1, t2);
+  StatusOr<std::vector<EditOperation>> script =
+      SynthesizeEditScript(t1, t2, m);
+  ASSERT_TRUE(script.ok()) << script.status();
+  EXPECT_EQ(script->size(), 3u);  // EDist(T1, T2) = 3
+  StatusOr<Tree> replayed = ApplyEditScript(t1, *script);
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_TRUE(replayed->StructurallyEquals(t2));
+}
+
+TEST(EditScriptSynthesisTest, RandomPairsRoundTrip) {
+  auto dict = std::make_shared<LabelDictionary>();
+  const std::vector<LabelId> pool = MakeLabelPool(dict, 3);
+  Rng rng(1401);
+  int synthesized = 0;
+  for (int trial = 0; trial < 120; ++trial) {
+    Tree a = RandomTree(rng.UniformInt(1, 20), pool, dict, rng);
+    Tree b = RandomTree(rng.UniformInt(1, 20), pool, dict, rng);
+    const EditMapping mapping = ComputeEditMapping(a, b);
+    StatusOr<std::vector<EditOperation>> script =
+        SynthesizeEditScript(a, b, mapping);
+    if (!script.ok()) {
+      EXPECT_EQ(script.status().code(), StatusCode::kUnimplemented)
+          << script.status();
+      continue;
+    }
+    ++synthesized;
+    EXPECT_EQ(static_cast<int>(script->size()), mapping.cost);
+    StatusOr<Tree> result = ApplyEditScript(a, *script);
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_TRUE(result->StructurallyEquals(b))
+        << ToBracket(a) << " -> " << ToBracket(b);
+  }
+  EXPECT_GT(synthesized, 60);  // root-replacement mappings are the minority
+}
+
+TEST(EditScriptSynthesisTest, SingleLabelStructuralPairs) {
+  auto dict = std::make_shared<LabelDictionary>();
+  const std::vector<LabelId> pool = MakeLabelPool(dict, 1);
+  Rng rng(1409);
+  for (int trial = 0; trial < 60; ++trial) {
+    Tree a = RandomTree(rng.UniformInt(1, 14), pool, dict, rng);
+    Tree b = RandomTree(rng.UniformInt(1, 14), pool, dict, rng);
+    ExpectScriptTransforms(a, b);
+  }
+}
+
+TEST(EditScriptSynthesisTest, ScriptLengthEqualsEditDistance) {
+  // Where synthesis succeeds, it constructively proves EDist(T1,T2) ops
+  // suffice: |script| == mapping cost == exact distance.
+  auto dict = std::make_shared<LabelDictionary>();
+  const std::vector<LabelId> pool = MakeLabelPool(dict, 4);
+  Rng rng(1423);
+  for (int trial = 0; trial < 40; ++trial) {
+    Tree a = RandomTree(rng.UniformInt(1, 18), pool, dict, rng);
+    Tree b = RandomTree(rng.UniformInt(1, 18), pool, dict, rng);
+    StatusOr<std::vector<EditOperation>> script = ComputeEditScript(a, b);
+    if (!script.ok()) continue;
+    EXPECT_EQ(static_cast<int>(script->size()), TreeEditDistance(a, b));
+  }
+}
+
+TEST(EditScriptSynthesisTest, RejectsInvalidMapping) {
+  auto dict = std::make_shared<LabelDictionary>();
+  Tree a = MakeTree("a{b c}", dict);
+  Tree b = MakeTree("a{b c}", dict);
+  EditMapping broken = ComputeEditMapping(a, b);
+  ASSERT_GE(broken.pairs.size(), 2u);
+  std::swap(broken.pairs[0].second, broken.pairs[1].second);
+  StatusOr<std::vector<EditOperation>> script =
+      SynthesizeEditScript(a, b, broken);
+  ASSERT_FALSE(script.ok());
+  EXPECT_EQ(script.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EditScriptSynthesisTest, RejectsEmptyTrees) {
+  auto dict = std::make_shared<LabelDictionary>();
+  Tree t = MakeTree("a", dict);
+  Tree empty;
+  EXPECT_FALSE(SynthesizeEditScript(empty, t, EditMapping{}).ok());
+}
+
+TEST(EditScriptSynthesisTest, ApplyEditOperationNumbersNodesInPreorder) {
+  // The guarantee the synthesizer's addressing relies on.
+  auto dict = std::make_shared<LabelDictionary>();
+  const std::vector<LabelId> pool = MakeLabelPool(dict, 3);
+  Rng rng(1427);
+  for (int trial = 0; trial < 30; ++trial) {
+    // Build a BFS-ordered tree (ids deliberately not preorder).
+    TreeBuilder builder(dict);
+    const NodeId root = builder.AddRootId(pool[0]);
+    builder.AddChildId(root, pool[1]);
+    const NodeId second = builder.AddChildId(root, pool[2]);
+    builder.AddChildId(1, pool[0]);  // child of first child: id 3 > sibling 2
+    builder.AddChildId(second, pool[1]);
+    Tree t = std::move(builder).Build();
+    const LabelId x = pool[rng.UniformIndex(pool.size())];
+    StatusOr<Tree> edited = ApplyEditOperation(
+        t, EditOperation::MakeRelabel(
+               static_cast<NodeId>(rng.UniformIndex(
+                   static_cast<size_t>(t.size()))),
+               x));
+    ASSERT_TRUE(edited.ok());
+    const std::vector<NodeId> pre = PreorderSequence(*edited);
+    for (size_t i = 0; i < pre.size(); ++i) {
+      EXPECT_EQ(pre[i], static_cast<NodeId>(i));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace treesim

@@ -1,0 +1,104 @@
+#include "tree/forest_io.h"
+
+#include <cstdio>
+#include <memory>
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+#include "tree/bracket.h"
+
+namespace treesim {
+namespace {
+
+using testing::MakeLabelPool;
+using testing::MakeTree;
+using testing::RandomTree;
+
+TEST(ForestIoTest, StringRoundTrip) {
+  auto dict = std::make_shared<LabelDictionary>();
+  std::vector<Tree> forest = {MakeTree("a{b c}", dict),
+                              MakeTree("x{'two words'}", dict),
+                              MakeTree("single", dict)};
+  const std::string text = ForestToString(forest);
+  auto dict2 = std::make_shared<LabelDictionary>();
+  StatusOr<std::vector<Tree>> back = ForestFromString(text, dict2);
+  ASSERT_TRUE(back.ok()) << back.status();
+  ASSERT_EQ(back->size(), forest.size());
+  for (size_t i = 0; i < forest.size(); ++i) {
+    EXPECT_EQ(ToBracket((*back)[i]), ToBracket(forest[i]));
+  }
+}
+
+TEST(ForestIoTest, CommentsAndBlankLinesIgnored) {
+  auto dict = std::make_shared<LabelDictionary>();
+  StatusOr<std::vector<Tree>> forest = ForestFromString(
+      "# header\n\n  a{b}\n\t\n# trailing comment\nc\n", dict);
+  ASSERT_TRUE(forest.ok()) << forest.status();
+  ASSERT_EQ(forest->size(), 2u);
+  EXPECT_EQ(ToBracket((*forest)[0]), "a{b}");
+  EXPECT_EQ(ToBracket((*forest)[1]), "c");
+}
+
+TEST(ForestIoTest, WindowsLineEndings) {
+  auto dict = std::make_shared<LabelDictionary>();
+  StatusOr<std::vector<Tree>> forest =
+      ForestFromString("a{b}\r\nc\r\n", dict);
+  ASSERT_TRUE(forest.ok()) << forest.status();
+  EXPECT_EQ(forest->size(), 2u);
+}
+
+TEST(ForestIoTest, ParseErrorReportsLineNumber) {
+  auto dict = std::make_shared<LabelDictionary>();
+  StatusOr<std::vector<Tree>> forest =
+      ForestFromString("a{b}\nbroken{\n", dict);
+  ASSERT_FALSE(forest.ok());
+  EXPECT_NE(forest.status().message().find("line 2"), std::string::npos)
+      << forest.status();
+}
+
+TEST(ForestIoTest, EmptyInputYieldsEmptyForest) {
+  auto dict = std::make_shared<LabelDictionary>();
+  StatusOr<std::vector<Tree>> forest = ForestFromString("", dict);
+  ASSERT_TRUE(forest.ok());
+  EXPECT_TRUE(forest->empty());
+}
+
+TEST(ForestIoTest, NullDictionaryRejected) {
+  EXPECT_FALSE(ForestFromString("a", nullptr).ok());
+}
+
+TEST(ForestIoTest, FileRoundTrip) {
+  auto dict = std::make_shared<LabelDictionary>();
+  const std::vector<LabelId> pool = MakeLabelPool(dict, 4);
+  Rng rng(901);
+  std::vector<Tree> forest;
+  for (int i = 0; i < 25; ++i) {
+    forest.push_back(RandomTree(rng.UniformInt(1, 30), pool, dict, rng));
+  }
+  const std::string path =
+      ::testing::TempDir() + "/treesim_forest_io_test.trees";
+  ASSERT_TRUE(SaveForest(forest, path).ok());
+  auto dict2 = std::make_shared<LabelDictionary>();
+  StatusOr<std::vector<Tree>> back = LoadForest(path, dict2);
+  ASSERT_TRUE(back.ok()) << back.status();
+  ASSERT_EQ(back->size(), forest.size());
+  for (size_t i = 0; i < forest.size(); ++i) {
+    EXPECT_EQ(ToBracket((*back)[i]), ToBracket(forest[i]));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ForestIoTest, MissingFileFails) {
+  auto dict = std::make_shared<LabelDictionary>();
+  StatusOr<std::vector<Tree>> forest =
+      LoadForest("/nonexistent/path/x.trees", dict);
+  ASSERT_FALSE(forest.ok());
+  EXPECT_EQ(forest.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ForestIoTest, WriteToBadPathFails) {
+  EXPECT_FALSE(WriteStringToFile("x", "/nonexistent/dir/file").ok());
+}
+
+}  // namespace
+}  // namespace treesim

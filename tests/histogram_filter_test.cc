@@ -1,0 +1,127 @@
+#include "filters/histogram_filter.h"
+
+#include <memory>
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+#include "ted/zhang_shasha.h"
+
+namespace treesim {
+namespace {
+
+using testing::MakeLabelPool;
+using testing::MakeTree;
+using testing::RandomTree;
+
+TEST(SparseHistogramL1Test, BasicMergeCases) {
+  using H = std::vector<std::pair<int, int>>;
+  EXPECT_EQ(SparseHistogramL1(H{}, H{}), 0);
+  EXPECT_EQ(SparseHistogramL1(H{{1, 3}}, H{}), 3);
+  EXPECT_EQ(SparseHistogramL1(H{{1, 3}}, H{{1, 1}}), 2);
+  EXPECT_EQ(SparseHistogramL1(H{{1, 3}, {5, 2}}, H{{2, 1}, {5, 2}}), 4);
+  EXPECT_EQ(SparseHistogramL1(H{{1, 1}, {2, 1}}, H{{1, 1}, {2, 1}}), 0);
+}
+
+TEST(HistogramFilterTest, FeatureExtraction) {
+  HistogramFilter filter;
+  auto dict = std::make_shared<LabelDictionary>();
+  Tree t = MakeTree("a{b{c d} e}", dict);
+  const HistogramFilter::Features f = filter.ExtractFeatures(t);
+  EXPECT_EQ(f.size, 5);
+  EXPECT_EQ(f.height, 3);
+  EXPECT_EQ(f.leaves, 3);
+  // Degrees: a->2, b->2, c/d/e->0.
+  EXPECT_EQ(f.degree_hist,
+            (std::vector<std::pair<int, int>>{{0, 3}, {2, 2}}));
+  // Labels: one of each of a..e (ids 1..5).
+  EXPECT_EQ(f.label_hist.size(), 5u);
+  for (const auto& [bucket, count] : f.label_hist) EXPECT_EQ(count, 1);
+}
+
+TEST(HistogramFilterTest, IdenticalTreesBoundZero) {
+  HistogramFilter filter;
+  auto dict = std::make_shared<LabelDictionary>();
+  Tree t = MakeTree("a{b{c d} e}", dict);
+  EXPECT_EQ(filter.Bound(filter.ExtractFeatures(t),
+                         filter.ExtractFeatures(t)),
+            0);
+}
+
+TEST(HistogramFilterTest, LabelBoundHalvesL1) {
+  HistogramFilter::Options o;
+  o.use_degree = false;
+  o.use_scalars = false;
+  HistogramFilter filter(o);
+  auto dict = std::make_shared<LabelDictionary>();
+  Tree a = MakeTree("a{b c}", dict);
+  Tree b = MakeTree("a{x y}", dict);  // label L1 = 4
+  EXPECT_EQ(filter.Bound(filter.ExtractFeatures(a),
+                         filter.ExtractFeatures(b)),
+            2);
+}
+
+TEST(HistogramFilterTest, DegreeBoundThirdsL1) {
+  HistogramFilter::Options o;
+  o.use_label = false;
+  o.use_scalars = false;
+  HistogramFilter filter(o);
+  auto dict = std::make_shared<LabelDictionary>();
+  Tree a = MakeTree("a{b c d}", dict);   // degrees {3,0,0,0}
+  Tree b = MakeTree("a{b{c{d}}}", dict);  // degrees {1,1,1,0}
+  // Histograms: {0:3, 3:1} vs {0:1, 1:3} -> L1 = 2 + 3 + 1 = 6 -> bound 2.
+  EXPECT_EQ(filter.Bound(filter.ExtractFeatures(a),
+                         filter.ExtractFeatures(b)),
+            2);
+}
+
+TEST(HistogramFilterTest, ScalarBounds) {
+  HistogramFilter::Options o;
+  o.use_label = false;
+  o.use_degree = false;
+  HistogramFilter filter(o);
+  auto dict = std::make_shared<LabelDictionary>();
+  Tree a = MakeTree("a{b{c{d}}}", dict);  // height 4, size 4, leaves 1
+  Tree b = MakeTree("a", dict);           // height 1, size 1, leaves 1
+  EXPECT_EQ(filter.Bound(filter.ExtractFeatures(a),
+                         filter.ExtractFeatures(b)),
+            3);
+}
+
+TEST(HistogramFilterTest, FoldedLabelBucketsStillSound) {
+  HistogramFilter::Options o;
+  o.label_buckets = 3;
+  o.degree_buckets = 4;
+  HistogramFilter folded(o);
+  HistogramFilter exact;
+  auto dict = std::make_shared<LabelDictionary>();
+  const std::vector<LabelId> pool = MakeLabelPool(dict, 10);
+  Rng rng(331);
+  for (int trial = 0; trial < 40; ++trial) {
+    Tree a = RandomTree(rng.UniformInt(1, 25), pool, dict, rng);
+    Tree b = RandomTree(rng.UniformInt(1, 25), pool, dict, rng);
+    const int folded_bound = folded.Bound(folded.ExtractFeatures(a),
+                                          folded.ExtractFeatures(b));
+    const int exact_bound =
+        exact.Bound(exact.ExtractFeatures(a), exact.ExtractFeatures(b));
+    const int edist = TreeEditDistance(a, b);
+    EXPECT_LE(folded_bound, edist);       // soundness survives folding
+    EXPECT_LE(folded_bound, exact_bound);  // folding can only weaken
+  }
+}
+
+TEST(HistogramFilterTest, FilterIndexInterface) {
+  auto dict = std::make_shared<LabelDictionary>();
+  std::vector<Tree> trees = {MakeTree("a{b c}", dict),
+                             MakeTree("a{b{c}}", dict),
+                             MakeTree("x{y}", dict)};
+  HistogramFilter filter;
+  filter.Build(trees);
+  EXPECT_EQ(filter.name(), "Histo");
+  auto ctx = filter.PrepareQuery(trees[0]);
+  EXPECT_DOUBLE_EQ(filter.LowerBound(*ctx, 0), 0.0);
+  EXPECT_GT(filter.LowerBound(*ctx, 2), 0.0);
+  EXPECT_TRUE(filter.MayQualify(*ctx, 0, 0.0));
+}
+
+}  // namespace
+}  // namespace treesim

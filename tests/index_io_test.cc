@@ -1,0 +1,178 @@
+#include "core/index_io.h"
+
+#include <cstdio>
+#include <memory>
+
+#include "gtest/gtest.h"
+#include "core/positional.h"
+#include "datagen/dblp_generator.h"
+#include "test_util.h"
+
+namespace treesim {
+namespace {
+
+using testing::MakeLabelPool;
+using testing::MakeTree;
+using testing::RandomTree;
+
+struct BuiltIndex {
+  std::shared_ptr<LabelDictionary> labels;
+  std::unique_ptr<BranchDictionary> branches;
+  std::vector<BranchProfile> profiles;
+  std::vector<Tree> trees;
+};
+
+BuiltIndex BuildSample(int count, int q, uint64_t seed) {
+  BuiltIndex b;
+  b.labels = std::make_shared<LabelDictionary>();
+  DblpGenerator gen(DblpParams{}, b.labels, seed);
+  b.trees = gen.Generate(count);
+  b.branches = std::make_unique<BranchDictionary>(q);
+  for (const Tree& t : b.trees) {
+    b.profiles.push_back(BranchProfile::FromTree(t, *b.branches));
+  }
+  return b;
+}
+
+void ExpectProfilesEqual(const std::vector<BranchProfile>& a,
+                         const std::vector<BranchProfile>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].tree_size, b[i].tree_size);
+    EXPECT_EQ(a[i].q, b[i].q);
+    EXPECT_EQ(a[i].factor, b[i].factor);
+    ASSERT_EQ(a[i].entries.size(), b[i].entries.size()) << "tree " << i;
+    for (size_t e = 0; e < a[i].entries.size(); ++e) {
+      EXPECT_EQ(a[i].entries[e].branch, b[i].entries[e].branch);
+      EXPECT_EQ(a[i].entries[e].occurrences, b[i].entries[e].occurrences);
+      EXPECT_EQ(a[i].entries[e].posts_sorted, b[i].entries[e].posts_sorted);
+    }
+  }
+}
+
+TEST(IndexIoTest, StringRoundTripPreservesEverything) {
+  const BuiltIndex built = BuildSample(40, 2, 11);
+  const std::string text =
+      BranchIndexToString(*built.labels, *built.branches, built.profiles);
+  StatusOr<LoadedBranchIndex> loaded = BranchIndexFromString(text);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+
+  // Dictionaries: same ids, same names/keys.
+  EXPECT_EQ(loaded->labels->size(), built.labels->size());
+  for (LabelId id = 1; id < built.labels->id_bound(); ++id) {
+    EXPECT_EQ(loaded->labels->Name(id), built.labels->Name(id));
+  }
+  EXPECT_EQ(loaded->branches->size(), built.branches->size());
+  EXPECT_EQ(loaded->branches->q(), built.branches->q());
+  for (BranchId id = 0; id < built.branches->size(); ++id) {
+    EXPECT_EQ(loaded->branches->Key(id), built.branches->Key(id));
+  }
+  ExpectProfilesEqual(built.profiles, loaded->profiles);
+}
+
+TEST(IndexIoTest, LoadedIndexComputesIdenticalBounds) {
+  const BuiltIndex built = BuildSample(30, 2, 13);
+  StatusOr<LoadedBranchIndex> loaded = BranchIndexFromString(
+      BranchIndexToString(*built.labels, *built.branches, built.profiles));
+  ASSERT_TRUE(loaded.ok());
+  for (size_t i = 0; i < built.profiles.size(); i += 3) {
+    for (size_t j = 0; j < built.profiles.size(); j += 7) {
+      EXPECT_EQ(BranchDistance(built.profiles[i], built.profiles[j]),
+                BranchDistance(loaded->profiles[i], loaded->profiles[j]));
+      EXPECT_EQ(OptimisticBound(built.profiles[i], built.profiles[j]),
+                OptimisticBound(loaded->profiles[i], loaded->profiles[j]));
+    }
+  }
+}
+
+TEST(IndexIoTest, QueriesExtractAgainstLoadedDictionaries) {
+  // A fresh query tree profiled against the LOADED dictionaries must agree
+  // with profiling against the originals.
+  const BuiltIndex built = BuildSample(25, 2, 17);
+  StatusOr<LoadedBranchIndex> loaded = BranchIndexFromString(
+      BranchIndexToString(*built.labels, *built.branches, built.profiles));
+  ASSERT_TRUE(loaded.ok());
+  DblpGenerator gen(DblpParams{}, built.labels, 999);
+  // Rebuild the query in the loaded dictionary via bracket round trip.
+  Tree query_orig = gen.Next();
+  StatusOr<Tree> query_loaded =
+      ParseBracket(ToBracket(query_orig), loaded->labels);
+  ASSERT_TRUE(query_loaded.ok());
+  const BranchProfile p_orig =
+      BranchProfile::FromTree(query_orig, *built.branches);
+  const BranchProfile p_loaded =
+      BranchProfile::FromTree(*query_loaded, *loaded->branches);
+  for (size_t i = 0; i < built.profiles.size(); ++i) {
+    EXPECT_EQ(BranchDistance(p_orig, built.profiles[i]),
+              BranchDistance(p_loaded, loaded->profiles[i]));
+  }
+}
+
+TEST(IndexIoTest, QLevelRoundTrip) {
+  const BuiltIndex built = BuildSample(15, 3, 19);
+  StatusOr<LoadedBranchIndex> loaded = BranchIndexFromString(
+      BranchIndexToString(*built.labels, *built.branches, built.profiles));
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->branches->q(), 3);
+  EXPECT_EQ(loaded->branches->key_length(), 7);
+  ExpectProfilesEqual(built.profiles, loaded->profiles);
+}
+
+TEST(IndexIoTest, AwkwardLabelsSurvive) {
+  auto labels = std::make_shared<LabelDictionary>();
+  TreeBuilder builder(labels);
+  const NodeId root = builder.AddRoot("has space");
+  builder.AddChild(root, "back\\slash");
+  builder.AddChild(root, "line\nbreak");
+  const Tree t = std::move(builder).Build();
+  BranchDictionary branches(2);
+  std::vector<BranchProfile> profiles = {
+      BranchProfile::FromTree(t, branches)};
+  StatusOr<LoadedBranchIndex> loaded = BranchIndexFromString(
+      BranchIndexToString(*labels, branches, profiles));
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->labels->Name(1), "has space");
+  EXPECT_EQ(loaded->labels->Name(2), "back\\slash");
+  EXPECT_EQ(loaded->labels->Name(3), "line\nbreak");
+}
+
+TEST(IndexIoTest, FileRoundTrip) {
+  const BuiltIndex built = BuildSample(20, 2, 23);
+  const std::string path = ::testing::TempDir() + "/treesim_index_test.idx";
+  ASSERT_TRUE(
+      SaveBranchIndex(*built.labels, *built.branches, built.profiles, path)
+          .ok());
+  StatusOr<LoadedBranchIndex> loaded = LoadBranchIndex(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ExpectProfilesEqual(built.profiles, loaded->profiles);
+  std::remove(path.c_str());
+}
+
+TEST(IndexIoTest, RejectsCorruptedInput) {
+  const BuiltIndex built = BuildSample(5, 2, 29);
+  const std::string good =
+      BranchIndexToString(*built.labels, *built.branches, built.profiles);
+
+  EXPECT_FALSE(BranchIndexFromString("").ok());
+  EXPECT_FALSE(BranchIndexFromString("garbage").ok());
+  EXPECT_FALSE(BranchIndexFromString("treesim-branch-index 2\n").ok());
+
+  // Truncations must fail or load cleanly — never crash.
+  for (size_t cut = 0; cut < good.size(); cut += 17) {
+    (void)BranchIndexFromString(good.substr(0, cut));
+  }
+
+  // Tampered numbers.
+  std::string bad = good;
+  const size_t at = bad.find("\nq 2");
+  ASSERT_NE(at, std::string::npos);
+  bad.replace(at, 4, "\nq 1");
+  EXPECT_FALSE(BranchIndexFromString(bad).ok());
+}
+
+TEST(IndexIoTest, MissingFileFails) {
+  EXPECT_FALSE(LoadBranchIndex("/no/such/index.idx").ok());
+}
+
+}  // namespace
+}  // namespace treesim

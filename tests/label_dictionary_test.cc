@@ -1,0 +1,72 @@
+#include "tree/label_dictionary.h"
+
+#include "gtest/gtest.h"
+
+namespace treesim {
+namespace {
+
+TEST(LabelDictionaryTest, EpsilonIsReserved) {
+  LabelDictionary dict;
+  EXPECT_EQ(dict.size(), 0u);
+  EXPECT_EQ(dict.id_bound(), 1u);
+  EXPECT_EQ(dict.Name(kEpsilonLabel), "\xCE\xB5");  // "ε"
+}
+
+TEST(LabelDictionaryTest, InternAssignsDenseIdsFromOne) {
+  LabelDictionary dict;
+  EXPECT_EQ(dict.Intern("a"), 1u);
+  EXPECT_EQ(dict.Intern("b"), 2u);
+  EXPECT_EQ(dict.Intern("c"), 3u);
+  EXPECT_EQ(dict.size(), 3u);
+  EXPECT_EQ(dict.id_bound(), 4u);
+}
+
+TEST(LabelDictionaryTest, InternIsIdempotent) {
+  LabelDictionary dict;
+  const LabelId a = dict.Intern("a");
+  dict.Intern("b");
+  EXPECT_EQ(dict.Intern("a"), a);
+  EXPECT_EQ(dict.size(), 2u);
+}
+
+TEST(LabelDictionaryTest, NameRoundTrips) {
+  LabelDictionary dict;
+  const LabelId id = dict.Intern("some-label");
+  EXPECT_EQ(dict.Name(id), "some-label");
+}
+
+TEST(LabelDictionaryTest, LookupFindsOnlyInterned) {
+  LabelDictionary dict;
+  dict.Intern("x");
+  ASSERT_TRUE(dict.Lookup("x").has_value());
+  EXPECT_EQ(*dict.Lookup("x"), 1u);
+  EXPECT_FALSE(dict.Lookup("y").has_value());
+}
+
+TEST(LabelDictionaryTest, HandlesManyLabels) {
+  LabelDictionary dict;
+  for (int i = 0; i < 10000; ++i) {
+    dict.Intern("label" + std::to_string(i));
+  }
+  EXPECT_EQ(dict.size(), 10000u);
+  EXPECT_EQ(dict.Name(*dict.Lookup("label1234")), "label1234");
+}
+
+TEST(LabelDictionaryTest, UnicodeAndSpecialCharacters) {
+  LabelDictionary dict;
+  const LabelId id = dict.Intern("héllo wörld <>&");
+  EXPECT_EQ(dict.Name(id), "héllo wörld <>&");
+}
+
+TEST(LabelDictionaryDeathTest, EmptyLabelRejected) {
+  LabelDictionary dict;
+  EXPECT_DEATH(dict.Intern(""), "reserved");
+}
+
+TEST(LabelDictionaryDeathTest, UnknownIdRejected) {
+  LabelDictionary dict;
+  EXPECT_DEATH(dict.Name(99), "unknown LabelId");
+}
+
+}  // namespace
+}  // namespace treesim

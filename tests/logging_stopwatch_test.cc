@@ -1,0 +1,92 @@
+#include <string>
+
+#include "gtest/gtest.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace treesim {
+namespace {
+
+TEST(CheckTest, PassingCheckIsSilent) {
+  TREESIM_CHECK(1 + 1 == 2);
+  TREESIM_CHECK_EQ(3, 3);
+  TREESIM_CHECK_NE(3, 4);
+  TREESIM_CHECK_LT(3, 4);
+  TREESIM_CHECK_LE(3, 3);
+  TREESIM_CHECK_GT(4, 3);
+  TREESIM_CHECK_GE(4, 4) << "never evaluated";
+}
+
+TEST(CheckDeathTest, FailingCheckAbortsWithMessage) {
+  EXPECT_DEATH(TREESIM_CHECK(false) << "extra context " << 42,
+               "CHECK failed.*false.*extra context 42");
+  EXPECT_DEATH(TREESIM_CHECK_EQ(1, 2), "CHECK failed");
+}
+
+TEST(CheckTest, ConditionEvaluatedExactlyOnce) {
+  int calls = 0;
+  auto count = [&]() {
+    ++calls;
+    return true;
+  };
+  TREESIM_CHECK(count());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(CheckTest, StreamedArgumentsNotEvaluatedOnSuccess) {
+  int calls = 0;
+  auto expensive = [&]() {
+    ++calls;
+    return std::string("expensive");
+  };
+  TREESIM_CHECK(true) << expensive();
+  EXPECT_EQ(calls, 0);  // the message chain is short-circuited
+}
+
+TEST(DcheckTest, ReleaseModeDoesNotEvaluate) {
+  int calls = 0;
+  auto count = [&]() {
+    ++calls;
+    return true;
+  };
+  TREESIM_DCHECK(count());
+#ifdef NDEBUG
+  EXPECT_EQ(calls, 0);
+#else
+  EXPECT_EQ(calls, 1);
+#endif
+}
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch sw;
+  // Burn a little CPU deterministically.
+  volatile int64_t sink = 0;
+  for (int i = 0; i < 2000000; ++i) sink += i;
+  const double s = sw.ElapsedSeconds();
+  const int64_t us = sw.ElapsedMicros();
+  EXPECT_GT(s, 0.0);
+  EXPECT_GT(us, 0);
+  EXPECT_LT(s, 10.0);  // sanity: the loop is far below 10s
+}
+
+TEST(StopwatchTest, MonotoneNonDecreasing) {
+  Stopwatch sw;
+  double last = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    const double now = sw.ElapsedSeconds();
+    EXPECT_GE(now, last);
+    last = now;
+  }
+}
+
+TEST(StopwatchTest, ResetRestartsFromZero) {
+  Stopwatch sw;
+  volatile int64_t sink = 0;
+  for (int i = 0; i < 2000000; ++i) sink += i;
+  const double before = sw.ElapsedSeconds();
+  sw.Reset();
+  EXPECT_LT(sw.ElapsedSeconds(), before);
+}
+
+}  // namespace
+}  // namespace treesim

@@ -1,0 +1,81 @@
+#include "search/pairwise.h"
+
+#include <memory>
+
+#include "gtest/gtest.h"
+#include "datagen/dblp_generator.h"
+#include "test_util.h"
+
+namespace treesim {
+namespace {
+
+using testing::MakeLabelPool;
+using testing::MakeTree;
+using testing::RandomTree;
+
+std::unique_ptr<TreeDatabase> SmallDb(int count, uint64_t seed) {
+  auto dict = std::make_shared<LabelDictionary>();
+  auto db = std::make_unique<TreeDatabase>(dict);
+  const std::vector<LabelId> pool = MakeLabelPool(dict, 4);
+  Rng rng(seed);
+  for (int i = 0; i < count; ++i) {
+    db->Add(RandomTree(rng.UniformInt(1, 18), pool, dict, rng));
+  }
+  return db;
+}
+
+TEST(PairwiseTest, MatchesDirectComputation) {
+  auto db = SmallDb(20, 1801);
+  const PairwiseDistances m = ComputePairwiseDistances(*db);
+  EXPECT_EQ(m.size(), 20);
+  for (int i = 0; i < db->size(); ++i) {
+    EXPECT_EQ(m.At(i, i), 0);
+    for (int j = 0; j < db->size(); ++j) {
+      EXPECT_EQ(m.At(i, j), TreeEditDistance(db->tree(i), db->tree(j)));
+      EXPECT_EQ(m.At(i, j), m.At(j, i));
+    }
+  }
+}
+
+TEST(PairwiseTest, ParallelEqualsSerial) {
+  auto db = SmallDb(35, 1811);
+  const PairwiseDistances serial = ComputePairwiseDistances(*db, 1);
+  for (const int threads : {2, 4, 0 /* hardware default */}) {
+    const PairwiseDistances parallel =
+        ComputePairwiseDistances(*db, threads);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (int i = 0; i < db->size(); ++i) {
+      for (int j = 0; j < db->size(); ++j) {
+        EXPECT_EQ(parallel.At(i, j), serial.At(i, j))
+            << "threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST(PairwiseTest, MeanAgreesWithSampler) {
+  auto dict = std::make_shared<LabelDictionary>();
+  auto db = std::make_unique<TreeDatabase>(dict);
+  DblpGenerator gen(DblpParams{}, dict, 1823);
+  for (Tree& t : gen.Generate(60)) db->Add(std::move(t));
+  const PairwiseDistances m = ComputePairwiseDistances(*db, 2);
+  Rng rng(3);
+  const double sampled = db->EstimateAverageDistance(rng, 1500);
+  EXPECT_NEAR(m.Mean(), sampled, 0.5);
+}
+
+TEST(PairwiseTest, DegenerateSizes) {
+  auto db0 = SmallDb(1, 1831);
+  const PairwiseDistances one = ComputePairwiseDistances(*db0, 4);
+  EXPECT_EQ(one.size(), 1);
+  EXPECT_EQ(one.At(0, 0), 0);
+  EXPECT_DOUBLE_EQ(one.Mean(), 0.0);
+
+  auto db2 = SmallDb(2, 1833);
+  const PairwiseDistances two = ComputePairwiseDistances(*db2, 4);
+  EXPECT_EQ(two.At(0, 1), TreeEditDistance(db2->tree(0), db2->tree(1)));
+  EXPECT_DOUBLE_EQ(two.Mean(), two.At(0, 1));
+}
+
+}  // namespace
+}  // namespace treesim

@@ -1,0 +1,107 @@
+// Robustness: the parsers must return error Statuses — never crash, hang or
+// abort — on arbitrary malformed input (random bytes, truncations of valid
+// documents, deeply nested input).
+#include <memory>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "tree/bracket.h"
+#include "tree/forest_io.h"
+#include "util/random.h"
+#include "xml/xml_parser.h"
+
+namespace treesim {
+namespace {
+
+std::string RandomBytes(Rng& rng, int max_len, const std::string& alphabet) {
+  std::string s;
+  const int len = rng.UniformInt(0, max_len);
+  for (int i = 0; i < len; ++i) {
+    s.push_back(alphabet[rng.UniformIndex(alphabet.size())]);
+  }
+  return s;
+}
+
+TEST(ParserRobustnessTest, BracketRandomInput) {
+  Rng rng(1201);
+  const std::string alphabet = "ab{} '\\\t\n\"<>&;#";
+  int parsed = 0;
+  for (int trial = 0; trial < 3000; ++trial) {
+    auto dict = std::make_shared<LabelDictionary>();
+    const std::string input = RandomBytes(rng, 40, alphabet);
+    StatusOr<Tree> t = ParseBracket(input, dict);
+    if (t.ok()) {
+      ++parsed;
+      EXPECT_GE(t->size(), 1);
+      // Anything that parses must round-trip.
+      StatusOr<Tree> back = ParseBracket(ToBracket(*t), dict);
+      ASSERT_TRUE(back.ok()) << input;
+      EXPECT_TRUE(t->StructurallyEquals(*back)) << input;
+    }
+  }
+  EXPECT_GT(parsed, 0);  // the fuzz alphabet does produce valid inputs
+}
+
+TEST(ParserRobustnessTest, XmlRandomInput) {
+  Rng rng(1213);
+  const std::string alphabet = "<>/ab =\"'&;![]-?x\n";
+  for (int trial = 0; trial < 3000; ++trial) {
+    auto dict = std::make_shared<LabelDictionary>();
+    const std::string input = RandomBytes(rng, 60, alphabet);
+    (void)ParseXml(input, dict);  // must not crash; Status either way
+  }
+}
+
+TEST(ParserRobustnessTest, TruncationsOfValidXml) {
+  const std::string valid =
+      "<?xml version=\"1.0\"?><a x=\"1\"><!--c--><b>text &amp; "
+      "more</b><![CDATA[raw]]><c/></a>";
+  for (size_t cut = 0; cut < valid.size(); ++cut) {
+    auto dict = std::make_shared<LabelDictionary>();
+    (void)ParseXml(valid.substr(0, cut), dict);  // must not crash
+  }
+  auto dict = std::make_shared<LabelDictionary>();
+  EXPECT_TRUE(ParseXml(valid, dict).ok());
+}
+
+TEST(ParserRobustnessTest, TruncationsOfValidBracket) {
+  const std::string valid = "a{'b c'{d e} f{g} 'h\\'i'}";
+  for (size_t cut = 0; cut < valid.size(); ++cut) {
+    auto dict = std::make_shared<LabelDictionary>();
+    (void)ParseBracket(valid.substr(0, cut), dict);  // must not crash
+  }
+  auto dict = std::make_shared<LabelDictionary>();
+  EXPECT_TRUE(ParseBracket(valid, dict).ok());
+}
+
+TEST(ParserRobustnessTest, DeeplyNestedBracketHitsDepthLimit) {
+  // 200k opening braces: must fail cleanly, not overflow the stack.
+  std::string pathological;
+  for (int i = 0; i < 200000; ++i) pathological += "a{";
+  auto dict = std::make_shared<LabelDictionary>();
+  StatusOr<Tree> t = ParseBracket(pathological, dict);
+  EXPECT_FALSE(t.ok());
+}
+
+TEST(ParserRobustnessTest, DeeplyNestedXmlParses) {
+  // The XML parser uses an explicit stack, so depth is bounded by memory.
+  std::string deep;
+  for (int i = 0; i < 50000; ++i) deep += "<a>";
+  for (int i = 0; i < 50000; ++i) deep += "</a>";
+  auto dict = std::make_shared<LabelDictionary>();
+  StatusOr<Tree> t = ParseXml(deep, dict);
+  ASSERT_TRUE(t.ok()) << t.status();
+  EXPECT_EQ(t->size(), 50000);
+}
+
+TEST(ParserRobustnessTest, ForestRandomInput) {
+  Rng rng(1217);
+  const std::string alphabet = "ab{} '\n#";
+  for (int trial = 0; trial < 1000; ++trial) {
+    auto dict = std::make_shared<LabelDictionary>();
+    (void)ForestFromString(RandomBytes(rng, 80, alphabet), dict);
+  }
+}
+
+}  // namespace
+}  // namespace treesim

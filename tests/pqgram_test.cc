@@ -1,0 +1,127 @@
+#include "strgram/pqgram.h"
+
+#include <memory>
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+#include "ted/zhang_shasha.h"
+#include "tree/traversal.h"
+
+namespace treesim {
+namespace {
+
+using testing::MakeLabelPool;
+using testing::MakeTree;
+using testing::RandomTree;
+
+TEST(PqGramProfileTest, SingleNodeTree) {
+  Tree t = MakeTree("a");
+  PqGramProfile p(t, 2, 3);
+  // One anchor (the root, a leaf): exactly one gram.
+  EXPECT_EQ(p.size(), 1);
+  EXPECT_DOUBLE_EQ(p.DistanceTo(p), 0.0);
+}
+
+TEST(PqGramProfileTest, GramCountFormula) {
+  // leaves contribute 1 gram each; an internal node with k children
+  // contributes k + q - 1.
+  auto dict = std::make_shared<LabelDictionary>();
+  const std::vector<LabelId> pool = MakeLabelPool(dict, 3);
+  Rng rng(1001);
+  for (int trial = 0; trial < 20; ++trial) {
+    Tree t = RandomTree(rng.UniformInt(1, 40), pool, dict, rng);
+    for (const int q : {1, 2, 3}) {
+      PqGramProfile profile(t, 2, q);
+      int expected = 0;
+      for (NodeId n = 0; n < t.size(); ++n) {
+        const int k = t.Degree(n);
+        expected += (k == 0) ? 1 : k + q - 1;
+      }
+      EXPECT_EQ(profile.size(), expected) << "q=" << q;
+    }
+  }
+}
+
+TEST(PqGramProfileTest, IdenticalTreesHaveDistanceZero) {
+  auto dict = std::make_shared<LabelDictionary>();
+  Tree a = MakeTree("a{b{c} d{e f}}", dict);
+  Tree b = MakeTree("a{b{c} d{e f}}", dict);
+  PqGramProfile pa(a, 2, 3);
+  PqGramProfile pb(b, 2, 3);
+  EXPECT_DOUBLE_EQ(pa.DistanceTo(pb), 0.0);
+}
+
+TEST(PqGramProfileTest, DisjointTreesHaveDistanceOne) {
+  auto dict = std::make_shared<LabelDictionary>();
+  Tree a = MakeTree("a{b c}", dict);
+  Tree b = MakeTree("x{y z}", dict);
+  PqGramProfile pa(a, 2, 2);
+  PqGramProfile pb(b, 2, 2);
+  EXPECT_DOUBLE_EQ(pa.DistanceTo(pb), 1.0);
+}
+
+TEST(PqGramProfileTest, DistanceIsSymmetricAndBounded) {
+  auto dict = std::make_shared<LabelDictionary>();
+  const std::vector<LabelId> pool = MakeLabelPool(dict, 3);
+  Rng rng(1013);
+  for (int trial = 0; trial < 25; ++trial) {
+    Tree a = RandomTree(rng.UniformInt(1, 25), pool, dict, rng);
+    Tree b = RandomTree(rng.UniformInt(1, 25), pool, dict, rng);
+    PqGramProfile pa(a, 2, 3);
+    PqGramProfile pb(b, 2, 3);
+    const double d = pa.DistanceTo(pb);
+    EXPECT_DOUBLE_EQ(d, pb.DistanceTo(pa));
+    EXPECT_GE(d, 0.0);
+    EXPECT_LE(d, 1.0);
+  }
+}
+
+TEST(PqGramProfileTest, SensitiveToSiblingOrder) {
+  auto dict = std::make_shared<LabelDictionary>();
+  Tree a = MakeTree("r{a b c d}", dict);
+  Tree b = MakeTree("r{d c b a}", dict);
+  PqGramProfile pa(a, 2, 2);
+  PqGramProfile pb(b, 2, 2);
+  EXPECT_GT(pa.DistanceTo(pb), 0.0);
+}
+
+TEST(PqGramProfileTest, SmallEditsGiveSmallDistance) {
+  // pq-gram distance correlates with the edit distance: a one-relabel
+  // neighbor is closer than an unrelated tree.
+  auto dict = std::make_shared<LabelDictionary>();
+  Tree base = MakeTree("a{b{c d} e{f g}}", dict);
+  Tree near = MakeTree("a{b{c x} e{f g}}", dict);   // one leaf relabeled
+  Tree far = MakeTree("p{q{r} s{t u v w}}", dict);  // disjoint
+  PqGramProfile pb(base, 2, 3);
+  PqGramProfile pn(near, 2, 3);
+  PqGramProfile pf(far, 2, 3);
+  EXPECT_LT(pb.DistanceTo(pn), pb.DistanceTo(pf));
+}
+
+TEST(PqGramProfileTest, NotALowerBoundOfEditDistance) {
+  // Documented limitation: unlike BDist/5, the pq-gram distance can exceed
+  // the normalized edit distance; verify the library does not accidentally
+  // satisfy the bound everywhere (so nobody wires it into the exact
+  // engine). Moving a large subtree is 1 edit operation away under the
+  // paper's semantics but changes many pq-grams.
+  auto dict = std::make_shared<LabelDictionary>();
+  Tree a = MakeTree("r{x{a b c d e f g h}}", dict);
+  Tree b = MakeTree("r{a b c d e f g h}", dict);  // delete x: EDist = 1
+  EXPECT_EQ(TreeEditDistance(a, b), 1);
+  PqGramProfile pa(a, 3, 3);
+  PqGramProfile pb(b, 3, 3);
+  // Nearly every gram carries the x stem: the distance is large despite
+  // EDist == 1.
+  EXPECT_GT(pa.DistanceTo(pb), 0.5);
+}
+
+TEST(PqGramProfileDeathTest, MismatchedParametersAbort) {
+  auto dict = std::make_shared<LabelDictionary>();
+  Tree t = MakeTree("a{b}", dict);
+  PqGramProfile p22(t, 2, 2);
+  PqGramProfile p23(t, 2, 3);
+  EXPECT_DEATH((void)p22.SharedWith(p23), "different p/q");
+}
+
+}  // namespace
+}  // namespace treesim

@@ -1,0 +1,98 @@
+// Cross-checks the fast q-level branch extractor (which navigates the
+// first-child/next-sibling links directly) against an independent
+// implementation that walks the explicitly materialized NormalizedBinaryTree.
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "core/binary_branch.h"
+#include "core/binary_tree.h"
+#include "test_util.h"
+#include "tree/traversal.h"
+
+namespace treesim {
+namespace {
+
+using testing::MakeLabelPool;
+using testing::MakeTree;
+using testing::RandomTree;
+using BNodeId = NormalizedBinaryTree::BNodeId;
+
+/// Reference extractor: preorder label sequence of the height-(q-1) perfect
+/// subtree of the materialized B(T) rooted at each original node.
+std::vector<BranchKey> ReferenceBranches(const Tree& t, int q) {
+  const NormalizedBinaryTree b = NormalizedBinaryTree::FromTree(t);
+  std::vector<BranchKey> keys;
+  // Map original NodeId -> B(T) node (original_count() == t.size()).
+  std::vector<BNodeId> of_original(static_cast<size_t>(t.size()), -1);
+  for (size_t i = 0; i < b.nodes().size(); ++i) {
+    const NodeId orig = b.nodes()[i].original;
+    if (orig != kInvalidNode) {
+      of_original[static_cast<size_t>(orig)] = static_cast<BNodeId>(i);
+    }
+  }
+  for (const NodeId u : PreorderSequence(t)) {
+    BranchKey key;
+    auto fill = [&](auto&& self, BNodeId node, int level) -> void {
+      if (node == NormalizedBinaryTree::kNoChild) {
+        // Below an ε node: a virtual all-ε perfect subtree.
+        key.push_back(kEpsilonLabel);
+        if (level + 1 < q) {
+          self(self, NormalizedBinaryTree::kNoChild, level + 1);
+          self(self, NormalizedBinaryTree::kNoChild, level + 1);
+        }
+        return;
+      }
+      key.push_back(b.nodes()[static_cast<size_t>(node)].label);
+      if (level + 1 < q) {
+        self(self, b.nodes()[static_cast<size_t>(node)].left, level + 1);
+        self(self, b.nodes()[static_cast<size_t>(node)].right, level + 1);
+      }
+    };
+    fill(fill, of_original[static_cast<size_t>(u)], 0);
+    keys.push_back(std::move(key));
+  }
+  return keys;
+}
+
+TEST(QLevelConsistencyTest, FastExtractorMatchesMaterializedBinaryTree) {
+  auto dict = std::make_shared<LabelDictionary>();
+  const std::vector<LabelId> pool = MakeLabelPool(dict, 4);
+  Rng rng(1103);
+  for (int trial = 0; trial < 25; ++trial) {
+    Tree t = RandomTree(rng.UniformInt(1, 50), pool, dict, rng);
+    for (int q = 2; q <= 5; ++q) {
+      BranchDictionary branches(q);
+      const std::vector<BranchOccurrence> fast = ExtractBranches(t, branches);
+      const std::vector<BranchKey> reference = ReferenceBranches(t, q);
+      ASSERT_EQ(fast.size(), reference.size());
+      for (size_t i = 0; i < fast.size(); ++i) {
+        EXPECT_EQ(branches.Key(fast[i].branch), reference[i])
+            << "q=" << q << " node " << i << " of " << ToBracket(t);
+      }
+    }
+  }
+}
+
+TEST(QLevelConsistencyTest, ChainAndStarShapes) {
+  auto dict = std::make_shared<LabelDictionary>();
+  Tree chain = MakeTree("a{b{c{d{e}}}}", dict);
+  Tree star = MakeTree("a{b c d e}", dict);
+  for (const Tree* t : {&chain, &star}) {
+    for (int q = 2; q <= 4; ++q) {
+      BranchDictionary branches(q);
+      const std::vector<BranchOccurrence> fast =
+          ExtractBranches(*t, branches);
+      const std::vector<BranchKey> reference = ReferenceBranches(*t, q);
+      ASSERT_EQ(fast.size(), reference.size());
+      for (size_t i = 0; i < fast.size(); ++i) {
+        EXPECT_EQ(branches.Key(fast[i].branch), reference[i]);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace treesim

@@ -1,0 +1,124 @@
+#include "util/random.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace treesim {
+namespace {
+
+TEST(RngTest, DeterministicForEqualSeeds) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.UniformInt(0, 1000), b.UniformInt(0, 1000));
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.UniformInt(0, 1 << 30) == b.UniformInt(0, 1 << 30)) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, UniformIntRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const int v = rng.UniformInt(-3, 8);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 8);
+  }
+  EXPECT_EQ(rng.UniformInt(5, 5), 5);
+}
+
+TEST(RngTest, UniformIndexRespectsBounds) {
+  Rng rng(7);
+  std::set<size_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const size_t v = rng.UniformIndex(4);
+    EXPECT_LT(v, 4u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u);  // all values hit over 1000 draws
+}
+
+TEST(RngTest, UniformRealInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.UniformReal();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(7);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+    EXPECT_FALSE(rng.Bernoulli(-0.5));
+    EXPECT_TRUE(rng.Bernoulli(1.5));
+  }
+}
+
+TEST(RngTest, BernoulliRoughlyCalibrated) {
+  Rng rng(7);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(RngTest, NormalIntClampsAndCenters) {
+  Rng rng(7);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const int v = rng.NormalInt(50.0, 2.0, 1, 1000);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 1000);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 50.0, 0.5);
+  // Tight clamp dominates.
+  for (int i = 0; i < 100; ++i) {
+    const int v = rng.NormalInt(50.0, 2.0, 60, 70);
+    EXPECT_EQ(v, 60);
+  }
+}
+
+TEST(RngTest, ShufflePreservesMultiset) {
+  Rng rng(7);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, SampleWithoutReplacementIsDistinct) {
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::vector<size_t> s = rng.SampleWithoutReplacement(50, 10);
+    ASSERT_EQ(s.size(), 10u);
+    std::set<size_t> distinct(s.begin(), s.end());
+    EXPECT_EQ(distinct.size(), 10u);
+    for (const size_t x : s) EXPECT_LT(x, 50u);
+  }
+}
+
+TEST(RngTest, SampleWholeRange) {
+  Rng rng(7);
+  std::vector<size_t> s = rng.SampleWithoutReplacement(5, 5);
+  std::sort(s.begin(), s.end());
+  EXPECT_EQ(s, (std::vector<size_t>{0, 1, 2, 3, 4}));
+}
+
+}  // namespace
+}  // namespace treesim

@@ -1,0 +1,121 @@
+#include "filters/sequence_filter.h"
+
+#include <memory>
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+#include "ted/zhang_shasha.h"
+
+namespace treesim {
+namespace {
+
+using testing::MakeLabelPool;
+using testing::MakeTree;
+using testing::RandomTree;
+
+TEST(SequenceFilterTest, Names) {
+  EXPECT_EQ(SequenceFilter().name(), "SeqQGram(2)");
+  SequenceFilter::Options ed;
+  ed.mode = SequenceFilter::Options::Mode::kEditDistance;
+  EXPECT_EQ(SequenceFilter(ed).name(), "SeqED");
+  SequenceFilter::Options q3;
+  q3.q = 3;
+  EXPECT_EQ(SequenceFilter(q3).name(), "SeqQGram(3)");
+}
+
+TEST(SequenceFilterTest, ExactModeMatchesGuhaBound) {
+  // T1/T2 of the paper: preorder sequences abcdbcde / abcdbecde -> SED 1?
+  // Verified against the exact TED instead of a hand value: the bound must
+  // be sound and positive for this pair.
+  auto dict = std::make_shared<LabelDictionary>();
+  std::vector<Tree> trees = {MakeTree("a{b{c d} b{c d} e}", dict),
+                             MakeTree("a{b{c d b{e}} c d e}", dict)};
+  SequenceFilter::Options opts;
+  opts.mode = SequenceFilter::Options::Mode::kEditDistance;
+  SequenceFilter filter(opts);
+  filter.Build(trees);
+  auto ctx = filter.PrepareQuery(trees[0]);
+  const double bound = filter.LowerBound(*ctx, 1);
+  EXPECT_GT(bound, 0.0);
+  EXPECT_LE(bound, TreeEditDistance(trees[0], trees[1]));
+  EXPECT_DOUBLE_EQ(filter.LowerBound(*ctx, 0), 0.0);
+}
+
+TEST(SequenceFilterTest, BothModesSoundOnRandomTrees) {
+  auto dict = std::make_shared<LabelDictionary>();
+  const std::vector<LabelId> pool = MakeLabelPool(dict, 4);
+  Rng rng(733);
+  std::vector<Tree> trees;
+  for (int i = 0; i < 30; ++i) {
+    trees.push_back(RandomTree(rng.UniformInt(1, 25), pool, dict, rng));
+  }
+  for (const auto mode : {SequenceFilter::Options::Mode::kEditDistance,
+                          SequenceFilter::Options::Mode::kQGram}) {
+    SequenceFilter::Options opts;
+    opts.mode = mode;
+    SequenceFilter filter(opts);
+    filter.Build(trees);
+    for (int qi = 0; qi < 6; ++qi) {
+      const Tree& query = trees[static_cast<size_t>(qi * 5)];
+      auto ctx = filter.PrepareQuery(query);
+      for (int id = 0; id < static_cast<int>(trees.size()); ++id) {
+        const int edist =
+            TreeEditDistance(query, trees[static_cast<size_t>(id)]);
+        EXPECT_LE(filter.LowerBound(*ctx, id), static_cast<double>(edist));
+        EXPECT_TRUE(filter.MayQualify(*ctx, id, edist));
+      }
+    }
+  }
+}
+
+TEST(SequenceFilterTest, ExactModeDominatesQGramMode) {
+  // SED of a sequence is always >= its q-gram count bound.
+  auto dict = std::make_shared<LabelDictionary>();
+  const std::vector<LabelId> pool = MakeLabelPool(dict, 3);
+  Rng rng(739);
+  std::vector<Tree> trees;
+  for (int i = 0; i < 20; ++i) {
+    trees.push_back(RandomTree(rng.UniformInt(1, 20), pool, dict, rng));
+  }
+  SequenceFilter::Options ed_opts;
+  ed_opts.mode = SequenceFilter::Options::Mode::kEditDistance;
+  SequenceFilter exact(ed_opts);
+  SequenceFilter grams;  // default q-gram mode, q=2
+  exact.Build(trees);
+  grams.Build(trees);
+  for (int qi = 0; qi < 5; ++qi) {
+    const Tree& query = trees[static_cast<size_t>(qi * 4)];
+    auto ectx = exact.PrepareQuery(query);
+    auto gctx = grams.PrepareQuery(query);
+    for (int id = 0; id < static_cast<int>(trees.size()); ++id) {
+      EXPECT_GE(exact.LowerBound(*ectx, id), grams.LowerBound(*gctx, id));
+    }
+  }
+}
+
+TEST(SequenceFilterTest, MayQualifyAgreesWithLowerBoundInExactMode) {
+  // The banded threshold test must make the same decision as the full SED.
+  auto dict = std::make_shared<LabelDictionary>();
+  const std::vector<LabelId> pool = MakeLabelPool(dict, 3);
+  Rng rng(743);
+  std::vector<Tree> trees;
+  for (int i = 0; i < 20; ++i) {
+    trees.push_back(RandomTree(rng.UniformInt(1, 20), pool, dict, rng));
+  }
+  SequenceFilter::Options opts;
+  opts.mode = SequenceFilter::Options::Mode::kEditDistance;
+  SequenceFilter filter(opts);
+  filter.Build(trees);
+  const Tree& query = trees[3];
+  auto ctx = filter.PrepareQuery(query);
+  for (int id = 0; id < static_cast<int>(trees.size()); ++id) {
+    const double bound = filter.LowerBound(*ctx, id);
+    for (int tau = 0; tau <= 15; ++tau) {
+      EXPECT_EQ(filter.MayQualify(*ctx, id, tau), bound <= tau)
+          << "id=" << id << " tau=" << tau << " bound=" << bound;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace treesim

@@ -1,0 +1,60 @@
+#ifndef TREESIM_TESTS_TEST_UTIL_H_
+#define TREESIM_TESTS_TEST_UTIL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "tree/bracket.h"
+#include "tree/tree.h"
+#include "util/random.h"
+
+namespace treesim {
+namespace testing {
+
+/// Parses bracket notation, failing the test on parse errors.
+inline Tree MakeTree(const std::string& text,
+                     const std::shared_ptr<LabelDictionary>& labels) {
+  StatusOr<Tree> t = ParseBracket(text, labels);
+  EXPECT_TRUE(t.ok()) << t.status() << " for \"" << text << "\"";
+  return std::move(t).value();
+}
+
+/// Fresh dictionary + tree in one call (for tests that need only one tree).
+inline Tree MakeTree(const std::string& text) {
+  return MakeTree(text, std::make_shared<LabelDictionary>());
+}
+
+/// A random tree with `size` nodes and labels drawn from `label_pool`
+/// (uniform random parent choice => unbiased over many shapes, including
+/// chains and stars).
+inline Tree RandomTree(int size, const std::vector<LabelId>& label_pool,
+                       const std::shared_ptr<LabelDictionary>& labels,
+                       Rng& rng) {
+  TreeBuilder builder(labels);
+  builder.AddRootId(label_pool[rng.UniformIndex(label_pool.size())]);
+  for (int i = 1; i < size; ++i) {
+    const NodeId parent =
+        static_cast<NodeId>(rng.UniformIndex(static_cast<size_t>(i)));
+    builder.AddChildId(parent,
+                       label_pool[rng.UniformIndex(label_pool.size())]);
+  }
+  return std::move(builder).Build();
+}
+
+/// Interns "l0".."l<n-1>" and returns their ids.
+inline std::vector<LabelId> MakeLabelPool(
+    const std::shared_ptr<LabelDictionary>& labels, int n) {
+  std::vector<LabelId> pool;
+  pool.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    pool.push_back(labels->Intern("l" + std::to_string(i)));
+  }
+  return pool;
+}
+
+}  // namespace testing
+}  // namespace treesim
+
+#endif  // TREESIM_TESTS_TEST_UTIL_H_

@@ -1,0 +1,140 @@
+#include "tree/traversal.h"
+
+#include <algorithm>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace treesim {
+namespace {
+
+using testing::MakeLabelPool;
+using testing::MakeTree;
+using testing::RandomTree;
+
+std::string Labels(const Tree& t, const std::vector<NodeId>& seq) {
+  std::string out;
+  for (const NodeId n : seq) out += std::string(t.LabelName(n));
+  return out;
+}
+
+// The paper's T1 of Fig. 1/2: a{ b{c d} b{c d} e }.
+constexpr char kPaperT1[] = "a{b{c d} b{c d} e}";
+
+TEST(TraversalTest, PreorderMatchesDocumentOrder) {
+  Tree t = MakeTree(kPaperT1);
+  EXPECT_EQ(Labels(t, PreorderSequence(t)), "abcdbcde");
+}
+
+TEST(TraversalTest, PostorderVisitsChildrenFirst) {
+  Tree t = MakeTree(kPaperT1);
+  EXPECT_EQ(Labels(t, PostorderSequence(t)), "cdbcdbea");
+}
+
+TEST(TraversalTest, PositionsMatchFig2Annotations) {
+  // Fig. 2 annotates T1 as a(1,8) b(2,3) c(3,1) d(4,2) b(5,6) c(6,4)
+  // d(7,5) e(8,7).
+  Tree t = MakeTree(kPaperT1);
+  const TraversalPositions pos = ComputePositions(t);
+  const std::vector<NodeId> pre = PreorderSequence(t);
+  const std::vector<std::pair<int, int>> expected = {
+      {1, 8}, {2, 3}, {3, 1}, {4, 2}, {5, 6}, {6, 4}, {7, 5}, {8, 7}};
+  ASSERT_EQ(pre.size(), expected.size());
+  for (size_t i = 0; i < pre.size(); ++i) {
+    EXPECT_EQ(pos.pre[static_cast<size_t>(pre[i])], expected[i].first);
+    EXPECT_EQ(pos.post[static_cast<size_t>(pre[i])], expected[i].second);
+  }
+}
+
+TEST(TraversalTest, PositionsArePermutations) {
+  auto dict = std::make_shared<LabelDictionary>();
+  const std::vector<LabelId> pool = MakeLabelPool(dict, 3);
+  Rng rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    Tree t = RandomTree(rng.UniformInt(1, 60), pool, dict, rng);
+    const TraversalPositions pos = ComputePositions(t);
+    std::vector<int> pre = pos.pre;
+    std::vector<int> post = pos.post;
+    std::sort(pre.begin(), pre.end());
+    std::sort(post.begin(), post.end());
+    for (int i = 0; i < t.size(); ++i) {
+      EXPECT_EQ(pre[static_cast<size_t>(i)], i + 1);
+      EXPECT_EQ(post[static_cast<size_t>(i)], i + 1);
+    }
+  }
+}
+
+TEST(TraversalTest, AncestorsHaveSmallerPreLargerPost) {
+  auto dict = std::make_shared<LabelDictionary>();
+  const std::vector<LabelId> pool = MakeLabelPool(dict, 3);
+  Rng rng(13);
+  Tree t = RandomTree(80, pool, dict, rng);
+  const TraversalPositions pos = ComputePositions(t);
+  for (NodeId n = 0; n < t.size(); ++n) {
+    for (NodeId p = t.parent(n); p != kInvalidNode; p = t.parent(p)) {
+      EXPECT_LT(pos.pre[static_cast<size_t>(p)],
+                pos.pre[static_cast<size_t>(n)]);
+      EXPECT_GT(pos.post[static_cast<size_t>(p)],
+                pos.post[static_cast<size_t>(n)]);
+    }
+  }
+}
+
+TEST(TraversalTest, DepthsAndHeights) {
+  Tree t = MakeTree("a{b{c d} e}");
+  const std::vector<NodeId> pre = PreorderSequence(t);  // a b c d e
+  const std::vector<int> depth = NodeDepths(t);
+  const std::vector<int> height = NodeHeights(t);
+  EXPECT_EQ(depth[static_cast<size_t>(pre[0])], 1);  // a
+  EXPECT_EQ(depth[static_cast<size_t>(pre[1])], 2);  // b
+  EXPECT_EQ(depth[static_cast<size_t>(pre[2])], 3);  // c
+  EXPECT_EQ(depth[static_cast<size_t>(pre[4])], 2);  // e
+  EXPECT_EQ(height[static_cast<size_t>(pre[0])], 3);  // a
+  EXPECT_EQ(height[static_cast<size_t>(pre[1])], 2);  // b
+  EXPECT_EQ(height[static_cast<size_t>(pre[2])], 1);  // c
+  EXPECT_EQ(TreeHeight(t), 3);
+}
+
+TEST(TraversalTest, SingleNodeMetrics) {
+  Tree t = MakeTree("x");
+  EXPECT_EQ(TreeHeight(t), 1);
+  EXPECT_EQ(LeafCount(t), 1);
+  EXPECT_EQ(NodeDegrees(t), std::vector<int>{0});
+}
+
+TEST(TraversalTest, LeafCountAndDegrees) {
+  Tree t = MakeTree("a{b{c d} e}");
+  EXPECT_EQ(LeafCount(t), 3);  // c, d, e
+  const std::vector<NodeId> pre = PreorderSequence(t);
+  const std::vector<int> deg = NodeDegrees(t);
+  EXPECT_EQ(deg[static_cast<size_t>(pre[0])], 2);  // a
+  EXPECT_EQ(deg[static_cast<size_t>(pre[1])], 2);  // b
+  EXPECT_EQ(deg[static_cast<size_t>(pre[2])], 0);  // c
+}
+
+TEST(TraversalTest, DegreesAgreeWithTreeDegree) {
+  auto dict = std::make_shared<LabelDictionary>();
+  const std::vector<LabelId> pool = MakeLabelPool(dict, 2);
+  Rng rng(17);
+  Tree t = RandomTree(100, pool, dict, rng);
+  const std::vector<int> deg = NodeDegrees(t);
+  for (NodeId n = 0; n < t.size(); ++n) {
+    EXPECT_EQ(deg[static_cast<size_t>(n)], t.Degree(n));
+  }
+}
+
+TEST(TraversalTest, DeepChainIterativeSafety) {
+  auto dict = std::make_shared<LabelDictionary>();
+  TreeBuilder b(dict);
+  NodeId node = b.AddRoot("n");
+  for (int i = 0; i < 100000; ++i) node = b.AddChild(node, "n");
+  Tree t = std::move(b).Build();
+  EXPECT_EQ(static_cast<int>(PreorderSequence(t).size()), t.size());
+  EXPECT_EQ(static_cast<int>(PostorderSequence(t).size()), t.size());
+  EXPECT_EQ(TreeHeight(t), t.size());
+  EXPECT_EQ(LeafCount(t), 1);
+}
+
+}  // namespace
+}  // namespace treesim

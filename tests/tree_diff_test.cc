@@ -1,0 +1,81 @@
+#include "ted/tree_diff.h"
+
+#include <memory>
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace treesim {
+namespace {
+
+using testing::MakeLabelPool;
+using testing::MakeTree;
+using testing::RandomTree;
+
+TEST(TreeDiffTest, IdenticalTrees) {
+  auto dict = std::make_shared<LabelDictionary>();
+  Tree a = MakeTree("a{b c}", dict);
+  Tree b = MakeTree("a{b c}", dict);
+  EXPECT_EQ(RenderTreeDiff(a, b),
+            "--- T1 (0 deleted, 0 relabeled)\n"
+            "  a\n"
+            "    b\n"
+            "    c\n"
+            "+++ T2 (0 inserted)\n"
+            "  a\n"
+            "    b\n"
+            "    c\n");
+}
+
+TEST(TreeDiffTest, RelabelShowsArrow) {
+  auto dict = std::make_shared<LabelDictionary>();
+  Tree a = MakeTree("a{b c}", dict);
+  Tree b = MakeTree("a{x c}", dict);
+  const std::string diff = RenderTreeDiff(a, b);
+  EXPECT_NE(diff.find("~   b -> x\n"), std::string::npos) << diff;
+  EXPECT_NE(diff.find("~   x\n"), std::string::npos) << diff;
+  EXPECT_NE(diff.find("1 relabeled"), std::string::npos);
+}
+
+TEST(TreeDiffTest, DeleteAndInsertMarkers) {
+  auto dict = std::make_shared<LabelDictionary>();
+  Tree a = MakeTree("a{b{c} d}", dict);
+  Tree b = MakeTree("a{c d e}", dict);  // b deleted, e inserted
+  const std::string diff = RenderTreeDiff(a, b);
+  EXPECT_NE(diff.find("-   b\n"), std::string::npos) << diff;
+  EXPECT_NE(diff.find("+   e\n"), std::string::npos) << diff;
+  EXPECT_NE(diff.find("1 deleted"), std::string::npos);
+  EXPECT_NE(diff.find("1 inserted"), std::string::npos);
+}
+
+TEST(TreeDiffTest, MarkerCountsMatchMapping) {
+  auto dict = std::make_shared<LabelDictionary>();
+  const std::vector<LabelId> pool = MakeLabelPool(dict, 3);
+  Rng rng(1501);
+  for (int trial = 0; trial < 20; ++trial) {
+    Tree a = RandomTree(rng.UniformInt(1, 15), pool, dict, rng);
+    Tree b = RandomTree(rng.UniformInt(1, 15), pool, dict, rng);
+    const EditMapping m = ComputeEditMapping(a, b);
+    const std::string diff = RenderTreeDiff(a, b, m);
+    int deletes = 0;
+    int inserts = 0;
+    int relabels = 0;
+    for (size_t i = 0; i < diff.size(); ++i) {
+      if (i == 0 || diff[i - 1] == '\n') {
+        if (diff.compare(i, 4, "--- ") == 0 ||
+            diff.compare(i, 4, "+++ ") == 0) {
+          continue;
+        }
+        if (diff[i] == '-') ++deletes;
+        if (diff[i] == '+') ++inserts;
+        if (diff[i] == '~') ++relabels;
+      }
+    }
+    EXPECT_EQ(deletes, m.deletions);
+    EXPECT_EQ(inserts, m.insertions);
+    EXPECT_EQ(relabels, 2 * m.relabels);  // marked in both panes
+  }
+}
+
+}  // namespace
+}  // namespace treesim

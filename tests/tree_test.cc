@@ -1,0 +1,137 @@
+#include "tree/tree.h"
+
+#include <memory>
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace treesim {
+namespace {
+
+using testing::MakeTree;
+
+TEST(TreeBuilderTest, SingleNode) {
+  auto dict = std::make_shared<LabelDictionary>();
+  TreeBuilder b(dict);
+  const NodeId root = b.AddRoot("a");
+  Tree t = std::move(b).Build();
+  EXPECT_EQ(t.size(), 1);
+  EXPECT_EQ(t.root(), root);
+  EXPECT_EQ(t.LabelName(t.root()), "a");
+  EXPECT_EQ(t.parent(t.root()), kInvalidNode);
+  EXPECT_TRUE(t.is_leaf(t.root()));
+  EXPECT_EQ(t.Degree(t.root()), 0);
+}
+
+TEST(TreeBuilderTest, ChildrenKeepSiblingOrder) {
+  auto dict = std::make_shared<LabelDictionary>();
+  TreeBuilder b(dict);
+  const NodeId root = b.AddRoot("r");
+  const NodeId c1 = b.AddChild(root, "x");
+  const NodeId c2 = b.AddChild(root, "y");
+  const NodeId c3 = b.AddChild(root, "z");
+  Tree t = std::move(b).Build();
+  EXPECT_EQ(t.first_child(root), c1);
+  EXPECT_EQ(t.next_sibling(c1), c2);
+  EXPECT_EQ(t.next_sibling(c2), c3);
+  EXPECT_EQ(t.next_sibling(c3), kInvalidNode);
+  EXPECT_EQ(t.Children(root), (std::vector<NodeId>{c1, c2, c3}));
+  EXPECT_EQ(t.Degree(root), 3);
+  EXPECT_EQ(t.parent(c2), root);
+}
+
+TEST(TreeBuilderTest, SharedDictionaryAcrossTrees) {
+  auto dict = std::make_shared<LabelDictionary>();
+  Tree t1 = MakeTree("a{b}", dict);
+  Tree t2 = MakeTree("b{a}", dict);
+  EXPECT_EQ(t1.label_dict().get(), t2.label_dict().get());
+  // Same strings, same ids across trees.
+  EXPECT_EQ(t1.label(t1.root()), t2.label(t2.first_child(t2.root())));
+}
+
+TEST(TreeBuilderDeathTest, DoubleRootAborts) {
+  auto dict = std::make_shared<LabelDictionary>();
+  TreeBuilder b(dict);
+  b.AddRoot("a");
+  EXPECT_DEATH(b.AddRoot("b"), "AddRoot called twice");
+}
+
+TEST(TreeBuilderDeathTest, BuildWithoutRootAborts) {
+  auto dict = std::make_shared<LabelDictionary>();
+  TreeBuilder b(dict);
+  EXPECT_DEATH(std::move(b).Build(), "without AddRoot");
+}
+
+TEST(TreeBuilderDeathTest, BadParentAborts) {
+  auto dict = std::make_shared<LabelDictionary>();
+  TreeBuilder b(dict);
+  b.AddRoot("a");
+  EXPECT_DEATH(b.AddChild(5, "b"), "bad parent");
+}
+
+TEST(TreeTest, StructurallyEqualsPositive) {
+  auto dict = std::make_shared<LabelDictionary>();
+  Tree a = MakeTree("a{b{c d} e}", dict);
+  Tree b = MakeTree("a{b{c d} e}", dict);
+  EXPECT_TRUE(a.StructurallyEquals(b));
+  EXPECT_TRUE(b.StructurallyEquals(a));
+  EXPECT_TRUE(a.StructurallyEquals(a));
+}
+
+TEST(TreeTest, StructurallyEqualsDetectsLabelChange) {
+  auto dict = std::make_shared<LabelDictionary>();
+  Tree a = MakeTree("a{b{c d} e}", dict);
+  Tree b = MakeTree("a{b{c x} e}", dict);
+  EXPECT_FALSE(a.StructurallyEquals(b));
+}
+
+TEST(TreeTest, StructurallyEqualsDetectsShapeChange) {
+  auto dict = std::make_shared<LabelDictionary>();
+  Tree a = MakeTree("a{b c}", dict);
+  Tree b = MakeTree("a{b{c}}", dict);
+  EXPECT_FALSE(a.StructurallyEquals(b));
+}
+
+TEST(TreeTest, StructurallyEqualsDetectsSiblingOrder) {
+  auto dict = std::make_shared<LabelDictionary>();
+  Tree a = MakeTree("a{b c}", dict);
+  Tree b = MakeTree("a{c b}", dict);
+  EXPECT_FALSE(a.StructurallyEquals(b));
+}
+
+TEST(TreeTest, StructurallyEqualsDetectsSizeDifference) {
+  auto dict = std::make_shared<LabelDictionary>();
+  Tree a = MakeTree("a{b}", dict);
+  Tree b = MakeTree("a{b b}", dict);
+  EXPECT_FALSE(a.StructurallyEquals(b));
+}
+
+TEST(TreeTest, EmptyTree) {
+  Tree t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.size(), 0);
+}
+
+TEST(TreeTest, DeepChain) {
+  auto dict = std::make_shared<LabelDictionary>();
+  TreeBuilder b(dict);
+  NodeId node = b.AddRoot("n");
+  for (int i = 0; i < 50000; ++i) node = b.AddChild(node, "n");
+  Tree t = std::move(b).Build();
+  EXPECT_EQ(t.size(), 50001);
+  int depth = 0;
+  for (NodeId n = t.root(); n != kInvalidNode; n = t.first_child(n)) ++depth;
+  EXPECT_EQ(depth, 50001);
+}
+
+TEST(TreeTest, WideStar) {
+  auto dict = std::make_shared<LabelDictionary>();
+  TreeBuilder b(dict);
+  const NodeId root = b.AddRoot("r");
+  for (int i = 0; i < 10000; ++i) b.AddChild(root, "c");
+  Tree t = std::move(b).Build();
+  EXPECT_EQ(t.Degree(root), 10000);
+}
+
+}  // namespace
+}  // namespace treesim

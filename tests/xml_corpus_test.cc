@@ -1,0 +1,83 @@
+#include "xml/xml_corpus.h"
+
+#include <memory>
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+#include "tree/bracket.h"
+
+namespace treesim {
+namespace {
+
+using testing::MakeTree;
+
+constexpr char kMiniDblp[] = R"(<?xml version="1.0"?>
+<!DOCTYPE dblp SYSTEM "dblp.dtd">
+<dblp>
+  <article key="a1">
+    <author>Alice</author><title>Trees</title><year>2004</year>
+  </article>
+  <inproceedings key="p1">
+    <author>Bob</author><author>Carol</author><title>Graphs</title>
+  </inproceedings>
+  <www><author>Dan</author><url/></www>
+</dblp>)";
+
+TEST(XmlCorpusTest, SplitsDblpStyleDocument) {
+  auto dict = std::make_shared<LabelDictionary>();
+  StatusOr<std::vector<Tree>> records = ParseXmlCorpus(kMiniDblp, dict);
+  ASSERT_TRUE(records.ok()) << records.status();
+  ASSERT_EQ(records->size(), 3u);
+  EXPECT_EQ(ToBracket((*records)[0]),
+            "article{author{Alice} title{Trees} year{2004}}");
+  EXPECT_EQ(ToBracket((*records)[1]),
+            "inproceedings{author{Bob} author{Carol} title{Graphs}}");
+  EXPECT_EQ(ToBracket((*records)[2]), "www{author{Dan} url}");
+  // All records share the corpus dictionary.
+  EXPECT_EQ((*records)[0].label_dict().get(), dict.get());
+}
+
+TEST(XmlCorpusTest, StructureOnlyMode) {
+  auto dict = std::make_shared<LabelDictionary>();
+  XmlParseOptions options;
+  options.text_mode = XmlParseOptions::TextMode::kIgnore;
+  StatusOr<std::vector<Tree>> records =
+      ParseXmlCorpus(kMiniDblp, dict, options);
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(ToBracket((*records)[0]), "article{author title year}");
+}
+
+TEST(XmlCorpusTest, EmptyRootGivesEmptyForest) {
+  auto dict = std::make_shared<LabelDictionary>();
+  StatusOr<std::vector<Tree>> records = ParseXmlCorpus("<dblp/>", dict);
+  ASSERT_TRUE(records.ok());
+  EXPECT_TRUE(records->empty());
+}
+
+TEST(XmlCorpusTest, MalformedCorpusFails) {
+  auto dict = std::make_shared<LabelDictionary>();
+  EXPECT_FALSE(ParseXmlCorpus("<dblp><article></dblp>", dict).ok());
+}
+
+TEST(XmlCorpusTest, SplitChildrenOfBracketTree) {
+  auto dict = std::make_shared<LabelDictionary>();
+  Tree corpus = MakeTree("root{a{b c} d e{f}}", dict);
+  const std::vector<Tree> records = SplitChildren(corpus);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(ToBracket(records[0]), "a{b c}");
+  EXPECT_EQ(ToBracket(records[1]), "d");
+  EXPECT_EQ(ToBracket(records[2]), "e{f}");
+}
+
+TEST(XmlCorpusTest, SplitEmptyTree) {
+  Tree empty;
+  EXPECT_TRUE(SplitChildren(empty).empty());
+}
+
+TEST(XmlCorpusTest, MissingFileFails) {
+  auto dict = std::make_shared<LabelDictionary>();
+  EXPECT_FALSE(LoadXmlCorpus("/no/such/file.xml", dict).ok());
+}
+
+}  // namespace
+}  // namespace treesim

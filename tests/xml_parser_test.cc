@@ -1,0 +1,187 @@
+#include "xml/xml_parser.h"
+
+#include <memory>
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+#include "tree/bracket.h"
+
+namespace treesim {
+namespace {
+
+Tree ParseOk(const std::string& xml, const XmlParseOptions& options = {}) {
+  auto dict = std::make_shared<LabelDictionary>();
+  StatusOr<Tree> t = ParseXml(xml, dict, options);
+  EXPECT_TRUE(t.ok()) << t.status() << " for: " << xml;
+  return std::move(t).value();
+}
+
+XmlParseOptions StructureOnly() {
+  XmlParseOptions o;
+  o.text_mode = XmlParseOptions::TextMode::kIgnore;
+  return o;
+}
+
+TEST(XmlParserTest, SingleElement) {
+  Tree t = ParseOk("<a/>");
+  EXPECT_EQ(ToBracket(t), "a");
+}
+
+TEST(XmlParserTest, NestedElements) {
+  Tree t = ParseOk("<a><b><c/><d/></b><e/></a>", StructureOnly());
+  EXPECT_EQ(ToBracket(t), "a{b{c d} e}");
+}
+
+TEST(XmlParserTest, TextBecomesLeaf) {
+  Tree t = ParseOk("<author>Jane Doe</author>");
+  EXPECT_EQ(ToBracket(t), "author{'Jane Doe'}");
+}
+
+TEST(XmlParserTest, TextIgnoredMode) {
+  Tree t = ParseOk("<author>Jane Doe</author>", StructureOnly());
+  EXPECT_EQ(ToBracket(t), "author");
+}
+
+TEST(XmlParserTest, MixedContentKeepsOrder) {
+  Tree t = ParseOk("<p>one<b/>two</p>");
+  EXPECT_EQ(ToBracket(t), "p{one b two}");
+}
+
+TEST(XmlParserTest, WhitespaceOnlyTextIgnored) {
+  Tree t = ParseOk("<a>\n  <b/>\n</a>");
+  EXPECT_EQ(ToBracket(t), "a{b}");
+}
+
+TEST(XmlParserTest, AttributesIgnoredByDefault) {
+  Tree t = ParseOk("<a x=\"1\" y='2'><b z=\"3\"/></a>", StructureOnly());
+  EXPECT_EQ(ToBracket(t), "a{b}");
+}
+
+TEST(XmlParserTest, AttributesAsChildren) {
+  XmlParseOptions o;
+  o.include_attributes = true;
+  Tree t = ParseOk("<a x=\"1\"><b y='2'/></a>", o);
+  EXPECT_EQ(ToBracket(t), "a{@x{1} b{@y{2}}}");
+}
+
+TEST(XmlParserTest, DeclarationCommentDoctype) {
+  Tree t = ParseOk(
+      "<?xml version=\"1.0\"?>\n"
+      "<!DOCTYPE dblp SYSTEM \"dblp.dtd\">\n"
+      "<!-- a comment -->\n"
+      "<a><!-- inner --><b/></a>",
+      StructureOnly());
+  EXPECT_EQ(ToBracket(t), "a{b}");
+}
+
+TEST(XmlParserTest, DoctypeWithInternalSubset) {
+  Tree t = ParseOk("<!DOCTYPE a [ <!ELEMENT a (b)> ]><a><b/></a>",
+                   StructureOnly());
+  EXPECT_EQ(ToBracket(t), "a{b}");
+}
+
+TEST(XmlParserTest, CdataIsText) {
+  Tree t = ParseOk("<a><![CDATA[x < y & z]]></a>");
+  EXPECT_EQ(ToBracket(t), "a{'x < y & z'}");
+}
+
+TEST(XmlParserTest, EntityDecoding) {
+  Tree t = ParseOk("<a>&lt;tag&gt; &amp; &quot;x&quot; &apos;y&apos;</a>");
+  EXPECT_EQ(ToBracket(t), "a{'<tag> & \"x\" \\'y\\''}");
+}
+
+TEST(XmlParserTest, NumericCharacterReferences) {
+  Tree t = ParseOk("<a>&#65;&#x42;</a>");
+  EXPECT_EQ(ToBracket(t), "a{AB}");
+}
+
+TEST(XmlParserTest, LongTextTruncated) {
+  XmlParseOptions o;
+  o.max_text_label_length = 4;
+  Tree t = ParseOk("<a>abcdefgh</a>", o);
+  EXPECT_EQ(ToBracket(t), "a{abcd}");
+}
+
+TEST(XmlParserTest, DblpLikeRecord) {
+  Tree t = ParseOk(
+      "<article key=\"x\">"
+      "<author>A. U. Thor</author><author>B. Writer</author>"
+      "<title>On Trees</title><year>2004</year>"
+      "<journal>TODS</journal></article>");
+  EXPECT_EQ(ToBracket(t),
+            "article{author{'A. U. Thor'} author{'B. Writer'} "
+            "title{'On Trees'} year{2004} journal{TODS}}");
+}
+
+TEST(XmlParserTest, ErrorMismatchedTags) {
+  auto dict = std::make_shared<LabelDictionary>();
+  EXPECT_FALSE(ParseXml("<a><b></a></b>", dict).ok());
+}
+
+TEST(XmlParserTest, ErrorUnclosedElement) {
+  auto dict = std::make_shared<LabelDictionary>();
+  EXPECT_FALSE(ParseXml("<a><b/>", dict).ok());
+}
+
+TEST(XmlParserTest, ErrorMultipleRoots) {
+  auto dict = std::make_shared<LabelDictionary>();
+  EXPECT_FALSE(ParseXml("<a/><b/>", dict).ok());
+}
+
+TEST(XmlParserTest, ErrorNoRoot) {
+  auto dict = std::make_shared<LabelDictionary>();
+  EXPECT_FALSE(ParseXml("", dict).ok());
+  EXPECT_FALSE(ParseXml("<!-- only a comment -->", dict).ok());
+}
+
+TEST(XmlParserTest, ErrorTextOutsideRoot) {
+  auto dict = std::make_shared<LabelDictionary>();
+  EXPECT_FALSE(ParseXml("hello<a/>", dict).ok());
+  EXPECT_FALSE(ParseXml("<a/>world", dict).ok());
+}
+
+TEST(XmlParserTest, ErrorBadEntity) {
+  auto dict = std::make_shared<LabelDictionary>();
+  EXPECT_FALSE(ParseXml("<a>&unknown;</a>", dict).ok());
+  EXPECT_FALSE(ParseXml("<a>&#xZZ;</a>", dict).ok());
+}
+
+TEST(XmlParserTest, ErrorMalformedAttribute) {
+  auto dict = std::make_shared<LabelDictionary>();
+  EXPECT_FALSE(ParseXml("<a x=1/>", dict).ok());
+  EXPECT_FALSE(ParseXml("<a x></a>", dict).ok());
+}
+
+TEST(XmlWriterTest, RendersIndentedElements) {
+  Tree t = ParseOk("<a><b><c/></b><d/></a>", StructureOnly());
+  EXPECT_EQ(ToXml(t),
+            "<a>\n"
+            "  <b>\n"
+            "    <c/>\n"
+            "  </b>\n"
+            "  <d/>\n"
+            "</a>\n");
+}
+
+TEST(XmlWriterTest, EscapesSpecialCharacters) {
+  auto dict = std::make_shared<LabelDictionary>();
+  TreeBuilder b(dict);
+  b.AddRoot("a<b>&c");
+  Tree t = std::move(b).Build();
+  EXPECT_EQ(ToXml(t), "<a&lt;b&gt;&amp;c/>\n");
+}
+
+TEST(XmlRoundTripTest, StructureSurvives) {
+  auto dict = std::make_shared<LabelDictionary>();
+  const std::vector<LabelId> pool = testing::MakeLabelPool(dict, 4);
+  Rng rng(31);
+  for (int trial = 0; trial < 20; ++trial) {
+    Tree t = testing::RandomTree(rng.UniformInt(1, 50), pool, dict, rng);
+    StatusOr<Tree> back = ParseXml(ToXml(t), dict, StructureOnly());
+    ASSERT_TRUE(back.ok()) << back.status();
+    EXPECT_TRUE(t.StructurallyEquals(*back));
+  }
+}
+
+}  // namespace
+}  // namespace treesim

@@ -1,0 +1,211 @@
+#include "ted/zhang_shasha.h"
+
+#include <memory>
+
+#include "gtest/gtest.h"
+#include "ted/naive_ted.h"
+#include "test_util.h"
+
+namespace treesim {
+namespace {
+
+using testing::MakeLabelPool;
+using testing::MakeTree;
+using testing::RandomTree;
+
+int Dist(const std::string& a, const std::string& b) {
+  auto dict = std::make_shared<LabelDictionary>();
+  return TreeEditDistance(MakeTree(a, dict), MakeTree(b, dict));
+}
+
+TEST(TedTreeTest, ViewOfPaperT1) {
+  Tree t = MakeTree("a{b{c d} b{c d} e}");
+  const TedTree view = TedTree::FromTree(t);
+  ASSERT_EQ(view.size(), 8);
+  // Postorder: c d b c d b e a.
+  const LabelDictionary& dict = *t.label_dict();
+  std::string labels;
+  for (const LabelId l : view.labels) labels += std::string(dict.Name(l));
+  EXPECT_EQ(labels, "cdbcdbea");
+  // Leftmost leaves (0-based postorder): c->0 d->1 b->0 c->3 d->4 b->3
+  // e->6 a->0.
+  EXPECT_EQ(view.lml, (std::vector<int>{0, 1, 0, 3, 4, 3, 6, 0}));
+  // Keyroots: nodes with a left sibling, plus the root: d(1), d(4), b(5),
+  // e(6), a(7).
+  EXPECT_EQ(view.keyroots, (std::vector<int>{1, 4, 5, 6, 7}));
+}
+
+TEST(ZhangShashaTest, IdenticalTreesAreZero) {
+  EXPECT_EQ(Dist("a", "a"), 0);
+  EXPECT_EQ(Dist("a{b{c d} e}", "a{b{c d} e}"), 0);
+}
+
+TEST(ZhangShashaTest, SingleRelabel) {
+  EXPECT_EQ(Dist("a{b c}", "a{b d}"), 1);
+  EXPECT_EQ(Dist("a", "b"), 1);
+}
+
+TEST(ZhangShashaTest, SingleInsertDelete) {
+  EXPECT_EQ(Dist("a{b}", "a{b c}"), 1);
+  EXPECT_EQ(Dist("a{b c}", "a{b}"), 1);
+  EXPECT_EQ(Dist("a{b{c}}", "a{c}"), 1);  // delete inner b
+}
+
+TEST(ZhangShashaTest, InsertTakingOverChildren) {
+  // Insert x under a adopting both children.
+  EXPECT_EQ(Dist("a{b c}", "a{x{b c}}"), 1);
+  // Insert x adopting only the middle run.
+  EXPECT_EQ(Dist("a{b c d}", "a{b x{c} d}"), 1);
+}
+
+TEST(ZhangShashaTest, DisjointLabels) {
+  // No common labels: relabel min(|T1|,|T2|) + size difference.
+  EXPECT_EQ(Dist("a{b c}", "x{y z w}"), 4);
+  EXPECT_EQ(Dist("a", "x{y z w}"), 4);
+}
+
+TEST(ZhangShashaTest, StructuralReorder) {
+  // Sibling order matters for ordered TED.
+  EXPECT_EQ(Dist("a{b c}", "a{c b}"), 2);
+}
+
+TEST(ZhangShashaTest, ChainVsStar) {
+  // a{b{c{d}}} vs a{b c d}: every pair in the chain is ancestor-related but
+  // no pair of leaves in the star is, so at most the root plus one node can
+  // be mapped: 2 deletions + 2 insertions.
+  EXPECT_EQ(Dist("a{b{c{d}}}", "a{b c d}"), 4);
+}
+
+TEST(ZhangShashaTest, SizeDifferenceIsLowerBound) {
+  auto dict = std::make_shared<LabelDictionary>();
+  const std::vector<LabelId> pool = MakeLabelPool(dict, 3);
+  Rng rng(41);
+  for (int trial = 0; trial < 40; ++trial) {
+    Tree a = RandomTree(rng.UniformInt(1, 25), pool, dict, rng);
+    Tree b = RandomTree(rng.UniformInt(1, 25), pool, dict, rng);
+    EXPECT_GE(TreeEditDistance(a, b), std::abs(a.size() - b.size()));
+    EXPECT_LE(TreeEditDistance(a, b), a.size() + b.size());
+  }
+}
+
+TEST(ZhangShashaTest, MatchesNaiveOracleOnRandomTrees) {
+  auto dict = std::make_shared<LabelDictionary>();
+  const std::vector<LabelId> pool = MakeLabelPool(dict, 3);
+  Rng rng(43);
+  for (int trial = 0; trial < 150; ++trial) {
+    Tree a = RandomTree(rng.UniformInt(1, 14), pool, dict, rng);
+    Tree b = RandomTree(rng.UniformInt(1, 14), pool, dict, rng);
+    EXPECT_EQ(TreeEditDistance(a, b), NaiveTreeEditDistance(a, b))
+        << "trees: " << ToBracket(a) << " vs " << ToBracket(b);
+  }
+}
+
+TEST(ZhangShashaTest, MatchesNaiveOracleSingleLabel) {
+  // Pure structure distance (all labels equal) stresses the forest DP.
+  auto dict = std::make_shared<LabelDictionary>();
+  const std::vector<LabelId> pool = MakeLabelPool(dict, 1);
+  Rng rng(47);
+  for (int trial = 0; trial < 80; ++trial) {
+    Tree a = RandomTree(rng.UniformInt(1, 12), pool, dict, rng);
+    Tree b = RandomTree(rng.UniformInt(1, 12), pool, dict, rng);
+    EXPECT_EQ(TreeEditDistance(a, b), NaiveTreeEditDistance(a, b))
+        << "trees: " << ToBracket(a) << " vs " << ToBracket(b);
+  }
+}
+
+TEST(ZhangShashaTest, MetricAxiomsOnRandomTriples) {
+  auto dict = std::make_shared<LabelDictionary>();
+  const std::vector<LabelId> pool = MakeLabelPool(dict, 3);
+  Rng rng(53);
+  for (int trial = 0; trial < 30; ++trial) {
+    Tree a = RandomTree(rng.UniformInt(1, 18), pool, dict, rng);
+    Tree b = RandomTree(rng.UniformInt(1, 18), pool, dict, rng);
+    Tree c = RandomTree(rng.UniformInt(1, 18), pool, dict, rng);
+    const int ab = TreeEditDistance(a, b);
+    const int ba = TreeEditDistance(b, a);
+    const int ac = TreeEditDistance(a, c);
+    const int cb = TreeEditDistance(c, b);
+    EXPECT_EQ(ab, ba);                      // symmetry
+    EXPECT_LE(ab, ac + cb);                 // triangle inequality
+    EXPECT_EQ(TreeEditDistance(a, a), 0);   // identity
+    EXPECT_GE(ab, 0);
+  }
+}
+
+TEST(ZhangShashaTest, PrecomputedViewMatchesConvenienceOverload) {
+  auto dict = std::make_shared<LabelDictionary>();
+  Tree a = MakeTree("a{b{c} d}", dict);
+  Tree b = MakeTree("a{b c{d}}", dict);
+  const TedTree va = TedTree::FromTree(a);
+  const TedTree vb = TedTree::FromTree(b);
+  EXPECT_EQ(TreeEditDistance(va, vb), TreeEditDistance(a, b));
+}
+
+TEST(ZhangShashaTest, LargerTreesRun) {
+  auto dict = std::make_shared<LabelDictionary>();
+  const std::vector<LabelId> pool = MakeLabelPool(dict, 8);
+  Rng rng(59);
+  Tree a = RandomTree(300, pool, dict, rng);
+  Tree b = RandomTree(320, pool, dict, rng);
+  const int d = TreeEditDistance(a, b);
+  EXPECT_GE(d, 20);  // at least the size difference
+  EXPECT_LE(d, 620);
+}
+
+TEST(WeightedTedTest, UnitModelMatchesIntegerPath) {
+  auto dict = std::make_shared<LabelDictionary>();
+  const std::vector<LabelId> pool = MakeLabelPool(dict, 3);
+  Rng rng(61);
+  for (int trial = 0; trial < 30; ++trial) {
+    Tree a = RandomTree(rng.UniformInt(1, 20), pool, dict, rng);
+    Tree b = RandomTree(rng.UniformInt(1, 20), pool, dict, rng);
+    const TedTree va = TedTree::FromTree(a);
+    const TedTree vb = TedTree::FromTree(b);
+    EXPECT_DOUBLE_EQ(
+        TreeEditDistanceWeighted(va, vb, UnitCostModel::Get()),
+        static_cast<double>(TreeEditDistance(va, vb)));
+  }
+}
+
+// Doubling every op cost doubles the distance.
+class DoubledCostModel final : public CostModel {
+ public:
+  double Relabel(LabelId a, LabelId b) const override {
+    return a == b ? 0.0 : 2.0;
+  }
+  double Insert(LabelId) const override { return 2.0; }
+  double Delete(LabelId) const override { return 2.0; }
+  double MinOperationCost() const override { return 2.0; }
+};
+
+TEST(WeightedTedTest, ScalesLinearlyWithCosts) {
+  auto dict = std::make_shared<LabelDictionary>();
+  Tree a = MakeTree("a{b{c d} b{c d} e}", dict);
+  Tree b = MakeTree("a{b{c d b{e}} c d e}", dict);
+  const TedTree va = TedTree::FromTree(a);
+  const TedTree vb = TedTree::FromTree(b);
+  EXPECT_DOUBLE_EQ(TreeEditDistanceWeighted(va, vb, DoubledCostModel()),
+                   2.0 * TreeEditDistance(va, vb));
+}
+
+// Cheap relabels change the optimal script structure.
+class CheapRelabelModel final : public CostModel {
+ public:
+  double Relabel(LabelId a, LabelId b) const override {
+    return a == b ? 0.0 : 0.1;
+  }
+  double MinOperationCost() const override { return 0.1; }
+};
+
+TEST(WeightedTedTest, CheapRelabelPrefersRelabeling) {
+  auto dict = std::make_shared<LabelDictionary>();
+  Tree a = MakeTree("a{b c}", dict);
+  Tree b = MakeTree("x{y z}", dict);
+  const TedTree va = TedTree::FromTree(a);
+  const TedTree vb = TedTree::FromTree(b);
+  EXPECT_NEAR(TreeEditDistanceWeighted(va, vb, CheapRelabelModel()), 0.3,
+              1e-9);
+}
+
+}  // namespace
+}  // namespace treesim

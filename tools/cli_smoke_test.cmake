@@ -1,0 +1,60 @@
+# Smoke test for treesim_cli, run by ctest:
+#   cmake -DCLI=<binary> -DTMP=<scratch dir> -P cli_smoke_test.cmake
+# Exercises the full command surface on a small generated dataset and fails
+# on any non-zero exit or missing expected output.
+
+function(run_cli expect_substring)
+  execute_process(
+    COMMAND ${CLI} ${ARGN}
+    RESULT_VARIABLE code
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "treesim_cli ${ARGN} failed (${code}): ${err}")
+  endif()
+  if(NOT "${expect_substring}" STREQUAL "" AND
+     NOT out MATCHES "${expect_substring}")
+    message(FATAL_ERROR
+      "treesim_cli ${ARGN}: expected output matching '${expect_substring}', "
+      "got: ${out}")
+  endif()
+endfunction()
+
+file(MAKE_DIRECTORY ${TMP})
+set(data ${TMP}/cli_smoke.trees)
+set(xml ${TMP}/cli_smoke.xml)
+
+run_cli("wrote" generate --kind=dblp --count=80 --out=${data} --seed=5)
+run_cli("trees: +80" stats --data=${data})
+run_cli("exact edit distance: +3"
+        distance "--a=a{b{c d} b{c d} e}" "--b=a{b{c d b{e}} c d e}")
+run_cli("cost 2" mapping "--a=a{b c}" "--b=a{x c d}")
+run_cli("2 operations" patch "--a=a{b c}" "--b=a{x c d}")
+run_cli("matches within distance" range --data=${data}
+        "--query=article{author{auth0} title{ttl1} year{y0} journal{venue0}}"
+        --tau=3)
+run_cli("nearest neighbors" knn --data=${data}
+        "--query=article{author{auth0} title{ttl1} year{y0} journal{venue0}}"
+        --k=3)
+run_cli("pairs within distance" join --data=${data} --tau=1)
+run_cli("cost=" cluster --data=${data} --k=3)
+
+file(WRITE ${xml}
+  "<dblp><article><author>A</author><title>T</title></article>"
+  "<www><author>B</author><url/></www></dblp>")
+run_cli("imported 2 records" import --xml=${xml} --out=${TMP}/imported.trees)
+run_cli("trees: +2" stats --data=${TMP}/imported.trees)
+
+# Error paths exit non-zero.
+execute_process(COMMAND ${CLI} stats --data=/no/such/file
+                RESULT_VARIABLE code OUTPUT_QUIET ERROR_QUIET)
+if(code EQUAL 0)
+  message(FATAL_ERROR "stats on a missing file should fail")
+endif()
+execute_process(COMMAND ${CLI} bogus-command
+                RESULT_VARIABLE code OUTPUT_QUIET ERROR_QUIET)
+if(code EQUAL 0)
+  message(FATAL_ERROR "unknown command should fail")
+endif()
+
+message(STATUS "cli smoke test passed")

@@ -1,0 +1,382 @@
+// treesim — command-line front end for the tree similarity library.
+//
+// Subcommands:
+//   generate   synthesize a dataset and write it as a bracket forest file
+//   import     split an XML corpus document into a record forest file
+//   stats      print shape statistics of a forest file
+//   distance   exact and lower-bound distances between two bracket trees
+//   mapping    optimal edit mapping + diff between two bracket trees
+//   patch      minimal operation sequence transforming one tree into another
+//   range      range query against a forest file
+//   knn        k-NN query against a forest file
+//   join       self similarity join of a forest file
+//   cluster    k-medoids clustering of a forest file
+//
+// Run `treesim_cli <command> --help` (or no arguments) for usage.
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/binary_tree.h"
+#include "core/branch_profile.h"
+#include "core/positional.h"
+#include "datagen/dblp_generator.h"
+#include "datagen/synthetic_generator.h"
+#include "filters/bibranch_filter.h"
+#include "filters/histogram_filter.h"
+#include "filters/sequence_filter.h"
+#include "search/clustering.h"
+#include "search/similarity_join.h"
+#include "search/similarity_search.h"
+#include "ted/edit_mapping.h"
+#include "ted/edit_script_synthesis.h"
+#include "ted/tree_diff.h"
+#include "tree/bracket.h"
+#include "tree/forest_io.h"
+#include "tree/traversal.h"
+#include "util/flags.h"
+#include "xml/xml_corpus.h"
+
+namespace treesim {
+namespace cli {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: treesim_cli <command> [--flags]\n"
+               "\n"
+               "commands:\n"
+               "  generate --kind=synthetic|dblp --count=N --out=FILE\n"
+               "           [--size=50] [--fanout=4] [--labels=8] "
+               "[--decay=0.05] [--seed=1]\n"
+               "  import   --xml=FILE --out=FILE [--structure-only]\n"
+               "           (splits a corpus document, e.g. a DBLP dump, "
+               "into one tree per record)\n"
+               "  stats    --data=FILE\n"
+               "  distance --a=TREE --b=TREE [--q=2]\n"
+               "  mapping  --a=TREE --b=TREE\n"
+               "  patch    --a=TREE --b=TREE   (minimal operation sequence "
+               "a -> b)\n"
+               "  range    --data=FILE --query=TREE --tau=N "
+               "[--filter=bibranch|histo|seq|none]\n"
+               "  knn      --data=FILE --query=TREE --k=N "
+               "[--filter=bibranch|histo|seq|none]\n"
+               "  join     --data=FILE --tau=N [--filter=...]\n"
+               "  cluster  --data=FILE --k=N [--seed=1]\n"
+               "\n"
+               "TREE arguments use bracket notation, e.g. 'a{b{c d} e}'.\n");
+  return 2;
+}
+
+std::unique_ptr<FilterIndex> MakeFilter(const std::string& name) {
+  if (name == "bibranch") return std::make_unique<BiBranchFilter>();
+  if (name == "histo") return std::make_unique<HistogramFilter>();
+  if (name == "seq") return std::make_unique<SequenceFilter>();
+  if (name == "none") return nullptr;
+  std::fprintf(stderr, "unknown filter '%s' (want bibranch|histo|seq|none)\n",
+               name.c_str());
+  std::exit(2);
+}
+
+StatusOr<std::unique_ptr<TreeDatabase>> LoadDatabase(
+    const std::string& path, std::shared_ptr<LabelDictionary> labels) {
+  TREESIM_ASSIGN_OR_RETURN(std::vector<Tree> forest,
+                           LoadForest(path, labels));
+  if (forest.empty()) {
+    return Status::InvalidArgument(path + " contains no trees");
+  }
+  auto db = std::make_unique<TreeDatabase>(labels);
+  db->AddAll(std::move(forest));
+  return db;
+}
+
+StatusOr<Tree> ParseTreeFlag(const FlagParser& flags, const std::string& key,
+                             std::shared_ptr<LabelDictionary> labels) {
+  const std::string text = flags.GetString(key, "");
+  if (text.empty()) {
+    return Status::InvalidArgument("missing required flag --" + key);
+  }
+  return ParseBracket(text, std::move(labels));
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int CmdGenerate(const FlagParser& flags) {
+  const std::string kind = flags.GetString("kind", "synthetic");
+  const int count = static_cast<int>(flags.GetInt("count", 1000));
+  const std::string out = flags.GetString("out", "");
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  if (out.empty()) return Fail(Status::InvalidArgument("missing --out"));
+
+  auto labels = std::make_shared<LabelDictionary>();
+  std::vector<Tree> forest;
+  if (kind == "synthetic") {
+    SyntheticParams params;
+    params.size_mean = flags.GetDouble("size", 50);
+    params.fanout_mean = flags.GetDouble("fanout", 4);
+    params.label_count = static_cast<int>(flags.GetInt("labels", 8));
+    params.decay = flags.GetDouble("decay", 0.05);
+    SyntheticGenerator gen(params, labels, seed);
+    forest = gen.GenerateDataset(count);
+    std::printf("generated %d trees (%s)\n", count,
+                params.ToString().c_str());
+  } else if (kind == "dblp") {
+    DblpGenerator gen(DblpParams{}, labels, seed);
+    forest = gen.Generate(count);
+    std::printf("generated %d DBLP-like records\n", count);
+  } else {
+    return Fail(Status::InvalidArgument("unknown --kind '" + kind + "'"));
+  }
+  const Status saved = SaveForest(forest, out);
+  if (!saved.ok()) return Fail(saved);
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}
+
+int CmdImport(const FlagParser& flags) {
+  const std::string xml_path = flags.GetString("xml", "");
+  const std::string out = flags.GetString("out", "");
+  if (xml_path.empty() || out.empty()) {
+    return Fail(Status::InvalidArgument("need --xml and --out"));
+  }
+  auto labels = std::make_shared<LabelDictionary>();
+  XmlParseOptions options;
+  if (flags.GetBool("structure-only", false)) {
+    options.text_mode = XmlParseOptions::TextMode::kIgnore;
+  }
+  auto records = LoadXmlCorpus(xml_path, labels, options);
+  if (!records.ok()) return Fail(records.status());
+  const Status saved = SaveForest(*records, out);
+  if (!saved.ok()) return Fail(saved);
+  std::printf("imported %zu records from %s into %s\n", records->size(),
+              xml_path.c_str(), out.c_str());
+  return 0;
+}
+
+int CmdStats(const FlagParser& flags) {
+  auto labels = std::make_shared<LabelDictionary>();
+  auto db_or = LoadDatabase(flags.GetString("data", ""), labels);
+  if (!db_or.ok()) return Fail(db_or.status());
+  const TreeDatabase& db = **db_or;
+
+  int64_t nodes = 0;
+  int64_t leaves = 0;
+  int64_t height_total = 0;
+  int min_size = db.tree(0).size();
+  int max_size = 0;
+  for (int i = 0; i < db.size(); ++i) {
+    const Tree& t = db.tree(i);
+    nodes += t.size();
+    leaves += LeafCount(t);
+    height_total += TreeHeight(t);
+    min_size = std::min(min_size, t.size());
+    max_size = std::max(max_size, t.size());
+  }
+  std::printf("trees:           %d\n", db.size());
+  std::printf("total nodes:     %lld\n", static_cast<long long>(nodes));
+  std::printf("avg size:        %.2f (min %d, max %d)\n",
+              static_cast<double>(nodes) / db.size(), min_size, max_size);
+  std::printf("avg height:      %.2f\n",
+              static_cast<double>(height_total) / db.size());
+  std::printf("avg leaves:      %.2f\n",
+              static_cast<double>(leaves) / db.size());
+  std::printf("distinct labels: %zu\n", labels->size());
+  if (db.size() >= 2) {
+    Rng rng(7);
+    std::printf("avg distance:    %.2f (sampled)\n",
+                db.EstimateAverageDistance(
+                    rng, std::min(500, db.size() * (db.size() - 1) / 2)));
+  }
+  return 0;
+}
+
+int CmdDistance(const FlagParser& flags) {
+  auto labels = std::make_shared<LabelDictionary>();
+  auto a_or = ParseTreeFlag(flags, "a", labels);
+  if (!a_or.ok()) return Fail(a_or.status());
+  auto b_or = ParseTreeFlag(flags, "b", labels);
+  if (!b_or.ok()) return Fail(b_or.status());
+  const Tree& a = *a_or;
+  const Tree& b = *b_or;
+  const int q = static_cast<int>(flags.GetInt("q", 2));
+
+  BranchDictionary branches(q);
+  const BranchProfile pa = BranchProfile::FromTree(a, branches);
+  const BranchProfile pb = BranchProfile::FromTree(b, branches);
+  std::printf("|T1| = %d, |T2| = %d\n", a.size(), b.size());
+  std::printf("exact edit distance:        %d\n", TreeEditDistance(a, b));
+  std::printf("binary branch distance (q=%d): %lld\n", q,
+              static_cast<long long>(BranchDistance(pa, pb)));
+  std::printf("plain lower bound:          %d\n",
+              BranchDistanceLowerBound(pa, pb));
+  std::printf("positional lower bound:     %d\n", OptimisticBound(pa, pb));
+  return 0;
+}
+
+int CmdMapping(const FlagParser& flags) {
+  auto labels = std::make_shared<LabelDictionary>();
+  auto a_or = ParseTreeFlag(flags, "a", labels);
+  if (!a_or.ok()) return Fail(a_or.status());
+  auto b_or = ParseTreeFlag(flags, "b", labels);
+  if (!b_or.ok()) return Fail(b_or.status());
+  const Tree& a = *a_or;
+  const Tree& b = *b_or;
+  const EditMapping m = ComputeEditMapping(a, b);
+  std::printf("cost %d = %d relabel + %d delete + %d insert\n", m.cost,
+              m.relabels, m.deletions, m.insertions);
+  std::printf("%s", RenderTreeDiff(a, b, m).c_str());
+  const TraversalPositions pa = ComputePositions(a);
+  const TraversalPositions pb = ComputePositions(b);
+  for (const auto& [u, v] : m.pairs) {
+    std::printf("  %s (pre %d) -> %s (pre %d)%s\n",
+                std::string(a.LabelName(u)).c_str(),
+                pa.pre[static_cast<size_t>(u)],
+                std::string(b.LabelName(v)).c_str(),
+                pb.pre[static_cast<size_t>(v)],
+                a.label(u) != b.label(v) ? "  [relabel]" : "");
+  }
+  return 0;
+}
+
+int CmdPatch(const FlagParser& flags) {
+  auto labels = std::make_shared<LabelDictionary>();
+  auto a_or = ParseTreeFlag(flags, "a", labels);
+  if (!a_or.ok()) return Fail(a_or.status());
+  auto b_or = ParseTreeFlag(flags, "b", labels);
+  if (!b_or.ok()) return Fail(b_or.status());
+  auto script = ComputeEditScript(*a_or, *b_or);
+  if (!script.ok()) return Fail(script.status());
+  std::printf("%zu operations transform a into b:\n", script->size());
+  Tree current = *a_or;
+  for (const EditOperation& op : *script) {
+    std::printf("  %s\n", ToString(op, *labels).c_str());
+    auto next = ApplyEditOperation(current, op);
+    if (!next.ok()) return Fail(next.status());
+    current = std::move(next).value();
+    std::printf("    -> %s\n", ToBracket(current).c_str());
+  }
+  return 0;
+}
+
+int CmdRange(const FlagParser& flags) {
+  auto labels = std::make_shared<LabelDictionary>();
+  auto db_or = LoadDatabase(flags.GetString("data", ""), labels);
+  if (!db_or.ok()) return Fail(db_or.status());
+  auto query_or = ParseTreeFlag(flags, "query", labels);
+  if (!query_or.ok()) return Fail(query_or.status());
+  const int tau = static_cast<int>(flags.GetInt("tau", 2));
+
+  SimilaritySearch engine(db_or->get(),
+                          MakeFilter(flags.GetString("filter", "bibranch")));
+  const RangeResult r = engine.Range(*query_or, tau);
+  std::printf("%zu matches within distance %d (%s refined %lld/%lld, "
+              "%.1f ms filter + %.1f ms refine)\n",
+              r.matches.size(), tau, engine.filter_name().c_str(),
+              static_cast<long long>(r.stats.candidates),
+              static_cast<long long>(r.stats.database_size),
+              1e3 * r.stats.filter_seconds, 1e3 * r.stats.refine_seconds);
+  for (const auto& [id, dist] : r.matches) {
+    std::printf("  #%d d=%d %s\n", id, dist,
+                ToBracket((*db_or)->tree(id)).c_str());
+  }
+  return 0;
+}
+
+int CmdKnn(const FlagParser& flags) {
+  auto labels = std::make_shared<LabelDictionary>();
+  auto db_or = LoadDatabase(flags.GetString("data", ""), labels);
+  if (!db_or.ok()) return Fail(db_or.status());
+  auto query_or = ParseTreeFlag(flags, "query", labels);
+  if (!query_or.ok()) return Fail(query_or.status());
+  const int k = static_cast<int>(flags.GetInt("k", 5));
+
+  SimilaritySearch engine(db_or->get(),
+                          MakeFilter(flags.GetString("filter", "bibranch")));
+  const KnnResult r = engine.Knn(*query_or, k);
+  std::printf("%d nearest neighbors (%s refined %lld/%lld)\n",
+              static_cast<int>(r.neighbors.size()),
+              engine.filter_name().c_str(),
+              static_cast<long long>(r.stats.edit_distance_calls),
+              static_cast<long long>(r.stats.database_size));
+  for (const auto& [id, dist] : r.neighbors) {
+    std::printf("  #%d d=%d %s\n", id, dist,
+                ToBracket((*db_or)->tree(id)).c_str());
+  }
+  return 0;
+}
+
+int CmdJoin(const FlagParser& flags) {
+  auto labels = std::make_shared<LabelDictionary>();
+  auto db_or = LoadDatabase(flags.GetString("data", ""), labels);
+  if (!db_or.ok()) return Fail(db_or.status());
+  const int tau = static_cast<int>(flags.GetInt("tau", 2));
+  SimilarityJoin join(db_or->get(),
+                      MakeFilter(flags.GetString("filter", "bibranch")));
+  const JoinResult r = join.SelfJoin(tau);
+  std::printf("%zu pairs within distance %d (refined %lld of %lld pairs)\n",
+              r.pairs.size(), tau,
+              static_cast<long long>(r.stats.edit_distance_calls),
+              static_cast<long long>(r.stats.database_size));
+  const int show = std::min<int>(20, static_cast<int>(r.pairs.size()));
+  for (int i = 0; i < show; ++i) {
+    const auto& [l, rr, d] = r.pairs[static_cast<size_t>(i)];
+    std::printf("  #%d ~ #%d d=%d\n", l, rr, d);
+  }
+  if (show < static_cast<int>(r.pairs.size())) {
+    std::printf("  ... %zu more\n", r.pairs.size() - show);
+  }
+  return 0;
+}
+
+int CmdCluster(const FlagParser& flags) {
+  auto labels = std::make_shared<LabelDictionary>();
+  auto db_or = LoadDatabase(flags.GetString("data", ""), labels);
+  if (!db_or.ok()) return Fail(db_or.status());
+  KMedoidsOptions options;
+  options.k = static_cast<int>(flags.GetInt("k", 3));
+  Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 1)));
+  const ClusteringResult r = KMedoids(**db_or, options, rng);
+  std::printf("k=%d cost=%lld iterations=%d (exact distances: %lld, "
+              "pruned by filter: %lld)\n",
+              options.k, static_cast<long long>(r.total_cost), r.iterations,
+              static_cast<long long>(r.edit_distance_calls),
+              static_cast<long long>(r.pruned_by_filter));
+  for (size_t c = 0; c < r.medoids.size(); ++c) {
+    int members = 0;
+    for (const int a : r.assignment) {
+      if (a == static_cast<int>(c)) ++members;
+    }
+    std::printf("  cluster %zu: medoid #%d, %d members: %s\n", c,
+                r.medoids[c], members,
+                ToBracket((*db_or)->tree(r.medoids[c])).c_str());
+  }
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  const FlagParser flags(argc - 1, argv + 1);
+  if (command == "generate") return CmdGenerate(flags);
+  if (command == "import") return CmdImport(flags);
+  if (command == "stats") return CmdStats(flags);
+  if (command == "distance") return CmdDistance(flags);
+  if (command == "mapping") return CmdMapping(flags);
+  if (command == "patch") return CmdPatch(flags);
+  if (command == "range") return CmdRange(flags);
+  if (command == "knn") return CmdKnn(flags);
+  if (command == "join") return CmdJoin(flags);
+  if (command == "cluster") return CmdCluster(flags);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace cli
+}  // namespace treesim
+
+int main(int argc, char** argv) { return treesim::cli::Main(argc, argv); }
