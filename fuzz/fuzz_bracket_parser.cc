@@ -1,0 +1,62 @@
+// libFuzzer harness for the bracket-notation parser (tree/bracket.h).
+//
+// Beyond "don't crash / don't trip a sanitizer", the harness asserts the
+// parser's behavioral contract on every accepted input:
+//   - the parsed tree satisfies Tree::ValidateInvariants(),
+//   - ToBracket() round-trips: serializing and reparsing yields a
+//     structurally identical tree,
+//   - small accepted trees produce a valid branch profile (the downstream
+//     structure every filter consumes).
+//
+// Built with -fsanitize=fuzzer under clang; with other toolchains the
+// standalone driver in standalone_main.cc replays corpus files through the
+// same entry point (see fuzz/CMakeLists.txt).
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "core/branch_profile.h"
+#include "tree/bracket.h"
+#include "tree/tree.h"
+#include "util/logging.h"
+#include "util/status.h"
+
+namespace {
+
+// Inputs larger than this are legal but slow; the parser is O(n), so long
+// inputs only dilute coverage-guided search.
+constexpr size_t kMaxInputBytes = 1 << 16;
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size > kMaxInputBytes) return 0;
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+
+  const auto labels = std::make_shared<treesim::LabelDictionary>();
+  treesim::StatusOr<treesim::Tree> parsed =
+      treesim::ParseBracket(text, labels);
+  if (!parsed.ok()) return 0;  // rejection is a valid outcome
+
+  const treesim::Tree& tree = parsed.value();
+  TREESIM_CHECK_OK(tree.ValidateInvariants());
+
+  const std::string serialized = treesim::ToBracket(tree);
+  treesim::StatusOr<treesim::Tree> reparsed =
+      treesim::ParseBracket(serialized, labels);
+  TREESIM_CHECK(reparsed.ok())
+      << "ToBracket produced unparseable output: " << reparsed.status()
+      << " for \"" << serialized << "\"";
+  TREESIM_CHECK(tree.StructurallyEquals(*reparsed))
+      << "bracket round-trip changed the tree: \"" << serialized << "\"";
+
+  if (tree.size() <= 256) {
+    treesim::BranchDictionary dict(2);
+    TREESIM_CHECK_OK(
+        treesim::BranchProfile::FromTree(tree, dict).ValidateInvariants());
+  }
+  return 0;
+}

@@ -1,0 +1,61 @@
+// libFuzzer harness for the XML parser (xml/xml_parser.h).
+//
+// Every accepted document must produce a tree that passes
+// Tree::ValidateInvariants() under all three option profiles the library
+// supports (ignore text / text as leaves / attributes included), and
+// ToXml() must serialize it without crashing. ToXml is a debug renderer,
+// not a round-tripper, so reparse of its output is exercised but allowed
+// to fail.
+//
+// Built with -fsanitize=fuzzer under clang; with other toolchains the
+// standalone driver in standalone_main.cc replays corpus files through the
+// same entry point (see fuzz/CMakeLists.txt).
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "tree/tree.h"
+#include "util/logging.h"
+#include "util/status.h"
+#include "xml/xml_parser.h"
+
+namespace {
+
+constexpr size_t kMaxInputBytes = 1 << 16;
+
+void ParseWith(std::string_view xml, const treesim::XmlParseOptions& options) {
+  const auto labels = std::make_shared<treesim::LabelDictionary>();
+  treesim::StatusOr<treesim::Tree> parsed =
+      treesim::ParseXml(xml, labels, options);
+  if (!parsed.ok()) return;
+  const treesim::Tree& tree = parsed.value();
+  TREESIM_CHECK_OK(tree.ValidateInvariants());
+  const std::string rendered = treesim::ToXml(tree);
+  // Best-effort reparse: labels may not be valid XML names, so failure is
+  // fine — but a successful reparse must again be a valid tree.
+  treesim::StatusOr<treesim::Tree> reparsed =
+      treesim::ParseXml(rendered, labels, options);
+  if (reparsed.ok()) TREESIM_CHECK_OK(reparsed->ValidateInvariants());
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size > kMaxInputBytes) return 0;
+  const std::string_view xml(reinterpret_cast<const char*>(data), size);
+
+  treesim::XmlParseOptions structure_only;
+  structure_only.text_mode = treesim::XmlParseOptions::TextMode::kIgnore;
+  ParseWith(xml, structure_only);
+
+  treesim::XmlParseOptions with_text;  // defaults: text as leaves
+  ParseWith(xml, with_text);
+
+  treesim::XmlParseOptions with_attributes;
+  with_attributes.include_attributes = true;
+  ParseWith(xml, with_attributes);
+  return 0;
+}

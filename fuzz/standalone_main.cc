@@ -1,0 +1,59 @@
+// Fallback driver for toolchains without libFuzzer (e.g. GCC): replays
+// files or directories of files through LLVMFuzzerTestOneInput, one process
+// for the whole set. Used by the fuzz smoke tests in ctest so the harness
+// contracts are exercised on every corpus seed even where coverage-guided
+// fuzzing is unavailable. With clang, fuzz/CMakeLists.txt links
+// -fsanitize=fuzzer instead and this file is not compiled.
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+int ReplayFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return 1;
+  }
+  const std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                                std::istreambuf_iterator<char>());
+  LLVMFuzzerTestOneInput(reinterpret_cast<const uint8_t*>(bytes.data()),
+                         bytes.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <corpus file or directory>...\n", argv[0]);
+    return 2;
+  }
+  int replayed = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::filesystem::path p(argv[i]);
+    // libFuzzer flags (e.g. -runs=0 from a shared ctest invocation) are
+    // meaningless here; skip them instead of failing.
+    if (!p.empty() && p.string()[0] == '-') continue;
+    if (std::filesystem::is_directory(p)) {
+      for (const auto& entry : std::filesystem::directory_iterator(p)) {
+        if (!entry.is_regular_file()) continue;
+        if (ReplayFile(entry.path().string()) != 0) return 1;
+        ++replayed;
+      }
+    } else {
+      if (ReplayFile(p.string()) != 0) return 1;
+      ++replayed;
+    }
+  }
+  std::fprintf(stderr, "replayed %d corpus input(s), no failures\n",
+               replayed);
+  return 0;
+}

@@ -1,5 +1,6 @@
 #include "core/binary_tree.h"
 
+#include <string>
 #include <utility>
 
 #include "util/logging.h"
@@ -42,8 +43,91 @@ NormalizedBinaryTree NormalizedBinaryTree::FromTree(const Tree& t) {
     stack.push_back({t.first_child(w.original), left_slot});
     stack.push_back({t.next_sibling(w.original), right_slot});
   }
-  TREESIM_DCHECK(b.original_count_ == t.size());
+  TREESIM_DCHECK_OK(b.ValidateInvariants(&t));
   return b;
+}
+
+Status NormalizedBinaryTree::ValidateInvariants(const Tree* source) const {
+  if (nodes_.empty()) return Status::Internal("B(T) has no nodes");
+  const int n = static_cast<int>(nodes_.size());
+  if (n != 2 * original_count_ + 1) {
+    return Status::Internal(
+        "padding count off: " + std::to_string(n) + " slots for " +
+        std::to_string(original_count_) + " original nodes");
+  }
+  std::vector<char> seen(static_cast<size_t>(n), 0);
+  std::vector<BNodeId> stack = {root()};
+  seen[0] = 1;
+  int visited = 1;
+  int originals = 0;
+  std::vector<char> mirrored;  // source nodes covered by an original slot
+  if (source != nullptr) {
+    mirrored.assign(static_cast<size_t>(source->size()), 0);
+  }
+  while (!stack.empty()) {
+    const BNodeId id = stack.back();
+    stack.pop_back();
+    const BNode& node = nodes_[static_cast<size_t>(id)];
+    if (node.original == kInvalidNode) {
+      // ε pad: always a leaf, always labeled ε.
+      if (node.label != kEpsilonLabel) {
+        return Status::Internal("ε node " + std::to_string(id) +
+                                " carries a non-ε label");
+      }
+      if (node.left != kNoChild || node.right != kNoChild) {
+        return Status::Internal("ε node " + std::to_string(id) +
+                                " has children");
+      }
+      continue;
+    }
+    ++originals;
+    // Original node: padded to exactly two children (Fig. 2).
+    if (node.left == kNoChild || node.right == kNoChild) {
+      return Status::Internal("original node " + std::to_string(id) +
+                              " missing a padded child");
+    }
+    if (source != nullptr) {
+      if (node.original < 0 || node.original >= source->size()) {
+        return Status::Internal("original link out of range at node " +
+                                std::to_string(id));
+      }
+      if (mirrored[static_cast<size_t>(node.original)]++ != 0) {
+        return Status::Internal("source node mirrored twice at node " +
+                                std::to_string(id));
+      }
+      if (node.label != source->label(node.original)) {
+        return Status::Internal("label disagrees with the source tree at "
+                                "node " + std::to_string(id));
+      }
+    }
+    for (const BNodeId child : {node.left, node.right}) {
+      if (child < 0 || child >= n) {
+        return Status::Internal("child link out of range at node " +
+                                std::to_string(id));
+      }
+      if (seen[static_cast<size_t>(child)] != 0) {
+        return Status::Internal("slot reached twice (not a tree) at node " +
+                                std::to_string(child));
+      }
+      seen[static_cast<size_t>(child)] = 1;
+      ++visited;
+      stack.push_back(child);
+    }
+  }
+  if (visited != n) {
+    return Status::Internal("unreachable slots: visited " +
+                            std::to_string(visited) + " of " +
+                            std::to_string(n));
+  }
+  if (originals != original_count_) {
+    return Status::Internal("original_count() does not match the nodes");
+  }
+  if (source != nullptr && originals != source->size()) {
+    return Status::Internal("B(T) mirrors " + std::to_string(originals) +
+                            " nodes but T has " +
+                            std::to_string(source->size()));
+  }
+  return Status::Ok();
 }
 
 std::string NormalizedBinaryTree::ToString(

@@ -52,7 +52,18 @@ class NormalizedBinaryTree {
   /// Multi-line ASCII rendering (indented preorder), for debugging/examples.
   std::string ToString(const LabelDictionary& labels) const;
 
+  /// Verifies the ε-padding shape of Section 3.2: node 0 is the root, every
+  /// slot is reachable exactly once (a well-formed binary tree), every
+  /// original node has BOTH children, every ε node is a leaf labeled
+  /// kEpsilonLabel, and epsilon_count() == original_count() + 1. When
+  /// `source` is non-null the `original` back-links are also cross-checked
+  /// against it (distinct, in range, labels agree, one per source node).
+  /// O(|B(T)|). Debug builds run this at the end of FromTree().
+  Status ValidateInvariants(const Tree* source = nullptr) const;
+
  private:
+  friend struct InvariantTestPeer;  // tests corrupt nodes to hit validators
+
   std::vector<BNode> nodes_;
   int original_count_ = 0;
 };

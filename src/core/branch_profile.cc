@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <string>
 
 #include "util/logging.h"
 
@@ -35,7 +36,59 @@ BranchProfile BranchProfile::FromTree(const Tree& t, BranchDictionary& dict) {
   for (BranchEntry& e : p.entries) {
     std::sort(e.posts_sorted.begin(), e.posts_sorted.end());
   }
+  TREESIM_DCHECK_OK(p.ValidateInvariants());
   return p;
+}
+
+Status BranchProfile::ValidateInvariants() const {
+  if (tree_size < 0) return Status::Internal("negative tree size");
+  if (q < 2) return Status::Internal("branch level q must be >= 2");
+  if (factor != 4 * (q - 1) + 1) {
+    return Status::Internal("factor disagrees with 4(q-1)+1 for q=" +
+                            std::to_string(q));
+  }
+  int total = 0;
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const BranchEntry& e = entries[i];
+    if (i > 0 && entries[i - 1].branch >= e.branch) {
+      return Status::Internal("entries not strictly ascending by branch id");
+    }
+    if (e.occurrences.empty()) {
+      return Status::Internal("zero-count entry for branch " +
+                              std::to_string(e.branch));
+    }
+    if (e.posts_sorted.size() != e.occurrences.size()) {
+      return Status::Internal("posts_sorted size mismatch for branch " +
+                              std::to_string(e.branch));
+    }
+    std::vector<int> posts;
+    posts.reserve(e.occurrences.size());
+    for (size_t o = 0; o < e.occurrences.size(); ++o) {
+      const auto& [pre, post] = e.occurrences[o];
+      if (pre < 1 || pre > tree_size || post < 1 || post > tree_size) {
+        return Status::Internal("position outside [1, |T|] for branch " +
+                                std::to_string(e.branch));
+      }
+      if (o > 0 && e.occurrences[o - 1].first >= pre) {
+        return Status::Internal("occurrences not ascending by preorder for "
+                                "branch " + std::to_string(e.branch));
+      }
+      posts.push_back(post);
+    }
+    std::sort(posts.begin(), posts.end());
+    if (posts != e.posts_sorted) {
+      return Status::Internal("posts_sorted is not the sorted occurrence "
+                              "postorders for branch " +
+                              std::to_string(e.branch));
+    }
+    total += e.count();
+  }
+  // Every node of T roots exactly one branch (Definition 3).
+  if (total != tree_size) {
+    return Status::Internal("occurrence total " + std::to_string(total) +
+                            " != tree size " + std::to_string(tree_size));
+  }
+  return Status::Ok();
 }
 
 int64_t BranchDistance(const BranchProfile& a, const BranchProfile& b) {

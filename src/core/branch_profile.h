@@ -44,6 +44,15 @@ struct BranchProfile {
   /// Builds the profile of one tree, interning new branches into `dict`.
   /// O(|T| * 2^q + d log d) where d is the number of distinct branches.
   static BranchProfile FromTree(const Tree& t, BranchDictionary& dict);
+
+  /// Verifies the sparse-vector invariants the filters rely on: q/factor
+  /// agree with Theorem 3.3, entries strictly ascending by branch id with
+  /// positive counts, occurrences ascending by preorder, posts_sorted an
+  /// ascending permutation of the occurrence postorders, all positions in
+  /// [1, tree_size], and total occurrences == tree_size (one branch per
+  /// node, Definition 3). O(total occurrences). Debug builds run this at
+  /// the end of FromTree() and on every profile of BuildProfiles().
+  Status ValidateInvariants() const;
 };
 
 /// The binary branch distance BDist(T1, T2) of Definition 4: the L1 distance

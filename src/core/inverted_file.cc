@@ -1,6 +1,7 @@
 #include "core/inverted_file.h"
 
 #include <algorithm>
+#include <string>
 
 #include "util/logging.h"
 
@@ -41,7 +42,62 @@ std::vector<int> InvertedFileIndex::TreesContaining(BranchId branch) const {
   return out;
 }
 
+Status InvertedFileIndex::ValidateInvariants() const {
+  if (tree_count_ < 0) return Status::Internal("negative tree count");
+  if (tree_sizes_.size() != static_cast<size_t>(tree_count_)) {
+    return Status::Internal("tree_sizes out of step with tree count");
+  }
+  if (lists_.size() > dict_.size()) {
+    return Status::Internal("more inverted lists than interned branches");
+  }
+  std::vector<int64_t> occurrences_per_tree(static_cast<size_t>(tree_count_),
+                                            0);
+  for (size_t branch = 0; branch < lists_.size(); ++branch) {
+    const std::vector<Posting>& list = lists_[branch];
+    for (size_t p = 0; p < list.size(); ++p) {
+      const Posting& posting = list[p];
+      if (posting.tree_id < 0 || posting.tree_id >= tree_count_) {
+        return Status::Internal("posting names unknown tree " +
+                                std::to_string(posting.tree_id));
+      }
+      if (p > 0 && list[p - 1].tree_id >= posting.tree_id) {
+        return Status::Internal("postings not strictly ascending by tree id "
+                                "for branch " + std::to_string(branch));
+      }
+      if (posting.positions.empty()) {
+        return Status::Internal("empty posting for branch " +
+                                std::to_string(branch));
+      }
+      const int tree_size = tree_sizes_[static_cast<size_t>(posting.tree_id)];
+      for (size_t o = 0; o < posting.positions.size(); ++o) {
+        const auto& [pre, post] = posting.positions[o];
+        if (pre < 1 || pre > tree_size || post < 1 || post > tree_size) {
+          return Status::Internal("position outside [1, |T|] in tree " +
+                                  std::to_string(posting.tree_id));
+        }
+        if (o > 0 && posting.positions[o - 1].first >= pre) {
+          return Status::Internal("positions not ascending by preorder in "
+                                  "tree " + std::to_string(posting.tree_id));
+        }
+      }
+      occurrences_per_tree[static_cast<size_t>(posting.tree_id)] +=
+          posting.count();
+    }
+  }
+  // Every node of every indexed tree roots exactly one branch, so the
+  // per-tree totals across all lists must equal the tree sizes.
+  for (int t = 0; t < tree_count_; ++t) {
+    if (occurrences_per_tree[static_cast<size_t>(t)] !=
+        tree_sizes_[static_cast<size_t>(t)]) {
+      return Status::Internal("occurrence total of tree " + std::to_string(t) +
+                              " does not match its size");
+    }
+  }
+  return Status::Ok();
+}
+
 std::vector<BranchProfile> InvertedFileIndex::BuildProfiles() const {
+  TREESIM_DCHECK_OK(ValidateInvariants());
   std::vector<BranchProfile> profiles(static_cast<size_t>(tree_count_));
   for (int i = 0; i < tree_count_; ++i) {
     BranchProfile& p = profiles[static_cast<size_t>(i)];
@@ -65,6 +121,11 @@ std::vector<BranchProfile> InvertedFileIndex::BuildProfiles() const {
       p.entries.push_back(std::move(entry));
     }
   }
+#ifndef NDEBUG
+  for (const BranchProfile& p : profiles) {
+    TREESIM_DCHECK_OK(p.ValidateInvariants());
+  }
+#endif
   return profiles;
 }
 

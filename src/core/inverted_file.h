@@ -57,7 +57,16 @@ class InvertedFileIndex {
   /// Result is indexed by tree id; entries are sorted by branch id.
   std::vector<BranchProfile> BuildProfiles() const;
 
+  /// Verifies the IFI invariants of Fig. 3a: inverted lists strictly
+  /// ascending by tree id with positive counts, positions ascending by
+  /// preorder and inside [1, |Ti|], and per-tree occurrence totals equal to
+  /// the tree sizes (every node contributes exactly one branch). O(index
+  /// size). Debug builds run this at the start of BuildProfiles().
+  Status ValidateInvariants() const;
+
  private:
+  friend struct InvariantTestPeer;  // tests corrupt lists to hit validators
+
   BranchDictionary dict_;
   std::vector<std::vector<Posting>> lists_;  // indexed by BranchId
   std::vector<int> tree_sizes_;              // indexed by tree id

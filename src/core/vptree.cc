@@ -1,6 +1,8 @@
 #include "core/vptree.h"
 
 #include <algorithm>
+#include <functional>
+#include <string>
 #include <utility>
 
 #include "util/logging.h"
@@ -16,6 +18,86 @@ VpTree::VpTree(const std::vector<BranchProfile>* profiles, Rng& rng)
     nodes_.reserve(2 * ids.size() / kLeafSize + 4);
     root_ = Build(ids, 0, ids.size(), rng);
   }
+  TREESIM_DCHECK_OK(ValidateInvariants());
+}
+
+Status VpTree::ValidateInvariants() const {
+  const int n = size();
+  if (root_ < 0) {
+    if (n != 0) {
+      return Status::Internal("profiles present but the tree has no root");
+    }
+    return Status::Ok();
+  }
+  std::vector<char> indexed(static_cast<size_t>(n), 0);
+  std::vector<char> node_seen(nodes_.size(), 0);
+  const auto record = [&](int id, std::vector<int>& ids) -> Status {
+    if (id < 0 || id >= n) {
+      return Status::Internal("profile id out of range: " +
+                              std::to_string(id));
+    }
+    if (indexed[static_cast<size_t>(id)]++ != 0) {
+      return Status::Internal("profile indexed twice: " + std::to_string(id));
+    }
+    ids.push_back(id);
+    return Status::Ok();
+  };
+  // Walks a subtree, collecting every profile id it indexes into `ids`, and
+  // checks ball containment at each internal node on the way back up.
+  std::function<Status(int, std::vector<int>&)> walk =
+      [&](int node_index, std::vector<int>& ids) -> Status {
+    if (node_index < 0 || node_index >= static_cast<int>(nodes_.size())) {
+      return Status::Internal("node link out of range: " +
+                              std::to_string(node_index));
+    }
+    if (node_seen[static_cast<size_t>(node_index)]++ != 0) {
+      return Status::Internal("node visited twice: " +
+                              std::to_string(node_index));
+    }
+    const Node& node = nodes_[static_cast<size_t>(node_index)];
+    if (node.is_leaf) {
+      for (const int id : node.bucket) {
+        TREESIM_RETURN_IF_ERROR(record(id, ids));
+      }
+      return Status::Ok();
+    }
+    TREESIM_RETURN_IF_ERROR(record(node.profile, ids));
+    std::vector<int> inside_ids;
+    std::vector<int> outside_ids;
+    TREESIM_RETURN_IF_ERROR(walk(node.inside, inside_ids));
+    TREESIM_RETURN_IF_ERROR(walk(node.outside, outside_ids));
+    // Metric-ball containment: Search() prunes whole subtrees with the
+    // triangle inequality, which is only sound when inside really means
+    // d <= radius and outside really means d > radius.
+    const BranchProfile& vantage = (*profiles_)[static_cast<size_t>(
+        node.profile)];
+    for (const int id : inside_ids) {
+      if (BranchDistance(vantage, (*profiles_)[static_cast<size_t>(id)]) >
+          node.radius) {
+        return Status::Internal("inside ball violated at node " +
+                                std::to_string(node_index) + " by profile " +
+                                std::to_string(id));
+      }
+    }
+    for (const int id : outside_ids) {
+      if (BranchDistance(vantage, (*profiles_)[static_cast<size_t>(id)]) <=
+          node.radius) {
+        return Status::Internal("outside shell violated at node " +
+                                std::to_string(node_index) + " by profile " +
+                                std::to_string(id));
+      }
+    }
+    ids.insert(ids.end(), inside_ids.begin(), inside_ids.end());
+    ids.insert(ids.end(), outside_ids.begin(), outside_ids.end());
+    return Status::Ok();
+  };
+  std::vector<int> all;
+  TREESIM_RETURN_IF_ERROR(walk(root_, all));
+  if (static_cast<int>(all.size()) != n) {
+    return Status::Internal("indexed " + std::to_string(all.size()) +
+                            " profiles of " + std::to_string(n));
+  }
+  return Status::Ok();
 }
 
 int VpTree::Build(std::vector<int>& ids, size_t begin, size_t end, Rng& rng) {

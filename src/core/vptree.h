@@ -6,6 +6,7 @@
 
 #include "core/branch_profile.h"
 #include "util/random.h"
+#include "util/status.h"
 
 namespace treesim {
 
@@ -44,7 +45,18 @@ class VpTree {
   /// Tree depth (for tests/diagnostics).
   int Depth() const;
 
+  /// Verifies the metric-ball invariants RangeSearch's pruning relies on:
+  /// every profile id indexed exactly once, all node links in range, and —
+  /// the load-bearing property — ball containment: every id in an inside
+  /// subtree is within `radius` of the vantage point, every id in an
+  /// outside subtree is farther. A violation means the triangle-inequality
+  /// pruning of Search() can silently drop results. O(n log n) BDist
+  /// evaluations. Debug builds run this at the end of construction.
+  Status ValidateInvariants() const;
+
  private:
+  friend struct InvariantTestPeer;  // tests corrupt nodes to hit validators
+
   struct Node {
     int profile = -1;           // vantage point (profile id)
     int64_t radius = 0;         // median BDist to the vantage point

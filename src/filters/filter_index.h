@@ -54,9 +54,7 @@ class FilterIndex {
   /// are refined with the exact distance either way, so soundness is about
   /// completeness of this set.
   virtual std::optional<std::vector<int>> TryRangeCandidates(
-      const QueryContext& ctx, double tau) const {
-    (void)ctx;
-    (void)tau;
+      const QueryContext& /*ctx*/, double /*tau*/) const {
     return std::nullopt;
   }
 };

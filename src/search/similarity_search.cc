@@ -23,8 +23,10 @@ RangeResult SimilaritySearch::Range(const Tree& query, int tau) {
   RangeResult result;
   result.stats.database_size = db_->size();
 
-  // Filtering step.
+  // Filtering step. The context outlives the branch so the debug-mode
+  // soundness check below can re-probe the filter per refined candidate.
   std::vector<int> candidates;
+  std::unique_ptr<QueryContext> ctx;
   Stopwatch filter_timer;
   if (filter_ == nullptr) {
     candidates.resize(static_cast<size_t>(db_->size()));
@@ -32,7 +34,7 @@ RangeResult SimilaritySearch::Range(const Tree& query, int tau) {
       candidates[static_cast<size_t>(id)] = id;
     }
   } else {
-    const std::unique_ptr<QueryContext> ctx = filter_->PrepareQuery(query);
+    ctx = filter_->PrepareQuery(query);
     std::optional<std::vector<int>> batch =
         filter_->TryRangeCandidates(*ctx, tau);
     if (batch.has_value()) {
@@ -52,6 +54,16 @@ RangeResult SimilaritySearch::Range(const Tree& query, int tau) {
   for (const int id : candidates) {
     const int d = TreeEditDistance(query_view, db_->ted_view(id));
     ++result.stats.edit_distance_calls;
+#ifndef NDEBUG
+    // Theorem 3.2/3.3 as a machine-checked invariant: the filter's lower
+    // bound (ceil(BDist / [4(q-1)+1]) for the branch filters) must never
+    // exceed the exact edit distance on any refined candidate.
+    if (ctx != nullptr) {
+      TREESIM_DCHECK_LE(filter_->LowerBound(*ctx, id), static_cast<double>(d))
+          << "unsound lower bound from filter " << filter_->name()
+          << " on tree " << id;
+    }
+#endif
     if (d <= tau) result.matches.emplace_back(id, d);
   }
   result.stats.refine_seconds = refine_timer.ElapsedSeconds();
@@ -108,6 +120,11 @@ KnnResult SimilaritySearch::Knn(const Tree& query, int k) {
     }
     const int d = TreeEditDistance(query_view, db_->ted_view(id));
     ++result.stats.edit_distance_calls;
+    // Soundness of the pruning sweep: a bound above the exact distance
+    // would let the early break drop true neighbors.
+    TREESIM_DCHECK_LE(bounds[static_cast<size_t>(id)],
+                      static_cast<double>(d))
+        << "unsound lower bound on tree " << id;
     if (static_cast<int>(heap.size()) < k) {
       heap.emplace(d, id);
     } else if (std::make_pair(d, id) < heap.top()) {
@@ -140,6 +157,7 @@ WeightedRangeResult SimilaritySearch::RangeWeighted(const Tree& query,
   // that scaled threshold.
   const double unit_tau = tau / c_min;
   std::vector<int> candidates;
+  std::unique_ptr<QueryContext> ctx;
   Stopwatch filter_timer;
   if (filter_ == nullptr) {
     candidates.resize(static_cast<size_t>(db_->size()));
@@ -147,7 +165,7 @@ WeightedRangeResult SimilaritySearch::RangeWeighted(const Tree& query,
       candidates[static_cast<size_t>(id)] = id;
     }
   } else {
-    const std::unique_ptr<QueryContext> ctx = filter_->PrepareQuery(query);
+    ctx = filter_->PrepareQuery(query);
     std::optional<std::vector<int>> batch =
         filter_->TryRangeCandidates(*ctx, unit_tau);
     if (batch.has_value()) {
@@ -167,6 +185,15 @@ WeightedRangeResult SimilaritySearch::RangeWeighted(const Tree& query,
     const double d =
         TreeEditDistanceWeighted(query_view, db_->ted_view(id), costs);
     ++result.stats.edit_distance_calls;
+#ifndef NDEBUG
+    // Scaled soundness: EDist_w >= c_min * EDist_unit >= c_min * LowerBound.
+    // The epsilon absorbs floating-point rounding of the scaling.
+    if (ctx != nullptr) {
+      TREESIM_DCHECK_LE(c_min * filter_->LowerBound(*ctx, id), d + 1e-9)
+          << "unsound scaled lower bound from filter " << filter_->name()
+          << " on tree " << id;
+    }
+#endif
     if (d <= tau) result.matches.emplace_back(id, d);
   }
   result.stats.refine_seconds = refine_timer.ElapsedSeconds();
@@ -221,6 +248,8 @@ WeightedKnnResult SimilaritySearch::KnnWeighted(const Tree& query, int k,
     const double d =
         TreeEditDistanceWeighted(query_view, db_->ted_view(id), costs);
     ++result.stats.edit_distance_calls;
+    TREESIM_DCHECK_LE(bounds[static_cast<size_t>(id)], d + 1e-9)
+        << "unsound scaled lower bound on tree " << id;
     if (static_cast<int>(heap.size()) < k) {
       heap.emplace(d, id);
     } else if (std::make_pair(d, id) < heap.top()) {

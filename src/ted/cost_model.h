@@ -20,16 +20,10 @@ class CostModel {
   }
 
   /// Cost of inserting a node labeled `label`.
-  virtual double Insert(LabelId label) const {
-    (void)label;
-    return 1.0;
-  }
+  virtual double Insert(LabelId /*label*/) const { return 1.0; }
 
   /// Cost of deleting a node labeled `label`.
-  virtual double Delete(LabelId label) const {
-    (void)label;
-    return 1.0;
-  }
+  virtual double Delete(LabelId /*label*/) const { return 1.0; }
 
   /// A positive lower bound on the cost of any single operation (between
   /// distinct labels, for Relabel). Lets the embedding bounds scale:

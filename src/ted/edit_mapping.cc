@@ -151,6 +151,16 @@ EditMapping ComputeEditMapping(const Tree& t1, const Tree& t2) {
   }
   mapping.deletions = t1.size() - static_cast<int>(mapping.pairs.size());
   mapping.insertions = t2.size() - static_cast<int>(mapping.pairs.size());
+#ifndef NDEBUG
+  // Machine-check the Section 2.1 contract on every mapping the
+  // backtracker emits: a valid one-to-one order-preserving mapping whose
+  // operation counts sum to the distance the DP returned (mapping.cost is
+  // td.back(), so this ties the mapping back to TreeEditDistance).
+  const std::string mapping_diagnostic = ValidateEditMapping(t1, t2, mapping);
+  TREESIM_DCHECK(mapping_diagnostic.empty())
+      << "Zhang-Shasha backtracker produced an invalid mapping: "
+      << mapping_diagnostic;
+#endif
   return mapping;
 }
 

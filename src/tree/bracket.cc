@@ -12,9 +12,11 @@ bool IsPlainLabelChar(char c) {
          c != '}' && c != '\'';
 }
 
-/// Recursive-descent parser over a string_view cursor. Iterative child loops
-/// keep the recursion depth equal to the tree depth; an explicit depth cap
-/// protects against stack exhaustion on adversarial input.
+/// Parser over a string_view cursor. Fully iterative — the open-brace
+/// ancestors live in an explicit heap-allocated stack, so nesting depth is
+/// bounded by kMaxDepth, never by the thread stack (the old recursive
+/// descent overflowed under sanitizer-sized stack frames before its depth
+/// cap could fire).
 class BracketParser {
  public:
   BracketParser(std::string_view text, std::shared_ptr<LabelDictionary> labels)
@@ -23,8 +25,40 @@ class BracketParser {
   StatusOr<Tree> Run() {
     SkipSpace();
     TREESIM_ASSIGN_OR_RETURN(std::string root_label, ParseLabel());
-    const NodeId root = builder_.AddRoot(root_label);
-    TREESIM_RETURN_IF_ERROR(ParseChildren(root, /*depth=*/1));
+    NodeId last = builder_.AddRoot(root_label);
+    // Parents whose '{' is still open; the top owns subsequent labels.
+    std::vector<NodeId> open;
+    // '{' is only legal directly after a label (it opens that label's
+    // child list).
+    bool after_label = true;
+    for (;;) {
+      SkipSpace();
+      if (AtEnd()) break;
+      const char c = Peek();
+      if (c == '{') {
+        if (!after_label) {
+          return Status::InvalidArgument("expected label at offset " +
+                                         std::to_string(pos_));
+        }
+        if (static_cast<int>(open.size()) >= kMaxDepth) {
+          return Status::InvalidArgument("tree nesting exceeds depth limit");
+        }
+        open.push_back(last);
+        after_label = false;
+        ++pos_;
+      } else if (c == '}') {
+        if (open.empty()) break;  // reported as trailing characters below
+        open.pop_back();
+        after_label = false;
+        ++pos_;
+      } else {
+        if (open.empty()) break;  // second top-level tree: trailing error
+        TREESIM_ASSIGN_OR_RETURN(std::string label, ParseLabel());
+        last = builder_.AddChild(open.back(), label);
+        after_label = true;
+      }
+    }
+    if (!open.empty()) return Status::InvalidArgument("unbalanced '{'");
     SkipSpace();
     if (pos_ != text_.size()) {
       return Status::InvalidArgument("trailing characters at offset " +
@@ -34,8 +68,8 @@ class BracketParser {
   }
 
  private:
-  // The parser recurses per nesting level; the cap keeps adversarial input
-  // well inside the default thread stack.
+  // Semantic nesting cap, kept from the recursive implementation so
+  // adversarial input still fails fast with a clean error.
   static constexpr int kMaxDepth = 20000;
 
   void SkipSpace() {
@@ -79,25 +113,6 @@ class BracketParser {
       }
     }
     return Status::InvalidArgument("unterminated quoted label");
-  }
-
-  Status ParseChildren(NodeId parent, int depth) {
-    SkipSpace();
-    if (AtEnd() || Peek() != '{') return Status::Ok();  // leaf
-    if (depth > kMaxDepth) {
-      return Status::InvalidArgument("tree nesting exceeds depth limit");
-    }
-    ++pos_;  // '{'
-    SkipSpace();
-    while (!AtEnd() && Peek() != '}') {
-      TREESIM_ASSIGN_OR_RETURN(std::string label, ParseLabel());
-      const NodeId child = builder_.AddChild(parent, label);
-      TREESIM_RETURN_IF_ERROR(ParseChildren(child, depth + 1));
-      SkipSpace();
-    }
-    if (AtEnd()) return Status::InvalidArgument("unbalanced '{'");
-    ++pos_;  // '}'
-    return Status::Ok();
   }
 
   std::string_view text_;

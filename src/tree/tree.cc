@@ -1,8 +1,19 @@
 #include "tree/tree.h"
 
+#include <sstream>
 #include <utility>
 
 namespace treesim {
+namespace {
+
+/// Shared formatter for validator diagnostics: "<what> (node <id>)".
+Status NodeError(const std::string& what, NodeId n) {
+  std::ostringstream os;
+  os << what << " (node " << n << ")";
+  return Status::Internal(os.str());
+}
+
+}  // namespace
 
 int Tree::Degree(NodeId n) const {
   int d = 0;
@@ -38,6 +49,66 @@ bool Tree::StructurallyEquals(const Tree& other) const {
     if (ca != cb) return false;  // both must be kInvalidNode here
   }
   return true;
+}
+
+Status Tree::ValidateInvariants() const {
+  if (empty()) {
+    if (root_ != kInvalidNode) {
+      return Status::Internal("empty tree with a root id set");
+    }
+    return Status::Ok();
+  }
+  if (labels_ == nullptr) {
+    return Status::Internal("non-empty tree without a label dictionary");
+  }
+  const int n = size();
+  if (root_ < 0 || root_ >= n) return NodeError("root id out of range", root_);
+  if (parent(root_) != kInvalidNode) {
+    return NodeError("root has a parent", root_);
+  }
+  if (next_sibling(root_) != kInvalidNode) {
+    return NodeError("root has a sibling", root_);
+  }
+  const auto link_ok = [n](NodeId id) { return id >= kInvalidNode && id < n; };
+  for (NodeId i = 0; i < n; ++i) {
+    const Node& v = nodes_[static_cast<size_t>(i)];
+    if (!link_ok(v.parent) || !link_ok(v.first_child) ||
+        !link_ok(v.next_sibling)) {
+      return NodeError("link out of range", i);
+    }
+    if (v.label >= labels_->id_bound()) {
+      return NodeError("label not interned in the dictionary", i);
+    }
+  }
+  // DFS over the child lists: every non-root node must be reached exactly
+  // once, and each child's parent link must point back at the node whose
+  // list contains it. Revisiting a marked node catches sibling-chain cycles
+  // and cross-links, so the walk always terminates.
+  std::vector<char> seen(static_cast<size_t>(n), 0);
+  std::vector<NodeId> stack = {root_};
+  seen[static_cast<size_t>(root_)] = 1;
+  int visited = 1;
+  while (!stack.empty()) {
+    const NodeId u = stack.back();
+    stack.pop_back();
+    for (NodeId c = first_child(u); c != kInvalidNode; c = next_sibling(c)) {
+      if (seen[static_cast<size_t>(c)] != 0) {
+        return NodeError("node reached twice (cycle or shared child)", c);
+      }
+      seen[static_cast<size_t>(c)] = 1;
+      ++visited;
+      if (parent(c) != u) {
+        return NodeError("child's parent link disagrees with the list", c);
+      }
+      stack.push_back(c);
+    }
+  }
+  if (visited != n) {
+    return Status::Internal("unreachable nodes: visited " +
+                            std::to_string(visited) + " of " +
+                            std::to_string(n));
+  }
+  return Status::Ok();
 }
 
 TreeBuilder::TreeBuilder(std::shared_ptr<LabelDictionary> labels)
@@ -83,6 +154,7 @@ Tree TreeBuilder::Build() && {
   t.nodes_ = std::move(nodes_);
   t.root_ = 0;
   t.labels_ = std::move(labels_);
+  TREESIM_DCHECK_OK(t.ValidateInvariants());
   return t;
 }
 

@@ -87,8 +87,20 @@ class Tree {
   /// label ids (i.e., the same dictionary) for labels to match.
   bool StructurallyEquals(const Tree& other) const;
 
+  /// Verifies the arena invariants every algorithm in the library assumes:
+  /// parent/first_child/next_sibling links in range and mutually consistent,
+  /// exactly one root with no parent and no sibling, every node reachable
+  /// exactly once from the root (no cycles, no orphans), and labels interned
+  /// in the shared dictionary. O(|T|). Returns OK or a diagnostic.
+  ///
+  /// Debug builds run this automatically at the end of TreeBuilder::Build()
+  /// via TREESIM_DCHECK_OK; release builds skip it. Tests can call it
+  /// directly (and abort on corruption with TREESIM_CHECK_OK).
+  Status ValidateInvariants() const;
+
  private:
   friend class TreeBuilder;
+  friend struct InvariantTestPeer;  // tests corrupt arenas to hit validators
 
   const Node& node(NodeId n) const {
     TREESIM_DCHECK(n >= 0 && n < size());

@@ -3,7 +3,9 @@
 
 #include <cstdlib>
 #include <iostream>
+#include <optional>
 #include <sstream>
+#include <string>
 
 namespace treesim {
 namespace internal_logging {
@@ -43,6 +45,34 @@ class Voidify {
   void operator&(const FatalMessage&) {}
 };
 
+/// Streams `v` if it has an operator<<, a placeholder otherwise, so the
+/// TREESIM_CHECK_* operand printers work with any operand type.
+template <typename T>
+void PrintOperand(std::ostream& os, const T& v) {
+  if constexpr (requires(std::ostream& o, const T& x) { o << x; }) {
+    os << v;
+  } else {
+    os << "<unprintable>";
+  }
+}
+
+/// Evaluates the comparison once; on failure returns "expr (a vs. b)" with
+/// both operand values rendered, on success returns nullopt. The optional
+/// drives the `while` in TREESIM_CHECK_OP_ (the FatalMessage destructor is
+/// noreturn, so the loop body runs at most once).
+template <typename A, typename B, typename Compare>
+std::optional<std::string> CheckOpFailure(const A& a, const B& b, Compare cmp,
+                                          const char* expr) {
+  if (cmp(a, b)) return std::nullopt;
+  std::ostringstream os;
+  os << expr << " (";
+  PrintOperand(os, a);
+  os << " vs. ";
+  PrintOperand(os, b);
+  os << ")";
+  return os.str();
+}
+
 }  // namespace internal_logging
 }  // namespace treesim
 
@@ -54,18 +84,52 @@ class Voidify {
                     ::treesim::internal_logging::FatalMessage( \
                         __FILE__, __LINE__, #condition)
 
-#define TREESIM_CHECK_EQ(a, b) TREESIM_CHECK((a) == (b))
-#define TREESIM_CHECK_NE(a, b) TREESIM_CHECK((a) != (b))
-#define TREESIM_CHECK_LT(a, b) TREESIM_CHECK((a) < (b))
-#define TREESIM_CHECK_LE(a, b) TREESIM_CHECK((a) <= (b))
-#define TREESIM_CHECK_GT(a, b) TREESIM_CHECK((a) > (b))
-#define TREESIM_CHECK_GE(a, b) TREESIM_CHECK((a) >= (b))
+/// Binary comparison checks. On failure both operand VALUES are printed in
+/// addition to the expression text:
+///   TREESIM_CHECK_EQ(xs.size(), n) << "while merging";
+///   -> CHECK failed at f.cc:12: xs.size() == n (3 vs. 4) while merging
+/// Operands are evaluated exactly once.
+#define TREESIM_CHECK_OP_(a, b, op)                                         \
+  while (const std::optional<std::string> treesim_check_failure_ =          \
+             ::treesim::internal_logging::CheckOpFailure(                   \
+                 (a), (b),                                                  \
+                 [](const auto& x_, const auto& y_) { return x_ op y_; },   \
+                 #a " " #op " " #b))                                        \
+  ::treesim::internal_logging::FatalMessage(__FILE__, __LINE__,             \
+                                            treesim_check_failure_->c_str())
 
-/// Debug-only check; the condition is not evaluated in release builds.
+#define TREESIM_CHECK_EQ(a, b) TREESIM_CHECK_OP_(a, b, ==)
+#define TREESIM_CHECK_NE(a, b) TREESIM_CHECK_OP_(a, b, !=)
+#define TREESIM_CHECK_LT(a, b) TREESIM_CHECK_OP_(a, b, <)
+#define TREESIM_CHECK_LE(a, b) TREESIM_CHECK_OP_(a, b, <=)
+#define TREESIM_CHECK_GT(a, b) TREESIM_CHECK_OP_(a, b, >)
+#define TREESIM_CHECK_GE(a, b) TREESIM_CHECK_OP_(a, b, >=)
+
+/// Debug-only checks; conditions/operands are NOT evaluated in release
+/// builds (NDEBUG) but stay syntactically checked and odr-used, so release
+/// builds cannot rot them and operands never trigger -Wunused warnings.
 #ifndef NDEBUG
 #define TREESIM_DCHECK(condition) TREESIM_CHECK(condition)
+#define TREESIM_DCHECK_EQ(a, b) TREESIM_CHECK_EQ(a, b)
+#define TREESIM_DCHECK_NE(a, b) TREESIM_CHECK_NE(a, b)
+#define TREESIM_DCHECK_LT(a, b) TREESIM_CHECK_LT(a, b)
+#define TREESIM_DCHECK_LE(a, b) TREESIM_CHECK_LE(a, b)
+#define TREESIM_DCHECK_GT(a, b) TREESIM_CHECK_GT(a, b)
+#define TREESIM_DCHECK_GE(a, b) TREESIM_CHECK_GE(a, b)
 #else
 #define TREESIM_DCHECK(condition) TREESIM_CHECK(true || (condition))
+#define TREESIM_DCHECK_EQ(a, b) \
+  while (false) TREESIM_CHECK_EQ(a, b)
+#define TREESIM_DCHECK_NE(a, b) \
+  while (false) TREESIM_CHECK_NE(a, b)
+#define TREESIM_DCHECK_LT(a, b) \
+  while (false) TREESIM_CHECK_LT(a, b)
+#define TREESIM_DCHECK_LE(a, b) \
+  while (false) TREESIM_CHECK_LE(a, b)
+#define TREESIM_DCHECK_GT(a, b) \
+  while (false) TREESIM_CHECK_GT(a, b)
+#define TREESIM_DCHECK_GE(a, b) \
+  while (false) TREESIM_CHECK_GE(a, b)
 #endif
 
 #endif  // TREESIM_UTIL_LOGGING_H_

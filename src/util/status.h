@@ -1,6 +1,7 @@
 #ifndef TREESIM_UTIL_STATUS_H_
 #define TREESIM_UTIL_STATUS_H_
 
+#include <optional>
 #include <ostream>
 #include <string>
 #include <utility>
@@ -27,7 +28,9 @@ const char* StatusCodeToString(StatusCode code);
 
 /// Value-type result of a fallible operation: a code plus, for errors, a
 /// diagnostic message. Cheap to copy in the OK case (empty message).
-class Status {
+/// [[nodiscard]]: the compiler flags any call site that silently drops a
+/// returned Status (the lint's "every Status consumed" rule).
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -82,8 +85,9 @@ inline std::ostream& operator<<(std::ostream& os, const Status& s) {
 
 /// Either a value of type T or an error Status. Dereferencing a non-OK
 /// StatusOr aborts the process (programming error), mirroring absl::StatusOr.
+/// [[nodiscard]] for the same reason as Status.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   /// Constructs from a value (implicit, like absl::StatusOr).
   StatusOr(T value) : rep_(std::move(value)) {}  // NOLINT(runtime/explicit)
@@ -125,6 +129,37 @@ class StatusOr {
  private:
   std::variant<Status, T> rep_;
 };
+
+namespace internal_status {
+
+/// Failure-message builder behind TREESIM_CHECK_OK; nullopt when `s` is OK.
+inline std::optional<std::string> CheckOkFailure(const Status& s,
+                                                 const char* expr) {
+  if (s.ok()) return std::nullopt;
+  std::string msg(expr);
+  msg += " returned non-OK: ";
+  msg += s.ToString();
+  return msg;
+}
+
+}  // namespace internal_status
+
+/// Aborts with the status message when `expr` (a Status expression) is not
+/// OK. Supports streamed context like TREESIM_CHECK. The DCHECK variant is
+/// compiled out (expression NOT evaluated) in release builds; it guards the
+/// debug-mode invariant validators (`ValidateInvariants()`).
+#define TREESIM_CHECK_OK(expr)                                             \
+  while (const std::optional<std::string> treesim_check_ok_failure_ =      \
+             ::treesim::internal_status::CheckOkFailure((expr), #expr))    \
+  ::treesim::internal_logging::FatalMessage(                               \
+      __FILE__, __LINE__, treesim_check_ok_failure_->c_str())
+
+#ifndef NDEBUG
+#define TREESIM_DCHECK_OK(expr) TREESIM_CHECK_OK(expr)
+#else
+#define TREESIM_DCHECK_OK(expr) \
+  while (false) TREESIM_CHECK_OK(expr)
+#endif
 
 /// Propagates an error Status out of the enclosing function.
 #define TREESIM_RETURN_IF_ERROR(expr)            \

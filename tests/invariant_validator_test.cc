@@ -1,0 +1,340 @@
+// Tests for the debug-mode invariant validators: valid structures pass,
+// corrupted structures are caught with a diagnostic, and TREESIM_CHECK_OK
+// turns a validator failure into a process abort (the DCHECK_OK behavior of
+// debug builds). Corruption goes through InvariantTestPeer, a test-only
+// friend of the core data structures.
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/binary_branch.h"
+#include "core/binary_tree.h"
+#include "core/branch_profile.h"
+#include "core/inverted_file.h"
+#include "core/vptree.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+#include "tree/tree.h"
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace treesim {
+
+/// Test-only backdoor into the private state of the validated structures so
+/// tests can corrupt them and watch ValidateInvariants() trip.
+struct InvariantTestPeer {
+  static std::vector<Tree::Node>& Nodes(Tree& t) { return t.nodes_; }
+  static std::vector<NormalizedBinaryTree::BNode>& Nodes(
+      NormalizedBinaryTree& b) {
+    return b.nodes_;
+  }
+  static int& OriginalCount(NormalizedBinaryTree& b) {
+    return b.original_count_;
+  }
+  static std::vector<std::vector<InvertedFileIndex::Posting>>& Lists(
+      InvertedFileIndex& index) {
+    return index.lists_;
+  }
+  static std::vector<int>& TreeSizes(InvertedFileIndex& index) {
+    return index.tree_sizes_;
+  }
+  static size_t NodeCount(const VpTree& v) { return v.nodes_.size(); }
+  static bool IsLeaf(const VpTree& v, size_t i) { return v.nodes_[i].is_leaf; }
+  static int64_t& Radius(VpTree& v, size_t i) { return v.nodes_[i].radius; }
+};
+
+namespace {
+
+using testing::MakeLabelPool;
+using testing::MakeTree;
+using testing::RandomTree;
+
+TEST(TreeInvariantsTest, ValidTreesPass) {
+  EXPECT_TRUE(Tree().ValidateInvariants().ok());
+  const Tree t = MakeTree("a{b{c d} e}");
+  EXPECT_TRUE(t.ValidateInvariants().ok());
+}
+
+TEST(TreeInvariantsTest, BrokenParentLinkIsCaught) {
+  Tree t = MakeTree("a{b{c d} e}");
+  // Node 2 ("c") claims the root as parent while sitting in b's child list.
+  InvariantTestPeer::Nodes(t)[2].parent = 0;
+  const Status s = t.ValidateInvariants();
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("parent link"), std::string::npos) << s;
+}
+
+TEST(TreeInvariantsTest, SiblingCycleIsCaught) {
+  Tree t = MakeTree("a{b c d}");
+  // d's next_sibling loops back to b: the child list of the root cycles.
+  InvariantTestPeer::Nodes(t)[3].next_sibling = 1;
+  EXPECT_FALSE(t.ValidateInvariants().ok());
+}
+
+TEST(TreeInvariantsTest, OutOfRangeLinkIsCaught) {
+  Tree t = MakeTree("a{b}");
+  InvariantTestPeer::Nodes(t)[1].first_child = 99;
+  const Status s = t.ValidateInvariants();
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("out of range"), std::string::npos) << s;
+}
+
+TEST(TreeInvariantsTest, UninternedLabelIsCaught) {
+  Tree t = MakeTree("a{b}");
+  InvariantTestPeer::Nodes(t)[1].label = 12345;
+  EXPECT_FALSE(t.ValidateInvariants().ok());
+}
+
+TEST(TreeInvariantsDeathTest, CheckOkAbortsOnCorruptTree) {
+  Tree t = MakeTree("a{b c}");
+  InvariantTestPeer::Nodes(t)[2].next_sibling = 1;
+  EXPECT_DEATH(TREESIM_CHECK_OK(t.ValidateInvariants()), "CHECK failed");
+}
+
+TEST(BinaryTreeInvariantsTest, ValidTransformPasses) {
+  const Tree t = MakeTree("a{b{c d} e}");
+  const NormalizedBinaryTree b = NormalizedBinaryTree::FromTree(t);
+  EXPECT_TRUE(b.ValidateInvariants().ok());
+  EXPECT_TRUE(b.ValidateInvariants(&t).ok());
+}
+
+TEST(BinaryTreeInvariantsTest, EpsilonWithLabelIsCaught) {
+  const Tree t = MakeTree("a{b}");
+  NormalizedBinaryTree b = NormalizedBinaryTree::FromTree(t);
+  for (auto& node : InvariantTestPeer::Nodes(b)) {
+    if (node.original == kInvalidNode) {
+      node.label = 7;  // an ε pad must keep the ε label
+      break;
+    }
+  }
+  const Status s = b.ValidateInvariants();
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("non-\xCE\xB5 label"), std::string::npos) << s;
+}
+
+TEST(BinaryTreeInvariantsTest, MissingPaddingIsCaught) {
+  const Tree t = MakeTree("a{b}");
+  NormalizedBinaryTree b = NormalizedBinaryTree::FromTree(t);
+  // Cut the padded right child of the root: originals must have BOTH
+  // children in the normalized form.
+  InvariantTestPeer::Nodes(b)[0].right = NormalizedBinaryTree::kNoChild;
+  EXPECT_FALSE(b.ValidateInvariants().ok());
+}
+
+TEST(BinaryTreeInvariantsTest, CountMismatchIsCaught) {
+  const Tree t = MakeTree("a{b c}");
+  NormalizedBinaryTree b = NormalizedBinaryTree::FromTree(t);
+  InvariantTestPeer::OriginalCount(b) = 1;
+  EXPECT_FALSE(b.ValidateInvariants().ok());
+}
+
+TEST(BinaryTreeInvariantsDeathTest, CheckOkAbortsOnCorruptTransform) {
+  const Tree t = MakeTree("a{b}");
+  NormalizedBinaryTree b = NormalizedBinaryTree::FromTree(t);
+  InvariantTestPeer::Nodes(b)[0].left = 0;  // self-loop
+  EXPECT_DEATH(TREESIM_CHECK_OK(b.ValidateInvariants()), "CHECK failed");
+}
+
+TEST(BranchProfileInvariantsTest, ValidProfilePasses) {
+  BranchDictionary dict(2);
+  const BranchProfile p =
+      BranchProfile::FromTree(MakeTree("a{b{c d} e}"), dict);
+  EXPECT_TRUE(p.ValidateInvariants().ok());
+}
+
+TEST(BranchProfileInvariantsTest, UnsortedEntriesAreCaught) {
+  BranchDictionary dict(2);
+  BranchProfile p = BranchProfile::FromTree(MakeTree("a{b{c d} e}"), dict);
+  ASSERT_GE(p.entries.size(), 2u);
+  std::swap(p.entries.front(), p.entries.back());
+  const Status s = p.ValidateInvariants();
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("ascending"), std::string::npos) << s;
+}
+
+TEST(BranchProfileInvariantsTest, DroppedOccurrenceIsCaught) {
+  BranchDictionary dict(2);
+  BranchProfile p = BranchProfile::FromTree(MakeTree("a{b{c d} e}"), dict);
+  // Total occurrences must equal |T|; drop one silently.
+  p.entries.back().occurrences.pop_back();
+  p.entries.back().posts_sorted.pop_back();
+  if (p.entries.back().occurrences.empty()) p.entries.pop_back();
+  EXPECT_FALSE(p.ValidateInvariants().ok());
+}
+
+TEST(BranchProfileInvariantsTest, PostsSortedMismatchIsCaught) {
+  BranchDictionary dict(2);
+  BranchProfile p = BranchProfile::FromTree(MakeTree("a{b{c d} e}"), dict);
+  for (BranchEntry& e : p.entries) {
+    if (e.count() >= 1) {
+      e.posts_sorted.back() += 1;
+      // Keep the position legal so only the permutation check can fire.
+      if (e.posts_sorted.back() > p.tree_size) e.posts_sorted.back() -= 2;
+      break;
+    }
+  }
+  EXPECT_FALSE(p.ValidateInvariants().ok());
+}
+
+TEST(BranchProfileInvariantsTest, WrongFactorIsCaught) {
+  BranchDictionary dict(3);
+  BranchProfile p = BranchProfile::FromTree(MakeTree("a{b}"), dict);
+  p.factor = 5;  // q=3 requires 4(3-1)+1 = 9
+  const Status s = p.ValidateInvariants();
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("4(q-1)+1"), std::string::npos) << s;
+}
+
+TEST(InvertedFileInvariantsTest, ValidIndexPasses) {
+  const auto labels = std::make_shared<LabelDictionary>();
+  InvertedFileIndex index(2);
+  index.Add(MakeTree("a{b{c d} e}", labels));
+  index.Add(MakeTree("a{b c}", labels));
+  index.Add(MakeTree("x{y{z}}", labels));
+  EXPECT_TRUE(index.ValidateInvariants().ok());
+}
+
+TEST(InvertedFileInvariantsTest, UnsortedPostingsAreCaught) {
+  const auto labels = std::make_shared<LabelDictionary>();
+  InvertedFileIndex index(2);
+  index.Add(MakeTree("a{b}", labels));
+  index.Add(MakeTree("a{b}", labels));
+  // Both trees share every branch, so some list has two postings to swap.
+  bool swapped = false;
+  for (auto& list : InvariantTestPeer::Lists(index)) {
+    if (list.size() >= 2) {
+      std::swap(list.front(), list.back());
+      swapped = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(swapped);
+  const Status s = index.ValidateInvariants();
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("ascending"), std::string::npos) << s;
+}
+
+TEST(InvertedFileInvariantsTest, PositionOutOfRangeIsCaught) {
+  const auto labels = std::make_shared<LabelDictionary>();
+  InvertedFileIndex index(2);
+  index.Add(MakeTree("a{b c}", labels));
+  InvariantTestPeer::Lists(index).front().front().positions.front().first =
+      99;
+  const Status s = index.ValidateInvariants();
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("outside [1, |T|]"), std::string::npos) << s;
+}
+
+TEST(InvertedFileInvariantsTest, SizeTotalMismatchIsCaught) {
+  const auto labels = std::make_shared<LabelDictionary>();
+  InvertedFileIndex index(2);
+  index.Add(MakeTree("a{b c}", labels));
+  // Claim the tree is bigger than its occurrence total.
+  InvariantTestPeer::TreeSizes(index).front() += 1;
+  EXPECT_FALSE(index.ValidateInvariants().ok());
+}
+
+TEST(InvertedFileInvariantsDeathTest, CheckOkAbortsOnCorruptIndex) {
+  const auto labels = std::make_shared<LabelDictionary>();
+  InvertedFileIndex index(2);
+  index.Add(MakeTree("a{b}", labels));
+  InvariantTestPeer::TreeSizes(index).front() = 0;
+  EXPECT_DEATH(TREESIM_CHECK_OK(index.ValidateInvariants()), "CHECK failed");
+}
+
+class VpTreeInvariantsTest : public ::testing::Test {
+ protected:
+  /// Indexes 40 random 12-node trees: enough profiles for internal nodes
+  /// (leaf buckets hold 8) and enough label spread for nonzero distances.
+  void BuildIndex() {
+    const auto labels = std::make_shared<LabelDictionary>();
+    const std::vector<LabelId> pool = MakeLabelPool(labels, 6);
+    Rng rng(20260805);
+    BranchDictionary dict(2);
+    for (int i = 0; i < 40; ++i) {
+      profiles_.push_back(
+          BranchProfile::FromTree(RandomTree(12, pool, labels, rng), dict));
+    }
+    vptree_ = std::make_unique<VpTree>(&profiles_, rng);
+  }
+
+  std::vector<BranchProfile> profiles_;
+  std::unique_ptr<VpTree> vptree_;
+};
+
+TEST_F(VpTreeInvariantsTest, ValidIndexPasses) {
+  BuildIndex();
+  EXPECT_TRUE(vptree_->ValidateInvariants().ok());
+}
+
+TEST_F(VpTreeInvariantsTest, BallContainmentViolationIsCaught) {
+  BuildIndex();
+  ASSERT_GT(vptree_->Depth(), 1) << "need an internal node to corrupt";
+  // A negative radius makes every inside-subtree profile violate the ball:
+  // BDist >= 0 > radius.
+  bool corrupted = false;
+  for (size_t i = 0; i < InvariantTestPeer::NodeCount(*vptree_); ++i) {
+    if (!InvariantTestPeer::IsLeaf(*vptree_, i)) {
+      InvariantTestPeer::Radius(*vptree_, i) = -1;
+      corrupted = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(corrupted);
+  const Status s = vptree_->ValidateInvariants();
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("ball"), std::string::npos) << s;
+}
+
+TEST_F(VpTreeInvariantsTest, DeathOnCorruptBall) {
+  BuildIndex();
+  ASSERT_GT(vptree_->Depth(), 1);
+  for (size_t i = 0; i < InvariantTestPeer::NodeCount(*vptree_); ++i) {
+    if (!InvariantTestPeer::IsLeaf(*vptree_, i)) {
+      InvariantTestPeer::Radius(*vptree_, i) = -1;
+      break;
+    }
+  }
+  EXPECT_DEATH(TREESIM_CHECK_OK(vptree_->ValidateInvariants()),
+               "CHECK failed");
+}
+
+TEST(CheckMacrosTest, CheckOpPrintsBothOperandValues) {
+  const int lhs = 4;
+  const int rhs = 5;
+  EXPECT_DEATH(TREESIM_CHECK_EQ(lhs, rhs), "lhs == rhs \\(4 vs\\. 5\\)");
+  EXPECT_DEATH(TREESIM_CHECK_GT(lhs, rhs) << "extra context",
+               "lhs > rhs \\(4 vs\\. 5\\) extra context");
+}
+
+TEST(CheckMacrosTest, CheckOpEvaluatesOperandsOnce) {
+  int evaluations = 0;
+  const auto bump = [&evaluations] { return ++evaluations; };
+  TREESIM_CHECK_EQ(bump(), 1);
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(CheckMacrosTest, CheckOkPassesAndAborts) {
+  TREESIM_CHECK_OK(Status::Ok());  // no-op on OK
+  EXPECT_DEATH(TREESIM_CHECK_OK(Status::Internal("boom")), "boom");
+}
+
+TEST(CheckMacrosTest, DcheckFamilyMatchesBuildType) {
+#ifdef NDEBUG
+  // Release: compiled out, operands not evaluated.
+  int evaluations = 0;
+  const auto bump = [&evaluations] { return ++evaluations; };
+  TREESIM_DCHECK_EQ(bump(), 12345);
+  TREESIM_DCHECK_OK(Status::Internal("never evaluated"));
+  EXPECT_EQ(evaluations, 0);
+#else
+  EXPECT_DEATH(TREESIM_DCHECK_EQ(1, 2), "1 == 2 \\(1 vs\\. 2\\)");
+  EXPECT_DEATH(TREESIM_DCHECK_OK(Status::Internal("boom")), "boom");
+#endif
+}
+
+}  // namespace
+}  // namespace treesim

@@ -61,7 +61,7 @@ TEST(StopwatchTest, MeasuresElapsedTime) {
   Stopwatch sw;
   // Burn a little CPU deterministically.
   volatile int64_t sink = 0;
-  for (int i = 0; i < 2000000; ++i) sink += i;
+  for (int i = 0; i < 2000000; ++i) sink = sink + i;
   const double s = sw.ElapsedSeconds();
   const int64_t us = sw.ElapsedMicros();
   EXPECT_GT(s, 0.0);
@@ -82,7 +82,7 @@ TEST(StopwatchTest, MonotoneNonDecreasing) {
 TEST(StopwatchTest, ResetRestartsFromZero) {
   Stopwatch sw;
   volatile int64_t sink = 0;
-  for (int i = 0; i < 2000000; ++i) sink += i;
+  for (int i = 0; i < 2000000; ++i) sink = sink + i;
   const double before = sw.ElapsedSeconds();
   sw.Reset();
   EXPECT_LT(sw.ElapsedSeconds(), before);

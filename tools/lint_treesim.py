@@ -1,0 +1,240 @@
+#!/usr/bin/env python3
+"""Repo-specific lint rules that clang-tidy cannot express.
+
+Checks, over ``src/`` (and headers under ``fuzz/`` if any appear):
+
+  guard       Include guards must be ``TREESIM_<PATH>_H_`` derived from the
+              path relative to src/ (e.g. src/util/status.h ->
+              TREESIM_UTIL_STATUS_H_), with a matching #define directly
+              after the #ifndef and a trailing ``#endif  // <GUARD>``.
+  using       No ``using namespace`` at any scope inside a header.
+  assert      No bare ``assert()`` / ``<cassert>`` in library code — use
+              TREESIM_CHECK (always on) or TREESIM_DCHECK (debug only),
+              which print the failing expression and abort cleanly under
+              the fuzzers.
+  nodiscard   ``Status`` and ``StatusOr`` must stay ``[[nodiscard]]`` so
+              the compiler enforces consumption of every result.
+  discarded   Heuristic backstop for the same rule: a statement consisting
+              solely of a call to a Status/StatusOr-returning function
+              (collected from the headers) discards its result.
+
+Exit status 0 when clean, 1 when any finding is reported. Run from
+anywhere: paths are resolved relative to the repo root.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+SRC_ROOT = REPO_ROOT / "src"
+
+# Calls through these wrappers consume the Status they are handed.
+CONSUMING_PREFIXES = (
+    "return",
+    "TREESIM_CHECK_OK",
+    "TREESIM_DCHECK_OK",
+    "TREESIM_ASSIGN_OR_RETURN",
+    "TREESIM_RETURN_IF_ERROR",
+)
+
+
+def strip_comments_and_strings(line: str) -> str:
+    """Blanks out // comments, string and char literals (single line only)."""
+    out = []
+    i = 0
+    in_string = None
+    while i < len(line):
+        c = line[i]
+        if in_string:
+            if c == "\\":
+                i += 2
+                continue
+            if c == in_string:
+                in_string = None
+            i += 1
+            continue
+        if c in ('"', "'"):
+            in_string = c
+            out.append(c)
+            i += 1
+            continue
+        if c == "/" and line[i : i + 2] == "//":
+            break
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+class Linter:
+    def __init__(self) -> None:
+        self.findings: list[str] = []
+
+    def report(self, path: pathlib.Path, line_no: int, rule: str,
+               message: str) -> None:
+        rel = path.relative_to(REPO_ROOT)
+        self.findings.append(f"{rel}:{line_no}: [{rule}] {message}")
+
+    # ---- guard ----------------------------------------------------------
+
+    def check_include_guard(self, path: pathlib.Path, lines: list[str]) -> None:
+        rel = path.relative_to(SRC_ROOT).as_posix()
+        guard = "TREESIM_" + re.sub(r"[^A-Za-z0-9]", "_", rel).upper() + "_"
+        directives = [
+            (i + 1, line.strip())
+            for i, line in enumerate(lines)
+            if line.lstrip().startswith("#")
+        ]
+        if len(directives) < 2:
+            self.report(path, 1, "guard", f"missing include guard {guard}")
+            return
+        (ifndef_no, ifndef), (_, define) = directives[0], directives[1]
+        if ifndef != f"#ifndef {guard}":
+            self.report(path, ifndef_no, "guard",
+                        f"first directive must be '#ifndef {guard}', "
+                        f"got '{ifndef}'")
+            return
+        if define != f"#define {guard}":
+            self.report(path, ifndef_no + 1, "guard",
+                        f"'#ifndef {guard}' must be followed by "
+                        f"'#define {guard}'")
+        tail = [(i + 1, line.strip()) for i, line in enumerate(lines)
+                if line.strip()]
+        last_no, last = tail[-1]
+        if last != f"#endif  // {guard}":
+            self.report(path, last_no, "guard",
+                        f"file must end with '#endif  // {guard}'")
+
+    # ---- using / assert -------------------------------------------------
+
+    def check_header_using(self, path: pathlib.Path,
+                           lines: list[str]) -> None:
+        for i, raw in enumerate(lines, start=1):
+            line = strip_comments_and_strings(raw)
+            if re.search(r"\busing\s+namespace\b", line):
+                self.report(path, i, "using",
+                            "'using namespace' is not allowed in headers")
+
+    def check_assert(self, path: pathlib.Path, lines: list[str]) -> None:
+        for i, raw in enumerate(lines, start=1):
+            line = strip_comments_and_strings(raw)
+            if re.search(r"#\s*include\s*<(cassert|assert\.h)>", line):
+                self.report(path, i, "assert",
+                            "<cassert> is banned in src/; use util/logging.h "
+                            "TREESIM_CHECK / TREESIM_DCHECK")
+            if re.search(r"(?<![\w.])assert\s*\(", line):
+                self.report(path, i, "assert",
+                            "bare assert(); use TREESIM_CHECK (always on) or "
+                            "TREESIM_DCHECK (debug only)")
+            if re.search(r"\bstatic_assert\s*\(", raw):
+                # static_assert is fine; the negative lookbehind above already
+                # excludes it, this branch documents that explicitly.
+                pass
+
+    # ---- nodiscard ------------------------------------------------------
+
+    def check_status_nodiscard(self) -> None:
+        status_h = SRC_ROOT / "util" / "status.h"
+        text = status_h.read_text(encoding="utf-8")
+        for cls in ("Status", "StatusOr"):
+            if not re.search(
+                    rf"class\s+\[\[nodiscard\]\]\s+{cls}\b", text):
+                self.report(status_h, 1, "nodiscard",
+                            f"class {cls} must be declared "
+                            f"'class [[nodiscard]] {cls}' so discarded "
+                            "results are compiler errors")
+
+    def collect_status_returning(self, header_lines: dict[pathlib.Path,
+                                                          list[str]]
+                                 ) -> set[str]:
+        names: set[str] = set()
+        decl = re.compile(
+            r"^\s*(?:virtual\s+|static\s+)*"
+            r"(?:Status|StatusOr<[^;=]*>)\s+"
+            r"(\w+)\s*\(")
+        for lines in header_lines.values():
+            for raw in lines:
+                m = decl.match(strip_comments_and_strings(raw))
+                if m:
+                    names.add(m.group(1))
+        return names
+
+    def check_discarded_status(self, path: pathlib.Path, lines: list[str],
+                               names: set[str]) -> None:
+        if not names:
+            return
+        call = re.compile(
+            r"^\s*(?:[A-Za-z_]\w*(?:\.|->|::))*"
+            r"(" + "|".join(sorted(names)) + r")\s*\(.*\)\s*;\s*$")
+        prev_significant = ""
+        for i, raw in enumerate(lines, start=1):
+            line = strip_comments_and_strings(raw)
+            stripped = line.strip()
+            if not stripped:
+                continue
+            # A call is only "discarded" when it starts its own statement;
+            # continuation lines (e.g. the RHS of a wrapped assignment)
+            # belong to whatever consumed them on the previous line.
+            starts_statement = (prev_significant == ""
+                                or prev_significant.endswith((";", "{", "}"))
+                                or prev_significant.startswith("#"))
+            prev_significant = stripped
+            if not starts_statement:
+                continue
+            if any(stripped.startswith(p) for p in CONSUMING_PREFIXES):
+                continue
+            if "=" in line:
+                continue
+            m = call.match(line)
+            if m:
+                self.report(path, i, "discarded",
+                            f"result of Status-returning '{m.group(1)}()' is "
+                            "discarded; assign it, return it, or wrap in "
+                            "TREESIM_CHECK_OK")
+
+    # ---- driver ---------------------------------------------------------
+
+    def run(self) -> int:
+        headers: dict[pathlib.Path, list[str]] = {}
+        sources: dict[pathlib.Path, list[str]] = {}
+        roots = [SRC_ROOT]
+        fuzz_root = REPO_ROOT / "fuzz"
+        if fuzz_root.is_dir():
+            roots.append(fuzz_root)
+        for root in roots:
+            for path in sorted(root.rglob("*")):
+                if path.suffix == ".h":
+                    headers[path] = path.read_text(
+                        encoding="utf-8").splitlines()
+                elif path.suffix == ".cc":
+                    sources[path] = path.read_text(
+                        encoding="utf-8").splitlines()
+
+        for path, lines in headers.items():
+            if path.is_relative_to(SRC_ROOT):
+                self.check_include_guard(path, lines)
+            self.check_header_using(path, lines)
+            self.check_assert(path, lines)
+        for path, lines in sources.items():
+            self.check_assert(path, lines)
+
+        self.check_status_nodiscard()
+        names = self.collect_status_returning(headers)
+        for path, lines in {**headers, **sources}.items():
+            self.check_discarded_status(path, lines, names)
+
+        if self.findings:
+            for finding in self.findings:
+                print(finding)
+            print(f"lint_treesim.py: {len(self.findings)} finding(s)",
+                  file=sys.stderr)
+            return 1
+        checked = len(headers) + len(sources)
+        print(f"lint_treesim.py: clean ({checked} files)")
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(Linter().run())

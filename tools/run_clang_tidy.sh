@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: the repo-root .clang-tidy) over every translation
+# unit in src/ and fuzz/, using the compile database of an existing CMake
+# build tree. Usage:
+#
+#   tools/run_clang_tidy.sh [build-dir]       # default build dir: build/
+#
+# Exit status: 0 when clang-tidy is clean (or unavailable — the container
+# toolchain is GCC-only, so absence is a soft skip; CI installs clang-tidy
+# and runs this for real), 1 when any diagnostic is emitted.
+set -u -o pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+
+tidy_bin="${CLANG_TIDY:-}"
+if [[ -z "${tidy_bin}" ]]; then
+  for candidate in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16 \
+      clang-tidy-15 clang-tidy-14; do
+    if command -v "${candidate}" >/dev/null 2>&1; then
+      tidy_bin="${candidate}"
+      break
+    fi
+  done
+fi
+if [[ -z "${tidy_bin}" ]]; then
+  echo "run_clang_tidy.sh: clang-tidy not found on PATH; skipping" \
+       "(set CLANG_TIDY or install clang-tidy to run the checks)" >&2
+  exit 0
+fi
+
+if [[ ! -f "${build_dir}/compile_commands.json" ]]; then
+  echo "run_clang_tidy.sh: ${build_dir}/compile_commands.json not found." >&2
+  echo "Configure first: cmake -B \"${build_dir}\" -S \"${repo_root}\"" >&2
+  exit 1
+fi
+
+mapfile -t sources < <(cd "${repo_root}" && \
+    find src fuzz -name '*.cc' ! -name 'standalone_main.cc' | sort)
+if [[ "${#sources[@]}" -eq 0 ]]; then
+  echo "run_clang_tidy.sh: no sources found under ${repo_root}/src" >&2
+  exit 1
+fi
+
+echo "run_clang_tidy.sh: ${tidy_bin} over ${#sources[@]} files" \
+     "(compile database: ${build_dir})"
+status=0
+for src in "${sources[@]}"; do
+  # --quiet suppresses the "N warnings generated" chatter; diagnostics and
+  # the exit status still surface per file.
+  if ! "${tidy_bin}" --quiet -p "${build_dir}" "${repo_root}/${src}"; then
+    status=1
+  fi
+done
+
+if [[ "${status}" -eq 0 ]]; then
+  echo "run_clang_tidy.sh: clean"
+else
+  echo "run_clang_tidy.sh: clang-tidy reported diagnostics (see above)" >&2
+fi
+exit "${status}"
