@@ -18,6 +18,7 @@
 #include "search/similarity_search.h"
 #include "util/flags.h"
 #include "util/random.h"
+#include "util/thread_pool.h"
 
 namespace treesim {
 namespace bench {
@@ -53,6 +54,9 @@ struct WorkloadConfig {
   /// Pairs sampled when estimating the average distance.
   int distance_sample_pairs = 300;
   uint64_t seed = 20050614;  // SIGMOD 2005 opening day
+  /// Worker threads for candidate refinement (0 = every hardware thread).
+  /// Results are identical for any value; only the CPU columns change.
+  int threads = 1;
 };
 
 /// Builds a TreeDatabase from generated trees.
@@ -99,6 +103,13 @@ inline WorkloadResult RunWorkload(const TreeDatabase& db,
   WorkloadResult out;
   Rng rng(config.seed);
 
+  std::unique_ptr<ThreadPool> owned_pool;
+  if (const int workers = ClampThreads(config.threads, db.size());
+      workers > 1) {
+    owned_pool = std::make_unique<ThreadPool>(workers);
+  }
+  ThreadPool* const pool = owned_pool.get();
+
   SimilaritySearch sequential(&db, nullptr);
   SimilaritySearch bibranch(&db, std::make_unique<BiBranchFilter>());
   SimilaritySearch histo(&db, std::make_unique<HistogramFilter>(
@@ -121,9 +132,9 @@ inline WorkloadResult RunWorkload(const TreeDatabase& db,
         db.tree(static_cast<int>(rng.UniformIndex(
             static_cast<size_t>(db.size()))));
     if (config.kind == WorkloadKind::kRange) {
-      const RangeResult seq = sequential.Range(query, out.tau);
-      const RangeResult bb = bibranch.Range(query, out.tau);
-      const RangeResult hi = histo.Range(query, out.tau);
+      const RangeResult seq = sequential.Range(query, out.tau, pool);
+      const RangeResult bb = bibranch.Range(query, out.tau, pool);
+      const RangeResult hi = histo.Range(query, out.tau, pool);
       if (bb.matches != seq.matches || hi.matches != seq.matches) {
         std::fprintf(stderr, "FATAL: filtered result mismatch (query %d)\n",
                      qi);
@@ -133,9 +144,9 @@ inline WorkloadResult RunWorkload(const TreeDatabase& db,
       bb_total += bb.stats;
       hi_total += hi.stats;
     } else {
-      const KnnResult seq = sequential.Knn(query, out.k);
-      const KnnResult bb = bibranch.Knn(query, out.k);
-      const KnnResult hi = histo.Knn(query, out.k);
+      const KnnResult seq = sequential.Knn(query, out.k, pool);
+      const KnnResult bb = bibranch.Knn(query, out.k, pool);
+      const KnnResult hi = histo.Knn(query, out.k, pool);
       if (bb.neighbors != seq.neighbors || hi.neighbors != seq.neighbors) {
         std::fprintf(stderr, "FATAL: filtered k-NN mismatch (query %d)\n",
                      qi);

@@ -40,6 +40,7 @@ int Main(int argc, char** argv) {
     auto db = MakeDatabase(labels, gen.GenerateDataset(trees));
 
     WorkloadConfig config;
+    config.threads = static_cast<int>(flags.GetInt("threads", 1));
     config.kind = WorkloadKind::kKnn;
     config.queries = static_cast<int>(
         flags.GetInt("queries", DefaultQueries(size)));

@@ -35,6 +35,7 @@ int Main(int argc, char** argv) {
     auto db = MakeDatabase(labels, gen.GenerateDataset(trees));
 
     WorkloadConfig config;
+    config.threads = static_cast<int>(flags.GetInt("threads", 1));
     config.kind = WorkloadKind::kRange;
     config.queries = queries;
     config.tau_fraction = 0.2;

@@ -31,6 +31,7 @@ int Main(int argc, char** argv) {
     auto db = MakeDatabase(labels, gen.GenerateDataset(trees));
 
     WorkloadConfig config;
+    config.threads = static_cast<int>(flags.GetInt("threads", 1));
     config.kind = WorkloadKind::kKnn;
     config.queries = queries;
     config.k_fraction = 0.0025;

@@ -40,6 +40,7 @@ int Main(int argc, char** argv) {
 
   for (const int k : {5, 7, 10, 12, 15, 17, 20}) {
     WorkloadConfig config;
+    config.threads = static_cast<int>(flags.GetInt("threads", 1));
     config.kind = WorkloadKind::kKnn;
     config.queries = queries;
     config.fixed_k = k;

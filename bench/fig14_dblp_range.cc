@@ -29,6 +29,7 @@ int Main(int argc, char** argv) {
 
   for (const int tau : {1, 2, 3, 4, 5, 7, 10}) {
     WorkloadConfig config;
+    config.threads = static_cast<int>(flags.GetInt("threads", 1));
     config.kind = WorkloadKind::kRange;
     config.queries = queries;
     config.fixed_tau = tau;

@@ -65,18 +65,14 @@ std::string BranchDictionary::Name(BranchId id,
   return out;
 }
 
-std::vector<BranchOccurrence> ExtractBranches(const Tree& t,
-                                              BranchDictionary& dict) {
-  TREESIM_CHECK(!t.empty());
-  const int q = dict.q();
-  const TraversalPositions positions = ComputePositions(t);
+namespace {
 
-  BranchKey key(static_cast<size_t>(dict.key_length()), kEpsilonLabel);
+/// Fills `key` in preorder with the perfect height-(q-1) binary subtree of
+/// B(T) rooted at `root`. In B(T): left(u) = first child of u in T,
+/// right(u) = next sibling of u in T; children of ε are ε. The recursion
+/// depth is bounded by q.
+void FillBranchKey(const Tree& t, NodeId root, int q, BranchKey& key) {
   size_t cursor = 0;
-  // Fills `key` in preorder with the perfect height-(q-1) binary subtree of
-  // B(T) rooted at `node`. In B(T): left(u) = first child of u in T,
-  // right(u) = next sibling of u in T; children of ε are ε. The recursion
-  // depth is bounded by q.
   auto fill = [&](auto&& self, NodeId node, int level) -> void {
     key[cursor++] = (node == kInvalidNode) ? kEpsilonLabel : t.label(node);
     if (level + 1 >= q) return;
@@ -88,14 +84,42 @@ std::vector<BranchOccurrence> ExtractBranches(const Tree& t,
       self(self, t.next_sibling(node), level + 1);
     }
   };
+  fill(fill, root, 0);
+}
 
+}  // namespace
+
+std::vector<BranchOccurrence> ExtractBranches(const Tree& t,
+                                              BranchDictionary& dict) {
+  TREESIM_CHECK(!t.empty());
+  const int q = dict.q();
+  const TraversalPositions positions = ComputePositions(t);
+
+  BranchKey key(static_cast<size_t>(dict.key_length()), kEpsilonLabel);
   std::vector<BranchOccurrence> out;
   out.reserve(static_cast<size_t>(t.size()));
   for (const NodeId u : PreorderSequence(t)) {
-    cursor = 0;
-    fill(fill, u, 0);
+    FillBranchKey(t, u, q, key);
     out.push_back(BranchOccurrence{
         dict.Intern(key), positions.pre[static_cast<size_t>(u)],
+        positions.post[static_cast<size_t>(u)]});
+  }
+  return out;
+}
+
+std::vector<KeyedBranchOccurrence> ExtractBranchKeys(const Tree& t, int q) {
+  TREESIM_CHECK(!t.empty());
+  TREESIM_CHECK_GE(q, 2) << "branch level q must be >= 2 (Section 3.4)";
+  const TraversalPositions positions = ComputePositions(t);
+  const size_t key_length = (static_cast<size_t>(1) << q) - 1;
+
+  std::vector<KeyedBranchOccurrence> out;
+  out.reserve(static_cast<size_t>(t.size()));
+  BranchKey key(key_length, kEpsilonLabel);
+  for (const NodeId u : PreorderSequence(t)) {
+    FillBranchKey(t, u, q, key);
+    out.push_back(KeyedBranchOccurrence{
+        key, positions.pre[static_cast<size_t>(u)],
         positions.post[static_cast<size_t>(u)]});
   }
   return out;

@@ -2,18 +2,23 @@
 
 #include <algorithm>
 #include <string>
+#include <utility>
 
 #include "util/logging.h"
 
 namespace treesim {
 
 int InvertedFileIndex::Add(const Tree& t) {
-  const int tree_id = tree_count_++;
-  tree_sizes_.push_back(t.size());
   // Traverse(), insertPreOrder()/insertPostOrder() of Algorithm 1: one pass
   // produces every branch occurrence with both positions; appending at the
   // tail of the inverted list keeps each update O(1).
-  std::vector<BranchOccurrence> occurrences = ExtractBranches(t, dict_);
+  return AddOccurrences(t.size(), ExtractBranches(t, dict_));
+}
+
+int InvertedFileIndex::AddOccurrences(
+    int tree_size, std::vector<BranchOccurrence> occurrences) {
+  const int tree_id = tree_count_++;
+  tree_sizes_.push_back(tree_size);
   if (lists_.size() < dict_.size()) lists_.resize(dict_.size());
   std::sort(occurrences.begin(), occurrences.end(),
             [](const BranchOccurrence& x, const BranchOccurrence& y) {
@@ -28,6 +33,37 @@ int InvertedFileIndex::Add(const Tree& t) {
     list.back().positions.emplace_back(occ.pre, occ.post);
   }
   return tree_id;
+}
+
+void InvertedFileIndex::AddAll(const std::vector<Tree>& trees,
+                               ThreadPool* pool) {
+  if (pool == nullptr || pool->size() <= 1 || trees.size() < 2) {
+    for (const Tree& t : trees) Add(t);
+    return;
+  }
+  // Parallel phase: per-tree branch-key extraction into disjoint slots —
+  // the traversal-heavy part of Algorithm 1, touching only the input tree.
+  std::vector<std::vector<KeyedBranchOccurrence>> extracted(trees.size());
+  const int q = dict_.q();
+  pool->ParallelFor(static_cast<int64_t>(trees.size()), [&](int64_t i) {
+    extracted[static_cast<size_t>(i)] =
+        ExtractBranchKeys(trees[static_cast<size_t>(i)], q);
+  });
+  // Sequential phase, in tree order: interning assigns BranchIds in exactly
+  // the order the per-tree Add() path would (preorder within each tree), so
+  // the resulting dictionary and postings are byte-identical to a
+  // sequential build — determinism the tests pin down.
+  std::vector<BranchOccurrence> occurrences;
+  for (size_t i = 0; i < trees.size(); ++i) {
+    occurrences.clear();
+    occurrences.reserve(extracted[i].size());
+    for (const KeyedBranchOccurrence& occ : extracted[i]) {
+      occurrences.push_back(
+          BranchOccurrence{dict_.Intern(occ.key), occ.pre, occ.post});
+    }
+    AddOccurrences(trees[i].size(), std::move(occurrences));
+    extracted[i].clear();  // free the keys as we go
+  }
 }
 
 const std::vector<InvertedFileIndex::Posting>& InvertedFileIndex::postings(

@@ -8,6 +8,7 @@
 #include "core/binary_branch.h"
 #include "core/branch_profile.h"
 #include "tree/tree.h"
+#include "util/thread_pool.h"
 
 namespace treesim {
 
@@ -38,6 +39,13 @@ class InvertedFileIndex {
   /// Indexes one tree; returns its dense tree id (0, 1, 2, ...).
   int Add(const Tree& t);
 
+  /// Indexes a whole forest, ids in input order. With a pool, branch-key
+  /// extraction — the O(|Ti| * 2^q) part of Algorithm 1 — runs in parallel
+  /// across trees; interning and inverted-list appends stay sequential in
+  /// tree order, so BranchIds, postings and positions are byte-identical to
+  /// calling Add() per tree. nullptr builds sequentially.
+  void AddAll(const std::vector<Tree>& trees, ThreadPool* pool = nullptr);
+
   /// Number of indexed trees.
   int tree_count() const { return tree_count_; }
 
@@ -66,6 +74,10 @@ class InvertedFileIndex {
 
  private:
   friend struct InvariantTestPeer;  // tests corrupt lists to hit validators
+
+  /// Shared tail of Add()/AddAll(): assigns the next tree id and appends
+  /// `occurrences` (any order) to the inverted lists.
+  int AddOccurrences(int tree_size, std::vector<BranchOccurrence> occurrences);
 
   BranchDictionary dict_;
   std::vector<std::vector<Posting>> lists_;  // indexed by BranchId

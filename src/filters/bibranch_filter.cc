@@ -33,7 +33,7 @@ std::string BiBranchFilter::name() const {
 
 void BiBranchFilter::Build(const std::vector<Tree>& trees) {
   TREESIM_CHECK(profiles_.empty()) << "Build() called twice";
-  for (const Tree& t : trees) index_.Add(t);
+  index_.AddAll(trees, options_.build_pool);
   profiles_ = index_.BuildProfiles();
   if (options_.use_vptree) {
     Rng rng(0x5eed);  // fixed seed: deterministic index shape
@@ -71,7 +71,7 @@ std::optional<std::vector<int>> BiBranchFilter::TryRangeCandidates(
       static_cast<int64_t>(index_.branch_dict().edit_distance_factor()) *
           itau,
       &calls);
-  vptree_distance_calls_ += calls;
+  vptree_distance_calls_.fetch_add(calls, std::memory_order_relaxed);
   if (!options_.positional) return ball;
   // ... which the positional test then narrows to exactly the MayQualify
   // set (the ball already guarantees the BDist part).

@@ -1,6 +1,7 @@
 #ifndef TREESIM_FILTERS_BIBRANCH_FILTER_H_
 #define TREESIM_FILTERS_BIBRANCH_FILTER_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -9,6 +10,7 @@
 #include "core/positional.h"
 #include "core/vptree.h"
 #include "filters/filter_index.h"
+#include "util/thread_pool.h"
 
 namespace treesim {
 
@@ -33,6 +35,10 @@ class BiBranchFilter final : public FilterIndex {
     /// sublinearly instead of scanning every vector. Identical results;
     /// pays O(N log N) BDist evaluations at Build().
     bool use_vptree = false;
+    /// Pool Build() fans the inverted-file construction out over (borrowed;
+    /// must outlive Build()). Index contents are byte-identical to a
+    /// sequential build. nullptr builds sequentially.
+    ThreadPool* build_pool = nullptr;
   };
 
   /// Default options: q = 2, positional.
@@ -56,14 +62,20 @@ class BiBranchFilter final : public FilterIndex {
 
   /// Cumulative BDist evaluations spent inside VP-tree range searches
   /// (for benchmarking sublinearity; 0 when use_vptree is off).
-  int64_t vptree_distance_calls() const { return vptree_distance_calls_; }
+  int64_t vptree_distance_calls() const {
+    return vptree_distance_calls_.load(std::memory_order_relaxed);
+  }
 
  private:
   Options options_;
   InvertedFileIndex index_;
   std::vector<BranchProfile> profiles_;
   std::unique_ptr<VpTree> vptree_;
-  mutable int64_t vptree_distance_calls_ = 0;
+  /// Probe accounting mutated from const query paths; atomic because range
+  /// probes may run concurrently from the parallel search/join layers (the
+  /// only shared mutable state a built filter owns — everything else is
+  /// read-only after Build()).
+  mutable std::atomic<int64_t> vptree_distance_calls_{0};
 };
 
 }  // namespace treesim

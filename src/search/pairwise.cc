@@ -1,21 +1,25 @@
 #include "search/pairwise.h"
 
-#include <atomic>
-#include <thread>
-
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace treesim {
+namespace {
+
+/// Row offset of entry (i, i+1) in the packed upper triangle of an n x n
+/// matrix.
+size_t RowBase(int i, int n) {
+  return static_cast<size_t>(i) * static_cast<size_t>(n) -
+         static_cast<size_t>(i) * (static_cast<size_t>(i) + 1) / 2;
+}
+
+}  // namespace
 
 int PairwiseDistances::At(int i, int j) const {
   TREESIM_DCHECK(i >= 0 && i < size_ && j >= 0 && j < size_);
   if (i == j) return 0;
   if (i > j) std::swap(i, j);
-  const size_t index = static_cast<size_t>(i) * static_cast<size_t>(size_) -
-                       static_cast<size_t>(i) * (static_cast<size_t>(i) + 1) /
-                           2 +
-                       static_cast<size_t>(j - i - 1);
-  return upper_[index];
+  return upper_[RowBase(i, size_) + static_cast<size_t>(j - i - 1)];
 }
 
 double PairwiseDistances::Mean() const {
@@ -26,7 +30,7 @@ double PairwiseDistances::Mean() const {
 }
 
 PairwiseDistances ComputePairwiseDistances(const TreeDatabase& db,
-                                           int threads) {
+                                           ThreadPool* pool) {
   PairwiseDistances result;
   result.size_ = db.size();
   const size_t pairs = static_cast<size_t>(db.size()) *
@@ -34,38 +38,29 @@ PairwiseDistances ComputePairwiseDistances(const TreeDatabase& db,
   result.upper_.resize(pairs);
   if (pairs == 0) return result;
 
-  if (threads <= 0) {
-    threads = static_cast<int>(std::thread::hardware_concurrency());
-    if (threads <= 0) threads = 1;
-  }
-
-  // Workers pull rows off a shared counter; each row i computes the
-  // distances (i, i+1..n-1). Rows shrink with i, so the dynamic schedule
-  // balances better than a static split.
-  std::atomic<int> next_row{0};
-  auto worker = [&]() {
-    while (true) {
-      const int i = next_row.fetch_add(1);
-      if (i >= db.size() - 1) return;
-      const size_t row_base =
-          static_cast<size_t>(i) * static_cast<size_t>(db.size()) -
-          static_cast<size_t>(i) * (static_cast<size_t>(i) + 1) / 2;
-      for (int j = i + 1; j < db.size(); ++j) {
-        result.upper_[row_base + static_cast<size_t>(j - i - 1)] =
-            TreeEditDistance(db.ted_view(i), db.ted_view(j));
-      }
+  // One work item per row i, computing the distances (i, i+1..n-1) into the
+  // row's disjoint slice. Rows shrink with i, so the pool's dynamic index
+  // claiming balances better than a static split would; results land in
+  // fixed slots, so any schedule produces identical bytes.
+  ParallelFor(pool, db.size() - 1, [&](int64_t i) {
+    const size_t row_base = RowBase(static_cast<int>(i), db.size());
+    for (int j = static_cast<int>(i) + 1; j < db.size(); ++j) {
+      result.upper_[row_base + static_cast<size_t>(j - i - 1)] =
+          TreeEditDistance(db.ted_view(static_cast<int>(i)),
+                           db.ted_view(j));
     }
-  };
-
-  if (threads == 1) {
-    worker();
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<size_t>(threads));
-    for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
-    for (std::thread& t : pool) t.join();
-  }
+  });
   return result;
+}
+
+PairwiseDistances ComputePairwiseDistances(const TreeDatabase& db,
+                                           int threads) {
+  // Clamp to the row count: spawning hardware_concurrency() workers for a
+  // 3-tree matrix (as the old ad-hoc std::thread code did) is pure overhead.
+  const int effective = ClampThreads(threads, std::max(db.size() - 1, 0));
+  if (effective <= 1) return ComputePairwiseDistances(db, nullptr);
+  ThreadPool pool(effective);
+  return ComputePairwiseDistances(db, &pool);
 }
 
 }  // namespace treesim

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "search/tree_database.h"
+#include "util/thread_pool.h"
 
 namespace treesim {
 
@@ -21,7 +22,8 @@ class PairwiseDistances {
   double Mean() const;
 
  private:
-  friend PairwiseDistances ComputePairwiseDistances(const TreeDatabase&, int);
+  friend PairwiseDistances ComputePairwiseDistances(const TreeDatabase&,
+                                                    ThreadPool*);
 
   int size_ = 0;
   /// Upper triangle, row-major: entry (i, j) with i < j lives at
@@ -29,11 +31,16 @@ class PairwiseDistances {
   std::vector<int> upper_;
 };
 
-/// Computes all |D|*(|D|-1)/2 exact unit-cost edit distances. `threads` > 1
-/// fans the (embarrassingly parallel) pair computations out over worker
-/// threads — TedTree views are immutable and the Zhang–Shasha kernel is
-/// pure, so this is safe; results are identical for any thread count.
-/// threads <= 0 picks the hardware concurrency.
+/// Computes all |D|*(|D|-1)/2 exact unit-cost edit distances, fanning the
+/// (embarrassingly parallel) row computations out over `pool` — TedTree
+/// views are immutable and the Zhang–Shasha kernel is pure, so this is
+/// safe; every row writes a disjoint slice of the matrix, so results are
+/// byte-identical for any pool size. nullptr runs sequentially.
+PairwiseDistances ComputePairwiseDistances(const TreeDatabase& db,
+                                           ThreadPool* pool);
+
+/// Convenience overload owning a temporary pool: `threads` <= 0 picks the
+/// hardware concurrency; the count is clamped to the number of matrix rows.
 PairwiseDistances ComputePairwiseDistances(const TreeDatabase& db,
                                            int threads = 1);
 

@@ -1,5 +1,6 @@
 #include "search/similarity_join.h"
 
+#include <memory>
 #include <utility>
 
 #include "util/logging.h"
@@ -14,19 +15,74 @@ SimilarityJoin::SimilarityJoin(const TreeDatabase* right,
   if (filter_ != nullptr) filter_->Build(right_->trees());
 }
 
-JoinResult SimilarityJoin::Join(const TreeDatabase& left, int tau) {
-  return JoinImpl(left, tau, /*self=*/false);
+JoinResult SimilarityJoin::Join(const TreeDatabase& left, int tau,
+                                ThreadPool* pool) {
+  return JoinImpl(left, tau, /*self=*/false, pool);
 }
 
-JoinResult SimilarityJoin::SelfJoin(int tau) {
-  return JoinImpl(*right_, tau, /*self=*/true);
+JoinResult SimilarityJoin::SelfJoin(int tau, ThreadPool* pool) {
+  return JoinImpl(*right_, tau, /*self=*/true, pool);
 }
 
 JoinResult SimilarityJoin::JoinImpl(const TreeDatabase& left, int tau,
-                                    bool self) {
+                                    bool self, ThreadPool* pool) {
   TREESIM_CHECK(left.label_dict() == right_->label_dict())
       << "join sides must share one label dictionary";
   JoinResult result;
+  if (pool != nullptr && pool->size() > 1 && left.size() >= 2) {
+    // Phase 1, sequential: query preparation in left order (PrepareQuery
+    // may extend the filter's shared dictionaries, so it must not
+    // interleave; preparing in id order also keeps any interning
+    // deterministic).
+    Stopwatch filter_timer;
+    std::vector<std::unique_ptr<QueryContext>> contexts;
+    if (filter_ != nullptr) {
+      contexts.resize(static_cast<size_t>(left.size()));
+      for (int l = 0; l < left.size(); ++l) {
+        contexts[static_cast<size_t>(l)] = filter_->PrepareQuery(left.tree(l));
+      }
+    }
+    result.stats.filter_seconds = filter_timer.ElapsedSeconds();
+
+    // Phase 2, parallel: each left tree probes (const MayQualify) and
+    // refines into its own slot — no shared mutable state.
+    struct PerLeft {
+      std::vector<std::tuple<int, int, int>> pairs;
+      int64_t candidates = 0;
+      int64_t calls = 0;
+    };
+    std::vector<PerLeft> slots(static_cast<size_t>(left.size()));
+    Stopwatch refine_timer;
+    pool->ParallelFor(left.size(), [&](int64_t li) {
+      const int l = static_cast<int>(li);
+      PerLeft& slot = slots[static_cast<size_t>(l)];
+      for (int r = self ? l + 1 : 0; r < right_->size(); ++r) {
+        if (filter_ != nullptr &&
+            !filter_->MayQualify(*contexts[static_cast<size_t>(l)], r, tau)) {
+          continue;
+        }
+        ++slot.candidates;
+        const int d = TreeEditDistance(left.ted_view(l), right_->ted_view(r));
+        ++slot.calls;
+        if (d <= tau) slot.pairs.emplace_back(l, r, d);
+      }
+    });
+    result.stats.refine_seconds = refine_timer.ElapsedSeconds();
+
+    // Phase 3, sequential: merge slots in left order — each slot is
+    // already ascending by r, so the concatenation is ascending by (l, r),
+    // exactly the sequential output.
+    for (int l = 0; l < left.size(); ++l) {
+      PerLeft& slot = slots[static_cast<size_t>(l)];
+      result.stats.database_size += right_->size() - (self ? l + 1 : 0);
+      result.stats.candidates += slot.candidates;
+      result.stats.edit_distance_calls += slot.calls;
+      result.pairs.insert(result.pairs.end(), slot.pairs.begin(),
+                          slot.pairs.end());
+    }
+    result.stats.results = static_cast<int64_t>(result.pairs.size());
+    return result;
+  }
   for (int l = 0; l < left.size(); ++l) {
     // In a self join every unordered pair is probed from its smaller id;
     // the filter still scans all of `right_`, so prune r <= l afterwards

@@ -8,6 +8,7 @@
 #include "filters/filter_index.h"
 #include "search/query_stats.h"
 #include "search/tree_database.h"
+#include "util/thread_pool.h"
 
 namespace treesim {
 
@@ -35,15 +36,23 @@ class SimilarityJoin {
   SimilarityJoin(const SimilarityJoin&) = delete;
   SimilarityJoin& operator=(const SimilarityJoin&) = delete;
 
-  /// All (l, r) with EDist(left[l], right[r]) <= tau.
-  JoinResult Join(const TreeDatabase& left, int tau);
+  /// All (l, r) with EDist(left[l], right[r]) <= tau. With a pool, query
+  /// preparation stays sequential (filters may extend shared dictionaries),
+  /// then each left tree's probe + refinement fans out over the workers
+  /// into a per-left result slot; slots merge in left-id order, so `pairs`
+  /// and the counting stats are identical to the sequential join for any
+  /// pool size (only the seconds attribution shifts: probing is timed with
+  /// refinement rather than with preparation).
+  JoinResult Join(const TreeDatabase& left, int tau,
+                  ThreadPool* pool = nullptr);
 
   /// Self join of the right-side database: all unordered pairs l < r within
-  /// tau (each pair probed once).
-  JoinResult SelfJoin(int tau);
+  /// tau (each pair probed once). Same parallel contract as Join().
+  JoinResult SelfJoin(int tau, ThreadPool* pool = nullptr);
 
  private:
-  JoinResult JoinImpl(const TreeDatabase& left, int tau, bool self);
+  JoinResult JoinImpl(const TreeDatabase& left, int tau, bool self,
+                      ThreadPool* pool);
 
   const TreeDatabase* right_;
   std::unique_ptr<FilterIndex> filter_;

@@ -19,7 +19,8 @@ std::string SimilaritySearch::filter_name() const {
   return filter_ == nullptr ? "Sequential" : filter_->name();
 }
 
-RangeResult SimilaritySearch::Range(const Tree& query, int tau) {
+RangeResult SimilaritySearch::Range(const Tree& query, int tau,
+                                    ThreadPool* pool) {
   RangeResult result;
   result.stats.database_size = db_->size();
 
@@ -48,12 +49,16 @@ RangeResult SimilaritySearch::Range(const Tree& query, int tau) {
   result.stats.filter_seconds = filter_timer.ElapsedSeconds();
   result.stats.candidates = static_cast<int64_t>(candidates.size());
 
-  // Refinement step: verify every candidate with the exact distance.
+  // Refinement step: verify every candidate with the exact distance. Each
+  // candidate's distance lands in its own slot, so the parallel fan-out
+  // (TedTree views are immutable, the kernel is pure) yields exactly the
+  // sequential matches and stats for any pool size.
   Stopwatch refine_timer;
   const TedTree query_view = TedTree::FromTree(query);
-  for (const int id : candidates) {
+  std::vector<int> distances(candidates.size(), 0);
+  ParallelFor(pool, static_cast<int64_t>(candidates.size()), [&](int64_t c) {
+    const int id = candidates[static_cast<size_t>(c)];
     const int d = TreeEditDistance(query_view, db_->ted_view(id));
-    ++result.stats.edit_distance_calls;
 #ifndef NDEBUG
     // Theorem 3.2/3.3 as a machine-checked invariant: the filter's lower
     // bound (ceil(BDist / [4(q-1)+1]) for the branch filters) must never
@@ -64,7 +69,14 @@ RangeResult SimilaritySearch::Range(const Tree& query, int tau) {
           << " on tree " << id;
     }
 #endif
-    if (d <= tau) result.matches.emplace_back(id, d);
+    distances[static_cast<size_t>(c)] = d;
+  });
+  result.stats.edit_distance_calls =
+      static_cast<int64_t>(candidates.size());
+  for (size_t c = 0; c < candidates.size(); ++c) {
+    if (distances[c] <= tau) {
+      result.matches.emplace_back(candidates[c], distances[c]);
+    }
   }
   result.stats.refine_seconds = refine_timer.ElapsedSeconds();
 
@@ -77,13 +89,15 @@ RangeResult SimilaritySearch::Range(const Tree& query, int tau) {
   return result;
 }
 
-KnnResult SimilaritySearch::Knn(const Tree& query, int k) {
+KnnResult SimilaritySearch::Knn(const Tree& query, int k, ThreadPool* pool) {
   TREESIM_CHECK_GT(k, 0);
   KnnResult result;
   result.stats.database_size = db_->size();
   if (db_->size() == 0) return result;
 
   // Step 1: lower bound for every database tree (Algorithm 2, lines 1-3).
+  // PrepareQuery stays on the calling thread (it may extend shared
+  // dictionaries); the per-tree bounds are pure reads and fan out.
   Stopwatch filter_timer;
   std::vector<double> bounds(static_cast<size_t>(db_->size()), 0.0);
   std::vector<int> order(static_cast<size_t>(db_->size()));
@@ -92,9 +106,10 @@ KnnResult SimilaritySearch::Knn(const Tree& query, int k) {
   }
   if (filter_ != nullptr) {
     const std::unique_ptr<QueryContext> ctx = filter_->PrepareQuery(query);
-    for (int id = 0; id < db_->size(); ++id) {
-      bounds[static_cast<size_t>(id)] = filter_->LowerBound(*ctx, id);
-    }
+    ParallelFor(pool, db_->size(), [&](int64_t id) {
+      bounds[static_cast<size_t>(id)] =
+          filter_->LowerBound(*ctx, static_cast<int>(id));
+    });
     // Step 2: ascending by optimistic bound (line 4), so the most promising
     // trees are refined first and the break triggers as early as possible.
     std::sort(order.begin(), order.end(), [&](int a, int b) {
@@ -112,26 +127,86 @@ KnnResult SimilaritySearch::Knn(const Tree& query, int k) {
   Stopwatch refine_timer;
   const TedTree query_view = TedTree::FromTree(query);
   std::priority_queue<std::pair<int, int>> heap;
-  for (const int id : order) {
-    if (static_cast<int>(heap.size()) == k &&
-        bounds[static_cast<size_t>(id)] >
-            static_cast<double>(heap.top().first)) {
-      break;  // every remaining bound is at least this large
+  int64_t calls = 0;
+  if (pool == nullptr || pool->size() <= 1) {
+    for (const int id : order) {
+      if (static_cast<int>(heap.size()) == k &&
+          bounds[static_cast<size_t>(id)] >
+              static_cast<double>(heap.top().first)) {
+        break;  // every remaining bound is at least this large
+      }
+      const int d = TreeEditDistance(query_view, db_->ted_view(id));
+      ++calls;
+      // Soundness of the pruning sweep: a bound above the exact distance
+      // would let the early break drop true neighbors.
+      TREESIM_DCHECK_LE(bounds[static_cast<size_t>(id)],
+                        static_cast<double>(d))
+          << "unsound lower bound on tree " << id;
+      if (static_cast<int>(heap.size()) < k) {
+        heap.emplace(d, id);
+      } else if (std::make_pair(d, id) < heap.top()) {
+        heap.pop();
+        heap.emplace(d, id);
+      }
     }
-    const int d = TreeEditDistance(query_view, db_->ted_view(id));
-    ++result.stats.edit_distance_calls;
-    // Soundness of the pruning sweep: a bound above the exact distance
-    // would let the early break drop true neighbors.
-    TREESIM_DCHECK_LE(bounds[static_cast<size_t>(id)],
-                      static_cast<double>(d))
-        << "unsound lower bound on tree " << id;
-    if (static_cast<int>(heap.size()) < k) {
-      heap.emplace(d, id);
-    } else if (std::make_pair(d, id) < heap.top()) {
-      heap.pop();
-      heap.emplace(d, id);
+  } else {
+    // Parallel sweep over bound-ascending blocks. Workers verify
+    // candidates thread-locally and merge into the mutex-guarded heap; a
+    // bounded heap keeps the k smallest (distance, id) pairs of whatever
+    // set was verified, independent of insertion order, and the skip/stop
+    // tests below only drop candidates whose bound STRICTLY exceeds the
+    // current k-th best exact distance — which only shrinks over time, so
+    // such a candidate can never re-enter the final top k. Hence
+    // `neighbors` equals the sequential sweep's for any pool size; only
+    // the number of verifications may differ (a block can overshoot the
+    // sequential stopping point).
+    struct SweepState {
+      Mutex mu;
+      std::priority_queue<std::pair<int, int>> heap TREESIM_GUARDED_BY(mu);
+      int64_t calls TREESIM_GUARDED_BY(mu) = 0;
+    } sweep;
+    const int64_t n = db_->size();
+    const int64_t block =
+        std::max<int64_t>(k, static_cast<int64_t>(8 * pool->size()));
+    for (int64_t start = 0; start < n; start += block) {
+      {
+        MutexLock lock(sweep.mu);
+        if (static_cast<int>(sweep.heap.size()) == k &&
+            bounds[static_cast<size_t>(
+                order[static_cast<size_t>(start)])] >
+                static_cast<double>(sweep.heap.top().first)) {
+          break;  // bounds ascend: every remaining block is prunable
+        }
+      }
+      const int64_t end = std::min(start + block, n);
+      pool->ParallelFor(end - start, [&](int64_t bi) {
+        const int id = order[static_cast<size_t>(start + bi)];
+        const double bound = bounds[static_cast<size_t>(id)];
+        {
+          MutexLock lock(sweep.mu);
+          if (static_cast<int>(sweep.heap.size()) == k &&
+              bound > static_cast<double>(sweep.heap.top().first)) {
+            return;  // exact distance >= bound > current k-th best
+          }
+        }
+        const int d = TreeEditDistance(query_view, db_->ted_view(id));
+        TREESIM_DCHECK_LE(bound, static_cast<double>(d))
+            << "unsound lower bound on tree " << id;
+        MutexLock lock(sweep.mu);
+        ++sweep.calls;
+        if (static_cast<int>(sweep.heap.size()) < k) {
+          sweep.heap.emplace(d, id);
+        } else if (std::make_pair(d, id) < sweep.heap.top()) {
+          sweep.heap.pop();
+          sweep.heap.emplace(d, id);
+        }
+      });
     }
+    MutexLock lock(sweep.mu);
+    heap = std::move(sweep.heap);
+    calls = sweep.calls;
   }
+  result.stats.edit_distance_calls = calls;
   result.stats.refine_seconds = refine_timer.ElapsedSeconds();
   result.stats.candidates = result.stats.edit_distance_calls;
 
@@ -142,6 +217,20 @@ KnnResult SimilaritySearch::Knn(const Tree& query, int k) {
   }
   result.stats.results = static_cast<int64_t>(result.neighbors.size());
   return result;
+}
+
+BatchKnnResult SimilaritySearch::BatchKnn(const std::vector<Tree>& queries,
+                                          int k, ThreadPool* pool) {
+  BatchKnnResult out;
+  out.per_query.reserve(queries.size());
+  // Queries run in order — PrepareQuery may extend shared dictionaries, so
+  // the per-query preparation must not interleave; each query's refinement
+  // fans out over the pool and its stats merge when that fan-in joins.
+  for (const Tree& query : queries) {
+    out.per_query.push_back(Knn(query, k, pool));
+    out.total += out.per_query.back().stats;
+  }
+  return out;
 }
 
 WeightedRangeResult SimilaritySearch::RangeWeighted(const Tree& query,

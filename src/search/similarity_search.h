@@ -9,6 +9,7 @@
 #include "search/query_stats.h"
 #include "search/tree_database.h"
 #include "ted/cost_model.h"
+#include "util/thread_pool.h"
 
 namespace treesim {
 
@@ -24,6 +25,14 @@ struct RangeResult {
 struct KnnResult {
   std::vector<std::pair<int, int>> neighbors;  // (tree id, exact distance)
   QueryStats stats;
+};
+
+/// Result of a batch k-NN query: one KnnResult per query tree, in input
+/// order, plus the merged accounting.
+struct BatchKnnResult {
+  std::vector<KnnResult> per_query;
+  /// Sum of the per-query stats, merged when the parallel refinement joins.
+  QueryStats total;
 };
 
 /// Weighted-cost variants (general CostModel distances are real-valued).
@@ -53,13 +62,35 @@ class SimilaritySearch {
   SimilaritySearch& operator=(SimilaritySearch&&) = default;
 
   /// All trees with EDist(query, tree) <= tau. Filtering uses
-  /// FilterIndex::MayQualify; survivors are verified with exact TED.
-  RangeResult Range(const Tree& query, int tau);
+  /// FilterIndex::MayQualify; survivors are verified with exact TED. With a
+  /// pool, candidate verification (the dominant cost) fans out over the
+  /// workers into per-candidate slots; matches and stats are identical to
+  /// the sequential scan for any pool size.
+  RangeResult Range(const Tree& query, int tau, ThreadPool* pool = nullptr);
 
   /// The k nearest neighbors by exact TED, via the optimal multi-step
   /// strategy (Algorithm 2): lower bounds for every tree, ascending sweep,
   /// early break once the k-th best exact distance is below the next bound.
-  KnnResult Knn(const Tree& query, int k);
+  ///
+  /// With a pool the sweep refines candidates in parallel, bound-ascending
+  /// blocks at a time: each worker verifies candidates thread-locally and
+  /// merges into a mutex-guarded result heap; a candidate is skipped when
+  /// its bound already exceeds the current k-th best exact distance, and
+  /// the sweep stops at the first block whose smallest bound does — the
+  /// same soundness argument as the sequential early break (every skipped
+  /// tree has exact distance >= bound > k-th best). `neighbors` is
+  /// byte-identical for any pool size; `stats.edit_distance_calls` may
+  /// exceed the sequential count (a block may verify a few candidates past
+  /// the optimal stopping point).
+  KnnResult Knn(const Tree& query, int k, ThreadPool* pool = nullptr);
+
+  /// Batch k-NN entry point: answers `queries` in input order, refining
+  /// each query's candidates in parallel over `pool`; per-query QueryStats
+  /// are merged into `total` at join. Query preparation stays sequential
+  /// (filters may extend shared dictionaries), so results are identical to
+  /// calling Knn() per query.
+  BatchKnnResult BatchKnn(const std::vector<Tree>& queries, int k,
+                          ThreadPool* pool = nullptr);
 
   /// Name of the active filter ("Sequential" when none).
   std::string filter_name() const;

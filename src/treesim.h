@@ -44,6 +44,8 @@
 #include "util/random.h"    // IWYU pragma: export
 #include "util/status.h"    // IWYU pragma: export
 #include "util/stopwatch.h" // IWYU pragma: export
+#include "util/sync.h"         // IWYU pragma: export
+#include "util/thread_pool.h"  // IWYU pragma: export
 #include "xml/xml_corpus.h" // IWYU pragma: export
 #include "xml/xml_parser.h" // IWYU pragma: export
 

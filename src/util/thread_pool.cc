@@ -1,0 +1,125 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace treesim {
+namespace {
+
+/// Identifies the pool (if any) the current thread is a worker of, so
+/// ParallelFor can refuse to run on its own pool: the caller would wait for
+/// helper tasks that sit behind it in the queue it is itself draining.
+thread_local const ThreadPool* current_pool = nullptr;
+
+}  // namespace
+
+ThreadPool::ThreadPool(int threads) {
+  TREESIM_CHECK_GE(threads, 1) << "a thread pool needs at least one worker";
+  threads_.reserve(static_cast<size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    MutexLock lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.NotifyAll();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::Schedule(std::function<void()> fn) {
+  TREESIM_CHECK(fn != nullptr);
+  {
+    MutexLock lock(mu_);
+    TREESIM_CHECK(!shutdown_) << "Schedule() after the destructor began";
+    queue_.push_back(std::move(fn));
+  }
+  work_cv_.NotifyOne();
+}
+
+void ThreadPool::WorkerLoop() {
+  current_pool = this;
+  while (true) {
+    std::function<void()> task;
+    {
+      MutexLock lock(mu_);
+      while (queue_.empty() && !shutdown_) work_cv_.Wait(mu_);
+      if (queue_.empty()) return;  // shutdown with nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+bool ThreadPool::InWorkerThread() const { return current_pool == this; }
+
+void ThreadPool::ParallelFor(int64_t n,
+                             const std::function<void(int64_t)>& fn) {
+  if (n <= 0) return;
+  TREESIM_CHECK(!InWorkerThread())
+      << "ParallelFor on the caller's own pool would deadlock";
+
+  // Every state member is written before the tasks are scheduled and the
+  // function does not return until `pending` drops to zero, so capturing
+  // `state` and `fn` by reference in the tasks is safe.
+  struct State {
+    std::atomic<int64_t> next{0};
+    Mutex mu;
+    CondVar done_cv;
+    int pending TREESIM_GUARDED_BY(mu) = 0;
+  } state;
+
+  const int tasks = static_cast<int>(
+      std::min<int64_t>(static_cast<int64_t>(size()), n));
+  {
+    MutexLock lock(state.mu);
+    state.pending = tasks;
+  }
+  for (int t = 0; t < tasks; ++t) {
+    Schedule([&state, &fn, n] {
+      while (true) {
+        const int64_t i = state.next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) break;
+        fn(i);
+      }
+      // Notify while still holding the lock: the caller destroys `state`
+      // (a stack frame) as soon as it observes pending == 0, so signalling
+      // after the unlock would race with that destruction.
+      MutexLock lock(state.mu);
+      if (--state.pending == 0) state.done_cv.NotifyOne();
+    });
+  }
+  MutexLock lock(state.mu);
+  while (state.pending > 0) state.done_cv.Wait(state.mu);
+}
+
+int ThreadPool::HardwareThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+int ClampThreads(int requested, int64_t items) {
+  int threads = requested > 0 ? requested : ThreadPool::HardwareThreads();
+  threads = static_cast<int>(
+      std::min<int64_t>(static_cast<int64_t>(threads), std::max<int64_t>(items, 1)));
+  return std::max(threads, 1);
+}
+
+void ParallelFor(ThreadPool* pool, int64_t n,
+                 const std::function<void(int64_t)>& fn) {
+  if (pool == nullptr) {
+    for (int64_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  pool->ParallelFor(n, fn);
+}
+
+}  // namespace treesim

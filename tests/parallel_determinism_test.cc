@@ -1,0 +1,226 @@
+// Pins the determinism contract of every pool-aware layer: with any worker
+// count, results are identical to the sequential path — parallelism may
+// only change wall-clock time (and, for the k-NN sweep, the number of
+// verifications, which is why these tests compare results, not stats
+// counters, for Knn).
+#include <memory>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "core/inverted_file.h"
+#include "filters/bibranch_filter.h"
+#include "search/pairwise.h"
+#include "search/similarity_join.h"
+#include "search/similarity_search.h"
+#include "test_util.h"
+#include "util/thread_pool.h"
+
+namespace treesim {
+namespace {
+
+using testing::MakeLabelPool;
+using testing::RandomTree;
+
+constexpr int kWorkers = 8;
+
+std::unique_ptr<TreeDatabase> SeededDb(int count, uint64_t seed,
+                                       int max_size = 16) {
+  auto dict = std::make_shared<LabelDictionary>();
+  auto db = std::make_unique<TreeDatabase>(dict);
+  const std::vector<LabelId> pool = MakeLabelPool(dict, 5);
+  Rng rng(seed);
+  for (int i = 0; i < count; ++i) {
+    db->Add(RandomTree(rng.UniformInt(1, max_size), pool, dict, rng));
+  }
+  return db;
+}
+
+TEST(ParallelDeterminismTest, PairwiseMatrixIdentical) {
+  auto db = SeededDb(40, 2025);
+  const PairwiseDistances serial = ComputePairwiseDistances(*db, nullptr);
+  ThreadPool pool(kWorkers);
+  const PairwiseDistances parallel = ComputePairwiseDistances(*db, &pool);
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (int i = 0; i < serial.size(); ++i) {
+    for (int j = 0; j < serial.size(); ++j) {
+      ASSERT_EQ(parallel.At(i, j), serial.At(i, j));
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, InvertedFileBuildIdentical) {
+  auto db = SeededDb(60, 2027);
+  InvertedFileIndex serial(2);
+  for (const Tree& t : db->trees()) serial.Add(t);
+
+  ThreadPool pool(kWorkers);
+  InvertedFileIndex parallel(2);
+  parallel.AddAll(db->trees(), &pool);
+
+  ASSERT_EQ(parallel.tree_count(), serial.tree_count());
+  // Interning order is part of the contract: the same BranchKey must map to
+  // the same BranchId, so the dictionaries agree id-by-id.
+  ASSERT_EQ(parallel.branch_dict().size(), serial.branch_dict().size());
+  for (size_t b = 0; b < serial.branch_dict().size(); ++b) {
+    const BranchId branch = static_cast<BranchId>(b);
+    const auto& sp = serial.postings(branch);
+    const auto& pp = parallel.postings(branch);
+    ASSERT_EQ(pp.size(), sp.size()) << "branch " << b;
+    for (size_t p = 0; p < sp.size(); ++p) {
+      EXPECT_EQ(pp[p].tree_id, sp[p].tree_id) << "branch " << b;
+      EXPECT_EQ(pp[p].positions, sp[p].positions) << "branch " << b;
+    }
+  }
+  EXPECT_TRUE(parallel.ValidateInvariants().ok());
+}
+
+TEST(ParallelDeterminismTest, FilterBuildWithPoolIdentical) {
+  auto db = SeededDb(50, 2029);
+  BiBranchFilter serial;
+  serial.Build(db->trees());
+
+  ThreadPool pool(kWorkers);
+  BiBranchFilter::Options options;
+  options.build_pool = &pool;
+  BiBranchFilter parallel(options);
+  parallel.Build(db->trees());
+
+  ASSERT_EQ(parallel.profiles().size(), serial.profiles().size());
+  for (size_t i = 0; i < serial.profiles().size(); ++i) {
+    const BranchProfile& sp = serial.profiles()[i];
+    const BranchProfile& pp = parallel.profiles()[i];
+    EXPECT_EQ(pp.tree_size, sp.tree_size);
+    ASSERT_EQ(pp.entries.size(), sp.entries.size()) << "tree " << i;
+    for (size_t e = 0; e < sp.entries.size(); ++e) {
+      EXPECT_EQ(pp.entries[e].branch, sp.entries[e].branch) << "tree " << i;
+      EXPECT_EQ(pp.entries[e].occurrences, sp.entries[e].occurrences);
+      EXPECT_EQ(pp.entries[e].posts_sorted, sp.entries[e].posts_sorted);
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, RangeQueryIdentical) {
+  auto db = SeededDb(80, 2031);
+  ThreadPool pool(kWorkers);
+  for (const bool filtered : {false, true}) {
+    SimilaritySearch seq(
+        db.get(), filtered ? std::make_unique<BiBranchFilter>() : nullptr);
+    SimilaritySearch par(
+        db.get(), filtered ? std::make_unique<BiBranchFilter>() : nullptr);
+    for (const int tau : {0, 2, 5}) {
+      for (int qi = 0; qi < 5; ++qi) {
+        const Tree& query = db->tree(qi * 7);
+        const RangeResult s = seq.Range(query, tau, nullptr);
+        const RangeResult p = par.Range(query, tau, &pool);
+        EXPECT_EQ(p.matches, s.matches) << "tau=" << tau;
+        // Range refines the same candidate set either way, so even the
+        // counters must agree.
+        EXPECT_EQ(p.stats.edit_distance_calls, s.stats.edit_distance_calls);
+        EXPECT_EQ(p.stats.candidates, s.stats.candidates);
+      }
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, KnnIdenticalNeighbors) {
+  auto db = SeededDb(80, 2033);
+  ThreadPool pool(kWorkers);
+  for (const bool filtered : {false, true}) {
+    SimilaritySearch seq(
+        db.get(), filtered ? std::make_unique<BiBranchFilter>() : nullptr);
+    SimilaritySearch par(
+        db.get(), filtered ? std::make_unique<BiBranchFilter>() : nullptr);
+    for (const int k : {1, 3, 10, 200 /* > |D| */}) {
+      for (int qi = 0; qi < 5; ++qi) {
+        const Tree& query = db->tree(qi * 11);
+        const KnnResult s = seq.Knn(query, k, nullptr);
+        const KnnResult p = par.Knn(query, k, &pool);
+        // Neighbors are byte-identical; edit_distance_calls may differ (a
+        // parallel block can verify past the sequential stopping point).
+        EXPECT_EQ(p.neighbors, s.neighbors)
+            << "k=" << k << " filtered=" << filtered;
+      }
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, BatchKnnMatchesSequentialKnn) {
+  auto db = SeededDb(60, 2035);
+  ThreadPool pool(kWorkers);
+  std::vector<Tree> queries;
+  for (int qi = 0; qi < 8; ++qi) queries.push_back(db->tree(qi * 5));
+
+  SimilaritySearch seq(db.get(), std::make_unique<BiBranchFilter>());
+  SimilaritySearch par(db.get(), std::make_unique<BiBranchFilter>());
+  const int k = 4;
+  const BatchKnnResult batch = par.BatchKnn(queries, k, &pool);
+  ASSERT_EQ(batch.per_query.size(), queries.size());
+  int64_t results = 0;
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    const KnnResult s = seq.Knn(queries[qi], k, nullptr);
+    EXPECT_EQ(batch.per_query[qi].neighbors, s.neighbors) << "query " << qi;
+    results += batch.per_query[qi].stats.results;
+  }
+  // The merged stats are the sum of the per-query stats.
+  EXPECT_EQ(batch.total.results, results);
+  EXPECT_EQ(batch.total.database_size,
+            static_cast<int64_t>(queries.size()) * db->size());
+}
+
+TEST(ParallelDeterminismTest, JoinAndSelfJoinIdentical) {
+  auto right = SeededDb(40, 2037);
+  auto left = std::make_unique<TreeDatabase>(right->label_dict());
+  {
+    const std::vector<LabelId> pool_ids =
+        MakeLabelPool(right->label_dict(), 5);
+    Rng rng(2039);
+    for (int i = 0; i < 25; ++i) {
+      left->Add(RandomTree(rng.UniformInt(1, 16), pool_ids,
+                           right->label_dict(), rng));
+    }
+  }
+  ThreadPool pool(kWorkers);
+  for (const bool filtered : {false, true}) {
+    for (const int tau : {1, 3}) {
+      SimilarityJoin seq(
+          right.get(),
+          filtered ? std::make_unique<BiBranchFilter>() : nullptr);
+      SimilarityJoin par(
+          right.get(),
+          filtered ? std::make_unique<BiBranchFilter>() : nullptr);
+      const JoinResult s = seq.Join(*left, tau, nullptr);
+      const JoinResult p = par.Join(*left, tau, &pool);
+      EXPECT_EQ(p.pairs, s.pairs) << "tau=" << tau;
+      EXPECT_EQ(p.stats.candidates, s.stats.candidates);
+      EXPECT_EQ(p.stats.edit_distance_calls, s.stats.edit_distance_calls);
+      EXPECT_EQ(p.stats.database_size, s.stats.database_size);
+
+      const JoinResult ss = seq.SelfJoin(tau, nullptr);
+      const JoinResult ps = par.SelfJoin(tau, &pool);
+      EXPECT_EQ(ps.pairs, ss.pairs) << "self tau=" << tau;
+      EXPECT_EQ(ps.stats.edit_distance_calls, ss.stats.edit_distance_calls);
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, TinyInputsTakeTheSequentialPath) {
+  // ClampThreads collapses tiny workloads to one worker; the engines must
+  // also behave with a pool larger than the input.
+  auto db = SeededDb(2, 2041);
+  ThreadPool pool(kWorkers);
+  SimilaritySearch engine(db.get(), std::make_unique<BiBranchFilter>());
+  const KnnResult s = engine.Knn(db->tree(0), 1, nullptr);
+  const KnnResult p = engine.Knn(db->tree(0), 1, &pool);
+  EXPECT_EQ(p.neighbors, s.neighbors);
+
+  const PairwiseDistances one =
+      ComputePairwiseDistances(*SeededDb(1, 2043), kWorkers);
+  EXPECT_EQ(one.size(), 1);
+
+  InvertedFileIndex empty(2);
+  empty.AddAll({}, &pool);
+  EXPECT_EQ(empty.tree_count(), 0);
+}
+
+}  // namespace
+}  // namespace treesim

@@ -1,0 +1,157 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "util/sync.h"
+
+namespace treesim {
+namespace {
+
+TEST(ClampThreadsTest, NonPositiveRequestPicksHardware) {
+  EXPECT_EQ(ClampThreads(0, 1000), ThreadPool::HardwareThreads());
+  EXPECT_EQ(ClampThreads(-3, 1000), ThreadPool::HardwareThreads());
+}
+
+TEST(ClampThreadsTest, ClampedToItems) {
+  EXPECT_EQ(ClampThreads(8, 3), 3);
+  EXPECT_EQ(ClampThreads(8, 8), 8);
+  EXPECT_EQ(ClampThreads(2, 100), 2);
+}
+
+TEST(ClampThreadsTest, AtLeastOne) {
+  EXPECT_EQ(ClampThreads(8, 0), 1);
+  EXPECT_EQ(ClampThreads(0, 0), 1);
+  EXPECT_EQ(ClampThreads(1, 5), 1);
+}
+
+TEST(ThreadPoolTest, HardwareThreadsIsPositive) {
+  EXPECT_GE(ThreadPool::HardwareThreads(), 1);
+}
+
+TEST(ThreadPoolTest, ScheduleRunsEveryTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Schedule([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+  }
+  // The destructor drains the queue before joining, so after scope exit
+  // every task must have run.
+  {
+    ThreadPool inner(2);
+    for (int i = 0; i < 50; ++i) {
+      inner.Schedule([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+    }
+  }
+  // Give the outer pool's tasks a synchronization point: ParallelFor only
+  // returns when its own tasks finish, and FIFO order means the 100
+  // scheduled tasks run first.
+  pool.ParallelFor(1, [](int64_t) {});
+  EXPECT_EQ(ran.load(), 150);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  pool.ParallelFor(257, [&hits](int64_t i) {
+    hits[static_cast<size_t>(i)].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForEdgeCases) {
+  ThreadPool pool(3);
+  int ran = 0;
+  pool.ParallelFor(0, [&ran](int64_t) { ++ran; });
+  EXPECT_EQ(ran, 0);
+  // n == 1 with a live pool still runs (on some worker).
+  std::atomic<int> one{0};
+  pool.ParallelFor(1, [&one](int64_t i) {
+    EXPECT_EQ(i, 0);
+    one.fetch_add(1);
+  });
+  EXPECT_EQ(one.load(), 1);
+}
+
+TEST(ThreadPoolTest, FreeParallelForInlineWithoutPool) {
+  std::vector<int> order;
+  ParallelFor(nullptr, 5, [&order](int64_t i) {
+    order.push_back(static_cast<int>(i));  // inline => sequential, in order
+  });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPoolTest, FreeParallelForUsesPool) {
+  ThreadPool pool(2);
+  std::atomic<int64_t> sum{0};
+  ParallelFor(&pool, 100, [&sum](int64_t i) {
+    sum.fetch_add(i, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), 99 * 100 / 2);
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAcrossParallelFors) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int> count{0};
+    pool.ParallelFor(64, [&count](int64_t) {
+      count.fetch_add(1, std::memory_order_relaxed);
+    });
+    ASSERT_EQ(count.load(), 64);
+  }
+}
+
+TEST(ThreadPoolTest, InWorkerThreadDetection) {
+  ThreadPool pool(2);
+  EXPECT_FALSE(pool.InWorkerThread());
+  std::atomic<int> inside{0};
+  pool.ParallelFor(8, [&pool, &inside](int64_t) {
+    if (pool.InWorkerThread()) inside.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(inside.load(), 8);
+}
+
+TEST(MutexTest, GuardsSharedCounter) {
+  Mutex mu;
+  int64_t counter = 0;
+  ThreadPool pool(4);
+  pool.ParallelFor(1000, [&mu, &counter](int64_t) {
+    MutexLock lock(mu);
+    ++counter;
+  });
+  MutexLock lock(mu);
+  EXPECT_EQ(counter, 1000);
+}
+
+TEST(MutexTest, TryLockReportsContention) {
+  Mutex mu;
+  EXPECT_TRUE(mu.TryLock());
+  EXPECT_FALSE(mu.TryLock());
+  mu.Unlock();
+  MutexLock lock(mu);  // relockable after Unlock()
+}
+
+// Stress shape for TSan: many small ParallelFors with mixed shared state
+// (atomic + mutex-guarded) from alternating rounds.
+TEST(ThreadPoolTest, StressMixedRounds) {
+  ThreadPool pool(8);
+  Mutex mu;
+  int64_t guarded = 0;
+  std::atomic<int64_t> relaxed{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.ParallelFor(97, [&](int64_t i) {
+      relaxed.fetch_add(i, std::memory_order_relaxed);
+      MutexLock lock(mu);
+      guarded += 1;
+    });
+  }
+  MutexLock lock(mu);
+  EXPECT_EQ(guarded, 50 * 97);
+  EXPECT_EQ(relaxed.load(), 50 * (96 * 97 / 2));
+}
+
+}  // namespace
+}  // namespace treesim

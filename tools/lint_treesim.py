@@ -17,6 +17,13 @@ Checks, over ``src/`` (and headers under ``fuzz/`` if any appear):
   discarded   Heuristic backstop for the same rule: a statement consisting
               solely of a call to a Status/StatusOr-returning function
               (collected from the headers) discards its result.
+  rawsync     No raw standard-library concurrency primitives
+              (``std::mutex``, ``std::thread``, ``std::lock_guard``, ...)
+              outside ``src/util/`` — use treesim::Mutex / MutexLock /
+              CondVar / ThreadPool from util/sync.h and util/thread_pool.h,
+              which carry the Clang thread-safety annotations; a raw
+              primitive is invisible to the analysis. This rule also scans
+              ``tools/`` and ``bench/``.
 
 Exit status 0 when clean, 1 when any finding is reported. Run from
 anywhere: paths are resolved relative to the repo root.
@@ -38,6 +45,26 @@ CONSUMING_PREFIXES = (
     "TREESIM_DCHECK_OK",
     "TREESIM_ASSIGN_OR_RETURN",
     "TREESIM_RETURN_IF_ERROR",
+)
+
+# Standard-library concurrency primitives that bypass the annotated wrappers
+# in util/sync.h / util/thread_pool.h (std::atomic is deliberately absent:
+# lock-free counters need no capability tracking).
+RAW_SYNC_PRIMITIVES = (
+    "mutex",
+    "timed_mutex",
+    "recursive_mutex",
+    "recursive_timed_mutex",
+    "shared_mutex",
+    "shared_timed_mutex",
+    "thread",
+    "jthread",
+    "lock_guard",
+    "unique_lock",
+    "scoped_lock",
+    "shared_lock",
+    "condition_variable",
+    "condition_variable_any",
 )
 
 
@@ -133,6 +160,24 @@ class Linter:
                 # excludes it, this branch documents that explicitly.
                 pass
 
+    # ---- rawsync --------------------------------------------------------
+
+    RAW_SYNC_RE = re.compile(
+        r"\bstd\s*::\s*(" + "|".join(RAW_SYNC_PRIMITIVES) + r")\b")
+
+    def check_raw_sync(self, path: pathlib.Path, lines: list[str]) -> None:
+        if path.is_relative_to(SRC_ROOT / "util"):
+            return  # the annotated wrappers themselves live here
+        for i, raw in enumerate(lines, start=1):
+            line = strip_comments_and_strings(raw)
+            m = self.RAW_SYNC_RE.search(line)
+            if m:
+                self.report(path, i, "rawsync",
+                            f"raw std::{m.group(1)} outside src/util/; use "
+                            "treesim::Mutex/MutexLock/CondVar (util/sync.h) "
+                            "or ThreadPool (util/thread_pool.h) so the Clang "
+                            "thread-safety analysis sees the lock")
+
     # ---- nodiscard ------------------------------------------------------
 
     def check_status_nodiscard(self) -> None:
@@ -224,6 +269,21 @@ class Linter:
         names = self.collect_status_returning(headers)
         for path, lines in {**headers, **sources}.items():
             self.check_discarded_status(path, lines, names)
+
+        # rawsync additionally covers tools/ and bench/ (the other rules
+        # keep their src/ + fuzz/ scope).
+        sync_files = dict(headers)
+        sync_files.update(sources)
+        for root_name in ("tools", "bench"):
+            root = REPO_ROOT / root_name
+            if not root.is_dir():
+                continue
+            for path in sorted(root.rglob("*")):
+                if path.suffix in (".h", ".cc"):
+                    sync_files[path] = path.read_text(
+                        encoding="utf-8").splitlines()
+        for path, lines in sync_files.items():
+            self.check_raw_sync(path, lines)
 
         if self.findings:
             for finding in self.findings:

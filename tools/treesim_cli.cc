@@ -37,6 +37,7 @@
 #include "tree/forest_io.h"
 #include "tree/traversal.h"
 #include "util/flags.h"
+#include "util/thread_pool.h"
 #include "xml/xml_corpus.h"
 
 namespace treesim {
@@ -60,13 +61,15 @@ int Usage() {
                "  patch    --a=TREE --b=TREE   (minimal operation sequence "
                "a -> b)\n"
                "  range    --data=FILE --query=TREE --tau=N "
-               "[--filter=bibranch|histo|seq|none]\n"
+               "[--filter=bibranch|histo|seq|none] [--threads=1]\n"
                "  knn      --data=FILE --query=TREE --k=N "
-               "[--filter=bibranch|histo|seq|none]\n"
-               "  join     --data=FILE --tau=N [--filter=...]\n"
+               "[--filter=bibranch|histo|seq|none] [--threads=1]\n"
+               "  join     --data=FILE --tau=N [--filter=...] [--threads=1]\n"
                "  cluster  --data=FILE --k=N [--seed=1]\n"
                "\n"
-               "TREE arguments use bracket notation, e.g. 'a{b{c d} e}'.\n");
+               "TREE arguments use bracket notation, e.g. 'a{b{c d} e}'.\n"
+               "--threads=0 uses every hardware thread; results are\n"
+               "identical for any thread count.\n");
   return 2;
 }
 
@@ -104,6 +107,16 @@ StatusOr<Tree> ParseTreeFlag(const FlagParser& flags, const std::string& key,
 int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
   return 1;
+}
+
+/// Pool for `--threads=N` (0 = every hardware thread). Returns nullptr —
+/// the engines' sequential path — when one worker would be enough for
+/// `items` units of work.
+std::unique_ptr<ThreadPool> MakePool(const FlagParser& flags, int64_t items) {
+  const int threads = static_cast<int>(flags.GetInt("threads", 1));
+  const int effective = ClampThreads(threads, items);
+  if (effective <= 1) return nullptr;
+  return std::make_unique<ThreadPool>(effective);
 }
 
 int CmdGenerate(const FlagParser& flags) {
@@ -273,7 +286,8 @@ int CmdRange(const FlagParser& flags) {
 
   SimilaritySearch engine(db_or->get(),
                           MakeFilter(flags.GetString("filter", "bibranch")));
-  const RangeResult r = engine.Range(*query_or, tau);
+  const std::unique_ptr<ThreadPool> pool = MakePool(flags, (*db_or)->size());
+  const RangeResult r = engine.Range(*query_or, tau, pool.get());
   std::printf("%zu matches within distance %d (%s refined %lld/%lld, "
               "%.1f ms filter + %.1f ms refine)\n",
               r.matches.size(), tau, engine.filter_name().c_str(),
@@ -297,7 +311,8 @@ int CmdKnn(const FlagParser& flags) {
 
   SimilaritySearch engine(db_or->get(),
                           MakeFilter(flags.GetString("filter", "bibranch")));
-  const KnnResult r = engine.Knn(*query_or, k);
+  const std::unique_ptr<ThreadPool> pool = MakePool(flags, (*db_or)->size());
+  const KnnResult r = engine.Knn(*query_or, k, pool.get());
   std::printf("%d nearest neighbors (%s refined %lld/%lld)\n",
               static_cast<int>(r.neighbors.size()),
               engine.filter_name().c_str(),
@@ -317,7 +332,8 @@ int CmdJoin(const FlagParser& flags) {
   const int tau = static_cast<int>(flags.GetInt("tau", 2));
   SimilarityJoin join(db_or->get(),
                       MakeFilter(flags.GetString("filter", "bibranch")));
-  const JoinResult r = join.SelfJoin(tau);
+  const std::unique_ptr<ThreadPool> pool = MakePool(flags, (*db_or)->size());
+  const JoinResult r = join.SelfJoin(tau, pool.get());
   std::printf("%zu pairs within distance %d (refined %lld of %lld pairs)\n",
               r.pairs.size(), tau,
               static_cast<long long>(r.stats.edit_distance_calls),
