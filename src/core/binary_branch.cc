@@ -4,9 +4,12 @@
 
 #include "tree/traversal.h"
 #include "util/logging.h"
+#include "util/safe_math.h"
 
 namespace treesim {
 
+// FNV-1a mixing wraps around uint64 by design.
+TREESIM_NO_SANITIZE_INTEGER
 size_t BranchDictionary::KeyHash::operator()(const BranchKey& k) const {
   // FNV-1a over the label ids.
   uint64_t h = 1469598103934665603ULL;
@@ -20,7 +23,7 @@ size_t BranchDictionary::KeyHash::operator()(const BranchKey& k) const {
 BranchDictionary::BranchDictionary(int q) : q_(q) {
   TREESIM_CHECK_GE(q, 2) << "branch level q must be >= 2 (Section 3.4)";
   TREESIM_CHECK_LE(q, 20) << "branch level q unreasonably large";
-  key_length_ = (1 << q) - 1;
+  key_length_ = CheckedSub(1 << q, 1);
 }
 
 BranchId BranchDictionary::Intern(const BranchKey& key) {

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "tree/tree.h"
+#include "util/safe_math.h"
 
 namespace treesim {
 
@@ -40,7 +41,9 @@ class BranchDictionary {
   int key_length() const { return key_length_; }
 
   /// The divisor of Theorems 3.2 / 3.3: 4(q-1) + 1, i.e. 5 for q = 2.
-  int edit_distance_factor() const { return 4 * (q_ - 1) + 1; }
+  int edit_distance_factor() const {
+    return CheckedAdd(CheckedMul(4, q_ - 1), 1);
+  }
 
   /// Returns the id of `key`, interning on first sight.
   /// `key.size()` must equal key_length().

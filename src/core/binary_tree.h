@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "tree/tree.h"
+#include "util/status.h"
 
 namespace treesim {
 

@@ -5,12 +5,14 @@
 #include <string>
 
 #include "util/logging.h"
+#include "util/safe_math.h"
+#include "util/status.h"
 
 namespace treesim {
 
 int BranchProfile::total_count() const {
   int total = 0;
-  for (const BranchEntry& e : entries) total += e.count();
+  for (const BranchEntry& e : entries) total = CheckedAdd(total, e.count());
   return total;
 }
 
@@ -81,7 +83,7 @@ Status BranchProfile::ValidateInvariants() const {
                               "postorders for branch " +
                               std::to_string(e.branch));
     }
-    total += e.count();
+    total = CheckedAdd(total, e.count());
   }
   // Every node of T roots exactly one branch (Definition 3).
   if (total != tree_size) {
@@ -101,26 +103,33 @@ int64_t BranchDistance(const BranchProfile& a, const BranchProfile& b) {
     const BranchEntry& ea = a.entries[i];
     const BranchEntry& eb = b.entries[j];
     if (ea.branch == eb.branch) {
-      dist += std::abs(ea.count() - eb.count());
+      dist = CheckedAdd<int64_t>(dist, std::abs(ea.count() - eb.count()));
       ++i;
       ++j;
     } else if (ea.branch < eb.branch) {
-      dist += ea.count();
+      dist = CheckedAdd<int64_t>(dist, ea.count());
       ++i;
     } else {
-      dist += eb.count();
+      dist = CheckedAdd<int64_t>(dist, eb.count());
       ++j;
     }
   }
-  for (; i < a.entries.size(); ++i) dist += a.entries[i].count();
-  for (; j < b.entries.size(); ++j) dist += b.entries[j].count();
+  for (; i < a.entries.size(); ++i) {
+    dist = CheckedAdd<int64_t>(dist, a.entries[i].count());
+  }
+  for (; j < b.entries.size(); ++j) {
+    dist = CheckedAdd<int64_t>(dist, b.entries[j].count());
+  }
   return dist;
 }
 
 int BranchDistanceLowerBound(const BranchProfile& a, const BranchProfile& b) {
   const int64_t dist = BranchDistance(a, b);
   const int64_t factor = a.factor;
-  return static_cast<int>((dist + factor - 1) / factor);
+  // ceil(BDist / [4(q-1)+1]) — Theorem 3.2's lower bound. A wrapped sum
+  // here would under- or over-state the bound and corrupt pruning, hence
+  // the checked ceiling arithmetic.
+  return CheckedCast<int>(CheckedAdd(dist, factor - 1) / factor);
 }
 
 }  // namespace treesim

@@ -7,6 +7,7 @@
 
 #include "core/binary_branch.h"
 #include "tree/tree.h"
+#include "util/status.h"
 
 namespace treesim {
 

@@ -6,6 +6,7 @@
 
 #include "tree/forest_io.h"
 #include "util/logging.h"
+#include "util/status.h"
 
 // Serialized grammar (line oriented, '\n' separated):
 //

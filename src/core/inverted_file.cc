@@ -5,6 +5,9 @@
 #include <utility>
 
 #include "util/logging.h"
+#include "util/safe_math.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace treesim {
 
@@ -116,8 +119,9 @@ Status InvertedFileIndex::ValidateInvariants() const {
                                   "tree " + std::to_string(posting.tree_id));
         }
       }
-      occurrences_per_tree[static_cast<size_t>(posting.tree_id)] +=
-          posting.count();
+      int64_t& tree_total =
+          occurrences_per_tree[static_cast<size_t>(posting.tree_id)];
+      tree_total = CheckedAdd<int64_t>(tree_total, posting.count());
     }
   }
   // Every node of every indexed tree roots exactly one branch, so the

@@ -8,6 +8,7 @@
 #include "core/binary_branch.h"
 #include "core/branch_profile.h"
 #include "tree/tree.h"
+#include "util/status.h"
 #include "util/thread_pool.h"
 
 namespace treesim {

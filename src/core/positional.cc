@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "util/logging.h"
+#include "util/safe_math.h"
 
 namespace treesim {
 namespace {
@@ -114,19 +115,25 @@ int64_t PositionalBranchDistance(const BranchProfile& a,
     const BranchEntry& eb = b.entries[j];
     if (ea.branch == eb.branch) {
       const int m = MaxPositionalMatching(ea, eb, pr, mode);
-      dist += ea.count() + eb.count() - 2 * m;
+      dist = CheckedAdd<int64_t>(
+          dist, CheckedSub(CheckedAdd(ea.count(), eb.count()),
+                           CheckedMul(2, m)));
       ++i;
       ++j;
     } else if (ea.branch < eb.branch) {
-      dist += ea.count();
+      dist = CheckedAdd<int64_t>(dist, ea.count());
       ++i;
     } else {
-      dist += eb.count();
+      dist = CheckedAdd<int64_t>(dist, eb.count());
       ++j;
     }
   }
-  for (; i < a.entries.size(); ++i) dist += a.entries[i].count();
-  for (; j < b.entries.size(); ++j) dist += b.entries[j].count();
+  for (; i < a.entries.size(); ++i) {
+    dist = CheckedAdd<int64_t>(dist, a.entries[i].count());
+  }
+  for (; j < b.entries.size(); ++j) {
+    dist = CheckedAdd<int64_t>(dist, b.entries[j].count());
+  }
   return dist;
 }
 
@@ -137,7 +144,7 @@ int OptimisticBound(const BranchProfile& a, const BranchProfile& b,
   const int pr_max = std::max(a.tree_size, b.tree_size);
   auto bounded = [&](int pr) {
     return PositionalBranchDistance(a, b, pr, mode) <=
-           static_cast<int64_t>(factor) * pr;
+           CheckedMul<int64_t>(factor, pr);
   };
   // PosBDist(pr) is non-increasing in pr, so `bounded` is monotone and at
   // pr_max it always holds (every equal-branch pair is within position
@@ -161,7 +168,7 @@ bool RangeFilterPasses(const BranchProfile& a, const BranchProfile& b,
   if (tau < 0) return false;
   if (std::abs(a.tree_size - b.tree_size) > tau) return false;
   return PositionalBranchDistance(a, b, tau, mode) <=
-         static_cast<int64_t>(a.factor) * tau;
+         CheckedMul<int64_t>(a.factor, tau);
 }
 
 }  // namespace treesim

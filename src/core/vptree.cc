@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "util/logging.h"
+#include "util/random.h"
+#include "util/status.h"
 
 namespace treesim {
 

@@ -4,6 +4,8 @@
 #include <utility>
 
 #include "util/logging.h"
+#include "util/random.h"
+#include "util/safe_math.h"
 
 namespace treesim {
 namespace {
@@ -68,8 +70,7 @@ std::optional<std::vector<int>> BiBranchFilter::TryRangeCandidates(
   int64_t calls = 0;
   std::vector<int> ball = vptree_->RangeSearch(
       q.profile(),
-      static_cast<int64_t>(index_.branch_dict().edit_distance_factor()) *
-          itau,
+      CheckedMul<int64_t>(index_.branch_dict().edit_distance_factor(), itau),
       &calls);
   vptree_distance_calls_.fetch_add(calls, std::memory_order_relaxed);
   if (!options_.positional) return ball;

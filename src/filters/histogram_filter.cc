@@ -7,6 +7,7 @@
 
 #include "tree/traversal.h"
 #include "util/logging.h"
+#include "util/safe_math.h"
 
 namespace treesim {
 namespace {
@@ -36,19 +37,19 @@ int64_t SparseHistogramL1(const std::vector<std::pair<int, int>>& a,
   size_t j = 0;
   while (i < a.size() && j < b.size()) {
     if (a[i].first == b[j].first) {
-      dist += std::abs(a[i].second - b[j].second);
+      dist = CheckedAdd<int64_t>(dist, std::abs(a[i].second - b[j].second));
       ++i;
       ++j;
     } else if (a[i].first < b[j].first) {
-      dist += a[i].second;
+      dist = CheckedAdd<int64_t>(dist, a[i].second);
       ++i;
     } else {
-      dist += b[j].second;
+      dist = CheckedAdd<int64_t>(dist, b[j].second);
       ++j;
     }
   }
-  for (; i < a.size(); ++i) dist += a[i].second;
-  for (; j < b.size(); ++j) dist += b[j].second;
+  for (; i < a.size(); ++i) dist = CheckedAdd<int64_t>(dist, a[i].second);
+  for (; j < b.size(); ++j) dist = CheckedAdd<int64_t>(dist, b[j].second);
   return dist;
 }
 
@@ -100,7 +101,7 @@ int HistogramFilter::Bound(const Features& a, const Features& b) const {
     bound = std::max<int64_t>(bound, std::abs(a.size - b.size));
     bound = std::max<int64_t>(bound, std::abs(a.leaves - b.leaves));
   }
-  return static_cast<int>(bound);
+  return CheckedCast<int>(bound);
 }
 
 void HistogramFilter::Build(const std::vector<Tree>& trees) {

@@ -8,6 +8,8 @@
 #include "core/branch_profile.h"
 #include "core/positional.h"
 #include "util/logging.h"
+#include "util/random.h"
+#include "util/safe_math.h"
 
 namespace treesim {
 namespace {
@@ -91,8 +93,8 @@ ClusteringResult KMedoids(const TreeDatabase& db,
           best = std::min(best, oracle.Distance(t, result.medoids[m]));
         }
         nearest[static_cast<size_t>(t)] =
-            static_cast<int64_t>(best) * best;
-        total += nearest[static_cast<size_t>(t)];
+            CheckedMul<int64_t>(best, best);
+        total = CheckedAdd(total, nearest[static_cast<size_t>(t)]);
       }
       int chosen;
       if (total == 0) {
@@ -148,7 +150,7 @@ ClusteringResult KMedoids(const TreeDatabase& db,
         result.assignment[static_cast<size_t>(t)] = best_cluster;
         changed = true;
       }
-      result.total_cost += best;
+      result.total_cost = CheckedAdd<int64_t>(result.total_cost, best);
     }
 
     // Update step: each cluster re-centers on the member with the minimum
@@ -167,7 +169,7 @@ ClusteringResult KMedoids(const TreeDatabase& db,
       for (const int candidate : members) {
         int64_t total = 0;
         for (const int other : members) {
-          total += oracle.Distance(candidate, other);
+          total = CheckedAdd<int64_t>(total, oracle.Distance(candidate, other));
           if (total >= best_total) break;  // cannot win anymore
         }
         if (total < best_total ||

@@ -1,6 +1,7 @@
 #include "search/pairwise.h"
 
 #include "util/logging.h"
+#include "util/safe_math.h"
 #include "util/thread_pool.h"
 
 namespace treesim {
@@ -25,7 +26,7 @@ int PairwiseDistances::At(int i, int j) const {
 double PairwiseDistances::Mean() const {
   if (upper_.empty()) return 0.0;
   int64_t total = 0;
-  for (const int d : upper_) total += d;
+  for (const int d : upper_) total = CheckedAdd<int64_t>(total, d);
   return static_cast<double>(total) / static_cast<double>(upper_.size());
 }
 

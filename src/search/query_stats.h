@@ -3,6 +3,8 @@
 
 #include <cstdint>
 
+#include "util/safe_math.h"
+
 namespace treesim {
 
 /// Per-query accounting, matching the measures reported in Section 5: the
@@ -36,10 +38,11 @@ struct QueryStats {
 
   /// Accumulates another query's stats (for averaging over query workloads).
   QueryStats& operator+=(const QueryStats& other) {
-    database_size += other.database_size;
-    candidates += other.candidates;
-    results += other.results;
-    edit_distance_calls += other.edit_distance_calls;
+    database_size = CheckedAdd(database_size, other.database_size);
+    candidates = CheckedAdd(candidates, other.candidates);
+    results = CheckedAdd(results, other.results);
+    edit_distance_calls =
+        CheckedAdd(edit_distance_calls, other.edit_distance_calls);
     filter_seconds += other.filter_seconds;
     refine_seconds += other.refine_seconds;
     return *this;

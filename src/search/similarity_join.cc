@@ -4,7 +4,9 @@
 #include <utility>
 
 #include "util/logging.h"
+#include "util/safe_math.h"
 #include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace treesim {
 
@@ -74,9 +76,12 @@ JoinResult SimilarityJoin::JoinImpl(const TreeDatabase& left, int tau,
     // exactly the sequential output.
     for (int l = 0; l < left.size(); ++l) {
       PerLeft& slot = slots[static_cast<size_t>(l)];
-      result.stats.database_size += right_->size() - (self ? l + 1 : 0);
-      result.stats.candidates += slot.candidates;
-      result.stats.edit_distance_calls += slot.calls;
+      result.stats.database_size = CheckedAdd<int64_t>(
+          result.stats.database_size, right_->size() - (self ? l + 1 : 0));
+      result.stats.candidates =
+          CheckedAdd(result.stats.candidates, slot.candidates);
+      result.stats.edit_distance_calls =
+          CheckedAdd(result.stats.edit_distance_calls, slot.calls);
       result.pairs.insert(result.pairs.end(), slot.pairs.begin(),
                           slot.pairs.end());
     }
@@ -93,17 +98,20 @@ JoinResult SimilarityJoin::JoinImpl(const TreeDatabase& left, int tau,
       for (int r = self ? l + 1 : 0; r < right_->size(); ++r) {
         candidates.push_back(r);
       }
-      result.stats.database_size += right_->size() - (self ? l + 1 : 0);
+      result.stats.database_size = CheckedAdd<int64_t>(
+          result.stats.database_size, right_->size() - (self ? l + 1 : 0));
     } else {
       const std::unique_ptr<QueryContext> ctx =
           filter_->PrepareQuery(left.tree(l));
       for (int r = self ? l + 1 : 0; r < right_->size(); ++r) {
         if (filter_->MayQualify(*ctx, r, tau)) candidates.push_back(r);
       }
-      result.stats.database_size += right_->size() - (self ? l + 1 : 0);
+      result.stats.database_size = CheckedAdd<int64_t>(
+          result.stats.database_size, right_->size() - (self ? l + 1 : 0));
     }
     result.stats.filter_seconds += filter_timer.ElapsedSeconds();
-    result.stats.candidates += static_cast<int64_t>(candidates.size());
+    result.stats.candidates = CheckedAdd<int64_t>(
+        result.stats.candidates, static_cast<int64_t>(candidates.size()));
 
     Stopwatch refine_timer;
     for (const int r : candidates) {

@@ -5,6 +5,8 @@
 
 #include "util/logging.h"
 #include "util/stopwatch.h"
+#include "util/sync.h"
+#include "util/thread_pool.h"
 
 namespace treesim {
 
@@ -228,7 +230,7 @@ BatchKnnResult SimilaritySearch::BatchKnn(const std::vector<Tree>& queries,
   // fans out over the pool and its stats merge when that fan-in joins.
   for (const Tree& query : queries) {
     out.per_query.push_back(Knn(query, k, pool));
-    out.total += out.per_query.back().stats;
+    out.combined += out.per_query.back().stats;
   }
   return out;
 }

@@ -32,7 +32,7 @@ struct KnnResult {
 struct BatchKnnResult {
   std::vector<KnnResult> per_query;
   /// Sum of the per-query stats, merged when the parallel refinement joins.
-  QueryStats total;
+  QueryStats combined;
 };
 
 /// Weighted-cost variants (general CostModel distances are real-valued).
@@ -86,7 +86,7 @@ class SimilaritySearch {
 
   /// Batch k-NN entry point: answers `queries` in input order, refining
   /// each query's candidates in parallel over `pool`; per-query QueryStats
-  /// are merged into `total` at join. Query preparation stays sequential
+  /// are merged into `combined` at join. Query preparation stays sequential
   /// (filters may extend shared dictionaries), so results are identical to
   /// calling Knn() per query.
   BatchKnnResult BatchKnn(const std::vector<Tree>& queries, int k,

@@ -3,6 +3,8 @@
 #include <utility>
 
 #include "util/logging.h"
+#include "util/random.h"
+#include "util/safe_math.h"
 
 namespace treesim {
 
@@ -38,7 +40,7 @@ const TedTree& TreeDatabase::ted_view(int id) const {
 double TreeDatabase::AverageTreeSize() const {
   if (trees_.empty()) return 0.0;
   int64_t total = 0;
-  for (const Tree& t : trees_) total += t.size();
+  for (const Tree& t : trees_) total = CheckedAdd<int64_t>(total, t.size());
   return static_cast<double>(total) / static_cast<double>(trees_.size());
 }
 
@@ -51,8 +53,9 @@ double TreeDatabase::EstimateAverageDistance(Rng& rng,
     const int i = static_cast<int>(rng.UniformIndex(trees_.size()));
     int j = static_cast<int>(rng.UniformIndex(trees_.size() - 1));
     if (j >= i) ++j;  // distinct pair, uniform
-    total += TreeEditDistance(ted_views_[static_cast<size_t>(i)],
-                              ted_views_[static_cast<size_t>(j)]);
+    total = CheckedAdd<int64_t>(
+        total, TreeEditDistance(ted_views_[static_cast<size_t>(i)],
+                                ted_views_[static_cast<size_t>(j)]));
   }
   return static_cast<double>(total) / static_cast<double>(sample_pairs);
 }

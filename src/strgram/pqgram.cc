@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/logging.h"
+#include "util/safe_math.h"
 
 namespace treesim {
 
@@ -86,7 +87,7 @@ int PqGramProfile::SharedWith(const PqGramProfile& other) const {
 
 double PqGramProfile::DistanceTo(const PqGramProfile& other) const {
   const int shared = SharedWith(other);
-  const int total = size() + other.size();
+  const int total = CheckedAdd(size(), other.size());
   if (total == 0) return 0.0;
   return 1.0 - 2.0 * static_cast<double>(shared) /
                    static_cast<double>(total);

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/logging.h"
+#include "util/safe_math.h"
 
 namespace treesim {
 
@@ -38,7 +39,8 @@ int QGramProfile::SharedWith(const QGramProfile& other) const {
 
 int64_t QGramProfile::L1Distance(const QGramProfile& other) const {
   const int shared = SharedWith(other);
-  return static_cast<int64_t>(size()) + other.size() - 2 * shared;
+  return CheckedSub(CheckedAdd<int64_t>(size(), other.size()),
+                    CheckedMul<int64_t>(2, shared));
 }
 
 int QGramLowerBound(const QGramProfile& a, const QGramProfile& b) {
@@ -46,7 +48,7 @@ int QGramLowerBound(const QGramProfile& a, const QGramProfile& b) {
   const int max_len = std::max(a.sequence_length(), b.sequence_length());
   if (max_len < q) return 0;  // no gram evidence at all
   const int shared = a.SharedWith(b);
-  const int deficit = (max_len - q + 1) - shared;
+  const int deficit = CheckedSub(CheckedAdd(CheckedSub(max_len, q), 1), shared);
   if (deficit <= 0) return 0;
   return (deficit + q - 1) / q;
 }

@@ -3,6 +3,8 @@
 #include <functional>
 #include <utility>
 
+#include "util/status.h"
+
 namespace treesim {
 namespace {
 

@@ -5,6 +5,7 @@
 
 #include "tree/traversal.h"
 #include "util/logging.h"
+#include "util/status.h"
 
 namespace treesim {
 namespace {

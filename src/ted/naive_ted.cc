@@ -6,6 +6,7 @@
 
 #include "ted/zhang_shasha.h"
 #include "util/logging.h"
+#include "util/safe_math.h"
 
 namespace treesim {
 namespace {
@@ -24,10 +25,12 @@ class NaiveTed {
   uint64_t Key(int l1, int i1, int l2, int i2) const {
     const uint64_t n1 = static_cast<uint64_t>(t1_.size()) + 2;
     const uint64_t n2 = static_cast<uint64_t>(t2_.size()) + 2;
+    // Overflow here would alias distinct memo cells, so the packing must be
+    // checked, not wrapping.
     uint64_t k = static_cast<uint64_t>(l1 + 1);
-    k = k * n1 + static_cast<uint64_t>(i1 + 1);
-    k = k * n2 + static_cast<uint64_t>(l2 + 1);
-    k = k * n2 + static_cast<uint64_t>(i2 + 1);
+    k = CheckedAdd(CheckedMul(k, n1), static_cast<uint64_t>(i1 + 1));
+    k = CheckedAdd(CheckedMul(k, n2), static_cast<uint64_t>(l2 + 1));
+    k = CheckedAdd(CheckedMul(k, n2), static_cast<uint64_t>(i2 + 1));
     return k;
   }
 
@@ -41,16 +44,18 @@ class NaiveTed {
     auto it = memo_.find(key);
     if (it != memo_.end()) return it->second;
 
-    const int del = Fd(l1, i1 - 1, l2, i2) + 1;
-    const int ins = Fd(l1, i1, l2, i2 - 1) + 1;
+    const int del = CheckedAdd(Fd(l1, i1 - 1, l2, i2), 1);
+    const int ins = CheckedAdd(Fd(l1, i1, l2, i2 - 1), 1);
     const int lml1 = std::max(t1_.lml[static_cast<size_t>(i1)], l1);
     const int lml2 = std::max(t2_.lml[static_cast<size_t>(i2)], l2);
     const int relabel = t1_.labels[static_cast<size_t>(i1)] ==
                                 t2_.labels[static_cast<size_t>(i2)]
                             ? 0
                             : 1;
-    const int match = Fd(l1, lml1 - 1, l2, lml2 - 1) +
-                      Fd(lml1, i1 - 1, lml2, i2 - 1) + relabel;
+    const int match =
+        CheckedAdd(CheckedAdd(Fd(l1, lml1 - 1, l2, lml2 - 1),
+                              Fd(lml1, i1 - 1, lml2, i2 - 1)),
+                   relabel);
     const int best = std::min({del, ins, match});
     memo_.emplace(key, best);
     return best;

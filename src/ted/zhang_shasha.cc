@@ -4,6 +4,7 @@
 
 #include "tree/traversal.h"
 #include "util/logging.h"
+#include "util/safe_math.h"
 
 namespace treesim {
 namespace {
@@ -54,12 +55,12 @@ std::vector<typename Costs::Dist> ZhangShashaImpl(const TedTree& t1,
       // fd indices are offset: x = di - l1 + 1, y = dj - l2 + 1.
       fd_at(0, 0) = Dist{0};
       for (int di = l1; di <= k1; ++di) {
-        fd_at(di - l1 + 1, 0) =
-            fd_at(di - l1, 0) + costs.Delete(t1.labels[static_cast<size_t>(di)]);
+        fd_at(di - l1 + 1, 0) = CheckedAddAny(
+            fd_at(di - l1, 0), costs.Delete(t1.labels[static_cast<size_t>(di)]));
       }
       for (int dj = l2; dj <= k2; ++dj) {
-        fd_at(0, dj - l2 + 1) =
-            fd_at(0, dj - l2) + costs.Insert(t2.labels[static_cast<size_t>(dj)]);
+        fd_at(0, dj - l2 + 1) = CheckedAddAny(
+            fd_at(0, dj - l2), costs.Insert(t2.labels[static_cast<size_t>(dj)]));
       }
       for (int di = l1; di <= k1; ++di) {
         const int x = di - l1 + 1;
@@ -68,20 +69,21 @@ std::vector<typename Costs::Dist> ZhangShashaImpl(const TedTree& t1,
         for (int dj = l2; dj <= k2; ++dj) {
           const int y = dj - l2 + 1;
           const LabelId b = t2.labels[static_cast<size_t>(dj)];
-          const Dist del = fd_at(x - 1, y) + costs.Delete(a);
-          const Dist ins = fd_at(x, y - 1) + costs.Insert(b);
+          const Dist del = CheckedAddAny(fd_at(x - 1, y), costs.Delete(a));
+          const Dist ins = CheckedAddAny(fd_at(x, y - 1), costs.Insert(b));
           if (lml1 == l1 && t2.lml[static_cast<size_t>(dj)] == l2) {
             // Both prefixes are whole subtrees: this cell is a tree distance.
-            const Dist rel = fd_at(x - 1, y - 1) + costs.Relabel(a, b);
+            const Dist rel =
+                CheckedAddAny(fd_at(x - 1, y - 1), costs.Relabel(a, b));
             const Dist best = std::min({del, ins, rel});
             fd_at(x, y) = best;
             td[static_cast<size_t>(di) * static_cast<size_t>(n2) +
                static_cast<size_t>(dj)] = best;
           } else {
-            const Dist sub =
-                fd_at(lml1 - l1, t2.lml[static_cast<size_t>(dj)] - l2) +
+            const Dist sub = CheckedAddAny(
+                fd_at(lml1 - l1, t2.lml[static_cast<size_t>(dj)] - l2),
                 td[static_cast<size_t>(di) * static_cast<size_t>(n2) +
-                   static_cast<size_t>(dj)];
+                   static_cast<size_t>(dj)]);
             fd_at(x, y) = std::min({del, ins, sub});
           }
         }

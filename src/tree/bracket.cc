@@ -4,6 +4,8 @@
 #include <utility>
 #include <vector>
 
+#include "util/status.h"
+
 namespace treesim {
 namespace {
 

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "tree/bracket.h"
+#include "util/status.h"
 
 namespace treesim {
 

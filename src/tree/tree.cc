@@ -3,6 +3,9 @@
 #include <sstream>
 #include <utility>
 
+#include "util/logging.h"
+#include "util/status.h"
+
 namespace treesim {
 namespace {
 

@@ -42,6 +42,7 @@
 #include "tree/tree.h"              // IWYU pragma: export
 #include "util/flags.h"     // IWYU pragma: export
 #include "util/random.h"    // IWYU pragma: export
+#include "util/safe_math.h" // IWYU pragma: export
 #include "util/status.h"    // IWYU pragma: export
 #include "util/stopwatch.h" // IWYU pragma: export
 #include "util/sync.h"         // IWYU pragma: export

@@ -2,6 +2,8 @@
 
 #include <numeric>
 
+#include "util/logging.h"
+
 namespace treesim {
 
 std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {

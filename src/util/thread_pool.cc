@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "util/logging.h"
+#include "util/sync.h"
 
 namespace treesim {
 namespace {

@@ -5,6 +5,7 @@
 
 #include "tree/forest_io.h"
 #include "util/logging.h"
+#include "util/status.h"
 
 namespace treesim {
 

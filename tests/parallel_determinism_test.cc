@@ -162,8 +162,8 @@ TEST(ParallelDeterminismTest, BatchKnnMatchesSequentialKnn) {
     results += batch.per_query[qi].stats.results;
   }
   // The merged stats are the sum of the per-query stats.
-  EXPECT_EQ(batch.total.results, results);
-  EXPECT_EQ(batch.total.database_size,
+  EXPECT_EQ(batch.combined.results, results);
+  EXPECT_EQ(batch.combined.database_size,
             static_cast<int64_t>(queries.size()) * db->size());
 }
 

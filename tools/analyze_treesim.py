@@ -1,0 +1,552 @@
+#!/usr/bin/env python3
+"""Whole-program architecture and arithmetic-safety analyzer for treesim.
+
+Runs as a ctest entry next to lint_treesim.py. Two passes:
+
+Pass A — layering. Parses the ``#include`` graph of src/, tools/, bench/,
+fuzz/, tests/ and examples/ and enforces the module DAG checked in at
+tools/layering.toml:
+
+  back-edge     a file of module X includes a header of module Y that X is
+                not allowed to depend on (util <- tree <- {core, strgram}
+                <- ted <- filters <- search <- {xml, datagen} <- apps).
+  cycle         project headers include each other in a cycle.
+  private       a file includes another module's private header
+                (``*_internal.h`` or ``<module>/internal/...``).
+  direct-inc    a src/ file uses a symbol from [direct_includes] (Status,
+                TREESIM_CHECK, ThreadPool, CheckedAdd, ...) without
+                including its defining header directly.
+
+Pass B — arithmetic safety. In the modules named by [arithmetic].modules,
+count/distance-named accumulators must go through util/safe_math.h:
+
+  raw-accum     ``x += ...`` / ``x *= ...`` / ``x -= ...`` or
+                ``x = x + ...`` where x is count/distance-named and the
+                statement does not use Checked* arithmetic.
+  raw-mul       a count/distance-named identifier directly multiplied with
+                ``*`` outside Checked* arithmetic.
+  raw-narrow    ``static_cast<int-like>(...)`` whose operand mentions a
+                count/distance-named identifier (use CheckedCast).
+
+The rare justified exception lives in the allowlist file named by the
+config ([arithmetic].allowlist_file) as ``path:line-regex`` entries; the
+acceptance bar is ZERO allowlist entries for src/.
+
+The translation-unit list is taken from the compile database
+(``<build-dir>/compile_commands.json``, exported by default) when present;
+.cc files on disk but absent from the database are still analyzed and
+reported as a warning so disabled build options cannot hide code.
+
+Exit status 0 when clean, 1 on any finding. ``--self-test`` builds a
+synthetic tree with one violation of every class and asserts the analyzer
+reports each (the negative case required by the acceptance criteria).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import re
+import sys
+import tempfile
+import tomllib
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+ANALYZED_ROOTS = ("src", "tools", "bench", "fuzz", "tests", "examples")
+
+CAST_RE = re.compile(r"\bstatic_cast\s*<\s*([^<>]+?)\s*>\s*\(")
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s*"([^"]+)"')
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks comments and string/char literals, preserving line structure."""
+    out: list[str] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and text.startswith("//", i):
+            j = text.find("\n", i)
+            i = n if j < 0 else j
+        elif c == "/" and text.startswith("/*", i):
+            j = text.find("*/", i + 2)
+            end = n if j < 0 else j + 2
+            out.append("".join(ch if ch == "\n" else " "
+                               for ch in text[i:end]))
+            i = end
+        elif c in ('"', "'"):
+            quote = c
+            out.append(quote)
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\":
+                    i += 1
+                i += 1
+            if i < n:
+                out.append(quote)
+                i += 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def tracked_name_regex(stems: list[str]) -> re.Pattern[str]:
+    """Identifier whose underscore-separated segments include a stem."""
+    alt = "|".join(re.escape(s) for s in stems)
+    return re.compile(rf"\b(?:[A-Za-z0-9]+_)*(?:{alt})(?:_[A-Za-z0-9]+)*\b")
+
+
+class Config:
+    def __init__(self, path: pathlib.Path) -> None:
+        data = tomllib.loads(path.read_text(encoding="utf-8"))
+        self.modules: dict[str, set[str]] = {
+            name: set(deps) for name, deps in data["modules"].items()
+        }
+        self.apps: set[str] = set(data["apps"]["names"])
+        self.direct_includes: list[tuple[re.Pattern[str], str]] = [
+            (re.compile(pattern), header)
+            for pattern, header in data.get("direct_includes", {}).items()
+        ]
+        arith = data.get("arithmetic", {})
+        self.arith_modules: set[str] = set(arith.get("modules", []))
+        self.tracked = tracked_name_regex(arith.get("tracked_names", []))
+        self.narrow_types: set[str] = {
+            t.replace(" ", "") for t in arith.get("narrow_types", [])
+        }
+        self.allowlist_file: str = arith.get("allowlist_file", "")
+
+
+class SourceFile:
+    def __init__(self, root: pathlib.Path, path: pathlib.Path) -> None:
+        self.path = path
+        self.rel = path.relative_to(root).as_posix()
+        self.text = path.read_text(encoding="utf-8")
+        self.stripped_lines = strip_comments_and_strings(
+            self.text).splitlines()
+        self.module = self._module()
+        # (line_no, include_target) for every quoted include.
+        self.includes: list[tuple[int, str]] = [
+            (i, m.group(1))
+            for i, line in enumerate(self.text.splitlines(), start=1)
+            if (m := INCLUDE_RE.match(line))
+        ]
+
+    def _module(self) -> str:
+        parts = self.rel.split("/")
+        if parts[0] == "src":
+            return parts[1] if len(parts) > 2 else "umbrella"
+        return parts[0]  # tools, bench, fuzz, tests, examples
+
+    @property
+    def is_header(self) -> bool:
+        return self.path.suffix == ".h"
+
+
+class Analyzer:
+    def __init__(self, root: pathlib.Path, config: Config,
+                 build_dir: pathlib.Path | None) -> None:
+        self.root = root
+        self.config = config
+        self.build_dir = build_dir
+        self.findings: list[str] = []
+        self.warnings: list[str] = []
+        self.files: dict[str, SourceFile] = {}
+        for sub in ANALYZED_ROOTS:
+            base = root / sub
+            if not base.is_dir():
+                continue
+            for path in sorted(base.rglob("*")):
+                if path.suffix in (".h", ".cc"):
+                    f = SourceFile(root, path)
+                    self.files[f.rel] = f
+        self.allowlist = self._load_allowlist()
+
+    def _load_allowlist(self) -> list[tuple[str, re.Pattern[str]]]:
+        entries: list[tuple[str, re.Pattern[str]]] = []
+        if not self.config.allowlist_file:
+            return entries
+        path = self.root / self.config.allowlist_file
+        if not path.is_file():
+            return entries
+        for raw in path.read_text(encoding="utf-8").splitlines():
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            file_part, _, regex_part = line.partition(":")
+            entries.append((file_part.strip(), re.compile(regex_part.strip())))
+            if file_part.strip().startswith("src/"):
+                self.warnings.append(
+                    f"allowlist entry for {file_part.strip()}: src/ must "
+                    "stay allowlist-free (convert to util/safe_math.h)")
+        return entries
+
+    def allowlisted(self, rel: str, stripped_line: str) -> bool:
+        return any(rel == file_part and regex.search(stripped_line)
+                   for file_part, regex in self.allowlist)
+
+    def report(self, rel: str, line_no: int, rule: str, message: str) -> None:
+        self.findings.append(f"{rel}:{line_no}: [{rule}] {message}")
+
+    # ---- include resolution --------------------------------------------
+
+    def resolve_include(self, f: SourceFile, target: str) -> str | None:
+        """Repo-relative path of a project include, None if external."""
+        candidate = f"src/{target}"
+        if candidate in self.files:
+            return candidate
+        local = (f.path.parent / target).resolve()
+        try:
+            rel = local.relative_to(self.root).as_posix()
+        except ValueError:
+            return None
+        return rel if rel in self.files else None
+
+    # ---- pass A: layering ----------------------------------------------
+
+    def check_layering(self) -> None:
+        for f in self.files.values():
+            allowed = self.config.modules.get(f.module)
+            for line_no, target in f.includes:
+                dep_rel = self.resolve_include(f, target)
+                if dep_rel is None:
+                    continue
+                dep = self.files[dep_rel]
+                self._check_private(f, line_no, dep)
+                if dep.module == f.module or f.module in self.config.apps:
+                    continue
+                if allowed is None:
+                    self.report(
+                        f.rel, line_no, "back-edge",
+                        f"module '{f.module}' is not declared in "
+                        "tools/layering.toml; add it to the DAG")
+                elif dep.module not in allowed:
+                    self.report(
+                        f.rel, line_no, "back-edge",
+                        f"module '{f.module}' must not include '{target}' "
+                        f"(module '{dep.module}'); allowed deps: "
+                        f"{sorted(allowed) or 'none'} "
+                        "(tools/layering.toml)")
+
+    def _check_private(self, f: SourceFile, line_no: int,
+                       dep: SourceFile) -> None:
+        private = (dep.rel.endswith("_internal.h")
+                   or "/internal/" in dep.rel)
+        if private and dep.module != f.module:
+            self.report(
+                f.rel, line_no, "private",
+                f"'{dep.rel}' is private to module '{dep.module}'")
+
+    def check_header_cycles(self) -> None:
+        graph: dict[str, list[str]] = {}
+        for f in self.files.values():
+            if not f.is_header:
+                continue
+            graph[f.rel] = [
+                dep for _, target in f.includes
+                if (dep := self.resolve_include(f, target)) is not None
+                and self.files[dep].is_header
+            ]
+        WHITE, GRAY, BLACK = 0, 1, 2
+        color = dict.fromkeys(graph, WHITE)
+        stack: list[str] = []
+        reported: set[frozenset[str]] = set()
+
+        def dfs(node: str) -> None:
+            color[node] = GRAY
+            stack.append(node)
+            for dep in graph.get(node, ()):
+                if color.get(dep, BLACK) == GRAY:
+                    cycle = stack[stack.index(dep):] + [dep]
+                    key = frozenset(cycle)
+                    if key not in reported:
+                        reported.add(key)
+                        self.report(dep, 1, "cycle",
+                                    "header cycle: " + " -> ".join(cycle))
+                elif color.get(dep) == WHITE:
+                    dfs(dep)
+            stack.pop()
+            color[node] = BLACK
+
+        for node in graph:
+            if color[node] == WHITE:
+                dfs(node)
+
+    def check_direct_includes(self) -> None:
+        for f in self.files.values():
+            if not f.rel.startswith("src/"):
+                continue
+            directly_included = {
+                self.resolve_include(f, target) for _, target in f.includes
+            }
+            code = "\n".join(f.stripped_lines)
+            for pattern, header in self.config.direct_includes:
+                header_rel = f"src/{header}"
+                if f.rel == header_rel:  # the defining header itself
+                    continue
+                m = pattern.search(code)
+                if m is None or header_rel in directly_included:
+                    continue
+                line_no = code.count("\n", 0, m.start()) + 1
+                self.report(
+                    f.rel, line_no, "direct-inc",
+                    f"uses '{m.group(0)}' but does not include "
+                    f'"{header}" directly')
+
+    # ---- pass B: arithmetic safety -------------------------------------
+
+    ASSIGN_RE = re.compile(
+        r"(?P<lhs>[A-Za-z_](?:[\w.\[\]]|->)*)\s*(?P<op>\+=|-=|\*=)")
+    SELF_ASSIGN_RE = re.compile(
+        r"(?P<lhs>[A-Za-z_](?:[\w.\[\]]|->)*)\s*=\s*(?P=lhs)\s*[+*-]")
+    MUL_ADJ_RE = re.compile(
+        r"(?:\b(?P<pre>[A-Za-z_]\w*)\s*\*\s*)|(?:\*\s*(?P<post>[A-Za-z_]\w*)\b)")
+
+    def check_arithmetic(self) -> None:
+        for f in self.files.values():
+            parts = f.rel.split("/")
+            if (parts[0] != "src" or len(parts) < 3
+                    or parts[1] not in self.config.arith_modules):
+                continue
+            for line_no, line in enumerate(f.stripped_lines, start=1):
+                if "Checked" in line or self.allowlisted(f.rel, line):
+                    continue
+                self._check_accum_line(f, line_no, line)
+                self._check_mul_line(f, line_no, line)
+                self._check_narrow_line(f, line_no, line)
+
+    def _check_accum_line(self, f: SourceFile, line_no: int,
+                          line: str) -> None:
+        for m in (self.ASSIGN_RE.search(line),
+                  self.SELF_ASSIGN_RE.search(line)):
+            if m is None:
+                continue
+            lhs = m.group("lhs")
+            if self.config.tracked.search(lhs):
+                self.report(
+                    f.rel, line_no, "raw-accum",
+                    f"unchecked accumulation into '{lhs}'; use "
+                    "CheckedAdd/CheckedSub/CheckedMul (util/safe_math.h)")
+                return
+
+    def _check_mul_line(self, f: SourceFile, line_no: int,
+                        line: str) -> None:
+        for m in self.MUL_ADJ_RE.finditer(line):
+            name = m.group("pre") or m.group("post")
+            if m.group("post") and not self._binary_mul(line, m):
+                continue  # unary dereference, not a multiplication
+            if name and self.config.tracked.fullmatch(name):
+                self.report(
+                    f.rel, line_no, "raw-mul",
+                    f"unchecked multiplication of '{name}'; use "
+                    "CheckedMul (util/safe_math.h)")
+                return
+
+    @staticmethod
+    def _binary_mul(line: str, m: re.Match[str]) -> bool:
+        """True when ``* name`` is a multiplication rather than a pointer
+        dereference: something value-like precedes the ``*`` and the
+        identifier is not the target of an assignment."""
+        before = line[:m.start()].rstrip()
+        if not before or before[-1] not in ")]" and not before[-1].isalnum():
+            return False
+        after = line[m.end():].lstrip()
+        if after.startswith("=") and not after.startswith("=="):
+            return False  # `*ptr = ...` deref-assignment
+        return True
+
+    def _check_narrow_line(self, f: SourceFile, line_no: int,
+                           line: str) -> None:
+        for m in CAST_RE.finditer(line):
+            if m.group(1).replace(" ", "") not in self.config.narrow_types:
+                continue
+            operand = self._cast_operand(line, m.end())
+            if operand and self.config.tracked.search(operand):
+                self.report(
+                    f.rel, line_no, "raw-narrow",
+                    f"raw narrowing static_cast<{m.group(1)}> of a "
+                    "count/distance value; use CheckedCast "
+                    "(util/safe_math.h)")
+                return
+
+    @staticmethod
+    def _cast_operand(line: str, open_paren_end: int) -> str:
+        depth = 1
+        i = open_paren_end
+        while i < len(line) and depth > 0:
+            if line[i] == "(":
+                depth += 1
+            elif line[i] == ")":
+                depth -= 1
+            i += 1
+        return line[open_paren_end:i - 1]
+
+    # ---- compile-database coverage -------------------------------------
+
+    def check_compile_db_coverage(self) -> None:
+        if self.build_dir is None:
+            return
+        db_path = self.build_dir / "compile_commands.json"
+        if not db_path.is_file():
+            self.warnings.append(
+                f"{db_path}: compile database not found; configure with "
+                "cmake first (CMAKE_EXPORT_COMPILE_COMMANDS is ON by "
+                "default). Analyzing all sources found on disk.")
+            return
+        db_files: set[str] = set()
+        for entry in json.loads(db_path.read_text(encoding="utf-8")):
+            path = pathlib.Path(entry["file"])
+            if not path.is_absolute():
+                path = pathlib.Path(entry["directory"]) / path
+            try:
+                db_files.add(path.resolve().relative_to(self.root).as_posix())
+            except ValueError:
+                continue
+        for rel, f in self.files.items():
+            if (not f.is_header and rel not in db_files
+                    and not rel.startswith("examples/")):
+                self.warnings.append(
+                    f"{rel}: not in {db_path.name} (disabled build option?) "
+                    "— analyzed from disk anyway")
+
+    # ---- driver --------------------------------------------------------
+
+    def run(self) -> int:
+        self.check_compile_db_coverage()
+        self.check_layering()
+        self.check_header_cycles()
+        self.check_direct_includes()
+        self.check_arithmetic()
+        for warning in self.warnings:
+            print(f"warning: {warning}")
+        if self.findings:
+            for finding in sorted(self.findings):
+                print(finding)
+            print(f"analyze_treesim.py: {len(self.findings)} finding(s)",
+                  file=sys.stderr)
+            return 1
+        print(f"analyze_treesim.py: clean ({len(self.files)} files, "
+              f"{len(self.config.modules)} modules)")
+        return 0
+
+
+# ---- self-test ----------------------------------------------------------
+
+SELF_TEST_CONFIG = """\
+[modules]
+util = []
+core = ["util"]
+search = ["core", "util"]
+
+[apps]
+names = ["tools"]
+
+[direct_includes]
+"\\\\bTREESIM_CHECK\\\\b" = "util/logging.h"
+
+[arithmetic]
+modules = ["core"]
+tracked_names = ["dist", "count", "total"]
+narrow_types = ["int"]
+allowlist_file = "allow.txt"
+"""
+
+SELF_TEST_FILES = {
+    # Back-edge: util must not include search.
+    "src/util/helper.cc": '#include "search/engine.h"\nint x;\n',
+    "src/search/engine.h": '#include "core/a.h"\nint engine();\n',
+    # Header cycle a.h <-> b.h.
+    "src/core/a.h": '#include "core/b.h"\nint a();\n',
+    "src/core/b.h": '#include "core/a.h"\nint b();\n',
+    # Private header of core included from search.
+    "src/core/detail_internal.h": "int detail();\n",
+    "src/search/uses_private.cc": '#include "core/detail_internal.h"\n',
+    # Missing direct include of util/logging.h.
+    "src/util/logging.h": "#define TREESIM_CHECK(x) (void)(x)\n",
+    "src/core/checks.cc": "void f() { TREESIM_CHECK(1); }\n",
+    # Unchecked accumulator + narrowing cast in an arithmetic module.
+    "src/core/accum.cc":
+        "long g(long d) {\n"
+        "  long dist = 0;\n"
+        "  dist += d;\n"
+        "  int total_count = static_cast<int>(dist);\n"
+        "  return dist * total_count;\n"
+        "}\n",
+    # Same pattern through the Checked wrappers: must NOT be flagged.
+    "src/core/clean.cc":
+        "long h(long d) {\n"
+        "  long dist = 0;\n"
+        "  dist = CheckedAdd(dist, d);\n"
+        "  return dist;\n"
+        "}\n",
+    "allow.txt": "# empty\n",
+}
+
+SELF_TEST_EXPECT = [
+    ("src/util/helper.cc", "back-edge"),
+    ("src/core/a.h", "cycle"),
+    ("src/search/uses_private.cc", "private"),
+    ("src/core/checks.cc", "direct-inc"),
+    ("src/core/accum.cc", "raw-accum"),
+    ("src/core/accum.cc", "raw-narrow"),
+    ("src/core/accum.cc", "raw-mul"),
+]
+
+
+def self_test() -> int:
+    with tempfile.TemporaryDirectory(prefix="analyze_treesim_") as tmp:
+        root = pathlib.Path(tmp)
+        (root / "layering.toml").write_text(SELF_TEST_CONFIG,
+                                           encoding="utf-8")
+        for rel, content in SELF_TEST_FILES.items():
+            path = root / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(content, encoding="utf-8")
+        config = Config(root / "layering.toml")
+        analyzer = Analyzer(root, config, build_dir=None)
+        status = analyzer.run()
+        failures: list[str] = []
+        if status == 0:
+            failures.append("expected a non-zero exit on the synthetic tree")
+        for rel, rule in SELF_TEST_EXPECT:
+            if not any(f.startswith(f"{rel}:") and f"[{rule}]" in f
+                       for f in analyzer.findings):
+                failures.append(f"missing expected finding [{rule}] in {rel}")
+        for f in analyzer.findings:
+            if "clean.cc" in f:
+                failures.append(f"false positive on Checked* code: {f}")
+        if failures:
+            for failure in failures:
+                print(f"SELF-TEST FAIL: {failure}", file=sys.stderr)
+            return 1
+        print(f"analyze_treesim.py --self-test: ok "
+              f"({len(SELF_TEST_EXPECT)} violation classes detected, "
+              "clean file unflagged)")
+        return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", type=pathlib.Path, default=REPO_ROOT,
+                        help="repo root to analyze (default: this repo)")
+    parser.add_argument("--config", type=pathlib.Path, default=None,
+                        help="layering config (default: <root>/tools/"
+                             "layering.toml)")
+    parser.add_argument("--build-dir", type=pathlib.Path, default=None,
+                        help="build tree whose compile_commands.json "
+                             "defines the TU list (default: <root>/build)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the negative-case self test and exit")
+    args = parser.parse_args()
+    if args.self_test:
+        return self_test()
+    root = args.root.resolve()
+    config = Config(args.config or root / "tools" / "layering.toml")
+    build_dir = args.build_dir or root / "build"
+    return Analyzer(root, config, build_dir).run()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

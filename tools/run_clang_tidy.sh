@@ -35,10 +35,27 @@ if [[ ! -f "${build_dir}/compile_commands.json" ]]; then
   exit 1
 fi
 
-mapfile -t sources < <(cd "${repo_root}" && \
-    find src fuzz -name '*.cc' ! -name 'standalone_main.cc' | sort)
+# The compile database is the single source of truth for the TU list: a
+# file CMake does not compile is dead weight clang-tidy should not bless,
+# and a freshly added TU is covered the moment it enters the build.
+mapfile -t sources < <(python3 - "${build_dir}/compile_commands.json" \
+    "${repo_root}" <<'PY'
+import json, os, sys
+db, root = sys.argv[1], sys.argv[2]
+keep = ("src" + os.sep, "fuzz" + os.sep)
+seen = set()
+for entry in json.load(open(db)):
+    path = os.path.normpath(
+        os.path.join(entry.get("directory", ""), entry["file"]))
+    rel = os.path.relpath(path, root)
+    if rel.startswith(keep) and not rel.endswith("standalone_main.cc"):
+        seen.add(rel)
+print("\n".join(sorted(seen)))
+PY
+)
 if [[ "${#sources[@]}" -eq 0 ]]; then
-  echo "run_clang_tidy.sh: no sources found under ${repo_root}/src" >&2
+  echo "run_clang_tidy.sh: no src/ or fuzz/ TUs in" \
+       "${build_dir}/compile_commands.json" >&2
   exit 1
 fi
 

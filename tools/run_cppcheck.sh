@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Runs cppcheck over the project using the compile database of an existing
+# CMake build tree. Usage:
+#
+#   tools/run_cppcheck.sh [build-dir]         # default build dir: build/
+#
+# Exit status: 0 when cppcheck is clean, 77 when cppcheck is unavailable
+# (the container toolchain ships without it — CI installs it and runs this
+# for real; 77 is ctest's SKIP_RETURN_CODE), 1 on findings.
+set -u -o pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+
+cppcheck_bin="${CPPCHECK:-cppcheck}"
+if ! command -v "${cppcheck_bin}" >/dev/null 2>&1; then
+  echo "run_cppcheck.sh: cppcheck not found on PATH; skipping" \
+       "(set CPPCHECK or install cppcheck to run the checks)" >&2
+  exit 77
+fi
+
+if [[ ! -f "${build_dir}/compile_commands.json" ]]; then
+  echo "run_cppcheck.sh: ${build_dir}/compile_commands.json not found." >&2
+  echo "Configure first: cmake -B \"${build_dir}\" -S \"${repo_root}\"" >&2
+  exit 1
+fi
+
+echo "run_cppcheck.sh: ${cppcheck_bin} --project=${build_dir}/compile_commands.json"
+"${cppcheck_bin}" \
+  --project="${build_dir}/compile_commands.json" \
+  --suppressions-list="${repo_root}/tools/cppcheck_suppressions.txt" \
+  --enable=warning,performance,portability \
+  --inline-suppr \
+  --error-exitcode=1 \
+  --quiet \
+  -j "$(nproc 2>/dev/null || echo 1)"
+status=$?
+
+if [[ "${status}" -eq 0 ]]; then
+  echo "run_cppcheck.sh: clean"
+else
+  echo "run_cppcheck.sh: cppcheck reported findings (see above)" >&2
+fi
+exit "${status}"
