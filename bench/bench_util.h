@@ -17,6 +17,7 @@
 #include "filters/histogram_filter.h"
 #include "search/similarity_search.h"
 #include "util/flags.h"
+#include "util/metrics.h"
 #include "util/random.h"
 #include "util/thread_pool.h"
 
@@ -35,6 +36,10 @@ struct WorkloadResult {
   double avg_distance = 0;       // sampled average pairwise edit distance
   int tau = 0;                   // range used (range workloads)
   int k = 0;                     // k used (k-NN workloads)
+  /// Registry delta over this workload (util/metrics.h) — per-stage
+  /// attribution beyond the per-query QueryStats totals. Empty under
+  /// TREESIM_METRICS=OFF.
+  MetricsSnapshot metrics;
 };
 
 enum class WorkloadKind { kRange, kKnn };
@@ -101,6 +106,7 @@ inline HistogramFilter::Options NormalizedHistogramOptions(
 inline WorkloadResult RunWorkload(const TreeDatabase& db,
                                   const WorkloadConfig& config) {
   WorkloadResult out;
+  const MetricsSnapshot metrics_before = MetricsRegistry::Global().Snapshot();
   Rng rng(config.seed);
 
   std::unique_ptr<ThreadPool> owned_pool;
@@ -168,7 +174,29 @@ inline WorkloadResult RunWorkload(const TreeDatabase& db,
   out.histo_cpu = hi_total.TotalSeconds();
   out.sequential_cpu = seq_total.TotalSeconds();
   out.bibranch_filter_cpu = bb_total.filter_seconds;
+  out.metrics = MetricsRegistry::Global().Snapshot().DiffSince(metrics_before);
   return out;
+}
+
+/// One indented line attributing the sweep point's work to pipeline stages,
+/// from the registry delta RunWorkload captured. Silent when the
+/// observability layer is compiled out.
+inline void PrintStageBreakdown(const MetricsSnapshot& d) {
+  if (!kMetricsEnabled) return;
+  const auto mean = [&d](const char* name) {
+    const MetricsSnapshot::HistogramValue* h = d.histogram(name);
+    return h == nullptr ? 0.0 : h->Mean();
+  };
+  std::printf(
+      "    stages: ted_calls=%lld propt_calls=%lld propt_mean=%.1f "
+      "knn(filter=%.0fus refine=%.0fus gap=%.1f) "
+      "range(filter=%.0fus refine=%.0fus) saturations=%lld\n",
+      static_cast<long long>(d.counter("ted.zhang_shasha_calls")),
+      static_cast<long long>(d.counter("positional.searchlbound_calls")),
+      mean("positional.propt"), mean("search.knn.filter_micros"),
+      mean("search.knn.refine_micros"), mean("search.knn.bound_gap"),
+      mean("search.range.filter_micros"), mean("search.range.refine_micros"),
+      static_cast<long long>(d.counter("safe_math.saturations")));
 }
 
 /// Prints the header every figure binary starts with.
@@ -194,6 +222,7 @@ inline void PrintSweepRow(const std::string& x_label, double x,
       x_label.c_str(), x, r.avg_distance, query_param.c_str(), r.result_pct,
       r.bibranch_pct, r.histo_pct, r.bibranch_cpu, r.bibranch_filter_cpu,
       r.sequential_cpu);
+  PrintStageBreakdown(r.metrics);
 }
 
 }  // namespace bench

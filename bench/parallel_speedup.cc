@@ -16,6 +16,7 @@
 #include "core/inverted_file.h"
 #include "search/pairwise.h"
 #include "search/similarity_join.h"
+#include "util/metrics.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
 
@@ -29,6 +30,28 @@ void Require(bool ok, const char* what) {
                          "(%s)\n", what);
     std::abort();
   }
+}
+
+/// Per-stage attribution of one parallel layer, from the registry delta:
+/// how many pool tasks ran, their mean latency, and where the query engine
+/// spent its time. Sequential/parallel diffs of the same layer make the
+/// coordination overhead visible, not just the wall-clock ratio.
+void PrintLayerBreakdown(const char* layer, const MetricsSnapshot& d) {
+  if (!kMetricsEnabled) return;
+  const MetricsSnapshot::HistogramValue* task = d.histogram(
+      "threadpool.task_micros");
+  std::printf("  %-11s tasks=%-5lld task_mean=%-7.0fus ted_calls=%-7lld "
+              "knn_filter_mean=%.0fus knn_refine_mean=%.0fus\n",
+              layer,
+              static_cast<long long>(d.counter("threadpool.tasks_scheduled")),
+              task == nullptr ? 0.0 : task->Mean(),
+              static_cast<long long>(d.counter("ted.zhang_shasha_calls")),
+              d.histogram("search.knn.filter_micros") == nullptr
+                  ? 0.0
+                  : d.histogram("search.knn.filter_micros")->Mean(),
+              d.histogram("search.knn.refine_micros") == nullptr
+                  ? 0.0
+                  : d.histogram("search.knn.refine_micros")->Mean());
 }
 
 int Main(int argc, char** argv) {
@@ -56,12 +79,15 @@ int Main(int argc, char** argv) {
   Stopwatch seq_timer;
   const PairwiseDistances seq_matrix = ComputePairwiseDistances(*db, nullptr);
   const double seq_pairwise = seq_timer.ElapsedSeconds();
+  MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
   Stopwatch par_timer;
   const PairwiseDistances par_matrix = ComputePairwiseDistances(*db, &pool);
   const double par_pairwise = par_timer.ElapsedSeconds();
   Require(seq_matrix.Mean() == par_matrix.Mean(), "pairwise matrix");
   std::printf("pairwise:    %8.3fs -> %8.3fs  speedup %.2fx\n", seq_pairwise,
               par_pairwise, seq_pairwise / par_pairwise);
+  PrintLayerBreakdown("pairwise",
+                      MetricsRegistry::Global().Snapshot().DiffSince(snap));
 
   // Layer 2: inverted-file construction (parallel extraction, sequential
   // interning keeps BranchIds byte-identical).
@@ -69,6 +95,7 @@ int Main(int argc, char** argv) {
   InvertedFileIndex seq_index(2);
   seq_index.AddAll(db->trees(), nullptr);
   const double seq_build = seq_build_timer.ElapsedSeconds();
+  snap = MetricsRegistry::Global().Snapshot();
   Stopwatch par_build_timer;
   InvertedFileIndex par_index(2);
   par_index.AddAll(db->trees(), &pool);
@@ -77,6 +104,8 @@ int Main(int argc, char** argv) {
           "index build");
   std::printf("index build: %8.3fs -> %8.3fs  speedup %.2fx\n", seq_build,
               par_build, seq_build / par_build);
+  PrintLayerBreakdown("index build",
+                      MetricsRegistry::Global().Snapshot().DiffSince(snap));
 
   // Layer 3: batch k-NN through the filter-and-refine engine.
   std::vector<Tree> query_set;
@@ -89,6 +118,7 @@ int Main(int argc, char** argv) {
   Stopwatch seq_knn_timer;
   const BatchKnnResult seq_knn = engine.BatchKnn(query_set, k, nullptr);
   const double seq_batch = seq_knn_timer.ElapsedSeconds();
+  snap = MetricsRegistry::Global().Snapshot();
   Stopwatch par_knn_timer;
   const BatchKnnResult par_knn = engine.BatchKnn(query_set, k, &pool);
   const double par_batch = par_knn_timer.ElapsedSeconds();
@@ -98,6 +128,8 @@ int Main(int argc, char** argv) {
   }
   std::printf("batch k-NN:  %8.3fs -> %8.3fs  speedup %.2fx\n", seq_batch,
               par_batch, seq_batch / par_batch);
+  PrintLayerBreakdown("batch k-NN",
+                      MetricsRegistry::Global().Snapshot().DiffSince(snap));
 
   std::printf("expected shape: pairwise speedup near the worker count; "
               "build and k-NN sublinear\n\n");

@@ -5,9 +5,11 @@
 #include <utility>
 
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "util/safe_math.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace treesim {
 
@@ -20,6 +22,9 @@ int InvertedFileIndex::Add(const Tree& t) {
 
 int InvertedFileIndex::AddOccurrences(
     int tree_size, std::vector<BranchOccurrence> occurrences) {
+  TREESIM_COUNTER_INC("index.trees_added");
+  TREESIM_COUNTER_ADD("index.branch_occurrences",
+                      static_cast<int64_t>(occurrences.size()));
   const int tree_id = tree_count_++;
   tree_sizes_.push_back(tree_size);
   if (lists_.size() < dict_.size()) lists_.resize(dict_.size());
@@ -35,6 +40,8 @@ int InvertedFileIndex::AddOccurrences(
     }
     list.back().positions.emplace_back(occ.pre, occ.post);
   }
+  TREESIM_GAUGE_SET("index.distinct_branches",
+                    static_cast<int64_t>(dict_.size()));
   return tree_id;
 }
 
@@ -137,7 +144,14 @@ Status InvertedFileIndex::ValidateInvariants() const {
 }
 
 std::vector<BranchProfile> InvertedFileIndex::BuildProfiles() const {
+  TREESIM_TRACE_SPAN("index.build_profiles");
   TREESIM_DCHECK_OK(ValidateInvariants());
+  // Inverted-list skew is what decides whether the Section 5 candidate
+  // counts stay small, so the length distribution lands in the registry.
+  for (const std::vector<Posting>& list : lists_) {
+    TREESIM_HISTOGRAM_RECORD("index.inverted_list_length", CountBuckets(),
+                             static_cast<int64_t>(list.size()));
+  }
   std::vector<BranchProfile> profiles(static_cast<size_t>(tree_count_));
   for (int i = 0; i < tree_count_; ++i) {
     BranchProfile& p = profiles[static_cast<size_t>(i)];

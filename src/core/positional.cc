@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "util/safe_math.h"
 
 namespace treesim {
@@ -149,7 +150,12 @@ int OptimisticBound(const BranchProfile& a, const BranchProfile& b,
   // PosBDist(pr) is non-increasing in pr, so `bounded` is monotone and at
   // pr_max it always holds (every equal-branch pair is within position
   // range, so PosBDist = BDist <= |T1|+|T2| <= factor * pr_max).
-  if (bounded(pr_min)) return pr_min;
+  TREESIM_COUNTER_INC("positional.searchlbound_calls");
+  if (bounded(pr_min)) {
+    TREESIM_HISTOGRAM_RECORD("positional.propt", SmallValueBuckets(),
+                             static_cast<int64_t>(pr_min));
+    return pr_min;
+  }
   int lo = pr_min + 1;
   int hi = pr_max;
   while (lo < hi) {
@@ -160,6 +166,8 @@ int OptimisticBound(const BranchProfile& a, const BranchProfile& b,
       lo = mid + 1;
     }
   }
+  TREESIM_HISTOGRAM_RECORD("positional.propt", SmallValueBuckets(),
+                           static_cast<int64_t>(lo));
   return lo;
 }
 

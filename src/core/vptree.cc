@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "util/random.h"
 #include "util/status.h"
 
@@ -199,6 +200,10 @@ std::vector<int> VpTree::RangeSearch(const BranchProfile& query,
   int64_t calls = 0;
   if (root_ >= 0 && radius >= 0) Search(root_, query, radius, out, calls);
   std::sort(out.begin(), out.end());
+  TREESIM_COUNTER_INC("vptree.range_searches");
+  TREESIM_COUNTER_ADD("vptree.distance_calls", calls);
+  TREESIM_HISTOGRAM_RECORD("vptree.probe_distance_calls", CountBuckets(),
+                           calls);
   if (stats_distance_calls != nullptr) *stats_distance_calls = calls;
   return out;
 }

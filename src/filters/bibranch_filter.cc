@@ -4,8 +4,10 @@
 #include <utility>
 
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "util/random.h"
 #include "util/safe_math.h"
+#include "util/trace.h"
 
 namespace treesim {
 namespace {
@@ -34,6 +36,7 @@ std::string BiBranchFilter::name() const {
 }
 
 void BiBranchFilter::Build(const std::vector<Tree>& trees) {
+  TREESIM_TRACE_SPAN("filter.bibranch.build");
   TREESIM_CHECK(profiles_.empty()) << "Build() called twice";
   index_.AddAll(trees, options_.build_pool);
   profiles_ = index_.BuildProfiles();
@@ -73,6 +76,8 @@ std::optional<std::vector<int>> BiBranchFilter::TryRangeCandidates(
       CheckedMul<int64_t>(index_.branch_dict().edit_distance_factor(), itau),
       &calls);
   vptree_distance_calls_.fetch_add(calls, std::memory_order_relaxed);
+  TREESIM_COUNTER_ADD("filter.bibranch.ball_candidates",
+                      static_cast<int64_t>(ball.size()));
   if (!options_.positional) return ball;
   // ... which the positional test then narrows to exactly the MayQualify
   // set (the ball already guarantees the BDist part).
@@ -85,6 +90,8 @@ std::optional<std::vector<int>> BiBranchFilter::TryRangeCandidates(
       candidates.push_back(id);
     }
   }
+  TREESIM_COUNTER_ADD("filter.bibranch.positional_survivors",
+                      static_cast<int64_t>(candidates.size()));
   return candidates;
 }
 
@@ -94,10 +101,15 @@ bool BiBranchFilter::MayQualify(const QueryContext& ctx, int tree_id,
   const BranchProfile& data = profiles_[static_cast<size_t>(tree_id)];
   // Unit-cost distances are integral, so testing at floor(tau) is exact.
   const int itau = static_cast<int>(std::floor(tau));
+  TREESIM_COUNTER_INC("filter.bibranch.checked");
+  bool pass;
   if (options_.positional) {
-    return RangeFilterPasses(q.profile(), data, itau, options_.matching);
+    pass = RangeFilterPasses(q.profile(), data, itau, options_.matching);
+  } else {
+    pass = BranchDistanceLowerBound(q.profile(), data) <= itau;
   }
-  return BranchDistanceLowerBound(q.profile(), data) <= itau;
+  if (pass) TREESIM_COUNTER_INC("filter.bibranch.passed");
+  return pass;
 }
 
 }  // namespace treesim

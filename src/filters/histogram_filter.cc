@@ -7,6 +7,7 @@
 
 #include "tree/traversal.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "util/safe_math.h"
 
 namespace treesim {
@@ -117,6 +118,7 @@ std::unique_ptr<QueryContext> HistogramFilter::PrepareQuery(
 
 double HistogramFilter::LowerBound(const QueryContext& ctx,
                                    int tree_id) const {
+  TREESIM_COUNTER_INC("filter.histogram.bounds");
   const auto& q = static_cast<const HistogramQueryContext&>(ctx);
   return Bound(q.features(), features_[static_cast<size_t>(tree_id)]);
 }

@@ -7,6 +7,7 @@
 #include "strgram/string_edit_distance.h"
 #include "tree/traversal.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 
 namespace treesim {
 namespace {
@@ -78,15 +79,20 @@ bool SequenceFilter::MayQualify(const QueryContext& ctx, int tree_id,
                                 double tau) const {
   const int itau = static_cast<int>(std::floor(tau));
   if (itau < 0) return false;
+  TREESIM_COUNTER_INC("filter.sequence.checked");
+  bool pass;
   if (options_.mode == Options::Mode::kEditDistance) {
     // The banded SED answers the threshold question in O(tau * n).
     const TreeSequences& q =
         static_cast<const SequenceQueryContext&>(ctx).sequences();
     const TreeSequences& data = sequences_[static_cast<size_t>(tree_id)];
-    if (StringEditDistanceBounded(q.pre, data.pre, itau) > itau) return false;
-    return StringEditDistanceBounded(q.post, data.post, itau) <= itau;
+    pass = StringEditDistanceBounded(q.pre, data.pre, itau) <= itau &&
+           StringEditDistanceBounded(q.post, data.post, itau) <= itau;
+  } else {
+    pass = LowerBound(ctx, tree_id) <= tau;
   }
-  return LowerBound(ctx, tree_id) <= tau;
+  if (pass) TREESIM_COUNTER_INC("filter.sequence.passed");
+  return pass;
 }
 
 }  // namespace treesim

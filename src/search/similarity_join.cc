@@ -4,9 +4,11 @@
 #include <utility>
 
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "util/safe_math.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace treesim {
 
@@ -30,6 +32,8 @@ JoinResult SimilarityJoin::JoinImpl(const TreeDatabase& left, int tau,
                                     bool self, ThreadPool* pool) {
   TREESIM_CHECK(left.label_dict() == right_->label_dict())
       << "join sides must share one label dictionary";
+  TREESIM_TRACE_SPAN("search.join");
+  TREESIM_COUNTER_INC("search.join.joins");
   JoinResult result;
   if (pool != nullptr && pool->size() > 1 && left.size() >= 2) {
     // Phase 1, sequential: query preparation in left order (PrepareQuery
@@ -86,6 +90,18 @@ JoinResult SimilarityJoin::JoinImpl(const TreeDatabase& left, int tau,
                           slot.pairs.end());
     }
     result.stats.results = static_cast<int64_t>(result.pairs.size());
+    TREESIM_COUNTER_ADD("search.join.pairs_considered",
+                        result.stats.database_size);
+    TREESIM_COUNTER_ADD("search.join.candidates", result.stats.candidates);
+    TREESIM_COUNTER_ADD("search.join.refined",
+                        result.stats.edit_distance_calls);
+    TREESIM_COUNTER_ADD("search.join.results", result.stats.results);
+    TREESIM_HISTOGRAM_RECORD(
+        "search.join.filter_micros", LatencyBucketsMicros(),
+        static_cast<int64_t>(result.stats.filter_seconds * 1e6));
+    TREESIM_HISTOGRAM_RECORD(
+        "search.join.refine_micros", LatencyBucketsMicros(),
+        static_cast<int64_t>(result.stats.refine_seconds * 1e6));
     return result;
   }
   for (int l = 0; l < left.size(); ++l) {
@@ -122,6 +138,18 @@ JoinResult SimilarityJoin::JoinImpl(const TreeDatabase& left, int tau,
     result.stats.refine_seconds += refine_timer.ElapsedSeconds();
   }
   result.stats.results = static_cast<int64_t>(result.pairs.size());
+  TREESIM_COUNTER_ADD("search.join.pairs_considered",
+                      result.stats.database_size);
+  TREESIM_COUNTER_ADD("search.join.candidates", result.stats.candidates);
+  TREESIM_COUNTER_ADD("search.join.refined",
+                      result.stats.edit_distance_calls);
+  TREESIM_COUNTER_ADD("search.join.results", result.stats.results);
+  TREESIM_HISTOGRAM_RECORD(
+      "search.join.filter_micros", LatencyBucketsMicros(),
+      static_cast<int64_t>(result.stats.filter_seconds * 1e6));
+  TREESIM_HISTOGRAM_RECORD(
+      "search.join.refine_micros", LatencyBucketsMicros(),
+      static_cast<int64_t>(result.stats.refine_seconds * 1e6));
   return result;
 }
 

@@ -4,9 +4,11 @@
 #include <queue>
 
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "util/stopwatch.h"
 #include "util/sync.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace treesim {
 
@@ -23,6 +25,8 @@ std::string SimilaritySearch::filter_name() const {
 
 RangeResult SimilaritySearch::Range(const Tree& query, int tau,
                                     ThreadPool* pool) {
+  TREESIM_TRACE_SPAN("search.range");
+  TREESIM_COUNTER_INC("search.range.queries");
   RangeResult result;
   result.stats.database_size = db_->size();
 
@@ -31,23 +35,34 @@ RangeResult SimilaritySearch::Range(const Tree& query, int tau,
   std::vector<int> candidates;
   std::unique_ptr<QueryContext> ctx;
   Stopwatch filter_timer;
-  if (filter_ == nullptr) {
-    candidates.resize(static_cast<size_t>(db_->size()));
-    for (int id = 0; id < db_->size(); ++id) {
-      candidates[static_cast<size_t>(id)] = id;
-    }
-  } else {
-    ctx = filter_->PrepareQuery(query);
-    std::optional<std::vector<int>> batch =
-        filter_->TryRangeCandidates(*ctx, tau);
-    if (batch.has_value()) {
-      candidates = std::move(*batch);  // metric-index fast path
-    } else {
+  {
+    TREESIM_TRACE_SPAN("search.range.filter");
+    if (filter_ == nullptr) {
+      candidates.resize(static_cast<size_t>(db_->size()));
       for (int id = 0; id < db_->size(); ++id) {
-        if (filter_->MayQualify(*ctx, id, tau)) candidates.push_back(id);
+        candidates[static_cast<size_t>(id)] = id;
+      }
+    } else {
+      ctx = filter_->PrepareQuery(query);
+      std::optional<std::vector<int>> batch =
+          filter_->TryRangeCandidates(*ctx, tau);
+      if (batch.has_value()) {
+        candidates = std::move(*batch);  // metric-index fast path
+      } else {
+        for (int id = 0; id < db_->size(); ++id) {
+          if (filter_->MayQualify(*ctx, id, tau)) candidates.push_back(id);
+        }
       }
     }
   }
+  TREESIM_HISTOGRAM_RECORD("search.range.filter_micros",
+                           LatencyBucketsMicros(),
+                           filter_timer.ElapsedMicros());
+  TREESIM_COUNTER_ADD("search.range.candidates",
+                      static_cast<int64_t>(candidates.size()));
+  TREESIM_HISTOGRAM_RECORD("search.range.candidates_per_query",
+                           CountBuckets(),
+                           static_cast<int64_t>(candidates.size()));
   result.stats.filter_seconds = filter_timer.ElapsedSeconds();
   result.stats.candidates = static_cast<int64_t>(candidates.size());
 
@@ -58,29 +73,40 @@ RangeResult SimilaritySearch::Range(const Tree& query, int tau,
   Stopwatch refine_timer;
   const TedTree query_view = TedTree::FromTree(query);
   std::vector<int> distances(candidates.size(), 0);
-  ParallelFor(pool, static_cast<int64_t>(candidates.size()), [&](int64_t c) {
-    const int id = candidates[static_cast<size_t>(c)];
-    const int d = TreeEditDistance(query_view, db_->ted_view(id));
+  {
+    TREESIM_TRACE_SPAN("search.range.refine");
+    ParallelFor(pool, static_cast<int64_t>(candidates.size()), [&](int64_t c) {
+      const int id = candidates[static_cast<size_t>(c)];
+      const int d = TreeEditDistance(query_view, db_->ted_view(id));
 #ifndef NDEBUG
-    // Theorem 3.2/3.3 as a machine-checked invariant: the filter's lower
-    // bound (ceil(BDist / [4(q-1)+1]) for the branch filters) must never
-    // exceed the exact edit distance on any refined candidate.
-    if (ctx != nullptr) {
-      TREESIM_DCHECK_LE(filter_->LowerBound(*ctx, id), static_cast<double>(d))
-          << "unsound lower bound from filter " << filter_->name()
-          << " on tree " << id;
-    }
+      // Theorem 3.2/3.3 as a machine-checked invariant: the filter's lower
+      // bound (ceil(BDist / [4(q-1)+1]) for the branch filters) must never
+      // exceed the exact edit distance on any refined candidate.
+      if (ctx != nullptr) {
+        TREESIM_DCHECK_LE(filter_->LowerBound(*ctx, id),
+                          static_cast<double>(d))
+            << "unsound lower bound from filter " << filter_->name()
+            << " on tree " << id;
+      }
 #endif
-    distances[static_cast<size_t>(c)] = d;
-  });
+      distances[static_cast<size_t>(c)] = d;
+    });
+  }
   result.stats.edit_distance_calls =
       static_cast<int64_t>(candidates.size());
+  TREESIM_COUNTER_ADD("search.range.refined",
+                      static_cast<int64_t>(candidates.size()));
   for (size_t c = 0; c < candidates.size(); ++c) {
     if (distances[c] <= tau) {
       result.matches.emplace_back(candidates[c], distances[c]);
     }
   }
   result.stats.refine_seconds = refine_timer.ElapsedSeconds();
+  TREESIM_HISTOGRAM_RECORD("search.range.refine_micros",
+                           LatencyBucketsMicros(),
+                           refine_timer.ElapsedMicros());
+  TREESIM_COUNTER_ADD("search.range.results",
+                      static_cast<int64_t>(result.matches.size()));
 
   std::sort(result.matches.begin(), result.matches.end(),
             [](const std::pair<int, int>& a, const std::pair<int, int>& b) {
@@ -93,6 +119,8 @@ RangeResult SimilaritySearch::Range(const Tree& query, int tau,
 
 KnnResult SimilaritySearch::Knn(const Tree& query, int k, ThreadPool* pool) {
   TREESIM_CHECK_GT(k, 0);
+  TREESIM_TRACE_SPAN("search.knn");
+  TREESIM_COUNTER_INC("search.knn.queries");
   KnnResult result;
   result.stats.database_size = db_->size();
   if (db_->size() == 0) return result;
@@ -107,11 +135,14 @@ KnnResult SimilaritySearch::Knn(const Tree& query, int k, ThreadPool* pool) {
     order[static_cast<size_t>(id)] = id;
   }
   if (filter_ != nullptr) {
+    TREESIM_TRACE_SPAN("search.knn.filter");
     const std::unique_ptr<QueryContext> ctx = filter_->PrepareQuery(query);
     ParallelFor(pool, db_->size(), [&](int64_t id) {
       bounds[static_cast<size_t>(id)] =
           filter_->LowerBound(*ctx, static_cast<int>(id));
     });
+    TREESIM_COUNTER_ADD("search.knn.bounds_computed",
+                        static_cast<int64_t>(db_->size()));
     // Step 2: ascending by optimistic bound (line 4), so the most promising
     // trees are refined first and the break triggers as early as possible.
     std::sort(order.begin(), order.end(), [&](int a, int b) {
@@ -122,11 +153,15 @@ KnnResult SimilaritySearch::Knn(const Tree& query, int k, ThreadPool* pool) {
     });
   }
   result.stats.filter_seconds = filter_timer.ElapsedSeconds();
+  TREESIM_HISTOGRAM_RECORD("search.knn.filter_micros",
+                           LatencyBucketsMicros(),
+                           filter_timer.ElapsedMicros());
 
   // Step 3: pruning sweep with a max-heap of the k best exact distances
   // (lines 5-15). Heap entries are (distance, id); top() is the current
   // k-th best under the deterministic (distance, id) order.
   Stopwatch refine_timer;
+  TREESIM_TRACE_SPAN("search.knn.refine");
   const TedTree query_view = TedTree::FromTree(query);
   std::priority_queue<std::pair<int, int>> heap;
   int64_t calls = 0;
@@ -144,6 +179,11 @@ KnnResult SimilaritySearch::Knn(const Tree& query, int k, ThreadPool* pool) {
       TREESIM_DCHECK_LE(bounds[static_cast<size_t>(id)],
                         static_cast<double>(d))
           << "unsound lower bound on tree " << id;
+      // Bound tightness (Section 5's pruning-power claim): how far below
+      // the exact distance the filter's lower bound sat on this candidate.
+      TREESIM_HISTOGRAM_RECORD(
+          "search.knn.bound_gap", SmallValueBuckets(),
+          d - static_cast<int64_t>(bounds[static_cast<size_t>(id)]));
       if (static_cast<int>(heap.size()) < k) {
         heap.emplace(d, id);
       } else if (std::make_pair(d, id) < heap.top()) {
@@ -194,6 +234,8 @@ KnnResult SimilaritySearch::Knn(const Tree& query, int k, ThreadPool* pool) {
         const int d = TreeEditDistance(query_view, db_->ted_view(id));
         TREESIM_DCHECK_LE(bound, static_cast<double>(d))
             << "unsound lower bound on tree " << id;
+        TREESIM_HISTOGRAM_RECORD("search.knn.bound_gap", SmallValueBuckets(),
+                                 d - static_cast<int64_t>(bound));
         MutexLock lock(sweep.mu);
         ++sweep.calls;
         if (static_cast<int>(sweep.heap.size()) < k) {
@@ -211,6 +253,12 @@ KnnResult SimilaritySearch::Knn(const Tree& query, int k, ThreadPool* pool) {
   result.stats.edit_distance_calls = calls;
   result.stats.refine_seconds = refine_timer.ElapsedSeconds();
   result.stats.candidates = result.stats.edit_distance_calls;
+  TREESIM_HISTOGRAM_RECORD("search.knn.refine_micros",
+                           LatencyBucketsMicros(),
+                           refine_timer.ElapsedMicros());
+  TREESIM_COUNTER_ADD("search.knn.refined", calls);
+  TREESIM_HISTOGRAM_RECORD("search.knn.refined_per_query", CountBuckets(),
+                           calls);
 
   result.neighbors.resize(heap.size());
   for (size_t i = heap.size(); i-- > 0;) {
@@ -218,11 +266,16 @@ KnnResult SimilaritySearch::Knn(const Tree& query, int k, ThreadPool* pool) {
     heap.pop();
   }
   result.stats.results = static_cast<int64_t>(result.neighbors.size());
+  TREESIM_COUNTER_ADD("search.knn.results",
+                      static_cast<int64_t>(result.neighbors.size()));
   return result;
 }
 
 BatchKnnResult SimilaritySearch::BatchKnn(const std::vector<Tree>& queries,
                                           int k, ThreadPool* pool) {
+  TREESIM_TRACE_SPAN("search.batch_knn");
+  TREESIM_COUNTER_ADD("search.batch_knn.queries",
+                      static_cast<int64_t>(queries.size()));
   BatchKnnResult out;
   out.per_query.reserve(queries.size());
   // Queries run in order — PrepareQuery may extend shared dictionaries, so
@@ -240,6 +293,8 @@ WeightedRangeResult SimilaritySearch::RangeWeighted(const Tree& query,
                                                     const CostModel& costs) {
   const double c_min = costs.MinOperationCost();
   TREESIM_CHECK_GT(c_min, 0.0) << "MinOperationCost must be positive";
+  TREESIM_TRACE_SPAN("search.range_weighted");
+  TREESIM_COUNTER_INC("search.range_weighted.queries");
   WeightedRangeResult result;
   result.stats.database_size = db_->size();
 
@@ -303,6 +358,8 @@ WeightedKnnResult SimilaritySearch::KnnWeighted(const Tree& query, int k,
   const double c_min = costs.MinOperationCost();
   TREESIM_CHECK_GT(c_min, 0.0) << "MinOperationCost must be positive";
   TREESIM_CHECK_GT(k, 0);
+  TREESIM_TRACE_SPAN("search.knn_weighted");
+  TREESIM_COUNTER_INC("search.knn_weighted.queries");
   WeightedKnnResult result;
   result.stats.database_size = db_->size();
   if (db_->size() == 0) return result;

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "util/random.h"
 #include "util/safe_math.h"
 
@@ -20,6 +21,8 @@ int TreeDatabase::Add(Tree t) {
   const int id = size();
   ted_views_.push_back(TedTree::FromTree(t));
   trees_.push_back(std::move(t));
+  TREESIM_COUNTER_INC("db.trees_added");
+  TREESIM_GAUGE_SET("db.size", static_cast<int64_t>(trees_.size()));
   return id;
 }
 

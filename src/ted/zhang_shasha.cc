@@ -4,6 +4,7 @@
 
 #include "tree/traversal.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "util/safe_math.h"
 
 namespace treesim {
@@ -130,6 +131,9 @@ TedTree TedTree::FromTree(const Tree& t) {
 }
 
 int TreeEditDistance(const TedTree& t1, const TedTree& t2) {
+  TREESIM_COUNTER_INC("ted.zhang_shasha_calls");
+  TREESIM_HISTOGRAM_RECORD("ted.problem_nodes", CountBuckets(),
+                           static_cast<int64_t>(t1.size()) + t2.size());
   return ZhangShashaImpl(t1, t2, UnitCosts{}).back();
 }
 
@@ -143,6 +147,7 @@ int TreeEditDistance(const Tree& t1, const Tree& t2) {
 
 double TreeEditDistanceWeighted(const TedTree& t1, const TedTree& t2,
                                 const CostModel& costs) {
+  TREESIM_COUNTER_INC("ted.zhang_shasha_weighted_calls");
   return ZhangShashaImpl(t1, t2, ModelCosts{costs}).back();
 }
 

@@ -1,0 +1,342 @@
+#include "util/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/safe_math.h"
+#include "util/sync.h"
+
+namespace treesim {
+namespace {
+
+/// Escapes a metric name for JSON output. Names are dotted identifiers by
+/// convention, but the dump must stay well-formed for any registered name.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void AppendInt64Array(std::ostringstream& os,
+                      const std::vector<int64_t>& values) {
+  os << '[';
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) os << ',';
+    os << values[i];
+  }
+  os << ']';
+}
+
+}  // namespace
+
+#if TREESIM_METRICS_ENABLED
+
+Histogram::Histogram(std::vector<int64_t> bounds) : bounds_(std::move(bounds)) {
+  TREESIM_CHECK(!bounds_.empty()) << "a histogram needs at least one bucket";
+  TREESIM_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()))
+      << "histogram bucket bounds must ascend";
+  TREESIM_CHECK(std::adjacent_find(bounds_.begin(), bounds_.end()) ==
+                bounds_.end())
+      << "histogram bucket bounds must be distinct";
+  buckets_ = std::make_unique<std::atomic<int64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::Record(int64_t sample) {
+  const size_t bucket = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), sample) -
+      bounds_.begin());
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(sample, std::memory_order_relaxed);
+}
+
+void Histogram::ResetForTest() {
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* const registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  MutexLock lock(mu_);
+  Entry& e = entries_[name];
+  if (e.counter == nullptr) {
+    TREESIM_CHECK(e.gauge == nullptr && e.histogram == nullptr)
+        << "metric '" << name << "' already registered as a different kind";
+    e.kind = MetricKind::kCounter;
+    e.counter = std::make_unique<Counter>();
+  }
+  return *e.counter;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  MutexLock lock(mu_);
+  Entry& e = entries_[name];
+  if (e.gauge == nullptr) {
+    TREESIM_CHECK(e.counter == nullptr && e.histogram == nullptr)
+        << "metric '" << name << "' already registered as a different kind";
+    e.kind = MetricKind::kGauge;
+    e.gauge = std::make_unique<Gauge>();
+  }
+  return *e.gauge;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::vector<int64_t>& bounds) {
+  MutexLock lock(mu_);
+  Entry& e = entries_[name];
+  if (e.histogram == nullptr) {
+    TREESIM_CHECK(e.counter == nullptr && e.gauge == nullptr)
+        << "metric '" << name << "' already registered as a different kind";
+    e.kind = MetricKind::kHistogram;
+    e.histogram = std::make_unique<Histogram>(bounds);
+  } else {
+    TREESIM_CHECK(e.histogram->bounds() == bounds)
+        << "metric '" << name << "' re-registered with different buckets";
+  }
+  return *e.histogram;
+}
+
+int MetricsRegistry::metric_count() const {
+  MutexLock lock(mu_);
+  return static_cast<int>(entries_.size());
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  {
+    MutexLock lock(mu_);
+    for (const auto& [name, entry] : entries_) {
+      switch (entry.kind) {
+        case MetricKind::kCounter:
+          snap.counters[name] = entry.counter->value();
+          break;
+        case MetricKind::kGauge:
+          snap.gauges[name] = entry.gauge->value();
+          break;
+        case MetricKind::kHistogram: {
+          MetricsSnapshot::HistogramValue& h = snap.histograms[name];
+          h.bounds = entry.histogram->bounds();
+          h.bucket_counts.reserve(h.bounds.size() + 1);
+          for (int b = 0; b < entry.histogram->bucket_count(); ++b) {
+            h.bucket_counts.push_back(entry.histogram->bucket_value(b));
+          }
+          h.count = entry.histogram->count();
+          h.sum = entry.histogram->sum();
+          break;
+        }
+      }
+    }
+  }
+  // Fold the arithmetic-safety saturation counter (util/safe_math.h) into
+  // the same vocabulary, so one dump answers "did anything saturate".
+  snap.counters["safe_math.saturations"] =
+      static_cast<int64_t>(SafeMathStats::saturations());
+  return snap;
+}
+
+void MetricsRegistry::ResetForTest() {
+  MutexLock lock(mu_);
+  for (auto& [name, entry] : entries_) {
+    switch (entry.kind) {
+      case MetricKind::kCounter:
+        entry.counter->ResetForTest();
+        break;
+      case MetricKind::kGauge:
+        entry.gauge->ResetForTest();
+        break;
+      case MetricKind::kHistogram:
+        entry.histogram->ResetForTest();
+        break;
+    }
+  }
+}
+
+#else  // !TREESIM_METRICS_ENABLED
+
+const std::vector<int64_t>& Histogram::bounds() const {
+  static const std::vector<int64_t>* const kEmpty =
+      new std::vector<int64_t>();
+  return *kEmpty;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* const registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& /*name*/) {
+  static Counter* const dummy = new Counter();
+  return *dummy;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& /*name*/) {
+  static Gauge* const dummy = new Gauge();
+  return *dummy;
+}
+
+Histogram& MetricsRegistry::GetHistogram(
+    const std::string& /*name*/, const std::vector<int64_t>& /*bounds*/) {
+  static Histogram* const dummy = new Histogram(std::vector<int64_t>{});
+  return *dummy;
+}
+
+int MetricsRegistry::metric_count() const { return 0; }
+
+MetricsSnapshot MetricsRegistry::Snapshot() const { return MetricsSnapshot{}; }
+
+void MetricsRegistry::ResetForTest() {}
+
+#endif  // TREESIM_METRICS_ENABLED
+
+int64_t MetricsSnapshot::counter(const std::string& name) const {
+  const auto it = counters.find(name);
+  return it == counters.end() ? 0 : it->second;
+}
+
+int64_t MetricsSnapshot::gauge(const std::string& name) const {
+  const auto it = gauges.find(name);
+  return it == gauges.end() ? 0 : it->second;
+}
+
+const MetricsSnapshot::HistogramValue* MetricsSnapshot::histogram(
+    const std::string& name) const {
+  const auto it = histograms.find(name);
+  return it == histograms.end() ? nullptr : &it->second;
+}
+
+MetricsSnapshot MetricsSnapshot::DiffSince(
+    const MetricsSnapshot& earlier) const {
+  MetricsSnapshot diff;
+  for (const auto& [name, value] : counters) {
+    diff.counters[name] = value - earlier.counter(name);
+  }
+  diff.gauges = gauges;
+  for (const auto& [name, h] : histograms) {
+    HistogramValue& out = diff.histograms[name];
+    out = h;
+    if (const HistogramValue* was = earlier.histogram(name);
+        was != nullptr && was->bounds == h.bounds) {
+      for (size_t b = 0; b < out.bucket_counts.size(); ++b) {
+        out.bucket_counts[b] -= was->bucket_counts[b];
+      }
+      out.count -= was->count;
+      out.sum -= was->sum;
+    }
+  }
+  return diff;
+}
+
+std::string MetricsSnapshot::ToText() const {
+  std::ostringstream os;
+  for (const auto& [name, value] : counters) {
+    os << name << " = " << value << "\n";
+  }
+  for (const auto& [name, value] : gauges) {
+    os << name << " = " << value << " (gauge)\n";
+  }
+  for (const auto& [name, h] : histograms) {
+    os << name << ": count=" << h.count << " sum=" << h.sum
+       << " mean=" << h.Mean() << "\n";
+    for (size_t b = 0; b < h.bucket_counts.size(); ++b) {
+      if (h.bucket_counts[b] == 0) continue;
+      os << "  ";
+      if (b < h.bounds.size()) {
+        os << "le=" << h.bounds[b];
+      } else {
+        os << "le=+inf";
+      }
+      os << ": " << h.bucket_counts[b] << "\n";
+    }
+  }
+  return os.str();
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << JsonEscape(name) << "\":" << value;
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << JsonEscape(name) << "\":" << value;
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << JsonEscape(name) << "\":{\"bounds\":";
+    AppendInt64Array(os, h.bounds);
+    os << ",\"counts\":";
+    AppendInt64Array(os, h.bucket_counts);
+    os << ",\"count\":" << h.count << ",\"sum\":" << h.sum << '}';
+  }
+  os << "}}";
+  return os.str();
+}
+
+std::vector<int64_t> LatencyBucketsMicros() {
+  std::vector<int64_t> bounds;
+  bounds.reserve(24);
+  for (int64_t b = 1; b <= (int64_t{1} << 23); b *= 2) bounds.push_back(b);
+  return bounds;  // 1us .. ~8.4s, then overflow
+}
+
+std::vector<int64_t> CountBuckets() {
+  std::vector<int64_t> bounds;
+  bounds.reserve(21);
+  bounds.push_back(0);
+  for (int64_t b = 1; b <= (int64_t{1} << 20); b *= 2) bounds.push_back(b);
+  return bounds;  // 0, 1 .. ~1M, then overflow
+}
+
+std::vector<int64_t> SmallValueBuckets() {
+  std::vector<int64_t> bounds;
+  bounds.reserve(32);
+  for (int64_t b = 0; b < 32; ++b) bounds.push_back(b);
+  return bounds;  // 0..31, then overflow
+}
+
+}  // namespace treesim

@@ -6,7 +6,10 @@
 #include <utility>
 
 #include "util/logging.h"
+#include "util/metrics.h"
+#include "util/stopwatch.h"
 #include "util/sync.h"
+#include "util/trace.h"
 
 namespace treesim {
 namespace {
@@ -41,7 +44,10 @@ void ThreadPool::Schedule(std::function<void()> fn) {
     MutexLock lock(mu_);
     TREESIM_CHECK(!shutdown_) << "Schedule() after the destructor began";
     queue_.push_back(std::move(fn));
+    TREESIM_GAUGE_SET("threadpool.queue_depth",
+                      static_cast<int64_t>(queue_.size()));
   }
+  TREESIM_COUNTER_INC("threadpool.tasks_scheduled");
   work_cv_.NotifyOne();
 }
 
@@ -55,8 +61,19 @@ void ThreadPool::WorkerLoop() {
       if (queue_.empty()) return;  // shutdown with nothing left to drain
       task = std::move(queue_.front());
       queue_.pop_front();
+      TREESIM_GAUGE_SET("threadpool.queue_depth",
+                        static_cast<int64_t>(queue_.size()));
     }
-    task();
+    if constexpr (kMetricsEnabled) {
+      TREESIM_TRACE_SPAN("threadpool.task");
+      const Stopwatch task_timer;
+      task();
+      TREESIM_HISTOGRAM_RECORD("threadpool.task_micros",
+                               LatencyBucketsMicros(),
+                               task_timer.ElapsedMicros());
+    } else {
+      task();
+    }
   }
 }
 

@@ -1,0 +1,212 @@
+#include "util/trace.h"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <sstream>
+
+#include "util/sync.h"
+
+namespace treesim {
+
+#if TREESIM_METRICS_ENABLED
+
+namespace {
+
+int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// One thread's ring. The owning thread appends; Collect()/Clear() read and
+/// reset from other threads — every access goes through the buffer's own
+/// mutex. The lock is thread-private in the common case (uncontended
+/// acquire), keeping span recording cheap without hand-rolled seqlocks; the
+/// spans this library records wrap whole pipeline stages, not inner loops.
+struct ThreadBuffer {
+  Mutex mu;
+  std::array<TraceEvent, Tracer::kRingCapacity> ring TREESIM_GUARDED_BY(mu);
+  /// Total events ever written; ring slot = written % capacity.
+  int64_t written TREESIM_GUARDED_BY(mu) = 0;
+  int thread_index = 0;
+
+  void Append(const TraceEvent& event) {
+    MutexLock lock(mu);
+    ring[static_cast<size_t>(written % Tracer::kRingCapacity)] = event;
+    ++written;
+  }
+};
+
+struct TracerState {
+  std::atomic<bool> enabled{false};
+  std::atomic<int64_t> epoch_ns{0};
+  Mutex mu;
+  /// shared_ptr keeps buffers of exited threads alive for Collect().
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers TREESIM_GUARDED_BY(mu);
+};
+
+TracerState& State() {
+  static TracerState* const state = new TracerState();
+  return *state;
+}
+
+/// The calling thread's buffer, registered with the tracer on first use.
+/// The thread_local shared_ptr plus the registry's copy give the buffer two
+/// owners, so whichever goes away last (thread exit vs. trace export) wins.
+ThreadBuffer& LocalBuffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buffer = [] {
+    auto b = std::make_shared<ThreadBuffer>();
+    TracerState& state = State();
+    MutexLock lock(state.mu);
+    b->thread_index = static_cast<int>(state.buffers.size());
+    state.buffers.push_back(b);
+    return b;
+  }();
+  return *buffer;
+}
+
+/// Current nesting depth of open spans on this thread (only the owning
+/// thread touches it, no synchronization needed).
+thread_local int open_span_depth = 0;
+
+}  // namespace
+
+Tracer& Tracer::Global() {
+  static Tracer* const tracer = new Tracer();
+  return *tracer;
+}
+
+void Tracer::Enable() {
+  State().epoch_ns.store(NowNanos(), std::memory_order_relaxed);
+  State().enabled.store(true, std::memory_order_release);
+}
+
+void Tracer::Disable() {
+  State().enabled.store(false, std::memory_order_release);
+}
+
+bool Tracer::enabled() const {
+  return State().enabled.load(std::memory_order_acquire);
+}
+
+std::vector<TraceEvent> Tracer::Collect() const {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    TracerState& state = State();
+    MutexLock lock(state.mu);
+    buffers = state.buffers;
+  }
+  std::vector<TraceEvent> events;
+  for (const std::shared_ptr<ThreadBuffer>& buffer : buffers) {
+    MutexLock lock(buffer->mu);
+    const int64_t kept =
+        std::min<int64_t>(buffer->written, Tracer::kRingCapacity);
+    const int64_t oldest = buffer->written - kept;
+    for (int64_t i = oldest; i < buffer->written; ++i) {
+      events.push_back(
+          buffer->ring[static_cast<size_t>(i % Tracer::kRingCapacity)]);
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              return a.thread_index < b.thread_index;
+            });
+  return events;
+}
+
+void Tracer::Clear() {
+  TracerState& state = State();
+  MutexLock lock(state.mu);
+  for (const std::shared_ptr<ThreadBuffer>& buffer : state.buffers) {
+    MutexLock buffer_lock(buffer->mu);
+    buffer->written = 0;
+  }
+}
+
+int64_t Tracer::dropped_events() const {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    TracerState& state = State();
+    MutexLock lock(state.mu);
+    buffers = state.buffers;
+  }
+  int64_t dropped = 0;
+  for (const std::shared_ptr<ThreadBuffer>& buffer : buffers) {
+    MutexLock lock(buffer->mu);
+    if (buffer->written > Tracer::kRingCapacity) {
+      dropped += buffer->written - Tracer::kRingCapacity;
+    }
+  }
+  return dropped;
+}
+
+std::string Tracer::ExportChromeTracing() const {
+  const std::vector<TraceEvent> events = Collect();
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (!first) os << ',';
+    first = false;
+    // Complete ("X") events; chrome://tracing wants microseconds. Nanosecond
+    // remainders are kept as fractions so short spans stay visible.
+    os << "{\"name\":\"" << e.name << "\",\"ph\":\"X\",\"pid\":0,\"tid\":"
+       << e.thread_index << ",\"ts\":" << (e.start_ns / 1000) << '.'
+       << (e.start_ns % 1000) << ",\"dur\":" << (e.duration_ns / 1000) << '.'
+       << (e.duration_ns % 1000) << '}';
+  }
+  os << "]}";
+  return os.str();
+}
+
+TraceSpan::TraceSpan(const char* name)
+    : name_(name),
+      start_ns_(0),
+      recording_(Tracer::Global().enabled()) {
+  if (!recording_) return;
+  ++open_span_depth;
+  // Clamped at 0 so a re-Enable() mid-span cannot yield negative timestamps
+  // (which would break the %-based fraction rendering in the JSON export).
+  start_ns_ = std::max<int64_t>(
+      0, NowNanos() - State().epoch_ns.load(std::memory_order_relaxed));
+}
+
+TraceSpan::~TraceSpan() {
+  if (!recording_) return;
+  --open_span_depth;
+  TraceEvent event;
+  event.name = name_;
+  event.depth = open_span_depth;
+  event.start_ns = start_ns_;
+  event.duration_ns = std::max<int64_t>(
+      0, NowNanos() - State().epoch_ns.load(std::memory_order_relaxed) -
+             start_ns_);
+  ThreadBuffer& buffer = LocalBuffer();
+  event.thread_index = buffer.thread_index;
+  buffer.Append(event);
+}
+
+#else  // !TREESIM_METRICS_ENABLED
+
+Tracer& Tracer::Global() {
+  static Tracer* const tracer = new Tracer();
+  return *tracer;
+}
+
+void Tracer::Enable() {}
+void Tracer::Disable() {}
+bool Tracer::enabled() const { return false; }
+std::vector<TraceEvent> Tracer::Collect() const { return {}; }
+void Tracer::Clear() {}
+int64_t Tracer::dropped_events() const { return 0; }
+std::string Tracer::ExportChromeTracing() const {
+  return "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}";
+}
+
+#endif  // TREESIM_METRICS_ENABLED
+
+}  // namespace treesim

@@ -1,0 +1,131 @@
+#ifndef TREESIM_UTIL_TRACE_H_
+#define TREESIM_UTIL_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+/// Lightweight span tracing for per-query cost attribution. The metrics
+/// registry (util/metrics.h) answers "how much, in total"; a trace answers
+/// "where did THIS query's time go" — which stage, on which thread, nested
+/// how. RTED-style adversarial inputs flip per-stage costs between queries,
+/// so aggregate histograms alone cannot localize a slow query.
+///
+/// Usage:
+///   Tracer::Global().Enable();
+///   { TREESIM_TRACE_SPAN("knn.refine"); ... }         // RAII
+///   std::string json = Tracer::Global().ExportChromeTracing();
+///
+/// Design:
+///   * Recording is off by default; a disabled span costs one relaxed
+///     atomic load.
+///   * Each thread records into its own fixed-size ring buffer (no shared
+///     write path, no allocation after the first span on a thread); the
+///     newest kRingCapacity spans per thread survive, older ones are
+///     dropped and counted.
+///   * Buffers are registered with the global tracer under a mutex and
+///     kept alive by shared_ptr, so spans recorded by threads that have
+///     since exited (e.g. a destroyed ThreadPool) still appear in
+///     Collect().
+///   * Collect() merges all buffers into start-time order;
+///     ExportChromeTracing() renders chrome://tracing / Perfetto "X"
+///     (complete) events.
+///   * Span names must be string literals (the macro enforces this): the
+///     ring stores the pointer, never a copy.
+///
+/// Compile-out: under TREESIM_METRICS=OFF (TREESIM_METRICS_ENABLED=0, see
+/// util/metrics.h) TREESIM_TRACE_SPAN expands to nothing and the tracer
+/// degenerates to a stub that never records.
+
+#ifndef TREESIM_METRICS_ENABLED
+#define TREESIM_METRICS_ENABLED 1
+#endif
+
+namespace treesim {
+
+/// One completed span, recorded at destruction of its TraceSpan.
+struct TraceEvent {
+  /// Span name; a string literal owned by the code, never freed.
+  const char* name = nullptr;
+  /// Dense tracer-assigned thread index (0, 1, ... in registration order).
+  int thread_index = 0;
+  /// Nesting depth within the thread at the time the span opened (0 = top
+  /// level).
+  int depth = 0;
+  /// Start, nanoseconds since the tracer epoch (set at Enable()).
+  int64_t start_ns = 0;
+  /// Duration in nanoseconds.
+  int64_t duration_ns = 0;
+};
+
+class Tracer {
+ public:
+  /// Spans per thread kept in the ring; older spans are dropped (counted in
+  /// dropped_events()).
+  static constexpr int kRingCapacity = 4096;
+
+  static Tracer& Global();
+
+  /// Starts recording and resets the epoch. Does not clear prior events;
+  /// call Clear() first for a fresh trace.
+  void Enable();
+  void Disable();
+  bool enabled() const;
+
+  /// All recorded events from every thread, ascending by (start_ns,
+  /// thread_index). Safe to call while other threads record (their
+  /// in-flight spans may be missed; completed ones are merged).
+  std::vector<TraceEvent> Collect() const;
+
+  /// Drops all recorded events and zeroes the drop counter. Buffers stay
+  /// registered.
+  void Clear();
+
+  /// Events lost to ring wraparound since the last Clear().
+  int64_t dropped_events() const;
+
+  /// chrome://tracing (Trace Event Format) JSON: one "X" complete event per
+  /// span, timestamps in microseconds relative to the tracer epoch. Load in
+  /// chrome://tracing or https://ui.perfetto.dev.
+  std::string ExportChromeTracing() const;
+};
+
+#if TREESIM_METRICS_ENABLED
+
+/// RAII span: records one TraceEvent on the current thread's ring buffer
+/// when destroyed, if the tracer was enabled when it was constructed.
+/// `name` must be a string literal (the macro appends "" to enforce it).
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_;
+  int64_t start_ns_;
+  bool recording_;
+};
+
+#define TREESIM_TRACE_CONCAT_INNER_(a, b) a##b
+#define TREESIM_TRACE_CONCAT_(a, b) TREESIM_TRACE_CONCAT_INNER_(a, b)
+#define TREESIM_TRACE_SPAN(name)                              \
+  const ::treesim::TraceSpan TREESIM_TRACE_CONCAT_(           \
+      treesim_trace_span_, __LINE__)(name "")
+
+#else  // !TREESIM_METRICS_ENABLED
+
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char*) {}
+};
+
+#define TREESIM_TRACE_SPAN(name) static_cast<void>(name "")
+
+#endif  // TREESIM_METRICS_ENABLED
+
+}  // namespace treesim
+
+#endif  // TREESIM_UTIL_TRACE_H_

@@ -1,0 +1,211 @@
+// Metamorphic properties of the distance stack on seeded random trees:
+// relations the paper proves (Theorems 3.2/3.3, Propositions 4.1/4.2,
+// Definition 6 monotonicity) must hold on EVERY input, so instead of golden
+// values we sweep hundreds of random pairs and check the relations
+// themselves. Any violation is a real soundness bug — these are exactly the
+// properties the filter-and-refine engine's correctness rests on.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/binary_branch.h"
+#include "core/branch_profile.h"
+#include "core/positional.h"
+#include "gtest/gtest.h"
+#include "ted/zhang_shasha.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace treesim {
+namespace {
+
+using testing::MakeLabelPool;
+using testing::RandomTree;
+
+constexpr int kPairs = 200;
+constexpr int kMaxSize = 24;
+constexpr uint64_t kSeed = 20050614;
+
+/// One random tree pair plus everything the properties compare.
+struct PairFixture {
+  std::shared_ptr<LabelDictionary> labels;
+  std::vector<Tree> trees;  // 2 per pair (3 for the triangle fixture)
+};
+
+Tree DrawTree(const std::shared_ptr<LabelDictionary>& labels,
+              const std::vector<LabelId>& pool, Rng& rng) {
+  const int size = 1 + static_cast<int>(rng.UniformIndex(kMaxSize));
+  return RandomTree(size, pool, labels, rng);
+}
+
+class MetamorphicTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    labels_ = std::make_shared<LabelDictionary>();
+    pool_ = MakeLabelPool(labels_, 6);
+    rng_ = std::make_unique<Rng>(kSeed);
+  }
+
+  Tree Draw() { return DrawTree(labels_, pool_, *rng_); }
+
+  std::shared_ptr<LabelDictionary> labels_;
+  std::vector<LabelId> pool_;
+  std::unique_ptr<Rng> rng_;
+};
+
+TEST_F(MetamorphicTest, IdentityAndSymmetryOfBranchDistances) {
+  BranchDictionary dict(2);
+  for (int i = 0; i < kPairs; ++i) {
+    const Tree t1 = Draw();
+    const Tree t2 = Draw();
+    const BranchProfile p1 = BranchProfile::FromTree(t1, dict);
+    const BranchProfile p2 = BranchProfile::FromTree(t2, dict);
+    // BDist(T, T) == 0 and PosBDist(T, T, pr) == 0 for every pr.
+    EXPECT_EQ(BranchDistance(p1, p1), 0);
+    EXPECT_EQ(PositionalBranchDistance(p1, p1, 0, MatchingMode::kExact), 0);
+    EXPECT_EQ(PositionalBranchDistance(p1, p1, 2, MatchingMode::kGreedy), 0);
+    // L1 distance and matchings are symmetric in the two profiles.
+    EXPECT_EQ(BranchDistance(p1, p2), BranchDistance(p2, p1));
+    for (const int pr : {0, 1, 3}) {
+      EXPECT_EQ(PositionalBranchDistance(p1, p2, pr, MatchingMode::kExact),
+                PositionalBranchDistance(p2, p1, pr, MatchingMode::kExact));
+    }
+    EXPECT_EQ(OptimisticBound(p1, p2), OptimisticBound(p2, p1));
+  }
+}
+
+TEST_F(MetamorphicTest, EditDistanceIsAMetricOnSamples) {
+  for (int i = 0; i < kPairs / 2; ++i) {
+    const Tree a = Draw();
+    const Tree b = Draw();
+    const Tree c = Draw();
+    const int ab = TreeEditDistance(a, b);
+    const int ba = TreeEditDistance(b, a);
+    const int bc = TreeEditDistance(b, c);
+    const int ac = TreeEditDistance(a, c);
+    EXPECT_EQ(TreeEditDistance(a, a), 0);
+    EXPECT_EQ(ab, ba);
+    EXPECT_GE(ab, 0);
+    // Identity of indiscernibles, one direction: distance 0 on distinct
+    // sizes is impossible (each size difference costs >= 1 operation).
+    if (a.size() != b.size()) {
+      EXPECT_GT(ab, 0);
+    }
+    // Triangle inequality — scripts compose.
+    EXPECT_LE(ac, ab + bc) << "triangle violated at sample " << i;
+    // Size difference is a trivial lower bound.
+    EXPECT_GE(ab, std::abs(a.size() - b.size()));
+  }
+}
+
+TEST_F(MetamorphicTest, BranchLowerBoundNeverExceedsEditDistance) {
+  // Theorem 3.2/3.3: ceil(BDist_q / (4(q-1)+1)) <= EDist, for q = 2 and 3.
+  for (const int q : {2, 3}) {
+    BranchDictionary dict(q);
+    Rng rng(kSeed + static_cast<uint64_t>(q));
+    for (int i = 0; i < kPairs; ++i) {
+      const Tree t1 = DrawTree(labels_, pool_, rng);
+      const Tree t2 = DrawTree(labels_, pool_, rng);
+      const BranchProfile p1 = BranchProfile::FromTree(t1, dict);
+      const BranchProfile p2 = BranchProfile::FromTree(t2, dict);
+      ASSERT_EQ(p1.factor, dict.edit_distance_factor());
+      const int bound = BranchDistanceLowerBound(p1, p2);
+      const int exact = TreeEditDistance(t1, t2);
+      EXPECT_LE(bound, exact)
+          << "q=" << q << " BDist=" << BranchDistance(p1, p2)
+          << " |T1|=" << t1.size() << " |T2|=" << t2.size();
+    }
+  }
+}
+
+TEST_F(MetamorphicTest, PositionalDistanceIsMonotoneInRadius) {
+  BranchDictionary dict(2);
+  for (int i = 0; i < kPairs; ++i) {
+    const Tree t1 = Draw();
+    const Tree t2 = Draw();
+    const BranchProfile p1 = BranchProfile::FromTree(t1, dict);
+    const BranchProfile p2 = BranchProfile::FromTree(t2, dict);
+    const int pr_max = std::max(t1.size(), t2.size());
+    int64_t previous = -1;
+    for (int pr = 0; pr <= pr_max; ++pr) {
+      const int64_t d =
+          PositionalBranchDistance(p1, p2, pr, MatchingMode::kExact);
+      if (previous >= 0) {
+        EXPECT_LE(d, previous) << "PosBDist increased at pr=" << pr;
+      }
+      previous = d;
+    }
+    // Definition 6: with the positional constraint relaxed past every
+    // position difference, PosBDist degenerates to plain BDist.
+    EXPECT_EQ(previous, BranchDistance(p1, p2));
+  }
+}
+
+TEST_F(MetamorphicTest, GreedyMatchingNeverTightensExact) {
+  // kGreedy computes a matching at least as large as kExact, so its
+  // PosBDist is never larger — the sound direction for a lower bound.
+  BranchDictionary dict(2);
+  for (int i = 0; i < kPairs; ++i) {
+    const Tree t1 = Draw();
+    const Tree t2 = Draw();
+    const BranchProfile p1 = BranchProfile::FromTree(t1, dict);
+    const BranchProfile p2 = BranchProfile::FromTree(t2, dict);
+    for (const int pr : {0, 1, 2, 4}) {
+      EXPECT_LE(PositionalBranchDistance(p1, p2, pr, MatchingMode::kGreedy),
+                PositionalBranchDistance(p1, p2, pr, MatchingMode::kExact))
+          << "pr=" << pr;
+    }
+  }
+}
+
+TEST_F(MetamorphicTest, OptimisticBoundIsSoundAndDominates) {
+  // Proposition 4.2: propt <= EDist; and propt dominates both the
+  // non-positional bound and the size-difference bound by construction.
+  BranchDictionary dict(2);
+  for (int i = 0; i < kPairs; ++i) {
+    const Tree t1 = Draw();
+    const Tree t2 = Draw();
+    const BranchProfile p1 = BranchProfile::FromTree(t1, dict);
+    const BranchProfile p2 = BranchProfile::FromTree(t2, dict);
+    const int exact = TreeEditDistance(t1, t2);
+    for (const MatchingMode mode :
+         {MatchingMode::kExact, MatchingMode::kGreedy, MatchingMode::kAuto}) {
+      const int propt = OptimisticBound(p1, p2, mode);
+      EXPECT_LE(propt, exact);
+      EXPECT_GE(propt, BranchDistanceLowerBound(p1, p2));
+      EXPECT_GE(propt, std::abs(t1.size() - t2.size()));
+    }
+  }
+}
+
+TEST_F(MetamorphicTest, RangeFilterNeverPrunesTrueResults) {
+  // Section 4.3 completeness: EDist <= tau implies the filter passes. (The
+  // converse would be tightness, which the filter does not promise.)
+  BranchDictionary dict(2);
+  for (int i = 0; i < kPairs; ++i) {
+    const Tree t1 = Draw();
+    const Tree t2 = Draw();
+    const BranchProfile p1 = BranchProfile::FromTree(t1, dict);
+    const BranchProfile p2 = BranchProfile::FromTree(t2, dict);
+    const int exact = TreeEditDistance(t1, t2);
+    for (const int tau : {exact, exact + 1, exact + 5}) {
+      EXPECT_TRUE(RangeFilterPasses(p1, p2, tau, MatchingMode::kExact))
+          << "EDist=" << exact << " tau=" << tau;
+      EXPECT_TRUE(RangeFilterPasses(p1, p2, tau, MatchingMode::kGreedy))
+          << "EDist=" << exact << " tau=" << tau;
+    }
+    // Consistency with the binary search: propt <= tau iff the single
+    // evaluation passes.
+    const int propt = OptimisticBound(p1, p2, MatchingMode::kGreedy);
+    EXPECT_TRUE(RangeFilterPasses(p1, p2, propt, MatchingMode::kGreedy));
+    if (propt > 0) {
+      EXPECT_FALSE(RangeFilterPasses(p1, p2, propt - 1, MatchingMode::kGreedy))
+          << "propt=" << propt;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace treesim

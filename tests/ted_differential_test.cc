@@ -1,0 +1,178 @@
+// Differential tests for the production Zhang–Shasha implementation: an
+// independent O(n^4) memoized oracle (ted/naive_ted.h) must agree with it
+// on random pairs and on the adversarial shapes that stress the keyroot
+// decomposition (spines, combs, stars — extreme depth/leaves mixes). The
+// mapping and script layers are cross-checked against the distance on the
+// same inputs: an optimal mapping costs exactly EDist and a synthesized
+// script has exactly that many operations.
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "ted/edit_mapping.h"
+#include "ted/edit_script_synthesis.h"
+#include "ted/naive_ted.h"
+#include "ted/zhang_shasha.h"
+#include "test_util.h"
+#include "tree/tree.h"
+#include "util/random.h"
+
+namespace treesim {
+namespace {
+
+using testing::MakeLabelPool;
+using testing::RandomTree;
+
+constexpr uint64_t kSeed = 1989;  // Zhang & Shasha publication year
+
+/// Checks every layer against the oracle on one pair.
+void CheckPair(const Tree& t1, const Tree& t2) {
+  const int naive = NaiveTreeEditDistance(t1, t2);
+  const int zs = TreeEditDistance(t1, t2);
+  ASSERT_EQ(zs, naive) << "|T1|=" << t1.size() << " |T2|=" << t2.size();
+
+  const EditMapping mapping = ComputeEditMapping(t1, t2);
+  EXPECT_EQ(mapping.cost, zs);
+  EXPECT_EQ(ValidateEditMapping(t1, t2, mapping), "");
+  EXPECT_EQ(mapping.cost,
+            mapping.relabels + mapping.deletions + mapping.insertions);
+
+  const StatusOr<std::vector<EditOperation>> script =
+      ComputeEditScript(t1, t2);
+  if (script.ok()) {
+    EXPECT_EQ(static_cast<int>(script.value().size()), zs);
+  } else {
+    // The operation set cannot touch roots (edit_script_synthesis.h);
+    // any other failure is a bug.
+    EXPECT_EQ(script.status().code(), StatusCode::kUnimplemented)
+        << script.status();
+  }
+}
+
+TEST(TedDifferentialTest, RandomPairsAgreeWithNaiveOracle) {
+  auto labels = std::make_shared<LabelDictionary>();
+  const std::vector<LabelId> pool = MakeLabelPool(labels, 4);
+  Rng rng(kSeed);
+  for (int i = 0; i < 150; ++i) {
+    const int size1 = 1 + static_cast<int>(rng.UniformIndex(12));
+    const int size2 = 1 + static_cast<int>(rng.UniformIndex(12));
+    CheckPair(RandomTree(size1, pool, labels, rng),
+              RandomTree(size2, pool, labels, rng));
+  }
+}
+
+TEST(TedDifferentialTest, SingleLabelPairsAgree) {
+  // Label-free agreement isolates the structural part of the recurrence
+  // (all relabels are free, only insert/delete cost).
+  auto labels = std::make_shared<LabelDictionary>();
+  const std::vector<LabelId> pool = MakeLabelPool(labels, 1);
+  Rng rng(kSeed + 1);
+  for (int i = 0; i < 60; ++i) {
+    const int size1 = 1 + static_cast<int>(rng.UniformIndex(10));
+    const int size2 = 1 + static_cast<int>(rng.UniformIndex(10));
+    CheckPair(RandomTree(size1, pool, labels, rng),
+              RandomTree(size2, pool, labels, rng));
+  }
+}
+
+/// A chain of `size` nodes (each node the only child of the previous) —
+/// maximal depth, a single keyroot path.
+Tree Spine(int size, const std::vector<LabelId>& pool,
+           const std::shared_ptr<LabelDictionary>& labels) {
+  TreeBuilder builder(labels);
+  builder.AddRootId(pool[0]);
+  for (int i = 1; i < size; ++i) {
+    builder.AddChildId(static_cast<NodeId>(i - 1),
+                       pool[static_cast<size_t>(i) % pool.size()]);
+  }
+  return std::move(builder).Build();
+}
+
+/// A root with `size - 1` leaf children — maximal fanout, every child a
+/// keyroot except the first.
+Tree Star(int size, const std::vector<LabelId>& pool,
+          const std::shared_ptr<LabelDictionary>& labels) {
+  TreeBuilder builder(labels);
+  builder.AddRootId(pool[0]);
+  for (int i = 1; i < size; ++i) {
+    builder.AddChildId(0, pool[static_cast<size_t>(i) % pool.size()]);
+  }
+  return std::move(builder).Build();
+}
+
+/// A spine whose every node also carries one leaf — depth AND leaves both
+/// linear in size (worst case for min(depth, leaves) based bounds).
+Tree Comb(int teeth, const std::vector<LabelId>& pool,
+          const std::shared_ptr<LabelDictionary>& labels) {
+  TreeBuilder builder(labels);
+  builder.AddRootId(pool[0]);
+  NodeId spine = 0;
+  for (int i = 0; i < teeth; ++i) {
+    builder.AddChildId(spine, pool[1 % pool.size()]);
+    spine = builder.AddChildId(spine, pool[static_cast<size_t>(i + 2) %
+                                           pool.size()]);
+  }
+  return std::move(builder).Build();
+}
+
+TEST(TedDifferentialTest, AdversarialShapesAgreeWithNaiveOracle) {
+  auto labels = std::make_shared<LabelDictionary>();
+  const std::vector<LabelId> pool = MakeLabelPool(labels, 3);
+  const std::vector<Tree> shapes = [&] {
+    std::vector<Tree> s;
+    s.push_back(Spine(10, pool, labels));
+    s.push_back(Spine(7, pool, labels));
+    s.push_back(Star(10, pool, labels));
+    s.push_back(Star(6, pool, labels));
+    s.push_back(Comb(4, pool, labels));  // 9 nodes
+    s.push_back(Comb(5, pool, labels));  // 11 nodes
+    return s;
+  }();
+  for (size_t i = 0; i < shapes.size(); ++i) {
+    for (size_t j = 0; j < shapes.size(); ++j) {
+      CheckPair(shapes[i], shapes[j]);
+    }
+  }
+}
+
+TEST(TedDifferentialTest, ShapeVersusRandomAgree) {
+  auto labels = std::make_shared<LabelDictionary>();
+  const std::vector<LabelId> pool = MakeLabelPool(labels, 3);
+  Rng rng(kSeed + 2);
+  for (int i = 0; i < 20; ++i) {
+    const Tree random =
+        RandomTree(1 + static_cast<int>(rng.UniformIndex(11)), pool, labels,
+                   rng);
+    CheckPair(Spine(8, pool, labels), random);
+    CheckPair(Star(8, pool, labels), random);
+    CheckPair(Comb(3, pool, labels), random);
+  }
+}
+
+TEST(TedDifferentialTest, PrecomputedViewMatchesConvenienceOverload) {
+  // TedTree::FromTree is the per-database precomputation path the search
+  // engine uses; it must agree with the build-both-views overload.
+  auto labels = std::make_shared<LabelDictionary>();
+  const std::vector<LabelId> pool = MakeLabelPool(labels, 3);
+  Rng rng(kSeed + 3);
+  for (int i = 0; i < 40; ++i) {
+    const Tree t1 =
+        RandomTree(1 + static_cast<int>(rng.UniformIndex(12)), pool, labels,
+                   rng);
+    const Tree t2 =
+        RandomTree(1 + static_cast<int>(rng.UniformIndex(12)), pool, labels,
+                   rng);
+    const TedTree v1 = TedTree::FromTree(t1);
+    const TedTree v2 = TedTree::FromTree(t2);
+    EXPECT_EQ(TreeEditDistance(v1, v2), TreeEditDistance(t1, t2));
+    // The distance matrix's final entry is the overall distance.
+    const std::vector<int> matrix = TreeDistanceMatrix(v1, v2);
+    ASSERT_EQ(matrix.size(),
+              static_cast<size_t>(v1.size()) * static_cast<size_t>(v2.size()));
+    EXPECT_EQ(matrix.back(), TreeEditDistance(t1, t2));
+  }
+}
+
+}  // namespace
+}  // namespace treesim

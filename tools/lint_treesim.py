@@ -24,6 +24,13 @@ Checks, over ``src/`` (and headers under ``fuzz/`` if any appear):
               which carry the Clang thread-safety annotations; a raw
               primitive is invisible to the analysis. This rule also scans
               ``tools/`` and ``bench/``.
+  chrono      No ``std::chrono`` / ``<chrono>`` outside ``src/util/`` and
+              ``bench/`` — ad-hoc timing bypasses the observability layer.
+              Time stages with util/stopwatch.h and record the result into
+              a util/metrics.h histogram (or wrap the stage in a
+              TREESIM_TRACE_SPAN), so every measurement lands in the
+              registry and compiles out under TREESIM_METRICS=OFF. This
+              rule also scans ``tools/``.
 
 Exit status 0 when clean, 1 when any finding is reported. Run from
 anywhere: paths are resolved relative to the repo root.
@@ -178,6 +185,25 @@ class Linter:
                             "or ThreadPool (util/thread_pool.h) so the Clang "
                             "thread-safety analysis sees the lock")
 
+    # ---- chrono ---------------------------------------------------------
+
+    CHRONO_RE = re.compile(r"\bstd\s*::\s*chrono\b|#\s*include\s*<chrono>")
+
+    def check_chrono(self, path: pathlib.Path, lines: list[str]) -> None:
+        if path.is_relative_to(SRC_ROOT / "util"):
+            return  # Stopwatch and the tracer clock live here
+        if path.is_relative_to(REPO_ROOT / "bench"):
+            return  # wall-clock harness timing is the benches' job
+        for i, raw in enumerate(lines, start=1):
+            line = strip_comments_and_strings(raw)
+            if self.CHRONO_RE.search(line):
+                self.report(path, i, "chrono",
+                            "std::chrono outside src/util/ and bench/; time "
+                            "with util/stopwatch.h and record into a "
+                            "util/metrics.h histogram or TREESIM_TRACE_SPAN "
+                            "so the measurement compiles out with "
+                            "TREESIM_METRICS=OFF")
+
     # ---- nodiscard ------------------------------------------------------
 
     def check_status_nodiscard(self) -> None:
@@ -284,6 +310,7 @@ class Linter:
                         encoding="utf-8").splitlines()
         for path, lines in sync_files.items():
             self.check_raw_sync(path, lines)
+            self.check_chrono(path, lines)
 
         if self.findings:
             for finding in self.findings:

@@ -37,7 +37,9 @@
 #include "tree/forest_io.h"
 #include "tree/traversal.h"
 #include "util/flags.h"
+#include "util/metrics.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 #include "xml/xml_corpus.h"
 
 namespace treesim {
@@ -69,7 +71,14 @@ int Usage() {
                "\n"
                "TREE arguments use bracket notation, e.g. 'a{b{c d} e}'.\n"
                "--threads=0 uses every hardware thread; results are\n"
-               "identical for any thread count.\n");
+               "identical for any thread count.\n"
+               "\n"
+               "observability (any command):\n"
+               "  --metrics=text|json   dump every pipeline counter, gauge\n"
+               "                        and histogram to stdout on exit\n"
+               "  --trace=FILE          record per-stage spans and write\n"
+               "                        chrome://tracing JSON to FILE\n"
+               "(no-ops when built with -DTREESIM_METRICS=OFF)\n");
   return 2;
 }
 
@@ -374,10 +383,7 @@ int CmdCluster(const FlagParser& flags) {
   return 0;
 }
 
-int Main(int argc, char** argv) {
-  if (argc < 2) return Usage();
-  const std::string command = argv[1];
-  const FlagParser flags(argc - 1, argv + 1);
+int Dispatch(const std::string& command, const FlagParser& flags) {
   if (command == "generate") return CmdGenerate(flags);
   if (command == "import") return CmdImport(flags);
   if (command == "stats") return CmdStats(flags);
@@ -389,6 +395,64 @@ int Main(int argc, char** argv) {
   if (command == "join") return CmdJoin(flags);
   if (command == "cluster") return CmdCluster(flags);
   return Usage();
+}
+
+/// Dumps the registry after the command so the numbers cover everything the
+/// run did (index build included). JSON goes out as one line, parseable by
+/// scripts; text gets a separator so it reads apart from command output.
+int DumpMetrics(const std::string& mode) {
+  const MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  if (mode == "json") {
+    std::printf("%s\n", snap.ToJson().c_str());
+    return 0;
+  }
+  if (mode == "text") {
+    std::printf("== metrics ==\n%s", snap.ToText().c_str());
+    return 0;
+  }
+  std::fprintf(stderr, "unknown --metrics mode '%s' (want text|json)\n",
+               mode.c_str());
+  return 2;
+}
+
+int WriteTrace(const std::string& path) {
+  Tracer::Global().Disable();
+  const std::string json = Tracer::Global().ExportChromeTracing();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write trace file %s\n", path.c_str());
+    return 1;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  const int64_t dropped = Tracer::Global().dropped_events();
+  std::string dropped_note;
+  if (dropped > 0) {
+    dropped_note = ", " + std::to_string(dropped) +
+                   " spans dropped to ring wraparound";
+  }
+  std::fprintf(stderr, "wrote %s (%zu bytes%s)\n", path.c_str(), json.size(),
+               dropped_note.c_str());
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  const FlagParser flags(argc - 1, argv + 1);
+  const std::string metrics_mode = flags.GetString("metrics", "");
+  const std::string trace_path = flags.GetString("trace", "");
+  if (!trace_path.empty()) Tracer::Global().Enable();
+  const int code = Dispatch(command, flags);
+  if (!trace_path.empty()) {
+    const int trace_code = WriteTrace(trace_path);
+    if (code == 0 && trace_code != 0) return trace_code;
+  }
+  if (!metrics_mode.empty()) {
+    const int metrics_code = DumpMetrics(metrics_mode);
+    if (code == 0 && metrics_code != 0) return metrics_code;
+  }
+  return code;
 }
 
 }  // namespace
