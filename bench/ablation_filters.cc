@@ -61,7 +61,7 @@ const NamedFilter kFilters[] = {
 };
 
 void RunDataset(const char* dataset_name, const TreeDatabase& db,
-                int queries, int tau, int k) {
+                int queries, int tau, int k, BenchReport& report) {
   std::printf("--- %s: %d trees, avg size %.1f | range tau=%d, %d-NN, "
               "%d queries ---\n",
               dataset_name, db.size(), db.AverageTreeSize(), tau, k, queries);
@@ -82,40 +82,57 @@ void RunDataset(const char* dataset_name, const TreeDatabase& db,
                 100.0 * range_total.AccessedFraction(),
                 100.0 * knn_total.AccessedFraction(),
                 range_total.TotalSeconds(), knn_total.TotalSeconds());
+    JsonObject stats;
+    stats.Raw("range", QueryStatsJson(range_total))
+        .Raw("knn", QueryStatsJson(knn_total));
+    report.AddPoint()
+        .Str("label", nf.label)
+        .Str("dataset", dataset_name)
+        .Int("queries", queries)
+        .Int("tau", tau)
+        .Int("k", k)
+        .Double("range_pct", 100.0 * range_total.AccessedFraction())
+        .Double("knn_pct", 100.0 * knn_total.AccessedFraction())
+        .Double("range_cpu_seconds", range_total.TotalSeconds())
+        .Double("knn_cpu_seconds", knn_total.TotalSeconds())
+        .Raw("stats", stats.Render());
   }
   std::printf("\n");
 }
 
 int Main(int argc, char** argv) {
   FlagParser flags(argc, argv);
-  const int trees = static_cast<int>(flags.GetInt("trees", 800));
-  const int queries = static_cast<int>(flags.GetInt("queries", 8));
-  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  const CommonFlags common = ParseCommonFlags(flags, 800, 8);
+  if (!ApplyQueryLogFlags(common)) return 1;
+  const int trees = common.trees;
+  const int queries = common.queries;
+  BenchReport report("ablation_filters");
+  ReportCommonConfig(common, report);
   std::printf("=== Ablation: filter comparison (incl. related-work "
               "baselines) ===\n");
 
   {
     auto labels = std::make_shared<LabelDictionary>();
     SyntheticParams params;  // the paper's default N{4,0.5}N{50,2}L8D0.05
-    SyntheticGenerator gen(params, labels, seed);
+    SyntheticGenerator gen(params, labels, common.seed);
     auto db = MakeDatabase(labels, gen.GenerateDataset(trees));
     Rng rng(9);
     const int tau =
         static_cast<int>(db->EstimateAverageDistance(rng, 200) / 5);
     RunDataset("synthetic N{4,0.5}N{50,2}L8", *db, queries, tau,
-               std::max(1, trees / 400));
+               std::max(1, trees / 400), report);
   }
   {
     auto labels = std::make_shared<LabelDictionary>();
-    DblpGenerator gen(DblpParams{}, labels, seed);
+    DblpGenerator gen(DblpParams{}, labels, common.seed);
     auto db = MakeDatabase(labels, gen.Generate(trees));
     RunDataset("DBLP-like", *db, queries, /*tau=*/2,
-               std::max(1, trees / 400));
+               std::max(1, trees / 400), report);
   }
   std::printf("expected: positional BiBranch tightest overall; SeqED tight "
               "but with by far the largest filter CPU (quadratic per pair); "
               "SeqQGram cheap but loose\n\n");
-  return 0;
+  return report.WriteIfRequested(common.json_path) ? 0 : 1;
 }
 
 }  // namespace

@@ -18,16 +18,20 @@ namespace {
 
 int Main(int argc, char** argv) {
   FlagParser flags(argc, argv);
-  const int trees = static_cast<int>(flags.GetInt("trees", 800));
-  const int queries = static_cast<int>(flags.GetInt("queries", 12));
+  const CommonFlags common = ParseCommonFlags(flags, 800, 12);
+  if (!ApplyQueryLogFlags(common)) return 1;
+  const int trees = common.trees;
+  const int queries = common.queries;
   const int k = static_cast<int>(flags.GetInt("k", 5));
-  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  BenchReport report("ablation_histogram_budget");
+  ReportCommonConfig(common, report);
+  report.config().Int("k", k);
   std::printf("=== Ablation: histogram filter space budget (DBLP-like, "
               "%d-NN) ===\n",
               k);
 
   auto labels = std::make_shared<LabelDictionary>();
-  DblpGenerator gen(DblpParams{}, labels, seed);
+  DblpGenerator gen(DblpParams{}, labels, common.seed);
   auto db = MakeDatabase(labels, gen.Generate(trees));
 
   const HistogramFilter::Options equal_space =
@@ -48,6 +52,13 @@ int Main(int argc, char** argv) {
     }
     std::printf("  %-28s accessed%%=%-8.3f\n", label,
                 100.0 * total.AccessedFraction());
+    report.AddPoint()
+        .Str("label", label)
+        .Int("queries", queries)
+        .Int("k", k)
+        .Double("accessed_pct", 100.0 * total.AccessedFraction())
+        .Double("cpu_seconds", total.TotalSeconds())
+        .Raw("stats", QueryStatsJson(total));
   };
 
   for (const int buckets : {4, 8, 16, 32, 64, 0}) {
@@ -68,7 +79,7 @@ int Main(int argc, char** argv) {
   run("BiBranch(2) positional", std::make_unique<BiBranchFilter>());
   std::printf("expected: Histo strengthens with budget; BiBranch beats the "
               "equal-space configuration the paper's comparison uses\n\n");
-  return 0;
+  return report.WriteIfRequested(common.json_path) ? 0 : 1;
 }
 
 }  // namespace

@@ -1,0 +1,94 @@
+#ifndef TREESIM_BENCH_BENCH_REPORT_H_
+#define TREESIM_BENCH_BENCH_REPORT_H_
+
+// Canonical machine-readable bench output. Every figure/ablation/micro
+// binary accepts `--json=FILE` and writes one report in this schema:
+//
+//   {
+//     "schema_version": 1,
+//     "benchmark": "<binary name>",
+//     "build": {"git_sha": "...", "git_dirty": false,
+//               "build_type": "Release", "compiler": "GNU 13.2.0",
+//               "metrics_enabled": true},
+//     "config": { ...flag values the run used... },
+//     "points": [ { "label": "...", "x": 2.0, ...measures... ,
+//                   "stats": {...}, "metrics": {...} }, ... ]
+//   }
+//
+// `tools/run_benchmarks.py` merges the per-binary reports into
+// BENCH_treesim.json at the repo root; `tools/bench_compare.py` diffs two
+// such files with per-metric noise thresholds (the regression gate).
+//
+// Values are rendered to JSON text on append (same approach as
+// util/structured_log.h), so the builder needs no variant type and the
+// schema is exactly what the call sites say, in call order.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "search/query_stats.h"
+#include "util/metrics.h"
+#include "util/status.h"
+
+namespace treesim {
+namespace bench {
+
+/// Ordered key -> pre-rendered-JSON-value map; nests via Raw().
+class JsonObject {
+ public:
+  JsonObject& Str(const std::string& key, std::string_view value);
+  JsonObject& Int(const std::string& key, int64_t value);
+  JsonObject& Double(const std::string& key, double value);
+  JsonObject& Bool(const std::string& key, bool value);
+  /// Embeds `json` verbatim — for pre-rendered values such as
+  /// MetricsSnapshot::ToJson() or a nested JsonObject::Render().
+  JsonObject& Raw(const std::string& key, std::string json);
+
+  /// `{"k":v,...}` in append order. Appending the same key twice emits it
+  /// twice — callers own key uniqueness.
+  std::string Render() const;
+
+  bool empty() const { return fields_.empty(); }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// Canonical JSON encoding of one query workload's QueryStats.
+std::string QueryStatsJson(const QueryStats& stats);
+
+/// One benchmark run: build provenance is captured automatically
+/// (bench_report.cc compiles in the CMake-generated util/build_info.h).
+class BenchReport {
+ public:
+  explicit BenchReport(std::string benchmark_name);
+
+  /// The flag/config values the run used (rendered under "config").
+  JsonObject& config() { return config_; }
+
+  /// Appends a sweep point and returns it for the caller to fill.
+  JsonObject& AddPoint();
+
+  /// The whole report as one JSON document.
+  std::string Render() const;
+
+  /// Writes Render() to `path` (truncating).
+  Status WriteFile(const std::string& path) const;
+
+  /// Convenience for the `--json=FILE` contract: no-op when `path` is
+  /// empty; on failure prints the status to stderr and returns false.
+  bool WriteIfRequested(const std::string& path) const;
+
+ private:
+  std::string name_;
+  JsonObject config_;
+  std::vector<JsonObject> points_;
+};
+
+}  // namespace bench
+}  // namespace treesim
+
+#endif  // TREESIM_BENCH_BENCH_REPORT_H_

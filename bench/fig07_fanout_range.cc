@@ -15,14 +15,15 @@ namespace {
 
 int Main(int argc, char** argv) {
   FlagParser flags(argc, argv);
-  const int trees = static_cast<int>(flags.GetInt("trees", 2000));
-  const int queries = static_cast<int>(flags.GetInt("queries", 10));
-  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  const CommonFlags common = ParseCommonFlags(flags);
+  if (!ApplyQueryLogFlags(common)) return 1;
+  BenchReport report("fig07_fanout_range");
+  ReportCommonConfig(common, report);
 
   PrintFigureHeader("Figure 7", "range queries, sensitivity to fanout",
                     "range, tau = avgDist/5, dataset N{f,0.5}N{50,2}L8D0.05, " +
-                        std::to_string(trees) + " trees",
-                    queries);
+                        std::to_string(common.trees) + " trees",
+                    common.queries);
   for (const double fanout : {2.0, 4.0, 6.0, 8.0}) {
     auto labels = std::make_shared<LabelDictionary>();
     SyntheticParams params;
@@ -32,20 +33,22 @@ int Main(int argc, char** argv) {
     params.size_stddev = 2;
     params.label_count = 8;
     params.decay = 0.05;
-    SyntheticGenerator gen(params, labels, seed);
-    auto db = MakeDatabase(labels, gen.GenerateDataset(trees));
+    SyntheticGenerator gen(params, labels, common.seed);
+    auto db = MakeDatabase(labels, gen.GenerateDataset(common.trees));
 
     WorkloadConfig config;
-    config.threads = static_cast<int>(flags.GetInt("threads", 1));
+    config.threads = common.threads;
     config.kind = WorkloadKind::kRange;
-    config.queries = queries;
+    config.queries = common.queries;
     config.tau_fraction = 0.2;
     const WorkloadResult r = RunWorkload(*db, config);
     PrintSweepRow("fanout", fanout, WorkloadKind::kRange, r);
+    ReportSweepPoint("fanout", fanout, WorkloadKind::kRange, config.queries,
+                     r, report);
   }
   std::printf("expected shape: BiBranch%% << Histo%%, both peak at fanout 2; "
               "BiBranchCPU << SeqCPU\n\n");
-  return 0;
+  return report.WriteIfRequested(common.json_path) ? 0 : 1;
 }
 
 }  // namespace

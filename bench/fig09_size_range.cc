@@ -24,14 +24,17 @@ int DefaultQueries(int size_mean) {
 
 int Main(int argc, char** argv) {
   FlagParser flags(argc, argv);
-  const int trees = static_cast<int>(flags.GetInt("trees", 2000));
-  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  // -1 = per-size default (DefaultQueries above).
+  const CommonFlags common = ParseCommonFlags(flags, 2000, -1);
+  if (!ApplyQueryLogFlags(common)) return 1;
+  BenchReport report("fig09_size_range");
+  ReportCommonConfig(common, report);
 
   PrintFigureHeader(
       "Figure 9", "range queries, sensitivity to tree size",
       "range, tau = avgDist/5, dataset N{4,0.5}N{s,2}L8D0.05, " +
-          std::to_string(trees) + " trees",
-      static_cast<int>(flags.GetInt("queries", -1)));
+          std::to_string(common.trees) + " trees",
+      common.queries);
   for (const int size : {25, 50, 75, 125}) {
     auto labels = std::make_shared<LabelDictionary>();
     SyntheticParams params;
@@ -41,22 +44,24 @@ int Main(int argc, char** argv) {
     params.size_stddev = 2;
     params.label_count = 8;
     params.decay = 0.05;
-    SyntheticGenerator gen(params, labels, seed);
-    auto db = MakeDatabase(labels, gen.GenerateDataset(trees));
+    SyntheticGenerator gen(params, labels, common.seed);
+    auto db = MakeDatabase(labels, gen.GenerateDataset(common.trees));
 
     WorkloadConfig config;
-    config.threads = static_cast<int>(flags.GetInt("threads", 1));
+    config.threads = common.threads;
     config.kind = WorkloadKind::kRange;
-    config.queries = static_cast<int>(
-        flags.GetInt("queries", DefaultQueries(size)));
+    config.queries =
+        common.queries > 0 ? common.queries : DefaultQueries(size);
     config.tau_fraction = 0.2;
     const WorkloadResult r = RunWorkload(*db, config);
     PrintSweepRow("size", size, WorkloadKind::kRange, r);
+    ReportSweepPoint("size", size, WorkloadKind::kRange, config.queries, r,
+                     report);
   }
   std::printf("expected shape: BiBranch%% ~= result%% for every size; "
               "Histo%%/BiBranch%% grows with size (up to ~70x at 125); "
               "SeqCPU grows quadratically\n\n");
-  return 0;
+  return report.WriteIfRequested(common.json_path) ? 0 : 1;
 }
 
 }  // namespace

@@ -10,14 +10,15 @@ namespace {
 
 int Main(int argc, char** argv) {
   FlagParser flags(argc, argv);
-  const int trees = static_cast<int>(flags.GetInt("trees", 2000));
-  const int queries = static_cast<int>(flags.GetInt("queries", 8));
-  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  const CommonFlags common = ParseCommonFlags(flags, 2000, 8);
+  if (!ApplyQueryLogFlags(common)) return 1;
+  BenchReport report("fig12_labels_knn");
+  ReportCommonConfig(common, report);
 
   PrintFigureHeader("Figure 12", "k-NN queries, sensitivity to label count",
                     "k-NN, k = 0.25% of |D|, dataset N{4,0.5}N{50,2}L{y}D0.05, " +
-                        std::to_string(trees) + " trees",
-                    queries);
+                        std::to_string(common.trees) + " trees",
+                    common.queries);
   for (const int label_count : {8, 16, 32, 64}) {
     auto labels = std::make_shared<LabelDictionary>();
     SyntheticParams params;
@@ -27,19 +28,21 @@ int Main(int argc, char** argv) {
     params.size_stddev = 2;
     params.label_count = label_count;
     params.decay = 0.05;
-    SyntheticGenerator gen(params, labels, seed);
-    auto db = MakeDatabase(labels, gen.GenerateDataset(trees));
+    SyntheticGenerator gen(params, labels, common.seed);
+    auto db = MakeDatabase(labels, gen.GenerateDataset(common.trees));
 
     WorkloadConfig config;
-    config.threads = static_cast<int>(flags.GetInt("threads", 1));
+    config.threads = common.threads;
     config.kind = WorkloadKind::kKnn;
-    config.queries = queries;
+    config.queries = common.queries;
     config.k_fraction = 0.0025;
     const WorkloadResult r = RunWorkload(*db, config);
     PrintSweepRow("labels", label_count, WorkloadKind::kKnn, r);
+    ReportSweepPoint("labels", label_count, WorkloadKind::kKnn,
+                     config.queries, r, report);
   }
   std::printf("expected shape: BiBranch%% << Histo%% at every label count\n\n");
-  return 0;
+  return report.WriteIfRequested(common.json_path) ? 0 : 1;
 }
 
 }  // namespace

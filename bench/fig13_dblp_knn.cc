@@ -18,17 +18,18 @@ namespace {
 
 int Main(int argc, char** argv) {
   FlagParser flags(argc, argv);
-  const int trees = static_cast<int>(flags.GetInt("trees", 2000));
-  const int queries = static_cast<int>(flags.GetInt("queries", 50));
-  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  const CommonFlags common = ParseCommonFlags(flags, 2000, 50);
+  if (!ApplyQueryLogFlags(common)) return 1;
+  BenchReport report("fig13_dblp_knn");
+  ReportCommonConfig(common, report);
 
   PrintFigureHeader("Figure 13", "k-NN searches on DBLP(-like) data",
-                    "k-NN, k in {5..20}, " + std::to_string(trees) +
+                    "k-NN, k in {5..20}, " + std::to_string(common.trees) +
                         " bibliographic records",
-                    queries);
+                    common.queries);
   auto labels = std::make_shared<LabelDictionary>();
-  DblpGenerator gen(DblpParams{}, labels, seed);
-  auto db = MakeDatabase(labels, gen.Generate(trees));
+  DblpGenerator gen(DblpParams{}, labels, common.seed);
+  auto db = MakeDatabase(labels, gen.Generate(common.trees));
 
   double depth_total = 0;
   for (int i = 0; i < db->size(); ++i) {
@@ -40,9 +41,9 @@ int Main(int argc, char** argv) {
 
   for (const int k : {5, 7, 10, 12, 15, 17, 20}) {
     WorkloadConfig config;
-    config.threads = static_cast<int>(flags.GetInt("threads", 1));
+    config.threads = common.threads;
     config.kind = WorkloadKind::kKnn;
-    config.queries = queries;
+    config.queries = common.queries;
     config.fixed_k = k;
     config.seed = 20050614 + static_cast<uint64_t>(k);
     const WorkloadResult r = RunWorkload(*db, config);
@@ -50,10 +51,11 @@ int Main(int argc, char** argv) {
                 "Histo%%=%-8.3f BiBranchCPU=%-8.4fs SeqCPU=%-8.4fs\n",
                 k, r.avg_distance, r.result_pct, r.bibranch_pct, r.histo_pct,
                 r.bibranch_cpu, r.sequential_cpu);
+    ReportSweepPoint("k", k, WorkloadKind::kKnn, config.queries, r, report);
   }
   std::printf("expected shape: BiBranch%% 1-3x below Histo%%; BiBranchCPU "
               "around 1/6 of SeqCPU\n\n");
-  return 0;
+  return report.WriteIfRequested(common.json_path) ? 0 : 1;
 }
 
 }  // namespace

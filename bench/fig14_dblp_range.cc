@@ -15,23 +15,24 @@ namespace {
 
 int Main(int argc, char** argv) {
   FlagParser flags(argc, argv);
-  const int trees = static_cast<int>(flags.GetInt("trees", 2000));
-  const int queries = static_cast<int>(flags.GetInt("queries", 50));
-  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  const CommonFlags common = ParseCommonFlags(flags, 2000, 50);
+  if (!ApplyQueryLogFlags(common)) return 1;
+  BenchReport report("fig14_dblp_range");
+  ReportCommonConfig(common, report);
 
   PrintFigureHeader("Figure 14", "range searches on DBLP(-like) data",
-                    "range, tau in {1..10}, " + std::to_string(trees) +
+                    "range, tau in {1..10}, " + std::to_string(common.trees) +
                         " bibliographic records",
-                    queries);
+                    common.queries);
   auto labels = std::make_shared<LabelDictionary>();
-  DblpGenerator gen(DblpParams{}, labels, seed);
-  auto db = MakeDatabase(labels, gen.Generate(trees));
+  DblpGenerator gen(DblpParams{}, labels, common.seed);
+  auto db = MakeDatabase(labels, gen.Generate(common.trees));
 
   for (const int tau : {1, 2, 3, 4, 5, 7, 10}) {
     WorkloadConfig config;
-    config.threads = static_cast<int>(flags.GetInt("threads", 1));
+    config.threads = common.threads;
     config.kind = WorkloadKind::kRange;
-    config.queries = queries;
+    config.queries = common.queries;
     config.fixed_tau = tau;
     config.seed = 20050614 + static_cast<uint64_t>(tau);
     const WorkloadResult r = RunWorkload(*db, config);
@@ -39,11 +40,13 @@ int Main(int argc, char** argv) {
                 "Histo%%=%-8.3f BiBranchCPU=%-8.4fs SeqCPU=%-8.4fs\n",
                 tau, r.avg_distance, r.result_pct, r.bibranch_pct,
                 r.histo_pct, r.bibranch_cpu, r.sequential_cpu);
+    ReportSweepPoint("tau", tau, WorkloadKind::kRange, config.queries, r,
+                     report);
   }
   std::printf("expected shape: BiBranch%% < Histo%% for tau below the "
               "average distance; gap narrows as tau -> 10 (result set is "
               "nearly everything)\n\n");
-  return 0;
+  return report.WriteIfRequested(common.json_path) ? 0 : 1;
 }
 
 }  // namespace

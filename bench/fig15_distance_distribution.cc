@@ -23,17 +23,21 @@ namespace {
 
 int Main(int argc, char** argv) {
   FlagParser flags(argc, argv);
-  const int trees = static_cast<int>(flags.GetInt("trees", 2000));
-  const int queries = static_cast<int>(flags.GetInt("queries", 40));
+  const CommonFlags common = ParseCommonFlags(flags, 2000, 40);
+  if (!ApplyQueryLogFlags(common)) return 1;
+  const int trees = common.trees;
+  const int queries = common.queries;
   const int max_distance = static_cast<int>(flags.GetInt("max_distance", 12));
-  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  BenchReport report("fig15_distance_distribution");
+  ReportCommonConfig(common, report);
+  report.config().Int("max_distance", max_distance);
 
   PrintFigureHeader("Figure 15",
                     "data distribution on distance (DBLP-like)",
                     "cumulative % of data within distance d per measure",
                     queries);
   auto labels = std::make_shared<LabelDictionary>();
-  DblpGenerator gen(DblpParams{}, labels, seed);
+  DblpGenerator gen(DblpParams{}, labels, common.seed);
   auto db = MakeDatabase(labels, gen.Generate(trees));
 
   HistogramFilter histo(NormalizedHistogramOptions(*db));
@@ -88,11 +92,24 @@ int Main(int argc, char** argv) {
                 cumulative[kBB2][static_cast<size_t>(d)] / denom,
                 cumulative[kBB3][static_cast<size_t>(d)] / denom,
                 cumulative[kBB4][static_cast<size_t>(d)] / denom);
+    report.AddPoint()
+        .Str("label", "distance")
+        .Double("x", d)
+        .Int("queries", queries)
+        .Double("edit_pct", cumulative[kEdit][static_cast<size_t>(d)] / denom)
+        .Double("histo_pct",
+                cumulative[kHisto][static_cast<size_t>(d)] / denom)
+        .Double("bibranch2_pct",
+                cumulative[kBB2][static_cast<size_t>(d)] / denom)
+        .Double("bibranch3_pct",
+                cumulative[kBB3][static_cast<size_t>(d)] / denom)
+        .Double("bibranch4_pct",
+                cumulative[kBB4][static_cast<size_t>(d)] / denom);
   }
   std::printf("expected shape: every bound column >= Edit; BiBranch(2) is "
               "closest to Edit; BiBranch(3)/(4) beat Histo only at small "
               "distances on shallow DBLP trees\n\n");
-  return 0;
+  return report.WriteIfRequested(common.json_path) ? 0 : 1;
 }
 
 }  // namespace

@@ -12,6 +12,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "bench_report.h"
+#include "util/flags.h"
 #include "util/metrics.h"
 #include "util/stopwatch.h"
 #include "util/trace.h"
@@ -34,7 +36,10 @@ double NanosPerOp(int64_t elapsed_micros) {
          static_cast<double>(kIterations);
 }
 
-int Main() {
+int Main(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  BenchReport report("metrics_overhead");
+  report.config().Int("iterations", kIterations);
   std::printf("=== metrics overhead (TREESIM_METRICS=%s) ===\n",
               kMetricsEnabled ? "ON" : "OFF");
 
@@ -91,11 +96,23 @@ int Main() {
     std::printf("compile-out verified: empty registry, empty snapshot, "
                 "silent tracer\n");
   }
-  return 0;
+
+  report.AddPoint()
+      .Str("label", "counter_increment")
+      .Double("ns_per_op", counter_ns);
+  report.AddPoint()
+      .Str("label", "histogram_record")
+      .Double("ns_per_op", histogram_ns);
+  report.AddPoint()
+      .Str("label", "disabled_trace_span")
+      .Double("ns_per_op", span_ns);
+  return report.WriteIfRequested(flags.GetString("json", "")) ? 0 : 1;
 }
 
 }  // namespace
 }  // namespace bench
 }  // namespace treesim
 
-int main() { return treesim::bench::Main(); }
+int main(int argc, char** argv) {
+  return treesim::bench::Main(argc, argv);
+}

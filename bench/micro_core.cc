@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "benchmark/benchmark.h"
+#include "micro_report.h"
 #include "core/branch_profile.h"
 #include "core/inverted_file.h"
 #include "core/positional.h"
@@ -180,4 +181,6 @@ BENCHMARK(BM_OptimisticBoundGreedyVsExact)
 }  // namespace
 }  // namespace treesim
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return treesim::bench::MicroBenchMain(argc, argv, "micro_core");
+}

@@ -1,0 +1,92 @@
+#ifndef TREESIM_BENCH_MICRO_REPORT_H_
+#define TREESIM_BENCH_MICRO_REPORT_H_
+
+// `--json=FILE` support for the Google-Benchmark micro benches: the two
+// micro binaries replace BENCHMARK_MAIN() with MicroBenchMain(), which
+// strips the treesim-level flag before benchmark::Initialize() sees it,
+// runs the suite through a collecting ConsoleReporter, and writes the same
+// canonical BenchReport schema the figure benches emit (one point per
+// benchmark run, label = the benchmark's full name).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bench_report.h"
+#include "benchmark/benchmark.h"
+
+namespace treesim {
+namespace bench {
+
+/// Console output as usual, plus per-run aggregates for the report.
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  struct CollectedRun {
+    std::string name;
+    int64_t iterations = 0;
+    double real_time_ns = 0;
+    double cpu_time_ns = 0;
+    double items_per_second = 0;
+  };
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      CollectedRun out;
+      out.name = run.benchmark_name();
+      out.iterations = run.iterations;
+      out.real_time_ns = run.GetAdjustedRealTime();
+      out.cpu_time_ns = run.GetAdjustedCPUTime();
+      const auto items = run.counters.find("items_per_second");
+      if (items != run.counters.end()) {
+        out.items_per_second = static_cast<double>(items->second);
+      }
+      collected_.push_back(out);
+    }
+  }
+
+  const std::vector<CollectedRun>& collected() const { return collected_; }
+
+ private:
+  std::vector<CollectedRun> collected_;
+};
+
+inline int MicroBenchMain(int argc, char** argv, const char* name) {
+  std::string json_path;
+  std::vector<char*> passthrough;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  int pass_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&pass_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(pass_argc,
+                                             passthrough.data())) {
+    return 1;
+  }
+
+  CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+
+  BenchReport report(name);
+  for (const CollectingReporter::CollectedRun& run : reporter.collected()) {
+    report.AddPoint()
+        .Str("label", run.name)
+        .Int("iterations", run.iterations)
+        .Double("real_time_ns", run.real_time_ns)
+        .Double("cpu_time_ns", run.cpu_time_ns)
+        .Double("items_per_second", run.items_per_second);
+  }
+  benchmark::Shutdown();
+  return report.WriteIfRequested(json_path) ? 0 : 1;
+}
+
+}  // namespace bench
+}  // namespace treesim
+
+#endif  // TREESIM_BENCH_MICRO_REPORT_H_

@@ -56,12 +56,19 @@ void PrintLayerBreakdown(const char* layer, const MetricsSnapshot& d) {
 
 int Main(int argc, char** argv) {
   FlagParser flags(argc, argv);
-  const int trees = static_cast<int>(flags.GetInt("trees", 300));
-  const int queries = static_cast<int>(flags.GetInt("queries", 20));
+  const CommonFlags common = ParseCommonFlags(flags, 300, 20);
+  if (!ApplyQueryLogFlags(common)) return 1;
+  const int trees = common.trees;
+  const int queries = common.queries;
   const int k = static_cast<int>(flags.GetInt("k", 5));
-  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
-  const int workers =
-      ClampThreads(static_cast<int>(flags.GetInt("threads", 0)), trees);
+  const uint64_t seed = common.seed;
+  // Unlike the figure drivers, threads=0 (all hardware threads) is the
+  // interesting default here.
+  const int workers = ClampThreads(
+      static_cast<int>(flags.GetInt("threads", 0)), trees);
+  BenchReport report("parallel_speedup");
+  ReportCommonConfig(common, report);
+  report.config().Int("k", k).Int("workers", workers);
 
   auto labels = std::make_shared<LabelDictionary>();
   SyntheticParams params;
@@ -70,6 +77,18 @@ int Main(int argc, char** argv) {
   params.label_count = 8;
   SyntheticGenerator gen(params, labels, seed);
   auto db = MakeDatabase(labels, gen.GenerateDataset(trees));
+
+  // One report point per layer: sequential/parallel wall seconds + speedup.
+  const auto report_layer = [&report](const char* layer, double seq_seconds,
+                                      double par_seconds,
+                                      const MetricsSnapshot& delta) {
+    report.AddPoint()
+        .Str("label", layer)
+        .Double("sequential_seconds", seq_seconds)
+        .Double("parallel_seconds", par_seconds)
+        .Double("speedup", par_seconds > 0 ? seq_seconds / par_seconds : 0.0)
+        .Raw("metrics", delta.ToJson());
+  };
 
   std::printf("=== parallel speedup: %d trees, %d workers ===\n", trees,
               workers);
@@ -86,8 +105,12 @@ int Main(int argc, char** argv) {
   Require(seq_matrix.Mean() == par_matrix.Mean(), "pairwise matrix");
   std::printf("pairwise:    %8.3fs -> %8.3fs  speedup %.2fx\n", seq_pairwise,
               par_pairwise, seq_pairwise / par_pairwise);
-  PrintLayerBreakdown("pairwise",
-                      MetricsRegistry::Global().Snapshot().DiffSince(snap));
+  {
+    const MetricsSnapshot delta =
+        MetricsRegistry::Global().Snapshot().DiffSince(snap);
+    PrintLayerBreakdown("pairwise", delta);
+    report_layer("pairwise", seq_pairwise, par_pairwise, delta);
+  }
 
   // Layer 2: inverted-file construction (parallel extraction, sequential
   // interning keeps BranchIds byte-identical).
@@ -104,8 +127,12 @@ int Main(int argc, char** argv) {
           "index build");
   std::printf("index build: %8.3fs -> %8.3fs  speedup %.2fx\n", seq_build,
               par_build, seq_build / par_build);
-  PrintLayerBreakdown("index build",
-                      MetricsRegistry::Global().Snapshot().DiffSince(snap));
+  {
+    const MetricsSnapshot delta =
+        MetricsRegistry::Global().Snapshot().DiffSince(snap);
+    PrintLayerBreakdown("index build", delta);
+    report_layer("index_build", seq_build, par_build, delta);
+  }
 
   // Layer 3: batch k-NN through the filter-and-refine engine.
   std::vector<Tree> query_set;
@@ -128,12 +155,16 @@ int Main(int argc, char** argv) {
   }
   std::printf("batch k-NN:  %8.3fs -> %8.3fs  speedup %.2fx\n", seq_batch,
               par_batch, seq_batch / par_batch);
-  PrintLayerBreakdown("batch k-NN",
-                      MetricsRegistry::Global().Snapshot().DiffSince(snap));
+  {
+    const MetricsSnapshot delta =
+        MetricsRegistry::Global().Snapshot().DiffSince(snap);
+    PrintLayerBreakdown("batch k-NN", delta);
+    report_layer("batch_knn", seq_batch, par_batch, delta);
+  }
 
   std::printf("expected shape: pairwise speedup near the worker count; "
               "build and k-NN sublinear\n\n");
-  return 0;
+  return report.WriteIfRequested(common.json_path) ? 0 : 1;
 }
 
 }  // namespace

@@ -1,16 +1,49 @@
 #include "search/similarity_join.h"
 
 #include <memory>
+#include <string>
 #include <utility>
 
 #include "util/logging.h"
 #include "util/metrics.h"
 #include "util/safe_math.h"
 #include "util/stopwatch.h"
+#include "util/structured_log.h"
 #include "util/thread_pool.h"
 #include "util/trace.h"
 
 namespace treesim {
+namespace {
+
+/// Query-log record for one join call (both the parallel and the
+/// sequential paths funnel through here before returning).
+void MaybeLogJoin(const JoinResult& result, int tau, bool self,
+                  int64_t left_size, const std::string& filter_name) {
+  StructuredLog& qlog = StructuredLog::Global();
+  const int64_t total_micros =
+      static_cast<int64_t>(result.stats.TotalSeconds() * 1e6);
+  if (!qlog.ShouldLog(total_micros)) return;
+  LogRecord rec;
+  rec.Int("ts_micros", UnixMicros())
+      .Str("event", self ? "self_join" : "join")
+      .Int("query_id", qlog.NextQueryId())
+      .Str("filter", filter_name)
+      .Int("tau", tau)
+      .Int("left_size", left_size)
+      .Int("database_size", result.stats.database_size)
+      .Int("candidates", result.stats.candidates)
+      .Int("refined", result.stats.edit_distance_calls)
+      .Int("results", result.stats.results)
+      .Int("filter_micros",
+           static_cast<int64_t>(result.stats.filter_seconds * 1e6))
+      .Int("refine_micros",
+           static_cast<int64_t>(result.stats.refine_seconds * 1e6))
+      .Int("total_micros", total_micros)
+      .Bool("slow", qlog.IsSlow(total_micros));
+  qlog.Write(rec);
+}
+
+}  // namespace
 
 SimilarityJoin::SimilarityJoin(const TreeDatabase* right,
                                std::unique_ptr<FilterIndex> filter)
@@ -102,6 +135,8 @@ JoinResult SimilarityJoin::JoinImpl(const TreeDatabase& left, int tau,
     TREESIM_HISTOGRAM_RECORD(
         "search.join.refine_micros", LatencyBucketsMicros(),
         static_cast<int64_t>(result.stats.refine_seconds * 1e6));
+    MaybeLogJoin(result, tau, self, left.size(),
+                 filter_ == nullptr ? "Sequential" : filter_->name());
     return result;
   }
   for (int l = 0; l < left.size(); ++l) {
@@ -150,6 +185,8 @@ JoinResult SimilarityJoin::JoinImpl(const TreeDatabase& left, int tau,
   TREESIM_HISTOGRAM_RECORD(
       "search.join.refine_micros", LatencyBucketsMicros(),
       static_cast<int64_t>(result.stats.refine_seconds * 1e6));
+  MaybeLogJoin(result, tau, self, left.size(),
+               filter_ == nullptr ? "Sequential" : filter_->name());
   return result;
 }
 

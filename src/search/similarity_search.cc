@@ -5,12 +5,36 @@
 
 #include "util/logging.h"
 #include "util/metrics.h"
+#include "util/safe_math.h"
 #include "util/stopwatch.h"
+#include "util/structured_log.h"
 #include "util/sync.h"
 #include "util/thread_pool.h"
 #include "util/trace.h"
 
 namespace treesim {
+namespace {
+
+/// Shared tail of every query-log record: the candidate funnel and the
+/// stage/total timings from QueryStats, plus the slow marker. The caller
+/// guards with StructuredLog::ShouldLog(), so none of this runs while the
+/// sink is disabled (and under TREESIM_METRICS=OFF the guarded block is
+/// dead code).
+void AppendQueryStatsFields(const QueryStats& stats, int64_t total_micros,
+                            LogRecord& rec) {
+  rec.Int("database_size", stats.database_size)
+      .Int("candidates", stats.candidates)
+      .Int("refined", stats.edit_distance_calls)
+      .Int("results", stats.results)
+      .Int("filter_micros",
+           static_cast<int64_t>(stats.filter_seconds * 1e6))
+      .Int("refine_micros",
+           static_cast<int64_t>(stats.refine_seconds * 1e6))
+      .Int("total_micros", total_micros)
+      .Bool("slow", StructuredLog::Global().IsSlow(total_micros));
+}
+
+}  // namespace
 
 SimilaritySearch::SimilaritySearch(const TreeDatabase* db,
                                    std::unique_ptr<FilterIndex> filter)
@@ -114,6 +138,20 @@ RangeResult SimilaritySearch::Range(const Tree& query, int tau,
               return a.first < b.first;
             });
   result.stats.results = static_cast<int64_t>(result.matches.size());
+
+  StructuredLog& qlog = StructuredLog::Global();
+  const int64_t total_micros =
+      static_cast<int64_t>(result.stats.TotalSeconds() * 1e6);
+  if (qlog.ShouldLog(total_micros)) {
+    LogRecord rec;
+    rec.Int("ts_micros", UnixMicros())
+        .Str("event", "range")
+        .Int("query_id", qlog.NextQueryId())
+        .Str("filter", filter_name())
+        .Int("tau", tau);
+    AppendQueryStatsFields(result.stats, total_micros, rec);
+    qlog.Write(rec);
+  }
   return result;
 }
 
@@ -165,6 +203,9 @@ KnnResult SimilaritySearch::Knn(const Tree& query, int k, ThreadPool* pool) {
   const TedTree query_view = TedTree::FromTree(query);
   std::priority_queue<std::pair<int, int>> heap;
   int64_t calls = 0;
+  // Sum over refined candidates of (exact distance - lower bound), the
+  // per-query pruning-power figure reported in the query log.
+  int64_t bound_gap_sum = 0;
   if (pool == nullptr || pool->size() <= 1) {
     for (const int id : order) {
       if (static_cast<int>(heap.size()) == k &&
@@ -181,9 +222,11 @@ KnnResult SimilaritySearch::Knn(const Tree& query, int k, ThreadPool* pool) {
           << "unsound lower bound on tree " << id;
       // Bound tightness (Section 5's pruning-power claim): how far below
       // the exact distance the filter's lower bound sat on this candidate.
-      TREESIM_HISTOGRAM_RECORD(
-          "search.knn.bound_gap", SmallValueBuckets(),
-          d - static_cast<int64_t>(bounds[static_cast<size_t>(id)]));
+      const int64_t gap =
+          d - static_cast<int64_t>(bounds[static_cast<size_t>(id)]);
+      TREESIM_HISTOGRAM_RECORD("search.knn.bound_gap", SmallValueBuckets(),
+                               gap);
+      bound_gap_sum = CheckedAdd(bound_gap_sum, gap);
       if (static_cast<int>(heap.size()) < k) {
         heap.emplace(d, id);
       } else if (std::make_pair(d, id) < heap.top()) {
@@ -206,6 +249,7 @@ KnnResult SimilaritySearch::Knn(const Tree& query, int k, ThreadPool* pool) {
       Mutex mu;
       std::priority_queue<std::pair<int, int>> heap TREESIM_GUARDED_BY(mu);
       int64_t calls TREESIM_GUARDED_BY(mu) = 0;
+      int64_t bound_gap_sum TREESIM_GUARDED_BY(mu) = 0;
     } sweep;
     const int64_t n = db_->size();
     const int64_t block =
@@ -234,10 +278,12 @@ KnnResult SimilaritySearch::Knn(const Tree& query, int k, ThreadPool* pool) {
         const int d = TreeEditDistance(query_view, db_->ted_view(id));
         TREESIM_DCHECK_LE(bound, static_cast<double>(d))
             << "unsound lower bound on tree " << id;
+        const int64_t gap = d - static_cast<int64_t>(bound);
         TREESIM_HISTOGRAM_RECORD("search.knn.bound_gap", SmallValueBuckets(),
-                                 d - static_cast<int64_t>(bound));
+                                 gap);
         MutexLock lock(sweep.mu);
         ++sweep.calls;
+        sweep.bound_gap_sum = CheckedAdd(sweep.bound_gap_sum, gap);
         if (static_cast<int>(sweep.heap.size()) < k) {
           sweep.heap.emplace(d, id);
         } else if (std::make_pair(d, id) < sweep.heap.top()) {
@@ -249,6 +295,7 @@ KnnResult SimilaritySearch::Knn(const Tree& query, int k, ThreadPool* pool) {
     MutexLock lock(sweep.mu);
     heap = std::move(sweep.heap);
     calls = sweep.calls;
+    bound_gap_sum = sweep.bound_gap_sum;
   }
   result.stats.edit_distance_calls = calls;
   result.stats.refine_seconds = refine_timer.ElapsedSeconds();
@@ -268,6 +315,27 @@ KnnResult SimilaritySearch::Knn(const Tree& query, int k, ThreadPool* pool) {
   result.stats.results = static_cast<int64_t>(result.neighbors.size());
   TREESIM_COUNTER_ADD("search.knn.results",
                       static_cast<int64_t>(result.neighbors.size()));
+
+  StructuredLog& qlog = StructuredLog::Global();
+  const int64_t total_micros =
+      static_cast<int64_t>(result.stats.TotalSeconds() * 1e6);
+  if (qlog.ShouldLog(total_micros)) {
+    LogRecord rec;
+    rec.Int("ts_micros", UnixMicros())
+        .Str("event", "knn")
+        .Int("query_id", qlog.NextQueryId())
+        .Str("filter", filter_name())
+        .Int("k", k);
+    AppendQueryStatsFields(result.stats, total_micros, rec);
+    rec.Double("bound_gap_mean",
+               calls > 0 ? static_cast<double>(bound_gap_sum) /
+                               static_cast<double>(calls)
+                         : 0.0);
+    if (!result.neighbors.empty()) {
+      rec.Int("kth_distance", result.neighbors.back().second);
+    }
+    qlog.Write(rec);
+  }
   return result;
 }
 
@@ -284,6 +352,23 @@ BatchKnnResult SimilaritySearch::BatchKnn(const std::vector<Tree>& queries,
   for (const Tree& query : queries) {
     out.per_query.push_back(Knn(query, k, pool));
     out.combined += out.per_query.back().stats;
+  }
+
+  // One summary record for the batch; the member queries logged themselves
+  // individually above (subject to the slow-query threshold).
+  StructuredLog& qlog = StructuredLog::Global();
+  const int64_t total_micros =
+      static_cast<int64_t>(out.combined.TotalSeconds() * 1e6);
+  if (qlog.ShouldLog(total_micros)) {
+    LogRecord rec;
+    rec.Int("ts_micros", UnixMicros())
+        .Str("event", "batch_knn")
+        .Int("query_id", qlog.NextQueryId())
+        .Str("filter", filter_name())
+        .Int("k", k)
+        .Int("queries", static_cast<int64_t>(queries.size()));
+    AppendQueryStatsFields(out.combined, total_micros, rec);
+    qlog.Write(rec);
   }
   return out;
 }

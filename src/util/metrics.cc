@@ -317,6 +317,101 @@ std::string MetricsSnapshot::ToJson() const {
   return os.str();
 }
 
+namespace {
+
+/// HELP text escaping per the exposition format: only backslash and
+/// newline (label values additionally escape the double quote, see
+/// PrometheusLabelEscape).
+std::string PrometheusHelpEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+void AppendPrometheusHeader(std::ostringstream& os, const std::string& name,
+                            const std::string& prom_name, const char* type) {
+  os << "# HELP " << prom_name << " treesim metric "
+     << PrometheusHelpEscape(name) << "\n";
+  os << "# TYPE " << prom_name << ' ' << type << "\n";
+}
+
+}  // namespace
+
+std::string PrometheusMetricName(const std::string& name) {
+  std::string out = "treesim_";
+  out.reserve(out.size() + name.size());
+  for (const char c : name) {
+    const bool valid = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += valid ? c : '_';
+  }
+  return out;
+}
+
+std::string PrometheusLabelEscape(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::ToPrometheus() const {
+  std::ostringstream os;
+  for (const auto& [name, value] : counters) {
+    std::string prom = PrometheusMetricName(name);
+    // Prometheus convention: monotonic counters end in _total.
+    if (prom.size() < 6 || prom.compare(prom.size() - 6, 6, "_total") != 0) {
+      prom += "_total";
+    }
+    AppendPrometheusHeader(os, name, prom, "counter");
+    os << prom << ' ' << value << "\n";
+  }
+  for (const auto& [name, value] : gauges) {
+    const std::string prom = PrometheusMetricName(name);
+    AppendPrometheusHeader(os, name, prom, "gauge");
+    os << prom << ' ' << value << "\n";
+  }
+  for (const auto& [name, h] : histograms) {
+    const std::string prom = PrometheusMetricName(name);
+    AppendPrometheusHeader(os, name, prom, "histogram");
+    // Our buckets store per-bucket counts; the exposition format wants
+    // cumulative counts per upper bound, closed by le="+Inf" == _count.
+    int64_t cumulative = 0;
+    for (size_t b = 0; b < h.bucket_counts.size(); ++b) {
+      cumulative += h.bucket_counts[b];
+      os << prom << "_bucket{le=\"";
+      if (b < h.bounds.size()) {
+        os << h.bounds[b];
+      } else {
+        os << "+Inf";
+      }
+      os << "\"} " << cumulative << "\n";
+    }
+    os << prom << "_sum " << h.sum << "\n";
+    os << prom << "_count " << h.count << "\n";
+  }
+  return os.str();
+}
+
 std::vector<int64_t> LatencyBucketsMicros() {
   std::vector<int64_t> bounds;
   bounds.reserve(24);

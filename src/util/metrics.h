@@ -194,7 +194,26 @@ struct MetricsSnapshot {
   ///                        "count":N,"sum":N}}}
   /// Stable key order (std::map), no external dependency.
   std::string ToJson() const;
+
+  /// Prometheus text exposition (version 0.0.4) of the snapshot: dotted
+  /// names sanitized through PrometheusMetricName(), one `# HELP` line
+  /// carrying the original dotted name and one `# TYPE` line per metric,
+  /// counters suffixed `_total`, histograms encoded as CUMULATIVE
+  /// `_bucket{le="..."}` series (upper bounds from the registration-time
+  /// bucket bounds, closed by `le="+Inf"`) plus `_sum` and `_count`.
+  /// Scrape-ready via `treesim_cli <cmd> --metrics=prometheus`.
+  std::string ToPrometheus() const;
 };
+
+/// Sanitizes a dotted metric name into the Prometheus name alphabet
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*` and prefixes the `treesim_` namespace:
+/// "search.knn.filter_micros" -> "treesim_search_knn_filter_micros".
+/// Every character outside the alphabet becomes '_'.
+std::string PrometheusMetricName(const std::string& name);
+
+/// Escapes a label value or HELP text per the exposition format:
+/// backslash, double quote and newline become \\, \" and \n.
+std::string PrometheusLabelEscape(const std::string& value);
 
 /// The process-wide registry. Get*() registers on first use and returns a
 /// stable reference (metrics are never unregistered, so cached references

@@ -1,0 +1,144 @@
+#include "util/structured_log.h"
+
+#include <chrono>
+#include <cmath>
+#include <utility>
+
+#include "util/status.h"
+#include "util/sync.h"
+
+namespace treesim {
+namespace {
+
+/// JSON string escaping for record values (keys are emitted verbatim —
+/// they are compile-time identifiers by convention).
+void AppendJsonEscaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+void LogRecord::AppendKey(const char* key) {
+  if (!body_.empty()) body_ += ',';
+  body_ += '"';
+  body_ += key;
+  body_ += "\":";
+}
+
+LogRecord& LogRecord::Str(const char* key, std::string_view value) {
+  AppendKey(key);
+  body_ += '"';
+  AppendJsonEscaped(body_, value);
+  body_ += '"';
+  return *this;
+}
+
+LogRecord& LogRecord::Int(const char* key, int64_t value) {
+  AppendKey(key);
+  body_ += std::to_string(value);
+  return *this;
+}
+
+LogRecord& LogRecord::Double(const char* key, double value) {
+  AppendKey(key);
+  if (!std::isfinite(value)) {
+    body_ += "null";  // NaN/inf are not JSON; null keeps the line parseable
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.9g", value);
+    body_ += buf;
+  }
+  return *this;
+}
+
+LogRecord& LogRecord::Bool(const char* key, bool value) {
+  AppendKey(key);
+  body_ += value ? "true" : "false";
+  return *this;
+}
+
+std::string LogRecord::ToJsonLine() const { return "{" + body_ + "}"; }
+
+int64_t UnixMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+#if TREESIM_METRICS_ENABLED
+
+StructuredLog& StructuredLog::Global() {
+  static StructuredLog* const log = new StructuredLog();
+  return *log;
+}
+
+Status StructuredLog::OpenFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::InvalidArgument("cannot open query log file " + path);
+  }
+  MutexLock lock(mu_);
+  if (file_ != nullptr) std::fclose(file_);
+  file_ = f;
+  records_written_.store(0, std::memory_order_relaxed);
+  enabled_.store(true, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+void StructuredLog::Close() {
+  enabled_.store(false, std::memory_order_relaxed);
+  MutexLock lock(mu_);
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+void StructuredLog::Write(const LogRecord& record) {
+  const std::string line = record.ToJsonLine();
+  MutexLock lock(mu_);
+  if (file_ == nullptr) return;  // raced with Close(); drop silently
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fputc('\n', file_);
+  // Flush per record: the log must survive the abort paths the engine's
+  // TREESIM_CHECKs can take, and query volume (not line volume) dominates.
+  std::fflush(file_);
+  records_written_.fetch_add(1, std::memory_order_relaxed);
+}
+
+#else  // !TREESIM_METRICS_ENABLED
+
+StructuredLog& StructuredLog::Global() {
+  static StructuredLog* const log = new StructuredLog();
+  return *log;
+}
+
+#endif  // TREESIM_METRICS_ENABLED
+
+}  // namespace treesim

@@ -1,0 +1,176 @@
+// Golden-format tests for MetricsSnapshot::ToPrometheus() (util/metrics.h):
+// the exposition output must stay scrape-compatible (text format 0.0.4),
+// so these tests pin the exact rendering — name sanitization, HELP/TYPE
+// lines, label escaping, and the cumulative histogram encoding — against
+// hand-built snapshots. MetricsSnapshot is plain data, so no registry state
+// is involved and the goldens are deterministic.
+#include "util/metrics.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace treesim {
+namespace {
+
+MetricsSnapshot::HistogramValue MakeHistogram(std::vector<int64_t> bounds,
+                                              std::vector<int64_t> buckets,
+                                              int64_t sum) {
+  MetricsSnapshot::HistogramValue h;
+  h.bounds = std::move(bounds);
+  h.bucket_counts = std::move(buckets);
+  h.sum = sum;
+  h.count = 0;
+  for (const int64_t c : h.bucket_counts) h.count += c;
+  return h;
+}
+
+TEST(PrometheusMetricNameTest, PrefixesAndSanitizes) {
+  EXPECT_EQ(PrometheusMetricName("search.knn.queries"),
+            "treesim_search_knn_queries");
+  EXPECT_EQ(PrometheusMetricName("already_flat"), "treesim_already_flat");
+  // Everything outside [a-zA-Z0-9_:] becomes '_'.
+  EXPECT_EQ(PrometheusMetricName("weird-name with spaces"),
+            "treesim_weird_name_with_spaces");
+  EXPECT_EQ(PrometheusMetricName("q=2/depth"), "treesim_q_2_depth");
+  // Colons survive (valid in the Prometheus alphabet).
+  EXPECT_EQ(PrometheusMetricName("a:b"), "treesim_a:b");
+}
+
+TEST(PrometheusLabelEscapeTest, EscapesBackslashQuoteNewline) {
+  EXPECT_EQ(PrometheusLabelEscape("plain"), "plain");
+  EXPECT_EQ(PrometheusLabelEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(PrometheusLabelEscape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(PrometheusLabelEscape("line1\nline2"), "line1\\nline2");
+}
+
+TEST(ToPrometheusTest, CounterGolden) {
+  MetricsSnapshot snap;
+  snap.counters["search.range.queries"] = 42;
+  EXPECT_EQ(snap.ToPrometheus(),
+            "# HELP treesim_search_range_queries_total treesim metric "
+            "search.range.queries\n"
+            "# TYPE treesim_search_range_queries_total counter\n"
+            "treesim_search_range_queries_total 42\n");
+}
+
+TEST(ToPrometheusTest, GaugeGolden) {
+  MetricsSnapshot snap;
+  snap.gauges["pool.threads"] = 8;
+  EXPECT_EQ(snap.ToPrometheus(),
+            "# HELP treesim_pool_threads treesim metric pool.threads\n"
+            "# TYPE treesim_pool_threads gauge\n"
+            "treesim_pool_threads 8\n");
+}
+
+TEST(ToPrometheusTest, HistogramGoldenCumulativeBuckets) {
+  MetricsSnapshot snap;
+  // Per-bucket counts 3/4/5 + 2 overflow; exposition must be cumulative.
+  snap.histograms["knn.gap"] = MakeHistogram({1, 2, 4}, {3, 4, 5, 2}, 29);
+  EXPECT_EQ(snap.ToPrometheus(),
+            "# HELP treesim_knn_gap treesim metric knn.gap\n"
+            "# TYPE treesim_knn_gap histogram\n"
+            "treesim_knn_gap_bucket{le=\"1\"} 3\n"
+            "treesim_knn_gap_bucket{le=\"2\"} 7\n"
+            "treesim_knn_gap_bucket{le=\"4\"} 12\n"
+            "treesim_knn_gap_bucket{le=\"+Inf\"} 14\n"
+            "treesim_knn_gap_sum 29\n"
+            "treesim_knn_gap_count 14\n");
+}
+
+TEST(ToPrometheusTest, BucketSeriesIsMonotonicAndClosedByInf) {
+  MetricsSnapshot snap;
+  snap.histograms["h"] =
+      MakeHistogram({1, 8, 64, 512}, {10, 0, 7, 0, 3}, 1234);
+  const std::string out = snap.ToPrometheus();
+
+  // Walk the rendered bucket lines: cumulative counts must be
+  // non-decreasing and the +Inf bucket must equal the total count.
+  int64_t previous = -1;
+  int64_t inf_value = -1;
+  int buckets_seen = 0;
+  size_t pos = 0;
+  const std::string needle = "treesim_h_bucket{le=\"";
+  while ((pos = out.find(needle, pos)) != std::string::npos) {
+    const size_t value_at = out.find("} ", pos);
+    ASSERT_NE(value_at, std::string::npos);
+    const int64_t value = std::stoll(out.substr(value_at + 2));
+    EXPECT_GE(value, previous) << "cumulative bucket series decreased";
+    previous = value;
+    ++buckets_seen;
+    if (out.compare(pos, needle.size() + 4, needle + "+Inf") == 0) {
+      inf_value = value;
+    }
+    pos = value_at;
+  }
+  EXPECT_EQ(buckets_seen, 5);  // 4 finite bounds + +Inf
+  EXPECT_EQ(inf_value, 20);
+  const size_t count_at = out.find("treesim_h_count ");
+  ASSERT_NE(count_at, std::string::npos);
+  EXPECT_EQ(std::stoll(out.substr(count_at + 16)), 20);
+}
+
+TEST(ToPrometheusTest, MetricKindsRenderTogetherSorted) {
+  MetricsSnapshot snap;
+  snap.counters["b.counter"] = 1;
+  snap.gauges["a.gauge"] = 2;
+  snap.histograms["c.histo"] = MakeHistogram({10}, {1, 0}, 4);
+  const std::string out = snap.ToPrometheus();
+  // One TYPE line per metric, every family present.
+  EXPECT_NE(out.find("# TYPE treesim_b_counter_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("# TYPE treesim_a_gauge gauge\n"), std::string::npos);
+  EXPECT_NE(out.find("# TYPE treesim_c_histo histogram\n"),
+            std::string::npos);
+  // Each HELP line precedes its TYPE line.
+  EXPECT_LT(out.find("# HELP treesim_a_gauge "),
+            out.find("# TYPE treesim_a_gauge "));
+  EXPECT_LT(out.find("# HELP treesim_c_histo "),
+            out.find("# TYPE treesim_c_histo "));
+}
+
+TEST(ToPrometheusTest, HelpLineEscapesMetricName) {
+  MetricsSnapshot snap;
+  snap.counters["odd\\name"] = 1;
+  const std::string out = snap.ToPrometheus();
+  // The dotted original lands in HELP with backslashes escaped.
+  EXPECT_NE(out.find("# HELP treesim_odd_name_total treesim metric "
+                     "odd\\\\name\n"),
+            std::string::npos);
+}
+
+TEST(ToPrometheusTest, EmptySnapshotRendersEmpty) {
+  const MetricsSnapshot snap;
+  EXPECT_EQ(snap.ToPrometheus(), "");
+}
+
+TEST(ToPrometheusTest, LiveRegistrySnapshotParsesLineByLine) {
+  // Shape check against the real registry (whatever other tests put in it
+  // under ON; empty under OFF): every non-comment line is `name value`
+  // with name in the exposition alphabet.
+  const std::string out = MetricsRegistry::Global().Snapshot().ToPrometheus();
+  size_t start = 0;
+  while (start < out.size()) {
+    size_t end = out.find('\n', start);
+    if (end == std::string::npos) end = out.size();
+    const std::string line = out.substr(start, end - start);
+    start = end + 1;
+    if (line.empty() || line[0] == '#') continue;
+    const size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    const std::string name = line.substr(0, space);
+    EXPECT_EQ(name.rfind("treesim_", 0), 0u) << line;
+    for (const char c : name) {
+      const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '_' || c == ':' ||
+                      c == '{' || c == '}' || c == '"' || c == '=' ||
+                      c == '+' || c == '.' || c == '\\';
+      EXPECT_TRUE(ok) << "bad char '" << c << "' in: " << line;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace treesim

@@ -1,0 +1,202 @@
+#!/usr/bin/env python3
+"""Regression gate: diff two suite-level bench JSON files.
+
+Compares a candidate BENCH_treesim.json (written by tools/run_benchmarks.py)
+against a baseline. Points are matched by (benchmark, label, x); within a
+matched point, timing metrics must not grow and throughput metrics must not
+shrink by more than the noise threshold. Exits 1 when any comparison
+regresses, 2 on malformed input — so CI can use it directly as a gate.
+
+Metric direction is inferred from the name:
+  lower-is-better:   *_seconds, *_ns, *_micros, ns_per_op
+  higher-is-better:  *_per_second, speedup
+Everything else (percentages, counts, config echoes) is informational and
+never gates; filter effectiveness is checked by the test suite, not by a
+noisy wall-clock comparison.
+
+Thresholds are per-metric-kind noise allowances, not precision targets:
+bench machines in CI are noisy, so the defaults are generous (50% for
+wall-clock, 30% for throughput) and tighten via flags for quiet hardware.
+Tiny absolute values (under --min-seconds etc.) never gate — a 2ms stage
+doubling to 4ms is scheduler noise, not a regression.
+
+Self-check mode (`--self-check FILE`) compares a file against itself and
+requires zero regressions and at least one gated comparison — a cheap
+structural test that the gate can parse what run_benchmarks.py writes.
+
+Usage:
+    tools/bench_compare.py BASELINE CANDIDATE [--time-threshold 0.5]
+                           [--throughput-threshold 0.3] [--min-seconds 0.05]
+    tools/bench_compare.py --self-check FILE
+"""
+
+import argparse
+import json
+import sys
+
+LOWER_IS_BETTER_SUFFIXES = ("_seconds", "_ns", "_micros", "ns_per_op")
+HIGHER_IS_BETTER_SUFFIXES = ("_per_second", "speedup")
+
+# Floors below which a metric never gates (absolute value in its own unit).
+ABS_FLOORS = {
+    "_seconds": 0.05,     # overridden by --min-seconds
+    "_ns": 50.0,
+    "_micros": 50_000.0,
+    "ns_per_op": 0.5,
+    "_per_second": 1.0,
+    "speedup": 0.0,
+}
+
+
+def direction(metric):
+    """Returns 'lower', 'higher', or None (not gated)."""
+    for suffix in LOWER_IS_BETTER_SUFFIXES:
+        if metric.endswith(suffix):
+            return "lower"
+    for suffix in HIGHER_IS_BETTER_SUFFIXES:
+        if metric.endswith(suffix):
+            return "higher"
+    return None
+
+
+def abs_floor(metric, min_seconds):
+    for suffix, floor in ABS_FLOORS.items():
+        if metric.endswith(suffix):
+            return min_seconds if suffix == "_seconds" else floor
+    return 0.0
+
+
+def point_key(point):
+    return (point.get("label", ""), point.get("x"))
+
+
+def load_suite(path):
+    with open(path, "r", encoding="utf-8") as f:
+        suite = json.load(f)
+    if suite.get("schema_version") != 1 or "benchmarks" not in suite:
+        raise ValueError(f"{path}: not a schema-version-1 suite file")
+    index = {}
+    for report in suite["benchmarks"]:
+        name = report["benchmark"]
+        for point in report["points"]:
+            index[(name,) + point_key(point)] = point
+    return suite, index
+
+
+def compare(base_index, cand_index, args):
+    """Returns (regressions, improvements, gated_count, missing)."""
+    regressions, improvements, missing = [], [], []
+    gated = 0
+    for key, base_point in sorted(base_index.items()):
+        cand_point = cand_index.get(key)
+        if cand_point is None:
+            missing.append("/".join(str(k) for k in key))
+            continue
+        for metric, base_value in base_point.items():
+            sense = direction(metric)
+            if sense is None:
+                continue
+            cand_value = cand_point.get(metric)
+            if not isinstance(base_value, (int, float)) or \
+               not isinstance(cand_value, (int, float)):
+                continue
+            gated += 1
+            # Below the absolute floor both values are in measurement
+            # noise: the pair still counts as compared (so self-check can
+            # see a live pipeline), but never classifies as a regression
+            # or improvement.
+            floor = abs_floor(metric, args.min_seconds)
+            if max(abs(base_value), abs(cand_value)) <= floor:
+                continue
+            threshold = (args.time_threshold if sense == "lower"
+                         else args.throughput_threshold)
+            where = "/".join(str(k) for k in key) + ":" + metric
+            if sense == "lower":
+                if cand_value > base_value * (1.0 + threshold):
+                    regressions.append(
+                        f"{where}: {base_value:.6g} -> {cand_value:.6g} "
+                        f"(+{100.0 * (cand_value / base_value - 1):.1f}%)")
+                elif cand_value < base_value * (1.0 - threshold):
+                    improvements.append(
+                        f"{where}: {base_value:.6g} -> {cand_value:.6g}")
+            else:
+                if cand_value < base_value * (1.0 - threshold):
+                    regressions.append(
+                        f"{where}: {base_value:.6g} -> {cand_value:.6g} "
+                        f"({100.0 * (cand_value / base_value - 1):.1f}%)")
+                elif cand_value > base_value * (1.0 + threshold):
+                    improvements.append(
+                        f"{where}: {base_value:.6g} -> {cand_value:.6g}")
+    return regressions, improvements, gated, missing
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", nargs="?")
+    parser.add_argument("candidate", nargs="?")
+    parser.add_argument("--self-check", metavar="FILE",
+                        help="compare FILE against itself; require zero "
+                             "regressions and >=1 gated metric")
+    parser.add_argument("--time-threshold", type=float, default=0.5,
+                        help="allowed relative growth of timing metrics "
+                             "(default 0.5 = 50%%)")
+    parser.add_argument("--throughput-threshold", type=float, default=0.3,
+                        help="allowed relative shrink of throughput metrics "
+                             "(default 0.3 = 30%%)")
+    parser.add_argument("--min-seconds", type=float, default=0.05,
+                        help="*_seconds metrics below this never gate")
+    args = parser.parse_args()
+
+    if args.self_check:
+        baseline_path = candidate_path = args.self_check
+    elif args.baseline and args.candidate:
+        baseline_path, candidate_path = args.baseline, args.candidate
+    else:
+        parser.print_usage(sys.stderr)
+        return 2
+
+    try:
+        _, base_index = load_suite(baseline_path)
+        _, cand_index = load_suite(candidate_path)
+    except (OSError, ValueError, json.JSONDecodeError, KeyError) as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+
+    regressions, improvements, gated, missing = compare(
+        base_index, cand_index, args)
+
+    print(f"compared {gated} gated metrics across "
+          f"{len(base_index)} baseline points")
+    if missing:
+        print(f"\n{len(missing)} baseline points missing from candidate:")
+        for line in missing[:20]:
+            print(f"  {line}")
+    if improvements:
+        print(f"\n{len(improvements)} improvements:")
+        for line in improvements:
+            print(f"  {line}")
+    if regressions:
+        print(f"\n{len(regressions)} REGRESSIONS:")
+        for line in regressions:
+            print(f"  {line}")
+
+    if args.self_check:
+        if regressions or missing:
+            print("self-check FAILED: a file must never regress against "
+                  "itself", file=sys.stderr)
+            return 1
+        if gated == 0:
+            print("self-check FAILED: no gated metrics found — suite file "
+                  "is empty or the schema drifted", file=sys.stderr)
+            return 1
+        print("self-check OK")
+        return 0
+
+    if regressions:
+        return 1
+    print("no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

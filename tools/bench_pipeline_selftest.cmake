@@ -1,0 +1,34 @@
+# End-to-end selftest of the telemetry pipeline, run by ctest:
+#   cmake -DPython3_EXECUTABLE=... -DRUNNER=run_benchmarks.py
+#         -DCOMPARER=bench_compare.py -DBUILD_DIR=<build> -DTMP=<scratch>
+#         -P bench_pipeline_selftest.cmake
+# Runs the cheapest suite member (metrics_overhead) through the driver, then
+# requires bench_compare --self-check to accept the resulting suite file.
+# Catches schema drift between bench_report.cc, run_benchmarks.py and
+# bench_compare.py without the cost of the full quick suite.
+
+file(MAKE_DIRECTORY ${TMP})
+set(suite_json ${TMP}/bench_selftest.json)
+
+execute_process(
+  COMMAND ${Python3_EXECUTABLE} ${RUNNER}
+          --quick --only=metrics_overhead
+          --build-dir ${BUILD_DIR} --out ${suite_json}
+  RESULT_VARIABLE code
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT code EQUAL 0)
+  message(FATAL_ERROR "run_benchmarks.py failed (${code}):\n${out}\n${err}")
+endif()
+
+execute_process(
+  COMMAND ${Python3_EXECUTABLE} ${COMPARER} --self-check ${suite_json}
+  RESULT_VARIABLE code
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT code EQUAL 0)
+  message(FATAL_ERROR "bench_compare.py self-check failed (${code}):\n"
+                      "${out}\n${err}")
+endif()
+
+message(STATUS "bench pipeline selftest passed")

@@ -31,6 +31,14 @@ Checks, over ``src/`` (and headers under ``fuzz/`` if any appear):
               TREESIM_TRACE_SPAN), so every measurement lands in the
               registry and compiles out under TREESIM_METRICS=OFF. This
               rule also scans ``tools/``.
+  rawlog      No raw stdio/iostream output (``printf``, ``fprintf``,
+              ``puts``, ``std::cout``, ``std::cerr``) inside
+              ``src/search/`` — query engines report through QueryStats,
+              the metrics registry, and the structured query log
+              (util/structured_log.h), never by printing. Printing belongs
+              to the binaries: ``bench/`` and ``tools/`` are exempt, as is
+              the rest of ``src/`` (util/logging.h itself, parser error
+              paths, ...).
 
 Exit status 0 when clean, 1 when any finding is reported. Run from
 anywhere: paths are resolved relative to the repo root.
@@ -204,6 +212,25 @@ class Linter:
                             "so the measurement compiles out with "
                             "TREESIM_METRICS=OFF")
 
+    # ---- rawlog ---------------------------------------------------------
+
+    RAW_LOG_RE = re.compile(
+        r"\bstd\s*::\s*(?:printf|fprintf|puts|cout|cerr)\b"
+        r"|(?<![\w:])(?:printf|fprintf|puts)\s*\(")
+
+    def check_raw_log(self, path: pathlib.Path, lines: list[str]) -> None:
+        if not path.is_relative_to(SRC_ROOT / "search"):
+            return
+        for i, raw in enumerate(lines, start=1):
+            line = strip_comments_and_strings(raw)
+            if self.RAW_LOG_RE.search(line):
+                self.report(path, i, "rawlog",
+                            "raw stdio/iostream output in src/search/; "
+                            "report through QueryStats, util/metrics.h, or "
+                            "the structured query log "
+                            "(util/structured_log.h) — printing is the "
+                            "binaries' job")
+
     # ---- nodiscard ------------------------------------------------------
 
     def check_status_nodiscard(self) -> None:
@@ -290,6 +317,8 @@ class Linter:
             self.check_assert(path, lines)
         for path, lines in sources.items():
             self.check_assert(path, lines)
+        for path, lines in {**headers, **sources}.items():
+            self.check_raw_log(path, lines)
 
         self.check_status_nodiscard()
         names = self.collect_status_returning(headers)

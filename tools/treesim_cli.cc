@@ -38,6 +38,7 @@
 #include "tree/traversal.h"
 #include "util/flags.h"
 #include "util/metrics.h"
+#include "util/structured_log.h"
 #include "util/thread_pool.h"
 #include "util/trace.h"
 #include "xml/xml_corpus.h"
@@ -74,8 +75,15 @@ int Usage() {
                "identical for any thread count.\n"
                "\n"
                "observability (any command):\n"
-               "  --metrics=text|json   dump every pipeline counter, gauge\n"
-               "                        and histogram to stdout on exit\n"
+               "  --metrics=text|json|prometheus\n"
+               "                        dump every pipeline counter, gauge\n"
+               "                        and histogram on exit (prometheus =\n"
+               "                        text exposition format 0.0.4)\n"
+               "  --metrics-out=FILE    write the --metrics dump to FILE\n"
+               "                        instead of stdout\n"
+               "  --query-log=FILE      append one JSON line per query\n"
+               "                        (range/knn/join) to FILE\n"
+               "  --slow-query-ms=N     only log queries taking >= N ms\n"
                "  --trace=FILE          record per-stage spans and write\n"
                "                        chrome://tracing JSON to FILE\n"
                "(no-ops when built with -DTREESIM_METRICS=OFF)\n");
@@ -398,21 +406,67 @@ int Dispatch(const std::string& command, const FlagParser& flags) {
 }
 
 /// Dumps the registry after the command so the numbers cover everything the
-/// run did (index build included). JSON goes out as one line, parseable by
-/// scripts; text gets a separator so it reads apart from command output.
-int DumpMetrics(const std::string& mode) {
+/// run did (index build included). All three modes render to one string and
+/// share one sink: stdout by default, or `--metrics-out=FILE`. JSON goes out
+/// as one line, parseable by scripts; text gets a separator so it reads
+/// apart from command output; prometheus is text exposition format 0.0.4,
+/// ready for a node_exporter textfile collector.
+int DumpMetrics(const std::string& mode, const std::string& out_path) {
   const MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  std::string rendered;
   if (mode == "json") {
-    std::printf("%s\n", snap.ToJson().c_str());
+    rendered = snap.ToJson() + "\n";
+  } else if (mode == "text") {
+    rendered = "== metrics ==\n" + snap.ToText();
+  } else if (mode == "prometheus") {
+    rendered = snap.ToPrometheus();
+  } else {
+    std::fprintf(stderr,
+                 "unknown --metrics mode '%s' (want text|json|prometheus)\n",
+                 mode.c_str());
+    return 2;
+  }
+  if (out_path.empty()) {
+    std::fwrite(rendered.data(), 1, rendered.size(), stdout);
     return 0;
   }
-  if (mode == "text") {
-    std::printf("== metrics ==\n%s", snap.ToText().c_str());
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write metrics file %s\n", out_path.c_str());
+    return 1;
+  }
+  const size_t written = std::fwrite(rendered.data(), 1, rendered.size(), f);
+  const bool ok = written == rendered.size() && std::fclose(f) == 0;
+  if (!ok) {
+    std::fprintf(stderr, "short write to metrics file %s\n", out_path.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+/// `--query-log=FILE` opens the process-wide structured query log before the
+/// command runs; `--slow-query-ms=N` additionally restricts it to queries at
+/// or above the threshold. Built with -DTREESIM_METRICS=OFF the sink is
+/// compiled out, so asking for a log file is an error rather than silence.
+int OpenQueryLog(const FlagParser& flags) {
+  const std::string path = flags.GetString("query-log", "");
+  const int64_t slow_ms = flags.GetInt("slow-query-ms", -1);
+  if (path.empty()) {
+    if (slow_ms >= 0) {
+      std::fprintf(stderr, "--slow-query-ms requires --query-log=FILE\n");
+      return 2;
+    }
     return 0;
   }
-  std::fprintf(stderr, "unknown --metrics mode '%s' (want text|json)\n",
-               mode.c_str());
-  return 2;
+  StructuredLog& qlog = StructuredLog::Global();
+  if (slow_ms >= 0) qlog.set_slow_query_micros(slow_ms * 1000);
+  const Status status = qlog.OpenFile(path);
+  if (!status.ok()) {
+    std::fprintf(stderr, "cannot open query log: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  return 0;
 }
 
 int WriteTrace(const std::string& path) {
@@ -441,15 +495,19 @@ int Main(int argc, char** argv) {
   const std::string command = argv[1];
   const FlagParser flags(argc - 1, argv + 1);
   const std::string metrics_mode = flags.GetString("metrics", "");
+  const std::string metrics_out = flags.GetString("metrics-out", "");
   const std::string trace_path = flags.GetString("trace", "");
+  const int log_code = OpenQueryLog(flags);
+  if (log_code != 0) return log_code;
   if (!trace_path.empty()) Tracer::Global().Enable();
   const int code = Dispatch(command, flags);
+  StructuredLog::Global().Close();
   if (!trace_path.empty()) {
     const int trace_code = WriteTrace(trace_path);
     if (code == 0 && trace_code != 0) return trace_code;
   }
   if (!metrics_mode.empty()) {
-    const int metrics_code = DumpMetrics(metrics_mode);
+    const int metrics_code = DumpMetrics(metrics_mode, metrics_out);
     if (code == 0 && metrics_code != 0) return metrics_code;
   }
   return code;
