@@ -256,7 +256,7 @@ class MetricsRegistry {
     std::unique_ptr<Gauge> gauge;
     std::unique_ptr<Histogram> histogram;
   };
-  mutable Mutex mu_;
+  mutable Mutex mu_ TREESIM_LOCK_RANK(40);
   std::map<std::string, Entry> entries_ TREESIM_GUARDED_BY(mu_);
 #endif
 };

@@ -103,21 +103,30 @@ Status StructuredLog::OpenFile(const std::string& path) {
   if (f == nullptr) {
     return Status::InvalidArgument("cannot open query log file " + path);
   }
-  MutexLock lock(mu_);
-  if (file_ != nullptr) std::fclose(file_);
-  file_ = f;
-  records_written_.store(0, std::memory_order_relaxed);
-  enabled_.store(true, std::memory_order_relaxed);
+  // The mutex guards only the pointer swap; the blocking fclose of a
+  // replaced stream runs after the scope ends so writers are never queued
+  // behind disk latency (astcheck: blocking-under-lock).
+  std::FILE* replaced = nullptr;
+  {
+    MutexLock lock(mu_);
+    replaced = file_;
+    file_ = f;
+    records_written_.store(0, std::memory_order_relaxed);
+    enabled_.store(true, std::memory_order_relaxed);
+  }
+  if (replaced != nullptr) std::fclose(replaced);
   return Status::Ok();
 }
 
 void StructuredLog::Close() {
   enabled_.store(false, std::memory_order_relaxed);
-  MutexLock lock(mu_);
-  if (file_ != nullptr) {
-    std::fclose(file_);
+  std::FILE* doomed = nullptr;
+  {
+    MutexLock lock(mu_);
+    doomed = file_;
     file_ = nullptr;
   }
+  if (doomed != nullptr) std::fclose(doomed);
 }
 
 void StructuredLog::Write(const LogRecord& record) {

@@ -123,7 +123,7 @@ class StructuredLog {
   std::atomic<int64_t> slow_query_micros_{0};
   std::atomic<int64_t> next_query_id_{0};
   std::atomic<int64_t> records_written_{0};
-  mutable Mutex mu_;
+  mutable Mutex mu_ TREESIM_LOCK_RANK(50);
   std::FILE* file_ TREESIM_GUARDED_BY(mu_) = nullptr;
 };
 

@@ -61,6 +61,20 @@
 #define TREESIM_NO_THREAD_SAFETY_ANALYSIS \
   TREESIM_THREAD_ANNOTATION_(no_thread_safety_analysis)
 
+/// Global lock-ordering rank for a Mutex member. While holding a ranked
+/// lock, only locks of strictly GREATER rank may be acquired; any two locks
+/// ever held together must therefore have distinct ranks, and the ordering
+/// they impose is acyclic by construction. Enforced whole-program by
+/// tools/astcheck (which reads the rank from this declaration's source
+/// line), not by -Wthread-safety. Current assignment, innermost first:
+///   10  trace.cc TracerState::mu
+///   20  ThreadPool::mu_
+///   30  trace.cc ThreadBuffer::mu
+///   40  MetricsRegistry::mu_
+///   50  StructuredLog::mu_
+#define TREESIM_LOCK_RANK(level) \
+  TREESIM_THREAD_ANNOTATION_(annotate("treesim::lock_rank=" #level))
+
 namespace treesim {
 
 /// A std::mutex with capability annotations. Lock/Unlock are spelled out

@@ -56,7 +56,7 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  Mutex mu_;
+  Mutex mu_ TREESIM_LOCK_RANK(20);
   CondVar work_cv_;
   std::deque<std::function<void()>> queue_ TREESIM_GUARDED_BY(mu_);
   bool shutdown_ TREESIM_GUARDED_BY(mu_) = false;

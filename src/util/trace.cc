@@ -27,7 +27,7 @@ int64_t NowNanos() {
 /// acquire), keeping span recording cheap without hand-rolled seqlocks; the
 /// spans this library records wrap whole pipeline stages, not inner loops.
 struct ThreadBuffer {
-  Mutex mu;
+  Mutex mu TREESIM_LOCK_RANK(30);
   std::array<TraceEvent, Tracer::kRingCapacity> ring TREESIM_GUARDED_BY(mu);
   /// Total events ever written; ring slot = written % capacity.
   int64_t written TREESIM_GUARDED_BY(mu) = 0;
@@ -43,7 +43,7 @@ struct ThreadBuffer {
 struct TracerState {
   std::atomic<bool> enabled{false};
   std::atomic<int64_t> epoch_ns{0};
-  Mutex mu;
+  Mutex mu TREESIM_LOCK_RANK(10);
   /// shared_ptr keeps buffers of exited threads alive for Collect().
   std::vector<std::shared_ptr<ThreadBuffer>> buffers TREESIM_GUARDED_BY(mu);
 };

@@ -1,0 +1,28 @@
+// Known-bad: classic AB/BA deadlock — two functions acquire the same two
+// mutexes in opposite orders. Expected finding: lock-order (cycle).
+#include "fixture_stub.h"
+
+namespace fix_abba {
+
+treesim::Mutex g_a;
+treesim::Mutex g_b;
+
+int g_shared = 0;
+
+void FirstThenSecond() {
+  treesim::MutexLock la(&g_a);
+  {
+    treesim::MutexLock lb(&g_b);
+    ++g_shared;
+  }
+}
+
+void SecondThenFirst() {
+  treesim::MutexLock lb(&g_b);
+  {
+    treesim::MutexLock la(&g_a);
+    --g_shared;
+  }
+}
+
+}  // namespace fix_abba

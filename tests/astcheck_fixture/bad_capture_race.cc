@@ -1,0 +1,14 @@
+// Known-bad: a lambda handed to ThreadPool::ParallelFor mutates a local
+// captured by reference with no MutexLock, no atomic, and no per-index
+// slot — every worker races on `total`. Expected finding: capture-race.
+#include "fixture_stub.h"
+
+namespace fix_caprace {
+
+long SumBroken(treesim::ThreadPool& pool) {
+  long total = 0;
+  pool.ParallelFor(100, [&total](long i) { total += i; });
+  return total;
+}
+
+}  // namespace fix_caprace

@@ -1,0 +1,21 @@
+// Known-bad: fprintf while holding the logger mutex — stream I/O can block
+// arbitrarily long (disk stall, full pipe) with every other thread queued
+// behind the lock. Expected finding: blocking-under-lock (I/O).
+#include "fixture_stub.h"
+
+namespace fix_io {
+
+class Logger {
+ public:
+  void Append(const char* message) {
+    treesim::MutexLock l(&mu_);
+    ++records_;
+    fprintf(fixture_stream, "%s\n", message);
+  }
+
+ private:
+  treesim::Mutex mu_;
+  long records_ = 0;
+};
+
+}  // namespace fix_io

@@ -1,0 +1,23 @@
+// Known-bad: sleeping while holding a mutex — a condition-variable-free
+// wait that holds every other thread hostage for the full sleep. The
+// sanctioned pattern is treesim::CondVar::Wait, which releases the mutex.
+// Expected finding: blocking-under-lock (wait).
+#include "fixture_stub.h"
+
+namespace fix_sleep {
+
+class Poller {
+ public:
+  void AwaitReady() {
+    treesim::MutexLock l(&mu_);
+    while (!ready_) {
+      usleep(1000);
+    }
+  }
+
+ private:
+  treesim::Mutex mu_;
+  bool ready_ = false;
+};
+
+}  // namespace fix_sleep

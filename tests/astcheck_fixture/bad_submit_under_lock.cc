@@ -1,0 +1,22 @@
+// Known-bad: scheduling pool work while holding a mutex. If the pool is
+// saturated with tasks that need the same mutex this self-deadlocks, and
+// even when it does not, it serializes the pool behind an unrelated lock.
+// Expected finding: blocking-under-lock (thread-pool submission).
+#include "fixture_stub.h"
+
+namespace fix_submit {
+
+class Rebuilder {
+ public:
+  void Kick(treesim::ThreadPool& pool) {
+    treesim::MutexLock l(&mu_);
+    ++epoch_;
+    pool.Schedule([] {});
+  }
+
+ private:
+  treesim::Mutex mu_;
+  long epoch_ = 0;
+};
+
+}  // namespace fix_submit

@@ -1,0 +1,23 @@
+// Known-bad-but-documented: I/O under the lock, deliberately, because the
+// lock *is* the serialization point for the output stream (mirrors
+// treesim::StructuredLog::Write in src/util/structured_log.cc). The
+// finding fires but is allowlisted in fixture_suppressions.toml; the
+// selftest asserts it lands in the suppressed bucket, not the kept one.
+#include "fixture_stub.h"
+
+namespace fix_suppressed {
+
+class AuditLog {
+ public:
+  void Write(const char* event) {
+    treesim::MutexLock l(&mu_);
+    ++sequence_;
+    fprintf(fixture_stream, "%ld %s\n", sequence_, event);
+  }
+
+ private:
+  treesim::Mutex mu_;
+  long sequence_ = 0;
+};
+
+}  // namespace fix_suppressed

@@ -1,0 +1,35 @@
+// Known-bad: three-lock deadlock cycle that no single function exhibits —
+// each function nests only one pair, and the third edge exists only
+// through the call graph (Third acquires g_1 while holding g_3).
+// Expected finding: lock-order (cycle over g_1 -> g_2 -> g_3 -> g_1).
+#include "fixture_stub.h"
+
+namespace fix_trans {
+
+treesim::Mutex g_1;
+treesim::Mutex g_2;
+treesim::Mutex g_3;
+
+int g_state = 0;
+
+void Third();
+
+void Second() {
+  treesim::MutexLock l2(&g_2);
+  Third();
+}
+
+void First() {
+  treesim::MutexLock l1(&g_1);
+  Second();
+}
+
+void Third() {
+  treesim::MutexLock l3(&g_3);
+  {
+    treesim::MutexLock l1(&g_1);
+    ++g_state;
+  }
+}
+
+}  // namespace fix_trans

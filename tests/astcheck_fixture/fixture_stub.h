@@ -1,0 +1,67 @@
+// Self-contained stand-ins for the treesim sync/pool primitives, shaped
+// exactly like src/util/sync.h and src/util/thread_pool.h as far as the
+// astcheck extractor is concerned (type names, method names, RAII form).
+// No standard headers: the fixture TUs must parse in milliseconds and stay
+// byte-stable so the selftest's cache assertions are meaningful.
+#ifndef TREESIM_TESTS_ASTCHECK_FIXTURE_STUB_H_
+#define TREESIM_TESTS_ASTCHECK_FIXTURE_STUB_H_
+
+// The analyzer reads the rank from the declaration's source text, so the
+// macro can be a no-op here (in src/util/sync.h it also emits an annotate
+// attribute under clang).
+#define TREESIM_LOCK_RANK(level)
+
+extern "C" {
+int fprintf(void* stream, const char* format, ...);
+int fclose(void* stream);
+int usleep(unsigned usec);
+}
+extern void* fixture_stream;
+
+namespace std {
+template <typename T>
+class atomic {
+ public:
+  T fetch_add(T delta);
+  void store(T value);
+  T load() const;
+};
+}  // namespace std
+
+namespace treesim {
+
+class Mutex {
+ public:
+  void Lock();
+  void Unlock();
+  bool TryLock();
+};
+
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu);
+  ~MutexLock();
+
+ private:
+  Mutex* mu_;
+};
+
+class CondVar {
+ public:
+  void Wait(Mutex* mu);
+  void NotifyOne();
+  void NotifyAll();
+};
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(int threads);
+  template <typename Fn>
+  void Schedule(Fn fn);
+  template <typename Fn>
+  void ParallelFor(long n, Fn fn);
+};
+
+}  // namespace treesim
+
+#endif  // TREESIM_TESTS_ASTCHECK_FIXTURE_STUB_H_

@@ -1,0 +1,20 @@
+// Known-good: a ParallelFor lambda that touches shared state only in the
+// three sanctioned ways — per-index slot writes, an atomic counter, and a
+// MutexLock-guarded accumulator. Must produce zero findings.
+#include "fixture_stub.h"
+
+namespace fix_guarded {
+
+void Aggregate(treesim::ThreadPool& pool, double* out) {
+  treesim::Mutex mu;
+  long hits = 0;
+  std::atomic<long> visited;
+  pool.ParallelFor(64, [&mu, &hits, &visited, out](long i) {
+    out[i] = static_cast<double>(i) * 2.0;
+    visited.fetch_add(1);
+    treesim::MutexLock l(&mu);
+    ++hits;
+  });
+}
+
+}  // namespace fix_guarded

@@ -1,0 +1,28 @@
+// Known-good: the swap-under-lock / close-outside-lock pattern — the mutex
+// guards only the pointer swap, and the blocking fclose runs after the
+// scope ends (mirrors the fixed StructuredLog::OpenFile/Close in
+// src/util/structured_log.cc). Must produce zero findings.
+#include "fixture_stub.h"
+
+namespace fix_iofree {
+
+class Sink {
+ public:
+  void Close() {
+    void* doomed = nullptr;
+    {
+      treesim::MutexLock l(&mu_);
+      doomed = file_;
+      file_ = nullptr;
+    }
+    if (doomed != nullptr) {
+      fclose(doomed);
+    }
+  }
+
+ private:
+  treesim::Mutex mu_;
+  void* file_ = nullptr;
+};
+
+}  // namespace fix_iofree

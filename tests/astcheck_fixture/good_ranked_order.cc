@@ -1,0 +1,30 @@
+// Known-good: two mutexes with TREESIM_LOCK_RANK annotations, always
+// acquired in strictly increasing rank order from every path. Must produce
+// zero findings (and exercises the rank reader on the analyzer side).
+#include "fixture_stub.h"
+
+namespace fix_ranked {
+
+class Pipeline {
+ public:
+  void Run() {
+    treesim::MutexLock a(&low_);
+    treesim::MutexLock b(&high_);
+    ++work_;
+  }
+
+  void Drain() {
+    treesim::MutexLock a(&low_);
+    {
+      treesim::MutexLock b(&high_);
+      work_ = 0;
+    }
+  }
+
+ private:
+  treesim::Mutex low_ TREESIM_LOCK_RANK(10);
+  treesim::Mutex high_ TREESIM_LOCK_RANK(20);
+  long work_ = 0;
+};
+
+}  // namespace fix_ranked

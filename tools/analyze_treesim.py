@@ -159,6 +159,11 @@ class Analyzer:
             if not base.is_dir():
                 continue
             for path in sorted(base.rglob("*")):
+                if "astcheck_fixture" in path.parts:
+                    # Deliberately-defective concurrency corpus for
+                    # tools/astcheck's selftest; never compiled into the
+                    # program and stubs its own "headers".
+                    continue
                 if path.suffix in (".h", ".cc"):
                     f = SourceFile(root, path)
                     self.files[f.rel] = f

@@ -1,0 +1,31 @@
+"""AST-grade concurrency analyzer for the treesim codebase.
+
+Drives ``clang -Xclang -ast-dump=json`` over every translation unit in a
+CMake ``compile_commands.json``, extracts a whole-program fact database
+(functions, call graph, ``treesim::Mutex`` acquisition sites with scopes,
+lambda capture lists with mutation classification, submissions to the
+``ThreadPool``), and runs three checks over the merged facts:
+
+  lock-order          cross-TU lock acquisition graph: deadlock cycles
+                      (including acquisitions reached transitively through
+                      the call graph) and TREESIM_LOCK_RANK violations.
+  capture-race        lambdas submitted to ThreadPool::Schedule /
+                      ParallelFor that capture non-const locals by
+                      reference and mutate them without a MutexLock guard,
+                      an atomic type, or per-index slot indexing.
+  blocking-under-lock I/O, ThreadPool submission, and condition-variable-
+                      free waits while a treesim::Mutex is held, directly
+                      or through any chain of repo-local calls.
+
+The package degrades gracefully: without a clang binary the entry points
+exit 77 (ctest SKIP), and the pure-Python core stays covered by
+``unittests.py`` which feeds hand-written clang-schema JSON through the
+same extraction and check paths.
+
+See DESIGN.md section 13 for the fact-database schema and the exact check
+semantics, and tools/astcheck_suppressions.toml for the allowlist format.
+"""
+
+__version__ = "1.0"
+
+SCHEMA_VERSION = 1

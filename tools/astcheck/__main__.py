@@ -1,0 +1,150 @@
+"""CLI for the astcheck concurrency analyzer.
+
+Usage (from the repo root):
+
+    python3 tools/astcheck/__main__.py [--build-dir build] [options]
+    python3 tools/astcheck/__main__.py --unit-test
+    python3 tools/astcheck/__main__.py --self-test
+
+Exit codes:
+    0   analysis ran, no unsuppressed findings
+    1   unsuppressed findings reported
+    2   usage or internal error (clang crashed, bad compile db, ...)
+    77  clang or compile_commands.json unavailable (ctest SKIP)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+_TOOLS_DIR = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+if _TOOLS_DIR not in sys.path:
+    sys.path.insert(0, _TOOLS_DIR)
+
+from astcheck import checks, clang_driver, facts  # noqa: E402
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_ERROR = 2
+EXIT_SKIP = 77
+
+DEFAULT_REPO_ROOT = os.path.dirname(_TOOLS_DIR)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="astcheck",
+        description="AST-grade concurrency analyzer (lock-order, "
+                    "capture-race, blocking-under-lock)")
+    p.add_argument("--repo-root", default=DEFAULT_REPO_ROOT,
+                   help="source tree root (default: this checkout)")
+    p.add_argument("--build-dir", default=None,
+                   help="CMake build dir holding compile_commands.json "
+                        "(default: <repo-root>/build)")
+    p.add_argument("--compile-commands", default=None,
+                   help="explicit compile_commands.json path")
+    p.add_argument("--cache-dir", default=None,
+                   help="per-TU fact cache (default: "
+                        "<build-dir>/astcheck_cache)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="ignore and do not write the fact cache")
+    p.add_argument("--jobs", type=int, default=min(4, os.cpu_count() or 1),
+                   help="parallel clang/extraction workers")
+    p.add_argument("--clang", default=None,
+                   help="clang driver to use (default: auto-discover)")
+    p.add_argument("--facts-out", default=None,
+                   help="write the merged fact database JSON here")
+    p.add_argument("--suppressions", default=None,
+                   help="suppressions TOML (default: "
+                        "<repo-root>/tools/astcheck_suppressions.toml; "
+                        "'none' disables)")
+    p.add_argument("--verbose", action="store_true")
+    p.add_argument("--unit-test", action="store_true",
+                   help="run the clang-free unit tests and exit")
+    p.add_argument("--self-test", action="store_true",
+                   help="run the fixture-corpus selftest (needs clang)")
+    return p
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.unit_test:
+        from astcheck import unittests
+        return unittests.main()
+    if args.self_test:
+        from astcheck import selftest
+        return selftest.main(args)
+
+    log = print if args.verbose else (lambda *_: None)
+
+    clang = clang_driver.find_clang(args.clang)
+    if clang is None:
+        print("astcheck: SKIP: no clang >= "
+              f"{clang_driver.MIN_CLANG_MAJOR} found on PATH "
+              "(set --clang or ASTCHECK_CLANG)")
+        return EXIT_SKIP
+
+    repo_root = os.path.abspath(args.repo_root)
+    build_dir = args.build_dir or os.path.join(repo_root, "build")
+    compile_db = args.compile_commands or os.path.join(
+        build_dir, "compile_commands.json")
+    if not os.path.isfile(compile_db):
+        print(f"astcheck: SKIP: {compile_db} not found "
+              "(configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON)")
+        return EXIT_SKIP
+
+    cache_dir = args.cache_dir or os.path.join(build_dir, "astcheck_cache")
+
+    try:
+        db, stats = clang_driver.analyze_all(
+            compile_db, repo_root, clang, cache_dir, args.jobs,
+            use_cache=not args.no_cache, log=log)
+    except (OSError, json.JSONDecodeError, ValueError) as exc:
+        print(f"astcheck: error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+    if stats["errors"]:
+        for err in stats["errors"]:
+            print(f"astcheck: error: {err}", file=sys.stderr)
+        return EXIT_ERROR
+
+    if args.facts_out:
+        with open(args.facts_out, "w", encoding="utf-8") as fh:
+            json.dump(db.to_json(), fh, indent=1)
+        log(f"astcheck: fact database written to {args.facts_out}")
+
+    sups: list[checks.Suppression] = []
+    sup_path = args.suppressions
+    if sup_path != "none":
+        if sup_path is None:
+            sup_path = os.path.join(repo_root, "tools",
+                                    "astcheck_suppressions.toml")
+            if not os.path.isfile(sup_path):
+                sup_path = None
+        if sup_path is not None:
+            try:
+                sups = checks.load_suppressions(sup_path)
+            except (OSError, ValueError) as exc:
+                print(f"astcheck: error: {exc}", file=sys.stderr)
+                return EXIT_ERROR
+
+    ranks = checks.load_lock_ranks(db, repo_root)
+    kept, suppressed, warnings = checks.run_all(db, ranks, sups)
+
+    for w in warnings:
+        print(f"astcheck: warning: {w}")
+    for f in kept:
+        print(f.render())
+
+    print(f"astcheck: {stats['tus']} TUs ({stats['cache_hits']} cached) | "
+          f"{len(db.functions)} functions | {len(db.mutex_fields)} mutexes "
+          f"({len(ranks)} ranked) | {len(kept)} findings, "
+          f"{len(suppressed)} suppressed | {stats['seconds']}s")
+    return EXIT_FINDINGS if kept else EXIT_CLEAN
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,521 @@
+"""Concurrency checks over the merged fact database.
+
+Three checks, each emitting ``Finding`` records:
+
+  lock-order           builds the lock acquisition graph (edge A -> B when B
+                       is acquired while A is held, directly or through any
+                       chain of repo-local calls), reports every cycle and
+                       every TREESIM_LOCK_RANK inversion.
+  capture-race         lambdas handed to the ThreadPool that mutate a
+                       by-reference capture without a MutexLock guard, an
+                       atomic, per-index slot addressing, or an internally
+                       synchronized type.
+  blocking-under-lock  I/O, pool submission, or sleeping while a
+                       treesim::Mutex is held (CondVar::Wait is the one
+                       sanctioned wait and is modeled natively).
+
+All three are conservative in the same direction: an identity or call the
+extractor could not resolve produces *no* edge, never a guessed one, so a
+finding always corresponds to something actually visible in the AST.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import fnmatch
+import os
+import re
+from typing import Any
+
+from . import facts
+
+# ---------------------------------------------------------------------------
+# Findings and suppressions
+# ---------------------------------------------------------------------------
+
+CHECKS = ("lock-order", "capture-race", "blocking-under-lock")
+
+
+@dataclasses.dataclass
+class Finding:
+    check: str
+    file: str
+    line: int
+    function: str
+    message: str
+    lock: str = ""
+    callee: str = ""
+
+    def render(self) -> str:
+        loc = f"{self.file}:{self.line}"
+        return f"{loc}: [{self.check}] in `{self.function}`: {self.message}"
+
+    def sort_key(self) -> tuple:
+        return (self.check, self.file, self.line, self.message)
+
+
+@dataclasses.dataclass
+class Suppression:
+    check: str
+    reason: str
+    file: str = "*"
+    function: str = "*"
+    callee: str = "*"
+    lock: str = "*"
+    used: bool = False
+
+    def matches(self, f: Finding) -> bool:
+        if self.check != f.check:
+            return False
+        return (fnmatch.fnmatch(f.file, self.file)
+                and fnmatch.fnmatch(f.function, self.function)
+                and fnmatch.fnmatch(f.callee, self.callee)
+                and fnmatch.fnmatch(f.lock, self.lock))
+
+
+def load_suppressions(path: str) -> list[Suppression]:
+    import tomllib
+    with open(path, "rb") as fh:
+        doc = tomllib.load(fh)
+    out: list[Suppression] = []
+    for i, entry in enumerate(doc.get("suppress", [])):
+        check = entry.get("check", "")
+        if check not in CHECKS:
+            raise ValueError(
+                f"{path}: suppress[{i}]: unknown check {check!r} "
+                f"(expected one of {', '.join(CHECKS)})")
+        reason = entry.get("reason", "").strip()
+        if not reason:
+            raise ValueError(f"{path}: suppress[{i}]: a non-empty 'reason' "
+                             "is required for every suppression")
+        out.append(Suppression(
+            check=check, reason=reason,
+            file=entry.get("file", "*"),
+            function=entry.get("function", "*"),
+            callee=entry.get("callee", "*"),
+            lock=entry.get("lock", "*")))
+    return out
+
+
+def apply_suppressions(findings: list[Finding],
+                       sups: list[Suppression]
+                       ) -> tuple[list[Finding], list[Finding], list[str]]:
+    """Returns (kept, suppressed, warnings-for-unused-entries)."""
+    kept: list[Finding] = []
+    suppressed: list[Finding] = []
+    for f in findings:
+        hit = next((s for s in sups if s.matches(f)), None)
+        if hit is not None:
+            hit.used = True
+            suppressed.append(f)
+        else:
+            kept.append(f)
+    warnings = [
+        f"unused suppression: check={s.check} function={s.function} "
+        f"callee={s.callee} file={s.file} lock={s.lock} ({s.reason})"
+        for s in sups if not s.used
+    ]
+    return kept, suppressed, warnings
+
+
+# ---------------------------------------------------------------------------
+# Lock ranks
+# ---------------------------------------------------------------------------
+
+_RANK_RE = re.compile(r"TREESIM_LOCK_RANK\((\d+)\)")
+
+
+def load_lock_ranks(db: facts.FactDB, repo_root: str) -> dict[str, int]:
+    """Reads TREESIM_LOCK_RANK(n) annotations from the source lines of the
+    registered Mutex fields.
+
+    clang-14 does not serialize ``annotate`` attribute payloads into the
+    JSON dump, so the rank is read from the declaration's source text — the
+    fact database already pins down exactly which file:line to look at.
+    """
+    ranks: dict[str, int] = {}
+    line_cache: dict[str, list[str]] = {}
+    for lock_id, info in db.mutex_fields.items():
+        path = info.get("file", "")
+        if not path:
+            continue
+        if not os.path.isabs(path):
+            path = os.path.join(repo_root, path)
+        if path not in line_cache:
+            try:
+                with open(path, "r", encoding="utf-8",
+                          errors="replace") as fh:
+                    line_cache[path] = fh.readlines()
+            except OSError:
+                line_cache[path] = []
+        lines = line_cache[path]
+        ln = info.get("line", 0)
+        if 1 <= ln <= len(lines):
+            m = _RANK_RE.search(lines[ln - 1])
+            if m:
+                ranks[lock_id] = int(m.group(1))
+    return ranks
+
+
+# ---------------------------------------------------------------------------
+# Shared call-graph helpers
+# ---------------------------------------------------------------------------
+
+# Calls on the TREESIM_CHECK failure path: FatalMessage's destructor aborts
+# the process, so "blocking" work there can never deadlock a healthy run.
+_EXEMPT_CALLEE_SUBSTRINGS = ("internal_logging", "FatalMessage", "Voidify")
+
+
+def _exempt_callee(callee: str) -> bool:
+    return any(s in callee for s in _EXEMPT_CALLEE_SUBSTRINGS)
+
+
+def _calls_in_scope(fn: facts.FunctionFact,
+                    acq: facts.Acquisition) -> list[facts.CallSite]:
+    return [c for c in fn.calls if acq.begin < c.offset <= acq.end]
+
+
+def _acquisitions_in_scope(fn: facts.FunctionFact,
+                           acq: facts.Acquisition) -> list[facts.Acquisition]:
+    return [b for b in fn.acquisitions
+            if b is not acq and acq.begin < b.begin < acq.end]
+
+
+class _TransitiveAcquires:
+    """ACQ*(f): every lock f may acquire, directly or through calls."""
+
+    def __init__(self, db: facts.FactDB) -> None:
+        self.db = db
+        self.memo: dict[str, dict[str, tuple[str, ...]]] = {}
+
+    def get(self, qname: str,
+            _stack: "frozenset[str]" = frozenset()) -> dict[str, tuple[str, ...]]:
+        """lock id -> call path (qnames) by which it is reached."""
+        if qname in self.memo:
+            return self.memo[qname]
+        if qname in _stack:
+            return {}
+        fn = self.db.functions.get(qname)
+        if fn is None:
+            return {}
+        stack = _stack | {qname}
+        acc: dict[str, tuple[str, ...]] = {}
+        for acq in fn.acquisitions:
+            acc.setdefault(acq.lock, (qname,))
+        for call in fn.calls:
+            if _exempt_callee(call.callee):
+                continue
+            for callee in self.db.resolve(call.callee):
+                for lock, path in self.get(callee.qname, stack).items():
+                    acc.setdefault(lock, (qname,) + path)
+        if not _stack:  # only memoize complete (non-cycle-truncated) results
+            self.memo[qname] = acc
+        return acc
+
+
+# ---------------------------------------------------------------------------
+# Check 1: lock-order
+# ---------------------------------------------------------------------------
+
+
+def check_lock_order(db: facts.FactDB,
+                     ranks: dict[str, int]) -> list[Finding]:
+    findings: list[Finding] = []
+    # (src lock, dst lock) -> example site description
+    edges: dict[tuple[str, str], dict[str, Any]] = {}
+    acq_star = _TransitiveAcquires(db)
+
+    for fn in db.functions.values():
+        for acq in fn.acquisitions:
+            for inner in _acquisitions_in_scope(fn, acq):
+                if inner.lock == acq.lock:
+                    continue  # same canonical lock, distinct instances
+                edges.setdefault((acq.lock, inner.lock), {
+                    "file": inner.file, "line": inner.line,
+                    "function": fn.qname, "via": ()})
+            for call in _calls_in_scope(fn, acq):
+                if _exempt_callee(call.callee):
+                    continue
+                for callee in db.resolve(call.callee):
+                    for lock, path in acq_star.get(callee.qname).items():
+                        if lock == acq.lock:
+                            continue
+                        edges.setdefault((acq.lock, lock), {
+                            "file": call.file, "line": call.line,
+                            "function": fn.qname, "via": path})
+
+    # Rank inversions: while holding a ranked lock, only strictly greater
+    # ranks may be acquired.
+    for (src, dst), site in sorted(edges.items()):
+        rs, rd = ranks.get(src), ranks.get(dst)
+        if rs is not None and rd is not None and rd <= rs:
+            via = (" via " + " -> ".join(site["via"])) if site["via"] else ""
+            findings.append(Finding(
+                check="lock-order", file=site["file"], line=site["line"],
+                function=site["function"], lock=dst,
+                message=(f"acquires `{dst}` (rank {rd}) while holding "
+                         f"`{src}` (rank {rs}); ranks must strictly "
+                         f"increase{via}")))
+
+    # Deadlock cycles: any strongly connected component with >= 2 locks.
+    for scc in _sccs({s for s, _ in edges} | {d for _, d in edges},
+                     edges.keys()):
+        if len(scc) < 2:
+            continue
+        cycle = _example_cycle(scc, edges.keys())
+        site = edges[(cycle[0], cycle[1])]
+        pretty = " -> ".join(cycle + [cycle[0]])
+        legs = []
+        for a, b in zip(cycle, cycle[1:] + [cycle[0]]):
+            e = edges[(a, b)]
+            legs.append(f"`{a}` then `{b}` at {e['file']}:{e['line']} "
+                        f"(in {e['function']})")
+        findings.append(Finding(
+            check="lock-order", file=site["file"], line=site["line"],
+            function=site["function"], lock=cycle[0],
+            message=(f"lock-order cycle {pretty}: " + "; ".join(legs))))
+    return findings
+
+
+def _sccs(nodes: set[str], edge_keys) -> list[list[str]]:
+    """Iterative Tarjan strongly-connected components."""
+    adj: dict[str, list[str]] = {n: [] for n in nodes}
+    for s, d in edge_keys:
+        adj[s].append(d)
+    index: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    out: list[list[str]] = []
+    counter = 0
+
+    for root in sorted(nodes):
+        if root in index:
+            continue
+        index[root] = low[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        work = [(root, iter(adj[root]))]
+        while work:
+            node, it = work[-1]
+            child = next(it, None)
+            if child is not None:
+                if child not in index:
+                    index[child] = low[child] = counter
+                    counter += 1
+                    stack.append(child)
+                    on_stack.add(child)
+                    work.append((child, iter(adj[child])))
+                elif child in on_stack:
+                    low[node] = min(low[node], index[child])
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index[node]:
+                comp = []
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    comp.append(w)
+                    if w == node:
+                        break
+                out.append(sorted(comp))
+    return out
+
+
+def _example_cycle(scc: list[str], edge_keys) -> list[str]:
+    """Shortest concrete cycle through the SCC, for the diagnostic."""
+    import collections
+    members = set(scc)
+    adj = {n: sorted(d for s, d in edge_keys if s == n and d in members)
+           for n in scc}
+    start = scc[0]
+    queue = collections.deque((n, [start, n]) for n in adj[start])
+    seen: set[str] = set()
+    while queue:
+        node, path = queue.popleft()
+        if node == start:
+            return path[:-1]
+        if node in seen:
+            continue
+        seen.add(node)
+        for d in adj[node]:
+            queue.append((d, path + [d]))
+    return [start]  # unreachable for an SCC of size >= 2
+
+
+# ---------------------------------------------------------------------------
+# Check 2: capture-race
+# ---------------------------------------------------------------------------
+
+# Types that synchronize internally: mutating them from several workers is
+# their documented contract.
+THREADSAFE_TYPE_TOKENS = {
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "StructuredLog",
+    "Tracer", "ThreadPool", "Mutex", "CondVar", "atomic", "atomic_bool",
+    "atomic_int", "Latch", "Barrier",
+}
+
+
+def _is_threadsafe_type(qual: str) -> bool:
+    return any(tok in THREADSAFE_TYPE_TOKENS
+               for tok in facts._strip_type(qual))
+
+
+def check_capture_race(db: facts.FactDB) -> list[Finding]:
+    findings: list[Finding] = []
+    for fn in db.functions.values():
+        if not (fn.is_lambda and fn.submitted):
+            continue
+        guard_scopes = [(a.begin, a.end) for a in fn.acquisitions]
+        seen: set[tuple[str, int]] = set()
+        for m in fn.mutations:
+            if m.atomic or m.per_slot:
+                continue
+            if _is_threadsafe_type(m.root_type):
+                continue
+            cap = fn.captures.get(m.root)
+            if cap is not None and not cap.get("by_ref", True):
+                continue  # by-value copy: mutation stays thread-local
+            if cap is None and fn.lambda_mutable:
+                # Capture list unrecoverable and the lambda is mutable, so
+                # this may be a by-value member mutation; stay silent.
+                continue
+            if any(b <= m.offset <= e for b, e in guard_scopes):
+                continue  # mutation under a MutexLock held by the lambda
+            key = (m.root, m.line)
+            if key in seen:
+                continue
+            seen.add(key)
+            findings.append(Finding(
+                check="capture-race", file=m.file, line=m.line,
+                function=fn.qname, callee=m.root,
+                message=(f"lambda submitted to the thread pool mutates "
+                         f"by-reference capture `{m.root}` "
+                         f"({m.expr}) without a MutexLock guard, atomic, "
+                         f"or per-index slot")))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Check 3: blocking-under-lock
+# ---------------------------------------------------------------------------
+
+IO_FUNCS = {
+    "fprintf", "printf", "vfprintf", "fputs", "puts", "fwrite", "fputc",
+    "putc", "putchar", "fopen", "fclose", "freopen", "fflush", "fread",
+    "fgets", "fgetc", "getline", "scanf", "fscanf", "write", "read",
+    "open", "close", "fsync",
+}
+
+WAIT_FUNCS = {
+    "sleep", "usleep", "nanosleep", "sleep_for", "sleep_until", "join",
+    "wait", "yield",
+}
+
+_SUBMIT_BASENAMES = {"Schedule", "Submit", "ParallelFor"}
+
+
+def _blocking_reason(call: facts.CallSite) -> str | None:
+    base = call.callee.split("::")[-1]
+    if base in IO_FUNCS:
+        return f"I/O call `{call.callee}`"
+    if base in WAIT_FUNCS:
+        return f"wait call `{call.callee}`"
+    if call.submits or (base in _SUBMIT_BASENAMES
+                        and "ThreadPool" in call.callee):
+        return f"thread-pool submission `{call.callee}`"
+    return None
+
+
+class _TransitiveBlocks:
+    """BLOCK*(f): first blocking operation reachable from f, with path."""
+
+    def __init__(self, db: facts.FactDB) -> None:
+        self.db = db
+        self.memo: dict[str, "tuple[str, tuple[str, ...]] | None"] = {}
+
+    def get(self, qname: str,
+            _stack: "frozenset[str]" = frozenset()
+            ) -> "tuple[str, tuple[str, ...]] | None":
+        if qname in self.memo:
+            return self.memo[qname]
+        if qname in _stack:
+            return None
+        fn = self.db.functions.get(qname)
+        if fn is None:
+            return None
+        stack = _stack | {qname}
+        result: "tuple[str, tuple[str, ...]] | None" = None
+        for call in fn.calls:
+            if _exempt_callee(call.callee):
+                continue
+            reason = _blocking_reason(call)
+            if reason is not None:
+                result = (reason, (qname,))
+                break
+            for callee in self.db.resolve(call.callee):
+                sub = self.get(callee.qname, stack)
+                if sub is not None:
+                    result = (sub[0], (qname,) + sub[1])
+                    break
+            if result is not None:
+                break
+        if not _stack:
+            self.memo[qname] = result
+        return result
+
+
+def check_blocking_under_lock(db: facts.FactDB) -> list[Finding]:
+    findings: list[Finding] = []
+    blocks = _TransitiveBlocks(db)
+    for fn in db.functions.values():
+        for acq in fn.acquisitions:
+            for call in _calls_in_scope(fn, acq):
+                if _exempt_callee(call.callee):
+                    continue
+                reason = _blocking_reason(call)
+                if reason is not None:
+                    findings.append(Finding(
+                        check="blocking-under-lock", file=call.file,
+                        line=call.line, function=fn.qname,
+                        lock=acq.lock, callee=call.callee,
+                        message=f"{reason} while holding `{acq.lock}`"))
+                    continue
+                for callee in db.resolve(call.callee):
+                    sub = blocks.get(callee.qname)
+                    if sub is not None:
+                        reason_str, path = sub
+                        chain = " -> ".join(path)
+                        findings.append(Finding(
+                            check="blocking-under-lock", file=call.file,
+                            line=call.line, function=fn.qname,
+                            lock=acq.lock, callee=call.callee,
+                            message=(f"{reason_str} reached via {chain} "
+                                     f"while holding `{acq.lock}`")))
+                        break
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+
+def run_all(db: facts.FactDB, ranks: dict[str, int],
+            sups: list[Suppression]
+            ) -> tuple[list[Finding], list[Finding], list[str]]:
+    findings: list[Finding] = []
+    findings += check_lock_order(db, ranks)
+    findings += check_capture_race(db)
+    findings += check_blocking_under_lock(db)
+    # Deduplicate identical findings arising from functions merged across
+    # TUs (header-inline bodies seen many times).
+    unique: dict[tuple, Finding] = {}
+    for f in findings:
+        unique.setdefault(f.sort_key(), f)
+    ordered = sorted(unique.values(), key=Finding.sort_key)
+    return apply_suppressions(ordered, sups)

@@ -1,0 +1,344 @@
+"""Runs clang over a compile database and caches per-TU fact extraction.
+
+The expensive step is ``clang -Xclang -ast-dump=json -fsyntax-only`` (the
+JSON for a test TU that pulls in gtest easily exceeds 100 MB), so facts are
+cached per TU under a content hash covering:
+
+  * the clang version string,
+  * the exact rewritten command line,
+  * the TU source bytes, and
+  * every repo-local header reachable from the TU through a ``#include``
+    scan against the repo-internal ``-I`` directories.
+
+System headers are deliberately outside the key: they change only with the
+toolchain, which the clang version string already covers. A cache hit skips
+clang, the JSON parse, and the extraction walk entirely, which is what
+keeps warm reruns in the seconds range.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import hashlib
+import json
+import os
+import re
+import shlex
+import shutil
+import subprocess
+import sys
+import time
+from typing import Any
+
+from . import SCHEMA_VERSION
+from . import facts
+
+# ---------------------------------------------------------------------------
+# clang discovery
+# ---------------------------------------------------------------------------
+
+_CLANG_CANDIDATES = [
+    "clang++", "clang",
+    "clang++-20", "clang++-19", "clang++-18", "clang++-17", "clang++-16",
+    "clang++-15", "clang++-14",
+    "clang-20", "clang-19", "clang-18", "clang-17", "clang-16",
+    "clang-15", "clang-14",
+]
+
+MIN_CLANG_MAJOR = 14  # first release with a stable -ast-dump=json schema
+
+
+def find_clang(explicit: "str | None" = None) -> "str | None":
+    """Locates a usable clang driver, newest candidate first."""
+    candidates: list[str] = []
+    if explicit:
+        candidates.append(explicit)
+    env = os.environ.get("ASTCHECK_CLANG")
+    if env:
+        candidates.append(env)
+    candidates.extend(_CLANG_CANDIDATES)
+    for cand in candidates:
+        path = shutil.which(cand)
+        if path is None:
+            continue
+        ver = clang_version(path)
+        if ver is None:
+            continue
+        m = re.search(r"clang version (\d+)", ver)
+        if m and int(m.group(1)) >= MIN_CLANG_MAJOR:
+            return path
+    return None
+
+
+def clang_version(clang: str) -> "str | None":
+    try:
+        out = subprocess.run([clang, "--version"], capture_output=True,
+                             text=True, timeout=30)
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if out.returncode != 0 or "clang" not in out.stdout:
+        return None
+    return out.stdout.splitlines()[0].strip()
+
+
+# ---------------------------------------------------------------------------
+# Compile database
+# ---------------------------------------------------------------------------
+
+
+def load_compile_db(path: str) -> list[dict[str, Any]]:
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def rewrite_command(entry: dict[str, Any], clang: str) -> list[str]:
+    """Original compile command -> clang AST-dump command."""
+    if "arguments" in entry:
+        args = list(entry["arguments"])
+    else:
+        args = shlex.split(entry["command"])
+    src = entry["file"]
+    out: list[str] = [clang]
+    skip_next = False
+    for a in args[1:]:
+        if skip_next:
+            skip_next = False
+            continue
+        if a in ("-o", "-MF", "-MT", "-MQ"):
+            skip_next = True
+            continue
+        if a in ("-c", "-MD", "-MMD", "-MP"):
+            continue
+        if os.path.basename(a) == os.path.basename(src) and a.endswith(
+                os.path.splitext(src)[1]):
+            continue  # the source file; re-appended last
+        out.append(a)
+    out += [
+        "-fsyntax-only",
+        "-Wno-everything",  # diagnostics are cmake/clang-tidy's job
+        "-Xclang", "-ast-dump=json",
+        src,
+    ]
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Include-closure hashing
+# ---------------------------------------------------------------------------
+
+_INCLUDE_RE = re.compile(r'^\s*#\s*include\s*[<"]([^">]+)[">]',
+                         re.MULTILINE)
+
+
+class _IncludeScanner:
+    def __init__(self, repo_root: str) -> None:
+        self.repo_root = os.path.abspath(repo_root).rstrip("/") + "/"
+        self._direct: dict[str, list[str]] = {}
+        self._hash: dict[str, str] = {}
+
+    def file_hash(self, path: str) -> str:
+        h = self._hash.get(path)
+        if h is None:
+            try:
+                with open(path, "rb") as fh:
+                    h = hashlib.sha256(fh.read()).hexdigest()
+            except OSError:
+                h = "missing"
+            self._hash[path] = h
+        return h
+
+    def _direct_includes(self, path: str,
+                         include_dirs: tuple[str, ...]) -> list[str]:
+        cached = self._direct.get(path)
+        if cached is not None:
+            return cached
+        try:
+            with open(path, "r", encoding="utf-8", errors="replace") as fh:
+                text = fh.read()
+        except OSError:
+            self._direct[path] = []
+            return []
+        found: list[str] = []
+        search = [os.path.dirname(path)] + list(include_dirs)
+        for name in _INCLUDE_RE.findall(text):
+            for base in search:
+                cand = os.path.abspath(os.path.join(base, name))
+                # Only repo-local headers enter the cache key; toolchain
+                # headers are covered by the clang version component.
+                if cand.startswith(self.repo_root) and os.path.isfile(cand):
+                    found.append(cand)
+                    break
+        self._direct[path] = found
+        return found
+
+    def closure(self, src: str,
+                include_dirs: tuple[str, ...]) -> list[tuple[str, str]]:
+        """[(path, sha256)] of src plus reachable repo-local headers."""
+        seen: set[str] = set()
+        order: list[str] = []
+        stack = [os.path.abspath(src)]
+        while stack:
+            p = stack.pop()
+            if p in seen:
+                continue
+            seen.add(p)
+            order.append(p)
+            stack.extend(self._direct_includes(p, include_dirs))
+        return [(p, self.file_hash(p)) for p in sorted(order)]
+
+
+def _include_dirs_of(cmd: list[str]) -> tuple[str, ...]:
+    dirs: list[str] = []
+    i = 0
+    while i < len(cmd):
+        a = cmd[i]
+        if a in ("-I", "-isystem", "-iquote") and i + 1 < len(cmd):
+            dirs.append(cmd[i + 1])
+            i += 2
+            continue
+        if a.startswith("-I") and len(a) > 2:
+            dirs.append(a[2:])
+        i += 1
+    return tuple(dirs)
+
+
+def tu_cache_key(clang_ver: str, cmd: list[str],
+                 closure: list[tuple[str, str]]) -> str:
+    h = hashlib.sha256()
+    h.update(f"schema={SCHEMA_VERSION}\n".encode())
+    h.update((clang_ver + "\n").encode())
+    h.update(("\x1f".join(cmd) + "\n").encode())
+    for path, digest in closure:
+        h.update(f"{path}={digest}\n".encode())
+    return h.hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Cache
+# ---------------------------------------------------------------------------
+
+
+class FactCache:
+    def __init__(self, cache_dir: str) -> None:
+        self.dir = cache_dir
+        os.makedirs(cache_dir, exist_ok=True)
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.dir, key[:32] + ".json")
+
+    def get(self, key: str) -> "facts.TUFacts | None":
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            return None
+        if doc.get("schema") != SCHEMA_VERSION or doc.get("key") != key:
+            return None
+        try:
+            return facts.TUFacts.from_json(doc["facts"])
+        except (KeyError, TypeError):
+            return None
+
+    def put(self, key: str, tu: facts.TUFacts) -> None:
+        path = self._path(key)
+        tmp = path + f".tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump({"schema": SCHEMA_VERSION, "key": key,
+                       "facts": tu.to_json()}, fh)
+        os.replace(tmp, path)
+
+
+# ---------------------------------------------------------------------------
+# Per-TU work (runs in a worker process: clang + parse + extract)
+# ---------------------------------------------------------------------------
+
+
+def _extract_one(cmd: list[str], src: str, cwd: str,
+                 repo_root: str) -> dict[str, Any]:
+    sys.setrecursionlimit(200000)
+    proc = subprocess.run(cmd, cwd=cwd, capture_output=True, text=True)
+    if proc.returncode != 0 or not proc.stdout.lstrip().startswith("{"):
+        tail = (proc.stderr or proc.stdout).strip().splitlines()[-8:]
+        raise RuntimeError(
+            f"clang failed on {src} (exit {proc.returncode}):\n" +
+            "\n".join(tail))
+    tu = facts.extract_tu(proc.stdout, src, repo_root)
+    return tu.to_json()
+
+
+# ---------------------------------------------------------------------------
+# Whole-program analysis
+# ---------------------------------------------------------------------------
+
+
+def analyze_all(compile_db_path: str, repo_root: str, clang: str,
+                cache_dir: "str | None", jobs: int,
+                use_cache: bool = True,
+                log=lambda msg: None) -> tuple[facts.FactDB, dict[str, Any]]:
+    t0 = time.monotonic()
+    entries = load_compile_db(compile_db_path)
+    ver = clang_version(clang) or "unknown"
+    cache = FactCache(cache_dir) if (cache_dir and use_cache) else None
+    scanner = _IncludeScanner(repo_root)
+
+    plan: list[tuple[dict[str, Any], list[str], str]] = []
+    hits: list[facts.TUFacts] = []
+    skipped = 0
+    for entry in entries:
+        src = os.path.join(entry.get("directory", ""), entry["file"])
+        if "/_deps/" in os.path.abspath(src):
+            skipped += 1  # third-party FetchContent TU (e.g. googletest)
+            continue
+        cmd = rewrite_command(entry, clang)
+        closure = scanner.closure(entry["file"], _include_dirs_of(cmd))
+        key = tu_cache_key(ver, cmd, closure)
+        if cache is not None:
+            tu = cache.get(key)
+            if tu is not None:
+                hits.append(tu)
+                continue
+        plan.append((entry, cmd, key))
+
+    log(f"astcheck: {len(entries)} TUs ({skipped} third-party skipped), "
+        f"{len(hits)} cached, {len(plan)} to analyze (clang: {ver})")
+
+    db = facts.FactDB()
+    for tu in hits:
+        db.add_tu(tu)
+
+    errors: list[str] = []
+    if plan:
+        with concurrent.futures.ProcessPoolExecutor(
+                max_workers=max(1, jobs)) as pool:
+            futures = {
+                pool.submit(_extract_one, cmd, entry["file"],
+                            entry.get("directory", repo_root), repo_root):
+                (entry, key)
+                for entry, cmd, key in plan
+            }
+            done = 0
+            for fut in concurrent.futures.as_completed(futures):
+                entry, key = futures[fut]
+                done += 1
+                try:
+                    tu = facts.TUFacts.from_json(fut.result())
+                except (RuntimeError, OSError) as exc:
+                    errors.append(str(exc))
+                    continue
+                db.add_tu(tu)
+                if cache is not None:
+                    cache.put(key, tu)
+                if done % 10 == 0 or done == len(plan):
+                    log(f"astcheck: analyzed {done}/{len(plan)} TUs")
+
+    stats = {
+        "tus": len(hits) + len(plan),
+        "skipped": skipped,
+        "cache_hits": len(hits),
+        "analyzed": len(plan),
+        "errors": errors,
+        "clang": ver,
+        "seconds": round(time.monotonic() - t0, 2),
+    }
+    return db, stats

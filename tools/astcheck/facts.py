@@ -1,0 +1,1130 @@
+"""Fact extraction from clang JSON AST dumps.
+
+The dumper emits nodes in serialization order and omits the ``file`` /
+``line`` fields of a source location whenever they match the previously
+emitted location, so extraction is a single depth-first walk over the whole
+tree (including system-header subtrees, which must be visited to keep the
+location state correct) that records facts only for nodes whose current
+file lies under the repo root.
+
+Fidelity notes (deliberate approximations, see DESIGN.md section 13):
+
+  * A ``MutexLock`` RAII acquisition is held from its declaration to the
+    end of the enclosing compound statement; a manual ``Mutex::Lock()`` is
+    held until the matching ``Unlock()`` in the same function, else to the
+    end of the function. ``TryLock()`` never blocks and is ignored for
+    lock ordering.
+  * Lock identity is canonicalized to ``Record::field`` when the mutex is
+    a member of a known record (all instances of a field collapse to one
+    graph node), and to ``function::var[.field]`` for locals. Expressions
+    the canonicalizer cannot follow get a per-site opaque identity, which
+    can never create a cross-function edge (conservative on the
+    false-positive side).
+  * Lambda bodies are separate call-graph nodes: scheduling a lambda does
+    not execute it at the submission site. ``ParallelFor(nullptr, ...)``
+    runs the lambda inline by contract, and is modeled as a direct call.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import re
+from typing import Any, Iterable
+
+# ---------------------------------------------------------------------------
+# Fact model
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class Acquisition:
+    lock: str
+    file: str
+    line: int
+    begin: int  # file offset where the lock becomes held
+    end: int  # file offset where it is released (scope end)
+    kind: str  # "raii" | "manual"
+
+    def to_json(self) -> dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @staticmethod
+    def from_json(d: dict[str, Any]) -> "Acquisition":
+        return Acquisition(**d)
+
+
+@dataclasses.dataclass
+class CallSite:
+    callee: str  # best-effort qualified name ("Class::method" or bare)
+    file: str
+    line: int
+    offset: int
+    submits: list[str] = dataclasses.field(default_factory=list)
+    # lambda qnames submitted through this call (Schedule/ParallelFor)
+
+    def to_json(self) -> dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @staticmethod
+    def from_json(d: dict[str, Any]) -> "CallSite":
+        return CallSite(**d)
+
+
+@dataclasses.dataclass
+class Capture:
+    name: str
+    by_ref: bool
+    mode_known: bool  # False when the closure-field zip failed
+
+
+@dataclasses.dataclass
+class Mutation:
+    root: str  # captured variable name
+    file: str
+    line: int
+    offset: int
+    expr: str  # short description for diagnostics
+    per_slot: bool  # subscripted by the lambda's index parameter
+    atomic: bool  # std::atomic access or atomic RMW method
+    root_type: str = ""  # qualType of the captured variable
+
+    def to_json(self) -> dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @staticmethod
+    def from_json(d: dict[str, Any]) -> "Mutation":
+        return Mutation(**d)
+
+
+@dataclasses.dataclass
+class FunctionFact:
+    qname: str
+    file: str
+    line: int
+    body_end: int = 0
+    is_lambda: bool = False
+    lambda_mutable: bool = False
+    submitted: bool = False  # lambda handed to ThreadPool::Schedule/ParallelFor
+    acquisitions: list[Acquisition] = dataclasses.field(default_factory=list)
+    calls: list[CallSite] = dataclasses.field(default_factory=list)
+    captures: dict[str, dict[str, bool]] = dataclasses.field(
+        default_factory=dict)  # name -> {by_ref, mode_known}
+    mutations: list[Mutation] = dataclasses.field(default_factory=list)
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "qname": self.qname,
+            "file": self.file,
+            "line": self.line,
+            "body_end": self.body_end,
+            "is_lambda": self.is_lambda,
+            "lambda_mutable": self.lambda_mutable,
+            "submitted": self.submitted,
+            "acquisitions": [a.to_json() for a in self.acquisitions],
+            "calls": [c.to_json() for c in self.calls],
+            "captures": self.captures,
+            "mutations": [m.to_json() for m in self.mutations],
+        }
+
+    @staticmethod
+    def from_json(d: dict[str, Any]) -> "FunctionFact":
+        f = FunctionFact(qname=d["qname"], file=d["file"], line=d["line"],
+                         body_end=d.get("body_end", 0),
+                         is_lambda=d.get("is_lambda", False),
+                         lambda_mutable=d.get("lambda_mutable", False),
+                         submitted=d.get("submitted", False))
+        f.acquisitions = [Acquisition.from_json(a) for a in d["acquisitions"]]
+        f.calls = [CallSite.from_json(c) for c in d["calls"]]
+        f.captures = d.get("captures", {})
+        f.mutations = [Mutation.from_json(m) for m in d.get("mutations", [])]
+        return f
+
+
+@dataclasses.dataclass
+class TUFacts:
+    """Facts extracted from one translation unit."""
+
+    main_file: str = ""
+    functions: list[FunctionFact] = dataclasses.field(default_factory=list)
+    # Mutex-typed fields: "Record::field" -> {"file": ..., "line": ...}
+    mutex_fields: dict[str, dict[str, Any]] = dataclasses.field(
+        default_factory=dict)
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "main_file": self.main_file,
+            "functions": [f.to_json() for f in self.functions],
+            "mutex_fields": self.mutex_fields,
+        }
+
+    @staticmethod
+    def from_json(d: dict[str, Any]) -> "TUFacts":
+        tu = TUFacts(main_file=d.get("main_file", ""))
+        tu.functions = [FunctionFact.from_json(f) for f in d["functions"]]
+        tu.mutex_fields = d.get("mutex_fields", {})
+        return tu
+
+
+class FactDB:
+    """Whole-program merge of per-TU facts."""
+
+    def __init__(self) -> None:
+        self.functions: dict[str, FunctionFact] = {}
+        self.mutex_fields: dict[str, dict[str, Any]] = {}
+        self.tu_files: list[str] = []
+
+    def add_tu(self, tu: TUFacts) -> None:
+        self.tu_files.append(tu.main_file)
+        self.mutex_fields.update(tu.mutex_fields)
+        for fn in tu.functions:
+            prev = self.functions.get(fn.qname)
+            if prev is None:
+                self.functions[fn.qname] = fn
+                continue
+            # Header-inline functions and template instantiations appear in
+            # several TUs; keep the richer variant, but never lose a
+            # submitted flag observed in any TU.
+            if (len(fn.acquisitions) + len(fn.calls) + len(fn.mutations) >
+                    len(prev.acquisitions) + len(prev.calls) +
+                    len(prev.mutations)):
+                fn.submitted = fn.submitted or prev.submitted
+                self.functions[fn.qname] = fn
+            else:
+                prev.submitted = prev.submitted or fn.submitted
+
+    def resolve(self, callee: str) -> list[FunctionFact]:
+        """Best-effort name linking: exact qname, then suffix match."""
+        hit = self.functions.get(callee)
+        if hit is not None:
+            return [hit]
+        suffix = "::" + callee
+        return [f for q, f in self.functions.items() if q.endswith(suffix)]
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "schema_version": 1,
+            "tu_files": self.tu_files,
+            "mutex_fields": self.mutex_fields,
+            "functions": [f.to_json() for f in self.functions.values()],
+        }
+
+
+# ---------------------------------------------------------------------------
+# Tolerant loading of dumper output
+# ---------------------------------------------------------------------------
+
+
+def load_ast_roots(text: str) -> list[dict[str, Any]]:
+    """Parses one or more concatenated JSON objects.
+
+    ``-ast-dump-filter`` makes clang emit several JSON documents (sometimes
+    interleaved with ``Dumping <name>:`` banner lines); a plain dump is a
+    single object. Both shapes land here.
+    """
+    roots: list[dict[str, Any]] = []
+    decoder = json.JSONDecoder()
+    i = 0
+    n = len(text)
+    while i < n:
+        c = text[i]
+        if c.isspace():
+            i += 1
+            continue
+        if c != "{":
+            nl = text.find("\n", i)  # skip banner / diagnostic lines
+            if nl == -1:
+                break
+            i = nl + 1
+            continue
+        obj, end = decoder.raw_decode(text, i)
+        roots.append(obj)
+        i = end
+    return roots
+
+
+# ---------------------------------------------------------------------------
+# Extraction
+# ---------------------------------------------------------------------------
+
+_FUNCTION_KINDS = {
+    "FunctionDecl", "CXXMethodDecl", "CXXConstructorDecl",
+    "CXXDestructorDecl", "CXXConversionDecl",
+}
+
+_TRANSPARENT_KINDS = {
+    "LinkageSpecDecl", "ClassTemplateDecl", "FunctionTemplateDecl",
+    "ClassTemplateSpecializationDecl", "ClassTemplatePartialSpecializationDecl",
+    "ExportDecl",
+}
+
+# Member functions of the annotated sync primitives are modeled natively by
+# the checks (MutexLock scoping, CondVar::Wait being a sanctioned wait), so
+# their bodies are excluded from the call-graph facts.
+_SYNC_PRIMITIVE_RE = re.compile(
+    r"(^|::)treesim::(Mutex|MutexLock|CondVar)(::|$)")
+
+_SUBMIT_METHODS = {"Schedule", "Submit", "ParallelFor"}
+
+_MUTATING_METHOD_NAMES = {
+    "push_back", "pop_back", "emplace_back", "emplace", "push", "pop",
+    "insert", "erase", "clear", "resize", "reserve", "assign", "append",
+    "swap", "emplace_front", "push_front", "pop_front",
+}
+
+_ATOMIC_METHOD_NAMES = {
+    "store", "exchange", "fetch_add", "fetch_sub", "fetch_and", "fetch_or",
+    "fetch_xor", "compare_exchange_weak", "compare_exchange_strong",
+}
+
+_ASSIGN_OPERATORS = {
+    "=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>=",
+}
+
+_WRAPPER_EXPR_KINDS = {
+    "ImplicitCastExpr", "ParenExpr", "ExprWithCleanups", "ConstantExpr",
+    "MaterializeTemporaryExpr", "CXXBindTemporaryExpr", "FullExpr",
+    "CStyleCastExpr", "CXXStaticCastExpr", "CXXConstCastExpr",
+    "CXXFunctionalCastExpr",
+}
+
+
+def _type_of(node: dict[str, Any]) -> str:
+    t = node.get("type")
+    if isinstance(t, dict):
+        return str(t.get("qualType", ""))
+    return ""
+
+
+def _strip_type(qual: str) -> str:
+    """``const std::shared_ptr<ThreadBuffer> &`` -> identifier tokens."""
+    return re.findall(r"[A-Za-z_][A-Za-z0-9_]*", qual)
+
+
+class _Frame:
+    """Per-function (or per-lambda) extraction state."""
+
+    def __init__(self, fact: FunctionFact, parent: "_Frame | None") -> None:
+        self.fact = fact
+        self.parent = parent
+        self.param_ids: set[str] = set()
+        self.param_names: set[str] = set()
+        self.local_ids: set[str] = set()
+        self.derived_ids: set[str] = set()  # locals derived from a param
+        self.derived_names: set[str] = set()
+        self.open_manual: list[Acquisition] = []
+
+
+class Extractor:
+    """One pass over one TU's AST JSON."""
+
+    def __init__(self, repo_root: str, source_lines: "dict[str, list[str]] | None" = None) -> None:
+        self.repo_root = repo_root.rstrip("/") + "/"
+        self.cur_file = ""
+        self.cur_line = 0
+        # (name, kind) with kind in {"ns", "record", "fn"} — the kind lets
+        # `this->field` resolve to the innermost *record* even when the
+        # field declaration has not been visited yet (fields declared after
+        # inline methods).
+        self.ctx: list[tuple[str, str]] = []
+        self.frames: list[_Frame] = []
+        self.tu = TUFacts()
+        # var id -> (frame-or-None for globals, name, qualType)
+        self.vars: dict[str, tuple[_Frame | None, str, str]] = {}
+        # method decl id -> (name, qualType) for constness resolution
+        self.methods: dict[str, tuple[str, str]] = {}
+        self.compound_ends: list[int] = []
+        self._lambda_counter = 0
+
+    # -- location state ----------------------------------------------------
+
+    def _note_loc(self, loc: Any) -> None:
+        if not isinstance(loc, dict):
+            return
+        # Macro locations nest the interesting position one level down; the
+        # expansion side is where the code executes.
+        if "expansionLoc" in loc or "spellingLoc" in loc:
+            self._note_loc(loc.get("spellingLoc"))
+            self._note_loc(loc.get("expansionLoc"))
+            return
+        f = loc.get("file")
+        if f is not None:
+            self.cur_file = f
+        ln = loc.get("line")
+        if ln is not None:
+            self.cur_line = ln
+
+    def _note_range(self, rng: Any) -> None:
+        if not isinstance(rng, dict):
+            return
+        self._note_loc(rng.get("begin"))
+        self._note_loc(rng.get("end"))
+
+    def in_repo(self) -> bool:
+        f = self.cur_file
+        if "/_deps/" in f:
+            return False  # FetchContent checkouts live under the build dir
+        return f.startswith(self.repo_root) or (bool(f) and
+                                                not f.startswith("/"))
+
+    @staticmethod
+    def _offset(loc: Any) -> int | None:
+        if not isinstance(loc, dict):
+            return None
+        if "expansionLoc" in loc:
+            return Extractor._offset(loc["expansionLoc"])
+        off = loc.get("offset")
+        return off if isinstance(off, int) else None
+
+    @staticmethod
+    def _range_end_offset(node: dict[str, Any]) -> int | None:
+        rng = node.get("range")
+        if isinstance(rng, dict):
+            return Extractor._offset(rng.get("end"))
+        return None
+
+    @staticmethod
+    def _node_offset(node: dict[str, Any]) -> int | None:
+        off = Extractor._offset(node.get("loc"))
+        if off is not None:
+            return off
+        rng = node.get("range")
+        if isinstance(rng, dict):
+            return Extractor._offset(rng.get("begin"))
+        return None
+
+    # -- entry point -------------------------------------------------------
+
+    def extract(self, root: dict[str, Any], main_file: str) -> TUFacts:
+        self.tu.main_file = main_file
+        self._walk(root)
+        return self.tu
+
+    # -- generic walk ------------------------------------------------------
+
+    def _walk(self, node: Any) -> None:
+        if isinstance(node, list):
+            for child in node:
+                self._walk(child)
+            return
+        if not isinstance(node, dict):
+            return
+        kind = node.get("kind", "")
+
+        # Location keys are emitted before "inner", so noting them first
+        # reproduces the dumper's serialization order exactly.
+        self._note_loc(node.get("loc"))
+        self._note_range(node.get("range"))
+
+        if kind == "NamespaceDecl":
+            self.ctx.append((node.get("name") or "(anonymous)", "ns"))
+            self._walk_inner(node)
+            self.ctx.pop()
+            return
+        if kind in _TRANSPARENT_KINDS:
+            self._walk_inner(node)
+            return
+        if kind == "CXXRecordDecl":
+            name = node.get("name")
+            if name:
+                self.ctx.append((name, "record"))
+                self._walk_inner(node)
+                self.ctx.pop()
+            else:
+                self._walk_inner(node)
+            return
+        if kind == "FieldDecl":
+            self._visit_field(node)
+            self._walk_inner(node)
+            return
+        if kind in _FUNCTION_KINDS:
+            self._visit_function(node)
+            return
+        if kind in ("VarDecl", "ParmVarDecl"):
+            self._visit_var(node)
+            self._walk_inner(node)
+            return
+        if kind == "CompoundStmt":
+            end = self._range_end_offset(node)
+            self.compound_ends.append(end if end is not None else -1)
+            self._walk_inner(node)
+            self.compound_ends.pop()
+            return
+        if kind == "LambdaExpr":
+            self._visit_lambda(node)
+            return
+        if kind == "CXXMemberCallExpr":
+            self._visit_member_call(node)
+            self._walk_inner(node)
+            return
+        if kind == "CallExpr":
+            self._visit_call(node)
+            self._walk_inner(node)
+            return
+        if kind == "CXXConstructExpr":
+            self._visit_construct(node)
+            self._walk_inner(node)
+            return
+        if kind in ("BinaryOperator", "CompoundAssignOperator"):
+            op = node.get("opcode", "")
+            if op in _ASSIGN_OPERATORS:
+                inner = node.get("inner") or []
+                if inner:
+                    self._record_mutation(inner[0], f"operator{op}", node)
+            self._walk_inner(node)
+            return
+        if kind == "UnaryOperator":
+            if node.get("opcode") in ("++", "--"):
+                inner = node.get("inner") or []
+                if inner:
+                    self._record_mutation(inner[0],
+                                          f"operator{node.get('opcode')}",
+                                          node)
+            self._walk_inner(node)
+            return
+        if kind == "CXXOperatorCallExpr":
+            self._visit_operator_call(node)
+            self._walk_inner(node)
+            return
+        self._walk_inner(node)
+
+    def _walk_inner(self, node: dict[str, Any]) -> None:
+        inner = node.get("inner")
+        if inner:
+            self._walk(inner)
+
+    # -- declarations ------------------------------------------------------
+
+    def _ctx_names(self) -> list[str]:
+        return [n for n, _ in self.ctx]
+
+    def _qname(self, name: str) -> str:
+        names = self._ctx_names()
+        return "::".join(names + [name]) if names else name
+
+    def _visit_field(self, node: dict[str, Any]) -> None:
+        qual = _type_of(node)
+        if not self.in_repo():
+            return
+        name = node.get("name")
+        if not name:
+            return
+        tokens = _strip_type(qual)
+        if "Mutex" in tokens and "MutexLock" not in tokens:
+            record = "::".join(self._ctx_names()) if self.ctx else "(file scope)"
+            self.tu.mutex_fields[f"{record}::{name}"] = {
+                "file": self.cur_file,
+                "line": self.cur_line,
+                "record": record,
+                "field": name,
+            }
+
+    def _visit_function(self, node: dict[str, Any]) -> None:
+        if node.get("isImplicit"):
+            self._walk_inner(node)  # keep location state moving
+            return
+        name = node.get("name") or "(unnamed)"
+        qname = self._qname(name)
+        has_body = any(
+            isinstance(c, dict) and c.get("kind") == "CompoundStmt"
+            for c in node.get("inner") or [])
+        record = (has_body and self.in_repo()
+                  and not _SYNC_PRIMITIVE_RE.search(qname))
+        if not record:
+            # Still walk for location state and method registration.
+            self._register_method(node)
+            self.ctx.append((name, "fn"))
+            self._walk_inner(node)
+            self.ctx.pop()
+            return
+        self._register_method(node)
+        fact = FunctionFact(qname=qname, file=self.cur_file,
+                            line=self.cur_line)
+        end = self._range_end_offset(node)
+        fact.body_end = end if end is not None else 1 << 60
+        frame = _Frame(fact, self.frames[-1] if self.frames else None)
+        self.frames.append(frame)
+        self.ctx.append((name, "fn"))
+        self._walk_inner(node)
+        self.ctx.pop()
+        self._close_frame(frame)
+        self.frames.pop()
+        self.tu.functions.append(fact)
+
+    def _register_method(self, node: dict[str, Any]) -> None:
+        nid = node.get("id")
+        if nid:
+            self.methods[nid] = (node.get("name") or "", _type_of(node))
+
+    def _close_frame(self, frame: _Frame) -> None:
+        for acq in frame.open_manual:
+            acq.end = frame.fact.body_end
+            frame.fact.acquisitions.append(acq)
+        frame.open_manual.clear()
+
+    def _visit_var(self, node: dict[str, Any]) -> None:
+        name = node.get("name") or ""
+        nid = node.get("id") or ""
+        qual = _type_of(node)
+        frame = self.frames[-1] if self.frames else None
+        if nid:
+            self.vars[nid] = (frame, name, qual)
+        if frame is None:
+            return
+        if node.get("kind") == "ParmVarDecl":
+            frame.param_ids.add(nid)
+            frame.param_names.add(name)
+            return
+        frame.local_ids.add(nid)
+        # Param-derived locals extend the per-index slot rule through
+        # intermediates like `const int id = candidates[c];`.
+        init = node.get("inner") or []
+        if init and self._mentions_derived(init, frame):
+            frame.derived_ids.add(nid)
+            frame.derived_names.add(name)
+        tokens = _strip_type(qual)
+        if "MutexLock" in tokens:
+            self._record_raii_acquisition(node, frame)
+
+    def _mentions_derived(self, subtree: Any, frame: _Frame) -> bool:
+        for ref in self._iter_decl_refs(subtree):
+            rid = ref.get("id", "")
+            rname = ref.get("name", "")
+            if rid in frame.param_ids or rid in frame.derived_ids:
+                return True
+            if rname and (rname in frame.param_names
+                          or rname in frame.derived_names):
+                return True
+        return False
+
+    @staticmethod
+    def _iter_decl_refs(subtree: Any) -> Iterable[dict[str, Any]]:
+        stack = [subtree]
+        while stack:
+            n = stack.pop()
+            if isinstance(n, list):
+                stack.extend(n)
+            elif isinstance(n, dict):
+                if n.get("kind") == "DeclRefExpr":
+                    rd = n.get("referencedDecl")
+                    if isinstance(rd, dict):
+                        yield rd
+                stack.extend(v for v in n.values()
+                             if isinstance(v, (dict, list)))
+
+    # -- acquisitions ------------------------------------------------------
+
+    def _record_raii_acquisition(self, var_node: dict[str, Any],
+                                 frame: _Frame) -> None:
+        lock = self._lock_id_from_subtree(var_node.get("inner") or [])
+        begin = self._node_offset(var_node)
+        scope_end = next((e for e in reversed(self.compound_ends) if e >= 0),
+                        frame.fact.body_end)
+        frame.fact.acquisitions.append(
+            Acquisition(lock=lock, file=self.cur_file, line=self.cur_line,
+                        begin=begin if begin is not None else 0,
+                        end=scope_end, kind="raii"))
+
+    def _lock_id_from_subtree(self, subtree: Any) -> str:
+        expr = self._first_lockable_expr(subtree)
+        if expr is None:
+            return self._opaque_lock_id()
+        return self._lock_id(expr)
+
+    def _first_lockable_expr(self, subtree: Any) -> dict[str, Any] | None:
+        stack = [subtree]
+        while stack:
+            n = stack.pop(0)
+            if isinstance(n, list):
+                stack = list(n) + stack
+            elif isinstance(n, dict):
+                if n.get("kind") in ("MemberExpr", "DeclRefExpr"):
+                    return n
+                inner = n.get("inner")
+                if inner:
+                    stack = list(inner) + stack
+        return None
+
+    def _opaque_lock_id(self) -> str:
+        fn = self.frames[-1].fact.qname if self.frames else "(global)"
+        return f"{fn}::<lock@{self.cur_file}:{self.cur_line}>"
+
+    def _lock_id(self, expr: dict[str, Any]) -> str:
+        """Canonical identity for the mutex denoted by `expr`."""
+        members: list[str] = []
+        node: Any = expr
+        while isinstance(node, dict):
+            kind = node.get("kind", "")
+            if kind == "MemberExpr":
+                members.insert(0, node.get("name", "?"))
+                inner = node.get("inner") or []
+                node = inner[0] if inner else None
+                continue
+            if kind in _WRAPPER_EXPR_KINDS or kind == "UnaryOperator":
+                inner = node.get("inner") or []
+                node = inner[0] if inner else None
+                continue
+            if kind == "CXXOperatorCallExpr":
+                # operator-> / operator* / operator[] chains: the object is
+                # the first argument after the callee.
+                inner = node.get("inner") or []
+                node = inner[1] if len(inner) > 1 else None
+                continue
+            if kind == "ArraySubscriptExpr":
+                inner = node.get("inner") or []
+                node = inner[0] if inner else None
+                continue
+            break
+        if isinstance(node, dict) and node.get("kind") == "CXXThisExpr":
+            # this->mu_ : identity is the enclosing record's field. The
+            # context stack still holds the record (function name was pushed
+            # after it), so drop trailing function-ish entries by matching
+            # against known records via the member name.
+            record = self._record_context()
+            return f"{record}::{'.'.join(members)}"
+        if isinstance(node, dict) and node.get("kind") == "DeclRefExpr":
+            rd = node.get("referencedDecl") or {}
+            vid = rd.get("id", "")
+            vname = rd.get("name", "?")
+            known = self.vars.get(vid)
+            vqual = known[2] if known else str(
+                rd.get("type", {}).get("qualType", "")
+                if isinstance(rd.get("type"), dict) else "")
+            if members:
+                # var.field / var->field: prefer a class-field identity when
+                # the variable's type names a record with that mutex field.
+                field = members[-1]
+                rec = self._match_mutex_record(vqual, field)
+                if rec is not None:
+                    return f"{rec}::{field}"
+            owner = known[0] if known else None
+            if owner is not None:
+                base = f"{owner.fact.qname}::{vname}"
+            elif known is not None:
+                base = vname  # global registered at file scope
+            else:
+                base = vname  # namespace-scope variable: bare name
+            return base + ("." + ".".join(members) if members else "")
+        return self._opaque_lock_id()
+
+    def _record_context(self) -> str:
+        # `this->field`: the owning record is the innermost record context,
+        # independent of whether its FieldDecls were visited yet (inline
+        # methods commonly precede the private field section).
+        names = self._ctx_names()
+        for depth in range(len(self.ctx), 0, -1):
+            if self.ctx[depth - 1][1] == "record":
+                return "::".join(names[:depth])
+        return "::".join(names) if names else "(file scope)"
+
+    def _match_mutex_record(self, var_qual: str, field: str) -> str | None:
+        tokens = set(_strip_type(var_qual))
+        candidates = [
+            v["record"] for v in self.tu.mutex_fields.values()
+            if v["field"] == field and v["record"].split("::")[-1] in tokens
+        ]
+        if not candidates:
+            return None
+        if len(candidates) > 1 and self.frames:
+            fn = self.frames[-1].fact.qname
+            scoped = [c for c in candidates if c.startswith(fn)]
+            if len(scoped) == 1:
+                return scoped[0]
+        return candidates[0]
+
+    # -- calls -------------------------------------------------------------
+
+    def _visit_member_call(self, node: dict[str, Any]) -> None:
+        inner = node.get("inner") or []
+        if not inner:
+            return
+        member = self._find_member_expr(inner[0])
+        if member is None:
+            return
+        method = member.get("name", "")
+        base = (member.get("inner") or [None])[0]
+        base_type = self._expr_type(base)
+        cls = self._class_of(base_type)
+        frame = self.frames[-1] if self.frames else None
+        if frame is None or not self.in_repo():
+            return
+
+        base_tokens = _strip_type(base_type)
+        is_mutex = "Mutex" in base_tokens and "MutexLock" not in base_tokens
+        if is_mutex and method == "Lock":
+            lock = self._lock_id_from_subtree([base] if base else [])
+            off = self._node_offset(node) or 0
+            frame.open_manual.append(
+                Acquisition(lock=lock, file=self.cur_file, line=self.cur_line,
+                            begin=off, end=frame.fact.body_end,
+                            kind="manual"))
+            return
+        if is_mutex and method == "Unlock":
+            lock = self._lock_id_from_subtree([base] if base else [])
+            off = self._node_offset(node) or 0
+            for i in range(len(frame.open_manual) - 1, -1, -1):
+                if frame.open_manual[i].lock == lock:
+                    acq = frame.open_manual.pop(i)
+                    acq.end = off
+                    frame.fact.acquisitions.append(acq)
+                    break
+            return
+        if is_mutex and method == "TryLock":
+            return  # cannot block; irrelevant to lock ordering
+        if "CondVar" in base_tokens and method in ("Wait", "NotifyOne",
+                                                   "NotifyAll"):
+            return  # sanctioned primitives, modeled natively
+
+        callee = f"{cls}::{method}" if cls else method
+        call = CallSite(callee=callee, file=self.cur_file, line=self.cur_line,
+                        offset=self._node_offset(node) or 0)
+        if method in _SUBMIT_METHODS and "ThreadPool" in base_tokens:
+            call.submits = self._collect_lambda_args(inner[1:], frame,
+                                                     submitted=True)
+        frame.fact.calls.append(call)
+        # A non-const method on a captured variable is a mutation.
+        self._record_member_call_mutation(node, member, base, frame)
+
+    def _visit_call(self, node: dict[str, Any]) -> None:
+        frame = self.frames[-1] if self.frames else None
+        if frame is None or not self.in_repo():
+            return
+        inner = node.get("inner") or []
+        if not inner:
+            return
+        callee_name = self._callee_name(inner[0])
+        if not callee_name:
+            return
+        call = CallSite(callee=callee_name, file=self.cur_file,
+                        line=self.cur_line,
+                        offset=self._node_offset(node) or 0)
+        if callee_name.split("::")[-1] == "ParallelFor":
+            args = inner[1:]
+            if args and self._is_nullptr(args[0]):
+                # ParallelFor(nullptr, n, fn) runs fn inline by contract:
+                # model it as a direct call so the lambda's own facts
+                # propagate to the caller instead of a pool submission.
+                lambdas = self._collect_lambda_args(args, frame,
+                                                    submitted=False)
+                for lam in lambdas:
+                    frame.fact.calls.append(
+                        CallSite(callee=lam, file=self.cur_file,
+                                 line=self.cur_line, offset=call.offset))
+                return
+            call.submits = self._collect_lambda_args(args, frame,
+                                                     submitted=True)
+        frame.fact.calls.append(call)
+
+    def _visit_construct(self, node: dict[str, Any]) -> None:
+        frame = self.frames[-1] if self.frames else None
+        if frame is None or not self.in_repo():
+            return
+        qual = _type_of(node)
+        tokens = _strip_type(qual)
+        if "MutexLock" in tokens:
+            return  # handled at the VarDecl
+        cls = self._class_of(qual)
+        if not cls:
+            return
+        ctor = cls.split("::")[-1]
+        frame.fact.calls.append(
+            CallSite(callee=f"{cls}::{ctor}", file=self.cur_file,
+                     line=self.cur_line, offset=self._node_offset(node) or 0))
+
+    def _visit_operator_call(self, node: dict[str, Any]) -> None:
+        frame = self.frames[-1] if self.frames else None
+        if frame is None:
+            return
+        inner = node.get("inner") or []
+        name = self._callee_name(inner[0]) if inner else ""
+        op = name.split("::")[-1] if name else ""
+        if op.startswith("operator") and (
+                op[len("operator"):] in _ASSIGN_OPERATORS):
+            if len(inner) > 1:
+                self._record_mutation(inner[1], op, node)
+
+    def _find_member_expr(self, node: Any) -> dict[str, Any] | None:
+        while isinstance(node, dict):
+            if node.get("kind") == "MemberExpr":
+                return node
+            inner = node.get("inner") or []
+            node = inner[0] if inner else None
+        return None
+
+    def _callee_name(self, node: Any) -> str:
+        while isinstance(node, dict):
+            if node.get("kind") == "DeclRefExpr":
+                rd = node.get("referencedDecl") or {}
+                return str(rd.get("name", ""))
+            if node.get("kind") == "MemberExpr":
+                return str(node.get("name", ""))
+            inner = node.get("inner") or []
+            node = inner[0] if inner else None
+        return ""
+
+    def _expr_type(self, node: Any) -> str:
+        while isinstance(node, dict):
+            t = _type_of(node)
+            if t:
+                return t
+            inner = node.get("inner") or []
+            node = inner[0] if inner else None
+        return ""
+
+    @staticmethod
+    def _class_of(qual: str) -> str:
+        qual = qual.strip()
+        qual = re.sub(r"\b(const|volatile|struct|class)\b", "", qual)
+        qual = qual.replace("&", "").replace("*", "").strip()
+        m = re.match(r"^([A-Za-z_][A-Za-z0-9_:<>, ]*?)\s*$", qual)
+        if not m:
+            return ""
+        name = m.group(1).split("<")[0].strip().rstrip(":")
+        return name
+
+    @staticmethod
+    def _is_nullptr(subtree: Any) -> bool:
+        stack = [subtree]
+        while stack:
+            n = stack.pop()
+            if isinstance(n, list):
+                stack.extend(n)
+            elif isinstance(n, dict):
+                if n.get("kind") in ("CXXNullPtrLiteralExpr", "GNUNullExpr"):
+                    return True
+                inner = n.get("inner")
+                if inner:
+                    stack.extend(inner)
+        return False
+
+    def _collect_lambda_args(self, args: list[Any], frame: _Frame,
+                             submitted: bool) -> list[str]:
+        """Extracts lambda expressions among call arguments.
+
+        The lambdas are visited here (creating their own facts) and removed
+        from the caller's pending walk by marking them consumed.
+        """
+        names: list[str] = []
+        for arg in args:
+            for lam in self._iter_lambdas(arg):
+                qname = self._visit_lambda(lam, submitted=submitted)
+                names.append(qname)
+                lam["__astcheck_consumed"] = True
+        return names
+
+    @staticmethod
+    def _iter_lambdas(subtree: Any) -> Iterable[dict[str, Any]]:
+        stack = [subtree]
+        while stack:
+            n = stack.pop()
+            if isinstance(n, list):
+                stack.extend(reversed(n))
+            elif isinstance(n, dict):
+                if n.get("kind") == "LambdaExpr":
+                    yield n
+                    continue  # nested lambdas belong to this one's walk
+                inner = n.get("inner")
+                if inner:
+                    stack.extend(reversed(inner))
+
+    # -- lambdas -----------------------------------------------------------
+
+    def _visit_lambda(self, node: dict[str, Any],
+                      submitted: bool = False) -> str:
+        if node.get("__astcheck_consumed"):
+            return ""
+        node["__astcheck_consumed"] = True
+        self._note_range(node.get("range"))
+        enclosing = (self.frames[-1].fact.qname if self.frames
+                     else "::".join(self._ctx_names()) or "(file scope)")
+        self._lambda_counter += 1
+        qname = (f"{enclosing}::<lambda@"
+                 f"{self.cur_file.rsplit('/', 1)[-1]}:{self.cur_line}"
+                 f"#{self._lambda_counter}>")
+        fact = FunctionFact(qname=qname, file=self.cur_file,
+                            line=self.cur_line, is_lambda=True,
+                            submitted=submitted)
+        end = self._range_end_offset(node)
+        fact.body_end = end if end is not None else 1 << 60
+        frame = _Frame(fact, self.frames[-1] if self.frames else None)
+
+        inner = node.get("inner") or []
+        closure = next((c for c in inner if isinstance(c, dict)
+                        and c.get("kind") == "CXXRecordDecl"), None)
+        fields: list[dict[str, Any]] = []
+        call_op: dict[str, Any] | None = None
+        if closure is not None:
+            for c in closure.get("inner") or []:
+                if not isinstance(c, dict):
+                    continue
+                if c.get("kind") == "FieldDecl":
+                    fields.append(c)
+                if (c.get("kind") == "CXXMethodDecl"
+                        and c.get("name") == "operator()"):
+                    call_op = c
+        if call_op is not None:
+            fact.lambda_mutable = not _type_of(call_op).rstrip().endswith(
+                "const")
+            for p in call_op.get("inner") or []:
+                if isinstance(p, dict) and p.get("kind") == "ParmVarDecl":
+                    pid = p.get("id") or ""
+                    pname = p.get("name") or ""
+                    if pid:
+                        self.vars[pid] = (frame, pname, _type_of(p))
+                    frame.param_ids.add(pid)
+                    frame.param_names.add(pname)
+
+        # Capture-init expressions sit between the closure record and the
+        # body; zip them with the closure's fields (by-ref captures have
+        # reference-typed fields) to recover the capture list.
+        init_exprs = [c for c in inner if isinstance(c, dict)
+                      and c is not closure
+                      and c.get("kind") != "CompoundStmt"]
+        captures: dict[str, dict[str, bool]] = {}
+        if fields and len(fields) == len(init_exprs):
+            for fld, init in zip(fields, init_exprs):
+                by_ref = _type_of(fld).rstrip().endswith("&")
+                ref = next(iter(self._iter_decl_refs(init)), None)
+                if ref is not None and ref.get("name"):
+                    captures[str(ref["name"])] = {
+                        "by_ref": by_ref, "mode_known": True}
+        fact.captures = captures
+
+        body = None
+        if call_op is not None:
+            body = next((c for c in call_op.get("inner") or []
+                         if isinstance(c, dict)
+                         and c.get("kind") == "CompoundStmt"), None)
+        if body is None:
+            body = next((c for c in reversed(inner) if isinstance(c, dict)
+                         and c.get("kind") == "CompoundStmt"), None)
+
+        self.frames.append(frame)
+        if body is not None:
+            self._walk(body)
+        self._close_frame(frame)
+        self.frames.pop()
+        self.tu.functions.append(fact)
+        return qname
+
+    # -- mutations ---------------------------------------------------------
+
+    def _record_member_call_mutation(self, call_node: dict[str, Any],
+                                     member: dict[str, Any], base: Any,
+                                     frame: _Frame) -> None:
+        if not frame.fact.is_lambda:
+            return
+        method = member.get("name", "")
+        rid = member.get("referencedMemberDecl")
+        mutating = False
+        if rid and rid in self.methods:
+            _, qual = self.methods[rid]
+            mutating = not qual.rstrip().endswith("const")
+        elif method in _MUTATING_METHOD_NAMES:
+            mutating = True
+        off = self._node_offset(call_node) or 0
+        if method in _ATOMIC_METHOD_NAMES:
+            self._classify_and_record(base, f"{method}()", frame, off,
+                                      force_atomic=True)
+            return
+        if mutating:
+            self._classify_and_record(base, f"{method}()", frame, off)
+
+    def _record_mutation(self, lhs: Any, desc: str,
+                         site: "dict[str, Any] | None" = None) -> None:
+        frame = self.frames[-1] if self.frames else None
+        if frame is None or not frame.fact.is_lambda:
+            return
+        off = self._node_offset(site) if site is not None else None
+        if off is None:
+            off = self._node_offset(lhs) if isinstance(lhs, dict) else None
+        self._classify_and_record(lhs, desc, frame, off or 0)
+
+    def _classify_and_record(self, target: Any, desc: str, frame: _Frame,
+                             offset: int,
+                             force_atomic: bool = False) -> None:
+        root, per_slot, atomic, root_qual = self._analyze_target(target, frame)
+        if root is None:
+            return
+        rid, rname = root
+        if rid in frame.param_ids or rid in frame.local_ids:
+            return  # the lambda's own state
+        if rname in frame.param_names and not rid:
+            return
+        owner = self.vars.get(rid, (None, rname, root_qual))[0]
+        if owner is frame:
+            return
+        if owner is None and rid:
+            return  # namespace-scope object, outside this check's scope
+        # The variable lives in an enclosing function frame: a capture.
+        frame.fact.mutations.append(
+            Mutation(root=rname, file=self.cur_file, line=self.cur_line,
+                     offset=offset, expr=desc,
+                     per_slot=per_slot, atomic=atomic or force_atomic,
+                     root_type=root_qual))
+
+    def _analyze_target(self, node: Any, frame: _Frame):
+        """Returns ((id, name) | None, per_slot, atomic, root_qualtype)."""
+        per_slot = False
+        atomic = False
+        root_qual = ""
+        guard = 0
+        while isinstance(node, dict) and guard < 64:
+            guard += 1
+            kind = node.get("kind", "")
+            if kind == "MemberExpr":
+                if "atomic" in _type_of(node):
+                    atomic = True
+                inner = node.get("inner") or []
+                node = inner[0] if inner else None
+                continue
+            if kind == "ArraySubscriptExpr":
+                inner = node.get("inner") or []
+                if len(inner) > 1 and self._mentions_derived([inner[1]],
+                                                             frame):
+                    per_slot = True
+                node = inner[0] if inner else None
+                continue
+            if kind == "CXXOperatorCallExpr":
+                inner = node.get("inner") or []
+                name = self._callee_name(inner[0]) if inner else ""
+                if name.endswith("operator[]") or name == "operator[]":
+                    if len(inner) > 2 and self._mentions_derived([inner[2]],
+                                                                 frame):
+                        per_slot = True
+                node = inner[1] if len(inner) > 1 else None
+                continue
+            if kind in _WRAPPER_EXPR_KINDS or kind == "UnaryOperator":
+                inner = node.get("inner") or []
+                node = inner[0] if inner else None
+                continue
+            if kind == "DeclRefExpr":
+                rd = node.get("referencedDecl") or {}
+                t = rd.get("type")
+                root_qual = (t.get("qualType", "")
+                             if isinstance(t, dict) else "")
+                if "atomic" in root_qual:
+                    atomic = True
+                return ((str(rd.get("id", "")), str(rd.get("name", "?"))),
+                        per_slot, atomic, root_qual)
+            if kind == "CXXThisExpr":
+                return None, per_slot, atomic, root_qual
+            inner = node.get("inner") or []
+            node = inner[0] if inner else None
+        return None, per_slot, atomic, root_qual
+
+
+def extract_tu(ast_text_or_roots, main_file: str,
+               repo_root: str) -> TUFacts:
+    """Convenience wrapper: text or pre-parsed roots -> TUFacts."""
+    if isinstance(ast_text_or_roots, str):
+        roots = load_ast_roots(ast_text_or_roots)
+    elif isinstance(ast_text_or_roots, dict):
+        roots = [ast_text_or_roots]
+    else:
+        roots = list(ast_text_or_roots)
+    ex = Extractor(repo_root)
+    ex.tu.main_file = main_file
+    for root in roots:
+        ex._walk(root)
+    return ex.tu

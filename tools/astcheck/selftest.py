@@ -1,0 +1,165 @@
+"""Fixture-corpus selftest: proves each known-bad TU is caught.
+
+Synthesizes a compile database over ``tests/astcheck_fixture/``, runs the
+full pipeline (clang -> extraction -> cache -> checks -> suppressions)
+twice, and asserts:
+
+  * every known-bad TU produces exactly the expected check(s), attributed
+    to that TU — one-to-one, no extras;
+  * every known-good TU produces zero findings;
+  * the deliberately-suppressed TU's finding lands in the suppressed
+    bucket and its allowlist entry is consumed (no unused warning);
+  * both TREESIM_LOCK_RANK annotations in the corpus are picked up;
+  * the second run is served entirely from the fact cache and finishes
+    well under the 15s warm-rerun budget.
+
+Exit codes match the main driver: 0 pass, 1 fail, 77 no clang.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+import sys
+import tempfile
+import time
+
+_TOOLS_DIR = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+if _TOOLS_DIR not in sys.path:
+    sys.path.insert(0, _TOOLS_DIR)
+
+from astcheck import checks, clang_driver  # noqa: E402
+
+# Expected *kept* findings per fixture TU (check names; empty = clean).
+EXPECTED_KEPT: dict[str, set[str]] = {
+    "bad_ab_ba.cc": {"lock-order"},
+    "bad_transitive_cycle.cc": {"lock-order"},
+    "bad_capture_race.cc": {"capture-race"},
+    "bad_submit_under_lock.cc": {"blocking-under-lock"},
+    "bad_io_under_lock.cc": {"blocking-under-lock"},
+    "bad_sleep_under_lock.cc": {"blocking-under-lock"},
+    "bad_suppressed_io.cc": set(),  # fires, but allowlisted
+    "good_ranked_order.cc": set(),
+    "good_guarded_capture.cc": set(),
+    "good_io_outside_lock.cc": set(),
+}
+
+EXPECTED_SUPPRESSED: dict[str, set[str]] = {
+    "bad_suppressed_io.cc": {"blocking-under-lock"},
+}
+
+WARM_RERUN_BUDGET_S = 15.0
+
+
+def _compile_db_for(fixture_dir: str, sources: list[str],
+                    out_path: str) -> None:
+    entries = [{
+        "directory": fixture_dir,
+        "command": f"c++ -I{fixture_dir} -std=c++17 -c {src}",
+        "file": src,
+    } for src in sources]
+    with open(out_path, "w", encoding="utf-8") as fh:
+        json.dump(entries, fh, indent=1)
+
+
+def main(args) -> int:
+    clang = clang_driver.find_clang(getattr(args, "clang", None))
+    if clang is None:
+        print("astcheck_selftest: SKIP: no clang >= "
+              f"{clang_driver.MIN_CLANG_MAJOR} found on PATH")
+        return 77
+
+    repo_root = os.path.abspath(
+        getattr(args, "repo_root", None) or os.path.dirname(_TOOLS_DIR))
+    fixture_dir = os.path.join(repo_root, "tests", "astcheck_fixture")
+    sources = sorted(glob.glob(os.path.join(fixture_dir, "*.cc")))
+    missing = set(EXPECTED_KEPT) - {os.path.basename(s) for s in sources}
+    if missing:
+        print(f"astcheck_selftest: fixture TUs missing: {sorted(missing)}")
+        return 1
+
+    failures: list[str] = []
+    with tempfile.TemporaryDirectory(prefix="astcheck_selftest_") as tmp:
+        db_path = os.path.join(tmp, "compile_commands.json")
+        _compile_db_for(fixture_dir, sources, db_path)
+        cache_dir = os.path.join(tmp, "cache")
+        jobs = getattr(args, "jobs", None) or min(4, os.cpu_count() or 1)
+
+        db, stats = clang_driver.analyze_all(
+            db_path, fixture_dir, clang, cache_dir, jobs)
+        if stats["errors"]:
+            for err in stats["errors"]:
+                print(f"astcheck_selftest: clang error: {err}")
+            return 1
+        print(f"astcheck_selftest: cold run: {stats['tus']} TUs in "
+              f"{stats['seconds']}s ({stats['clang']})")
+
+        t0 = time.monotonic()
+        db, stats2 = clang_driver.analyze_all(
+            db_path, fixture_dir, clang, cache_dir, jobs)
+        warm = time.monotonic() - t0
+        if stats2["analyzed"] != 0 or stats2["cache_hits"] != stats2["tus"]:
+            failures.append(
+                f"warm rerun not fully cached: {stats2['cache_hits']}/"
+                f"{stats2['tus']} hits, {stats2['analyzed']} re-analyzed")
+        if warm >= WARM_RERUN_BUDGET_S:
+            failures.append(f"warm rerun took {warm:.1f}s "
+                            f"(budget {WARM_RERUN_BUDGET_S}s)")
+        print(f"astcheck_selftest: warm run: {warm:.2f}s, "
+              f"{stats2['cache_hits']} cache hits")
+
+        sups = checks.load_suppressions(
+            os.path.join(fixture_dir, "fixture_suppressions.toml"))
+        ranks = checks.load_lock_ranks(db, fixture_dir)
+        kept, suppressed, warnings = checks.run_all(db, ranks, sups)
+
+        if len(ranks) != 2:
+            failures.append(f"expected 2 ranked locks in the corpus, "
+                            f"got {ranks}")
+        for w in warnings:
+            failures.append(f"unexpected suppression warning: {w}")
+
+        def by_file(findings):
+            out: dict[str, set[str]] = {}
+            for f in findings:
+                out.setdefault(os.path.basename(f.file), set()).add(f.check)
+            return out
+
+        got_kept = by_file(kept)
+        got_sup = by_file(suppressed)
+        for src in sources:
+            base = os.path.basename(src)
+            want = EXPECTED_KEPT.get(base, set())
+            got = got_kept.get(base, set())
+            status = "ok" if got == want else "MISMATCH"
+            print(f"  {status:8s} {base:28s} expected={sorted(want)} "
+                  f"got={sorted(got)}")
+            if got != want:
+                failures.append(
+                    f"{base}: expected kept findings {sorted(want)}, "
+                    f"got {sorted(got)}")
+            want_sup = EXPECTED_SUPPRESSED.get(base, set())
+            if got_sup.get(base, set()) != want_sup:
+                failures.append(
+                    f"{base}: expected suppressed {sorted(want_sup)}, "
+                    f"got {sorted(got_sup.get(base, set()))}")
+        stray = set(got_kept) - {os.path.basename(s) for s in sources}
+        if stray:
+            failures.append(f"findings attributed outside the corpus: "
+                            f"{sorted(stray)}")
+
+    if failures:
+        for msg in failures:
+            print(f"astcheck_selftest: FAIL: {msg}")
+        for f in kept:
+            print(f"  kept: {f.render()}")
+        return 1
+    print(f"astcheck_selftest: PASS ({len(sources)} fixture TUs, "
+          f"{len(kept)} kept / {len(suppressed)} suppressed findings)")
+    return 0
+
+
+if __name__ == "__main__":
+    import argparse
+    sys.exit(main(argparse.Namespace()))

@@ -1,0 +1,685 @@
+"""Clang-free unit tests for the astcheck core.
+
+These feed hand-written JSON in the clang-14 ``-ast-dump=json`` schema
+(including its quirk of omitting file/line on locations that repeat the
+previously emitted value) through the same extraction and check code the
+real driver uses, so the analyzer's logic stays tested on machines and CI
+legs that have no clang toolchain.
+
+Run: python3 tools/astcheck/__main__.py --unit-test
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import tempfile
+import traceback
+
+_TOOLS_DIR = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+if _TOOLS_DIR not in sys.path:
+    sys.path.insert(0, _TOOLS_DIR)
+
+from astcheck import checks, clang_driver, facts  # noqa: E402
+
+REPO = "/repo"
+SRC = "/repo/src/t.cc"
+
+
+# ---------------------------------------------------------------------------
+# Tiny builders for clang-schema JSON
+# ---------------------------------------------------------------------------
+
+
+def d(kind: str, **kw):
+    n = {"kind": kind}
+    n.update(kw)
+    return n
+
+
+def ref(vid: str, name: str, qual: str):
+    return d("DeclRefExpr", type={"qualType": qual},
+             referencedDecl={"id": vid, "kind": "VarDecl", "name": name,
+                             "type": {"qualType": qual}})
+
+
+def fnref(fid: str, name: str):
+    return d("DeclRefExpr",
+             referencedDecl={"id": fid, "kind": "FunctionDecl",
+                             "name": name})
+
+
+def compound(begin: int, end: int, *children):
+    return d("CompoundStmt",
+             range={"begin": {"offset": begin}, "end": {"offset": end}},
+             inner=list(children))
+
+
+def var(vid: str, name: str, qual: str, offset: int, line: int, *init):
+    return d("DeclStmt", inner=[
+        d("VarDecl", id=vid, name=name,
+          loc={"offset": offset, "line": line},
+          type={"qualType": qual}, inner=list(init))])
+
+
+def raii_lock(vid: str, offset: int, line: int, lock_expr):
+    return var(vid, "l", "treesim::MutexLock", offset, line,
+               d("CXXConstructExpr", type={"qualType": "treesim::MutexLock"},
+                 inner=[lock_expr]))
+
+
+def call(fid: str, name: str, offset: int, line: int, *args):
+    return d("CallExpr",
+             range={"begin": {"offset": offset, "line": line},
+                    "end": {"offset": offset + 5}},
+             inner=[d("ImplicitCastExpr", inner=[fnref(fid, name)])]
+                   + list(args))
+
+
+def member_call(method: str, base, offset: int, line: int, *args,
+                ref_decl: "str | None" = None):
+    member = d("MemberExpr", name=method, inner=[base])
+    if ref_decl is not None:
+        member["referencedMemberDecl"] = ref_decl
+    return d("CXXMemberCallExpr",
+             range={"begin": {"offset": offset, "line": line},
+                    "end": {"offset": offset + 5}},
+             inner=[member] + list(args))
+
+
+def func(fid: str, name: str, line: int, body, file: str = SRC):
+    return d("FunctionDecl", id=fid, name=name,
+             loc={"file": file, "line": line, "offset": body["range"]
+                  ["begin"]["offset"] - 10},
+             range={"begin": {"offset": body["range"]["begin"]["offset"]
+                              - 10},
+                    "end": body["range"]["end"]},
+             inner=[body])
+
+
+def lam(begin: int, end: int, line: int, captures, params, body_children,
+        mutable: bool = False):
+    """captures: [(vid, name, qual, by_ref)]; params: [(pid, name)]."""
+    fields = [d("FieldDecl", name=name,
+                type={"qualType": qual + (" &" if by_ref else "")})
+              for _, name, qual, by_ref in captures]
+    inits = [ref(vid, name, qual) for vid, name, qual, _ in captures]
+    callop = d("CXXMethodDecl", name="operator()",
+               type={"qualType":
+                     "void (long)" + ("" if mutable else " const")},
+               inner=[d("ParmVarDecl", id=pid, name=pname,
+                        type={"qualType": "long"})
+                      for pid, pname in params])
+    closure = d("CXXRecordDecl", tagUsed="class", inner=fields + [callop])
+    body = compound(begin + 5, end - 1, *body_children)
+    return d("LambdaExpr", loc={"offset": begin, "line": line},
+             range={"begin": {"offset": begin}, "end": {"offset": end}},
+             inner=[closure] + inits + [body])
+
+
+def tu(*decls):
+    return d("TranslationUnitDecl",
+             inner=[d("NamespaceDecl", name="treesim", inner=list(decls))])
+
+
+def extract(*decls) -> facts.FactDB:
+    tu_facts = facts.extract_tu(tu(*decls), SRC, REPO)
+    db = facts.FactDB()
+    db.add_tu(tu_facts)
+    return db
+
+
+def run_checks(db, ranks=None, sups=None):
+    return checks.run_all(db, ranks or {}, sups or [])
+
+
+def fn(db: facts.FactDB, suffix: str) -> facts.FunctionFact:
+    if suffix in db.functions:
+        return db.functions[suffix]
+    hits = [f for q, f in db.functions.items() if suffix in q]
+    assert len(hits) == 1, f"{suffix}: {list(db.functions)}"
+    return hits[0]
+
+
+# ---------------------------------------------------------------------------
+# Tests
+# ---------------------------------------------------------------------------
+
+
+def test_tolerant_loader():
+    text = ('Dumping treesim::Foo:\n{"kind": "FunctionDecl", "name": "a"}\n'
+            'Dumping treesim::Bar:\n   {"kind": "FunctionDecl", '
+            '"name": "b"}  \n')
+    roots = facts.load_ast_roots(text)
+    assert [r["name"] for r in roots] == ["a", "b"], roots
+    single = facts.load_ast_roots(json.dumps(tu()))
+    assert len(single) == 1
+
+
+def test_location_state_tracking():
+    # "file"/"line" omitted => same as previously emitted: a node after a
+    # system-header excursion must not inherit the repo file.
+    body = compound(100, 500, raii_lock("0xl", 120, 12,
+                                        ref("0xm", "mu", "treesim::Mutex")))
+    root = tu(var("0xm", "mu", "treesim::Mutex", 90, 9),
+              func("0xf", "f", 10, body),
+              d("FunctionDecl", id="0xsys", name="sysfn",
+                loc={"file": "/usr/include/x.h", "line": 3, "offset": 7},
+                inner=[compound(8, 9,
+                                raii_lock("0xl2", 8, 3,
+                                          ref("0xm", "mu",
+                                              "treesim::Mutex")))]))
+    db = facts.FactDB()
+    db.add_tu(facts.extract_tu(root, SRC, REPO))
+    f = fn(db, "treesim::f")
+    assert len(f.acquisitions) == 1
+    acq = f.acquisitions[0]
+    assert acq.file == SRC and acq.line == 12
+    assert (acq.begin, acq.end) == (120, 500), acq
+    assert "sysfn" not in "".join(db.functions)  # out-of-repo body dropped
+
+
+def test_manual_lock_unlock_pairing_and_trylock():
+    mu = lambda: ref("0xm", "mu", "treesim::Mutex")  # noqa: E731
+    body = compound(100, 500,
+                    member_call("Lock", mu(), 150, 15),
+                    member_call("TryLock", mu(), 200, 20),
+                    member_call("Unlock", mu(), 300, 30))
+    db = extract(var("0xm", "mu", "treesim::Mutex", 90, 9),
+                 func("0xf", "f", 10, body))
+    f = fn(db, "treesim::f")
+    assert len(f.acquisitions) == 1, f.acquisitions
+    acq = f.acquisitions[0]
+    assert acq.kind == "manual" and (acq.begin, acq.end) == (150, 300)
+    assert acq.lock == "mu"
+
+
+def test_member_lock_canonicalization():
+    # this->mu_ inside an inline method collapses to Record::field.
+    field = d("FieldDecl", name="mu_",
+              loc={"file": SRC, "line": 5, "offset": 50},
+              type={"qualType": "treesim::Mutex"})
+    body = compound(100, 500,
+                    raii_lock("0xl", 120, 12,
+                              d("MemberExpr", name="mu_",
+                                inner=[d("CXXThisExpr")])))
+    method = d("CXXMethodDecl", id="0xf", name="Get",
+               loc={"offset": 90, "line": 10},
+               range={"begin": {"offset": 90}, "end": {"offset": 500}},
+               inner=[body])
+    db = extract(d("CXXRecordDecl", name="Widget", inner=[field, method]))
+    assert "treesim::Widget::mu_" in db.mutex_fields
+    f = fn(db, "Widget::Get")
+    assert f.acquisitions[0].lock == "treesim::Widget::mu_"
+
+
+def test_var_field_lock_matches_record():
+    # other.mu on a Widget-typed reference unifies with Widget::mu.
+    field = d("FieldDecl", name="mu",
+              loc={"file": SRC, "line": 5, "offset": 50},
+              type={"qualType": "treesim::Mutex"})
+    body = compound(100, 500,
+                    raii_lock("0xl", 120, 12,
+                              d("MemberExpr", name="mu",
+                                inner=[ref("0xo", "other",
+                                           "treesim::Widget &")])))
+    db = extract(d("CXXRecordDecl", name="Widget", inner=[field]),
+                 func("0xf", "f", 10, body))
+    f = fn(db, "treesim::f")
+    assert f.acquisitions[0].lock == "treesim::Widget::mu"
+
+
+def _ab_ba_db():
+    a = lambda: ref("0xa", "A", "treesim::Mutex")  # noqa: E731
+    b = lambda: ref("0xb", "B", "treesim::Mutex")  # noqa: E731
+    f_body = compound(100, 500, raii_lock("0xl1", 110, 11, a()),
+                      compound(190, 400,
+                               raii_lock("0xl2", 200, 20, b())))
+    g_body = compound(600, 900, raii_lock("0xl3", 610, 61, b()),
+                      compound(690, 880,
+                               raii_lock("0xl4", 700, 70, a())))
+    return extract(var("0xa", "A", "treesim::Mutex", 90, 9),
+                   var("0xb", "B", "treesim::Mutex", 91, 9),
+                   func("0xf", "f", 10, f_body),
+                   func("0xg", "g", 60, g_body))
+
+
+def test_ab_ba_cycle():
+    kept, _, _ = run_checks(_ab_ba_db())
+    cyc = [f for f in kept if f.check == "lock-order"]
+    assert len(cyc) == 1, kept
+    assert "cycle" in cyc[0].message
+    assert "A" in cyc[0].message and "B" in cyc[0].message
+
+
+def test_consistent_order_is_clean():
+    a = lambda: ref("0xa", "A", "treesim::Mutex")  # noqa: E731
+    b = lambda: ref("0xb", "B", "treesim::Mutex")  # noqa: E731
+    f_body = compound(100, 500, raii_lock("0xl1", 110, 11, a()),
+                      compound(190, 400,
+                               raii_lock("0xl2", 200, 20, b())))
+    g_body = compound(600, 900, raii_lock("0xl3", 610, 61, a()),
+                      compound(690, 880,
+                               raii_lock("0xl4", 700, 70, b())))
+    db = extract(var("0xa", "A", "treesim::Mutex", 90, 9),
+                 var("0xb", "B", "treesim::Mutex", 91, 9),
+                 func("0xf", "f", 10, f_body),
+                 func("0xg", "g", 60, g_body))
+    kept, _, _ = run_checks(db)
+    assert not kept, kept
+
+
+def test_transitive_cycle_through_calls():
+    # f1: lock L1, call f2; f2: lock L2, call f3; f3: lock L3, call f1.
+    decls = [var(f"0x{i}", f"L{i}", "treesim::Mutex", 80 + i, 8)
+             for i in (1, 2, 3)]
+    for i, nxt in ((1, 2), (2, 3), (3, 1)):
+        base = 1000 * i
+        body = compound(base, base + 400,
+                        raii_lock(f"0xl{i}", base + 10, i * 10,
+                                  ref(f"0x{i}", f"L{i}", "treesim::Mutex")),
+                        call(f"0xf{nxt}", f"f{nxt}", base + 100, i * 10 + 2))
+        decls.append(func(f"0xf{i}", f"f{i}", i * 10, body))
+    kept, _, _ = run_checks(extract(*decls))
+    cyc = [f for f in kept if "cycle" in f.message]
+    assert len(cyc) == 1, kept
+    # The reported example is the *shortest* cycle in the SCC, which with
+    # transitive edges may use only two of the three locks.
+    named = sum(name in cyc[0].message for name in ("L1", "L2", "L3"))
+    assert named >= 2, cyc[0].message
+
+
+def test_rank_inversion():
+    db = _ab_ba_db()
+    # Drop g (the BA side) so only the A->B edge remains, then invert ranks.
+    del db.functions["treesim::g"]
+    kept, _, _ = run_checks(db, ranks={"A": 20, "B": 10})
+    rank = [f for f in kept if "rank" in f.message]
+    assert len(rank) == 1, kept
+    assert "ranks must strictly increase" in rank[0].message
+    kept_ok, _, _ = run_checks(db, ranks={"A": 10, "B": 20})
+    assert not [f for f in kept_ok if "rank" in f.message]
+
+
+def _submitting_func(lam_node, extra=(), fid="0xf", name="f", base=100):
+    body = compound(base, base + 900, *extra,
+                    member_call("Schedule",
+                                ref("0xpool", "pool",
+                                    "treesim::ThreadPool &"),
+                                base + 100, 20, lam_node))
+    return func(fid, name, 10, body)
+
+
+def test_capture_race_flagged():
+    mut = d("UnaryOperator", opcode="++",
+            range={"begin": {"offset": 260, "line": 26}},
+            inner=[ref("0xc", "counter", "int")])
+    lam_node = lam(250, 350, 25, [("0xc", "counter", "int", True)],
+                   [("0xp", "i")], [mut])
+    db = extract(func("0xdecl", "decl", 5,
+                      compound(50, 60)),  # unrelated function
+                 _submitting_func(lam_node,
+                                  extra=[var("0xc", "counter", "int",
+                                             110, 11)]))
+    lam_fact = fn(db, "<lambda@")
+    assert lam_fact.submitted and lam_fact.captures["counter"]["by_ref"]
+    kept, _, _ = run_checks(db)
+    races = [f for f in kept if f.check == "capture-race"]
+    assert len(races) == 1, kept
+    assert "counter" in races[0].message
+
+
+def test_capture_by_value_not_flagged():
+    mut = d("UnaryOperator", opcode="++",
+            range={"begin": {"offset": 260, "line": 26}},
+            inner=[ref("0xc", "counter", "int")])
+    lam_node = lam(250, 350, 25, [("0xc", "counter", "int", False)],
+                   [("0xp", "i")], [mut], mutable=True)
+    db = extract(_submitting_func(lam_node,
+                                  extra=[var("0xc", "counter", "int",
+                                             110, 11)]))
+    kept, _, _ = run_checks(db)
+    assert not [f for f in kept if f.check == "capture-race"], kept
+
+
+def test_per_slot_exemption():
+    mut = d("BinaryOperator", opcode="=",
+            range={"begin": {"offset": 260, "line": 26}},
+            inner=[d("ArraySubscriptExpr",
+                     inner=[ref("0xout", "out", "double *"),
+                            ref("0xp", "i", "long")]),
+                   d("FloatingLiteral")])
+    lam_node = lam(250, 350, 25, [("0xout", "out", "double *", True)],
+                   [("0xp", "i")], [mut])
+    db = extract(_submitting_func(lam_node,
+                                  extra=[var("0xout", "out", "double *",
+                                             110, 11)]))
+    kept, _, _ = run_checks(db)
+    assert not [f for f in kept if f.check == "capture-race"], kept
+    lam_fact = fn(db, "<lambda@")
+    assert lam_fact.mutations and lam_fact.mutations[0].per_slot
+
+
+def test_param_derived_subscript_is_per_slot():
+    # const long id = idx[i]; out[id] = ...; -- still per-slot.
+    deriv = var("0xid", "id", "long", 255, 25,
+                d("ArraySubscriptExpr",
+                  inner=[ref("0xidx", "idx", "const long *"),
+                         ref("0xp", "i", "long")]))
+    mut = d("BinaryOperator", opcode="=",
+            range={"begin": {"offset": 280, "line": 28}},
+            inner=[d("ArraySubscriptExpr",
+                     inner=[ref("0xout", "out", "double *"),
+                            ref("0xid", "id", "long")]),
+                   d("FloatingLiteral")])
+    lam_node = lam(250, 350, 25,
+                   [("0xout", "out", "double *", True),
+                    ("0xidx", "idx", "const long *", False)],
+                   [("0xp", "i")], [deriv, mut])
+    db = extract(_submitting_func(lam_node,
+                                  extra=[var("0xout", "out", "double *",
+                                             110, 11),
+                                         var("0xidx", "idx", "const long *",
+                                             112, 11)]))
+    kept, _, _ = run_checks(db)
+    assert not [f for f in kept if f.check == "capture-race"], kept
+
+
+def test_atomic_exemption():
+    mut = member_call("fetch_add",
+                      ref("0xa", "hits", "std::atomic<long>"), 260, 26,
+                      d("IntegerLiteral"))
+    lam_node = lam(250, 350, 25,
+                   [("0xa", "hits", "std::atomic<long>", True)],
+                   [("0xp", "i")], [mut])
+    db = extract(_submitting_func(lam_node,
+                                  extra=[var("0xa", "hits",
+                                             "std::atomic<long>", 110,
+                                             11)]))
+    kept, _, _ = run_checks(db)
+    assert not [f for f in kept if f.check == "capture-race"], kept
+
+
+def test_guarded_mutation_exemption():
+    mu_ref = ref("0xmu", "mu", "treesim::Mutex")
+    guard = raii_lock("0xl", 258, 25, mu_ref)
+    mut = d("UnaryOperator", opcode="++",
+            range={"begin": {"offset": 270, "line": 27}},
+            inner=[ref("0xc", "counter", "int")])
+    lam_node = lam(250, 350, 25,
+                   [("0xc", "counter", "int", True),
+                    ("0xmu", "mu", "treesim::Mutex", True)],
+                   [("0xp", "i")], [guard, mut])
+    db = extract(_submitting_func(lam_node,
+                                  extra=[var("0xc", "counter", "int",
+                                             110, 11),
+                                         var("0xmu", "mu", "treesim::Mutex",
+                                             112, 11)]))
+    kept, _, _ = run_checks(db)
+    assert not [f for f in kept if f.check == "capture-race"], kept
+
+
+def test_threadsafe_type_exemption():
+    mut = member_call("Increment",
+                      ref("0xc", "c", "treesim::Counter &"), 260, 26)
+    lam_node = lam(250, 350, 25,
+                   [("0xc", "c", "treesim::Counter &", True)],
+                   [("0xp", "i")], [mut])
+    db = extract(_submitting_func(lam_node,
+                                  extra=[var("0xc", "c",
+                                             "treesim::Counter &", 110,
+                                             11)]))
+    kept, _, _ = run_checks(db)
+    assert not [f for f in kept if f.check == "capture-race"], kept
+
+
+def test_io_under_lock():
+    body = compound(100, 500,
+                    raii_lock("0xl", 110, 11,
+                              ref("0xm", "mu", "treesim::Mutex")),
+                    call("0xio", "fprintf", 200, 20))
+    db = extract(var("0xm", "mu", "treesim::Mutex", 90, 9),
+                 func("0xf", "f", 10, body))
+    kept, _, _ = run_checks(db)
+    blk = [f for f in kept if f.check == "blocking-under-lock"]
+    assert len(blk) == 1 and "fprintf" in blk[0].message, kept
+
+
+def test_io_outside_lock_clean():
+    body = compound(100, 500,
+                    compound(105, 180,
+                             raii_lock("0xl", 110, 11,
+                                       ref("0xm", "mu", "treesim::Mutex"))),
+                    call("0xio", "fprintf", 200, 20))
+    db = extract(var("0xm", "mu", "treesim::Mutex", 90, 9),
+                 func("0xf", "f", 10, body))
+    kept, _, _ = run_checks(db)
+    assert not kept, kept
+
+
+def test_transitive_blocking_under_lock():
+    g_body = compound(600, 900, call("0xio", "fprintf", 700, 70))
+    f_body = compound(100, 500,
+                      raii_lock("0xl", 110, 11,
+                                ref("0xm", "mu", "treesim::Mutex")),
+                      call("0xg", "g", 200, 20))
+    db = extract(var("0xm", "mu", "treesim::Mutex", 90, 9),
+                 func("0xg", "g", 60, g_body),
+                 func("0xf", "f", 10, f_body))
+    kept, _, _ = run_checks(db)
+    blk = [f for f in kept if f.check == "blocking-under-lock"]
+    assert len(blk) == 1, kept
+    assert "via treesim::g" in blk[0].message and "fprintf" in blk[0].message
+
+
+def test_submit_under_lock():
+    lam_node = lam(250, 350, 25, [], [("0xp", "i")], [])
+    body = compound(100, 500,
+                    raii_lock("0xl", 110, 11,
+                              ref("0xm", "mu", "treesim::Mutex")),
+                    member_call("Schedule",
+                                ref("0xpool", "pool",
+                                    "treesim::ThreadPool &"),
+                                200, 20, lam_node))
+    db = extract(var("0xm", "mu", "treesim::Mutex", 90, 9),
+                 func("0xf", "f", 10, body))
+    kept, _, _ = run_checks(db)
+    blk = [f for f in kept if f.check == "blocking-under-lock"]
+    assert len(blk) == 1 and "submission" in blk[0].message, kept
+
+
+def test_condvar_wait_is_sanctioned():
+    body = compound(100, 500,
+                    raii_lock("0xl", 110, 11,
+                              ref("0xm", "mu", "treesim::Mutex")),
+                    member_call("Wait",
+                                ref("0xcv", "cv", "treesim::CondVar"),
+                                200, 20))
+    db = extract(var("0xm", "mu", "treesim::Mutex", 90, 9),
+                 func("0xf", "f", 10, body))
+    kept, _, _ = run_checks(db)
+    assert not kept, kept
+    assert not fn(db, "treesim::f").calls  # modeled natively, not a call
+
+
+def test_parallel_for_nullptr_is_inline_call():
+    mut = d("UnaryOperator", opcode="++",
+            range={"begin": {"offset": 260, "line": 26}},
+            inner=[ref("0xc", "counter", "int")])
+    lam_node = lam(250, 350, 25, [("0xc", "counter", "int", True)],
+                   [("0xp", "i")], [mut])
+    body = compound(100, 500,
+                    var("0xc", "counter", "int", 110, 11),
+                    call("0xpf", "ParallelFor", 200, 20,
+                         d("CXXNullPtrLiteralExpr"), d("IntegerLiteral"),
+                         lam_node))
+    db = extract(func("0xf", "f", 10, body))
+    lam_fact = fn(db, "<lambda@")
+    assert not lam_fact.submitted
+    caller = fn(db, "treesim::f")
+    assert any(c.callee == lam_fact.qname for c in caller.calls)
+    kept, _, _ = run_checks(db)
+    assert not [f for f in kept if f.check == "capture-race"], kept
+
+
+def test_pool_parallel_for_submits():
+    mut = d("UnaryOperator", opcode="++",
+            range={"begin": {"offset": 260, "line": 26}},
+            inner=[ref("0xc", "counter", "int")])
+    lam_node = lam(250, 350, 25, [("0xc", "counter", "int", True)],
+                   [("0xp", "i")], [mut])
+    body = compound(100, 500,
+                    var("0xc", "counter", "int", 110, 11),
+                    member_call("ParallelFor",
+                                ref("0xpool", "pool",
+                                    "treesim::ThreadPool &"),
+                                200, 20, d("IntegerLiteral"), lam_node))
+    db = extract(func("0xf", "f", 10, body))
+    assert fn(db, "<lambda@").submitted
+    kept, _, _ = run_checks(db)
+    assert [f for f in kept if f.check == "capture-race"], kept
+
+
+def test_suppressions():
+    finding = checks.Finding(check="blocking-under-lock", file="src/a.cc",
+                             line=3, function="treesim::StructuredLog::Write",
+                             message="x", callee="fwrite")
+    sup = checks.Suppression(check="blocking-under-lock",
+                             function="treesim::StructuredLog::*",
+                             callee="fwrite", reason="flush-per-record")
+    unused = checks.Suppression(check="capture-race", reason="stale")
+    kept, suppressed, warnings = checks.apply_suppressions(
+        [finding], [sup, unused])
+    assert not kept and len(suppressed) == 1
+    assert len(warnings) == 1 and "capture-race" in warnings[0]
+
+
+def test_suppression_file_validation():
+    with tempfile.TemporaryDirectory() as tmp:
+        good = os.path.join(tmp, "s.toml")
+        with open(good, "w") as fh:
+            fh.write('[[suppress]]\ncheck = "capture-race"\n'
+                     'function = "f"\nreason = "why"\n')
+        sups = checks.load_suppressions(good)
+        assert len(sups) == 1 and sups[0].reason == "why"
+        bad = os.path.join(tmp, "bad.toml")
+        with open(bad, "w") as fh:
+            fh.write('[[suppress]]\ncheck = "capture-race"\n')
+        try:
+            checks.load_suppressions(bad)
+            raise AssertionError("missing reason accepted")
+        except ValueError as exc:
+            assert "reason" in str(exc)
+        with open(bad, "w") as fh:
+            fh.write('[[suppress]]\ncheck = "nope"\nreason = "x"\n')
+        try:
+            checks.load_suppressions(bad)
+            raise AssertionError("unknown check accepted")
+        except ValueError as exc:
+            assert "unknown check" in str(exc)
+
+
+def test_lock_ranks_from_source():
+    with tempfile.TemporaryDirectory() as tmp:
+        hdr = os.path.join(tmp, "x.h")
+        with open(hdr, "w") as fh:
+            fh.write("struct S {\n  Mutex mu TREESIM_LOCK_RANK(20);\n"
+                     "  Mutex other;\n};\n")
+        db = facts.FactDB()
+        db.mutex_fields = {
+            "S::mu": {"file": hdr, "line": 2, "record": "S", "field": "mu"},
+            "S::other": {"file": hdr, "line": 3, "record": "S",
+                         "field": "other"},
+        }
+        ranks = checks.load_lock_ranks(db, tmp)
+        assert ranks == {"S::mu": 20}, ranks
+
+
+def test_cache_roundtrip_and_key():
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = clang_driver.FactCache(os.path.join(tmp, "cache"))
+        tu_facts = facts.extract_tu(
+            tu(func("0xf", "f", 10, compound(100, 500))), SRC, REPO)
+        key = clang_driver.tu_cache_key("clang 14", ["clang", "a.cc"],
+                                        [("a.cc", "h1")])
+        assert cache.get(key) is None
+        cache.put(key, tu_facts)
+        back = cache.get(key)
+        assert back is not None
+        assert [f.qname for f in back.functions] == ["treesim::f"]
+        # Any component change must change the key.
+        k2 = clang_driver.tu_cache_key("clang 15", ["clang", "a.cc"],
+                                       [("a.cc", "h1")])
+        k3 = clang_driver.tu_cache_key("clang 14", ["clang", "a.cc"],
+                                       [("a.cc", "h2")])
+        k4 = clang_driver.tu_cache_key("clang 14", ["clang", "-O2", "a.cc"],
+                                       [("a.cc", "h1")])
+        assert len({key, k2, k3, k4}) == 4
+
+
+def test_include_closure_scan():
+    with tempfile.TemporaryDirectory() as tmp:
+        os.makedirs(os.path.join(tmp, "src"))
+        a = os.path.join(tmp, "src", "a.h")
+        b = os.path.join(tmp, "src", "b.h")
+        c = os.path.join(tmp, "main.cc")
+        with open(a, "w") as fh:
+            fh.write('#include "b.h"\n#include <vector>\n')
+        with open(b, "w") as fh:
+            fh.write("int x;\n")
+        with open(c, "w") as fh:
+            fh.write('#include "src/a.h"\n')
+        scanner = clang_driver._IncludeScanner(tmp)
+        closure = scanner.closure(c, (tmp,))
+        paths = {p for p, _ in closure}
+        assert paths == {os.path.abspath(p) for p in (a, b, c)}, closure
+
+
+def test_rewrite_command():
+    entry = {"directory": "/b",
+             "command": "/usr/bin/c++ -I/r/src -std=c++20 -O2 -MD -MF x.d "
+                        "-o x.o -c /r/src/a.cc",
+             "file": "/r/src/a.cc"}
+    cmd = clang_driver.rewrite_command(entry, "/usr/bin/clang++")
+    assert cmd[0] == "/usr/bin/clang++"
+    assert cmd[-1] == "/r/src/a.cc"
+    assert "-c" not in cmd and "-o" not in cmd and "x.o" not in cmd
+    assert "-ast-dump=json" in cmd and "-fsyntax-only" in cmd
+    assert "-I/r/src" in cmd and "-std=c++20" in cmd
+    assert clang_driver._include_dirs_of(cmd) == ("/r/src",)
+
+
+def test_db_merge_prefers_richer_and_keeps_submitted():
+    body = compound(100, 500, call("0xg", "g", 200, 20))
+    rich = facts.extract_tu(tu(func("0xf", "f", 10, body)), SRC, REPO)
+    poor = facts.extract_tu(tu(func("0xf", "f", 10, compound(100, 500))),
+                            "/repo/src/u.cc", REPO)
+    poor.functions[0].submitted = True
+    db = facts.FactDB()
+    db.add_tu(rich)
+    db.add_tu(poor)
+    merged = db.functions["treesim::f"]
+    assert merged.calls and merged.submitted
+
+
+TESTS = [v for k, v in sorted(globals().items()) if k.startswith("test_")]
+
+
+def main() -> int:
+    failures = 0
+    for t in TESTS:
+        try:
+            t()
+            print(f"ok   {t.__name__}")
+        except Exception:  # noqa: BLE001 - report and continue
+            failures += 1
+            print(f"FAIL {t.__name__}")
+            traceback.print_exc()
+    print(f"astcheck unit tests: {len(TESTS) - failures}/{len(TESTS)} "
+          "passed")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

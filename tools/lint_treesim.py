@@ -39,9 +39,20 @@ Checks, over ``src/`` (and headers under ``fuzz/`` if any appear):
               to the binaries: ``bench/`` and ``tools/`` are exempt, as is
               the rest of ``src/`` (util/logging.h itself, parser error
               paths, ...).
+  rawwait     No busy-waits or leaked threads in ``src/``:
+              ``std::this_thread::sleep_for`` / ``sleep_until``,
+              ``sleep()`` / ``usleep()`` / ``nanosleep()``, and
+              ``std::thread::detach`` are all banned. Waiting is
+              CondVar::Wait's job (it releases the mutex and wakes
+              precisely); a sleep either races or wastes latency, and a
+              detached thread outlives shutdown — both are exactly the
+              bugs the upcoming serverd work cannot afford.
 
 Exit status 0 when clean, 1 when any finding is reported. Run from
 anywhere: paths are resolved relative to the repo root.
+``--self-test`` runs the rules against synthetic known-bad/known-good
+files in a temp tree and exits 0 only if every expected finding (and no
+unexpected one) fires.
 """
 
 from __future__ import annotations
@@ -231,6 +242,27 @@ class Linter:
                             "(util/structured_log.h) — printing is the "
                             "binaries' job")
 
+    # ---- rawwait --------------------------------------------------------
+
+    RAW_WAIT_RE = re.compile(
+        r"\bstd\s*::\s*this_thread\s*::\s*sleep_(?:for|until)\b"
+        r"|(?<![\w:.])(?:sleep|usleep|nanosleep)\s*\("
+        r"|(?:\.|->)\s*detach\s*\(")
+
+    def check_raw_wait(self, path: pathlib.Path, lines: list[str]) -> None:
+        if not path.is_relative_to(SRC_ROOT):
+            return
+        for i, raw in enumerate(lines, start=1):
+            line = strip_comments_and_strings(raw)
+            m = self.RAW_WAIT_RE.search(line)
+            if m:
+                self.report(path, i, "rawwait",
+                            f"'{m.group(0).strip()}' in src/; sleeps "
+                            "busy-wait and detached threads outlive "
+                            "shutdown — block on treesim::CondVar::Wait "
+                            "(util/sync.h) and join workers via ThreadPool "
+                            "(util/thread_pool.h)")
+
     # ---- nodiscard ------------------------------------------------------
 
     def check_status_nodiscard(self) -> None:
@@ -319,6 +351,7 @@ class Linter:
             self.check_assert(path, lines)
         for path, lines in {**headers, **sources}.items():
             self.check_raw_log(path, lines)
+            self.check_raw_wait(path, lines)
 
         self.check_status_nodiscard()
         names = self.collect_status_returning(headers)
@@ -352,5 +385,89 @@ class Linter:
         return 0
 
 
+def self_test() -> int:
+    """Runs every rule against a synthetic tree of known-bad/known-good
+    files and checks the findings one-to-one (by rule and count)."""
+    import tempfile
+
+    global REPO_ROOT, SRC_ROOT
+    orig_roots = (REPO_ROOT, SRC_ROOT)
+
+    files = {
+        # Valid status.h so nodiscard/guard stay quiet on the scaffold.
+        "src/util/status.h": (
+            "#ifndef TREESIM_UTIL_STATUS_H_\n"
+            "#define TREESIM_UTIL_STATUS_H_\n"
+            "class [[nodiscard]] Status {};\n"
+            "template <typename T> class [[nodiscard]] StatusOr {};\n"
+            "#endif  // TREESIM_UTIL_STATUS_H_\n"),
+        # rawwait: sleep_for, sleep(), usleep(), .detach() — plus one
+        # rawsync for the std::thread parameter type.
+        "src/bad_wait.cc": (
+            "void Slow() {\n"
+            "  std::this_thread::sleep_for(interval);\n"
+            "  sleep(1);\n"
+            "  usleep(100);\n"
+            "}\n"
+            "void Leak(std::thread& worker) {\n"
+            "  worker.detach();\n"
+            "}\n"),
+        # Known-good: sanctioned wait; sleeps only in comments/strings.
+        "src/good_wait.cc": (
+            "void Wait() {\n"
+            "  // usleep(100) would busy-wait here; CondVar blocks.\n"
+            "  const char* msg = \"never call sleep( in src/\";\n"
+            "  (void)msg;\n"
+            "  cv.Wait(&mu);\n"
+            "}\n"),
+        "src/search/bad_log.cc": (
+            "void Report() {\n"
+            "  printf(\"done\\n\");\n"
+            "}\n"),
+        "src/bad_using.h": (
+            "#ifndef TREESIM_BAD_USING_H_\n"
+            "#define TREESIM_BAD_USING_H_\n"
+            "using namespace std;\n"
+            "#endif  // TREESIM_BAD_USING_H_\n"),
+    }
+    expected = {"rawwait": 4, "rawsync": 1, "rawlog": 1, "using": 1}
+
+    try:
+        with tempfile.TemporaryDirectory(prefix="lint_selftest_") as tmp:
+            root = pathlib.Path(tmp)
+            REPO_ROOT = root
+            SRC_ROOT = root / "src"
+            for rel, content in files.items():
+                path = root / rel
+                path.parent.mkdir(parents=True, exist_ok=True)
+                path.write_text(content, encoding="utf-8")
+            linter = Linter()
+            code = linter.run()
+    finally:
+        REPO_ROOT, SRC_ROOT = orig_roots
+
+    got: dict[str, int] = {}
+    for finding in linter.findings:
+        m = re.search(r"\[(\w+)\]", finding)
+        if m:
+            got[m.group(1)] = got.get(m.group(1), 0) + 1
+    failures = []
+    if code != 1:
+        failures.append(f"expected exit 1 on the bad tree, got {code}")
+    if got != expected:
+        failures.append(f"expected findings {expected}, got {got}")
+    if any("good_wait.cc" in f for f in linter.findings):
+        failures.append("known-good file good_wait.cc produced findings")
+    if failures:
+        for msg in failures:
+            print(f"lint_treesim.py --self-test: FAIL: {msg}")
+        return 1
+    print(f"lint_treesim.py --self-test: PASS "
+          f"({sum(expected.values())} expected findings fired)")
+    return 0
+
+
 if __name__ == "__main__":
+    if "--self-test" in sys.argv[1:]:
+        sys.exit(self_test())
     sys.exit(Linter().run())
