@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "util/hot.h"
 #include "util/logging.h"
 #include "util/safe_math.h"
 #include "util/status.h"
@@ -28,21 +29,37 @@ BranchProfile BranchProfile::FromTree(const Tree& t, BranchDictionary& dict) {
               if (x.branch != y.branch) return x.branch < y.branch;
               return x.pre < y.pre;
             });
-  for (const BranchOccurrence& occ : occurrences) {
-    if (p.entries.empty() || p.entries.back().branch != occ.branch) {
-      p.entries.push_back(BranchEntry{occ.branch, {}, {}});
+  // Run-length over the (branch, pre)-sorted occurrences: count the
+  // distinct branches first so every vector below is sized exactly once.
+  size_t distinct = 0;
+  for (size_t i = 0; i < occurrences.size(); ++i) {
+    if (i == 0 || occurrences[i - 1].branch != occurrences[i].branch) {
+      ++distinct;
     }
-    p.entries.back().occurrences.emplace_back(occ.pre, occ.post);
-    p.entries.back().posts_sorted.push_back(occ.post);
   }
-  for (BranchEntry& e : p.entries) {
+  p.entries.reserve(distinct);
+  for (size_t i = 0; i < occurrences.size();) {
+    size_t j = i;
+    while (j < occurrences.size() &&
+           occurrences[j].branch == occurrences[i].branch) {
+      ++j;
+    }
+    BranchEntry e{occurrences[i].branch, {}, {}};
+    e.occurrences.reserve(j - i);
+    e.posts_sorted.reserve(j - i);
+    for (size_t o = i; o < j; ++o) {
+      e.occurrences.emplace_back(occurrences[o].pre, occurrences[o].post);
+      e.posts_sorted.push_back(occurrences[o].post);
+    }
     std::sort(e.posts_sorted.begin(), e.posts_sorted.end());
+    p.entries.push_back(std::move(e));
+    i = j;
   }
   TREESIM_DCHECK_OK(p.ValidateInvariants());
   return p;
 }
 
-Status BranchProfile::ValidateInvariants() const {
+Status TREESIM_COLD BranchProfile::ValidateInvariants() const {
   if (tree_size < 0) return Status::Internal("negative tree size");
   if (q < 2) return Status::Internal("branch level q must be >= 2");
   if (factor != 4 * (q - 1) + 1) {
@@ -93,7 +110,8 @@ Status BranchProfile::ValidateInvariants() const {
   return Status::Ok();
 }
 
-int64_t BranchDistance(const BranchProfile& a, const BranchProfile& b) {
+int64_t TREESIM_HOT BranchDistance(const BranchProfile& a,
+                                   const BranchProfile& b) {
   TREESIM_CHECK_EQ(a.q, b.q) << "profiles extracted at different levels";
   int64_t dist = 0;
   size_t i = 0;
@@ -123,7 +141,8 @@ int64_t BranchDistance(const BranchProfile& a, const BranchProfile& b) {
   return dist;
 }
 
-int BranchDistanceLowerBound(const BranchProfile& a, const BranchProfile& b) {
+int TREESIM_HOT BranchDistanceLowerBound(const BranchProfile& a,
+                                         const BranchProfile& b) {
   const int64_t dist = BranchDistance(a, b);
   const int64_t factor = a.factor;
   // ceil(BDist / [4(q-1)+1]) — Theorem 3.2's lower bound. A wrapped sum

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "util/hot.h"
 #include "util/logging.h"
 #include "util/metrics.h"
 #include "util/safe_math.h"
@@ -104,9 +105,9 @@ int MaxPositionalMatching(const BranchEntry& a, const BranchEntry& b, int pr,
                   MaxMatching1D(a.posts_sorted, b.posts_sorted, pr));
 }
 
-int64_t PositionalBranchDistance(const BranchProfile& a,
-                                 const BranchProfile& b, int pr,
-                                 MatchingMode mode) {
+int64_t TREESIM_HOT PositionalBranchDistance(const BranchProfile& a,
+                                             const BranchProfile& b, int pr,
+                                             MatchingMode mode) {
   TREESIM_CHECK_EQ(a.q, b.q) << "profiles extracted at different levels";
   int64_t dist = 0;
   size_t i = 0;

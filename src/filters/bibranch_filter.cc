@@ -3,6 +3,7 @@
 #include <cmath>
 #include <utility>
 
+#include "util/hot.h"
 #include "util/logging.h"
 #include "util/metrics.h"
 #include "util/random.h"
@@ -46,13 +47,14 @@ void BiBranchFilter::Build(const std::vector<Tree>& trees) {
   }
 }
 
-std::unique_ptr<QueryContext> BiBranchFilter::PrepareQuery(const Tree& query) {
+std::unique_ptr<QueryContext> TREESIM_HOT BiBranchFilter::PrepareQuery(
+    const Tree& query) {
   return std::make_unique<BiBranchQueryContext>(
       BranchProfile::FromTree(query, index_.branch_dict()));
 }
 
-double BiBranchFilter::LowerBound(const QueryContext& ctx,
-                                  int tree_id) const {
+double TREESIM_HOT BiBranchFilter::LowerBound(const QueryContext& ctx,
+                                              int tree_id) const {
   const auto& q = static_cast<const BiBranchQueryContext&>(ctx);
   const BranchProfile& data = profiles_[static_cast<size_t>(tree_id)];
   if (options_.positional) {
@@ -61,7 +63,7 @@ double BiBranchFilter::LowerBound(const QueryContext& ctx,
   return BranchDistanceLowerBound(q.profile(), data);
 }
 
-std::optional<std::vector<int>> BiBranchFilter::TryRangeCandidates(
+std::optional<std::vector<int>> TREESIM_HOT BiBranchFilter::TryRangeCandidates(
     const QueryContext& ctx, double tau) const {
   if (vptree_ == nullptr) return std::nullopt;
   const auto& q = static_cast<const BiBranchQueryContext&>(ctx);
@@ -95,8 +97,8 @@ std::optional<std::vector<int>> BiBranchFilter::TryRangeCandidates(
   return candidates;
 }
 
-bool BiBranchFilter::MayQualify(const QueryContext& ctx, int tree_id,
-                                double tau) const {
+bool TREESIM_HOT BiBranchFilter::MayQualify(const QueryContext& ctx,
+                                            int tree_id, double tau) const {
   const auto& q = static_cast<const BiBranchQueryContext&>(ctx);
   const BranchProfile& data = profiles_[static_cast<size_t>(tree_id)];
   // Unit-cost distances are integral, so testing at floor(tau) is exact.

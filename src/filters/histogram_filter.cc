@@ -6,6 +6,7 @@
 #include <map>
 
 #include "tree/traversal.h"
+#include "util/hot.h"
 #include "util/logging.h"
 #include "util/metrics.h"
 #include "util/safe_math.h"
@@ -111,13 +112,13 @@ void HistogramFilter::Build(const std::vector<Tree>& trees) {
   for (const Tree& t : trees) features_.push_back(ExtractFeatures(t));
 }
 
-std::unique_ptr<QueryContext> HistogramFilter::PrepareQuery(
+std::unique_ptr<QueryContext> TREESIM_HOT HistogramFilter::PrepareQuery(
     const Tree& query) {
   return std::make_unique<HistogramQueryContext>(ExtractFeatures(query));
 }
 
-double HistogramFilter::LowerBound(const QueryContext& ctx,
-                                   int tree_id) const {
+double TREESIM_HOT HistogramFilter::LowerBound(const QueryContext& ctx,
+                                               int tree_id) const {
   TREESIM_COUNTER_INC("filter.histogram.bounds");
   const auto& q = static_cast<const HistogramQueryContext&>(ctx);
   return Bound(q.features(), features_[static_cast<size_t>(tree_id)]);

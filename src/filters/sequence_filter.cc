@@ -6,6 +6,7 @@
 
 #include "strgram/string_edit_distance.h"
 #include "tree/traversal.h"
+#include "util/hot.h"
 #include "util/logging.h"
 #include "util/metrics.h"
 
@@ -57,13 +58,13 @@ void SequenceFilter::Build(const std::vector<Tree>& trees) {
   for (const Tree& t : trees) sequences_.push_back(Extract(t));
 }
 
-std::unique_ptr<QueryContext> SequenceFilter::PrepareQuery(
+std::unique_ptr<QueryContext> TREESIM_HOT SequenceFilter::PrepareQuery(
     const Tree& query) {
   return std::make_unique<SequenceQueryContext>(Extract(query));
 }
 
-double SequenceFilter::LowerBound(const QueryContext& ctx,
-                                  int tree_id) const {
+double TREESIM_HOT SequenceFilter::LowerBound(const QueryContext& ctx,
+                                              int tree_id) const {
   const TreeSequences& q =
       static_cast<const SequenceQueryContext&>(ctx).sequences();
   const TreeSequences& data = sequences_[static_cast<size_t>(tree_id)];
@@ -75,8 +76,8 @@ double SequenceFilter::LowerBound(const QueryContext& ctx,
                   QGramLowerBound(*q.post_grams, *data.post_grams));
 }
 
-bool SequenceFilter::MayQualify(const QueryContext& ctx, int tree_id,
-                                double tau) const {
+bool TREESIM_HOT SequenceFilter::MayQualify(const QueryContext& ctx,
+                                            int tree_id, double tau) const {
   const int itau = static_cast<int>(std::floor(tau));
   if (itau < 0) return false;
   TREESIM_COUNTER_INC("filter.sequence.checked");

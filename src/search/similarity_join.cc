@@ -4,6 +4,7 @@
 #include <string>
 #include <utility>
 
+#include "util/hot.h"
 #include "util/logging.h"
 #include "util/metrics.h"
 #include "util/safe_math.h"
@@ -16,9 +17,11 @@ namespace treesim {
 namespace {
 
 /// Query-log record for one join call (both the parallel and the
-/// sequential paths funnel through here before returning).
-void MaybeLogJoin(const JoinResult& result, int tau, bool self,
-                  int64_t left_size, const std::string& filter_name) {
+/// sequential paths funnel through here before returning). Cold: runs
+/// once per join, after the timers stop, and only when sampled in.
+void TREESIM_COLD MaybeLogJoin(const JoinResult& result, int tau, bool self,
+                               int64_t left_size,
+                               const std::string& filter_name) {
   StructuredLog& qlog = StructuredLog::Global();
   const int64_t total_micros =
       static_cast<int64_t>(result.stats.TotalSeconds() * 1e6);
@@ -111,6 +114,11 @@ JoinResult SimilarityJoin::JoinImpl(const TreeDatabase& left, int tau,
     // Phase 3, sequential: merge slots in left order — each slot is
     // already ascending by r, so the concatenation is ascending by (l, r),
     // exactly the sequential output.
+    size_t total_pairs = 0;
+    for (const PerLeft& slot : slots) {
+      total_pairs = CheckedAdd(total_pairs, slot.pairs.size());
+    }
+    result.pairs.reserve(total_pairs);
     for (int l = 0; l < left.size(); ++l) {
       PerLeft& slot = slots[static_cast<size_t>(l)];
       result.stats.database_size = CheckedAdd<int64_t>(
@@ -139,12 +147,14 @@ JoinResult SimilarityJoin::JoinImpl(const TreeDatabase& left, int tau,
                  filter_ == nullptr ? "Sequential" : filter_->name());
     return result;
   }
+  std::vector<int> candidates;  // hoisted: reused across left trees
   for (int l = 0; l < left.size(); ++l) {
     // In a self join every unordered pair is probed from its smaller id;
     // the filter still scans all of `right_`, so prune r <= l afterwards
     // (cheap: MayQualify already ran, but the exact distance is skipped).
     Stopwatch filter_timer;
-    std::vector<int> candidates;
+    candidates.clear();
+    candidates.reserve(static_cast<size_t>(right_->size()));
     if (filter_ == nullptr) {
       for (int r = self ? l + 1 : 0; r < right_->size(); ++r) {
         candidates.push_back(r);

@@ -73,6 +73,7 @@ RangeResult SimilaritySearch::Range(const Tree& query, int tau,
       if (batch.has_value()) {
         candidates = std::move(*batch);  // metric-index fast path
       } else {
+        candidates.reserve(static_cast<size_t>(db_->size()));
         for (int id = 0; id < db_->size(); ++id) {
           if (filter_->MayQualify(*ctx, id, tau)) candidates.push_back(id);
         }
@@ -120,6 +121,11 @@ RangeResult SimilaritySearch::Range(const Tree& query, int tau,
       static_cast<int64_t>(candidates.size());
   TREESIM_COUNTER_ADD("search.range.refined",
                       static_cast<int64_t>(candidates.size()));
+  size_t within_tau = 0;
+  for (size_t c = 0; c < candidates.size(); ++c) {
+    if (distances[c] <= tau) ++within_tau;
+  }
+  result.matches.reserve(within_tau);
   for (size_t c = 0; c < candidates.size(); ++c) {
     if (distances[c] <= tau) {
       result.matches.emplace_back(candidates[c], distances[c]);
@@ -402,6 +408,7 @@ WeightedRangeResult SimilaritySearch::RangeWeighted(const Tree& query,
     if (batch.has_value()) {
       candidates = std::move(*batch);
     } else {
+      candidates.reserve(static_cast<size_t>(db_->size()));
       for (int id = 0; id < db_->size(); ++id) {
         if (filter_->MayQualify(*ctx, id, unit_tau)) candidates.push_back(id);
       }
@@ -412,6 +419,7 @@ WeightedRangeResult SimilaritySearch::RangeWeighted(const Tree& query,
 
   Stopwatch refine_timer;
   const TedTree query_view = TedTree::FromTree(query);
+  result.matches.reserve(candidates.size());
   for (const int id : candidates) {
     const double d =
         TreeEditDistanceWeighted(query_view, db_->ted_view(id), costs);

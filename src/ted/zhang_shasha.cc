@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "tree/traversal.h"
+#include "util/hot.h"
 #include "util/logging.h"
 #include "util/metrics.h"
 #include "util/safe_math.h"
@@ -118,6 +119,15 @@ TedTree TedTree::FromTree(const Tree& t) {
             ? i
             : out.lml[static_cast<size_t>(post_index[static_cast<size_t>(fc)])];
   }
+  size_t keyroot_count = 0;
+  for (int i = 0; i < n; ++i) {
+    const NodeId node = post[static_cast<size_t>(i)];
+    const NodeId parent = t.parent(node);
+    const bool has_left_sibling =
+        parent != kInvalidNode && t.first_child(parent) != node;
+    if (parent == kInvalidNode || has_left_sibling) ++keyroot_count;
+  }
+  out.keyroots.reserve(keyroot_count);
   for (int i = 0; i < n; ++i) {
     const NodeId node = post[static_cast<size_t>(i)];
     const NodeId parent = t.parent(node);
@@ -130,7 +140,7 @@ TedTree TedTree::FromTree(const Tree& t) {
   return out;
 }
 
-int TreeEditDistance(const TedTree& t1, const TedTree& t2) {
+int TREESIM_HOT TreeEditDistance(const TedTree& t1, const TedTree& t2) {
   TREESIM_COUNTER_INC("ted.zhang_shasha_calls");
   TREESIM_HISTOGRAM_RECORD("ted.problem_nodes", CountBuckets(),
                            static_cast<int64_t>(t1.size()) + t2.size());
@@ -145,8 +155,9 @@ int TreeEditDistance(const Tree& t1, const Tree& t2) {
   return TreeEditDistance(TedTree::FromTree(t1), TedTree::FromTree(t2));
 }
 
-double TreeEditDistanceWeighted(const TedTree& t1, const TedTree& t2,
-                                const CostModel& costs) {
+double TREESIM_HOT TreeEditDistanceWeighted(const TedTree& t1,
+                                            const TedTree& t2,
+                                            const CostModel& costs) {
   TREESIM_COUNTER_INC("ted.zhang_shasha_weighted_calls");
   return ZhangShashaImpl(t1, t2, ModelCosts{costs}).back();
 }

@@ -1,6 +1,7 @@
 #include "tree/traversal.h"
 
 #include <algorithm>
+#include <cstddef>
 
 namespace treesim {
 
@@ -8,16 +9,23 @@ std::vector<NodeId> PreorderSequence(const Tree& t) {
   std::vector<NodeId> out;
   if (t.empty()) return out;
   out.reserve(static_cast<size_t>(t.size()));
-  std::vector<NodeId> stack = {t.root()};
+  std::vector<NodeId> stack;
+  stack.reserve(static_cast<size_t>(t.size()));
+  stack.push_back(t.root());
   while (!stack.empty()) {
     const NodeId n = stack.back();
     stack.pop_back();
     out.push_back(n);
-    // Push children in reverse so the first child is processed first.
-    std::vector<NodeId> children = t.Children(n);
-    for (auto it = children.rbegin(); it != children.rend(); ++it) {
-      stack.push_back(*it);
+    // Push children in reverse so the first child is processed first:
+    // append in sibling order, then flip the appended range in place —
+    // no per-node temporary vector.
+    const size_t mark = stack.size();
+    for (NodeId c = t.first_child(n); c != kInvalidNode;
+         c = t.next_sibling(c)) {
+      stack.push_back(c);
     }
+    std::reverse(stack.begin() + static_cast<std::ptrdiff_t>(mark),
+                 stack.end());
   }
   return out;
 }
@@ -28,7 +36,9 @@ std::vector<NodeId> PostorderSequence(const Tree& t) {
   out.reserve(static_cast<size_t>(t.size()));
   // Two-phase iterative postorder: emit in reverse-preorder of mirrored
   // children, then reverse.
-  std::vector<NodeId> stack = {t.root()};
+  std::vector<NodeId> stack;
+  stack.reserve(static_cast<size_t>(t.size()));
+  stack.push_back(t.root());
   while (!stack.empty()) {
     const NodeId n = stack.back();
     stack.pop_back();

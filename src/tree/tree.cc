@@ -25,7 +25,12 @@ int Tree::Degree(NodeId n) const {
 }
 
 std::vector<NodeId> Tree::Children(NodeId n) const {
+  size_t count = 0;
+  for (NodeId c = first_child(n); c != kInvalidNode; c = next_sibling(c)) {
+    ++count;
+  }
   std::vector<NodeId> out;
+  out.reserve(count);
   for (NodeId c = first_child(n); c != kInvalidNode; c = next_sibling(c)) {
     out.push_back(c);
   }

@@ -1,0 +1,38 @@
+#ifndef TREESIM_UTIL_HOT_H_
+#define TREESIM_UTIL_HOT_H_
+
+/// Hot-path annotations for the perf static analysis (tools/astcheck
+/// --checks=perf).
+///
+/// The analyzer derives the hot set from the call graph: every function
+/// reachable from the Range/Knn/BatchKnn/Join/pairwise entry points and
+/// from ParallelFor bodies. These macros seed and override that
+/// derivation:
+///
+///   TREESIM_HOT   forces a function into the hot set even when the
+///                 call-graph walk cannot prove reachability (callbacks,
+///                 functions dispatched through tables, future kernels).
+///   TREESIM_COLD  removes a function from the hot set even when it is
+///                 reachable (debug-only validation, slow-query logging
+///                 tails) — the analyzer neither checks its body nor
+///                 traverses its callees on the hot walk.
+///
+/// Like TREESIM_LOCK_RANK, the analyzer reads the marker from the
+/// declaration's source line (clang-14 does not serialize annotate-
+/// attribute payloads into the JSON AST dump), so placement matters: the
+/// macro must sit on the same source line as the function's name. Under
+/// GCC both expand to nothing; under clang they also emit an annotate
+/// attribute for future tooling.
+
+// clang-format off
+#if defined(__clang__)
+#define TREESIM_HOT_ANNOTATION_(x) __attribute__((annotate(x)))
+#else
+#define TREESIM_HOT_ANNOTATION_(x)  // no-op outside clang
+#endif
+// clang-format on
+
+#define TREESIM_HOT TREESIM_HOT_ANNOTATION_("treesim::hot")
+#define TREESIM_COLD TREESIM_HOT_ANNOTATION_("treesim::cold")
+
+#endif  // TREESIM_UTIL_HOT_H_

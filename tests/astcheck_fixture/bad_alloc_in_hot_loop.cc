@@ -1,0 +1,19 @@
+// Known-bad: per-iteration heap allocation (operator new and make_unique)
+// inside a loop of a hot entry point (`Join` is in the derived hot set by
+// basename). Expected finding: alloc-in-hot-loop.
+#include "perf_stub.h"
+
+namespace fix_hotalloc {
+
+int Join(int n) {
+  int total = 0;
+  for (int i = 0; i < n; ++i) {
+    int* p = new int(i);
+    total += *p;
+    std::unique_ptr<int> q = std::make_unique<int>();
+    total += (q.get() != nullptr) ? 1 : 0;
+  }
+  return total;
+}
+
+}  // namespace fix_hotalloc

@@ -1,0 +1,16 @@
+// Known-bad: a vector grows inside a hot entry point's loop with no
+// dominating reserve — the reallocation churn the perf pass exists to
+// catch. Expected finding: alloc-in-hot-loop.
+#include "perf_stub.h"
+
+namespace fix_growth {
+
+unsigned long Range(int n) {
+  std::vector<int> ids;
+  for (int i = 0; i < n; ++i) {
+    ids.push_back(i);
+  }
+  return ids.size();
+}
+
+}  // namespace fix_growth

@@ -1,0 +1,16 @@
+// Known-bad: a hot entry point takes a registry-heavy type (std::vector)
+// by value and never moves it — every call deep-copies the container.
+// Expected finding: heavy-copy.
+#include "perf_stub.h"
+
+namespace fix_heavyparam {
+
+unsigned long SelfJoin(std::vector<int> ids) {
+  unsigned long total = 0;
+  for (unsigned long i = 0; i < ids.size(); ++i) {
+    total += static_cast<unsigned long>(ids[i]);
+  }
+  return total;
+}
+
+}  // namespace fix_heavyparam

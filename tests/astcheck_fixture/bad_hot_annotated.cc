@@ -1,0 +1,17 @@
+// Known-bad: the function's basename is NOT a query entry point and no hot
+// caller reaches it — only the TREESIM_HOT marker seeds it into the hot
+// set (the same mechanism the real tree uses for virtual filter
+// implementations). Expected finding: alloc-in-hot-loop.
+#include "perf_stub.h"
+
+namespace fix_hotmark {
+
+unsigned long TREESIM_HOT AccumulateKeys(int n) {
+  std::vector<int> keys;
+  for (int i = 0; i < n; ++i) {
+    keys.emplace_back(i);
+  }
+  return keys.size();
+}
+
+}  // namespace fix_hotmark

@@ -1,0 +1,13 @@
+// Known-bad: a throw-expression inside a hot entry point. Hot-path errors
+// must stay Status-based (throwing defeats the filter-and-refine engine's
+// noexcept fast paths). Expected finding: hot-throw.
+#include "perf_stub.h"
+
+namespace fix_throw {
+
+int ComputePairwiseDistances(int n) {
+  if (n < 0) throw 42;
+  return n * 2;
+}
+
+}  // namespace fix_throw

@@ -1,0 +1,18 @@
+// Known-bad: virtual dispatch in the INNER loop (nesting depth 2) of a hot
+// entry point — the per-probe vcall the join engine amortizes per slot.
+// Expected finding: indirect-call-in-inner-loop.
+#include "perf_stub.h"
+
+namespace fix_vcall {
+
+int KnnWeighted(const treesim_fix::Filter& f, int n) {
+  int hits = 0;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (f.MayQualify(j)) ++hits;
+    }
+  }
+  return hits;
+}
+
+}  // namespace fix_vcall

@@ -1,0 +1,19 @@
+// Known-bad: the growing push_back is spelled inside FIX_APPEND, a macro
+// defined in macro_pushback.h — a different header. The selftest asserts
+// the alloc-in-hot-loop finding lands HERE, on the expansion line below,
+// proving the extractor attributes macro-expanded expressions to where the
+// code executes rather than where the macro is defined.
+#include "macro_pushback.h"
+#include "perf_stub.h"
+
+namespace fix_macro {
+
+unsigned long Range(int n) {
+  std::vector<int> ids;
+  for (int i = 0; i < n; ++i) {
+    FIX_APPEND(ids, i);  // selftest anchors the expected line here
+  }
+  return ids.size();
+}
+
+}  // namespace fix_macro

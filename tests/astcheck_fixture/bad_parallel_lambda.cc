@@ -1,0 +1,19 @@
+// Known-bad: the enclosing function is NOT an entry point, but its lambda
+// is submitted through ThreadPool::ParallelFor, which seeds the lambda
+// into the hot set; the unreserved growth in the lambda's loop must fire.
+// Expected finding: alloc-in-hot-loop.
+#include "fixture_stub.h"
+#include "perf_stub.h"
+
+namespace fix_parlam {
+
+void FillAll(treesim::ThreadPool& pool, int n) {
+  pool.ParallelFor(n, [](long) {
+    std::vector<int> scratch;
+    for (int j = 0; j < 8; ++j) {
+      scratch.push_back(j);
+    }
+  });
+}
+
+}  // namespace fix_parlam

@@ -1,0 +1,17 @@
+// Known-bad-but-allowlisted: the growth fires alloc-in-hot-loop, and the
+// matching fixture_suppressions.toml entry (with a mandatory reason) moves
+// it to the suppressed bucket. Expected: zero kept findings, one
+// suppressed alloc-in-hot-loop.
+#include "perf_stub.h"
+
+namespace fix_supperf {
+
+unsigned long RangeWeighted(int n) {
+  std::vector<double> weights;
+  for (int i = 0; i < n; ++i) {
+    weights.push_back(static_cast<double>(i) * 0.5);
+  }
+  return weights.size();
+}
+
+}  // namespace fix_supperf

@@ -1,0 +1,22 @@
+// Known-good: the allocation-heavy helper would be flagged if it were hot
+// (unreserved growth in a loop, reached from a hot entry point), but the
+// TREESIM_COLD marker removes it from the hot set and stops traversal.
+// Must produce zero findings.
+#include "perf_stub.h"
+
+namespace fix_cold {
+
+unsigned long TREESIM_COLD ValidateSlow() {
+  std::vector<int> scratch;
+  for (int i = 0; i < 128; ++i) {
+    scratch.push_back(i);
+  }
+  return scratch.size();
+}
+
+unsigned long Range(int n) {
+  if (n < 0) return ValidateSlow();
+  return static_cast<unsigned long>(n);
+}
+
+}  // namespace fix_cold

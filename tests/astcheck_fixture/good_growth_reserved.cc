@@ -1,0 +1,17 @@
+// Known-good: same shape as bad_growth_no_reserve.cc, but the growth is
+// dominated by a reserve on the same receiver earlier in the function.
+// Must produce zero findings.
+#include "perf_stub.h"
+
+namespace fix_reserved {
+
+unsigned long Knn(int n) {
+  std::vector<int> ids;
+  ids.reserve(static_cast<unsigned long>(n));
+  for (int i = 0; i < n; ++i) {
+    ids.push_back(i);
+  }
+  return ids.size();
+}
+
+}  // namespace fix_reserved

@@ -1,0 +1,16 @@
+// Known-good: a by-value heavy parameter is fine when it is a sink — the
+// body consumes it with std::move, so the caller pays one move, not a
+// copy. Must produce zero findings.
+#include "perf_stub.h"
+
+namespace fix_sink {
+
+struct Holder {
+  std::vector<int> data;
+};
+
+void BatchKnn(std::vector<int> ids, Holder* out) {
+  out->data = std::move(ids);
+}
+
+}  // namespace fix_sink

@@ -1,0 +1,11 @@
+// Helper macro living in a DIFFERENT header than the TU that expands it.
+// The perf selftest asserts the resulting alloc-in-hot-loop finding points
+// at the expansion site in bad_macro_expansion.cc, not at this file: the
+// extractor must take expansionLoc (where the code executes), never the
+// spelling location inside the macro definition.
+#ifndef TREESIM_TESTS_ASTCHECK_FIXTURE_MACRO_PUSHBACK_H_
+#define TREESIM_TESTS_ASTCHECK_FIXTURE_MACRO_PUSHBACK_H_
+
+#define FIX_APPEND(vec, val) (vec).push_back(val)
+
+#endif  // TREESIM_TESTS_ASTCHECK_FIXTURE_MACRO_PUSHBACK_H_

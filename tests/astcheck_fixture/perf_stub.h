@@ -1,0 +1,83 @@
+// Self-contained stand-ins for the standard containers and the hot-path
+// annotation macros, shaped exactly like what the astcheck perf extractor
+// keys on: growth/reserve method names, heavy type tokens (vector, string),
+// std::function's call operator, and std::move / std::make_unique by name.
+// No standard headers: the fixture TUs must parse in milliseconds and stay
+// byte-stable so the selftest's cache assertions are meaningful.
+#ifndef TREESIM_TESTS_ASTCHECK_FIXTURE_PERF_STUB_H_
+#define TREESIM_TESTS_ASTCHECK_FIXTURE_PERF_STUB_H_
+
+// The analyzer reads these markers from the definition's source line, so
+// no-op object-like macros are enough here (src/util/hot.h emits annotate
+// attributes under clang as well).
+#define TREESIM_HOT
+#define TREESIM_COLD
+
+namespace std {
+
+template <typename T>
+class vector {
+ public:
+  vector();
+  vector(unsigned long n, const T& value);
+  void push_back(const T& v);
+  void emplace_back(const T& v);
+  void insert(const T* pos, const T& v);
+  void reserve(unsigned long n);
+  void resize(unsigned long n);
+  unsigned long size() const;
+  bool empty() const;
+  T& operator[](unsigned long i);
+};
+
+class string {
+ public:
+  string();
+  string(const char* s);
+  string(const string& other);
+  void append(const char* s);
+  void reserve(unsigned long n);
+  unsigned long size() const;
+};
+
+template <typename T>
+class unique_ptr {
+ public:
+  unique_ptr();
+  explicit unique_ptr(T* p);
+  T* get() const;
+};
+
+template <typename T>
+unique_ptr<T> make_unique();
+
+template <typename T>
+T&& move(T& v);
+
+template <typename Sig>
+class function;
+
+template <typename R, typename... Args>
+class function<R(Args...)> {
+ public:
+  function();
+  template <typename F>
+  function(F f);  // NOLINT: implicit, like the real one
+  R operator()(Args... args) const;
+};
+
+}  // namespace std
+
+namespace treesim_fix {
+
+/// Vtable stand-in for the FilterIndex probe interface.
+class Filter {
+ public:
+  virtual ~Filter();
+  virtual bool MayQualify(int id) const;
+  virtual double LowerBound(int id) const;
+};
+
+}  // namespace treesim_fix
+
+#endif  // TREESIM_TESTS_ASTCHECK_FIXTURE_PERF_STUB_H_

@@ -1,10 +1,13 @@
-"""AST-grade concurrency analyzer for the treesim codebase.
+"""AST-grade static analyzers for the treesim codebase.
 
 Drives ``clang -Xclang -ast-dump=json`` over every translation unit in a
 CMake ``compile_commands.json``, extracts a whole-program fact database
 (functions, call graph, ``treesim::Mutex`` acquisition sites with scopes,
 lambda capture lists with mutation classification, submissions to the
-``ThreadPool``), and runs three checks over the merged facts:
+``ThreadPool``, loop spans, allocation/copy/indirect-call/throw records),
+and runs two check families over the merged facts.
+
+Concurrency family (``--checks=concurrency``, the default):
 
   lock-order          cross-TU lock acquisition graph: deadlock cycles
                       (including acquisitions reached transitively through
@@ -17,15 +20,32 @@ lambda capture lists with mutation classification, submissions to the
                       free waits while a treesim::Mutex is held, directly
                       or through any chain of repo-local calls.
 
+Perf family (``--checks=perf``): hot set = call-graph closure of the
+Range/Knn/BatchKnn/Join/pairwise entry points and ParallelFor bodies,
+seeded/overridden by TREESIM_HOT / TREESIM_COLD (src/util/hot.h).
+
+  alloc-in-hot-loop         operator new, make_unique/make_shared, heavy
+                            construction, and growth-prone container calls
+                            inside hot-function loops without a dominating
+                            reserve.
+  heavy-copy                by-value parameters, implicit copies, and
+                            by-value lambda captures of registry heavy
+                            types (Tree, BranchProfile, vectors, ...).
+  indirect-call-in-inner-loop  virtual dispatch / std::function invocation
+                            in hot inner loops (nesting depth >= 2).
+  hot-throw                 throw-expressions and throwing-API calls on
+                            the hot path, which must stay Status-based.
+
 The package degrades gracefully: without a clang binary the entry points
 exit 77 (ctest SKIP), and the pure-Python core stays covered by
 ``unittests.py`` which feeds hand-written clang-schema JSON through the
 same extraction and check paths.
 
-See DESIGN.md section 13 for the fact-database schema and the exact check
-semantics, and tools/astcheck_suppressions.toml for the allowlist format.
+See DESIGN.md sections 13-14 for the fact-database schema and the exact
+check semantics, and tools/astcheck_suppressions.toml for the allowlist
+format.
 """
 
-__version__ = "1.0"
+__version__ = "2.0"
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2

@@ -1,8 +1,9 @@
-"""CLI for the astcheck concurrency analyzer.
+"""CLI for the astcheck static analyzers.
 
 Usage (from the repo root):
 
     python3 tools/astcheck/__main__.py [--build-dir build] [options]
+    python3 tools/astcheck/__main__.py --checks=perf
     python3 tools/astcheck/__main__.py --unit-test
     python3 tools/astcheck/__main__.py --self-test
 
@@ -37,10 +38,18 @@ DEFAULT_REPO_ROOT = os.path.dirname(_TOOLS_DIR)
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="astcheck",
-        description="AST-grade concurrency analyzer (lock-order, "
-                    "capture-race, blocking-under-lock)")
+        description="AST-grade static analyzers: concurrency (lock-order, "
+                    "capture-race, blocking-under-lock) and perf "
+                    "(alloc-in-hot-loop, heavy-copy, "
+                    "indirect-call-in-inner-loop, hot-throw)")
     p.add_argument("--repo-root", default=DEFAULT_REPO_ROOT,
                    help="source tree root (default: this checkout)")
+    p.add_argument("--checks", default="concurrency",
+                   choices=("concurrency", "perf", "all"),
+                   help="check family to run (default: concurrency)")
+    p.add_argument("--stats", action="store_true",
+                   help="print fact-cache warm/cold counts and evict "
+                        "cache entries whose sources no longer exist")
     p.add_argument("--build-dir", default=None,
                    help="CMake build dir holding compile_commands.json "
                         "(default: <repo-root>/build)")
@@ -131,17 +140,32 @@ def main(argv: "list[str] | None" = None) -> int:
                 print(f"astcheck: error: {exc}", file=sys.stderr)
                 return EXIT_ERROR
 
+    families = (("concurrency", "perf") if args.checks == "all"
+                else (args.checks,))
     ranks = checks.load_lock_ranks(db, repo_root)
-    kept, suppressed, warnings = checks.run_all(db, ranks, sups)
+    kept, suppressed, warnings = checks.run_all(db, ranks, sups,
+                                                families=families,
+                                                repo_root=repo_root)
 
     for w in warnings:
         print(f"astcheck: warning: {w}")
     for f in kept:
         print(f.render())
 
+    if args.stats and not args.no_cache:
+        evicted, kept_entries = clang_driver.FactCache(
+            cache_dir).evict_stale()
+        print(f"astcheck: cache: {stats['cache_hits']} warm hits, "
+              f"{stats['analyzed']} cold analyses | "
+              f"{kept_entries} entries kept, {evicted} stale evicted")
+
+    extra = ""
+    if "perf" in families:
+        hot = checks.derive_hot_set(db, repo_root)
+        extra = f" | {len(hot)} hot functions"
     print(f"astcheck: {stats['tus']} TUs ({stats['cache_hits']} cached) | "
           f"{len(db.functions)} functions | {len(db.mutex_fields)} mutexes "
-          f"({len(ranks)} ranked) | {len(kept)} findings, "
+          f"({len(ranks)} ranked){extra} | {len(kept)} findings, "
           f"{len(suppressed)} suppressed | {stats['seconds']}s")
     return EXIT_FINDINGS if kept else EXIT_CLEAN
 

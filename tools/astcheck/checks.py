@@ -1,6 +1,6 @@
-"""Concurrency checks over the merged fact database.
+"""Whole-program checks over the merged fact database.
 
-Three checks, each emitting ``Finding`` records:
+Concurrency family:
 
   lock-order           builds the lock acquisition graph (edge A -> B when B
                        is acquired while A is held, directly or through any
@@ -14,7 +14,33 @@ Three checks, each emitting ``Finding`` records:
                        treesim::Mutex is held (CondVar::Wait is the one
                        sanctioned wait and is modeled natively).
 
-All three are conservative in the same direction: an identity or call the
+Perf family (see DESIGN.md section 14). The *hot set* is the call-graph
+closure of the similarity-search entry points (Range/Knn/BatchKnn/Join/
+pairwise) plus every lambda submitted through ``ThreadPool::ParallelFor``,
+seeded by ``TREESIM_HOT`` and pruned by ``TREESIM_COLD`` annotations
+(src/util/hot.h); files under tests/bench/fuzz/tools are out of scope.
+
+  alloc-in-hot-loop            operator new, make_unique/make_shared, heavy
+                               construction, or growth-prone container calls
+                               inside a loop of a hot function without a
+                               dominating ``reserve`` (dominance is
+                               approximated by preceding-statement order on
+                               the same receiver; growth through a
+                               by-reference parameter is the caller's
+                               responsibility and exempt).
+  heavy-copy                   by-value parameters (unless consumed by
+                               ``std::move`` — the sink idiom), implicit
+                               copy-constructions, and by-value lambda
+                               captures of registry heavy types.
+  indirect-call-in-inner-loop  virtual dispatch or ``std::function``
+                               invocation inside a hot *inner* loop
+                               (nesting depth >= 2; a single per-candidate
+                               probe loop is accepted).
+  hot-throw                    throw-expressions and calls to throwing
+                               standard APIs (``at``, ``stoi``, ...) on the
+                               hot path, which must stay Status-based.
+
+All checks are conservative in the same direction: an identity or call the
 extractor could not resolve produces *no* edge, never a guessed one, so a
 finding always corresponds to something actually visible in the AST.
 """
@@ -33,7 +59,12 @@ from . import facts
 # Findings and suppressions
 # ---------------------------------------------------------------------------
 
-CHECKS = ("lock-order", "capture-race", "blocking-under-lock")
+CONCURRENCY_CHECKS = ("lock-order", "capture-race", "blocking-under-lock")
+PERF_CHECKS = ("alloc-in-hot-loop", "heavy-copy",
+               "indirect-call-in-inner-loop", "hot-throw")
+CHECKS = CONCURRENCY_CHECKS + PERF_CHECKS
+
+FAMILIES = {"concurrency": CONCURRENCY_CHECKS, "perf": PERF_CHECKS}
 
 
 @dataclasses.dataclass
@@ -501,17 +532,322 @@ def check_blocking_under_lock(db: facts.FactDB) -> list[Finding]:
 
 
 # ---------------------------------------------------------------------------
+# Hot-set derivation (perf family)
+# ---------------------------------------------------------------------------
+
+# Query-path entry points by basename; everything they reach is hot.
+HOT_ENTRY_BASENAMES = {
+    "Range", "Knn", "BatchKnn", "RangeWeighted", "KnnWeighted",
+    "Join", "SelfJoin", "JoinImpl", "ComputePairwiseDistances",
+}
+
+# Files whose functions are never part of the measured hot path.
+_EXCLUDED_PATH_SEGMENTS = {
+    "tests", "test", "bench", "benchmarks", "fuzz", "tools", "third_party",
+}
+
+_HOT_RE = re.compile(r"\bTREESIM_HOT\b(?!_)")
+_COLD_RE = re.compile(r"\bTREESIM_COLD\b(?!_)")
+
+
+def _in_scope(fn: facts.FunctionFact, repo_root: str) -> bool:
+    f = fn.file
+    root = repo_root.rstrip("/") + "/"
+    if f.startswith(root):
+        rel = f[len(root):]
+    elif not os.path.isabs(f):
+        rel = f
+    else:
+        return False
+    return not (set(rel.split("/")[:-1]) & _EXCLUDED_PATH_SEGMENTS)
+
+
+def load_hot_annotations(db: facts.FactDB,
+                         repo_root: str) -> tuple[set[str], set[str]]:
+    """Reads TREESIM_HOT / TREESIM_COLD markers from function decl lines.
+
+    Same mechanism as ``load_lock_ranks``: clang-14 does not serialize
+    ``annotate`` payloads into the JSON dump, so the marker is read from
+    the declaration's source line (the macro must share the line with the
+    function name — documented in src/util/hot.h).
+    """
+    hot: set[str] = set()
+    cold: set[str] = set()
+    line_cache: dict[str, list[str]] = {}
+    for fn in db.functions.values():
+        path = fn.file
+        if not path:
+            continue
+        if not os.path.isabs(path):
+            path = os.path.join(repo_root, path)
+        if path not in line_cache:
+            try:
+                with open(path, "r", encoding="utf-8",
+                          errors="replace") as fh:
+                    line_cache[path] = fh.readlines()
+            except OSError:
+                line_cache[path] = []
+        lines = line_cache[path]
+        if 1 <= fn.line <= len(lines):
+            text = lines[fn.line - 1]
+            if _HOT_RE.search(text):
+                hot.add(fn.qname)
+            if _COLD_RE.search(text):
+                cold.add(fn.qname)
+    return hot, cold
+
+
+def derive_hot_set(db: facts.FactDB,
+                   repo_root: str) -> dict[str, tuple[str, ...]]:
+    """qname -> seed-to-function call path, for every hot function.
+
+    Seeds: in-scope functions whose basename is a query entry point, every
+    lambda submitted through ParallelFor from an in-scope function, and
+    everything marked TREESIM_HOT. TREESIM_COLD removes a function and
+    stops traversal through it. Calls inside function-local static
+    initializers run once per process and do not propagate hotness.
+    """
+    hot_marks, cold_marks = load_hot_annotations(db, repo_root)
+    seeds: dict[str, tuple[str, ...]] = {}
+    for fn in db.functions.values():
+        if fn.qname in cold_marks or not _in_scope(fn, repo_root):
+            continue
+        base = fn.qname.split("::")[-1]
+        if base in HOT_ENTRY_BASENAMES or fn.qname in hot_marks:
+            seeds[fn.qname] = (fn.qname,)
+    for fn in db.functions.values():
+        if not _in_scope(fn, repo_root):
+            continue
+        for call in fn.calls:
+            if call.callee.split("::")[-1] != "ParallelFor":
+                continue
+            for lam in call.submits:
+                lfn = db.functions.get(lam)
+                if lfn is not None and lam not in cold_marks:
+                    seeds.setdefault(lam, (fn.qname, lam))
+
+    hot = dict(seeds)
+    queue = list(seeds)
+    while queue:
+        qname = queue.pop(0)
+        fn = db.functions.get(qname)
+        if fn is None:
+            continue
+        for call in fn.calls:
+            if call.static_init or _exempt_callee(call.callee):
+                continue
+            targets = list(db.resolve(call.callee)) + [
+                db.functions[s] for s in call.submits
+                if s in db.functions]
+            for callee in targets:
+                cq = callee.qname
+                if cq in hot or cq in cold_marks:
+                    continue
+                if not _in_scope(callee, repo_root):
+                    continue
+                hot[cq] = hot[qname] + (cq,)
+                queue.append(cq)
+    return hot
+
+
+def _hot_suffix(path: tuple[str, ...]) -> str:
+    if len(path) <= 1:
+        return ""
+    return f" [hot via {' -> '.join(path)}]"
+
+
+# ---------------------------------------------------------------------------
+# Perf checks
+# ---------------------------------------------------------------------------
+
+# Types whose copies/constructions move real memory around. Token-matched
+# against the written type, so `TreeDatabase` does not match `Tree`.
+HEAVY_TYPE_TOKENS = {
+    "Tree", "NormalizedBinaryTree", "BranchProfile", "TedTree",
+    "vector", "string", "basic_string", "deque",
+}
+
+# Containers where a missing reserve turns N pushes into O(log N)
+# reallocations; node-based containers cannot preallocate and are exempt.
+_RESERVABLE_TOKENS = {"vector", "string", "basic_string"}
+
+# By-value semantics these wrappers make cheap or mandatory.
+_BY_VALUE_EXEMPT_TOKENS = {
+    "unique_ptr", "shared_ptr", "weak_ptr", "iterator", "const_iterator",
+    "reference_wrapper", "span", "string_view", "initializer_list",
+}
+
+# Standard APIs whose failure mode is an exception; the hot path must use
+# the Status-based equivalents instead.
+_THROWING_API_BASENAMES = {"at", "stoi", "stol", "stoll", "stod", "stof"}
+
+
+def _is_by_value_heavy(qual: str) -> bool:
+    q = qual.strip()
+    if q.endswith("&") or "*" in q:
+        return False
+    toks = set(facts._strip_type(q))
+    if toks & _BY_VALUE_EXEMPT_TOKENS:
+        return False
+    return bool(toks & HEAVY_TYPE_TOKENS)
+
+
+def _max_loop_depth_at(fn: facts.FunctionFact, offset: int) -> int:
+    depth = 0
+    for lp in fn.loops:
+        if lp.begin <= offset <= lp.end:
+            depth = max(depth, lp.depth)
+    return depth
+
+
+def check_alloc_in_hot_loop(db: facts.FactDB,
+                            hot: dict[str, tuple[str, ...]]
+                            ) -> list[Finding]:
+    findings: list[Finding] = []
+    for qname, path in hot.items():
+        fn = db.functions[qname]
+        for a in fn.allocs:
+            if _max_loop_depth_at(fn, a.offset) < 1:
+                continue
+            if a.kind == "new":
+                msg = f"operator new of `{a.what}` inside a hot loop"
+            elif a.kind == "make":
+                msg = f"`{a.what}` allocation inside a hot loop"
+            elif a.kind == "construct" and not a.copy:
+                if not _is_by_value_heavy(a.what):
+                    continue
+                msg = (f"constructs `{a.what}` inside a hot loop; hoist "
+                       f"the object out of the loop and reuse it")
+            elif a.kind == "growth":
+                if a.receiver_is_ref_param:
+                    continue  # the caller owns the reservation
+                if not a.receiver:
+                    continue  # unresolvable receiver: stay conservative
+                if a.receiver_type and not (
+                        set(facts._strip_type(a.receiver_type))
+                        & _RESERVABLE_TOKENS):
+                    continue
+                dominated = any(
+                    r.kind == "reserve" and r.receiver == a.receiver
+                    and r.offset < a.offset
+                    for r in fn.allocs)
+                if dominated:
+                    continue
+                msg = (f"`{a.receiver}.{a.what}(...)` grows inside a hot "
+                       f"loop without a dominating reserve")
+            else:
+                continue
+            findings.append(Finding(
+                check="alloc-in-hot-loop", file=a.file, line=a.line,
+                function=qname, callee=a.what or a.kind,
+                message=msg + _hot_suffix(path)))
+    return findings
+
+
+def check_heavy_copy(db: facts.FactDB,
+                     hot: dict[str, tuple[str, ...]]) -> list[Finding]:
+    findings: list[Finding] = []
+    for qname, path in hot.items():
+        fn = db.functions[qname]
+        for p in fn.params:
+            if p.moved:
+                continue  # sink parameter: one move, no copy
+            if _is_by_value_heavy(p.qual):
+                findings.append(Finding(
+                    check="heavy-copy", file=p.file, line=p.line,
+                    function=qname, callee=p.name,
+                    message=(f"parameter `{p.name}` takes heavy type "
+                             f"`{p.qual}` by value on the hot path; pass "
+                             f"by const reference or std::move it into "
+                             f"place" + _hot_suffix(path))))
+        for a in fn.allocs:
+            if a.kind == "construct" and a.copy and _is_by_value_heavy(
+                    a.what):
+                findings.append(Finding(
+                    check="heavy-copy", file=a.file, line=a.line,
+                    function=qname, callee=a.what,
+                    message=(f"implicit copy-construction of `{a.what}` "
+                             f"on the hot path" + _hot_suffix(path))))
+        if fn.is_lambda:
+            for name, cap in fn.captures.items():
+                if cap.get("by_ref", True):
+                    continue
+                ctype = str(cap.get("type", ""))
+                if _is_by_value_heavy(ctype):
+                    findings.append(Finding(
+                        check="heavy-copy", file=fn.file, line=fn.line,
+                        function=qname, callee=name,
+                        message=(f"lambda captures `{name}` (`{ctype}`) "
+                                 f"by value on the hot path; capture by "
+                                 f"reference" + _hot_suffix(path))))
+    return findings
+
+
+def check_indirect_call_in_inner_loop(db: facts.FactDB,
+                                      hot: dict[str, tuple[str, ...]]
+                                      ) -> list[Finding]:
+    findings: list[Finding] = []
+    for qname, path in hot.items():
+        fn = db.functions[qname]
+        for ic in fn.indirect_calls:
+            if _max_loop_depth_at(fn, ic.offset) < 2:
+                continue
+            kind = ("virtual dispatch" if ic.kind == "virtual"
+                    else "std::function invocation")
+            findings.append(Finding(
+                check="indirect-call-in-inner-loop", file=ic.file,
+                line=ic.line, function=qname, callee=ic.callee,
+                message=(f"{kind} (`{ic.callee}`) inside a hot inner "
+                         f"loop; devirtualize, batch, or hoist the call"
+                         + _hot_suffix(path))))
+    return findings
+
+
+def check_hot_throw(db: facts.FactDB,
+                    hot: dict[str, tuple[str, ...]]) -> list[Finding]:
+    findings: list[Finding] = []
+    for qname, path in hot.items():
+        fn = db.functions[qname]
+        for t in fn.throws:
+            findings.append(Finding(
+                check="hot-throw", file=t.file, line=t.line,
+                function=qname,
+                message=("throw-expression on the hot path; return a "
+                         "Status instead" + _hot_suffix(path))))
+        for c in fn.calls:
+            if c.static_init:
+                continue
+            if c.callee.split("::")[-1] in _THROWING_API_BASENAMES:
+                findings.append(Finding(
+                    check="hot-throw", file=c.file, line=c.line,
+                    function=qname, callee=c.callee,
+                    message=(f"call to throwing API `{c.callee}` on the "
+                             f"hot path; use the Status-based accessor"
+                             + _hot_suffix(path))))
+    return findings
+
+
+# ---------------------------------------------------------------------------
 # Driver
 # ---------------------------------------------------------------------------
 
 
 def run_all(db: facts.FactDB, ranks: dict[str, int],
-            sups: list[Suppression]
+            sups: list[Suppression],
+            families: tuple[str, ...] = ("concurrency",),
+            repo_root: str = "."
             ) -> tuple[list[Finding], list[Finding], list[str]]:
     findings: list[Finding] = []
-    findings += check_lock_order(db, ranks)
-    findings += check_capture_race(db)
-    findings += check_blocking_under_lock(db)
+    if "concurrency" in families:
+        findings += check_lock_order(db, ranks)
+        findings += check_capture_race(db)
+        findings += check_blocking_under_lock(db)
+    if "perf" in families:
+        hot = derive_hot_set(db, repo_root)
+        findings += check_alloc_in_hot_loop(db, hot)
+        findings += check_heavy_copy(db, hot)
+        findings += check_indirect_call_in_inner_loop(db, hot)
+        findings += check_hot_throw(db, hot)
     # Deduplicate identical findings arising from functions merged across
     # TUs (header-inline bodies seen many times).
     unique: dict[tuple, Finding] = {}

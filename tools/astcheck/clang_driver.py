@@ -240,13 +240,53 @@ class FactCache:
         except (KeyError, TypeError):
             return None
 
-    def put(self, key: str, tu: facts.TUFacts) -> None:
+    def put(self, key: str, tu: facts.TUFacts, source: str = "") -> None:
         path = self._path(key)
         tmp = path + f".tmp.{os.getpid()}"
         with open(tmp, "w", encoding="utf-8") as fh:
             json.dump({"schema": SCHEMA_VERSION, "key": key,
-                       "facts": tu.to_json()}, fh)
+                       "source": source, "facts": tu.to_json()}, fh)
         os.replace(tmp, path)
+
+    def evict_stale(self) -> tuple[int, int]:
+        """Drops entries whose TU no longer exists (or predates the schema).
+
+        Branch switches leave behind cache entries keyed on deleted or
+        renamed sources; nothing ever hits those keys again, so the
+        directory grows without bound unless they are reaped.
+
+        Returns (evicted, kept).
+        """
+        evicted = kept = 0
+        try:
+            names = os.listdir(self.dir)
+        except OSError:
+            return 0, 0
+        for name in names:
+            if not name.endswith(".json"):
+                continue
+            path = os.path.join(self.dir, name)
+            stale = False
+            try:
+                with open(path, "r", encoding="utf-8") as fh:
+                    doc = json.load(fh)
+            except (OSError, json.JSONDecodeError):
+                stale = True
+                doc = {}
+            if not stale and doc.get("schema") != SCHEMA_VERSION:
+                stale = True
+            source = doc.get("source", "")
+            if not stale and source and not os.path.isfile(source):
+                stale = True
+            if stale:
+                try:
+                    os.remove(path)
+                    evicted += 1
+                except OSError:
+                    pass
+            else:
+                kept += 1
+        return evicted, kept
 
 
 # ---------------------------------------------------------------------------
@@ -328,7 +368,8 @@ def analyze_all(compile_db_path: str, repo_root: str, clang: str,
                     continue
                 db.add_tu(tu)
                 if cache is not None:
-                    cache.put(key, tu)
+                    cache.put(key, tu, source=os.path.abspath(os.path.join(
+                        entry.get("directory", ""), entry["file"])))
                 if done % 10 == 0 or done == len(plan):
                     log(f"astcheck: analyzed {done}/{len(plan)} TUs")
 

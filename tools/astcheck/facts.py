@@ -62,6 +62,7 @@ class CallSite:
     offset: int
     submits: list[str] = dataclasses.field(default_factory=list)
     # lambda qnames submitted through this call (Schedule/ParallelFor)
+    static_init: bool = False  # inside a function-local static initializer
 
     def to_json(self) -> dict[str, Any]:
         return dataclasses.asdict(self)
@@ -69,6 +70,108 @@ class CallSite:
     @staticmethod
     def from_json(d: dict[str, Any]) -> "CallSite":
         return CallSite(**d)
+
+
+@dataclasses.dataclass
+class LoopSpan:
+    """Source extent of one loop statement, for hot-loop membership tests."""
+
+    file: str
+    line: int
+    begin: int  # file offset of the loop keyword
+    end: int  # file offset of the loop's last token
+    depth: int  # 1 = outermost loop of the enclosing function
+
+    def to_json(self) -> dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @staticmethod
+    def from_json(d: dict[str, Any]) -> "LoopSpan":
+        return LoopSpan(**d)
+
+
+@dataclasses.dataclass
+class AllocSite:
+    """One allocation-relevant expression.
+
+    kind:
+      new       operator new / new[]
+      make      std::make_unique / std::make_shared call
+      construct record-type construction with arguments (inside a loop
+                only; default construction allocates nothing and is
+                skipped)
+      growth    a growth-prone container call (push_back, insert, resize,
+                ...) with its receiver identity
+      reserve   a reserve call, recorded so checks can test dominance by
+                preceding-statement order
+    """
+
+    kind: str
+    what: str  # allocated type, helper name, or container method
+    file: str
+    line: int
+    offset: int
+    receiver: str = ""  # dotted receiver path for growth/reserve
+    receiver_type: str = ""  # qualType of the receiver expression
+    receiver_is_ref_param: bool = False  # receiver roots at a & parameter
+    copy: bool = False  # construct whose single argument is a same-type lvalue
+
+    def to_json(self) -> dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @staticmethod
+    def from_json(d: dict[str, Any]) -> "AllocSite":
+        return AllocSite(**d)
+
+
+@dataclasses.dataclass
+class ParamFact:
+    """A function parameter, for the heavy-copy pass-by-value check."""
+
+    name: str
+    qual: str  # declared type as written
+    file: str
+    line: int
+    moved: bool = False  # std::move(param) appears in the body / init list
+
+    def to_json(self) -> dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @staticmethod
+    def from_json(d: dict[str, Any]) -> "ParamFact":
+        return ParamFact(**d)
+
+
+@dataclasses.dataclass
+class IndirectCall:
+    """A virtual dispatch or std::function invocation site."""
+
+    kind: str  # "virtual" | "functor"
+    callee: str
+    file: str
+    line: int
+    offset: int
+
+    def to_json(self) -> dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @staticmethod
+    def from_json(d: dict[str, Any]) -> "IndirectCall":
+        return IndirectCall(**d)
+
+
+@dataclasses.dataclass
+class ThrowSite:
+    file: str
+    line: int
+    offset: int
+
+    def to_json(self) -> dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @staticmethod
+    def from_json(d: dict[str, Any]) -> "ThrowSite":
+        return ThrowSite(**d)
 
 
 @dataclasses.dataclass
@@ -108,9 +211,15 @@ class FunctionFact:
     submitted: bool = False  # lambda handed to ThreadPool::Schedule/ParallelFor
     acquisitions: list[Acquisition] = dataclasses.field(default_factory=list)
     calls: list[CallSite] = dataclasses.field(default_factory=list)
-    captures: dict[str, dict[str, bool]] = dataclasses.field(
-        default_factory=dict)  # name -> {by_ref, mode_known}
+    captures: dict[str, dict[str, Any]] = dataclasses.field(
+        default_factory=dict)  # name -> {by_ref, mode_known[, type]}
     mutations: list[Mutation] = dataclasses.field(default_factory=list)
+    loops: list[LoopSpan] = dataclasses.field(default_factory=list)
+    allocs: list[AllocSite] = dataclasses.field(default_factory=list)
+    params: list[ParamFact] = dataclasses.field(default_factory=list)
+    indirect_calls: list[IndirectCall] = dataclasses.field(
+        default_factory=list)
+    throws: list[ThrowSite] = dataclasses.field(default_factory=list)
 
     def to_json(self) -> dict[str, Any]:
         return {
@@ -125,6 +234,11 @@ class FunctionFact:
             "calls": [c.to_json() for c in self.calls],
             "captures": self.captures,
             "mutations": [m.to_json() for m in self.mutations],
+            "loops": [x.to_json() for x in self.loops],
+            "allocs": [x.to_json() for x in self.allocs],
+            "params": [x.to_json() for x in self.params],
+            "indirect_calls": [x.to_json() for x in self.indirect_calls],
+            "throws": [x.to_json() for x in self.throws],
         }
 
     @staticmethod
@@ -138,6 +252,12 @@ class FunctionFact:
         f.calls = [CallSite.from_json(c) for c in d["calls"]]
         f.captures = d.get("captures", {})
         f.mutations = [Mutation.from_json(m) for m in d.get("mutations", [])]
+        f.loops = [LoopSpan.from_json(x) for x in d.get("loops", [])]
+        f.allocs = [AllocSite.from_json(x) for x in d.get("allocs", [])]
+        f.params = [ParamFact.from_json(x) for x in d.get("params", [])]
+        f.indirect_calls = [IndirectCall.from_json(x)
+                            for x in d.get("indirect_calls", [])]
+        f.throws = [ThrowSite.from_json(x) for x in d.get("throws", [])]
         return f
 
 
@@ -185,13 +305,17 @@ class FactDB:
             # Header-inline functions and template instantiations appear in
             # several TUs; keep the richer variant, but never lose a
             # submitted flag observed in any TU.
-            if (len(fn.acquisitions) + len(fn.calls) + len(fn.mutations) >
-                    len(prev.acquisitions) + len(prev.calls) +
-                    len(prev.mutations)):
+            if self._richness(fn) > self._richness(prev):
                 fn.submitted = fn.submitted or prev.submitted
                 self.functions[fn.qname] = fn
             else:
                 prev.submitted = prev.submitted or fn.submitted
+
+    @staticmethod
+    def _richness(fn: FunctionFact) -> int:
+        return (len(fn.acquisitions) + len(fn.calls) + len(fn.mutations)
+                + len(fn.loops) + len(fn.allocs) + len(fn.params)
+                + len(fn.indirect_calls) + len(fn.throws))
 
     def resolve(self, callee: str) -> list[FunctionFact]:
         """Best-effort name linking: exact qname, then suffix match."""
@@ -203,7 +327,7 @@ class FactDB:
 
     def to_json(self) -> dict[str, Any]:
         return {
-            "schema_version": 1,
+            "schema_version": 2,
             "tu_files": self.tu_files,
             "mutex_fields": self.mutex_fields,
             "functions": [f.to_json() for f in self.functions.values()],
@@ -272,6 +396,24 @@ _MUTATING_METHOD_NAMES = {
     "swap", "emplace_front", "push_front", "pop_front",
 }
 
+_LOOP_KINDS = {"ForStmt", "WhileStmt", "DoStmt", "CXXForRangeStmt"}
+
+# Container calls that may (re)allocate when the container grows; `resize`
+# appears on both sides — inside a loop it is growth, before one it
+# preallocates like `reserve` does.
+_GROWTH_METHOD_NAMES = {
+    "push_back", "emplace_back", "push_front", "emplace_front", "insert",
+    "emplace", "append", "assign", "resize",
+}
+
+_RESERVE_METHOD_NAMES = {"reserve", "resize"}
+
+_MAKE_ALLOC_FUNCS = {"make_unique", "make_shared"}
+
+# Longest string literal guaranteed to fit every mainstream SSO buffer
+# (libstdc++ and libc++ both hold 15 chars + NUL inline).
+_SSO_SAFE_LEN = 15
+
 _ATOMIC_METHOD_NAMES = {
     "store", "exchange", "fetch_add", "fetch_sub", "fetch_and", "fetch_or",
     "fetch_xor", "compare_exchange_weak", "compare_exchange_strong",
@@ -313,6 +455,8 @@ class _Frame:
         self.derived_ids: set[str] = set()  # locals derived from a param
         self.derived_names: set[str] = set()
         self.open_manual: list[Acquisition] = []
+        self.loop_stack: list[LoopSpan] = []
+        self.param_facts: dict[str, ParamFact] = {}  # decl id -> fact
 
 
 class Extractor:
@@ -331,10 +475,16 @@ class Extractor:
         self.tu = TUFacts()
         # var id -> (frame-or-None for globals, name, qualType)
         self.vars: dict[str, tuple[_Frame | None, str, str]] = {}
-        # method decl id -> (name, qualType) for constness resolution
-        self.methods: dict[str, tuple[str, str]] = {}
+        # method decl id -> (name, qualType, is_virtual) for constness and
+        # dispatch-kind resolution
+        self.methods: dict[str, tuple[str, str, bool]] = {}
         self.compound_ends: list[int] = []
         self._lambda_counter = 0
+        # > 0 while inside a function-local static variable's initializer:
+        # the init runs once per process, so its allocations and calls are
+        # off the hot path by construction (the metrics macros rely on
+        # exactly this pattern).
+        self._static_init_depth = 0
 
     # -- location state ----------------------------------------------------
 
@@ -442,6 +592,23 @@ class Extractor:
             return
         if kind in ("VarDecl", "ParmVarDecl"):
             self._visit_var(node)
+            static_local = (kind == "VarDecl" and self.frames
+                            and node.get("storageClass") == "static")
+            if static_local:
+                self._static_init_depth += 1
+            self._walk_inner(node)
+            if static_local:
+                self._static_init_depth -= 1
+            return
+        if kind in _LOOP_KINDS:
+            self._visit_loop(node)
+            return
+        if kind == "CXXNewExpr":
+            self._record_alloc("new", _type_of(node), node)
+            self._walk_inner(node)
+            return
+        if kind == "CXXThrowExpr":
+            self._record_throw(node)
             self._walk_inner(node)
             return
         if kind == "CompoundStmt":
@@ -554,7 +721,9 @@ class Extractor:
     def _register_method(self, node: dict[str, Any]) -> None:
         nid = node.get("id")
         if nid:
-            self.methods[nid] = (node.get("name") or "", _type_of(node))
+            self.methods[nid] = (node.get("name") or "", _type_of(node),
+                                 bool(node.get("virtual")
+                                      or node.get("pure")))
 
     def _close_frame(self, frame: _Frame) -> None:
         for acq in frame.open_manual:
@@ -574,6 +743,12 @@ class Extractor:
         if node.get("kind") == "ParmVarDecl":
             frame.param_ids.add(nid)
             frame.param_names.add(name)
+            if name and self.in_repo():
+                pf = ParamFact(name=name, qual=qual, file=self.cur_file,
+                               line=self.cur_line)
+                frame.fact.params.append(pf)
+                if nid:
+                    frame.param_facts[nid] = pf
             return
         frame.local_ids.add(nid)
         # Param-derived locals extend the per-index slot rule through
@@ -732,6 +907,126 @@ class Extractor:
                 return scoped[0]
         return candidates[0]
 
+    # -- perf facts --------------------------------------------------------
+
+    def _visit_loop(self, node: dict[str, Any]) -> None:
+        frame = self.frames[-1] if self.frames else None
+        rng = node.get("range")
+        begin = self._offset(rng.get("begin")) if isinstance(rng, dict) \
+            else None
+        end = self._offset(rng.get("end")) if isinstance(rng, dict) else None
+        if (frame is None or not self.in_repo() or begin is None
+                or end is None):
+            self._walk_inner(node)
+            return
+        span = LoopSpan(file=self.cur_file, line=self.cur_line, begin=begin,
+                        end=end, depth=len(frame.loop_stack) + 1)
+        frame.fact.loops.append(span)
+        frame.loop_stack.append(span)
+        self._walk_inner(node)
+        frame.loop_stack.pop()
+
+    def _record_alloc(self, kind: str, what: str, node: dict[str, Any],
+                      receiver: str = "", receiver_type: str = "",
+                      receiver_is_ref_param: bool = False,
+                      copy: bool = False) -> None:
+        frame = self.frames[-1] if self.frames else None
+        if frame is None or not self.in_repo() or self._static_init_depth:
+            return
+        frame.fact.allocs.append(AllocSite(
+            kind=kind, what=what, file=self.cur_file, line=self.cur_line,
+            offset=self._node_offset(node) or 0, receiver=receiver,
+            receiver_type=receiver_type,
+            receiver_is_ref_param=receiver_is_ref_param, copy=copy))
+
+    def _record_throw(self, node: dict[str, Any]) -> None:
+        frame = self.frames[-1] if self.frames else None
+        if frame is None or not self.in_repo() or self._static_init_depth:
+            return
+        frame.fact.throws.append(ThrowSite(
+            file=self.cur_file, line=self.cur_line,
+            offset=self._node_offset(node) or 0))
+
+    def _record_growth(self, node: dict[str, Any], method: str,
+                       base: Any, frame: _Frame) -> None:
+        path, ref_param = self._receiver_root(base, frame)
+        kinds = []
+        if method in _GROWTH_METHOD_NAMES:
+            kinds.append("growth")
+        if method in _RESERVE_METHOD_NAMES:
+            kinds.append("reserve")
+        for kind in kinds:
+            self._record_alloc(kind, method, node, receiver=path,
+                               receiver_type=self._expr_type(base),
+                               receiver_is_ref_param=ref_param)
+
+    def _receiver_root(self, node: Any,
+                       frame: _Frame) -> tuple[str, bool]:
+        """Dotted receiver path + whether it roots at a `&` parameter.
+
+        Follows the member/subscript chain of a container receiver down to
+        its root variable; an unresolvable receiver returns ("", False) so
+        the checks stay conservative (no dominance match, no finding on an
+        identity that cannot be named in a fix).
+        """
+        members: list[str] = []
+        guard = 0
+        while isinstance(node, dict) and guard < 64:
+            guard += 1
+            kind = node.get("kind", "")
+            if kind == "MemberExpr":
+                members.insert(0, node.get("name", "?"))
+                inner = node.get("inner") or []
+                node = inner[0] if inner else None
+                continue
+            if kind in _WRAPPER_EXPR_KINDS or kind == "UnaryOperator":
+                inner = node.get("inner") or []
+                node = inner[0] if inner else None
+                continue
+            if kind == "ArraySubscriptExpr":
+                inner = node.get("inner") or []
+                node = inner[0] if inner else None
+                continue
+            if kind == "CXXOperatorCallExpr":
+                inner = node.get("inner") or []
+                node = inner[1] if len(inner) > 1 else None
+                continue
+            break
+        if isinstance(node, dict) and node.get("kind") == "CXXThisExpr":
+            return ".".join(["this"] + members), False
+        if isinstance(node, dict) and node.get("kind") == "DeclRefExpr":
+            rd = node.get("referencedDecl") or {}
+            vname = str(rd.get("name", ""))
+            if not vname:
+                return "", False
+            vid = str(rd.get("id", ""))
+            t = rd.get("type")
+            vqual = t.get("qualType", "") if isinstance(t, dict) else ""
+            ref_param = (vid in frame.param_ids
+                         and vqual.rstrip().endswith("&"))
+            return ".".join([vname] + members), ref_param
+        return "", False
+
+    @staticmethod
+    def _string_literal_len(subtree: Any) -> "int | None":
+        """Length of the first string literal in the subtree, if any."""
+        stack = [subtree]
+        while stack:
+            n = stack.pop()
+            if isinstance(n, list):
+                stack.extend(n)
+            elif isinstance(n, dict):
+                if n.get("kind") == "StringLiteral":
+                    val = str(n.get("value", ""))
+                    # The dumper quotes the literal and escapes specials;
+                    # the quoted length over-counts escapes, which only
+                    # errs on the conservative (non-SSO) side.
+                    return max(0, len(val) - 2)
+                inner = n.get("inner")
+                if inner:
+                    stack.extend(inner)
+        return None
+
     # -- calls -------------------------------------------------------------
 
     def _visit_member_call(self, node: dict[str, Any]) -> None:
@@ -777,11 +1072,20 @@ class Extractor:
 
         callee = f"{cls}::{method}" if cls else method
         call = CallSite(callee=callee, file=self.cur_file, line=self.cur_line,
-                        offset=self._node_offset(node) or 0)
+                        offset=self._node_offset(node) or 0,
+                        static_init=self._static_init_depth > 0)
         if method in _SUBMIT_METHODS and "ThreadPool" in base_tokens:
             call.submits = self._collect_lambda_args(inner[1:], frame,
                                                      submitted=True)
         frame.fact.calls.append(call)
+        if method in _GROWTH_METHOD_NAMES or method in _RESERVE_METHOD_NAMES:
+            self._record_growth(node, method, base, frame)
+        rid = member.get("referencedMemberDecl")
+        if rid and rid in self.methods and self.methods[rid][2] \
+                and not self._static_init_depth:
+            frame.fact.indirect_calls.append(IndirectCall(
+                kind="virtual", callee=callee, file=self.cur_file,
+                line=self.cur_line, offset=call.offset))
         # A non-const method on a captured variable is a mutation.
         self._record_member_call_mutation(node, member, base, frame)
 
@@ -795,9 +1099,20 @@ class Extractor:
         callee_name = self._callee_name(inner[0])
         if not callee_name:
             return
+        basename = callee_name.split("::")[-1]
+        if basename in _MAKE_ALLOC_FUNCS:
+            self._record_alloc("make", basename, node)
+        elif basename == "move":
+            # std::move(param): the by-value parameter is a sink, which the
+            # heavy-copy check must not flag (Status factories etc.).
+            for ref in self._iter_decl_refs(inner[1:]):
+                pf = frame.param_facts.get(str(ref.get("id", "")))
+                if pf is not None:
+                    pf.moved = True
         call = CallSite(callee=callee_name, file=self.cur_file,
                         line=self.cur_line,
-                        offset=self._node_offset(node) or 0)
+                        offset=self._node_offset(node) or 0,
+                        static_init=self._static_init_depth > 0)
         if callee_name.split("::")[-1] == "ParallelFor":
             args = inner[1:]
             if args and self._is_nullptr(args[0]):
@@ -829,7 +1144,40 @@ class Extractor:
         ctor = cls.split("::")[-1]
         frame.fact.calls.append(
             CallSite(callee=f"{cls}::{ctor}", file=self.cur_file,
-                     line=self.cur_line, offset=self._node_offset(node) or 0))
+                     line=self.cur_line, offset=self._node_offset(node) or 0,
+                     static_init=self._static_init_depth > 0))
+        self._record_construct_alloc(node, qual, frame)
+
+    def _record_construct_alloc(self, node: dict[str, Any], qual: str,
+                                frame: _Frame) -> None:
+        args = [c for c in node.get("inner") or [] if isinstance(c, dict)]
+        if not args:
+            return  # default construction allocates nothing
+        copy = False
+        if len(args) == 1:
+            peeled: Any = args[0]
+            while (isinstance(peeled, dict)
+                   and peeled.get("kind") in ("ImplicitCastExpr",
+                                              "ParenExpr")):
+                inner = peeled.get("inner") or []
+                peeled = inner[0] if inner else None
+            if (isinstance(peeled, dict)
+                    and peeled.get("kind") in ("DeclRefExpr", "MemberExpr")
+                    and self._class_of(self._expr_type(peeled))
+                    == self._class_of(qual)):
+                copy = True
+        if copy:
+            # Implicit copy-constructions matter wherever they occur (a
+            # by-value call argument copies once per call, loop or not).
+            self._record_alloc("construct", qual, node, copy=True)
+            return
+        if not frame.loop_stack:
+            return
+        if "string" in qual:
+            lit = self._string_literal_len(args)
+            if lit is not None and lit <= _SSO_SAFE_LEN:
+                return  # fits the inline buffer; no heap traffic
+        self._record_alloc("construct", qual, node)
 
     def _visit_operator_call(self, node: dict[str, Any]) -> None:
         frame = self.frames[-1] if self.frames else None
@@ -842,6 +1190,14 @@ class Extractor:
                 op[len("operator"):] in _ASSIGN_OPERATORS):
             if len(inner) > 1:
                 self._record_mutation(inner[1], op, node)
+        if (op == "operator()" and len(inner) > 1 and self.in_repo()
+                and not self._static_init_depth):
+            obj_type = self._expr_type(inner[1])
+            if "function" in _strip_type(obj_type):
+                frame.fact.indirect_calls.append(IndirectCall(
+                    kind="functor", callee=obj_type, file=self.cur_file,
+                    line=self.cur_line,
+                    offset=self._node_offset(node) or 0))
 
     def _find_member_expr(self, node: Any) -> dict[str, Any] | None:
         while isinstance(node, dict):
@@ -973,6 +1329,13 @@ class Extractor:
                         self.vars[pid] = (frame, pname, _type_of(p))
                     frame.param_ids.add(pid)
                     frame.param_names.add(pname)
+                    if pname and self.in_repo():
+                        pf = ParamFact(name=pname, qual=_type_of(p),
+                                       file=self.cur_file,
+                                       line=self.cur_line)
+                        fact.params.append(pf)
+                        if pid:
+                            frame.param_facts[pid] = pf
 
         # Capture-init expressions sit between the closure record and the
         # body; zip them with the closure's fields (by-ref captures have
@@ -980,14 +1343,15 @@ class Extractor:
         init_exprs = [c for c in inner if isinstance(c, dict)
                       and c is not closure
                       and c.get("kind") != "CompoundStmt"]
-        captures: dict[str, dict[str, bool]] = {}
+        captures: dict[str, dict[str, Any]] = {}
         if fields and len(fields) == len(init_exprs):
             for fld, init in zip(fields, init_exprs):
                 by_ref = _type_of(fld).rstrip().endswith("&")
                 ref = next(iter(self._iter_decl_refs(init)), None)
                 if ref is not None and ref.get("name"):
                     captures[str(ref["name"])] = {
-                        "by_ref": by_ref, "mode_known": True}
+                        "by_ref": by_ref, "mode_known": True,
+                        "type": _type_of(fld)}
         fact.captures = captures
 
         body = None
@@ -1018,7 +1382,7 @@ class Extractor:
         rid = member.get("referencedMemberDecl")
         mutating = False
         if rid and rid in self.methods:
-            _, qual = self.methods[rid]
+            qual = self.methods[rid][1]
             mutating = not qual.rstrip().endswith("const")
         elif method in _MUTATING_METHOD_NAMES:
             mutating = True

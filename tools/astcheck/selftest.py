@@ -1,15 +1,17 @@
 """Fixture-corpus selftest: proves each known-bad TU is caught.
 
 Synthesizes a compile database over ``tests/astcheck_fixture/``, runs the
-full pipeline (clang -> extraction -> cache -> checks -> suppressions)
-twice, and asserts:
+full pipeline (clang -> extraction -> cache -> both check families ->
+suppressions) twice, and asserts:
 
   * every known-bad TU produces exactly the expected check(s), attributed
     to that TU — one-to-one, no extras;
   * every known-good TU produces zero findings;
-  * the deliberately-suppressed TU's finding lands in the suppressed
-    bucket and its allowlist entry is consumed (no unused warning);
+  * the deliberately-suppressed TUs' findings land in the suppressed
+    bucket and their allowlist entries are consumed (no unused warning);
   * both TREESIM_LOCK_RANK annotations in the corpus are picked up;
+  * the macro-expansion TU's finding points at the expansion line in the
+    TU, not at the macro's defining header;
   * the second run is served entirely from the fact cache and finishes
     well under the 15s warm-rerun budget.
 
@@ -43,11 +45,30 @@ EXPECTED_KEPT: dict[str, set[str]] = {
     "good_ranked_order.cc": set(),
     "good_guarded_capture.cc": set(),
     "good_io_outside_lock.cc": set(),
+    # Perf family.
+    "bad_alloc_in_hot_loop.cc": {"alloc-in-hot-loop"},
+    "bad_growth_no_reserve.cc": {"alloc-in-hot-loop"},
+    "bad_heavy_copy_param.cc": {"heavy-copy"},
+    "bad_indirect_inner_loop.cc": {"indirect-call-in-inner-loop"},
+    "bad_hot_throw.cc": {"hot-throw"},
+    "bad_hot_annotated.cc": {"alloc-in-hot-loop"},
+    "bad_parallel_lambda.cc": {"alloc-in-hot-loop"},
+    "bad_macro_expansion.cc": {"alloc-in-hot-loop"},
+    "bad_suppressed_perf.cc": set(),  # fires, but allowlisted
+    "good_growth_reserved.cc": set(),
+    "good_heavy_sink_moved.cc": set(),
+    "good_cold_marked.cc": set(),
 }
 
 EXPECTED_SUPPRESSED: dict[str, set[str]] = {
     "bad_suppressed_io.cc": {"blocking-under-lock"},
+    "bad_suppressed_perf.cc": {"alloc-in-hot-loop"},
 }
+
+# The macro-expansion fixture anchors its expected finding line on this
+# marker (the FIX_APPEND expansion site inside the hot loop).
+MACRO_TU = "bad_macro_expansion.cc"
+MACRO_ANCHOR = "FIX_APPEND(ids, i);"
 
 WARM_RERUN_BUDGET_S = 15.0
 
@@ -112,7 +133,9 @@ def main(args) -> int:
         sups = checks.load_suppressions(
             os.path.join(fixture_dir, "fixture_suppressions.toml"))
         ranks = checks.load_lock_ranks(db, fixture_dir)
-        kept, suppressed, warnings = checks.run_all(db, ranks, sups)
+        kept, suppressed, warnings = checks.run_all(
+            db, ranks, sups, families=("concurrency", "perf"),
+            repo_root=fixture_dir)
 
         if len(ranks) != 2:
             failures.append(f"expected 2 ranked locks in the corpus, "
@@ -148,6 +171,25 @@ def main(args) -> int:
         if stray:
             failures.append(f"findings attributed outside the corpus: "
                             f"{sorted(stray)}")
+
+        # Macro-expansion attribution: the finding must carry the line of
+        # the FIX_APPEND expansion in the TU, not a line in the header that
+        # defines the macro.
+        macro_src = os.path.join(fixture_dir, MACRO_TU)
+        with open(macro_src, "r", encoding="utf-8") as fh:
+            macro_lines = fh.read().splitlines()
+        want_line = next((i + 1 for i, text in enumerate(macro_lines)
+                          if MACRO_ANCHOR in text), None)
+        if want_line is None:
+            failures.append(f"{MACRO_TU}: anchor {MACRO_ANCHOR!r} missing")
+        else:
+            got_lines = {f.line for f in kept
+                         if os.path.basename(f.file) == MACRO_TU
+                         and f.check == "alloc-in-hot-loop"}
+            if got_lines != {want_line}:
+                failures.append(
+                    f"{MACRO_TU}: expected the finding on expansion line "
+                    f"{want_line}, got lines {sorted(got_lines)}")
 
     if failures:
         for msg in failures:

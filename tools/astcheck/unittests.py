@@ -663,6 +663,411 @@ def test_db_merge_prefers_richer_and_keeps_submitted():
     assert merged.calls and merged.submitted
 
 
+# ---------------------------------------------------------------------------
+# Perf family: builders
+# ---------------------------------------------------------------------------
+
+
+def loop(begin: int, end: int, line: int, *children):
+    return d("ForStmt",
+             range={"begin": {"offset": begin, "line": line},
+                    "end": {"offset": end}},
+             inner=list(children))
+
+
+def new_expr(qual: str, offset: int, line: int):
+    return d("CXXNewExpr", type={"qualType": qual},
+             loc={"offset": offset, "line": line},
+             range={"begin": {"offset": offset, "line": line},
+                    "end": {"offset": offset + 3}})
+
+
+def construct(qual: str, offset: int, line: int, *args):
+    return d("CXXConstructExpr", type={"qualType": qual},
+             loc={"offset": offset, "line": line},
+             range={"begin": {"offset": offset, "line": line},
+                    "end": {"offset": offset + 3}},
+             inner=list(args))
+
+
+def func_p(fid: str, name: str, line: int, params, body, file: str = SRC):
+    """func() plus ParmVarDecls: params = [(pid, pname, qual)]."""
+    n = func(fid, name, line, body, file=file)
+    n["inner"] = [d("ParmVarDecl", id=pid, name=pname,
+                    type={"qualType": qual})
+                  for pid, pname, qual in params] + n["inner"]
+    return n
+
+
+def run_perf(db, sups=None, repo_root=REPO):
+    return checks.run_all(db, {}, sups or [], families=("perf",),
+                          repo_root=repo_root)
+
+
+def kept_checks(kept):
+    return {(f.function, f.check) for f in kept}
+
+
+# ---------------------------------------------------------------------------
+# Perf family: extractor facts
+# ---------------------------------------------------------------------------
+
+
+def test_perf_loop_spans_and_nesting_depth():
+    body = compound(100, 500,
+                    loop(200, 400, 20,
+                         loop(250, 350, 25)))
+    db = extract(func("0xf", "Helper", 10, body))
+    f = fn(db, "treesim::Helper")
+    spans = {(lp.begin, lp.end, lp.depth) for lp in f.loops}
+    assert spans == {(200, 400, 1), (250, 350, 2)}, f.loops
+    # A depth probe inside both loops sees 2, between them 1, outside 0.
+    assert checks._max_loop_depth_at(f, 300) == 2
+    assert checks._max_loop_depth_at(f, 210) == 1
+    assert checks._max_loop_depth_at(f, 450) == 0
+
+
+def test_perf_growth_receiver_paths_recorded():
+    vec = lambda vid="0xv": ref(vid, "out", "std::vector<int>")  # noqa: E731
+    nested = d("MemberExpr", name="pairs",
+               inner=[ref("0xr", "result", "treesim::JoinResult")])
+    body = compound(100, 500,
+                    member_call("push_back", vec(), 200, 20),
+                    member_call("emplace_back", nested, 250, 25),
+                    member_call("reserve", vec(), 150, 15))
+    db = extract(func("0xf", "Helper", 10, body))
+    f = fn(db, "treesim::Helper")
+    got = {(a.kind, a.what, a.receiver, a.offset) for a in f.allocs}
+    assert got == {("growth", "push_back", "out", 200),
+                   ("growth", "emplace_back", "result.pairs", 250),
+                   ("reserve", "reserve", "out", 150)}, f.allocs
+
+
+def test_perf_static_init_alloc_exempt():
+    # A function-local static's initializer runs once per process; allocs
+    # inside it must not be recorded at all.
+    static_tbl = d("DeclStmt", inner=[
+        d("VarDecl", id="0xs", name="tbl", storageClass="static",
+          type={"qualType": "int *"},
+          inner=[new_expr("int[256]", 250, 25)])])
+    body = compound(100, 500, loop(200, 400, 20, static_tbl))
+    db = extract(func("0xf", "Range", 10, body))
+    assert fn(db, "treesim::Range").allocs == []
+    kept, _, _ = run_perf(db)
+    assert kept == [], kept
+
+
+# ---------------------------------------------------------------------------
+# Perf family: hot-set derivation
+# ---------------------------------------------------------------------------
+
+
+def test_perf_hot_set_entries_and_call_propagation():
+    entry_body = compound(100, 500, call("0xg", "Score", 200, 20))
+    helper_body = compound(600, 900)
+    bystander = compound(1000, 1300, call("0xg", "Score", 1100, 110))
+    db = extract(func("0xe", "Range", 10, entry_body),
+                 func("0xg", "Score", 60, helper_body),
+                 func("0xb", "Helper", 100, bystander))
+    hot = checks.derive_hot_set(db, REPO)
+    assert set(hot) == {"treesim::Range", "treesim::Score"}, hot
+    # The path records how hotness was inherited.
+    assert hot["treesim::Score"] == ("treesim::Range", "treesim::Score")
+
+
+def test_perf_hot_set_ignores_out_of_scope_entries():
+    # Entry-named functions in tests/ or tools/ never seed the hot set.
+    body = compound(100, 500, loop(200, 400, 20, new_expr("int", 250, 25)))
+    root = tu(func("0xf", "Range", 10, body, file="/repo/tests/t_test.cc"))
+    db = facts.FactDB()
+    db.add_tu(facts.extract_tu(root, "/repo/tests/t_test.cc", REPO))
+    assert checks.derive_hot_set(db, REPO) == {}
+    kept, _, _ = run_perf(db)
+    assert kept == [], kept
+
+
+def test_perf_hot_cold_annotations_from_source_lines():
+    # TREESIM_HOT/TREESIM_COLD are read off the declaration's source line;
+    # COLD excludes an entry point and stops traversal through it.
+    with tempfile.TemporaryDirectory() as tmp:
+        os.makedirs(os.path.join(tmp, "src"))
+        path = os.path.join(tmp, "src", "x.cc")
+        with open(path, "w") as fh:
+            fh.write("int TREESIM_HOT Warm(int n) {\n"        # line 1
+                     "void TREESIM_COLD Range() {\n"          # line 2
+                     "void Sub() {\n"                         # line 3
+                     "void Sub2() {\n")                       # line 4
+        decls = [
+            func("0xw", "Warm", 1,
+                 compound(100, 300, call("0x2", "Sub2", 150, 1)),
+                 file=path),
+            func("0xr", "Range", 2,
+                 compound(400, 600, call("0x1", "Sub", 450, 2)),
+                 file=path),
+            func("0x1", "Sub", 3, compound(700, 800), file=path),
+            func("0x2", "Sub2", 4, compound(900, 1000), file=path),
+        ]
+        db = facts.FactDB()
+        db.add_tu(facts.extract_tu(tu(*decls), path, tmp))
+        hot_marks, cold_marks = checks.load_hot_annotations(db, tmp)
+        assert hot_marks == {"treesim::Warm"}, hot_marks
+        assert cold_marks == {"treesim::Range"}, cold_marks
+        hot = checks.derive_hot_set(db, tmp)
+        assert set(hot) == {"treesim::Warm", "treesim::Sub2"}, hot
+
+
+def test_perf_parallel_for_lambda_seeded_and_checked():
+    # The enclosing function is NOT an entry point, but the lambda it
+    # submits through ParallelFor is hot: its unreserved growth fires and
+    # its by-value heavy capture fires.
+    growth = member_call("push_back",
+                         ref("0xsc", "scratch", "std::vector<int>"),
+                         1300, 130)
+    body_lam = lam(1200, 1500, 120,
+                   captures=[("0xb", "big", "std::vector<int>", False)],
+                   params=[("0xp", "i")],
+                   body_children=[loop(1250, 1450, 125, growth)])
+    body = compound(1000, 2000,
+                    call("0xpf", "ParallelFor", 1100, 110,
+                         ref("0xpool", "pool", "treesim::ThreadPool &"),
+                         body_lam))
+    db = extract(func("0xf", "FillAll", 100, body))
+    hot = checks.derive_hot_set(db, REPO)
+    lam_q = [q for q in hot if "<lambda@" in q]
+    assert len(lam_q) == 1 and "treesim::FillAll" not in hot, hot
+    kept, _, _ = run_perf(db)
+    got = {(f.check, f.callee) for f in kept}
+    assert got == {("alloc-in-hot-loop", "push_back"),
+                   ("heavy-copy", "big")}, kept
+
+
+# ---------------------------------------------------------------------------
+# Perf family: alloc-in-hot-loop
+# ---------------------------------------------------------------------------
+
+
+def test_perf_new_and_make_in_hot_loop_flagged():
+    body = compound(100, 500,
+                    new_expr("double", 120, 12),  # outside any loop: clean
+                    loop(200, 400, 20,
+                         new_expr("int", 250, 25),
+                         call("0xmk", "make_unique", 300, 30)))
+    db = extract(func("0xf", "Knn", 10, body))
+    kept, _, _ = run_perf(db)
+    got = {(f.check, f.callee, f.line) for f in kept}
+    assert got == {("alloc-in-hot-loop", "int", 25),
+                   ("alloc-in-hot-loop", "make_unique", 30)}, kept
+
+
+def test_perf_growth_flagged_unless_reserve_dominates():
+    vec = lambda: ref("0xv", "out", "std::vector<int>")  # noqa: E731
+    bad = compound(100, 500,
+                   loop(200, 400, 20, member_call("push_back", vec(),
+                                                  260, 26)))
+    good = compound(600, 1000,
+                    member_call("reserve", vec(), 650, 65),
+                    loop(700, 900, 70, member_call("push_back", vec(),
+                                                   760, 76)))
+    db = extract(func("0xa", "Range", 10, bad),
+                 func("0xb", "Knn", 60, good))
+    kept, _, _ = run_perf(db)
+    assert kept_checks(kept) == {("treesim::Range",
+                                  "alloc-in-hot-loop")}, kept
+    assert "dominating reserve" in kept[0].message
+
+
+def test_perf_growth_exemptions():
+    # (a) receiver rooted at a `&` parameter: the caller reserves;
+    # (b) node-based container: nothing to reserve;
+    # (c) unresolvable receiver (chained call): stay conservative.
+    by_ref = func_p(
+        "0xa", "Range", 10, [("0xp", "out", "std::vector<int> &")],
+        compound(100, 500, loop(200, 400, 20, member_call(
+            "push_back", ref("0xp", "out", "std::vector<int> &"),
+            260, 26))))
+    node_based = func(
+        "0xb", "Knn", 60,
+        compound(600, 900, loop(700, 880, 70, member_call(
+            "push_back", ref("0xq", "q", "std::deque<int>"), 760, 76))))
+    chained = func(
+        "0xc", "SelfJoin", 100,
+        compound(1000, 1300, loop(1100, 1280, 110, member_call(
+            "push_back",
+            member_call("back", ref("0xs", "slots",
+                                    "std::vector<std::vector<int>>"),
+                        1150, 115),
+            1160, 116))))
+    db = extract(by_ref, node_based, chained)
+    f = fn(db, "treesim::Range")
+    assert any(a.kind == "growth" and a.receiver_is_ref_param
+               for a in f.allocs), f.allocs
+    kept, _, _ = run_perf(db)
+    assert kept == [], kept
+
+
+def test_perf_heavy_construct_in_loop_and_sso():
+    short_lit = d("StringLiteral", value='"tiny"')
+    long_lit = d("StringLiteral",
+                 value='"a-literal-well-beyond-sso-capacity"')
+    body = compound(100, 900, loop(
+        200, 800, 20,
+        construct("treesim::BranchProfile", 250, 25,
+                  d("IntegerLiteral", value="7")),
+        construct("std::string", 300, 30, short_lit),   # SSO: clean
+        construct("std::string", 400, 40, long_lit),    # heap: flagged
+        construct("treesim::QueryContext", 500, 50,     # not heavy: clean
+                  d("IntegerLiteral", value="1"))))
+    db = extract(func("0xf", "Range", 10, body))
+    kept, _, _ = run_perf(db)
+    got = {(f.check, f.line) for f in kept}
+    assert got == {("alloc-in-hot-loop", 25),
+                   ("alloc-in-hot-loop", 40)}, kept
+
+
+# ---------------------------------------------------------------------------
+# Perf family: heavy-copy
+# ---------------------------------------------------------------------------
+
+
+def test_perf_heavy_param_flagged_sink_and_light_clean():
+    bad = func_p("0xa", "Join", 10,
+                 [("0xp1", "ids", "std::vector<int>")],
+                 compound(100, 400))
+    # Same heavy by-value param, but std::move()d into place: a sink.
+    sink = func_p("0xb", "SelfJoin", 50,
+                  [("0xp2", "ids", "std::vector<int>")],
+                  compound(500, 800,
+                           call("0xmv", "move", 600, 60,
+                                ref("0xp2", "ids", "std::vector<int>"))))
+    light = func_p("0xc", "Knn", 90,
+                   [("0xp3", "k", "int"),
+                    ("0xp4", "t", "const treesim::Tree &"),
+                    ("0xp5", "p", "std::unique_ptr<treesim::Tree>")],
+                   compound(900, 1200))
+    db = extract(bad, sink, light)
+    assert fn(db, "treesim::SelfJoin").params[0].moved
+    kept, _, _ = run_perf(db)
+    assert kept_checks(kept) == {("treesim::Join", "heavy-copy")}, kept
+    assert kept[0].callee == "ids"
+
+
+def test_perf_copy_construct_flagged_even_outside_loops():
+    # A by-value argument copy happens once per call — loop or not.
+    copy = construct("treesim::Tree", 250, 25,
+                     ref("0xt", "t", "treesim::Tree"))
+    db = extract(func("0xf", "Knn", 10, compound(100, 500, copy)))
+    f = fn(db, "treesim::Knn")
+    assert [(a.kind, a.copy) for a in f.allocs] == [("construct", True)]
+    kept, _, _ = run_perf(db)
+    assert kept_checks(kept) == {("treesim::Knn", "heavy-copy")}, kept
+    assert "copy-construction" in kept[0].message
+
+
+# ---------------------------------------------------------------------------
+# Perf family: indirect-call-in-inner-loop
+# ---------------------------------------------------------------------------
+
+
+def _filter_record():
+    return d("CXXRecordDecl", name="Filter", inner=[
+        d("CXXMethodDecl", id="0xvm", name="MayQualify", virtual=True,
+          type={"qualType": "bool (int)"})])
+
+
+def test_perf_virtual_in_inner_loop_needs_depth_two():
+    probe = lambda off, line: member_call(  # noqa: E731
+        "MayQualify", ref("0xflt", "filt", "treesim::Filter &"),
+        off, line, ref_decl="0xvm")
+    deep = compound(100, 500,
+                    loop(200, 450, 20, loop(250, 400, 25, probe(300, 30))))
+    shallow = compound(600, 900, loop(700, 880, 70, probe(750, 75)))
+    db = extract(_filter_record(),
+                 func("0xa", "Range", 10, deep),
+                 func("0xb", "Knn", 60, shallow))
+    assert [ic.kind for ic in fn(db, "treesim::Range").indirect_calls] \
+        == ["virtual"]
+    kept, _, _ = run_perf(db)
+    assert kept_checks(kept) == {("treesim::Range",
+                                  "indirect-call-in-inner-loop")}, kept
+    assert "virtual dispatch" in kept[0].message
+
+
+def test_perf_functor_call_in_inner_loop_flagged():
+    invoke = d("CXXOperatorCallExpr",
+               loc={"offset": 300, "line": 30},
+               inner=[fnref("0xop", "operator()"),
+                      ref("0xfn", "score", "std::function<bool (int)>")])
+    body = compound(100, 500,
+                    loop(200, 450, 20, loop(250, 400, 25, invoke)))
+    db = extract(func("0xf", "BatchKnn", 10, body))
+    assert [ic.kind for ic in fn(db, "treesim::BatchKnn").indirect_calls] \
+        == ["functor"]
+    kept, _, _ = run_perf(db)
+    assert kept_checks(kept) == {("treesim::BatchKnn",
+                                  "indirect-call-in-inner-loop")}, kept
+    assert "std::function" in kept[0].message
+
+
+# ---------------------------------------------------------------------------
+# Perf family: hot-throw
+# ---------------------------------------------------------------------------
+
+
+def test_perf_hot_throw_and_throwing_api():
+    hot_body = compound(100, 500,
+                        d("CXXThrowExpr", loc={"offset": 200, "line": 20}),
+                        member_call("at",
+                                    ref("0xv", "v", "std::vector<int>"),
+                                    300, 30))
+    cold_body = compound(600, 900,
+                         d("CXXThrowExpr", loc={"offset": 700, "line": 70}))
+    db = extract(func("0xa", "ComputePairwiseDistances", 10, hot_body),
+                 func("0xb", "Helper", 60, cold_body))
+    kept, _, _ = run_perf(db)
+    assert {f.function for f in kept} \
+        == {"treesim::ComputePairwiseDistances"}, kept
+    got = {(f.check, f.line) for f in kept}
+    assert got == {("hot-throw", 20), ("hot-throw", 30)}, kept
+
+
+def test_perf_suppressions_apply_to_perf_findings():
+    body = compound(100, 500, loop(200, 400, 20, new_expr("int", 250, 25)))
+    db = extract(func("0xf", "Range", 10, body))
+    sup = checks.Suppression(check="alloc-in-hot-loop", file="*",
+                             function="treesim::Range", callee="*",
+                             reason="unit test")
+    kept, suppressed, warnings = run_perf(db, sups=[sup])
+    assert kept == [] and len(suppressed) == 1, (kept, suppressed)
+    assert warnings == [], warnings
+
+
+# ---------------------------------------------------------------------------
+# Fact-cache eviction (astcheck --stats)
+# ---------------------------------------------------------------------------
+
+
+def test_perf_cache_evict_stale():
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = clang_driver.FactCache(os.path.join(tmp, "cache"))
+        tu_facts = facts.extract_tu(
+            tu(func("0xf", "f", 10, compound(100, 500))), SRC, REPO)
+        live_src = os.path.join(tmp, "live.cc")
+        with open(live_src, "w") as fh:
+            fh.write("int x;\n")
+        k_live = clang_driver.tu_cache_key("c", ["a"], [("a", "1")])
+        k_gone = clang_driver.tu_cache_key("c", ["b"], [("b", "2")])
+        cache.put(k_live, tu_facts, source=live_src)
+        cache.put(k_gone, tu_facts, source=os.path.join(tmp, "deleted.cc"))
+        # A pre-schema-bump leftover must be reaped too.
+        old = os.path.join(cache.dir, "0" * 32 + ".json")
+        with open(old, "w") as fh:
+            json.dump({"schema": 1, "key": "k", "facts": {}}, fh)
+        evicted, kept = cache.evict_stale()
+        assert (evicted, kept) == (2, 1), (evicted, kept)
+        assert cache.get(k_live) is not None
+        assert cache.get(k_gone) is None
+
+
 TESTS = [v for k, v in sorted(globals().items()) if k.startswith("test_")]
 
 

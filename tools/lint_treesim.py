@@ -39,6 +39,14 @@ Checks, over ``src/`` (and headers under ``fuzz/`` if any appear):
               to the binaries: ``bench/`` and ``tools/`` are exempt, as is
               the rest of ``src/`` (util/logging.h itself, parser error
               paths, ...).
+  hotalloc    No ``new``, ``make_unique``, or ``std::function`` in the
+              headers under ``src/core/`` and ``src/ted/`` — these are the
+              innermost kernels of the distance computation, inlined into
+              every probe, and an allocation or type-erased call there is
+              paid once per candidate pair. This is the cheap textual
+              backstop for tools/astcheck's AST-grade perf pass
+              (``--checks=perf``), which sees through wrappers but needs a
+              clang toolchain; the lint fires everywhere, instantly.
   rawwait     No busy-waits or leaked threads in ``src/``:
               ``std::this_thread::sleep_for`` / ``sleep_until``,
               ``sleep()`` / ``usleep()`` / ``nanosleep()``, and
@@ -263,6 +271,31 @@ class Linter:
                             "(util/sync.h) and join workers via ThreadPool "
                             "(util/thread_pool.h)")
 
+    # ---- hotalloc -------------------------------------------------------
+
+    HOT_ALLOC_DIRS = ("core", "ted")
+    HOT_ALLOC_RE = re.compile(
+        r"(?<![\w:.])new\s+[A-Za-z_(:]"        # expression `new T`, not "renew"
+        r"|\bmake_unique\s*<"
+        r"|\bstd\s*::\s*function\b")
+
+    def check_hot_alloc(self, path: pathlib.Path, lines: list[str]) -> None:
+        if path.suffix != ".h" or not any(
+                path.is_relative_to(SRC_ROOT / d)
+                for d in self.HOT_ALLOC_DIRS):
+            return
+        for i, raw in enumerate(lines, start=1):
+            line = strip_comments_and_strings(raw)
+            m = self.HOT_ALLOC_RE.search(line)
+            if m:
+                self.report(path, i, "hotalloc",
+                            f"'{m.group(0).strip()}' in an inner kernel "
+                            "header (src/core/, src/ted/); these run once "
+                            "per candidate pair — preallocate in the "
+                            "caller, use direct calls, and keep heap "
+                            "traffic out (astcheck --checks=perf is the "
+                            "AST-grade version of this rule)")
+
     # ---- nodiscard ------------------------------------------------------
 
     def check_status_nodiscard(self) -> None:
@@ -347,6 +380,7 @@ class Linter:
                 self.check_include_guard(path, lines)
             self.check_header_using(path, lines)
             self.check_assert(path, lines)
+            self.check_hot_alloc(path, lines)
         for path, lines in sources.items():
             self.check_assert(path, lines)
         for path, lines in {**headers, **sources}.items():
@@ -429,8 +463,31 @@ def self_test() -> int:
             "#define TREESIM_BAD_USING_H_\n"
             "using namespace std;\n"
             "#endif  // TREESIM_BAD_USING_H_\n"),
+        # hotalloc: allocation and type erasure planted in an inner kernel
+        # header — new-expression, make_unique, std::function.
+        "src/core/bad_hot.h": (
+            "#ifndef TREESIM_CORE_BAD_HOT_H_\n"
+            "#define TREESIM_CORE_BAD_HOT_H_\n"
+            "inline int* Make() { return new int(7); }\n"
+            "inline auto MakeBox() { return std::make_unique<int>(7); }\n"
+            "inline void Apply(const std::function<int(int)>& f);\n"
+            "#endif  // TREESIM_CORE_BAD_HOT_H_\n"),
+        # Known-good: the banned names only in comments, and the same
+        # constructs are fine outside the kernel directories.
+        "src/ted/good_hot.h": (
+            "#ifndef TREESIM_TED_GOOD_HOT_H_\n"
+            "#define TREESIM_TED_GOOD_HOT_H_\n"
+            "// a new tree is built via make_unique in the caller\n"
+            "inline int Renew(int x) { return x; }\n"
+            "#endif  // TREESIM_TED_GOOD_HOT_H_\n"),
+        "src/search/ok_hot.h": (
+            "#ifndef TREESIM_SEARCH_OK_HOT_H_\n"
+            "#define TREESIM_SEARCH_OK_HOT_H_\n"
+            "inline int* MakeOutside() { return new int(7); }\n"
+            "#endif  // TREESIM_SEARCH_OK_HOT_H_\n"),
     }
-    expected = {"rawwait": 4, "rawsync": 1, "rawlog": 1, "using": 1}
+    expected = {"rawwait": 4, "rawsync": 1, "rawlog": 1, "using": 1,
+                "hotalloc": 3}
 
     try:
         with tempfile.TemporaryDirectory(prefix="lint_selftest_") as tmp:
