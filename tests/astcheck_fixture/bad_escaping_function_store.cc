@@ -1,0 +1,20 @@
+// Known-bad: the lambda captures `cursor` by reference but is stored into
+// `pending`, a std::function declared in an ENCLOSING scope — the capture
+// dies at the inner brace while the callable lives on, so every later
+// invocation reads a dangling reference.
+// Expected finding: escaping-capture.
+#include "perf_stub.h"
+
+namespace fix_escape_store {
+
+long InstallAndRun(std::function<long()>& out_slot) {
+  std::function<long()> pending;
+  {
+    long cursor = 7;
+    pending = [&cursor]() { return cursor; };
+  }
+  out_slot = pending;
+  return out_slot();  // dangles: cursor is gone
+}
+
+}  // namespace fix_escape_store

@@ -1,0 +1,14 @@
+// Known-bad: `first` aliases an element of a contiguous container, the
+// container then grows (push_back may reallocate), and the stale
+// reference is read afterwards. Expected finding: invalidated-reference.
+#include "perf_stub.h"
+
+namespace fix_invref {
+
+long GrowAndRead(std::vector<long>& rows) {
+  long& first = rows.front();
+  rows.push_back(42);  // may reallocate: `first` now dangles
+  return first;
+}
+
+}  // namespace fix_invref

@@ -1,0 +1,20 @@
+// Known-bad: FIX_HANDOFF (defined in macro_handoff.h — a different
+// header) moves its argument. Expanding it twice on the same variable
+// re-moves a moved-from container. The selftest asserts the use-after-move
+// finding lands HERE, on the SECOND expansion line below, proving the
+// extractor attributes macro-expanded moves to where the code executes;
+// the first expansion alone stays silent because all of its tokens share
+// one expansion offset and the checker orders sites strictly.
+#include "macro_handoff.h"
+#include "perf_stub.h"
+
+namespace fix_macro_lt {
+
+void PublishTwice(std::vector<int>& a_slot, std::vector<int>& b_slot) {
+  std::vector<int> staged;
+  staged.push_back(1);
+  FIX_HANDOFF(a_slot, staged);
+  FIX_HANDOFF(b_slot, staged);  // selftest anchors the expected line here
+}
+
+}  // namespace fix_macro_lt

@@ -1,0 +1,17 @@
+// Known-bad: `acc` is declared outside the loop but moved from inside it
+// and never reinitialized in the loop body — the second iteration appends
+// to (and then moves) a moved-from container. The loop-carried rule flags
+// the move site. Expected finding: use-after-move.
+#include "perf_stub.h"
+
+namespace fix_reinit_missed {
+
+void FlushAll(std::vector<int>* out_slots, int n) {
+  std::vector<int> acc;
+  for (int i = 0; i < n; ++i) {
+    acc.push_back(i);
+    out_slots[i] = std::move(acc);  // next pass reuses the husk
+  }
+}
+
+}  // namespace fix_reinit_missed

@@ -1,0 +1,16 @@
+// Known-bad: ThreadPool::Submit defers the lambda past the caller's
+// return (unlike ParallelFor, which joins before returning), so the
+// by-reference capture of a stack local outlives its frame. The capture
+// only READS `pending` — this is a lifetime bug, not a data race, so
+// escaping-capture must catch what capture-race cannot.
+// Expected finding: escaping-capture.
+#include "fixture_stub.h"
+
+namespace fix_submit_escape {
+
+void KickOff(treesim::ThreadPool& pool) {
+  long pending = 3;
+  pool.Submit([&pending]() -> long { return pending; });
+}  // pending dies here; the task may not have run yet
+
+}  // namespace fix_submit_escape

@@ -1,0 +1,16 @@
+// Known-bad: `batch` is handed off with std::move and then grown again
+// with no reinitialization in between; the second push_back operates on a
+// moved-from container whose contents are unspecified.
+// Expected finding: use-after-move.
+#include "perf_stub.h"
+
+namespace fix_uam {
+
+void PublishBatch(std::vector<int>& out_slot) {
+  std::vector<int> batch;
+  batch.push_back(1);
+  out_slot = std::move(batch);
+  batch.push_back(2);  // moved-from: this element lands who-knows-where
+}
+
+}  // namespace fix_uam

@@ -59,6 +59,8 @@ class ThreadPool {
   template <typename Fn>
   void Schedule(Fn fn);
   template <typename Fn>
+  void Submit(Fn fn);
+  template <typename Fn>
   void ParallelFor(long n, Fn fn);
 };
 

@@ -1,0 +1,21 @@
+// Known-good: every move is followed by a reinitialization before the
+// next use — clear() inside the loop recycles the container for the next
+// iteration, and the assignment afterwards gives it a fresh value. Both
+// the direct and the loop-carried use-after-move rules must stay silent.
+// Must produce zero findings.
+#include "perf_stub.h"
+
+namespace fix_good_reinit {
+
+void Recycle(std::vector<int>* out_slots, int n) {
+  std::vector<int> acc;
+  for (int i = 0; i < n; ++i) {
+    acc.push_back(i);
+    out_slots[i] = std::move(acc);
+    acc.clear();  // recycled: next iteration starts from a known state
+  }
+  acc = std::vector<int>();  // reinit-by-assignment, then reuse
+  acc.push_back(1);
+}
+
+}  // namespace fix_good_reinit

@@ -1,0 +1,16 @@
+// Known-good: capacity is settled with reserve() BEFORE the element
+// reference is taken, so the later push_back cannot reallocate and the
+// reference stays valid. Must produce zero findings.
+#include "perf_stub.h"
+
+namespace fix_good_ref {
+
+long FillFixed(std::vector<long>& rows) {
+  rows.push_back(1);
+  rows.reserve(16);
+  long& head = rows.front();
+  rows.push_back(7);  // within reserved capacity: no reallocation
+  return head;
+}
+
+}  // namespace fix_good_ref

@@ -1,0 +1,19 @@
+// Known-good: lambdas that outlive the frame (one returned, one deferred
+// via ThreadPool::Submit) capture BY VALUE, so they own their state and
+// nothing dangles. Must produce zero findings.
+#include "fixture_stub.h"
+#include "perf_stub.h"
+
+namespace fix_good_cap {
+
+std::function<long()> MakeCounter() {
+  long seed = 5;
+  return [seed]() { return seed; };
+}
+
+void KickSafe(treesim::ThreadPool& pool) {
+  long base = 3;
+  pool.Submit([base]() -> long { return base; });
+}
+
+}  // namespace fix_good_cap

@@ -1,0 +1,13 @@
+// Helper macro living in a DIFFERENT header than the TU that expands it.
+// The lifetime selftest asserts the resulting use-after-move finding
+// points at the second expansion site in bad_macro_lifetime.cc, not at
+// this file: the extractor must take expansionLoc (where the code
+// executes), never the spelling location inside the macro definition.
+// Within ONE expansion every token shares the expansion offset, so the
+// checker's strict ordering keeps a single FIX_HANDOFF silent.
+#ifndef TREESIM_TESTS_ASTCHECK_FIXTURE_MACRO_HANDOFF_H_
+#define TREESIM_TESTS_ASTCHECK_FIXTURE_MACRO_HANDOFF_H_
+
+#define FIX_HANDOFF(slot, v) (slot) = std::move(v)
+
+#endif  // TREESIM_TESTS_ASTCHECK_FIXTURE_MACRO_HANDOFF_H_

@@ -27,7 +27,12 @@ class vector {
   void resize(unsigned long n);
   unsigned long size() const;
   bool empty() const;
+  void clear();
   T& operator[](unsigned long i);
+  T& front();
+  T& back();
+  T* begin();
+  T* data();
 };
 
 class string {
@@ -63,6 +68,8 @@ class function<R(Args...)> {
   function();
   template <typename F>
   function(F f);  // NOLINT: implicit, like the real one
+  template <typename F>
+  function& operator=(F f);
   R operator()(Args... args) const;
 };
 

@@ -36,16 +36,39 @@ seeded/overridden by TREESIM_HOT / TREESIM_COLD (src/util/hot.h).
   hot-throw                 throw-expressions and throwing-API calls on
                             the hot path, which must stay Status-based.
 
+Lifetime family (``--checks=lifetime``): textual-order dataflow over
+per-function move/use/reinit events, lambda escape sites, and element
+reference bindings.
+
+  use-after-move          a moved-from local or parameter is read, method-
+                          called, or re-moved before a reinitializing
+                          assignment / clear() / reset(); loop-carried
+                          moves (variable declared outside the loop, moved
+                          inside, never reinitialized in the loop) flag
+                          the next iteration's read.
+  escaping-capture        a lambda with by-reference (or address-of-local)
+                          captures is returned, stored into an outliving
+                          std::function / member, or queued through
+                          ThreadPool::Schedule/Submit; value captures,
+                          `this`, statics, and storage that provably dies
+                          before its captures are exempt. ParallelFor joins
+                          before returning and does not count as deferred.
+  invalidated-reference   a reference/pointer/iterator obtained from
+                          operator[]/front()/back()/begin()/data() is used
+                          after a growth call on the same receiver, unless
+                          a reserve precedes the binding (same dominance
+                          approximation as the perf family).
+
 The package degrades gracefully: without a clang binary the entry points
 exit 77 (ctest SKIP), and the pure-Python core stays covered by
 ``unittests.py`` which feeds hand-written clang-schema JSON through the
 same extraction and check paths.
 
-See DESIGN.md sections 13-14 for the fact-database schema and the exact
+See DESIGN.md sections 13-15 for the fact-database schema and the exact
 check semantics, and tools/astcheck_suppressions.toml for the allowlist
 format.
 """
 
-__version__ = "2.0"
+__version__ = "3.0"
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3

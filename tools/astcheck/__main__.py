@@ -4,6 +4,8 @@ Usage (from the repo root):
 
     python3 tools/astcheck/__main__.py [--build-dir build] [options]
     python3 tools/astcheck/__main__.py --checks=perf
+    python3 tools/astcheck/__main__.py --checks=lifetime
+    python3 tools/astcheck/__main__.py --checks=all --format=sarif
     python3 tools/astcheck/__main__.py --unit-test
     python3 tools/astcheck/__main__.py --self-test
 
@@ -25,12 +27,12 @@ _TOOLS_DIR = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 if _TOOLS_DIR not in sys.path:
     sys.path.insert(0, _TOOLS_DIR)
 
-from astcheck import checks, clang_driver, facts  # noqa: E402
+from astcheck import checks, clang_driver, facts, report  # noqa: E402
 
-EXIT_CLEAN = 0
-EXIT_FINDINGS = 1
-EXIT_ERROR = 2
-EXIT_SKIP = 77
+EXIT_CLEAN = report.EXIT_CLEAN
+EXIT_FINDINGS = report.EXIT_FINDINGS
+EXIT_ERROR = report.EXIT_ERROR
+EXIT_SKIP = report.EXIT_SKIP
 
 DEFAULT_REPO_ROOT = os.path.dirname(_TOOLS_DIR)
 
@@ -39,14 +41,21 @@ def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="astcheck",
         description="AST-grade static analyzers: concurrency (lock-order, "
-                    "capture-race, blocking-under-lock) and perf "
+                    "capture-race, blocking-under-lock), perf "
                     "(alloc-in-hot-loop, heavy-copy, "
-                    "indirect-call-in-inner-loop, hot-throw)")
+                    "indirect-call-in-inner-loop, hot-throw), and lifetime "
+                    "(use-after-move, escaping-capture, "
+                    "invalidated-reference)")
     p.add_argument("--repo-root", default=DEFAULT_REPO_ROOT,
                    help="source tree root (default: this checkout)")
     p.add_argument("--checks", default="concurrency",
-                   choices=("concurrency", "perf", "all"),
+                   choices=("concurrency", "perf", "lifetime", "all"),
                    help="check family to run (default: concurrency)")
+    p.add_argument("--format", default="text", choices=("text", "sarif"),
+                   help="stdout format: human text or SARIF 2.1.0 "
+                        "(default: text)")
+    p.add_argument("--report-out", default=None,
+                   help="write the canonical JSON findings report here")
     p.add_argument("--stats", action="store_true",
                    help="print fact-cache warm/cold counts and evict "
                         "cache entries whose sources no longer exist")
@@ -140,34 +149,44 @@ def main(argv: "list[str] | None" = None) -> int:
                 print(f"astcheck: error: {exc}", file=sys.stderr)
                 return EXIT_ERROR
 
-    families = (("concurrency", "perf") if args.checks == "all"
+    families = (("concurrency", "perf", "lifetime") if args.checks == "all"
                 else (args.checks,))
     ranks = checks.load_lock_ranks(db, repo_root)
     kept, suppressed, warnings = checks.run_all(db, ranks, sups,
                                                 families=families,
                                                 repo_root=repo_root)
 
+    doc = report.build_report(families, kept, suppressed, warnings, stats)
+    if args.report_out:
+        report.write_json(args.report_out, doc)
+        log(f"astcheck: findings report written to {args.report_out}")
+
+    # SARIF mode keeps stdout valid JSON; human chatter moves to stderr.
+    info = sys.stderr if args.format == "sarif" else sys.stdout
     for w in warnings:
-        print(f"astcheck: warning: {w}")
-    for f in kept:
-        print(f.render())
+        print(f"astcheck: warning: {w}", file=info)
+    if args.format == "sarif":
+        json.dump(report.to_sarif(doc, repo_root), sys.stdout, indent=1)
+        sys.stdout.write("\n")
+    else:
+        for line in report.render_text(doc):
+            print(line)
 
     if args.stats and not args.no_cache:
         evicted, kept_entries = clang_driver.FactCache(
             cache_dir).evict_stale()
         print(f"astcheck: cache: {stats['cache_hits']} warm hits, "
               f"{stats['analyzed']} cold analyses | "
-              f"{kept_entries} entries kept, {evicted} stale evicted")
+              f"{kept_entries} entries kept, {evicted} stale evicted",
+              file=info)
 
-    extra = ""
+    extra = (f" | {len(db.functions)} functions | "
+             f"{len(db.mutex_fields)} mutexes ({len(ranks)} ranked)")
     if "perf" in families:
         hot = checks.derive_hot_set(db, repo_root)
-        extra = f" | {len(hot)} hot functions"
-    print(f"astcheck: {stats['tus']} TUs ({stats['cache_hits']} cached) | "
-          f"{len(db.functions)} functions | {len(db.mutex_fields)} mutexes "
-          f"({len(ranks)} ranked){extra} | {len(kept)} findings, "
-          f"{len(suppressed)} suppressed | {stats['seconds']}s")
-    return EXIT_FINDINGS if kept else EXIT_CLEAN
+        extra += f" | {len(hot)} hot functions"
+    print(report.summary_line(doc, extra), file=info)
+    return report.exit_code(doc)
 
 
 if __name__ == "__main__":

@@ -40,6 +40,34 @@ seeded by ``TREESIM_HOT`` and pruned by ``TREESIM_COLD`` annotations
                                standard APIs (``at``, ``stoi``, ...) on the
                                hot path, which must stay Status-based.
 
+Lifetime family (see DESIGN.md section 15). Textual-order dataflow over the
+per-function lifetime facts; files under tests/bench/fuzz/tools are out of
+scope, like the perf family.
+
+  use-after-move         a moved-from local/parameter path is read, method-
+                         called, or re-moved with no reinitializing
+                         assignment / clear() / reset() / assign() in
+                         between. Validity-probing methods (empty, size,
+                         ok, ...), sibling if/else arms, and moves inside
+                         return statements are exempt; a move inside a loop
+                         of a variable declared outside it with no reinit
+                         in the loop body flags the move site (the next
+                         iteration moves a moved-from value).
+  escaping-capture       a lambda with by-reference or address-of-local
+                         captures escapes the enclosing full-expression: it
+                         is returned, stored into an outliving target, or
+                         deferred via ThreadPool::Schedule/Submit
+                         (ParallelFor joins before returning and is not
+                         deferred). `this` and static captures are exempt,
+                         as is storage that provably dies no later than
+                         every risky capture (declaration-order proof).
+  invalidated-reference  a reference/pointer/iterator obtained from
+                         operator[]/front()/back()/begin()/data() on a
+                         contiguous container is used after a growth call
+                         on the same receiver; a reserve preceding the
+                         binding exempts (the same dominance approximation
+                         as alloc-in-hot-loop).
+
 All checks are conservative in the same direction: an identity or call the
 extractor could not resolve produces *no* edge, never a guessed one, so a
 finding always corresponds to something actually visible in the AST.
@@ -62,9 +90,15 @@ from . import facts
 CONCURRENCY_CHECKS = ("lock-order", "capture-race", "blocking-under-lock")
 PERF_CHECKS = ("alloc-in-hot-loop", "heavy-copy",
                "indirect-call-in-inner-loop", "hot-throw")
-CHECKS = CONCURRENCY_CHECKS + PERF_CHECKS
+LIFETIME_CHECKS = ("use-after-move", "escaping-capture",
+                   "invalidated-reference")
+CHECKS = CONCURRENCY_CHECKS + PERF_CHECKS + LIFETIME_CHECKS
 
-FAMILIES = {"concurrency": CONCURRENCY_CHECKS, "perf": PERF_CHECKS}
+FAMILIES = {
+    "concurrency": CONCURRENCY_CHECKS,
+    "perf": PERF_CHECKS,
+    "lifetime": LIFETIME_CHECKS,
+}
 
 
 @dataclasses.dataclass
@@ -828,6 +862,217 @@ def check_hot_throw(db: facts.FactDB,
 
 
 # ---------------------------------------------------------------------------
+# Lifetime checks
+# ---------------------------------------------------------------------------
+
+# Methods that are defined on a moved-from object in its valid-but-
+# unspecified state and are how code legitimately probes or recycles one.
+_MOVED_SAFE_METHODS = {
+    "empty", "size", "capacity", "length", "ok", "has_value", "valid",
+    "swap", "get",
+}
+
+# Contiguous containers whose growth reallocates and invalidates element
+# references; node-based containers keep elements pinned and are exempt.
+_CONTIGUOUS_TOKENS = {"vector", "string", "basic_string", "deque"}
+
+
+def _path_covers(base_path: str, sub_path: str) -> bool:
+    """True when an event on `base_path` affects `sub_path` (same object or
+    an enclosing subobject: moving `sweep` moves `sweep.heap`, but moving
+    `sweep.heap` leaves `sweep.calls` alone)."""
+    return sub_path == base_path or sub_path.startswith(base_path + ".")
+
+
+def _reinit_between(evs: list, move, lo: int, hi: int) -> bool:
+    """A reinit of the moved path (or an enclosing subobject) in (lo, hi]."""
+    return any(
+        r.kind == "reinit" and _path_covers(r.path, move.path)
+        and lo < r.offset <= hi
+        for r in evs)
+
+
+def _diverging(fn: facts.FunctionFact, a: int, b: int) -> bool:
+    """True when offsets a and b sit in sibling arms of one if/else — the
+    two sites never execute in the same pass through the statement."""
+    for br in fn.branches:
+        for x, y in ((a, b), (b, a)):
+            if (br.then_begin <= x <= br.then_end
+                    and br.else_begin <= y <= br.else_end):
+                return True
+    return False
+
+
+def check_use_after_move(db: facts.FactDB,
+                         repo_root: str) -> list[Finding]:
+    findings: list[Finding] = []
+    for fn in db.functions.values():
+        if not fn.var_events or not _in_scope(fn, repo_root):
+            continue
+        by_root: dict[str, list] = {}
+        for e in fn.var_events:
+            by_root.setdefault(e.root_id, []).append(e)
+        for evs in by_root.values():
+            moves = [e for e in evs
+                     if e.kind == "move" and e.detail != "return std::move"]
+            if not moves:
+                continue
+            flagged = False
+            for use in evs:
+                if flagged:
+                    break
+                if use.kind == "reinit":
+                    continue
+                if (use.kind == "use" and use.detail.endswith("()")
+                        and use.detail[:-2] in _MOVED_SAFE_METHODS):
+                    continue
+                for m in moves:
+                    # Strict ordering: every token of one macro expansion
+                    # shares the expansion offset, so a macro that both
+                    # moves and reads in a single expansion stays silent
+                    # rather than guessing the inner order.
+                    if use is m or use.offset <= m.offset:
+                        continue
+                    if not _path_covers(m.path, use.path):
+                        continue
+                    if _reinit_between(evs, m, m.offset, use.offset):
+                        continue
+                    if _diverging(fn, m.offset, use.offset):
+                        continue
+                    what = ("moved from again" if use.kind == "move"
+                            else f"used ({use.detail})" if use.detail
+                            else "read")
+                    findings.append(Finding(
+                        check="use-after-move", file=use.file,
+                        line=use.line, function=fn.qname, callee=m.path,
+                        message=(f"`{use.path}` is {what} after "
+                                 f"`std::move({m.path})` at line {m.line} "
+                                 f"with no reinitialization in between")))
+                    flagged = True
+                    break
+            if flagged:
+                continue
+            # Loop-carried: moved inside a loop, declared outside it, and
+            # never reinitialized in the loop body — the next iteration
+            # moves from (or reads) a moved-from value.
+            for m in moves:
+                if flagged or m.decl_offset <= 0:
+                    break
+                for lp in fn.loops:
+                    if not (lp.begin <= m.offset <= lp.end):
+                        continue
+                    if m.decl_offset >= lp.begin:
+                        continue  # declared inside the loop: fresh each pass
+                    if _reinit_between(evs, m, lp.begin - 1, lp.end):
+                        continue
+                    findings.append(Finding(
+                        check="use-after-move", file=m.file, line=m.line,
+                        function=fn.qname, callee=m.path,
+                        message=(f"`{m.path}` is declared outside this "
+                                 f"loop but moved from inside it with no "
+                                 f"reinitialization in the loop body; the "
+                                 f"next iteration moves a moved-from "
+                                 f"value")))
+                    flagged = True
+                    break
+    return findings
+
+
+def check_escaping_capture(db: facts.FactDB,
+                           repo_root: str) -> list[Finding]:
+    findings: list[Finding] = []
+    for fn in db.functions.values():
+        if not fn.escapes or not _in_scope(fn, repo_root):
+            continue
+        for e in fn.escapes:
+            if e.kind == "submit" and not e.deferred:
+                continue  # ParallelFor joins before returning
+            lam = db.functions.get(e.lam)
+            if lam is None:
+                continue
+            risky = []
+            for name, cap in lam.captures.items():
+                if cap.get("is_this") or cap.get("is_static"):
+                    continue  # object-managed / immortal storage
+                if cap.get("by_ref") or cap.get("addr_of_local"):
+                    risky.append((name, cap))
+            if not risky:
+                continue
+            if (e.kind == "store" and not e.storage_is_member
+                    and not e.storage_is_static and e.storage_offset >= 0
+                    and all(cap.get("decl_offset", -1) >= 0
+                            and cap["decl_offset"] <= e.storage_offset
+                            for _, cap in risky)):
+                # Every risky capture is declared at or before the storage,
+                # so the storage dies first (or with it, for the recursive
+                # `std::function f = [&f]...` self-capture idiom).
+                continue
+            names = ", ".join(f"`{n}`" for n, _ in risky)
+            if e.kind == "return":
+                how = "is returned"
+            elif e.kind == "submit":
+                how = f"is deferred via ThreadPool::{e.target}"
+            else:
+                how = f"is stored into `{e.target}`"
+            findings.append(Finding(
+                check="escaping-capture", file=e.file, line=e.line,
+                function=fn.qname, callee=e.lam,
+                message=(f"lambda capturing {names} by reference {how} "
+                         f"and can outlive the captured frame; capture by "
+                         f"value or bound the lambda's lifetime")))
+    return findings
+
+
+def check_invalidated_reference(db: facts.FactDB,
+                                repo_root: str) -> list[Finding]:
+    findings: list[Finding] = []
+    for fn in db.functions.values():
+        if not fn.ref_binds or not _in_scope(fn, repo_root):
+            continue
+        uses: dict[str, list] = {}
+        for ev in fn.var_events:
+            if ev.kind == "use":
+                uses.setdefault(ev.root_id, []).append(ev)
+        for rb in fn.ref_binds:
+            if any(a.kind == "reserve" and a.receiver == rb.receiver
+                   and a.offset < rb.offset
+                   for a in fn.allocs):
+                continue  # capacity settled before the reference was taken
+            growths = sorted(
+                (a for a in fn.allocs
+                 if a.kind == "growth" and a.receiver == rb.receiver
+                 and a.offset > rb.offset
+                 and (not a.receiver_type
+                      or set(facts._strip_type(a.receiver_type))
+                      & _CONTIGUOUS_TOKENS)),
+                key=lambda a: a.offset)
+            hit = None
+            for g in growths:
+                if _diverging(fn, rb.offset, g.offset):
+                    continue
+                use = next(
+                    (u for u in uses.get(rb.var_id, [])
+                     if u.offset > g.offset
+                     and not _diverging(fn, g.offset, u.offset)), None)
+                if use is not None:
+                    hit = (g, use)
+                    break
+            if hit is None:
+                continue
+            g, use = hit
+            kind = "pointer/iterator" if rb.is_pointer else "reference"
+            findings.append(Finding(
+                check="invalidated-reference", file=use.file,
+                line=use.line, function=fn.qname, callee=rb.name,
+                message=(f"`{rb.name}` ({kind} into `{rb.receiver}` from "
+                         f"`{rb.method}`) is used after "
+                         f"`{rb.receiver}.{g.what}(...)` at line {g.line} "
+                         f"may reallocate; re-take it after growth or "
+                         f"reserve capacity before binding")))
+    return findings
+
+
+# ---------------------------------------------------------------------------
 # Driver
 # ---------------------------------------------------------------------------
 
@@ -848,6 +1093,10 @@ def run_all(db: facts.FactDB, ranks: dict[str, int],
         findings += check_heavy_copy(db, hot)
         findings += check_indirect_call_in_inner_loop(db, hot)
         findings += check_hot_throw(db, hot)
+    if "lifetime" in families:
+        findings += check_use_after_move(db, repo_root)
+        findings += check_escaping_capture(db, repo_root)
+        findings += check_invalidated_reference(db, repo_root)
     # Deduplicate identical findings arising from functions merged across
     # TUs (header-inline bodies seen many times).
     unique: dict[tuple, Finding] = {}

@@ -32,6 +32,8 @@ import json
 import re
 from typing import Any, Iterable
 
+from . import SCHEMA_VERSION
+
 # ---------------------------------------------------------------------------
 # Fact model
 # ---------------------------------------------------------------------------
@@ -175,6 +177,108 @@ class ThrowSite:
 
 
 @dataclasses.dataclass
+class VarEvent:
+    """One lifetime-relevant event on a local/parameter path.
+
+    kind:
+      move    the path is the argument of ``std::move``
+      use     a read, member call, or compound assignment on the path
+      reinit  plain assignment to the path, or ``.clear()`` / ``.reset()``
+              / ``.assign(...)`` on it — the moved-from state ends here
+
+    Only events whose root was moved or reference-bound somewhere in the
+    function survive frame close; everything else is transient walk state.
+    """
+
+    kind: str
+    path: str  # dotted path from the root ("v", "sweep.heap")
+    root: str  # root variable name
+    root_id: str  # clang decl id of the root (per-function grouping key)
+    root_kind: str  # "local" | "param"
+    file: str
+    line: int
+    offset: int
+    detail: str = ""  # method name or operator, for diagnostics/exemptions
+    decl_offset: int = 0  # declaration offset of the root variable
+
+    def to_json(self) -> dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @staticmethod
+    def from_json(d: dict[str, Any]) -> "VarEvent":
+        return VarEvent(**d)
+
+
+@dataclasses.dataclass
+class RefBind:
+    """A reference/pointer/iterator bound to a container element."""
+
+    name: str  # bound variable
+    var_id: str  # clang decl id (matches VarEvent.root_id)
+    receiver: str  # dotted container path ("this.nodes_", "out")
+    method: str  # operator[] | front | back | begin | data
+    file: str
+    line: int
+    offset: int  # declaration offset of the binding
+    is_pointer: bool = False  # pointer/iterator rather than a reference
+
+    def to_json(self) -> dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @staticmethod
+    def from_json(d: dict[str, Any]) -> "RefBind":
+        return RefBind(**d)
+
+
+@dataclasses.dataclass
+class LambdaEscape:
+    """A lambda leaving the enclosing full-expression.
+
+    kind:
+      return  the lambda appears inside a return statement
+      store   assigned or initialized into named storage (``target``)
+      submit  handed to ThreadPool::Schedule/Submit/ParallelFor; only
+              Schedule/Submit set ``deferred`` (ParallelFor joins before
+              returning by contract)
+    """
+
+    lam: str  # lambda qname (joins against FunctionFact.captures)
+    kind: str
+    target: str  # storage path, "(return)", or the submit method
+    file: str
+    line: int
+    offset: int
+    deferred: bool = False
+    storage_offset: int = -1  # decl offset of local storage (-1: none)
+    storage_is_member: bool = False
+    storage_is_static: bool = False
+
+    def to_json(self) -> dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @staticmethod
+    def from_json(d: dict[str, Any]) -> "LambdaEscape":
+        return LambdaEscape(**d)
+
+
+@dataclasses.dataclass
+class BranchSpan:
+    """Offsets of an if/else pair, for sibling-arm divergence exemptions."""
+
+    then_begin: int
+    then_end: int
+    else_begin: int
+    else_end: int
+
+    def to_json(self) -> dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @staticmethod
+    def from_json(d: dict[str, Any]) -> "BranchSpan":
+        return BranchSpan(**d)
+
+
+@dataclasses.dataclass
 class Capture:
     name: str
     by_ref: bool
@@ -220,6 +324,10 @@ class FunctionFact:
     indirect_calls: list[IndirectCall] = dataclasses.field(
         default_factory=list)
     throws: list[ThrowSite] = dataclasses.field(default_factory=list)
+    var_events: list[VarEvent] = dataclasses.field(default_factory=list)
+    ref_binds: list[RefBind] = dataclasses.field(default_factory=list)
+    escapes: list[LambdaEscape] = dataclasses.field(default_factory=list)
+    branches: list[BranchSpan] = dataclasses.field(default_factory=list)
 
     def to_json(self) -> dict[str, Any]:
         return {
@@ -239,6 +347,10 @@ class FunctionFact:
             "params": [x.to_json() for x in self.params],
             "indirect_calls": [x.to_json() for x in self.indirect_calls],
             "throws": [x.to_json() for x in self.throws],
+            "var_events": [x.to_json() for x in self.var_events],
+            "ref_binds": [x.to_json() for x in self.ref_binds],
+            "escapes": [x.to_json() for x in self.escapes],
+            "branches": [x.to_json() for x in self.branches],
         }
 
     @staticmethod
@@ -258,6 +370,10 @@ class FunctionFact:
         f.indirect_calls = [IndirectCall.from_json(x)
                             for x in d.get("indirect_calls", [])]
         f.throws = [ThrowSite.from_json(x) for x in d.get("throws", [])]
+        f.var_events = [VarEvent.from_json(x) for x in d.get("var_events", [])]
+        f.ref_binds = [RefBind.from_json(x) for x in d.get("ref_binds", [])]
+        f.escapes = [LambdaEscape.from_json(x) for x in d.get("escapes", [])]
+        f.branches = [BranchSpan.from_json(x) for x in d.get("branches", [])]
         return f
 
 
@@ -315,7 +431,8 @@ class FactDB:
     def _richness(fn: FunctionFact) -> int:
         return (len(fn.acquisitions) + len(fn.calls) + len(fn.mutations)
                 + len(fn.loops) + len(fn.allocs) + len(fn.params)
-                + len(fn.indirect_calls) + len(fn.throws))
+                + len(fn.indirect_calls) + len(fn.throws)
+                + len(fn.var_events) + len(fn.ref_binds) + len(fn.escapes))
 
     def resolve(self, callee: str) -> list[FunctionFact]:
         """Best-effort name linking: exact qname, then suffix match."""
@@ -327,7 +444,7 @@ class FactDB:
 
     def to_json(self) -> dict[str, Any]:
         return {
-            "schema_version": 2,
+            "schema_version": SCHEMA_VERSION,
             "tu_files": self.tu_files,
             "mutex_fields": self.mutex_fields,
             "functions": [f.to_json() for f in self.functions.values()],
@@ -408,6 +525,14 @@ _GROWTH_METHOD_NAMES = {
 
 _RESERVE_METHOD_NAMES = {"reserve", "resize"}
 
+# Member calls that end a moved-from state by giving the object a fresh
+# value wholesale.
+_REINIT_METHODS = {"clear", "reset", "assign"}
+
+# Member calls whose result aliases container storage (the element-reference
+# sources of the invalidated-reference check).
+_ELEM_REF_METHODS = {"front", "back", "begin", "data"}
+
 _MAKE_ALLOC_FUNCS = {"make_unique", "make_shared"}
 
 # Longest string literal guaranteed to fit every mainstream SSO buffer
@@ -457,6 +582,12 @@ class _Frame:
         self.open_manual: list[Acquisition] = []
         self.loop_stack: list[LoopSpan] = []
         self.param_facts: dict[str, ParamFact] = {}  # decl id -> fact
+        # Lifetime events are recorded for every local/param during the walk
+        # and filtered at frame close to the roots that were moved or
+        # reference-bound (the only ones the checks can act on).
+        self.var_events: list[VarEvent] = []
+        self.moved_roots: set[str] = set()
+        self.refbound_ids: set[str] = set()
 
 
 class Extractor:
@@ -480,6 +611,15 @@ class Extractor:
         self.methods: dict[str, tuple[str, str, bool]] = {}
         self.compound_ends: list[int] = []
         self._lambda_counter = 0
+        # var decl id -> declaration offset (storage-lifetime comparisons)
+        self.var_offsets: dict[str, int] = {}
+        # decl ids with static/extern storage (they outlive every frame)
+        self.static_var_ids: set[str] = set()
+        # Active lambda-escape sinks: a return statement or a resolvable
+        # assignment/initialization target currently being walked. A lambda
+        # encountered while the innermost sink belongs to the same frame
+        # depth is recorded as escaping into it.
+        self._lambda_sinks: list[dict[str, Any]] = []
         # > 0 while inside a function-local static variable's initializer:
         # the init runs once per process, so its allocations and calls are
         # off the hot path by construction (the metrics macros rely on
@@ -591,7 +731,7 @@ class Extractor:
             self._visit_function(node)
             return
         if kind in ("VarDecl", "ParmVarDecl"):
-            self._visit_var(node)
+            sink_pushed = self._visit_var(node)
             static_local = (kind == "VarDecl" and self.frames
                             and node.get("storageClass") == "static")
             if static_local:
@@ -599,6 +739,8 @@ class Extractor:
             self._walk_inner(node)
             if static_local:
                 self._static_init_depth -= 1
+            if sink_pushed:
+                self._lambda_sinks.pop()
             return
         if kind in _LOOP_KINDS:
             self._visit_loop(node)
@@ -634,11 +776,17 @@ class Extractor:
             return
         if kind in ("BinaryOperator", "CompoundAssignOperator"):
             op = node.get("opcode", "")
+            sink_pushed = False
             if op in _ASSIGN_OPERATORS:
                 inner = node.get("inner") or []
                 if inner:
                     self._record_mutation(inner[0], f"operator{op}", node)
+                    if op == "=":
+                        self._record_assign_reinit(inner[0], node)
+                        sink_pushed = self._push_lambda_sink(inner[0])
             self._walk_inner(node)
+            if sink_pushed:
+                self._lambda_sinks.pop()
             return
         if kind == "UnaryOperator":
             if node.get("opcode") in ("++", "--"):
@@ -650,7 +798,29 @@ class Extractor:
             self._walk_inner(node)
             return
         if kind == "CXXOperatorCallExpr":
-            self._visit_operator_call(node)
+            sink_pushed = self._visit_operator_call(node)
+            self._walk_inner(node)
+            if sink_pushed:
+                self._lambda_sinks.pop()
+            return
+        if kind == "DeclRefExpr":
+            self._visit_decl_ref_use(node)
+            self._walk_inner(node)
+            return
+        if kind == "ReturnStmt":
+            pushed = False
+            if self.frames and self.in_repo():
+                self._lambda_sinks.append({
+                    "kind": "return", "target": "(return)",
+                    "storage_offset": -1, "is_member": False,
+                    "is_static": False, "frame_depth": len(self.frames)})
+                pushed = True
+            self._walk_inner(node)
+            if pushed:
+                self._lambda_sinks.pop()
+            return
+        if kind == "IfStmt":
+            self._visit_if(node)
             self._walk_inner(node)
             return
         self._walk_inner(node)
@@ -730,16 +900,29 @@ class Extractor:
             acq.end = frame.fact.body_end
             frame.fact.acquisitions.append(acq)
         frame.open_manual.clear()
+        keep = frame.moved_roots | frame.refbound_ids
+        if keep:
+            frame.fact.var_events = sorted(
+                (e for e in frame.var_events if e.root_id in keep),
+                key=lambda e: (e.offset, e.kind != "move"))
+        frame.var_events = []
 
-    def _visit_var(self, node: dict[str, Any]) -> None:
+    def _visit_var(self, node: dict[str, Any]) -> bool:
+        """Returns True when a lambda-store sink was pushed (caller pops)."""
         name = node.get("name") or ""
         nid = node.get("id") or ""
         qual = _type_of(node)
         frame = self.frames[-1] if self.frames else None
         if nid:
             self.vars[nid] = (frame, name, qual)
+            off = self._node_offset(node)
+            if off is not None:
+                self.var_offsets[nid] = off
+            if frame is None or node.get("storageClass") in ("static",
+                                                             "extern"):
+                self.static_var_ids.add(nid)
         if frame is None:
-            return
+            return False
         if node.get("kind") == "ParmVarDecl":
             frame.param_ids.add(nid)
             frame.param_names.add(name)
@@ -749,7 +932,7 @@ class Extractor:
                 frame.fact.params.append(pf)
                 if nid:
                     frame.param_facts[nid] = pf
-            return
+            return False
         frame.local_ids.add(nid)
         # Param-derived locals extend the per-index slot rule through
         # intermediates like `const int id = candidates[c];`.
@@ -760,6 +943,20 @@ class Extractor:
         tokens = _strip_type(qual)
         if "MutexLock" in tokens:
             self._record_raii_acquisition(node, frame)
+        if nid and name and self.in_repo():
+            self._record_ref_bind(node, name, nid, qual, frame)
+        if "function" in tokens and name and self.in_repo():
+            # A std::function local is outliving storage for any lambda in
+            # its initializer; whether the capture dies first is decided by
+            # the check from the recorded offsets.
+            self._lambda_sinks.append({
+                "kind": "store", "target": name,
+                "storage_offset": self._node_offset(node) or 0,
+                "is_member": False,
+                "is_static": nid in self.static_var_ids,
+                "frame_depth": len(self.frames)})
+            return True
+        return False
 
     def _mentions_derived(self, subtree: Any, frame: _Frame) -> bool:
         for ref in self._iter_decl_refs(subtree):
@@ -1027,6 +1224,280 @@ class Extractor:
                     stack.extend(inner)
         return None
 
+    # -- lifetime facts ----------------------------------------------------
+
+    @staticmethod
+    def _iter_decl_ref_nodes(subtree: Any) -> Iterable[dict[str, Any]]:
+        """Like _iter_decl_refs, but yields the DeclRefExpr nodes."""
+        stack = [subtree]
+        while stack:
+            n = stack.pop()
+            if isinstance(n, list):
+                stack.extend(n)
+            elif isinstance(n, dict):
+                if n.get("kind") == "DeclRefExpr":
+                    yield n
+                stack.extend(v for v in n.values()
+                             if isinstance(v, (dict, list)))
+
+    def _lifetime_path(self, node: Any, frame: _Frame):
+        """(dotted path, root id, root kind, root node) for a frame-local
+        expression, or None.
+
+        Follows only member chains and transparent wrappers; calls,
+        subscripts, and dereferences make the identity unresolvable and the
+        caller records no event (conservative: never guess a lifetime).
+        The root must be a local or parameter of the *current* frame —
+        captures and this-rooted members have their own lifetimes.
+        """
+        members: list[str] = []
+        guard = 0
+        while isinstance(node, dict) and guard < 64:
+            guard += 1
+            kind = node.get("kind", "")
+            if kind == "MemberExpr":
+                members.insert(0, node.get("name", "?"))
+                inner = node.get("inner") or []
+                node = inner[0] if inner else None
+                continue
+            if kind in _WRAPPER_EXPR_KINDS:
+                inner = node.get("inner") or []
+                node = inner[0] if inner else None
+                continue
+            break
+        if not (isinstance(node, dict)
+                and node.get("kind") == "DeclRefExpr"):
+            return None
+        rd = node.get("referencedDecl") or {}
+        vid = str(rd.get("id", ""))
+        vname = str(rd.get("name", ""))
+        if not vid or not vname:
+            return None
+        if vid in frame.param_ids:
+            root_kind = "param"
+        elif vid in frame.local_ids:
+            root_kind = "local"
+        else:
+            return None
+        return ".".join([vname] + members), vid, root_kind, node
+
+    def _record_var_event(self, frame: _Frame, kind: str, path: str,
+                          root_id: str, root_kind: str,
+                          site: dict[str, Any], detail: str = "") -> None:
+        if not self.in_repo():
+            return
+        frame.var_events.append(VarEvent(
+            kind=kind, path=path, root=path.split(".")[0], root_id=root_id,
+            root_kind=root_kind, file=self.cur_file, line=self.cur_line,
+            offset=self._node_offset(site) or 0, detail=detail,
+            decl_offset=self.var_offsets.get(root_id, 0)))
+        if kind == "move":
+            frame.moved_roots.add(root_id)
+
+    def _visit_decl_ref_use(self, node: dict[str, Any]) -> None:
+        if node.get("__astcheck_lifetime_consumed"):
+            return
+        frame = self.frames[-1] if self.frames else None
+        if frame is None or not self.in_repo():
+            return
+        rd = node.get("referencedDecl") or {}
+        vid = str(rd.get("id", ""))
+        name = str(rd.get("name", ""))
+        if not vid or not name:
+            return
+        if vid in frame.param_ids:
+            root_kind = "param"
+        elif vid in frame.local_ids:
+            root_kind = "local"
+        else:
+            return
+        self._record_var_event(frame, "use", name, vid, root_kind, node)
+
+    def _record_receiver_event(self, node: dict[str, Any], method: str,
+                               base: Any, frame: _Frame) -> None:
+        """Member call on a resolvable receiver: one use (or reinit) event
+        on the receiver path instead of a bare read of its root."""
+        info = self._lifetime_path(base, frame)
+        if info is None:
+            return
+        path, vid, root_kind, root_node = info
+        kind = "reinit" if method in _REINIT_METHODS else "use"
+        self._record_var_event(frame, kind, path, vid, root_kind, node,
+                               detail=f"{method}()")
+        root_node["__astcheck_lifetime_consumed"] = True
+
+    def _record_assign_reinit(self, lhs: Any, site: dict[str, Any]) -> None:
+        """Plain assignment gives the LHS a fresh value. The event carries
+        the assignment's begin offset, which precedes every read inside the
+        RHS — `tok = tok.substr(2)` reinitializes before it reads."""
+        frame = self.frames[-1] if self.frames else None
+        if frame is None or not self.in_repo():
+            return
+        info = self._lifetime_path(lhs, frame)
+        if info is None:
+            return
+        path, vid, root_kind, root_node = info
+        self._record_var_event(frame, "reinit", path, vid, root_kind, site,
+                               detail="operator=")
+        root_node["__astcheck_lifetime_consumed"] = True
+
+    def _record_ref_bind(self, node: dict[str, Any], name: str, nid: str,
+                         qual: str, frame: _Frame) -> None:
+        q = qual.rstrip()
+        is_ptr = q.endswith("*") or "iterator" in qual
+        if not (q.endswith("&") or is_ptr):
+            return
+        hit = self._find_elem_ref_source(node.get("inner") or [])
+        if hit is None:
+            return
+        method, base = hit
+        receiver, _ = self._receiver_root(base, frame)
+        if not receiver:
+            return
+        frame.fact.ref_binds.append(RefBind(
+            name=name, var_id=nid, receiver=receiver, method=method,
+            file=self.cur_file, line=self.cur_line,
+            offset=self._node_offset(node) or 0, is_pointer=is_ptr))
+        frame.refbound_ids.add(nid)
+
+    def _find_elem_ref_source(self, subtree: Any):
+        """First element-aliasing source in an initializer: (method, base)."""
+        stack = [subtree]
+        while stack:
+            n = stack.pop(0)
+            if isinstance(n, list):
+                stack = list(n) + stack
+                continue
+            if not isinstance(n, dict):
+                continue
+            kind = n.get("kind", "")
+            if kind == "LambdaExpr":
+                continue
+            if kind == "CXXMemberCallExpr":
+                member = self._find_member_expr((n.get("inner")
+                                                 or [None])[0])
+                if (member is not None
+                        and member.get("name") in _ELEM_REF_METHODS):
+                    return (str(member.get("name")),
+                            (member.get("inner") or [None])[0])
+            elif kind == "ArraySubscriptExpr":
+                inner = n.get("inner") or []
+                return "operator[]", (inner[0] if inner else None)
+            elif kind == "CXXOperatorCallExpr":
+                inner = n.get("inner") or []
+                cname = self._callee_name(inner[0]) if inner else ""
+                if cname.split("::")[-1] == "operator[]":
+                    return "operator[]", (inner[1] if len(inner) > 1
+                                          else None)
+            inner = n.get("inner")
+            if inner:
+                stack = list(inner) + stack
+        return None
+
+    def _push_lambda_sink(self, lhs: Any) -> bool:
+        """Assignment LHS as a lambda-escape sink; True when pushed."""
+        frame = self.frames[-1] if self.frames else None
+        if frame is None or not self.in_repo():
+            return False
+        info = self._storage_info(lhs)
+        if info is None:
+            return False
+        info["frame_depth"] = len(self.frames)
+        self._lambda_sinks.append(info)
+        return True
+
+    def _storage_info(self, lhs: Any) -> "dict[str, Any] | None":
+        """Resolves an assignment target to named storage with a lifetime.
+
+        Unresolvable targets return None and record no sink — the check can
+        only exempt or flag storage it can reason about.
+        """
+        members: list[str] = []
+        node = lhs
+        guard = 0
+        while isinstance(node, dict) and guard < 64:
+            guard += 1
+            kind = node.get("kind", "")
+            if kind == "MemberExpr":
+                members.insert(0, node.get("name", "?"))
+            elif kind not in _WRAPPER_EXPR_KINDS and kind not in (
+                    "UnaryOperator", "ArraySubscriptExpr"):
+                break
+            inner = node.get("inner") or []
+            node = inner[0] if inner else None
+        if isinstance(node, dict) and node.get("kind") == "CXXThisExpr":
+            return {"kind": "store",
+                    "target": ".".join(["this"] + members),
+                    "storage_offset": -1, "is_member": True,
+                    "is_static": False}
+        if isinstance(node, dict) and node.get("kind") == "DeclRefExpr":
+            rd = node.get("referencedDecl") or {}
+            vid = str(rd.get("id", ""))
+            vname = str(rd.get("name", ""))
+            known = self.vars.get(vid)
+            if not vid or not vname or known is None:
+                return None
+            return {"kind": "store",
+                    "target": ".".join([vname] + members),
+                    "storage_offset": self.var_offsets.get(vid, -1),
+                    "is_member": False,
+                    "is_static": known[0] is None
+                    or vid in self.static_var_ids}
+        return None
+
+    def _visit_if(self, node: dict[str, Any]) -> None:
+        """Records then/else arm extents so a move in one arm does not
+        poison a use in the sibling arm (they never execute together)."""
+        frame = self.frames[-1] if self.frames else None
+        if (frame is None or not node.get("hasElse")
+                or not self.in_repo()):
+            return
+        inner = [c for c in node.get("inner") or [] if isinstance(c, dict)]
+        if len(inner) < 2:
+            return
+        spans = []
+        for arm in (inner[-2], inner[-1]):
+            rng = arm.get("range")
+            if not isinstance(rng, dict):
+                return
+            b = self._offset(rng.get("begin"))
+            e = self._offset(rng.get("end"))
+            if b is None or e is None:
+                return
+            spans.append((b, e))
+        frame.fact.branches.append(BranchSpan(
+            then_begin=spans[0][0], then_end=spans[0][1],
+            else_begin=spans[1][0], else_end=spans[1][1]))
+
+    @staticmethod
+    def _is_addr_of(init: Any) -> bool:
+        node = init
+        guard = 0
+        while isinstance(node, dict) and guard < 16:
+            guard += 1
+            if node.get("kind") == "UnaryOperator":
+                return node.get("opcode") == "&"
+            if node.get("kind") not in _WRAPPER_EXPR_KINDS:
+                return False
+            inner = node.get("inner") or []
+            node = inner[0] if inner else None
+        return False
+
+    @staticmethod
+    def _contains_this(subtree: Any) -> bool:
+        stack = [subtree]
+        while stack:
+            n = stack.pop()
+            if isinstance(n, list):
+                stack.extend(n)
+            elif isinstance(n, dict):
+                if n.get("kind") == "CXXThisExpr":
+                    return True
+                inner = n.get("inner")
+                if inner:
+                    stack.extend(inner)
+        return False
+
     # -- calls -------------------------------------------------------------
 
     def _visit_member_call(self, node: dict[str, Any]) -> None:
@@ -1043,6 +1514,7 @@ class Extractor:
         frame = self.frames[-1] if self.frames else None
         if frame is None or not self.in_repo():
             return
+        self._record_receiver_event(node, method, base, frame)
 
         base_tokens = _strip_type(base_type)
         is_mutex = "Mutex" in base_tokens and "MutexLock" not in base_tokens
@@ -1076,7 +1548,8 @@ class Extractor:
                         static_init=self._static_init_depth > 0)
         if method in _SUBMIT_METHODS and "ThreadPool" in base_tokens:
             call.submits = self._collect_lambda_args(inner[1:], frame,
-                                                     submitted=True)
+                                                     submitted=True,
+                                                     method=method)
         frame.fact.calls.append(call)
         if method in _GROWTH_METHOD_NAMES or method in _RESERVE_METHOD_NAMES:
             self._record_growth(node, method, base, frame)
@@ -1109,6 +1582,23 @@ class Extractor:
                 pf = frame.param_facts.get(str(ref.get("id", "")))
                 if pf is not None:
                     pf.moved = True
+            info = self._lifetime_path(inner[1] if len(inner) > 1 else None,
+                                       frame)
+            if info is not None:
+                path, vid, root_kind, _root = info
+                # A move inside a return statement ends the frame: nothing
+                # reachable afterwards can read the moved-from value.
+                in_return = any(
+                    s["kind"] == "return"
+                    and s["frame_depth"] == len(self.frames)
+                    for s in self._lambda_sinks)
+                self._record_var_event(
+                    frame, "move", path, vid, root_kind, node,
+                    detail="return std::move" if in_return else "std::move")
+            # Anything read inside the move argument is the move itself, not
+            # a use of the moved-from value.
+            for ref_node in self._iter_decl_ref_nodes(inner[1:]):
+                ref_node["__astcheck_lifetime_consumed"] = True
         call = CallSite(callee=callee_name, file=self.cur_file,
                         line=self.cur_line,
                         offset=self._node_offset(node) or 0,
@@ -1127,7 +1617,8 @@ class Extractor:
                                  line=self.cur_line, offset=call.offset))
                 return
             call.submits = self._collect_lambda_args(args, frame,
-                                                     submitted=True)
+                                                     submitted=True,
+                                                     method="ParallelFor")
         frame.fact.calls.append(call)
 
     def _visit_construct(self, node: dict[str, Any]) -> None:
@@ -1179,10 +1670,12 @@ class Extractor:
                 return  # fits the inline buffer; no heap traffic
         self._record_alloc("construct", qual, node)
 
-    def _visit_operator_call(self, node: dict[str, Any]) -> None:
+    def _visit_operator_call(self, node: dict[str, Any]) -> bool:
+        """Returns True when a lambda-store sink was pushed (caller pops)."""
+        sink_pushed = False
         frame = self.frames[-1] if self.frames else None
         if frame is None:
-            return
+            return sink_pushed
         inner = node.get("inner") or []
         name = self._callee_name(inner[0]) if inner else ""
         op = name.split("::")[-1] if name else ""
@@ -1190,6 +1683,9 @@ class Extractor:
                 op[len("operator"):] in _ASSIGN_OPERATORS):
             if len(inner) > 1:
                 self._record_mutation(inner[1], op, node)
+                if op == "operator=":
+                    self._record_assign_reinit(inner[1], node)
+                    sink_pushed = self._push_lambda_sink(inner[1])
         if (op == "operator()" and len(inner) > 1 and self.in_repo()
                 and not self._static_init_depth):
             obj_type = self._expr_type(inner[1])
@@ -1198,6 +1694,7 @@ class Extractor:
                     kind="functor", callee=obj_type, file=self.cur_file,
                     line=self.cur_line,
                     offset=self._node_offset(node) or 0))
+        return sink_pushed
 
     def _find_member_expr(self, node: Any) -> dict[str, Any] | None:
         while isinstance(node, dict):
@@ -1254,18 +1751,28 @@ class Extractor:
         return False
 
     def _collect_lambda_args(self, args: list[Any], frame: _Frame,
-                             submitted: bool) -> list[str]:
+                             submitted: bool, method: str = "") -> list[str]:
         """Extracts lambda expressions among call arguments.
 
         The lambdas are visited here (creating their own facts) and removed
-        from the caller's pending walk by marking them consumed.
+        from the caller's pending walk by marking them consumed. Pool
+        submissions also record an escape on the enclosing function; only
+        Schedule/Submit are deferred — ParallelFor joins before returning.
         """
         names: list[str] = []
+        deferred = method in ("Schedule", "Submit")
         for arg in args:
             for lam in self._iter_lambdas(arg):
+                site_file, site_line = self.cur_file, self.cur_line
+                site_off = self._node_offset(lam) or 0
                 qname = self._visit_lambda(lam, submitted=submitted)
                 names.append(qname)
                 lam["__astcheck_consumed"] = True
+                if submitted and qname and method:
+                    frame.fact.escapes.append(LambdaEscape(
+                        lam=qname, kind="submit", target=method,
+                        file=site_file, line=site_line, offset=site_off,
+                        deferred=deferred))
         return names
 
     @staticmethod
@@ -1302,6 +1809,21 @@ class Extractor:
                             submitted=submitted)
         end = self._range_end_offset(node)
         fact.body_end = end if end is not None else 1 << 60
+        enclosing_frame = self.frames[-1] if self.frames else None
+        if (enclosing_frame is not None and not submitted
+                and self._lambda_sinks and self.in_repo()
+                and self._lambda_sinks[-1]["frame_depth"]
+                == len(self.frames)):
+            # The frame-depth match keeps lambdas nested inside another
+            # lambda's body from being attributed to the outer sink.
+            sink = self._lambda_sinks[-1]
+            enclosing_frame.fact.escapes.append(LambdaEscape(
+                lam=qname, kind=sink["kind"], target=sink["target"],
+                file=self.cur_file, line=self.cur_line,
+                offset=self._node_offset(node) or 0, deferred=False,
+                storage_offset=sink["storage_offset"],
+                storage_is_member=sink["is_member"],
+                storage_is_static=sink["is_static"]))
         frame = _Frame(fact, self.frames[-1] if self.frames else None)
 
         inner = node.get("inner") or []
@@ -1346,12 +1868,31 @@ class Extractor:
         captures: dict[str, dict[str, Any]] = {}
         if fields and len(fields) == len(init_exprs):
             for fld, init in zip(fields, init_exprs):
-                by_ref = _type_of(fld).rstrip().endswith("&")
+                ftype = _type_of(fld)
+                by_ref = ftype.rstrip().endswith("&")
                 ref = next(iter(self._iter_decl_refs(init)), None)
                 if ref is not None and ref.get("name"):
+                    rid = str(ref.get("id", ""))
+                    known = self.vars.get(rid)
+                    owner = known[0] if known else None
                     captures[str(ref["name"])] = {
                         "by_ref": by_ref, "mode_known": True,
-                        "type": _type_of(fld)}
+                        "type": ftype,
+                        "decl_offset": self.var_offsets.get(rid, -1),
+                        "is_param": owner is not None
+                        and rid in owner.param_ids,
+                        "is_static": (known is not None and owner is None)
+                        or rid in self.static_var_ids,
+                        "addr_of_local": not by_ref
+                        and ftype.rstrip().endswith("*")
+                        and owner is not None and self._is_addr_of(init),
+                    }
+                elif self._contains_this(init):
+                    captures["this"] = {
+                        "by_ref": False, "mode_known": True, "type": ftype,
+                        "is_this": True, "decl_offset": -1,
+                        "is_param": False, "is_static": False,
+                        "addr_of_local": False}
         fact.captures = captures
 
         body = None

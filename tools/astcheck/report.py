@@ -1,0 +1,183 @@
+"""Shared findings report for every astcheck family.
+
+One report schema serves the concurrency, perf, and lifetime families: the
+CLI assembles a single canonical JSON document (published as the CI
+artifact), renders the same findings as plain text for terminals, or
+converts them to SARIF 2.1.0 for code-scanning upload. Exit-code policy
+lives here too, so every family agrees on what "clean" means.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from . import SCHEMA_VERSION, __version__
+from .checks import FAMILIES, Finding
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_ERROR = 2
+EXIT_SKIP = 77
+
+_INFO_URI = "https://github.com/treesim/treesim/blob/main/DESIGN.md"
+
+# One-line rule descriptions, keyed by check id, rendered both into the
+# SARIF rule table and the JSON report's `checks` section.
+RULE_DESCRIPTIONS = {
+    "lock-order": "Lock acquisition cycle or TREESIM_LOCK_RANK inversion "
+                  "across the whole-program acquisition graph.",
+    "capture-race": "ThreadPool lambda mutates a by-reference capture "
+                    "without a lock, an atomic, or per-index slots.",
+    "blocking-under-lock": "I/O, pool submission, or a free wait while a "
+                           "treesim::Mutex is held.",
+    "alloc-in-hot-loop": "Allocation or unreserved container growth inside "
+                         "a hot-path loop.",
+    "heavy-copy": "By-value parameter, implicit copy, or by-value lambda "
+                  "capture of a heavy type on the hot path.",
+    "indirect-call-in-inner-loop": "Virtual dispatch or std::function "
+                                   "invocation inside a hot inner loop.",
+    "hot-throw": "Throw-expression or throwing API call on the hot path, "
+                 "which must stay Status-based.",
+    "use-after-move": "Moved-from local or parameter is read, method-"
+                      "called, or re-moved before reinitialization.",
+    "escaping-capture": "Lambda with by-reference captures is returned, "
+                        "stored into outliving storage, or deferred to the "
+                        "ThreadPool.",
+    "invalidated-reference": "Element reference/pointer/iterator used "
+                             "after growth may reallocate its container.",
+}
+
+
+def _finding_json(f: Finding) -> dict[str, Any]:
+    d = {"check": f.check, "file": f.file, "line": f.line,
+         "function": f.function, "message": f.message}
+    if f.callee:
+        d["callee"] = f.callee
+    if f.lock:
+        d["lock"] = f.lock
+    return d
+
+
+def build_report(families: tuple[str, ...], kept: list[Finding],
+                 suppressed: list[Finding], warnings: list[str],
+                 stats: dict[str, Any]) -> dict[str, Any]:
+    """The canonical JSON report document (the published CI artifact)."""
+    chks = [c for fam in families for c in FAMILIES[fam]]
+    return {
+        "tool": "astcheck",
+        "version": __version__,
+        "schema_version": SCHEMA_VERSION,
+        "families": list(families),
+        "checks": {c: RULE_DESCRIPTIONS.get(c, "") for c in chks},
+        "summary": {
+            "tus": stats.get("tus", 0),
+            "cache_hits": stats.get("cache_hits", 0),
+            "analyzed": stats.get("analyzed", 0),
+            "seconds": stats.get("seconds", 0),
+            "findings": len(kept),
+            "suppressed": len(suppressed),
+        },
+        "findings": [_finding_json(f) for f in kept],
+        "suppressed": [_finding_json(f) for f in suppressed],
+        "warnings": list(warnings),
+    }
+
+
+def _relative_uri(path: str, repo_root: str) -> str:
+    root = repo_root.rstrip("/") + "/"
+    if path.startswith(root):
+        return path[len(root):]
+    return path.lstrip("/")
+
+
+def to_sarif(report: dict[str, Any], repo_root: str) -> dict[str, Any]:
+    """SARIF 2.1.0 conversion of a canonical report document.
+
+    Suppressed findings are carried with `suppressions` entries (SARIF's
+    native mechanism) so code scanning shows them as reviewed, not open.
+    """
+    rules = [
+        {
+            "id": check,
+            "name": "".join(w.capitalize() for w in check.split("-")),
+            "shortDescription": {"text": desc or check},
+            "helpUri": _INFO_URI,
+            "defaultConfiguration": {"level": "warning"},
+        }
+        for check, desc in report["checks"].items()
+    ]
+
+    def result(d: dict[str, Any], suppressed: bool) -> dict[str, Any]:
+        message = d["message"]
+        if d.get("function"):
+            message = f"{message} [in {d['function']}]"
+        r: dict[str, Any] = {
+            "ruleId": d["check"],
+            "level": "warning",
+            "message": {"text": message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": _relative_uri(d["file"], repo_root),
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {"startLine": max(1, int(d.get("line", 1)))},
+                },
+            }],
+        }
+        if suppressed:
+            r["suppressions"] = [{
+                "kind": "inSource",
+                "justification": "listed in "
+                                 "tools/astcheck_suppressions.toml",
+            }]
+        return r
+
+    return {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "astcheck",
+                    "version": report["version"],
+                    "informationUri": _INFO_URI,
+                    "rules": rules,
+                },
+            },
+            "originalUriBaseIds": {
+                "SRCROOT": {"uri": "file://" + repo_root.rstrip("/") + "/"},
+            },
+            "results": (
+                [result(d, suppressed=False) for d in report["findings"]]
+                + [result(d, suppressed=True)
+                   for d in report["suppressed"]]),
+        }],
+    }
+
+
+def render_text(report: dict[str, Any]) -> list[str]:
+    """Plain-text lines for every kept finding (the terminal format)."""
+    return [
+        f"{d['file']}:{d['line']}: [{d['check']}] in `{d['function']}`: "
+        f"{d['message']}"
+        for d in report["findings"]
+    ]
+
+
+def summary_line(report: dict[str, Any], extra: str = "") -> str:
+    s = report["summary"]
+    return (f"astcheck[{','.join(report['families'])}]: {s['tus']} TUs "
+            f"({s['cache_hits']} cached){extra} | {s['findings']} findings, "
+            f"{s['suppressed']} suppressed | {s['seconds']}s")
+
+
+def write_json(path: str, doc: dict[str, Any]) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=1, sort_keys=False)
+        fh.write("\n")
+
+
+def exit_code(report: dict[str, Any]) -> int:
+    return EXIT_FINDINGS if report["summary"]["findings"] else EXIT_CLEAN

@@ -1,7 +1,7 @@
 """Fixture-corpus selftest: proves each known-bad TU is caught.
 
 Synthesizes a compile database over ``tests/astcheck_fixture/``, runs the
-full pipeline (clang -> extraction -> cache -> both check families ->
+full pipeline (clang -> extraction -> cache -> all three check families ->
 suppressions) twice, and asserts:
 
   * every known-bad TU produces exactly the expected check(s), attributed
@@ -10,8 +10,10 @@ suppressions) twice, and asserts:
   * the deliberately-suppressed TUs' findings land in the suppressed
     bucket and their allowlist entries are consumed (no unused warning);
   * both TREESIM_LOCK_RANK annotations in the corpus are picked up;
-  * the macro-expansion TU's finding points at the expansion line in the
-    TU, not at the macro's defining header;
+  * the macro-expansion TUs' findings (perf and lifetime) point at the
+    expansion line in the TU, not at the macro's defining header;
+  * a planted pre-SCHEMA_VERSION cache entry is rejected and reaped by
+    evict_stale() without disturbing the current entries;
   * the second run is served entirely from the fact cache and finishes
     well under the 15s warm-rerun budget.
 
@@ -58,6 +60,16 @@ EXPECTED_KEPT: dict[str, set[str]] = {
     "good_growth_reserved.cc": set(),
     "good_heavy_sink_moved.cc": set(),
     "good_cold_marked.cc": set(),
+    # Lifetime family.
+    "bad_use_after_move.cc": {"use-after-move"},
+    "bad_reinit_missed.cc": {"use-after-move"},
+    "bad_macro_lifetime.cc": {"use-after-move"},
+    "bad_escaping_function_store.cc": {"escaping-capture"},
+    "bad_submit_escape.cc": {"escaping-capture"},
+    "bad_invalidated_reference.cc": {"invalidated-reference"},
+    "good_reinit.cc": set(),
+    "good_reserve_dominated_ref.cc": set(),
+    "good_value_capture.cc": set(),
 }
 
 EXPECTED_SUPPRESSED: dict[str, set[str]] = {
@@ -65,10 +77,14 @@ EXPECTED_SUPPRESSED: dict[str, set[str]] = {
     "bad_suppressed_perf.cc": {"alloc-in-hot-loop"},
 }
 
-# The macro-expansion fixture anchors its expected finding line on this
-# marker (the FIX_APPEND expansion site inside the hot loop).
-MACRO_TU = "bad_macro_expansion.cc"
-MACRO_ANCHOR = "FIX_APPEND(ids, i);"
+# The macro-expansion fixtures anchor their expected finding lines on
+# these markers (the expansion sites in each TU, never the defining
+# header): (tu, anchor text, check expected on that line).
+MACRO_ANCHORS = [
+    ("bad_macro_expansion.cc", "FIX_APPEND(ids, i);", "alloc-in-hot-loop"),
+    ("bad_macro_lifetime.cc", "FIX_HANDOFF(b_slot, staged);",
+     "use-after-move"),
+]
 
 WARM_RERUN_BUDGET_S = 15.0
 
@@ -116,6 +132,23 @@ def main(args) -> int:
         print(f"astcheck_selftest: cold run: {stats['tus']} TUs in "
               f"{stats['seconds']}s ({stats['clang']})")
 
+        # Plant a pre-SCHEMA_VERSION entry between the runs: the schema
+        # bump must reject and reap it while every current entry keeps
+        # serving warm hits.
+        cache = clang_driver.FactCache(cache_dir)
+        stale_key = "0" * 64
+        with open(cache._path(stale_key), "w", encoding="utf-8") as fh:
+            json.dump({"schema": clang_driver.SCHEMA_VERSION - 1,
+                       "key": stale_key, "source": db_path, "facts": {}},
+                      fh)
+        if cache.get(stale_key) is not None:
+            failures.append("pre-schema cache entry was not rejected")
+        evicted, kept_entries = cache.evict_stale()
+        if evicted != 1 or kept_entries != stats["tus"]:
+            failures.append(
+                f"schema eviction: expected (1, {stats['tus']}) "
+                f"(evicted, kept), got ({evicted}, {kept_entries})")
+
         t0 = time.monotonic()
         db, stats2 = clang_driver.analyze_all(
             db_path, fixture_dir, clang, cache_dir, jobs)
@@ -134,7 +167,7 @@ def main(args) -> int:
             os.path.join(fixture_dir, "fixture_suppressions.toml"))
         ranks = checks.load_lock_ranks(db, fixture_dir)
         kept, suppressed, warnings = checks.run_all(
-            db, ranks, sups, families=("concurrency", "perf"),
+            db, ranks, sups, families=("concurrency", "perf", "lifetime"),
             repo_root=fixture_dir)
 
         if len(ranks) != 2:
@@ -172,24 +205,26 @@ def main(args) -> int:
             failures.append(f"findings attributed outside the corpus: "
                             f"{sorted(stray)}")
 
-        # Macro-expansion attribution: the finding must carry the line of
-        # the FIX_APPEND expansion in the TU, not a line in the header that
-        # defines the macro.
-        macro_src = os.path.join(fixture_dir, MACRO_TU)
-        with open(macro_src, "r", encoding="utf-8") as fh:
-            macro_lines = fh.read().splitlines()
-        want_line = next((i + 1 for i, text in enumerate(macro_lines)
-                          if MACRO_ANCHOR in text), None)
-        if want_line is None:
-            failures.append(f"{MACRO_TU}: anchor {MACRO_ANCHOR!r} missing")
-        else:
+        # Macro-expansion attribution: each finding must carry the line of
+        # the expansion in its TU, not a line in the header that defines
+        # the macro.
+        for macro_tu, anchor, check in MACRO_ANCHORS:
+            macro_src = os.path.join(fixture_dir, macro_tu)
+            with open(macro_src, "r", encoding="utf-8") as fh:
+                macro_lines = fh.read().splitlines()
+            want_line = next((i + 1 for i, text in enumerate(macro_lines)
+                              if anchor in text), None)
+            if want_line is None:
+                failures.append(f"{macro_tu}: anchor {anchor!r} missing")
+                continue
             got_lines = {f.line for f in kept
-                         if os.path.basename(f.file) == MACRO_TU
-                         and f.check == "alloc-in-hot-loop"}
+                         if os.path.basename(f.file) == macro_tu
+                         and f.check == check}
             if got_lines != {want_line}:
                 failures.append(
-                    f"{MACRO_TU}: expected the finding on expansion line "
-                    f"{want_line}, got lines {sorted(got_lines)}")
+                    f"{macro_tu}: expected the {check} finding on "
+                    f"expansion line {want_line}, got lines "
+                    f"{sorted(got_lines)}")
 
     if failures:
         for msg in failures:

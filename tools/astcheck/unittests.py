@@ -1068,6 +1068,434 @@ def test_perf_cache_evict_stale():
         assert cache.get(k_gone) is None
 
 
+# ---------------------------------------------------------------------------
+# Lifetime family: builders
+# ---------------------------------------------------------------------------
+
+
+def uref(vid: str, name: str, qual: str, offset: int, line: int):
+    """A DeclRefExpr read with a source position (a lifetime use site)."""
+    n = ref(vid, name, qual)
+    n["loc"] = {"offset": offset, "line": line}
+    n["range"] = {"begin": {"offset": offset, "line": line},
+                  "end": {"offset": offset + 2}}
+    return n
+
+
+def move_of(arg, offset: int, line: int):
+    return call("0xmv", "move", offset, line, arg)
+
+
+def assign(lhs, rhs, offset: int, line: int):
+    return d("BinaryOperator", opcode="=",
+             range={"begin": {"offset": offset, "line": line},
+                    "end": {"offset": offset + 40}},
+             inner=[lhs, rhs])
+
+
+def if_else(cond, then_stmt, else_stmt, begin: int, end: int, line: int):
+    return d("IfStmt", hasElse=True,
+             range={"begin": {"offset": begin, "line": line},
+                    "end": {"offset": end}},
+             inner=[cond, then_stmt, else_stmt])
+
+
+def member_path(base, *names):
+    node = base
+    for name in names:
+        node = d("MemberExpr", name=name, inner=[node])
+    return node
+
+
+def run_lifetime(db, sups=None, repo_root=REPO):
+    return checks.run_all(db, {}, sups or [], families=("lifetime",),
+                          repo_root=repo_root)
+
+
+VEC = "std::vector<int>"
+
+
+# ---------------------------------------------------------------------------
+# Lifetime family: use-after-move
+# ---------------------------------------------------------------------------
+
+
+def test_lifetime_move_then_use_flagged():
+    body = compound(100, 500,
+                    var("0xv", "v", VEC, 150, 15),
+                    move_of(uref("0xv", "v", VEC, 205, 20), 200, 20),
+                    uref("0xv", "v", VEC, 300, 30))
+    kept, _, _ = run_lifetime(extract(func("0xf", "f", 10, body)))
+    assert kept_checks(kept) == {("treesim::f", "use-after-move")}, kept
+    assert kept[0].line == 30 and "`v`" in kept[0].message, kept[0]
+
+
+def test_lifetime_reinit_assignment_clean():
+    body = compound(100, 500,
+                    var("0xv", "v", VEC, 150, 15),
+                    move_of(uref("0xv", "v", VEC, 205, 20), 200, 20),
+                    assign(uref("0xv", "v", VEC, 252, 25),
+                           uref("0xw", "w", VEC, 270, 25), 250, 25),
+                    uref("0xv", "v", VEC, 300, 30))
+    kept, _, _ = run_lifetime(extract(func("0xf", "f", 10, body)))
+    assert kept == [], kept
+
+
+def test_lifetime_clear_reinit_clean():
+    body = compound(100, 500,
+                    var("0xv", "v", VEC, 150, 15),
+                    move_of(uref("0xv", "v", VEC, 205, 20), 200, 20),
+                    member_call("clear", uref("0xv", "v", VEC, 252, 25),
+                                250, 25),
+                    uref("0xv", "v", VEC, 300, 30))
+    kept, _, _ = run_lifetime(extract(func("0xf", "f", 10, body)))
+    assert kept == [], kept
+
+
+def test_lifetime_safe_probe_clean():
+    # empty()/size() are defined on a moved-from (valid-but-unspecified)
+    # object; probing is how code checks whether recycling is needed.
+    body = compound(100, 500,
+                    var("0xv", "v", VEC, 150, 15),
+                    move_of(uref("0xv", "v", VEC, 205, 20), 200, 20),
+                    member_call("empty", uref("0xv", "v", VEC, 252, 25),
+                                250, 25),
+                    member_call("size", uref("0xv", "v", VEC, 302, 30),
+                                300, 30))
+    kept, _, _ = run_lifetime(extract(func("0xf", "f", 10, body)))
+    assert kept == [], kept
+
+
+def test_lifetime_double_move_flagged():
+    body = compound(100, 500,
+                    var("0xv", "v", VEC, 150, 15),
+                    move_of(uref("0xv", "v", VEC, 205, 20), 200, 20),
+                    move_of(uref("0xv", "v", VEC, 305, 30), 300, 30))
+    kept, _, _ = run_lifetime(extract(func("0xf", "f", 10, body)))
+    assert len(kept) == 1 and "moved from again" in kept[0].message, kept
+
+
+def test_lifetime_macro_same_offset_silent():
+    # All tokens of one macro expansion share the expansion offset; with no
+    # textual order inside the expansion the checker must stay silent
+    # rather than guess (strict `use.offset > move.offset`).
+    body = compound(100, 500,
+                    var("0xv", "v", VEC, 150, 15),
+                    move_of(uref("0xv", "v", VEC, 200, 20), 200, 20),
+                    uref("0xv", "v", VEC, 200, 20))
+    kept, _, _ = run_lifetime(extract(func("0xf", "f", 10, body)))
+    assert kept == [], kept
+
+
+def test_lifetime_subobject_paths_disjoint():
+    # Moving `s.heap` does not poison `s.calls`; moving `s` poisons both.
+    sref = lambda off, line: uref("0xs", "s", "treesim::Sweep", off, line)  # noqa: E731
+    body = compound(100, 500,
+                    var("0xs", "s", "treesim::Sweep", 150, 15),
+                    move_of(member_path(sref(206, 20), "heap"), 200, 20),
+                    member_call("top", member_path(sref(302, 30), "calls"),
+                                300, 30))
+    kept, _, _ = run_lifetime(extract(func("0xf", "f", 10, body)))
+    assert kept == [], kept
+
+    body2 = compound(100, 500,
+                     var("0xs", "s", "treesim::Sweep", 150, 15),
+                     move_of(sref(206, 20), 200, 20),
+                     member_call("top", member_path(sref(302, 30), "heap"),
+                                 300, 30))
+    kept2, _, _ = run_lifetime(extract(func("0xf", "f", 10, body2)))
+    assert kept_checks(kept2) == {("treesim::f", "use-after-move")}, kept2
+
+
+def test_lifetime_member_call_on_move_result_not_a_use():
+    # `std::move(tmp).value()`: the receiver is the move's result, not the
+    # moved-from variable (the TREESIM_ASSIGN_OR_RETURN idiom).
+    body = compound(100, 500,
+                    var("0xt", "tmp", "treesim::StatusOr<int>", 150, 15),
+                    member_call("value",
+                                move_of(uref("0xt", "tmp",
+                                             "treesim::StatusOr<int>",
+                                             205, 20), 200, 20),
+                                200, 20))
+    db = extract(func("0xf", "f", 10, body))
+    f = fn(db, "treesim::f")
+    kinds = [(e.kind, e.path) for e in f.var_events]
+    assert kinds == [("move", "tmp")], kinds
+    kept, _, _ = run_lifetime(db)
+    assert kept == [], kept
+
+
+def test_lifetime_branch_divergence_clean():
+    # Move in the then-arm, use in the else-arm: never the same execution.
+    body = compound(100, 500,
+                    var("0xv", "v", VEC, 150, 15),
+                    if_else(uref("0xc", "c", "bool", 195, 19),
+                            compound(200, 250,
+                                     move_of(uref("0xv", "v", VEC, 215, 21),
+                                             210, 21)),
+                            compound(260, 320,
+                                     uref("0xv", "v", VEC, 280, 28)),
+                            190, 320, 19))
+    kept, _, _ = run_lifetime(extract(func("0xf", "f", 10, body)))
+    assert kept == [], kept
+
+
+def test_lifetime_loop_carried_move_flagged():
+    # Declared outside the loop, moved inside it, never reinitialized:
+    # the next iteration moves a moved-from value.
+    body = compound(100, 500,
+                    var("0xv", "v", VEC, 150, 15),
+                    loop(200, 400, 20,
+                         move_of(uref("0xv", "v", VEC, 305, 30), 300, 30)))
+    kept, _, _ = run_lifetime(extract(func("0xf", "f", 10, body)))
+    assert len(kept) == 1 and kept[0].check == "use-after-move", kept
+    assert "loop" in kept[0].message and kept[0].line == 30, kept[0]
+
+
+def test_lifetime_loop_local_and_loop_reinit_clean():
+    # Declared inside the loop: fresh object each pass.
+    body = compound(100, 500,
+                    loop(200, 400, 20,
+                         var("0xv", "v", VEC, 250, 25),
+                         move_of(uref("0xv", "v", VEC, 305, 30), 300, 30)))
+    kept, _, _ = run_lifetime(extract(func("0xf", "f", 10, body)))
+    assert kept == [], kept
+    # Declared outside but cleared before the loop ends: recycled.
+    body2 = compound(100, 500,
+                     var("0xv", "v", VEC, 150, 15),
+                     loop(200, 400, 20,
+                          move_of(uref("0xv", "v", VEC, 305, 30), 300, 30),
+                          member_call("clear",
+                                      uref("0xv", "v", VEC, 352, 35),
+                                      350, 35)))
+    kept2, _, _ = run_lifetime(extract(func("0xf", "f", 10, body2)))
+    assert kept2 == [], kept2
+
+
+def test_lifetime_return_move_exempt():
+    # Nothing reachable after `return std::move(v)` can read v.
+    body = compound(100, 500,
+                    var("0xv", "v", VEC, 150, 15),
+                    loop(200, 400, 20,
+                         d("ReturnStmt",
+                           range={"begin": {"offset": 300, "line": 30},
+                                  "end": {"offset": 330}},
+                           inner=[move_of(uref("0xv", "v", VEC, 310, 30),
+                                          305, 30)])),
+                    uref("0xv", "v", VEC, 450, 45))
+    kept, _, _ = run_lifetime(extract(func("0xf", "f", 10, body)))
+    assert kept == [], kept
+
+
+# ---------------------------------------------------------------------------
+# Lifetime family: escaping captures
+# ---------------------------------------------------------------------------
+
+
+def test_lifetime_escape_assigned_function_flagged():
+    # `std::function<void()> g; int x; g = [&x]{...};` — x dies first.
+    body = compound(100, 600,
+                    var("0xg", "g", "std::function<void ()>", 150, 15),
+                    var("0xx", "x", "int", 180, 18),
+                    assign(uref("0xg", "g", "std::function<void ()>",
+                                205, 20),
+                           lam(220, 280, 22, [("0xx", "x", "int", True)],
+                               [], []),
+                           200, 20))
+    kept, _, _ = run_lifetime(extract(func("0xf", "f", 10, body)))
+    assert kept_checks(kept) == {("treesim::f", "escaping-capture")}, kept
+    assert "`x`" in kept[0].message and "stored into `g`" in kept[0].message
+
+
+def test_lifetime_escape_storage_dies_first_clean():
+    # `int x; std::function<void()> f = [&x]{...};` — the function object
+    # dies before (or with) the capture; so does the recursive
+    # `std::function<...> copy = [&copy](...)` self-capture (equal offsets).
+    body = compound(100, 600,
+                    var("0xx", "x", "int", 150, 15),
+                    var("0xg", "g", "std::function<void ()>", 180, 18,
+                        lam(200, 260, 20, [("0xx", "x", "int", True)],
+                            [], [])),
+                    var("0xc", "copy", "std::function<void (int)>", 300, 30,
+                        lam(320, 380, 32,
+                            [("0xc", "copy", "std::function<void (int)>",
+                              True)], [], [])))
+    kept, _, _ = run_lifetime(extract(func("0xf", "f", 10, body)))
+    assert kept == [], kept
+
+
+def test_lifetime_escape_returned_lambda_flagged_value_capture_clean():
+    def body_with(by_ref: bool):
+        return compound(100, 600,
+                        var("0xx", "x", "int", 150, 15),
+                        d("ReturnStmt",
+                          range={"begin": {"offset": 200, "line": 20},
+                                 "end": {"offset": 290}},
+                          inner=[lam(210, 280, 21,
+                                     [("0xx", "x", "int", by_ref)],
+                                     [], [])]))
+    kept, _, _ = run_lifetime(extract(func("0xf", "f", 10,
+                                           body_with(True))))
+    assert kept_checks(kept) == {("treesim::f", "escaping-capture")}, kept
+    assert "is returned" in kept[0].message
+    kept2, _, _ = run_lifetime(extract(func("0xf", "f", 10,
+                                            body_with(False))))
+    assert kept2 == [], kept2
+
+
+def test_lifetime_escape_submit_deferred_parallel_for_not():
+    pool = lambda off, line: uref("0xp", "pool", "treesim::ThreadPool",  # noqa: E731
+                                  off, line)
+    def body_with(method: str):
+        return compound(100, 600,
+                        var("0xx", "x", "int", 150, 15),
+                        member_call(method, pool(205, 20), 200, 20,
+                                    lam(220, 280, 22,
+                                        [("0xx", "x", "int", True)],
+                                        [], [])))
+    kept, _, _ = run_lifetime(extract(func("0xf", "f", 10,
+                                           body_with("Schedule"))))
+    assert kept_checks(kept) == {("treesim::f", "escaping-capture")}, kept
+    assert "ThreadPool::Schedule" in kept[0].message
+    # ParallelFor joins before returning: same shape, no finding.
+    kept2, _, _ = run_lifetime(extract(func("0xf", "f", 10,
+                                            body_with("ParallelFor"))))
+    assert kept2 == [], kept2
+
+
+def test_lifetime_escape_this_capture_clean():
+    # [this] stored into a member: lifetime is object-managed.
+    callop = d("CXXMethodDecl", name="operator()",
+               type={"qualType": "void () const"})
+    closure = d("CXXRecordDecl", tagUsed="class", inner=[
+        d("FieldDecl", name="", type={"qualType": "treesim::Widget *"}),
+        callop])
+    this_lam = d("LambdaExpr", loc={"offset": 220, "line": 22},
+                 range={"begin": {"offset": 220}, "end": {"offset": 280}},
+                 inner=[closure, d("CXXThisExpr",
+                                   type={"qualType": "treesim::Widget *"}),
+                        compound(230, 279)])
+    body = compound(100, 600,
+                    assign(member_path(d("CXXThisExpr"), "cb_"), this_lam,
+                           200, 20))
+    method = d("CXXMethodDecl", id="0xm", name="Arm",
+               loc={"file": SRC, "offset": 90, "line": 9},
+               range={"begin": {"offset": 90}, "end": {"offset": 600}},
+               inner=[body])
+    db = extract(d("CXXRecordDecl", name="Widget", inner=[method]))
+    f = db.functions["treesim::Widget::Arm"]
+    assert f.escapes and f.escapes[0].storage_is_member, f.escapes
+    kept, _, _ = run_lifetime(db)
+    assert kept == [], kept
+
+
+# ---------------------------------------------------------------------------
+# Lifetime family: invalidated references
+# ---------------------------------------------------------------------------
+
+
+def test_lifetime_refbind_growth_use_flagged():
+    vec = lambda off, line: uref("0xv", "out", VEC, off, line)  # noqa: E731
+    body = compound(100, 600,
+                    var("0xr", "r", "int &", 150, 15,
+                        member_call("back", vec(155, 15), 152, 15)),
+                    member_call("push_back", vec(205, 20), 200, 20),
+                    uref("0xr", "r", "int &", 300, 30))
+    kept, _, _ = run_lifetime(extract(func("0xf", "f", 10, body)))
+    assert kept_checks(kept) == {("treesim::f", "invalidated-reference")}, \
+        kept
+    assert "`out`" in kept[0].message and kept[0].line == 30, kept[0]
+
+
+def test_lifetime_refbind_reserve_dominated_clean():
+    vec = lambda off, line: uref("0xv", "out", VEC, off, line)  # noqa: E731
+    body = compound(100, 600,
+                    member_call("reserve", vec(125, 12), 120, 12),
+                    var("0xr", "r", "int &", 150, 15,
+                        member_call("back", vec(155, 15), 152, 15)),
+                    member_call("push_back", vec(205, 20), 200, 20),
+                    uref("0xr", "r", "int &", 300, 30))
+    kept, _, _ = run_lifetime(extract(func("0xf", "f", 10, body)))
+    assert kept == [], kept
+
+
+def test_lifetime_refbind_value_copy_and_use_before_growth_clean():
+    vec = lambda off, line: uref("0xv", "out", VEC, off, line)  # noqa: E731
+    # A value copy of the element aliases nothing.
+    body = compound(100, 600,
+                    var("0xc", "c", "int", 150, 15,
+                        member_call("back", vec(155, 15), 152, 15)),
+                    member_call("push_back", vec(205, 20), 200, 20),
+                    uref("0xc", "c", "int", 300, 30))
+    db = extract(func("0xf", "f", 10, body))
+    assert fn(db, "treesim::f").ref_binds == [], fn(db,
+                                                    "treesim::f").ref_binds
+    kept, _, _ = run_lifetime(db)
+    assert kept == [], kept
+    # A use that precedes the growth is fine (pointer variant via data()).
+    body2 = compound(100, 600,
+                     var("0xp", "p", "int *", 150, 15,
+                         member_call("data", vec(155, 15), 152, 15)),
+                     uref("0xp", "p", "int *", 180, 18),
+                     member_call("push_back", vec(205, 20), 200, 20))
+    kept2, _, _ = run_lifetime(extract(func("0xf", "f", 10, body2)))
+    assert kept2 == [], kept2
+
+
+def test_lifetime_out_of_scope_files_skipped():
+    body = compound(100, 500,
+                    var("0xv", "v", VEC, 150, 15),
+                    move_of(uref("0xv", "v", VEC, 205, 20), 200, 20),
+                    uref("0xv", "v", VEC, 300, 30))
+    db = extract(func("0xf", "f", 10, body,
+                      file="/repo/tests/helper_test.cc"))
+    kept, _, _ = run_lifetime(db)
+    assert kept == [], kept
+
+
+def test_lifetime_facts_roundtrip_and_richness():
+    body = compound(100, 600,
+                    var("0xv", "v", VEC, 150, 15),
+                    move_of(uref("0xv", "v", VEC, 205, 20), 200, 20),
+                    uref("0xv", "v", VEC, 300, 30))
+    db = extract(func("0xf", "f", 10, body))
+    f = fn(db, "treesim::f")
+    assert f.var_events, "expected lifetime events"
+    back = facts.FunctionFact.from_json(
+        json.loads(json.dumps(f.to_json())))
+    assert [e.to_json() for e in back.var_events] == \
+        [e.to_json() for e in f.var_events]
+    assert facts.FactDB._richness(back) == facts.FactDB._richness(f)
+    assert db.to_json()["schema_version"] == facts.SCHEMA_VERSION == 3
+
+
+def test_cache_schema_v2_entry_evicted_and_reextracted():
+    # Regression guard for the SCHEMA_VERSION 2 -> 3 bump: a leftover v2
+    # entry is ignored by get() (forcing re-extraction) and reaped by
+    # evict_stale(), which is what `--stats` reports.
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = clang_driver.FactCache(os.path.join(tmp, "cache"))
+        tu_facts = facts.extract_tu(
+            tu(func("0xf", "f", 10, compound(100, 500))), SRC, REPO)
+        live_src = os.path.join(tmp, "live.cc")
+        with open(live_src, "w") as fh:
+            fh.write("int x;\n")
+        key = clang_driver.tu_cache_key("c", ["a"], [("a", "1")])
+        cache.put(key, tu_facts, source=live_src)
+        doc = json.load(open(cache._path(key)))
+        assert doc["schema"] == facts.SCHEMA_VERSION
+        # Rewrite the entry as the previous schema version.
+        doc["schema"] = 2
+        with open(cache._path(key), "w") as fh:
+            json.dump(doc, fh)
+        assert cache.get(key) is None  # stale: caller re-extracts
+        evicted, kept = cache.evict_stale()
+        assert (evicted, kept) == (1, 0), (evicted, kept)
+        # A fresh put is served again.
+        cache.put(key, tu_facts, source=live_src)
+        assert cache.get(key) is not None
+
+
 TESTS = [v for k, v in sorted(globals().items()) if k.startswith("test_")]
 
 

@@ -47,6 +47,16 @@ Checks, over ``src/`` (and headers under ``fuzz/`` if any appear):
               backstop for tools/astcheck's AST-grade perf pass
               (``--checks=perf``), which sees through wrappers but needs a
               clang toolchain; the lint fires everywhere, instantly.
+  badmove     No ``std::move`` on a const-qualified or trivially-copyable
+              scalar variable in ``src/``. Moving a const object silently
+              degrades to a copy (the move constructor cannot bind), and
+              moving an int/bool/double is noise that suggests a transfer
+              which never happens. Declarations are collected per file
+              with a textual heuristic, so only ``std::move(name)`` of a
+              name declared const or scalar in the same file fires —
+              tools/astcheck's lifetime pass (``--checks=lifetime``) is
+              the AST-grade companion that tracks what happens after the
+              move.
   rawwait     No busy-waits or leaked threads in ``src/``:
               ``std::this_thread::sleep_for`` / ``sleep_until``,
               ``sleep()`` / ``usleep()`` / ``nanosleep()``, and
@@ -271,6 +281,56 @@ class Linter:
                             "(util/sync.h) and join workers via ThreadPool "
                             "(util/thread_pool.h)")
 
+    # ---- badmove --------------------------------------------------------
+
+    TRIVIAL_TYPES = frozenset({
+        "bool", "char", "short", "int", "long", "unsigned", "float",
+        "double", "size_t", "ptrdiff_t", "int8_t", "int16_t", "int32_t",
+        "int64_t", "uint8_t", "uint16_t", "uint32_t", "uint64_t",
+    })
+    # `[const] Type[<...>][&] name` followed by an initializer, separator,
+    # or range-for colon — catches locals, by-value/const-ref params, and
+    # range-for bindings. Names are scoped per file, so a name is only
+    # classified const/trivial when EVERY declaration of it in the file
+    # agrees (a non-const local shadowing a const ref elsewhere must not
+    # fire).
+    DECL_RE = re.compile(
+        r"(?P<const>\bconst\s+)?"
+        r"(?P<type>[A-Za-z_][\w:]*)(?:\s*<[^;(){]*>)?\s*&?\s+"
+        r"(?P<name>\w+)\s*[=;,){:]")
+    MOVE_RE = re.compile(r"\bstd\s*::\s*move\s*\(\s*([A-Za-z_]\w*)\s*\)")
+
+    def check_bad_move(self, path: pathlib.Path, lines: list[str]) -> None:
+        if not path.is_relative_to(SRC_ROOT):
+            return
+        stripped = [strip_comments_and_strings(raw) for raw in lines]
+        classes: dict[str, set[str]] = {}
+        for line in stripped:
+            for m in self.DECL_RE.finditer(line):
+                if m.group("const"):
+                    cls = "const"
+                elif m.group("type") in self.TRIVIAL_TYPES:
+                    cls = "trivial"
+                else:
+                    cls = "other"
+                classes.setdefault(m.group("name"), set()).add(cls)
+        for i, line in enumerate(stripped, start=1):
+            for m in self.MOVE_RE.finditer(line):
+                name = m.group(1)
+                if classes.get(name) == {"const"}:
+                    self.report(path, i, "badmove",
+                                f"std::move({name}) where `{name}` is "
+                                "declared const in this file; a const "
+                                "object cannot be moved from, so this "
+                                "silently copies — drop the move or drop "
+                                "the const")
+                elif classes.get(name) == {"trivial"}:
+                    self.report(path, i, "badmove",
+                                f"std::move({name}) where `{name}` is a "
+                                "trivially-copyable scalar in this file; "
+                                "the move is a copy either way — drop the "
+                                "std::move")
+
     # ---- hotalloc -------------------------------------------------------
 
     HOT_ALLOC_DIRS = ("core", "ted")
@@ -386,6 +446,7 @@ class Linter:
         for path, lines in {**headers, **sources}.items():
             self.check_raw_log(path, lines)
             self.check_raw_wait(path, lines)
+            self.check_bad_move(path, lines)
 
         self.check_status_nodiscard()
         names = self.collect_status_returning(headers)
@@ -485,9 +546,21 @@ def self_test() -> int:
             "#define TREESIM_SEARCH_OK_HOT_H_\n"
             "inline int* MakeOutside() { return new int(7); }\n"
             "#endif  // TREESIM_SEARCH_OK_HOT_H_\n"),
+        # badmove: a const object moved (silent copy) and a scalar moved
+        # (pointless); the non-const vector move at the end must stay
+        # clean, as must the commented-out move.
+        "src/bad_move.cc": (
+            "void Publish(std::vector<int> rows) {\n"
+            "  const std::string tag = MakeTag();\n"
+            "  Sink(std::move(tag));\n"
+            "  int count = 3;\n"
+            "  Accept(std::move(count));\n"
+            "  // Sink(std::move(tag)) again would copy too.\n"
+            "  Sink(std::move(rows));\n"
+            "}\n"),
     }
     expected = {"rawwait": 4, "rawsync": 1, "rawlog": 1, "using": 1,
-                "hotalloc": 3}
+                "hotalloc": 3, "badmove": 2}
 
     try:
         with tempfile.TemporaryDirectory(prefix="lint_selftest_") as tmp:
