@@ -21,6 +21,14 @@ class QueryContext {
 /// the filter-and-refine engine (Section 4.1). Implementations must be
 /// SOUND: LowerBound() never exceeds the exact tree edit distance, so the
 /// engine reports no false negatives.
+///
+/// The refine stage these bounds gate is itself threshold-bounded
+/// (ted/bounded_ted.h): the engine hands the verifier the same tau (or
+/// current kth-best distance) the filter pruned against, and the verifier
+/// only promises exactness up to that threshold. A sound bound therefore
+/// stays sufficient — every surviving candidate is verified exactly within
+/// the threshold — but an UNSOUND bound would now fail in two places
+/// instead of one (wrongly pruned AND wrongly clamped).
 class FilterIndex {
  public:
   virtual ~FilterIndex() = default;

@@ -4,6 +4,7 @@
 #include <string>
 #include <utility>
 
+#include "ted/bounded_ted.h"
 #include "util/hot.h"
 #include "util/logging.h"
 #include "util/metrics.h"
@@ -104,7 +105,10 @@ JoinResult SimilarityJoin::JoinImpl(const TreeDatabase& left, int tau,
           continue;
         }
         ++slot.candidates;
-        const int d = TreeEditDistance(left.ted_view(l), right_->ted_view(r));
+        // Bounded verification at the join threshold: exact for every
+        // emitted pair, tau + 1 for every rejected one.
+        const int d =
+            BoundedTreeEditDistance(left.ted_view(l), right_->ted_view(r), tau);
         ++slot.calls;
         if (d <= tau) slot.pairs.emplace_back(l, r, d);
       }
@@ -176,7 +180,8 @@ JoinResult SimilarityJoin::JoinImpl(const TreeDatabase& left, int tau,
 
     Stopwatch refine_timer;
     for (const int r : candidates) {
-      const int d = TreeEditDistance(left.ted_view(l), right_->ted_view(r));
+      const int d =
+          BoundedTreeEditDistance(left.ted_view(l), right_->ted_view(r), tau);
       ++result.stats.edit_distance_calls;
       if (d <= tau) result.pairs.emplace_back(l, r, d);
     }

@@ -25,7 +25,10 @@ struct JoinResult {
 /// problems form the core operation for many database manipulations (e.g.,
 /// approximate join, ...)"), built on the filter-and-refine engine: the
 /// filter indexes the right side once, every left tree probes it with a
-/// range query.
+/// range query. Surviving candidate pairs are verified with the
+/// threshold-bounded distance (ted/bounded_ted.h) at the join's tau —
+/// exact for every emitted pair, and provably "> tau" for every rejected
+/// one, so the output is byte-identical to an unbounded refine.
 class SimilarityJoin {
  public:
   /// Builds `filter` over `right` (nullptr = no filtering). Both databases

@@ -1,8 +1,10 @@
 #include "search/similarity_search.h"
 
 #include <algorithm>
+#include <limits>
 #include <queue>
 
+#include "ted/bounded_ted.h"
 #include "util/logging.h"
 #include "util/metrics.h"
 #include "util/safe_math.h"
@@ -91,10 +93,12 @@ RangeResult SimilaritySearch::Range(const Tree& query, int tau,
   result.stats.filter_seconds = filter_timer.ElapsedSeconds();
   result.stats.candidates = static_cast<int64_t>(candidates.size());
 
-  // Refinement step: verify every candidate with the exact distance. Each
-  // candidate's distance lands in its own slot, so the parallel fan-out
-  // (TedTree views are immutable, the kernel is pure) yields exactly the
-  // sequential matches and stats for any pool size.
+  // Refinement step: verify every candidate with the threshold-bounded
+  // distance — exact whenever it is <= tau, and a definitive tau + 1
+  // otherwise, which the match test below rejects exactly like the full
+  // distance would. Each candidate's distance lands in its own slot, so
+  // the parallel fan-out (TedTree views are immutable, the kernel is pure)
+  // yields exactly the sequential matches and stats for any pool size.
   Stopwatch refine_timer;
   const TedTree query_view = TedTree::FromTree(query);
   std::vector<int> distances(candidates.size(), 0);
@@ -102,11 +106,13 @@ RangeResult SimilaritySearch::Range(const Tree& query, int tau,
     TREESIM_TRACE_SPAN("search.range.refine");
     ParallelFor(pool, static_cast<int64_t>(candidates.size()), [&](int64_t c) {
       const int id = candidates[static_cast<size_t>(c)];
-      const int d = TreeEditDistance(query_view, db_->ted_view(id));
+      const int d = BoundedTreeEditDistance(query_view, db_->ted_view(id), tau);
 #ifndef NDEBUG
       // Theorem 3.2/3.3 as a machine-checked invariant: the filter's lower
       // bound (ceil(BDist / [4(q-1)+1]) for the branch filters) must never
-      // exceed the exact edit distance on any refined candidate.
+      // exceed the exact edit distance on any refined candidate. Valid with
+      // the bounded verifier too: refined candidates have bound <= tau, and
+      // d is either exact or the clamped tau + 1 > bound.
       if (ctx != nullptr) {
         TREESIM_DCHECK_LE(filter_->LowerBound(*ctx, id),
                           static_cast<double>(d))
@@ -219,15 +225,30 @@ KnnResult SimilaritySearch::Knn(const Tree& query, int k, ThreadPool* pool) {
               static_cast<double>(heap.top().first)) {
         break;  // every remaining bound is at least this large
       }
-      const int d = TreeEditDistance(query_view, db_->ted_view(id));
+      // Verify against the current k-th best: a candidate farther than
+      // that can never enter the heap, so the verifier may stop at
+      // tau_b + 1 — which the (d, id) < top() test below rejects exactly
+      // like the full distance would. While the heap is filling every
+      // verification must be exact (INT_MAX delegates to the unbounded
+      // kernel); once full, tau_b equals the k-th distance, so ties at
+      // the k-th best are still computed exactly and the id tie-break
+      // stays byte-identical to the unbounded sweep.
+      const int tau_b = static_cast<int>(heap.size()) == k
+                            ? heap.top().first
+                            : std::numeric_limits<int>::max();
+      const int d = BoundedTreeEditDistance(query_view, db_->ted_view(id),
+                                            tau_b);
       ++calls;
       // Soundness of the pruning sweep: a bound above the exact distance
-      // would let the early break drop true neighbors.
+      // would let the early break drop true neighbors. (With the bounded
+      // verifier, a clamped d is tau_b + 1 and surviving candidates have
+      // bound <= tau_b, so the check still holds.)
       TREESIM_DCHECK_LE(bounds[static_cast<size_t>(id)],
                         static_cast<double>(d))
           << "unsound lower bound on tree " << id;
       // Bound tightness (Section 5's pruning-power claim): how far below
-      // the exact distance the filter's lower bound sat on this candidate.
+      // the verified (possibly threshold-clamped) distance the filter's
+      // lower bound sat on this candidate.
       const int64_t gap =
           d - static_cast<int64_t>(bounds[static_cast<size_t>(id)]);
       TREESIM_HISTOGRAM_RECORD("search.knn.bound_gap", SmallValueBuckets(),
@@ -250,7 +271,10 @@ KnnResult SimilaritySearch::Knn(const Tree& query, int k, ThreadPool* pool) {
     // such a candidate can never re-enter the final top k. Hence
     // `neighbors` equals the sequential sweep's for any pool size; only
     // the number of verifications may differ (a block can overshoot the
-    // sequential stopping point).
+    // sequential stopping point). The bounded verifier keeps this
+    // determinism: its threshold is a snapshot of the k-th best, stale
+    // only toward larger values, so final-top-k members are always
+    // verified exactly (see the snapshot comment below).
     struct SweepState {
       Mutex mu;
       std::priority_queue<std::pair<int, int>> heap TREESIM_GUARDED_BY(mu);
@@ -274,14 +298,29 @@ KnnResult SimilaritySearch::Knn(const Tree& query, int k, ThreadPool* pool) {
       pool->ParallelFor(end - start, [&](int64_t bi) {
         const int id = order[static_cast<size_t>(start + bi)];
         const double bound = bounds[static_cast<size_t>(id)];
+        // Snapshot the current k-th best as the verifier threshold under
+        // the same lock as the skip test. The snapshot may be stale by
+        // verification time, but only on the safe side: the k-th best
+        // only shrinks, so tau_b >= the final k-th distance. Hence any
+        // candidate belonging to the final top k satisfies d <= tau_b and
+        // is verified exactly; a clamped result (tau_b + 1) implies
+        // d > tau_b >= every heap top from here on, so the insert test
+        // below rejects it just as the unbounded sweep would. And a
+        // not-yet-full heap at snapshot time stays not-smaller, so the
+        // "insert unconditionally" branch only ever sees exact distances
+        // (tau_b = INT_MAX delegates to the unbounded kernel).
+        int tau_b = std::numeric_limits<int>::max();
         {
           MutexLock lock(sweep.mu);
-          if (static_cast<int>(sweep.heap.size()) == k &&
-              bound > static_cast<double>(sweep.heap.top().first)) {
-            return;  // exact distance >= bound > current k-th best
+          if (static_cast<int>(sweep.heap.size()) == k) {
+            if (bound > static_cast<double>(sweep.heap.top().first)) {
+              return;  // exact distance >= bound > current k-th best
+            }
+            tau_b = sweep.heap.top().first;
           }
         }
-        const int d = TreeEditDistance(query_view, db_->ted_view(id));
+        const int d = BoundedTreeEditDistance(query_view, db_->ted_view(id),
+                                              tau_b);
         TREESIM_DCHECK_LE(bound, static_cast<double>(d))
             << "unsound lower bound on tree " << id;
         const int64_t gap = d - static_cast<int64_t>(bound);
@@ -421,12 +460,16 @@ WeightedRangeResult SimilaritySearch::RangeWeighted(const Tree& query,
   const TedTree query_view = TedTree::FromTree(query);
   result.matches.reserve(candidates.size());
   for (const int id : candidates) {
-    const double d =
-        TreeEditDistanceWeighted(query_view, db_->ted_view(id), costs);
+    // Bounded verification at the query's own threshold: exact (and
+    // bit-identical to the unbounded kernel) whenever d <= tau, +inf
+    // otherwise — which the match test rejects identically.
+    const double d = BoundedTreeEditDistanceWeighted(
+        query_view, db_->ted_view(id), tau, costs);
     ++result.stats.edit_distance_calls;
 #ifndef NDEBUG
     // Scaled soundness: EDist_w >= c_min * EDist_unit >= c_min * LowerBound.
-    // The epsilon absorbs floating-point rounding of the scaling.
+    // The epsilon absorbs floating-point rounding of the scaling. (A
+    // clamped d is +inf, which trivially satisfies the check.)
     if (ctx != nullptr) {
       TREESIM_DCHECK_LE(c_min * filter_->LowerBound(*ctx, id), d + 1e-9)
           << "unsound scaled lower bound from filter " << filter_->name()
@@ -486,8 +529,14 @@ WeightedKnnResult SimilaritySearch::KnnWeighted(const Tree& query, int k,
         bounds[static_cast<size_t>(id)] > heap.top().first) {
       break;
     }
-    const double d =
-        TreeEditDistanceWeighted(query_view, db_->ted_view(id), costs);
+    // Same tightening threshold as the unit-cost sweep: the current k-th
+    // best once the heap is full (ties at the k-th distance verify
+    // exactly), +inf — i.e. the unbounded kernel — while it is filling.
+    const double tau_b = static_cast<int>(heap.size()) == k
+                             ? heap.top().first
+                             : std::numeric_limits<double>::infinity();
+    const double d = BoundedTreeEditDistanceWeighted(
+        query_view, db_->ted_view(id), tau_b, costs);
     ++result.stats.edit_distance_calls;
     TREESIM_DCHECK_LE(bounds[static_cast<size_t>(id)], d + 1e-9)
         << "unsound scaled lower bound on tree " << id;

@@ -49,6 +49,15 @@ struct WeightedKnnResult {
 /// and its range variant), parameterized by any sound FilterIndex. With a
 /// null filter it degenerates to the sequential scan used as the timing
 /// baseline in Section 5.
+///
+/// The refine stage uses the threshold-bounded verifier
+/// (ted/bounded_ted.h) at the query's tau (range/join) or the current
+/// kth-best distance (k-NN): candidates farther than the threshold are
+/// rejected without computing their full distance. The bounded verifier is
+/// exact for every distance within the threshold, so all results — ids,
+/// distances, and orderings — are byte-identical to what the unbounded
+/// Zhang–Shasha refine produced; only the refine-stage work changes (see
+/// the ted.bounded_* counters).
 class SimilaritySearch {
  public:
   /// Builds `filter` over `db` (pass nullptr for sequential scan). `db`

@@ -1,0 +1,53 @@
+#ifndef TREESIM_TED_BOUNDED_TED_H_
+#define TREESIM_TED_BOUNDED_TED_H_
+
+#include "ted/cost_model.h"
+#include "ted/zhang_shasha.h"
+#include "tree/tree.h"
+
+namespace treesim {
+
+/// Threshold-bounded unit-cost tree edit distance — the refine-stage
+/// verifier of the filter-and-refine pipeline. The engine never needs the
+/// full distance: range queries ask "is EDist <= tau?" and k-NN asks "is
+/// EDist < kth-best?", so the verifier may stop as soon as the answer is
+/// provably "no".
+///
+/// Contract (the one the differential/metamorphic/fuzz suites pin):
+///   * EDist(t1, t2) <= tau  =>  returns exactly EDist(t1, t2);
+///   * EDist(t1, t2) >  tau  =>  returns a value > tau (tau + 1 for
+///     tau >= 0; 0 for negative tau, where every distance exceeds tau).
+/// Equivalently, for tau >= 0 the result is min(EDist, tau + 1). Callers
+/// can therefore keep their existing `d <= tau` / heap-insert logic and
+/// get byte-identical results to the unbounded path.
+///
+/// Internally: Zhang–Shasha restricted to the |x - y| <= tau diagonal band
+/// of every keyroot-pair forest matrix (an out-of-band forest pair needs
+/// more than tau unmatched nodes), per-keyroot-pair early exit once every
+/// remaining cell provably exceeds tau, and an RTED-style strategy choice
+/// between the leftmost and the mirrored (rightmost) decomposition of the
+/// pair, whichever has the smaller keyroot-weight product. When the band
+/// would exclude less than half of the root forest matrix (wide tau on
+/// small trees) the per-read band checks cost more than they save, so the
+/// call runs the plain kernel instead and clamps — the contract above is
+/// unchanged.
+int BoundedTreeEditDistance(const TedTree& t1, const TedTree& t2, int tau);
+
+/// Convenience overload; builds both views (including mirrors) internally.
+int BoundedTreeEditDistance(const Tree& t1, const Tree& t2, int tau);
+
+/// Threshold-bounded distance under an arbitrary cost model. Same contract
+/// as the unit-cost verifier: when the exact weighted distance is <= tau
+/// the returned value is bit-identical to TreeEditDistanceWeighted (same
+/// additions in the same order); otherwise the result is some value > tau
+/// (+infinity from the banded kernel, or the exact distance when the call
+/// delegates to the plain kernel because the band covers every diagonal or
+/// would prune too little to pay for itself).
+/// Negative and NaN thresholds reject everything with +infinity. The band
+/// is scaled by costs.MinOperationCost(), which must be positive.
+double BoundedTreeEditDistanceWeighted(const TedTree& t1, const TedTree& t2,
+                                       double tau, const CostModel& costs);
+
+}  // namespace treesim
+
+#endif  // TREESIM_TED_BOUNDED_TED_H_

@@ -1,6 +1,7 @@
 #include "ted/zhang_shasha.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "tree/traversal.h"
 #include "util/hot.h"
@@ -97,11 +98,26 @@ std::vector<typename Costs::Dist> ZhangShashaImpl(const TedTree& t1,
 
 }  // namespace
 
-TedTree TedTree::FromTree(const Tree& t) {
-  TREESIM_CHECK(!t.empty());
+namespace {
+
+/// One orientation of the postorder view. `mirrored` reads the tree with
+/// child order reversed everywhere: its postorder is the reverse of the
+/// original preorder, its "leftmost leaf" descends through original LAST
+/// children, and its keyroots are the nodes with a right sibling in the
+/// original (plus the root). The mirrored view is a faithful TedTree of the
+/// mirrored tree, so every distance routine runs on it unchanged.
+TedTree BuildOrientation(const Tree& t, bool mirrored) {
   TedTree out;
-  const std::vector<NodeId> post = PostorderSequence(t);
   const int n = t.size();
+  std::vector<NodeId> post;
+  if (mirrored) {
+    // Mirrored postorder == reversed preorder: both orders place a node
+    // after (resp. before) the right-to-left sequence of its subtrees.
+    post = PreorderSequence(t);
+    std::reverse(post.begin(), post.end());
+  } else {
+    post = PostorderSequence(t);
+  }
   std::vector<int> post_index(static_cast<size_t>(n), 0);
   for (int i = 0; i < n; ++i) {
     post_index[static_cast<size_t>(post[static_cast<size_t>(i)])] = i;
@@ -111,9 +127,13 @@ TedTree TedTree::FromTree(const Tree& t) {
   for (int i = 0; i < n; ++i) {
     const NodeId node = post[static_cast<size_t>(i)];
     out.labels[static_cast<size_t>(i)] = t.label(node);
-    const NodeId fc = t.first_child(node);
-    // Children precede parents in postorder, so lml of the first child is
-    // already final.
+    NodeId fc = t.first_child(node);
+    if (mirrored && fc != kInvalidNode) {
+      // The mirrored first child is the original last child.
+      while (t.next_sibling(fc) != kInvalidNode) fc = t.next_sibling(fc);
+    }
+    // Children precede parents in (both) postorders, so lml of the first
+    // child is already final.
     out.lml[static_cast<size_t>(i)] =
         (fc == kInvalidNode)
             ? i
@@ -124,7 +144,8 @@ TedTree TedTree::FromTree(const Tree& t) {
     const NodeId node = post[static_cast<size_t>(i)];
     const NodeId parent = t.parent(node);
     const bool has_left_sibling =
-        parent != kInvalidNode && t.first_child(parent) != node;
+        mirrored ? t.next_sibling(node) != kInvalidNode
+                 : parent != kInvalidNode && t.first_child(parent) != node;
     if (parent == kInvalidNode || has_left_sibling) ++keyroot_count;
   }
   out.keyroots.reserve(keyroot_count);
@@ -132,11 +153,24 @@ TedTree TedTree::FromTree(const Tree& t) {
     const NodeId node = post[static_cast<size_t>(i)];
     const NodeId parent = t.parent(node);
     const bool has_left_sibling =
-        parent != kInvalidNode && t.first_child(parent) != node;
+        mirrored ? t.next_sibling(node) != kInvalidNode
+                 : parent != kInvalidNode && t.first_child(parent) != node;
     if (parent == kInvalidNode || has_left_sibling) {
       out.keyroots.push_back(i);
+      out.keyroot_weight = CheckedAdd<int64_t>(
+          out.keyroot_weight, i - out.lml[static_cast<size_t>(i)] + 1);
     }
   }
+  return out;
+}
+
+}  // namespace
+
+TedTree TedTree::FromTree(const Tree& t) {
+  TREESIM_CHECK(!t.empty());
+  TedTree out = BuildOrientation(t, /*mirrored=*/false);
+  out.mirror =
+      std::make_shared<const TedTree>(BuildOrientation(t, /*mirrored=*/true));
   return out;
 }
 

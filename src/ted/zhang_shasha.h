@@ -1,6 +1,8 @@
 #ifndef TREESIM_TED_ZHANG_SHASHA_H_
 #define TREESIM_TED_ZHANG_SHASHA_H_
 
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "ted/cost_model.h"
@@ -24,10 +26,25 @@ struct TedTree {
   /// Keyroots in ascending postorder index: nodes that have a left sibling,
   /// plus the root (the LR_keyroots set of the original algorithm).
   std::vector<int> keyroots;
+  /// Total DP work of the keyroot decomposition in this orientation:
+  /// sum over keyroots k of (k - lml[k] + 1). The bounded verifier
+  /// (ted/bounded_ted.h) compares the product of the two trees' weights
+  /// across the left and right orientations — RTED's strategy choice
+  /// restricted to the {leftmost, rightmost} path set — and runs the
+  /// cheaper one, so deep right spines and left-leaning combs stop
+  /// hitting the fixed-leftmost worst case.
+  int64_t keyroot_weight = 0;
+  /// The mirrored orientation: the same tree with child order reversed
+  /// everywhere, whose edit distance to another mirrored tree equals the
+  /// original distance (mirroring both sides preserves mapping validity).
+  /// Built by FromTree on the primary view; null on the mirror itself.
+  /// shared_ptr keeps TedTree cheap to copy into vectors (TreeDatabase
+  /// stores one view per tree).
+  std::shared_ptr<const TedTree> mirror;
 
   int size() const { return static_cast<int>(labels.size()); }
 
-  /// Builds the view. `t` must be non-empty.
+  /// Builds the view (including its mirror). `t` must be non-empty.
   static TedTree FromTree(const Tree& t);
 };
 

@@ -29,6 +29,7 @@
 #include "strgram/pqgram.h"                 // IWYU pragma: export
 #include "strgram/qgram.h"                  // IWYU pragma: export
 #include "strgram/string_edit_distance.h"   // IWYU pragma: export
+#include "ted/bounded_ted.h"           // IWYU pragma: export
 #include "ted/cost_model.h"            // IWYU pragma: export
 #include "ted/edit_mapping.h"          // IWYU pragma: export
 #include "ted/edit_operation.h"        // IWYU pragma: export

@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -14,6 +15,8 @@
 #include "core/branch_profile.h"
 #include "core/positional.h"
 #include "gtest/gtest.h"
+#include "ted/bounded_ted.h"
+#include "ted/cost_model.h"
 #include "ted/zhang_shasha.h"
 #include "test_util.h"
 #include "util/random.h"
@@ -203,6 +206,139 @@ TEST_F(MetamorphicTest, RangeFilterNeverPrunesTrueResults) {
     if (propt > 0) {
       EXPECT_FALSE(RangeFilterPasses(p1, p2, propt - 1, MatchingMode::kGreedy))
           << "propt=" << propt;
+    }
+  }
+}
+
+TEST_F(MetamorphicTest, BoundedVerifierContract) {
+  // The crisp unit-cost shape the call sites rely on: for every tau >= 0
+  // the bounded verifier returns exactly min(EDist, tau + 1) — not just
+  // "something above tau" — and 0 for negative tau (where every distance
+  // exceeds the threshold).
+  for (int i = 0; i < kPairs; ++i) {
+    const Tree t1 = Draw();
+    const Tree t2 = Draw();
+    const int exact = TreeEditDistance(t1, t2);
+    for (const int tau :
+         {0, 1, exact - 1, exact, exact + 1, exact + 7,
+          t1.size() + t2.size() + 3, std::numeric_limits<int>::max()}) {
+      if (tau < 0) {
+        EXPECT_EQ(BoundedTreeEditDistance(t1, t2, tau), 0);
+        continue;
+      }
+      const int expected =
+          tau < exact ? tau + 1 : exact;  // min(exact, tau + 1), no overflow
+      EXPECT_EQ(BoundedTreeEditDistance(t1, t2, tau), expected)
+          << "tau=" << tau << " EDist=" << exact;
+    }
+  }
+}
+
+TEST_F(MetamorphicTest, BoundedVerifierIsMonotoneInTau) {
+  // min(EDist, tau + 1) is nondecreasing in tau and freezes at EDist once
+  // the distance fits — so raising a search threshold can only reveal
+  // results, never change already-verified ones.
+  for (int i = 0; i < kPairs / 4; ++i) {
+    const Tree t1 = Draw();
+    const Tree t2 = Draw();
+    const int tau_max = t1.size() + t2.size() + 1;
+    int previous = 0;  // tau = -1 answer
+    for (int tau = 0; tau <= tau_max; ++tau) {
+      const int b = BoundedTreeEditDistance(t1, t2, tau);
+      EXPECT_GE(b, previous) << "answer shrank at tau=" << tau;
+      if (previous <= tau - 1 && tau > 0) {
+        EXPECT_EQ(b, previous) << "verified answer changed at tau=" << tau;
+      }
+      previous = b;
+    }
+    EXPECT_EQ(previous, TreeEditDistance(t1, t2));
+  }
+}
+
+TEST_F(MetamorphicTest, LowerBoundRejectionImpliesBoundedRejection) {
+  // The pipeline's consistency: when the filter's lower bound already
+  // exceeds a threshold, the bounded verifier must agree that the distance
+  // does too (otherwise filter and verifier could disagree on membership).
+  BranchDictionary dict(2);
+  for (int i = 0; i < kPairs; ++i) {
+    const Tree t1 = Draw();
+    const Tree t2 = Draw();
+    const BranchProfile p1 = BranchProfile::FromTree(t1, dict);
+    const BranchProfile p2 = BranchProfile::FromTree(t2, dict);
+    const int bound = BranchDistanceLowerBound(p1, p2);
+    if (bound > 0) {
+      EXPECT_GT(BoundedTreeEditDistance(t1, t2, bound - 1), bound - 1)
+          << "bound=" << bound;
+    }
+  }
+}
+
+/// Non-uniform costs exercising the weighted band scaling: c_min comes
+/// from the cheapest operation (relabel), not insert/delete.
+class SkewedCosts final : public CostModel {
+ public:
+  double Relabel(LabelId from, LabelId to) const override {
+    return from == to ? 0.0 : 0.5;
+  }
+  double Insert(LabelId /*label*/) const override { return 1.5; }
+  double Delete(LabelId /*label*/) const override { return 2.0; }
+  double MinOperationCost() const override { return 0.5; }
+};
+
+TEST_F(MetamorphicTest, BoundedWeightedMatchesUnboundedBitwise) {
+  // At tau = exact and tau = infinity the weighted verifier must return the
+  // exact distance BIT-identically (EXPECT_EQ on doubles, deliberately):
+  // the rewired weighted search paths promise byte-identical results, which
+  // only holds if no floating-point addition is reordered. Below the exact
+  // distance the answer is +infinity; negative and NaN thresholds reject
+  // everything.
+  const SkewedCosts costs;
+  const double inf = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < kPairs / 2; ++i) {
+    const TedTree v1 = TedTree::FromTree(Draw());
+    const TedTree v2 = TedTree::FromTree(Draw());
+    const double exact = TreeEditDistanceWeighted(v1, v2, costs);
+    EXPECT_EQ(BoundedTreeEditDistanceWeighted(v1, v2, exact, costs), exact);
+    EXPECT_EQ(BoundedTreeEditDistanceWeighted(v1, v2, inf, costs), exact);
+    EXPECT_EQ(BoundedTreeEditDistanceWeighted(v1, v2, exact + 0.25, costs),
+              exact);
+    if (exact > 0.0) {
+      // Costs are multiples of 0.5 (exactly representable), so exact - 0.125
+      // is a threshold strictly below the distance. The rejection value is
+      // +infinity from the banded kernel but the exact distance when the
+      // band covers everything and the call delegates — either way > tau.
+      EXPECT_GT(BoundedTreeEditDistanceWeighted(v1, v2, exact - 0.125, costs),
+                exact - 0.125);
+    }
+    EXPECT_EQ(BoundedTreeEditDistanceWeighted(v1, v2, -1.0, costs), inf);
+    EXPECT_EQ(BoundedTreeEditDistanceWeighted(
+                  v1, v2, std::numeric_limits<double>::quiet_NaN(), costs),
+              inf);
+  }
+}
+
+TEST_F(MetamorphicTest, WeightedScaledUnitBoundIsSound) {
+  // The weighted pipeline's pruning rule (search/similarity_search.cc): a
+  // unit lower bound of b implies weighted distance >= c_min * b. The
+  // bounded weighted verifier must agree with every threshold that rule
+  // prunes at.
+  BranchDictionary dict(2);
+  const SkewedCosts costs;
+  const double c_min = costs.MinOperationCost();
+  for (int i = 0; i < kPairs; ++i) {
+    const Tree t1 = Draw();
+    const Tree t2 = Draw();
+    const BranchProfile p1 = BranchProfile::FromTree(t1, dict);
+    const BranchProfile p2 = BranchProfile::FromTree(t2, dict);
+    const TedTree v1 = TedTree::FromTree(t1);
+    const TedTree v2 = TedTree::FromTree(t2);
+    const int bound = BranchDistanceLowerBound(p1, p2);
+    const double exact = TreeEditDistanceWeighted(v1, v2, costs);
+    EXPECT_GE(exact, c_min * static_cast<double>(bound) - 1e-9);
+    if (bound > 0) {
+      const double tau = c_min * static_cast<double>(bound) - 0.125;
+      EXPECT_GT(BoundedTreeEditDistanceWeighted(v1, v2, tau, costs), tau)
+          << "bound=" << bound;
     }
   }
 }

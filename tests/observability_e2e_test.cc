@@ -94,9 +94,9 @@ TEST_F(ObservabilityE2eTest, RangeCountersAgreeWithQueryStats) {
             d.counter("search.range.candidates"));
   EXPECT_LE(d.counter("search.range.candidates"),
             int64_t{kDbSize} * kQueries);
-  // Every refinement is one Zhang–Shasha call (plus any the filter itself
+  // Every refinement is one bounded-TED call (plus any the filter itself
   // issued; BiBranch issues none).
-  EXPECT_GE(d.counter("ted.zhang_shasha_calls"),
+  EXPECT_GE(d.counter("ted.bounded_calls"),
             d.counter("search.range.refined"));
 
   // Stage latency histograms: one sample per query, microseconds coherent
@@ -144,7 +144,7 @@ TEST_F(ObservabilityE2eTest, KnnCountersAgreeWithQueryStats) {
   EXPECT_LE(d.counter("search.knn.refined"),
             d.counter("search.knn.bounds_computed"));
   EXPECT_EQ(d.counter("search.knn.results"), total.results);
-  EXPECT_GE(d.counter("ted.zhang_shasha_calls"),
+  EXPECT_GE(d.counter("ted.bounded_calls"),
             d.counter("search.knn.refined"));
 
   const MetricsSnapshot::HistogramValue* refined_per_query =
@@ -216,7 +216,7 @@ TEST_F(ObservabilityE2eTest, JsonDumpMatchesSnapshotAccessors) {
   const std::string json = snap.ToJson();
 
   for (const char* name : {"search.range.queries", "search.knn.queries",
-                           "ted.zhang_shasha_calls", "db.trees_added"}) {
+                           "ted.bounded_calls", "db.trees_added"}) {
     EXPECT_EQ(ExtractJsonInt(json, name), snap.counter(name)) << name;
   }
   EXPECT_EQ(ExtractJsonInt(json, "db.size"), snap.gauge("db.size"));

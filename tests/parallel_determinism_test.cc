@@ -203,6 +203,73 @@ TEST(ParallelDeterminismTest, JoinAndSelfJoinIdentical) {
   }
 }
 
+TEST(ParallelDeterminismTest, BoundedKnnDeterministicUnderTies) {
+  // The bounded refine path snapshots the kth-best distance as its
+  // threshold; a stale snapshot (heap improved after the read) may verify
+  // with a looser bound, but candidates clamped at tau_b + 1 must still
+  // lose every heap-insert tie-break exactly like their true distance
+  // would. A tiny label pool over small trees makes most distances collide
+  // at the kth value, so any tie mishandling flips a neighbor id. Repeats
+  // vary the interleaving.
+  auto dict = std::make_shared<LabelDictionary>();
+  auto db = std::make_unique<TreeDatabase>(dict);
+  const std::vector<LabelId> pool_ids = MakeLabelPool(dict, 2);
+  Rng rng(2045);
+  for (int i = 0; i < 120; ++i) {
+    db->Add(RandomTree(rng.UniformInt(2, 6), pool_ids, dict, rng));
+  }
+  ThreadPool pool(kWorkers);
+  for (const bool filtered : {false, true}) {
+    SimilaritySearch seq(
+        db.get(), filtered ? std::make_unique<BiBranchFilter>() : nullptr);
+    SimilaritySearch par(
+        db.get(), filtered ? std::make_unique<BiBranchFilter>() : nullptr);
+    for (const int k : {1, 5, 40, 120 /* == |D| */}) {
+      for (int qi = 0; qi < 4; ++qi) {
+        const Tree& query = db->tree(qi * 17);
+        const KnnResult s = seq.Knn(query, k, nullptr);
+        for (int repeat = 0; repeat < 3; ++repeat) {
+          const KnnResult p = par.Knn(query, k, &pool);
+          ASSERT_EQ(p.neighbors, s.neighbors)
+              << "k=" << k << " filtered=" << filtered
+              << " repeat=" << repeat;
+        }
+      }
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, BoundedRangeAndJoinDeterministicUnderTies) {
+  // Same tie-heavy corpus through the bounded Range and Join paths: every
+  // emitted distance is exact (never the tau + 1 clamp), so results and
+  // counters must match the sequential engine byte for byte.
+  auto dict = std::make_shared<LabelDictionary>();
+  auto db = std::make_unique<TreeDatabase>(dict);
+  const std::vector<LabelId> pool_ids = MakeLabelPool(dict, 2);
+  Rng rng(2047);
+  for (int i = 0; i < 60; ++i) {
+    db->Add(RandomTree(rng.UniformInt(2, 6), pool_ids, dict, rng));
+  }
+  ThreadPool pool(kWorkers);
+  SimilaritySearch seq(db.get(), std::make_unique<BiBranchFilter>());
+  SimilaritySearch par(db.get(), std::make_unique<BiBranchFilter>());
+  for (const int tau : {0, 1, 3}) {
+    for (int qi = 0; qi < 4; ++qi) {
+      const Tree& query = db->tree(qi * 13);
+      const RangeResult s = seq.Range(query, tau, nullptr);
+      const RangeResult p = par.Range(query, tau, &pool);
+      EXPECT_EQ(p.matches, s.matches) << "tau=" << tau;
+      for (const auto& [id, d] : p.matches) EXPECT_LE(d, tau);
+    }
+    SimilarityJoin jseq(db.get(), std::make_unique<BiBranchFilter>());
+    SimilarityJoin jpar(db.get(), std::make_unique<BiBranchFilter>());
+    const JoinResult s = jseq.SelfJoin(tau, nullptr);
+    const JoinResult p = jpar.SelfJoin(tau, &pool);
+    EXPECT_EQ(p.pairs, s.pairs) << "tau=" << tau;
+    EXPECT_EQ(p.stats.edit_distance_calls, s.stats.edit_distance_calls);
+  }
+}
+
 TEST(ParallelDeterminismTest, TinyInputsTakeTheSequentialPath) {
   // ClampThreads collapses tiny workloads to one worker; the engines must
   // also behave with a pool larger than the input.

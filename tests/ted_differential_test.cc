@@ -4,12 +4,16 @@
 // decomposition (spines, combs, stars — extreme depth/leaves mixes). The
 // mapping and script layers are cross-checked against the distance on the
 // same inputs: an optimal mapping costs exactly EDist and a synthesized
-// script has exactly that many operations.
+// script has exactly that many operations. The bounded verifier is swept
+// across thresholds bracketing the true distance on every pair: exact when
+// the distance fits, provably "> tau" when it does not.
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "gtest/gtest.h"
+#include "ted/bounded_ted.h"
 #include "ted/edit_mapping.h"
 #include "ted/edit_script_synthesis.h"
 #include "ted/naive_ted.h"
@@ -47,6 +51,22 @@ void CheckPair(const Tree& t1, const Tree& t2) {
     // any other failure is a bug.
     EXPECT_EQ(script.status().code(), StatusCode::kUnimplemented)
         << script.status();
+  }
+
+  // Bounded verifier versus the oracle, at thresholds bracketing the true
+  // distance plus the degenerate extremes. The contract: exact whenever
+  // naive <= tau, strictly above tau otherwise.
+  const int taus[] = {0, naive - 1, naive, naive + 1, t1.size() + t2.size(),
+                      std::numeric_limits<int>::max()};
+  for (const int tau : taus) {
+    const int bounded = BoundedTreeEditDistance(t1, t2, tau);
+    if (naive <= tau) {
+      EXPECT_EQ(bounded, naive) << "tau=" << tau << " |T1|=" << t1.size()
+                                << " |T2|=" << t2.size();
+    } else {
+      EXPECT_GT(bounded, tau) << "tau=" << tau << " |T1|=" << t1.size()
+                              << " |T2|=" << t2.size();
+    }
   }
 }
 
