@@ -3,6 +3,7 @@
 #include <cmath>
 #include <utility>
 
+#include "filters/filter_index.h"
 #include "util/hot.h"
 #include "util/logging.h"
 #include "util/metrics.h"
@@ -13,7 +14,7 @@
 namespace treesim {
 namespace {
 
-class BiBranchQueryContext final : public QueryContext {
+class BiBranchQueryContext final : public FilterQueryContext {
  public:
   explicit BiBranchQueryContext(BranchProfile profile)
       : profile_(std::move(profile)) {}
@@ -47,13 +48,13 @@ void BiBranchFilter::Build(const std::vector<Tree>& trees) {
   }
 }
 
-std::unique_ptr<QueryContext> TREESIM_HOT BiBranchFilter::PrepareQuery(
+std::unique_ptr<FilterQueryContext> TREESIM_HOT BiBranchFilter::PrepareQuery(
     const Tree& query) {
   return std::make_unique<BiBranchQueryContext>(
       BranchProfile::FromTree(query, index_.branch_dict()));
 }
 
-double TREESIM_HOT BiBranchFilter::LowerBound(const QueryContext& ctx,
+double TREESIM_HOT BiBranchFilter::LowerBound(const FilterQueryContext& ctx,
                                               int tree_id) const {
   const auto& q = static_cast<const BiBranchQueryContext&>(ctx);
   const BranchProfile& data = profiles_[static_cast<size_t>(tree_id)];
@@ -64,7 +65,7 @@ double TREESIM_HOT BiBranchFilter::LowerBound(const QueryContext& ctx,
 }
 
 std::optional<std::vector<int>> TREESIM_HOT BiBranchFilter::TryRangeCandidates(
-    const QueryContext& ctx, double tau) const {
+    const FilterQueryContext& ctx, double tau) const {
   if (vptree_ == nullptr) return std::nullopt;
   const auto& q = static_cast<const BiBranchQueryContext&>(ctx);
   const int itau = static_cast<int>(std::floor(tau));
@@ -97,7 +98,7 @@ std::optional<std::vector<int>> TREESIM_HOT BiBranchFilter::TryRangeCandidates(
   return candidates;
 }
 
-bool TREESIM_HOT BiBranchFilter::MayQualify(const QueryContext& ctx,
+bool TREESIM_HOT BiBranchFilter::MayQualify(const FilterQueryContext& ctx,
                                             int tree_id, double tau) const {
   const auto& q = static_cast<const BiBranchQueryContext&>(ctx);
   const BranchProfile& data = profiles_[static_cast<size_t>(tree_id)];

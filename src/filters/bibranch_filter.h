@@ -47,12 +47,12 @@ class BiBranchFilter final : public FilterIndex {
 
   std::string name() const override;
   void Build(const std::vector<Tree>& trees) override;
-  std::unique_ptr<QueryContext> PrepareQuery(const Tree& query) override;
-  double LowerBound(const QueryContext& ctx, int tree_id) const override;
-  bool MayQualify(const QueryContext& ctx, int tree_id,
+  std::unique_ptr<FilterQueryContext> PrepareQuery(const Tree& query) override;
+  double LowerBound(const FilterQueryContext& ctx, int tree_id) const override;
+  bool MayQualify(const FilterQueryContext& ctx, int tree_id,
                   double tau) const override;
   std::optional<std::vector<int>> TryRangeCandidates(
-      const QueryContext& ctx, double tau) const override;
+      const FilterQueryContext& ctx, double tau) const override;
 
   /// The underlying inverted file (for inspection/examples).
   const InvertedFileIndex& inverted_file() const { return index_; }

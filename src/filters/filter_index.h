@@ -12,9 +12,9 @@ namespace treesim {
 
 /// Query-side state a FilterIndex derives once per query tree (e.g. the
 /// query's branch profile) and reuses against every database tree.
-class QueryContext {
+class FilterQueryContext {
  public:
-  virtual ~QueryContext() = default;
+  virtual ~FilterQueryContext() = default;
 };
 
 /// A lower-bounding filter over a fixed database of trees, pluggable into
@@ -41,15 +41,15 @@ class FilterIndex {
 
   /// Derives the per-query state. Non-const: filters may extend shared
   /// dictionaries with branches/labels first seen in the query.
-  virtual std::unique_ptr<QueryContext> PrepareQuery(const Tree& query) = 0;
+  virtual std::unique_ptr<FilterQueryContext> PrepareQuery(const Tree& query) = 0;
 
   /// A lower bound of EDist(query, tree `tree_id`).
-  virtual double LowerBound(const QueryContext& ctx, int tree_id) const = 0;
+  virtual double LowerBound(const FilterQueryContext& ctx, int tree_id) const = 0;
 
   /// Range-query test: false when the tree is certainly farther than `tau`.
   /// Default uses LowerBound(); overridden where a cheaper tau-specific test
   /// exists (the positional BiBranch filter, Section 4.3).
-  virtual bool MayQualify(const QueryContext& ctx, int tree_id,
+  virtual bool MayQualify(const FilterQueryContext& ctx, int tree_id,
                           double tau) const {
     return LowerBound(ctx, tree_id) <= tau;
   }
@@ -62,7 +62,7 @@ class FilterIndex {
   /// are refined with the exact distance either way, so soundness is about
   /// completeness of this set.
   virtual std::optional<std::vector<int>> TryRangeCandidates(
-      const QueryContext& /*ctx*/, double /*tau*/) const {
+      const FilterQueryContext& /*ctx*/, double /*tau*/) const {
     return std::nullopt;
   }
 };

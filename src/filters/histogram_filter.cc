@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <map>
 
+#include "filters/filter_index.h"
 #include "tree/traversal.h"
 #include "util/hot.h"
 #include "util/logging.h"
@@ -14,7 +15,7 @@
 namespace treesim {
 namespace {
 
-class HistogramQueryContext final : public QueryContext {
+class HistogramQueryContext final : public FilterQueryContext {
  public:
   explicit HistogramQueryContext(HistogramFilter::Features features)
       : features_(std::move(features)) {}
@@ -112,12 +113,12 @@ void HistogramFilter::Build(const std::vector<Tree>& trees) {
   for (const Tree& t : trees) features_.push_back(ExtractFeatures(t));
 }
 
-std::unique_ptr<QueryContext> TREESIM_HOT HistogramFilter::PrepareQuery(
+std::unique_ptr<FilterQueryContext> TREESIM_HOT HistogramFilter::PrepareQuery(
     const Tree& query) {
   return std::make_unique<HistogramQueryContext>(ExtractFeatures(query));
 }
 
-double TREESIM_HOT HistogramFilter::LowerBound(const QueryContext& ctx,
+double TREESIM_HOT HistogramFilter::LowerBound(const FilterQueryContext& ctx,
                                                int tree_id) const {
   TREESIM_COUNTER_INC("filter.histogram.bounds");
   const auto& q = static_cast<const HistogramQueryContext&>(ctx);

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <utility>
 
+#include "filters/filter_index.h"
 #include "strgram/string_edit_distance.h"
 #include "tree/traversal.h"
 #include "util/hot.h"
@@ -13,7 +14,7 @@
 namespace treesim {
 namespace {
 
-class SequenceQueryContext final : public QueryContext {
+class SequenceQueryContext final : public FilterQueryContext {
  public:
   explicit SequenceQueryContext(SequenceFilter::TreeSequences sequences)
       : sequences_(std::move(sequences)) {}
@@ -58,12 +59,12 @@ void SequenceFilter::Build(const std::vector<Tree>& trees) {
   for (const Tree& t : trees) sequences_.push_back(Extract(t));
 }
 
-std::unique_ptr<QueryContext> TREESIM_HOT SequenceFilter::PrepareQuery(
+std::unique_ptr<FilterQueryContext> TREESIM_HOT SequenceFilter::PrepareQuery(
     const Tree& query) {
   return std::make_unique<SequenceQueryContext>(Extract(query));
 }
 
-double TREESIM_HOT SequenceFilter::LowerBound(const QueryContext& ctx,
+double TREESIM_HOT SequenceFilter::LowerBound(const FilterQueryContext& ctx,
                                               int tree_id) const {
   const TreeSequences& q =
       static_cast<const SequenceQueryContext&>(ctx).sequences();
@@ -76,7 +77,7 @@ double TREESIM_HOT SequenceFilter::LowerBound(const QueryContext& ctx,
                   QGramLowerBound(*q.post_grams, *data.post_grams));
 }
 
-bool TREESIM_HOT SequenceFilter::MayQualify(const QueryContext& ctx,
+bool TREESIM_HOT SequenceFilter::MayQualify(const FilterQueryContext& ctx,
                                             int tree_id, double tau) const {
   const int itau = static_cast<int>(std::floor(tau));
   if (itau < 0) return false;

@@ -50,9 +50,9 @@ class SequenceFilter final : public FilterIndex {
 
   std::string name() const override;
   void Build(const std::vector<Tree>& trees) override;
-  std::unique_ptr<QueryContext> PrepareQuery(const Tree& query) override;
-  double LowerBound(const QueryContext& ctx, int tree_id) const override;
-  bool MayQualify(const QueryContext& ctx, int tree_id,
+  std::unique_ptr<FilterQueryContext> PrepareQuery(const Tree& query) override;
+  double LowerBound(const FilterQueryContext& ctx, int tree_id) const override;
+  bool MayQualify(const FilterQueryContext& ctx, int tree_id,
                   double tau) const override;
 
   /// Extracts the per-tree data under this filter's options (exposed for

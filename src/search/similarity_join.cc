@@ -4,10 +4,13 @@
 #include <string>
 #include <utility>
 
+#include "filters/filter_index.h"
 #include "ted/bounded_ted.h"
+#include "util/flight_recorder.h"
 #include "util/hot.h"
 #include "util/logging.h"
 #include "util/metrics.h"
+#include "util/query_context.h"
 #include "util/safe_math.h"
 #include "util/stopwatch.h"
 #include "util/structured_log.h"
@@ -17,11 +20,41 @@
 namespace treesim {
 namespace {
 
+/// Monotonic value of the bounded-TED cell counter, used to attribute the
+/// cells a single join computed to its flight record.
+int64_t BoundedCellsCounterValue() {
+  static Counter& counter =
+      MetricsRegistry::Global().GetCounter("ted.bounded_cells_computed");
+  return counter.value();
+}
+
+/// Publishes one completed-join record into the always-on flight recorder.
+void RecordFlight(int64_t query_id, int64_t tau, const QueryStats& stats,
+                  int64_t total_micros, int64_t bounded_cells_delta) {
+  if constexpr (kMetricsEnabled) {
+    FlightRecord rec;
+    rec.query_id = query_id;
+    rec.ts_micros = UnixMicros();
+    rec.op = "join";
+    rec.param = tau;
+    rec.database_size = stats.database_size;
+    rec.candidates = stats.candidates;
+    rec.refined = stats.edit_distance_calls;
+    rec.results = stats.results;
+    rec.filter_micros = static_cast<int64_t>(stats.filter_seconds * 1e6);
+    rec.refine_micros = static_cast<int64_t>(stats.refine_seconds * 1e6);
+    rec.total_micros = total_micros;
+    rec.bounded_cells_delta = bounded_cells_delta;
+    rec.slow = StructuredLog::Global().IsSlow(total_micros);
+    FlightRecorder::Global().Record(rec);
+  }
+}
+
 /// Query-log record for one join call (both the parallel and the
 /// sequential paths funnel through here before returning). Cold: runs
 /// once per join, after the timers stop, and only when sampled in.
-void TREESIM_COLD MaybeLogJoin(const JoinResult& result, int tau, bool self,
-                               int64_t left_size,
+void TREESIM_COLD MaybeLogJoin(const JoinResult& result, int64_t query_id,
+                               int tau, bool self, int64_t left_size,
                                const std::string& filter_name) {
   StructuredLog& qlog = StructuredLog::Global();
   const int64_t total_micros =
@@ -30,7 +63,7 @@ void TREESIM_COLD MaybeLogJoin(const JoinResult& result, int tau, bool self,
   LogRecord rec;
   rec.Int("ts_micros", UnixMicros())
       .Str("event", self ? "self_join" : "join")
-      .Int("query_id", qlog.NextQueryId())
+      .Int("query_id", query_id)
       .Str("filter", filter_name)
       .Int("tau", tau)
       .Int("left_size", left_size)
@@ -69,6 +102,8 @@ JoinResult SimilarityJoin::JoinImpl(const TreeDatabase& left, int tau,
                                     bool self, ThreadPool* pool) {
   TREESIM_CHECK(left.label_dict() == right_->label_dict())
       << "join sides must share one label dictionary";
+  const ScopedQueryContext qctx("join");
+  const int64_t bounded_cells_before = BoundedCellsCounterValue();
   TREESIM_TRACE_SPAN("search.join");
   TREESIM_COUNTER_INC("search.join.joins");
   JoinResult result;
@@ -78,7 +113,7 @@ JoinResult SimilarityJoin::JoinImpl(const TreeDatabase& left, int tau,
     // interleave; preparing in id order also keeps any interning
     // deterministic).
     Stopwatch filter_timer;
-    std::vector<std::unique_ptr<QueryContext>> contexts;
+    std::vector<std::unique_ptr<FilterQueryContext>> contexts;
     if (filter_ != nullptr) {
       contexts.resize(static_cast<size_t>(left.size()));
       for (int l = 0; l < left.size(); ++l) {
@@ -147,7 +182,12 @@ JoinResult SimilarityJoin::JoinImpl(const TreeDatabase& left, int tau,
     TREESIM_HISTOGRAM_RECORD(
         "search.join.refine_micros", LatencyBucketsMicros(),
         static_cast<int64_t>(result.stats.refine_seconds * 1e6));
-    MaybeLogJoin(result, tau, self, left.size(),
+    const int64_t total_micros =
+        static_cast<int64_t>(result.stats.TotalSeconds() * 1e6);
+    TREESIM_WINDOW_RECORD("search.join.latency_window", total_micros);
+    RecordFlight(qctx.query_id(), tau, result.stats, total_micros,
+                 BoundedCellsCounterValue() - bounded_cells_before);
+    MaybeLogJoin(result, qctx.query_id(), tau, self, left.size(),
                  filter_ == nullptr ? "Sequential" : filter_->name());
     return result;
   }
@@ -166,7 +206,7 @@ JoinResult SimilarityJoin::JoinImpl(const TreeDatabase& left, int tau,
       result.stats.database_size = CheckedAdd<int64_t>(
           result.stats.database_size, right_->size() - (self ? l + 1 : 0));
     } else {
-      const std::unique_ptr<QueryContext> ctx =
+      const std::unique_ptr<FilterQueryContext> ctx =
           filter_->PrepareQuery(left.tree(l));
       for (int r = self ? l + 1 : 0; r < right_->size(); ++r) {
         if (filter_->MayQualify(*ctx, r, tau)) candidates.push_back(r);
@@ -200,7 +240,12 @@ JoinResult SimilarityJoin::JoinImpl(const TreeDatabase& left, int tau,
   TREESIM_HISTOGRAM_RECORD(
       "search.join.refine_micros", LatencyBucketsMicros(),
       static_cast<int64_t>(result.stats.refine_seconds * 1e6));
-  MaybeLogJoin(result, tau, self, left.size(),
+  const int64_t total_micros =
+      static_cast<int64_t>(result.stats.TotalSeconds() * 1e6);
+  TREESIM_WINDOW_RECORD("search.join.latency_window", total_micros);
+  RecordFlight(qctx.query_id(), tau, result.stats, total_micros,
+               BoundedCellsCounterValue() - bounded_cells_before);
+  MaybeLogJoin(result, qctx.query_id(), tau, self, left.size(),
                filter_ == nullptr ? "Sequential" : filter_->name());
   return result;
 }

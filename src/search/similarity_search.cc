@@ -4,9 +4,12 @@
 #include <limits>
 #include <queue>
 
+#include "filters/filter_index.h"
 #include "ted/bounded_ted.h"
+#include "util/flight_recorder.h"
 #include "util/logging.h"
 #include "util/metrics.h"
+#include "util/query_context.h"
 #include "util/safe_math.h"
 #include "util/stopwatch.h"
 #include "util/structured_log.h"
@@ -36,6 +39,40 @@ void AppendQueryStatsFields(const QueryStats& stats, int64_t total_micros,
       .Bool("slow", StructuredLog::Global().IsSlow(total_micros));
 }
 
+/// Current value of the process-wide bounded-TED cell counter
+/// (ted/bounded_ted.cc), read before/after a query for the flight
+/// recorder's per-query delta. The delta is approximate when queries
+/// overlap in one process. Constant 0 under TREESIM_METRICS=OFF.
+int64_t BoundedCellsCounterValue() {
+  static Counter& counter =
+      MetricsRegistry::Global().GetCounter("ted.bounded_cells_computed");
+  return counter.value();
+}
+
+/// Appends one completed query to the always-on flight recorder — the
+/// crash-dumpable sibling of the optional structured-log record.
+void RecordFlight(const char* op, int64_t query_id, int64_t param,
+                  const QueryStats& stats, int64_t total_micros,
+                  int64_t bounded_cells_delta) {
+  if constexpr (kMetricsEnabled) {
+    FlightRecord rec;
+    rec.query_id = query_id;
+    rec.ts_micros = UnixMicros();
+    rec.op = op;
+    rec.param = param;
+    rec.database_size = stats.database_size;
+    rec.candidates = stats.candidates;
+    rec.refined = stats.edit_distance_calls;
+    rec.results = stats.results;
+    rec.filter_micros = static_cast<int64_t>(stats.filter_seconds * 1e6);
+    rec.refine_micros = static_cast<int64_t>(stats.refine_seconds * 1e6);
+    rec.total_micros = total_micros;
+    rec.bounded_cells_delta = bounded_cells_delta;
+    rec.slow = StructuredLog::Global().IsSlow(total_micros);
+    FlightRecorder::Global().Record(rec);
+  }
+}
+
 }  // namespace
 
 SimilaritySearch::SimilaritySearch(const TreeDatabase* db,
@@ -51,6 +88,11 @@ std::string SimilaritySearch::filter_name() const {
 
 RangeResult SimilaritySearch::Range(const Tree& query, int tau,
                                     ThreadPool* pool) {
+  // The query's identity for every span, log record, exemplar, and flight
+  // record below — opened before the top span so it carries the id too,
+  // and propagated into pool workers by ThreadPool::Schedule.
+  const ScopedQueryContext qctx("range");
+  const int64_t bounded_cells_before = BoundedCellsCounterValue();
   TREESIM_TRACE_SPAN("search.range");
   TREESIM_COUNTER_INC("search.range.queries");
   RangeResult result;
@@ -59,7 +101,7 @@ RangeResult SimilaritySearch::Range(const Tree& query, int tau,
   // Filtering step. The context outlives the branch so the debug-mode
   // soundness check below can re-probe the filter per refined candidate.
   std::vector<int> candidates;
-  std::unique_ptr<QueryContext> ctx;
+  std::unique_ptr<FilterQueryContext> ctx;
   Stopwatch filter_timer;
   {
     TREESIM_TRACE_SPAN("search.range.filter");
@@ -158,17 +200,22 @@ RangeResult SimilaritySearch::Range(const Tree& query, int tau,
     LogRecord rec;
     rec.Int("ts_micros", UnixMicros())
         .Str("event", "range")
-        .Int("query_id", qlog.NextQueryId())
+        .Int("query_id", qctx.query_id())
         .Str("filter", filter_name())
         .Int("tau", tau);
     AppendQueryStatsFields(result.stats, total_micros, rec);
     qlog.Write(rec);
   }
+  TREESIM_WINDOW_RECORD("search.range.latency_window", total_micros);
+  RecordFlight("range", qctx.query_id(), tau, result.stats, total_micros,
+               BoundedCellsCounterValue() - bounded_cells_before);
   return result;
 }
 
 KnnResult SimilaritySearch::Knn(const Tree& query, int k, ThreadPool* pool) {
   TREESIM_CHECK_GT(k, 0);
+  const ScopedQueryContext qctx("knn");
+  const int64_t bounded_cells_before = BoundedCellsCounterValue();
   TREESIM_TRACE_SPAN("search.knn");
   TREESIM_COUNTER_INC("search.knn.queries");
   KnnResult result;
@@ -186,7 +233,7 @@ KnnResult SimilaritySearch::Knn(const Tree& query, int k, ThreadPool* pool) {
   }
   if (filter_ != nullptr) {
     TREESIM_TRACE_SPAN("search.knn.filter");
-    const std::unique_ptr<QueryContext> ctx = filter_->PrepareQuery(query);
+    const std::unique_ptr<FilterQueryContext> ctx = filter_->PrepareQuery(query);
     ParallelFor(pool, db_->size(), [&](int64_t id) {
       bounds[static_cast<size_t>(id)] =
           filter_->LowerBound(*ctx, static_cast<int>(id));
@@ -368,7 +415,7 @@ KnnResult SimilaritySearch::Knn(const Tree& query, int k, ThreadPool* pool) {
     LogRecord rec;
     rec.Int("ts_micros", UnixMicros())
         .Str("event", "knn")
-        .Int("query_id", qlog.NextQueryId())
+        .Int("query_id", qctx.query_id())
         .Str("filter", filter_name())
         .Int("k", k);
     AppendQueryStatsFields(result.stats, total_micros, rec);
@@ -381,11 +428,19 @@ KnnResult SimilaritySearch::Knn(const Tree& query, int k, ThreadPool* pool) {
     }
     qlog.Write(rec);
   }
+  TREESIM_WINDOW_RECORD("search.knn.latency_window", total_micros);
+  RecordFlight("knn", qctx.query_id(), k, result.stats, total_micros,
+               BoundedCellsCounterValue() - bounded_cells_before);
   return result;
 }
 
 BatchKnnResult SimilaritySearch::BatchKnn(const std::vector<Tree>& queries,
                                           int k, ThreadPool* pool) {
+  // The batch gets its own context; each member Knn() opens a nested one
+  // (shadowing this id for its duration), so per-query telemetry keys to
+  // the member query and the summary record below keys to the batch.
+  const ScopedQueryContext qctx("batch_knn");
+  const int64_t bounded_cells_before = BoundedCellsCounterValue();
   TREESIM_TRACE_SPAN("search.batch_knn");
   TREESIM_COUNTER_ADD("search.batch_knn.queries",
                       static_cast<int64_t>(queries.size()));
@@ -408,13 +463,16 @@ BatchKnnResult SimilaritySearch::BatchKnn(const std::vector<Tree>& queries,
     LogRecord rec;
     rec.Int("ts_micros", UnixMicros())
         .Str("event", "batch_knn")
-        .Int("query_id", qlog.NextQueryId())
+        .Int("query_id", qctx.query_id())
         .Str("filter", filter_name())
         .Int("k", k)
         .Int("queries", static_cast<int64_t>(queries.size()));
     AppendQueryStatsFields(out.combined, total_micros, rec);
     qlog.Write(rec);
   }
+  TREESIM_WINDOW_RECORD("search.batch_knn.latency_window", total_micros);
+  RecordFlight("batch_knn", qctx.query_id(), k, out.combined, total_micros,
+               BoundedCellsCounterValue() - bounded_cells_before);
   return out;
 }
 
@@ -423,6 +481,8 @@ WeightedRangeResult SimilaritySearch::RangeWeighted(const Tree& query,
                                                     const CostModel& costs) {
   const double c_min = costs.MinOperationCost();
   TREESIM_CHECK_GT(c_min, 0.0) << "MinOperationCost must be positive";
+  const ScopedQueryContext qctx("range_weighted");
+  const int64_t bounded_cells_before = BoundedCellsCounterValue();
   TREESIM_TRACE_SPAN("search.range_weighted");
   TREESIM_COUNTER_INC("search.range_weighted.queries");
   WeightedRangeResult result;
@@ -433,7 +493,7 @@ WeightedRangeResult SimilaritySearch::RangeWeighted(const Tree& query,
   // that scaled threshold.
   const double unit_tau = tau / c_min;
   std::vector<int> candidates;
-  std::unique_ptr<QueryContext> ctx;
+  std::unique_ptr<FilterQueryContext> ctx;
   Stopwatch filter_timer;
   if (filter_ == nullptr) {
     candidates.resize(static_cast<size_t>(db_->size()));
@@ -486,6 +546,12 @@ WeightedRangeResult SimilaritySearch::RangeWeighted(const Tree& query,
               return a.first < b.first;
             });
   result.stats.results = static_cast<int64_t>(result.matches.size());
+  const int64_t total_micros =
+      static_cast<int64_t>(result.stats.TotalSeconds() * 1e6);
+  TREESIM_WINDOW_RECORD("search.range_weighted.latency_window", total_micros);
+  RecordFlight("range_weighted", qctx.query_id(),
+               static_cast<int64_t>(tau), result.stats, total_micros,
+               BoundedCellsCounterValue() - bounded_cells_before);
   return result;
 }
 
@@ -494,6 +560,8 @@ WeightedKnnResult SimilaritySearch::KnnWeighted(const Tree& query, int k,
   const double c_min = costs.MinOperationCost();
   TREESIM_CHECK_GT(c_min, 0.0) << "MinOperationCost must be positive";
   TREESIM_CHECK_GT(k, 0);
+  const ScopedQueryContext qctx("knn_weighted");
+  const int64_t bounded_cells_before = BoundedCellsCounterValue();
   TREESIM_TRACE_SPAN("search.knn_weighted");
   TREESIM_COUNTER_INC("search.knn_weighted.queries");
   WeightedKnnResult result;
@@ -507,7 +575,7 @@ WeightedKnnResult SimilaritySearch::KnnWeighted(const Tree& query, int k,
     order[static_cast<size_t>(id)] = id;
   }
   if (filter_ != nullptr) {
-    const std::unique_ptr<QueryContext> ctx = filter_->PrepareQuery(query);
+    const std::unique_ptr<FilterQueryContext> ctx = filter_->PrepareQuery(query);
     for (int id = 0; id < db_->size(); ++id) {
       // Unit bound scaled into the weighted space.
       bounds[static_cast<size_t>(id)] = c_min * filter_->LowerBound(*ctx, id);
@@ -556,6 +624,11 @@ WeightedKnnResult SimilaritySearch::KnnWeighted(const Tree& query, int k,
     heap.pop();
   }
   result.stats.results = static_cast<int64_t>(result.neighbors.size());
+  const int64_t total_micros =
+      static_cast<int64_t>(result.stats.TotalSeconds() * 1e6);
+  TREESIM_WINDOW_RECORD("search.knn_weighted.latency_window", total_micros);
+  RecordFlight("knn_weighted", qctx.query_id(), k, result.stats,
+               total_micros, BoundedCellsCounterValue() - bounded_cells_before);
   return result;
 }
 

@@ -1,6 +1,7 @@
 #ifndef TREESIM_UTIL_LOGGING_H_
 #define TREESIM_UTIL_LOGGING_H_
 
+#include <atomic>
 #include <cstdlib>
 #include <iostream>
 #include <optional>
@@ -9,6 +10,26 @@
 
 namespace treesim {
 namespace internal_logging {
+
+/// Observer of fatal TREESIM_CHECK failures, invoked with the full
+/// diagnostic text just before the message is printed and the process
+/// aborts. The crash-triage layer (util/triage.cc) installs one to copy
+/// the text into its async-signal-safe buffer; the subsequent std::abort
+/// then raises SIGABRT into the triage signal handler, which writes the
+/// dump. The hook must not throw or return abnormally; it runs on the
+/// failing thread with arbitrary locks possibly held, so it should only
+/// stash data, never allocate or lock.
+using FatalHook = void (*)(const char* message);
+
+inline std::atomic<FatalHook>& FatalHookSlot() {
+  static std::atomic<FatalHook> hook{nullptr};
+  return hook;
+}
+
+/// Installs (or, with nullptr, removes) the process-wide fatal hook.
+inline void SetFatalHook(FatalHook hook) {
+  FatalHookSlot().store(hook, std::memory_order_release);
+}
 
 /// Accumulates a fatal diagnostic; aborts the process when destroyed.
 /// Used only via the TREESIM_CHECK* macros below.
@@ -23,7 +44,12 @@ class FatalMessage {
   FatalMessage& operator=(const FatalMessage&) = delete;
 
   [[noreturn]] ~FatalMessage() {
-    std::cerr << stream_.str() << std::endl;
+    const std::string message = stream_.str();
+    if (const FatalHook hook =
+            FatalHookSlot().load(std::memory_order_acquire)) {
+      hook(message.c_str());
+    }
+    std::cerr << message << std::endl;
     std::abort();
   }
 

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "util/logging.h"
+#include "util/query_context.h"
 #include "util/safe_math.h"
 #include "util/sync.h"
 
@@ -66,7 +67,14 @@ Histogram::Histogram(std::vector<int64_t> bounds) : bounds_(std::move(bounds)) {
                 bounds_.end())
       << "histogram bucket bounds must be distinct";
   buckets_ = std::make_unique<std::atomic<int64_t>[]>(bounds_.size() + 1);
-  for (size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+  exemplar_ids_ = std::make_unique<std::atomic<int64_t>[]>(bounds_.size() + 1);
+  exemplar_values_ =
+      std::make_unique<std::atomic<int64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0);
+    exemplar_ids_[i].store(0);
+    exemplar_values_[i].store(0);
+  }
 }
 
 void Histogram::Record(int64_t sample) {
@@ -76,14 +84,67 @@ void Histogram::Record(int64_t sample) {
   buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
   sum_.fetch_add(sample, std::memory_order_relaxed);
+  // Exemplar: remember which query last landed in this bucket, so the
+  // Prometheus exposition can point an operator at a concrete --query-log
+  // record. Only when a context is active — context-free recording (tests,
+  // benches, startup) must leave exports byte-identical.
+  const int64_t query_id = CurrentQueryContext().query_id;
+  if (query_id != 0) {
+    exemplar_values_[bucket].store(sample, std::memory_order_relaxed);
+    exemplar_ids_[bucket].store(query_id, std::memory_order_relaxed);
+  }
 }
 
 void Histogram::ResetForTest() {
   for (size_t i = 0; i <= bounds_.size(); ++i) {
     buckets_[i].store(0, std::memory_order_relaxed);
+    exemplar_ids_[i].store(0, std::memory_order_relaxed);
+    exemplar_values_[i].store(0, std::memory_order_relaxed);
   }
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0, std::memory_order_relaxed);
+}
+
+LatencyWindow::LatencyWindow(int capacity)
+    : capacity_(capacity) {
+  TREESIM_CHECK(capacity_ > 0) << "latency window capacity must be positive";
+  samples_ = std::make_unique<std::atomic<int64_t>[]>(
+      static_cast<size_t>(capacity_));
+  sample_ids_ = std::make_unique<std::atomic<int64_t>[]>(
+      static_cast<size_t>(capacity_));
+  for (int i = 0; i < capacity_; ++i) {
+    samples_[static_cast<size_t>(i)].store(0);
+    sample_ids_[static_cast<size_t>(i)].store(0);
+  }
+}
+
+void LatencyWindow::Record(int64_t sample) {
+  const int64_t slot =
+      head_.fetch_add(1, std::memory_order_relaxed) % capacity_;
+  samples_[static_cast<size_t>(slot)].store(sample,
+                                            std::memory_order_relaxed);
+  sample_ids_[static_cast<size_t>(slot)].store(
+      CurrentQueryContext().query_id, std::memory_order_relaxed);
+}
+
+std::vector<int64_t> LatencyWindow::RetainedSamples() const {
+  const int64_t written = head_.load(std::memory_order_relaxed);
+  const int n = written < capacity_ ? static_cast<int>(written) : capacity_;
+  std::vector<int64_t> out;
+  out.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    out.push_back(samples_[static_cast<size_t>(i)].load(
+        std::memory_order_relaxed));
+  }
+  return out;
+}
+
+void LatencyWindow::ResetForTest() {
+  for (int i = 0; i < capacity_; ++i) {
+    samples_[static_cast<size_t>(i)].store(0, std::memory_order_relaxed);
+    sample_ids_[static_cast<size_t>(i)].store(0, std::memory_order_relaxed);
+  }
+  head_.store(0, std::memory_order_relaxed);
 }
 
 MetricsRegistry& MetricsRegistry::Global() {
@@ -91,14 +152,53 @@ MetricsRegistry& MetricsRegistry::Global() {
   return *registry;
 }
 
+namespace {
+
+// Signal-safe registration-order index of every counter/gauge/histogram,
+// for the crash handler: fixed storage, entries published before the count
+// (release/acquire), objects never freed. Appends happen under the
+// registry mutex, so writes never race each other.
+constexpr int kMaxCrashViews = 512;
+CrashMetricView g_crash_views[kMaxCrashViews];
+std::atomic<int> g_crash_view_count{0};
+
+void AppendCrashView(const std::string& name, MetricKind kind,
+                     const Counter* counter, const Gauge* gauge,
+                     const Histogram* histogram) {
+  const int i = g_crash_view_count.load(std::memory_order_relaxed);
+  if (i >= kMaxCrashViews) return;  // overflow: later metrics just missing
+  CrashMetricView& v = g_crash_views[i];
+  const size_t n = std::min(name.size(), sizeof(v.name) - 1);
+  name.copy(v.name, n);
+  v.name[n] = '\0';
+  v.kind = kind;
+  v.counter = counter;
+  v.gauge = gauge;
+  v.histogram = histogram;
+  g_crash_view_count.store(i + 1, std::memory_order_release);
+}
+
+}  // namespace
+
+int CrashMetricViews(CrashMetricView* out, int max_out) {
+  if (out == nullptr || max_out <= 0) return 0;
+  int n = g_crash_view_count.load(std::memory_order_acquire);
+  if (n > max_out) n = max_out;
+  for (int i = 0; i < n; ++i) out[i] = g_crash_views[i];
+  return n;
+}
+
 Counter& MetricsRegistry::GetCounter(const std::string& name) {
   MutexLock lock(mu_);
   Entry& e = entries_[name];
   if (e.counter == nullptr) {
-    TREESIM_CHECK(e.gauge == nullptr && e.histogram == nullptr)
+    TREESIM_CHECK(e.gauge == nullptr && e.histogram == nullptr &&
+                  e.window == nullptr)
         << "metric '" << name << "' already registered as a different kind";
     e.kind = MetricKind::kCounter;
     e.counter = std::make_unique<Counter>();
+    AppendCrashView(name, MetricKind::kCounter, e.counter.get(), nullptr,
+                    nullptr);
   }
   return *e.counter;
 }
@@ -107,10 +207,13 @@ Gauge& MetricsRegistry::GetGauge(const std::string& name) {
   MutexLock lock(mu_);
   Entry& e = entries_[name];
   if (e.gauge == nullptr) {
-    TREESIM_CHECK(e.counter == nullptr && e.histogram == nullptr)
+    TREESIM_CHECK(e.counter == nullptr && e.histogram == nullptr &&
+                  e.window == nullptr)
         << "metric '" << name << "' already registered as a different kind";
     e.kind = MetricKind::kGauge;
     e.gauge = std::make_unique<Gauge>();
+    AppendCrashView(name, MetricKind::kGauge, nullptr, e.gauge.get(),
+                    nullptr);
   }
   return *e.gauge;
 }
@@ -120,15 +223,32 @@ Histogram& MetricsRegistry::GetHistogram(const std::string& name,
   MutexLock lock(mu_);
   Entry& e = entries_[name];
   if (e.histogram == nullptr) {
-    TREESIM_CHECK(e.counter == nullptr && e.gauge == nullptr)
+    TREESIM_CHECK(e.counter == nullptr && e.gauge == nullptr &&
+                  e.window == nullptr)
         << "metric '" << name << "' already registered as a different kind";
     e.kind = MetricKind::kHistogram;
     e.histogram = std::make_unique<Histogram>(bounds);
+    AppendCrashView(name, MetricKind::kHistogram, nullptr, nullptr,
+                    e.histogram.get());
   } else {
     TREESIM_CHECK(e.histogram->bounds() == bounds)
         << "metric '" << name << "' re-registered with different buckets";
   }
   return *e.histogram;
+}
+
+LatencyWindow& MetricsRegistry::GetWindow(const std::string& name) {
+  constexpr int kWindowCapacity = 512;
+  MutexLock lock(mu_);
+  Entry& e = entries_[name];
+  if (e.window == nullptr) {
+    TREESIM_CHECK(e.counter == nullptr && e.gauge == nullptr &&
+                  e.histogram == nullptr)
+        << "metric '" << name << "' already registered as a different kind";
+    e.kind = MetricKind::kWindow;
+    e.window = std::make_unique<LatencyWindow>(kWindowCapacity);
+  }
+  return *e.window;
 }
 
 int MetricsRegistry::metric_count() const {
@@ -152,11 +272,32 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
           MetricsSnapshot::HistogramValue& h = snap.histograms[name];
           h.bounds = entry.histogram->bounds();
           h.bucket_counts.reserve(h.bounds.size() + 1);
+          h.exemplar_ids.reserve(h.bounds.size() + 1);
+          h.exemplar_values.reserve(h.bounds.size() + 1);
           for (int b = 0; b < entry.histogram->bucket_count(); ++b) {
             h.bucket_counts.push_back(entry.histogram->bucket_value(b));
+            h.exemplar_ids.push_back(entry.histogram->exemplar_id(b));
+            h.exemplar_values.push_back(entry.histogram->exemplar_value(b));
           }
           h.count = entry.histogram->count();
           h.sum = entry.histogram->sum();
+          break;
+        }
+        case MetricKind::kWindow: {
+          // A window renders as rolling nearest-rank percentile gauges of
+          // the retained samples — the "current behavior" companions to
+          // the since-start histograms.
+          std::vector<int64_t> samples = entry.window->RetainedSamples();
+          std::sort(samples.begin(), samples.end());
+          const auto pct = [&samples](int p) -> int64_t {
+            if (samples.empty()) return 0;
+            const size_t rank =
+                (samples.size() * static_cast<size_t>(p) + 99) / 100;
+            return samples[rank == 0 ? 0 : rank - 1];
+          };
+          snap.gauges[name + ".p50"] = pct(50);
+          snap.gauges[name + ".p95"] = pct(95);
+          snap.gauges[name + ".p99"] = pct(99);
           break;
         }
       }
@@ -181,6 +322,9 @@ void MetricsRegistry::ResetForTest() {
         break;
       case MetricKind::kHistogram:
         entry.histogram->ResetForTest();
+        break;
+      case MetricKind::kWindow:
+        entry.window->ResetForTest();
         break;
     }
   }
@@ -212,6 +356,11 @@ Gauge& MetricsRegistry::GetGauge(const std::string& /*name*/) {
 Histogram& MetricsRegistry::GetHistogram(
     const std::string& /*name*/, const std::vector<int64_t>& /*bounds*/) {
   static Histogram* const dummy = new Histogram(std::vector<int64_t>{});
+  return *dummy;
+}
+
+LatencyWindow& MetricsRegistry::GetWindow(const std::string& /*name*/) {
+  static LatencyWindow* const dummy = new LatencyWindow(0);
   return *dummy;
 }
 
@@ -311,7 +460,18 @@ std::string MetricsSnapshot::ToJson() const {
     AppendInt64Array(os, h.bounds);
     os << ",\"counts\":";
     AppendInt64Array(os, h.bucket_counts);
-    os << ",\"count\":" << h.count << ",\"sum\":" << h.sum << '}';
+    os << ",\"count\":" << h.count << ",\"sum\":" << h.sum;
+    // Exemplars only when at least one bucket has one, so context-free
+    // dumps (and their golden tests) are byte-identical to before.
+    bool any_exemplar = false;
+    for (const int64_t id : h.exemplar_ids) any_exemplar |= (id != 0);
+    if (any_exemplar) {
+      os << ",\"exemplar_ids\":";
+      AppendInt64Array(os, h.exemplar_ids);
+      os << ",\"exemplar_values\":";
+      AppendInt64Array(os, h.exemplar_values);
+    }
+    os << '}';
   }
   os << "}}";
   return os.str();
@@ -404,7 +564,16 @@ std::string MetricsSnapshot::ToPrometheus() const {
       } else {
         os << "+Inf";
       }
-      os << "\"} " << cumulative << "\n";
+      os << "\"} " << cumulative;
+      // OpenMetrics-style exemplar: the last in-context query that landed
+      // in this bucket, joinable against --query-log / --trace by id.
+      // Absent entirely for context-free histograms, so plain 0.0.4
+      // consumers and the golden exposition tests see unchanged output.
+      if (b < h.exemplar_ids.size() && h.exemplar_ids[b] != 0) {
+        os << " # {query_id=\"" << h.exemplar_ids[b] << "\"} "
+           << h.exemplar_values[b];
+      }
+      os << "\n";
     }
     os << prom << "_sum " << h.sum << "\n";
     os << prom << "_count " << h.count << "\n";

@@ -53,7 +53,7 @@ inline constexpr bool kMetricsEnabled = TREESIM_METRICS_ENABLED != 0;
 
 /// What a registered name refers to; re-registering a name as a different
 /// kind is a fatal error (names are a global vocabulary).
-enum class MetricKind { kCounter, kGauge, kHistogram };
+enum class MetricKind { kCounter, kGauge, kHistogram, kWindow };
 
 #if TREESIM_METRICS_ENABLED
 
@@ -110,13 +110,62 @@ class Histogram {
   /// latencies and candidate counts are far from the int64 range).
   int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
 
+  /// Last query id (util/query_context.h) that recorded into `bucket`, 0
+  /// when every sample in that bucket came from context-free code. Feeds
+  /// the Prometheus exemplar annotations.
+  int64_t exemplar_id(int bucket) const {
+    return exemplar_ids_[static_cast<size_t>(bucket)].load(
+        std::memory_order_relaxed);
+  }
+  /// The sample that query recorded (only meaningful when exemplar_id(b)
+  /// is nonzero; id and value are stored with two relaxed stores, so a
+  /// concurrent reader may pair them across writes — fine for exemplars).
+  int64_t exemplar_value(int bucket) const {
+    return exemplar_values_[static_cast<size_t>(bucket)].load(
+        std::memory_order_relaxed);
+  }
+
  private:
   friend class MetricsRegistry;
   void ResetForTest();
   std::vector<int64_t> bounds_;
   std::unique_ptr<std::atomic<int64_t>[]> buckets_;
+  std::unique_ptr<std::atomic<int64_t>[]> exemplar_ids_;
+  std::unique_ptr<std::atomic<int64_t>[]> exemplar_values_;
   std::atomic<int64_t> count_{0};
   std::atomic<int64_t> sum_{0};
+};
+
+/// A sliding window over the last `capacity` samples of a latency series,
+/// aggregated at snapshot time into rolling p50/p95/p99 gauges (rendered
+/// as `<name>.p50` etc. in every export format) — the live signals a
+/// scrape sees, as opposed to the since-process-start histograms. Record
+/// is two relaxed stores plus one relaxed fetch_add; the snapshot-side
+/// sort touches at most `capacity` values.
+class LatencyWindow {
+ public:
+  explicit LatencyWindow(int capacity);
+
+  /// Records one sample, tagging it with the calling thread's current
+  /// query id (0 when none).
+  void Record(int64_t sample);
+
+  int capacity() const { return capacity_; }
+  int64_t total_recorded() const {
+    return head_.load(std::memory_order_relaxed);
+  }
+
+  /// Copies the currently retained samples (unordered). Monitoring-grade
+  /// consistency: concurrent writers may tear sample/slot pairing.
+  std::vector<int64_t> RetainedSamples() const;
+
+ private:
+  friend class MetricsRegistry;
+  void ResetForTest();
+  int capacity_;
+  std::unique_ptr<std::atomic<int64_t>[]> samples_;
+  std::unique_ptr<std::atomic<int64_t>[]> sample_ids_;
+  std::atomic<int64_t> head_{0};
 };
 
 #else  // !TREESIM_METRICS_ENABLED
@@ -146,6 +195,17 @@ class Histogram {
   int64_t bucket_value(int) const { return 0; }
   int64_t count() const { return 0; }
   int64_t sum() const { return 0; }
+  int64_t exemplar_id(int) const { return 0; }
+  int64_t exemplar_value(int) const { return 0; }
+};
+
+class LatencyWindow {
+ public:
+  explicit LatencyWindow(int) {}
+  void Record(int64_t) {}
+  int capacity() const { return 0; }
+  int64_t total_recorded() const { return 0; }
+  std::vector<int64_t> RetainedSamples() const { return {}; }
 };
 
 #endif  // TREESIM_METRICS_ENABLED
@@ -160,6 +220,11 @@ struct MetricsSnapshot {
     std::vector<int64_t> bucket_counts;
     int64_t count = 0;
     int64_t sum = 0;
+    /// Per-bucket exemplar query ids and the samples they recorded, same
+    /// indexing as bucket_counts; empty (the default, and what hand-built
+    /// snapshots have) or id 0 means "no exemplar for this bucket".
+    std::vector<int64_t> exemplar_ids;
+    std::vector<int64_t> exemplar_values;
 
     double Mean() const {
       return count == 0 ? 0.0
@@ -234,6 +299,11 @@ class MetricsRegistry {
   Histogram& GetHistogram(const std::string& name,
                           const std::vector<int64_t>& bounds);
 
+  /// Same contract for sliding latency windows (fixed 512-sample window).
+  /// Snapshot() renders a window as three gauges: `<name>.p50`, `.p95`,
+  /// `.p99` (0 until the first sample).
+  LatencyWindow& GetWindow(const std::string& name);
+
   /// Number of registered metrics (0 under TREESIM_METRICS=OFF — the
   /// compile-out guard in bench/metrics_overhead asserts this).
   int metric_count() const;
@@ -255,11 +325,35 @@ class MetricsRegistry {
     std::unique_ptr<Counter> counter;
     std::unique_ptr<Gauge> gauge;
     std::unique_ptr<Histogram> histogram;
+    std::unique_ptr<LatencyWindow> window;
   };
   mutable Mutex mu_ TREESIM_LOCK_RANK(40);
   std::map<std::string, Entry> entries_ TREESIM_GUARDED_BY(mu_);
 #endif
 };
+
+/// A signal-safe view of one registered metric for the crash handler
+/// (util/triage.cc): the name is copied into fixed storage at registration
+/// and the pointers are to registry-owned objects that are never freed, so
+/// reading `counter->value()` etc. from a signal handler touches only
+/// relaxed atomic loads. Windows are not indexed (their snapshot requires
+/// allocation and sorting).
+struct CrashMetricView {
+  char name[64] = {0};
+  MetricKind kind = MetricKind::kCounter;
+  const Counter* counter = nullptr;
+  const Gauge* gauge = nullptr;
+  const Histogram* histogram = nullptr;
+};
+
+#if TREESIM_METRICS_ENABLED
+/// Copies up to `max_out` registered-metric views (registration order)
+/// into caller storage without allocating or locking. Safe to call from a
+/// signal handler. Returns the count.
+int CrashMetricViews(CrashMetricView* out, int max_out);
+#else
+inline int CrashMetricViews(CrashMetricView*, int) { return 0; }
+#endif
 
 /// Canonical bucket sets, so related metrics stay comparable.
 /// Powers of two from 1us to ~8.4s plus overflow — stage latencies.
@@ -304,6 +398,13 @@ std::vector<int64_t> SmallValueBuckets();
     treesim_metric_histogram_.Record(sample);                       \
   } while (false)
 
+#define TREESIM_WINDOW_RECORD(name, sample)                         \
+  do {                                                              \
+    static ::treesim::LatencyWindow& treesim_metric_window_ =       \
+        ::treesim::MetricsRegistry::Global().GetWindow(name "");    \
+    treesim_metric_window_.Record(sample);                          \
+  } while (false)
+
 #else  // !TREESIM_METRICS_ENABLED
 
 // Operands stay compiled (no -Wunused rot, typos still fail the OFF build)
@@ -317,6 +418,8 @@ std::vector<int64_t> SmallValueBuckets();
   while (false)                                                     \
   static_cast<void>(static_cast<int64_t>(sample) +                  \
                     static_cast<int64_t>((bounds).size()))
+#define TREESIM_WINDOW_RECORD(name, sample) \
+  while (false) static_cast<void>(static_cast<int64_t>(sample))
 
 #endif  // TREESIM_METRICS_ENABLED
 

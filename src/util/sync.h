@@ -72,6 +72,10 @@
 ///   30  trace.cc ThreadBuffer::mu
 ///   40  MetricsRegistry::mu_
 ///   50  StructuredLog::mu_
+/// Deliberately unranked because they take no Mutex at all: the flight
+/// recorder (seqlock slots, util/flight_recorder.cc), the crash-dump
+/// index arrays (CrashMetricViews / TraceCrashTail) and util/triage.cc —
+/// those run on signal-handler read paths where locking is forbidden.
 #define TREESIM_LOCK_RANK(level) \
   TREESIM_THREAD_ANNOTATION_(annotate("treesim::lock_rank=" #level))
 

@@ -7,6 +7,7 @@
 
 #include "util/logging.h"
 #include "util/metrics.h"
+#include "util/query_context.h"
 #include "util/stopwatch.h"
 #include "util/sync.h"
 #include "util/trace.h"
@@ -40,6 +41,21 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Schedule(std::function<void()> fn) {
   TREESIM_CHECK(fn != nullptr);
+  if constexpr (kMetricsEnabled) {
+    // Query-context propagation: capture the submitting thread's context
+    // and restore it around the task in the worker, so every span, log
+    // record, metric exemplar, and flight record the task emits carries
+    // the originating query id. The wrapper opens its own span because the
+    // WorkerLoop's "threadpool.task" span starts before the restore runs.
+    const QueryContext ctx = CurrentQueryContext();
+    if (ctx.query_id != 0) {
+      fn = [ctx, inner = std::move(fn)] {
+        const ScopedQueryContext scope(ctx);
+        TREESIM_TRACE_SPAN("threadpool.task_in_context");
+        inner();
+      };
+    }
+  }
   {
     MutexLock lock(mu_);
     TREESIM_CHECK(!shutdown_) << "Schedule() after the destructor began";

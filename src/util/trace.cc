@@ -7,6 +7,8 @@
 #include <memory>
 #include <sstream>
 
+#include "util/metrics.h"
+#include "util/query_context.h"
 #include "util/sync.h"
 
 namespace treesim {
@@ -33,10 +35,16 @@ struct ThreadBuffer {
   int64_t written TREESIM_GUARDED_BY(mu) = 0;
   int thread_index = 0;
 
-  void Append(const TraceEvent& event) {
+  /// Returns true when the ring wrapped (an older event was overwritten),
+  /// so the caller can bump the trace.dropped_events counter outside the
+  /// lock (the registry mutex has rank 40 > this one's 30, but staying
+  /// lock-free here keeps Append's critical section minimal).
+  bool Append(const TraceEvent& event) {
     MutexLock lock(mu);
+    const bool dropped = written >= Tracer::kRingCapacity;
     ring[static_cast<size_t>(written % Tracer::kRingCapacity)] = event;
     ++written;
+    return dropped;
   }
 };
 
@@ -53,6 +61,15 @@ TracerState& State() {
   return *state;
 }
 
+// Signal-safe shadow index of the registered ThreadBuffers for the crash
+// handler: the registry's shared_ptrs are never removed, so a raw pointer
+// appended here stays valid for the process lifetime. Entries are
+// published before the count (release/acquire); appends happen under
+// TracerState::mu.
+constexpr int kMaxCrashBuffers = 256;
+std::atomic<ThreadBuffer*> g_crash_buffers[kMaxCrashBuffers];
+std::atomic<int> g_crash_buffer_count{0};
+
 /// The calling thread's buffer, registered with the tracer on first use.
 /// The thread_local shared_ptr plus the registry's copy give the buffer two
 /// owners, so whichever goes away last (thread exit vs. trace export) wins.
@@ -63,6 +80,14 @@ ThreadBuffer& LocalBuffer() {
     MutexLock lock(state.mu);
     b->thread_index = static_cast<int>(state.buffers.size());
     state.buffers.push_back(b);
+    const int crash_index =
+        g_crash_buffer_count.load(std::memory_order_relaxed);
+    if (crash_index < kMaxCrashBuffers) {
+      g_crash_buffers[crash_index].store(b.get(),
+                                         std::memory_order_relaxed);
+      g_crash_buffer_count.store(crash_index + 1,
+                                 std::memory_order_release);
+    }
     return b;
   }();
   return *buffer;
@@ -157,17 +182,50 @@ std::string Tracer::ExportChromeTracing() const {
     os << "{\"name\":\"" << e.name << "\",\"ph\":\"X\",\"pid\":0,\"tid\":"
        << e.thread_index << ",\"ts\":" << (e.start_ns / 1000) << '.'
        << (e.start_ns % 1000) << ",\"dur\":" << (e.duration_ns / 1000) << '.'
-       << (e.duration_ns % 1000) << '}';
+       << (e.duration_ns % 1000);
+    if (e.query_id != 0) {
+      os << ",\"args\":{\"query_id\":" << e.query_id << '}';
+    }
+    os << '}';
   }
   os << "]}";
   return os.str();
 }
 
+// Deliberately lock- and allocation-free: reads the guarded ring/written
+// fields without their mutex. Only the crash handler calls this, on a
+// process that is already dying — a torn TraceEvent is acceptable there,
+// a handler deadlocking on a mutex the crashed thread holds is not.
+TREESIM_NO_THREAD_SAFETY_ANALYSIS
+int TraceCrashTail(TraceEvent* out, int max_out, int per_thread) {
+  if (out == nullptr || max_out <= 0 || per_thread <= 0) return 0;
+  const int buffers = g_crash_buffer_count.load(std::memory_order_acquire);
+  int n = 0;
+  for (int i = 0; i < buffers && n < max_out; ++i) {
+    const ThreadBuffer* b =
+        g_crash_buffers[i].load(std::memory_order_relaxed);
+    if (b == nullptr) continue;
+    const int64_t written = b->written;
+    if (written <= 0 || written > (int64_t{1} << 48)) continue;  // torn
+    const int64_t kept = std::min<int64_t>(
+        std::min<int64_t>(written, Tracer::kRingCapacity), per_thread);
+    for (int64_t e = written - kept; e < written && n < max_out; ++e) {
+      const TraceEvent& event =
+          b->ring[static_cast<size_t>(e % Tracer::kRingCapacity)];
+      if (event.name == nullptr) continue;
+      out[n++] = event;
+    }
+  }
+  return n;
+}
+
 TraceSpan::TraceSpan(const char* name)
     : name_(name),
       start_ns_(0),
+      query_id_(0),
       recording_(Tracer::Global().enabled()) {
   if (!recording_) return;
+  query_id_ = CurrentQueryContext().query_id;
   ++open_span_depth;
   // Clamped at 0 so a re-Enable() mid-span cannot yield negative timestamps
   // (which would break the %-based fraction rendering in the JSON export).
@@ -182,12 +240,17 @@ TraceSpan::~TraceSpan() {
   event.name = name_;
   event.depth = open_span_depth;
   event.start_ns = start_ns_;
+  event.query_id = query_id_;
   event.duration_ns = std::max<int64_t>(
       0, NowNanos() - State().epoch_ns.load(std::memory_order_relaxed) -
              start_ns_);
   ThreadBuffer& buffer = LocalBuffer();
   event.thread_index = buffer.thread_index;
-  buffer.Append(event);
+  if (buffer.Append(event)) {
+    // Ring wraparound silently loses the oldest span; surface the loss in
+    // the registry so --metrics output shows it (satellite of ISSUE 10).
+    TREESIM_COUNTER_INC("trace.dropped_events");
+  }
 }
 
 #else  // !TREESIM_METRICS_ENABLED

@@ -56,6 +56,11 @@ struct TraceEvent {
   int64_t start_ns = 0;
   /// Duration in nanoseconds.
   int64_t duration_ns = 0;
+  /// Query id (util/query_context.h) active on the recording thread when
+  /// the span opened, 0 when none — what makes a trace joinable against
+  /// the structured query log and metric exemplars. Exported as
+  /// `"args":{"query_id":N}` on the chrome://tracing event.
+  int64_t query_id = 0;
 };
 
 class Tracer {
@@ -91,6 +96,18 @@ class Tracer {
 };
 
 #if TREESIM_METRICS_ENABLED
+/// Signal-safe trace tail for the crash handler (util/triage.cc): copies
+/// at most `per_thread` newest events from each registered thread ring
+/// (up to `max_out` total) into caller storage without locking or
+/// allocating. The reads race the owning threads by design — a torn event
+/// in a crash dump beats no trace at all. Returns the count. Never call
+/// this on a live, healthy process; use Tracer::Collect().
+int TraceCrashTail(TraceEvent* out, int max_out, int per_thread);
+#else
+inline int TraceCrashTail(TraceEvent*, int, int) { return 0; }
+#endif
+
+#if TREESIM_METRICS_ENABLED
 
 /// RAII span: records one TraceEvent on the current thread's ring buffer
 /// when destroyed, if the tracer was enabled when it was constructed.
@@ -106,6 +123,7 @@ class TraceSpan {
  private:
   const char* name_;
   int64_t start_ns_;
+  int64_t query_id_;
   bool recording_;
 };
 

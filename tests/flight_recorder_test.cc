@@ -1,0 +1,154 @@
+// Unit tests for the flight recorder (util/flight_recorder.h): ordering,
+// ring wraparound, the frozen-capacity contract, the signal-safe
+// CrashSnapshot path, and a concurrent writer/snapshot stress that TSan
+// uses to prove the seqlock protocol race-free. The recorder is
+// process-global; every test starts from ResetForTest().
+#include "util/flight_recorder.h"
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "util/metrics.h"
+
+namespace treesim {
+namespace {
+
+FlightRecord MakeRecord(int64_t id) {
+  // Derived fields: any record a reader ever observes must satisfy
+  // param == 2*id and total_micros == 3*id, or the slot was torn.
+  FlightRecord rec;
+  rec.query_id = id;
+  rec.op = "test";
+  rec.param = 2 * id;
+  rec.total_micros = 3 * id;
+  rec.results = id;
+  return rec;
+}
+
+class FlightRecorderTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FlightRecorder::Global().ResetForTest(); }
+  void TearDown() override { FlightRecorder::Global().ResetForTest(); }
+};
+
+TEST_F(FlightRecorderTest, EmptySnapshot) {
+  EXPECT_TRUE(FlightRecorder::Global().Snapshot().empty());
+  EXPECT_EQ(FlightRecorder::Global().total_recorded(), 0);
+  FlightRecord scratch[4];
+  EXPECT_EQ(FlightRecorder::Global().CrashSnapshot(scratch, 4), 0);
+}
+
+TEST_F(FlightRecorderTest, SnapshotIsOldestFirst) {
+  if (!kMetricsEnabled) GTEST_SKIP() << "TREESIM_METRICS=OFF";
+  FlightRecorder& recorder = FlightRecorder::Global();
+  for (int64_t i = 1; i <= 5; ++i) recorder.Record(MakeRecord(i));
+  const std::vector<FlightRecord> records = recorder.Snapshot();
+  ASSERT_EQ(records.size(), 5u);
+  for (int64_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(records[static_cast<size_t>(i)].query_id, i + 1);
+    EXPECT_STREQ(records[static_cast<size_t>(i)].op, "test");
+  }
+  EXPECT_EQ(recorder.total_recorded(), 5);
+}
+
+TEST_F(FlightRecorderTest, WraparoundKeepsTheNewest) {
+  if (!kMetricsEnabled) GTEST_SKIP() << "TREESIM_METRICS=OFF";
+  FlightRecorder& recorder = FlightRecorder::Global();
+  recorder.Configure(4);
+  for (int64_t i = 1; i <= 10; ++i) recorder.Record(MakeRecord(i));
+  EXPECT_EQ(recorder.capacity(), 4);
+  EXPECT_EQ(recorder.total_recorded(), 10);
+  const std::vector<FlightRecord> records = recorder.Snapshot();
+  ASSERT_EQ(records.size(), 4u);
+  for (int64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(records[static_cast<size_t>(i)].query_id, 7 + i);
+  }
+}
+
+TEST_F(FlightRecorderTest, CapacityClampsAndFreezes) {
+  if (!kMetricsEnabled) GTEST_SKIP() << "TREESIM_METRICS=OFF";
+  FlightRecorder& recorder = FlightRecorder::Global();
+  recorder.Configure(0);
+  EXPECT_EQ(recorder.capacity(), 1);
+  recorder.Configure(1 << 20);
+  EXPECT_EQ(recorder.capacity(), 4096);
+  recorder.Configure(8);
+  recorder.Record(MakeRecord(1));
+  recorder.Configure(8);  // same value after freezing: fine
+  EXPECT_DEATH(recorder.Configure(16), "frozen");
+}
+
+TEST_F(FlightRecorderTest, CrashSnapshotIsNewestFirstAndBounded) {
+  if (!kMetricsEnabled) GTEST_SKIP() << "TREESIM_METRICS=OFF";
+  FlightRecorder& recorder = FlightRecorder::Global();
+  for (int64_t i = 1; i <= 6; ++i) recorder.Record(MakeRecord(i));
+  FlightRecord scratch[4];
+  const int n = recorder.CrashSnapshot(scratch, 4);
+  ASSERT_EQ(n, 4);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(scratch[i].query_id, 6 - i);
+  }
+}
+
+TEST_F(FlightRecorderTest, ConcurrentWritersAndSnapshotsStaySane) {
+  if (!kMetricsEnabled) GTEST_SKIP() << "TREESIM_METRICS=OFF";
+  FlightRecorder& recorder = FlightRecorder::Global();
+  recorder.Configure(16);  // small ring: maximal writer/reader contention
+  constexpr int kWriters = 4;
+  constexpr int64_t kPerWriter = 2000;
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> torn{0};
+
+  std::thread reader([&recorder, &stop, &torn] {
+    FlightRecord scratch[16];
+    while (!stop.load(std::memory_order_acquire)) {
+      for (const FlightRecord& rec : recorder.Snapshot()) {
+        if (rec.param != 2 * rec.query_id ||
+            rec.total_micros != 3 * rec.query_id) {
+          torn.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      const int n = recorder.CrashSnapshot(scratch, 16);
+      for (int i = 0; i < n; ++i) {
+        if (scratch[i].param != 2 * scratch[i].query_id) {
+          torn.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&recorder, w] {
+      for (int64_t i = 0; i < kPerWriter; ++i) {
+        recorder.Record(MakeRecord(w * kPerWriter + i + 1));
+      }
+    });
+  }
+  for (std::thread& t : writers) t.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+
+  EXPECT_EQ(torn.load(), 0) << "snapshot returned a torn record";
+  EXPECT_EQ(recorder.total_recorded(), kWriters * kPerWriter);
+  // After the writers quiesce, the ring holds exactly its capacity in
+  // consistent records.
+  EXPECT_EQ(recorder.Snapshot().size(), 16u);
+}
+
+TEST_F(FlightRecorderTest, ResetRestoresDefaults) {
+  if (!kMetricsEnabled) GTEST_SKIP() << "TREESIM_METRICS=OFF";
+  FlightRecorder& recorder = FlightRecorder::Global();
+  recorder.Configure(2);
+  recorder.Record(MakeRecord(1));
+  recorder.ResetForTest();
+  EXPECT_EQ(recorder.capacity(), 128);
+  EXPECT_EQ(recorder.total_recorded(), 0);
+  EXPECT_TRUE(recorder.Snapshot().empty());
+}
+
+}  // namespace
+}  // namespace treesim

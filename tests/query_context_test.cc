@@ -1,0 +1,154 @@
+// Unit tests for query-context propagation (util/query_context.h): id
+// allocation, RAII nesting, capture at ThreadPool::Schedule/ParallelFor
+// submission, and the determinism guarantee that id allocation does not
+// depend on the pool size. The context is process-global state but purely
+// thread-local, so the tests need no reset hook.
+#include "util/query_context.h"
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "util/metrics.h"
+#include "util/thread_pool.h"
+
+namespace treesim {
+namespace {
+
+TEST(QueryContextTest, NoContextByDefault) {
+  EXPECT_EQ(CurrentQueryContext().query_id, 0);
+  EXPECT_STREQ(CurrentQueryContext().tag, "");
+}
+
+TEST(QueryContextTest, AllocateIsMonotonicAndUnique) {
+  if (!kMetricsEnabled) GTEST_SKIP() << "TREESIM_METRICS=OFF";
+  const int64_t first = AllocateQueryId();
+  EXPECT_GE(first, 1);  // 0 is reserved for "no context"
+  for (int i = 1; i <= 10; ++i) {
+    EXPECT_EQ(AllocateQueryId(), first + i);
+  }
+}
+
+TEST(QueryContextTest, ScopesNestAndRestore) {
+  if (!kMetricsEnabled) GTEST_SKIP() << "TREESIM_METRICS=OFF";
+  {
+    const ScopedQueryContext outer("outer");
+    EXPECT_GT(outer.query_id(), 0);
+    EXPECT_EQ(CurrentQueryContext().query_id, outer.query_id());
+    EXPECT_STREQ(CurrentQueryContext().tag, "outer");
+    {
+      const ScopedQueryContext inner("inner");
+      EXPECT_GT(inner.query_id(), outer.query_id());
+      EXPECT_EQ(CurrentQueryContext().query_id, inner.query_id());
+      EXPECT_STREQ(CurrentQueryContext().tag, "inner");
+    }
+    // The inner scope restored the outer context, not "no context".
+    EXPECT_EQ(CurrentQueryContext().query_id, outer.query_id());
+    EXPECT_STREQ(CurrentQueryContext().tag, "outer");
+  }
+  EXPECT_EQ(CurrentQueryContext().query_id, 0);
+}
+
+TEST(QueryContextTest, AdoptingScopeKeepsTheGivenId) {
+  if (!kMetricsEnabled) GTEST_SKIP() << "TREESIM_METRICS=OFF";
+  QueryContext ctx;
+  ctx.query_id = 12345;
+  ctx.tag = "adopted";
+  {
+    const ScopedQueryContext scope(ctx);
+    EXPECT_EQ(scope.query_id(), 12345);
+    EXPECT_EQ(CurrentQueryContext().query_id, 12345);
+  }
+  EXPECT_EQ(CurrentQueryContext().query_id, 0);
+}
+
+TEST(QueryContextTest, ScheduleCapturesSubmitterContext) {
+  if (!kMetricsEnabled) GTEST_SKIP() << "TREESIM_METRICS=OFF";
+  std::atomic<int64_t> seen{-1};
+  int64_t submitted = 0;
+  {
+    auto pool = std::make_unique<ThreadPool>(2);
+    {
+      const ScopedQueryContext qctx("schedule_test");
+      submitted = qctx.query_id();
+      pool->Schedule(
+          [&seen] { seen = CurrentQueryContext().query_id; });
+    }
+    // The submitting scope is already closed; the capture taken at
+    // Schedule() time must still deliver the id to the worker.
+    pool.reset();  // drains the queue and joins
+  }
+  EXPECT_EQ(seen.load(), submitted);
+}
+
+TEST(QueryContextTest, ScheduleWithoutContextStaysBare) {
+  if (!kMetricsEnabled) GTEST_SKIP() << "TREESIM_METRICS=OFF";
+  std::atomic<int64_t> seen{-1};
+  {
+    auto pool = std::make_unique<ThreadPool>(2);
+    pool->Schedule([&seen] { seen = CurrentQueryContext().query_id; });
+    pool.reset();
+  }
+  EXPECT_EQ(seen.load(), 0);
+}
+
+TEST(QueryContextTest, ParallelForPropagatesToEveryIteration) {
+  if (!kMetricsEnabled) GTEST_SKIP() << "TREESIM_METRICS=OFF";
+  constexpr int64_t kN = 64;
+  for (const int threads : {1, 8}) {
+    ThreadPool pool(threads);
+    std::vector<int64_t> observed(kN, -1);
+    const ScopedQueryContext qctx("parallel_for_test");
+    pool.ParallelFor(kN, [&observed](int64_t i) {
+      observed[static_cast<size_t>(i)] = CurrentQueryContext().query_id;
+    });
+    for (int64_t i = 0; i < kN; ++i) {
+      EXPECT_EQ(observed[static_cast<size_t>(i)], qctx.query_id())
+          << "iteration " << i << " with " << threads << " threads";
+    }
+  }
+}
+
+/// Runs a fixed sequence of "queries" (context open + fan-out) and returns
+/// the observed worker-side ids relative to the first allocated id.
+std::vector<int64_t> RunFixedQuerySequence(int threads) {
+  ThreadPool pool(threads);
+  std::vector<int64_t> relative_ids;
+  int64_t base = -1;
+  for (int q = 0; q < 5; ++q) {
+    const ScopedQueryContext qctx("determinism_test");
+    if (base < 0) base = qctx.query_id();
+    std::atomic<int64_t> worker_seen{-1};
+    pool.ParallelFor(16, [&worker_seen](int64_t) {
+      worker_seen = CurrentQueryContext().query_id;
+    });
+    EXPECT_EQ(worker_seen.load(), qctx.query_id());
+    relative_ids.push_back(qctx.query_id() - base);
+  }
+  return relative_ids;
+}
+
+TEST(QueryContextTest, IdAssignmentIsDeterministicAcrossPoolSizes) {
+  if (!kMetricsEnabled) GTEST_SKIP() << "TREESIM_METRICS=OFF";
+  // Ids are allocated on the calling thread before any fan-out, so the
+  // query→id mapping for a fixed call sequence cannot depend on how many
+  // workers execute it.
+  EXPECT_EQ(RunFixedQuerySequence(1), RunFixedQuerySequence(8));
+}
+
+TEST(QueryContextTest, ContextIsThreadLocal) {
+  if (!kMetricsEnabled) GTEST_SKIP() << "TREESIM_METRICS=OFF";
+  const ScopedQueryContext qctx("main_thread");
+  std::atomic<int64_t> other_thread_id{-1};
+  std::thread t([&other_thread_id] {
+    other_thread_id = CurrentQueryContext().query_id;
+  });
+  t.join();
+  EXPECT_EQ(other_thread_id.load(), 0);  // plain threads inherit nothing
+  EXPECT_EQ(CurrentQueryContext().query_id, qctx.query_id());
+}
+
+}  // namespace
+}  // namespace treesim

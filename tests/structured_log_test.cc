@@ -166,13 +166,21 @@ TEST(StructuredLogTest, QueryPathsEmitValidRecords) {
   EXPECT_EQ(batch_doc.Find("event")->string_value, "batch_knn");
   EXPECT_TRUE(batch_doc.Has("queries"));
   EXPECT_EQ(join_doc.Find("event")->string_value, "self_join");
-  double previous_id = -1;
-  for (const std::string& line : lines) {
-    JsonValue doc;
-    ASSERT_TRUE(ParseJson(line, &doc));
-    EXPECT_GT(doc.Find("query_id")->number_value, previous_id);
-    previous_id = doc.Find("query_id")->number_value;
-  }
+  // Ids are allocated (on the calling thread) at query ENTRY, not at log
+  // write: range, knn, then the batch context, then its two member knn
+  // queries, then the self join. The batch summary is written after its
+  // members but keeps the batch's earlier id — that is the join key the
+  // trace spans and flight records for the batch carry too.
+  const double base = range_doc.Find("query_id")->number_value;
+  EXPECT_GT(base, 0);
+  EXPECT_EQ(knn_doc.Find("query_id")->number_value, base + 1);
+  EXPECT_EQ(batch_doc.Find("query_id")->number_value, base + 2);
+  JsonValue member0_doc, member1_doc;
+  ASSERT_TRUE(ParseJson(lines[2], &member0_doc));
+  ASSERT_TRUE(ParseJson(lines[3], &member1_doc));
+  EXPECT_EQ(member0_doc.Find("query_id")->number_value, base + 3);
+  EXPECT_EQ(member1_doc.Find("query_id")->number_value, base + 4);
+  EXPECT_EQ(join_doc.Find("query_id")->number_value, base + 5);
   std::remove(path.c_str());
 }
 

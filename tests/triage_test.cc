@@ -1,0 +1,139 @@
+// Tests for crash-time triage (util/triage.h). Two levels:
+//  - the direct WriteTriageDump round-trip (no crash involved), and
+//  - the real thing: a fork()ed child installs the handler, seeds the
+//    flight recorder, and fails a TREESIM_CHECK; the parent asserts the
+//    child died of SIGABRT and left a complete, content-bearing dump.
+#include "util/triage.h"
+
+#include <dirent.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "util/flight_recorder.h"
+#include "util/logging.h"
+#include "util/metrics.h"
+#include "util/query_context.h"
+
+namespace treesim {
+namespace {
+
+std::string MakeTempDir() {
+  char tmpl[] = "/tmp/treesim_triage_test.XXXXXX";
+  const char* dir = mkdtemp(tmpl);
+  EXPECT_NE(dir, nullptr);
+  return dir == nullptr ? "/tmp" : dir;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// First triage dump in `dir` ("" when none).
+std::string FindDump(const std::string& dir) {
+  // The dump name is treesim_triage.<unixsec>.<pid>.txt; the directory is
+  // private to one test, so a prefix scan is enough.
+  std::string found;
+  if (DIR* d = opendir(dir.c_str())) {
+    while (struct dirent* entry = readdir(d)) {
+      if (std::strncmp(entry->d_name, "treesim_triage.", 15) == 0) {
+        found = dir + "/" + entry->d_name;
+        break;
+      }
+    }
+    closedir(d);
+  }
+  return found;
+}
+
+void SeedFlightRecorder() {
+  for (int i = 0; i < 3; ++i) {
+    const ScopedQueryContext qctx("triage_test");
+    FlightRecord rec;
+    rec.query_id = qctx.query_id();
+    rec.op = "triage_test";
+    rec.param = i;
+    rec.total_micros = 5 * (i + 1);
+    FlightRecorder::Global().Record(rec);
+  }
+}
+
+TEST(TriageTest, DirectDumpRoundTrip) {
+  const std::string dir = MakeTempDir();
+  SetTriageDir(dir.c_str());
+  SeedFlightRecorder();
+  ASSERT_TRUE(WriteTriageDump("unit_test"));
+  const std::string path = LastTriagePath();
+  ASSERT_FALSE(path.empty());
+  EXPECT_EQ(path.compare(0, dir.size(), dir), 0)
+      << "dump should land in the configured dir, got " << path;
+
+  const std::string dump = ReadFile(path);
+  EXPECT_NE(dump.find("TREESIM_TRIAGE 1\n"), std::string::npos);
+  EXPECT_NE(dump.find("reason unit_test\n"), std::string::npos);
+  EXPECT_NE(dump.find("build_sha "), std::string::npos);
+  EXPECT_NE(dump.find("build_type "), std::string::npos);
+  EXPECT_NE(dump.find("SECTION metrics\n"), std::string::npos);
+  EXPECT_NE(dump.find("SECTION flight_recorder\n"), std::string::npos);
+  EXPECT_NE(dump.find("SECTION trace_tail\n"), std::string::npos);
+  EXPECT_NE(dump.find("END\n"), std::string::npos);
+  if (kMetricsEnabled) {
+    EXPECT_NE(dump.find("metrics_enabled 1\n"), std::string::npos);
+    EXPECT_NE(dump.find("record query_id="), std::string::npos);
+    EXPECT_NE(dump.find("op=triage_test"), std::string::npos);
+  } else {
+    EXPECT_NE(dump.find("metrics_enabled 0\n"), std::string::npos);
+  }
+}
+
+TEST(TriageTest, CrashingChildLeavesParseableDump) {
+  const std::string dir = MakeTempDir();
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Child: arm the handler, give the dump something to say, then fail a
+    // check for real. Stderr is silenced so the expected CHECK diagnostic
+    // does not pollute the test log.
+    if (FILE* sink = std::fopen("/dev/null", "w")) {
+      dup2(fileno(sink), STDERR_FILENO);
+    }
+    InstallCrashHandler();
+    SetTriageDir(dir.c_str());
+    SeedFlightRecorder();
+    TREESIM_CHECK(1 < 0) << "triage_test intentional failure";
+    _exit(0);  // unreachable; a plain exit would report a bogus pass
+  }
+
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status))
+      << "child should die of a signal, status=" << status;
+  EXPECT_EQ(WTERMSIG(status), SIGABRT);
+
+  const std::string path = FindDump(dir);
+  ASSERT_FALSE(path.empty()) << "no triage dump in " << dir;
+  const std::string dump = ReadFile(path);
+  EXPECT_NE(dump.find("TREESIM_TRIAGE 1\n"), std::string::npos);
+  EXPECT_NE(dump.find("reason SIGABRT\n"), std::string::npos);
+  EXPECT_NE(dump.find("fatal_message CHECK failed"), std::string::npos);
+  EXPECT_NE(dump.find("triage_test intentional failure"), std::string::npos);
+  EXPECT_NE(dump.find("END\n"), std::string::npos);
+  if (kMetricsEnabled) {
+    EXPECT_NE(dump.find("record query_id="), std::string::npos)
+        << "dump should carry the child's flight records";
+  }
+}
+
+}  // namespace
+}  // namespace treesim

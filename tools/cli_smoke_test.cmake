@@ -24,6 +24,8 @@ file(MAKE_DIRECTORY ${TMP})
 set(data ${TMP}/cli_smoke.trees)
 set(xml ${TMP}/cli_smoke.xml)
 
+run_cli("build_type" --version)
+run_cli("git_sha" version)
 run_cli("wrote" generate --kind=dblp --count=80 --out=${data} --seed=5)
 run_cli("trees: +80" stats --data=${data})
 run_cli("exact edit distance: +3"

@@ -57,6 +57,14 @@ Checks, over ``src/`` (and headers under ``fuzz/`` if any appear):
               tools/astcheck's lifetime pass (``--checks=lifetime``) is
               the AST-grade companion that tracks what happens after the
               move.
+  sigsafe     ``src/util/triage.cc`` (the crash-time dump writer, which
+              runs inside fatal signal handlers) must stay async-signal-
+              safe: no heap (``malloc``/``free``/``new``/``make_unique``),
+              no stdio (``fprintf``/``snprintf``/...), no allocating C++
+              types (``std::string``/``std::vector``/streams), and no
+              locks (``MutexLock``/``.Lock()``). The handler may only
+              format into fixed buffers and call the small POSIX
+              async-signal-safe set (write/open/close/clock_gettime/...).
   rawwait     No busy-waits or leaked threads in ``src/``:
               ``std::this_thread::sleep_for`` / ``sleep_until``,
               ``sleep()`` / ``usleep()`` / ``nanosleep()``, and
@@ -281,6 +289,36 @@ class Linter:
                             "(util/sync.h) and join workers via ThreadPool "
                             "(util/thread_pool.h)")
 
+    # ---- sigsafe --------------------------------------------------------
+
+    # Non-async-signal-safe constructs: heap, stdio, allocating C++ types,
+    # and lock acquisition. `(?<![\w.])` lets `std::fprintf` match (the
+    # char before `fprintf` is ':') while skipping `my_fprintf`.
+    SIGSAFE_RE = re.compile(
+        r"(?<![\w.])(?:malloc|calloc|realloc|free|fopen|fclose|fprintf|"
+        r"printf|snprintf|sprintf|vsnprintf|puts|fputs|fwrite|fflush)\s*\("
+        r"|(?<![\w:.])new\s+[A-Za-z_(:]"
+        r"|\bmake_(?:unique|shared)\s*<"
+        r"|\bstd\s*::\s*(?:string|vector|cout|cerr|[io]?stringstream"
+        r"|to_string)\b"
+        r"|\bMutexLock\b"
+        r"|(?:\.|->)\s*[Ll]ock\s*\(")
+
+    def check_sigsafe(self, path: pathlib.Path, lines: list[str]) -> None:
+        if path != SRC_ROOT / "util" / "triage.cc":
+            return
+        for i, raw in enumerate(lines, start=1):
+            line = strip_comments_and_strings(raw)
+            m = self.SIGSAFE_RE.search(line)
+            if m:
+                self.report(path, i, "sigsafe",
+                            f"'{m.group(0).strip()}' in the crash-handler "
+                            "TU; triage.cc runs inside fatal signal "
+                            "handlers and may only use fixed buffers, "
+                            "relaxed atomics, and the POSIX async-signal-"
+                            "safe set (write/open/close/clock_gettime/"
+                            "getpid/sigaction/raise)")
+
     # ---- badmove --------------------------------------------------------
 
     TRIVIAL_TYPES = frozenset({
@@ -443,6 +481,7 @@ class Linter:
             self.check_hot_alloc(path, lines)
         for path, lines in sources.items():
             self.check_assert(path, lines)
+            self.check_sigsafe(path, lines)
         for path, lines in {**headers, **sources}.items():
             self.check_raw_log(path, lines)
             self.check_raw_wait(path, lines)
@@ -549,6 +588,18 @@ def self_test() -> int:
         # badmove: a const object moved (silent copy) and a scalar moved
         # (pointless); the non-const vector move at the end must stay
         # clean, as must the commented-out move.
+        # sigsafe: stdio, malloc, and a lock planted in the crash-handler
+        # TU — the same names in comments and string literals must not
+        # fire, and write() stays fine.
+        "src/util/triage.cc": (
+            "void WriteDump(int fd) {\n"
+            "  // fprintf() or malloc() here would deadlock mid-crash.\n"
+            "  const char* note = \"printf( is banned here\";\n"
+            "  write(fd, note, 3);\n"
+            "  std::fprintf(stderr, \"crash\\n\");\n"
+            "  char* scratch = static_cast<char*>(malloc(64));\n"
+            "  MutexLock hold(mu);\n"
+            "}\n"),
         "src/bad_move.cc": (
             "void Publish(std::vector<int> rows) {\n"
             "  const std::string tag = MakeTag();\n"
@@ -560,7 +611,7 @@ def self_test() -> int:
             "}\n"),
     }
     expected = {"rawwait": 4, "rawsync": 1, "rawlog": 1, "using": 1,
-                "hotalloc": 3, "badmove": 2}
+                "hotalloc": 3, "badmove": 2, "sigsafe": 3}
 
     try:
         with tempfile.TemporaryDirectory(prefix="lint_selftest_") as tmp:

@@ -14,7 +14,9 @@
 //
 // Run `treesim_cli <command> --help` (or no arguments) for usage.
 #include <algorithm>
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
@@ -36,11 +38,15 @@
 #include "tree/bracket.h"
 #include "tree/forest_io.h"
 #include "tree/traversal.h"
+#include "util/build_info.h"
 #include "util/flags.h"
+#include "util/flight_recorder.h"
 #include "util/metrics.h"
+#include "util/query_context.h"
 #include "util/structured_log.h"
 #include "util/thread_pool.h"
 #include "util/trace.h"
+#include "util/triage.h"
 #include "xml/xml_corpus.h"
 
 namespace treesim {
@@ -86,8 +92,27 @@ int Usage() {
                "  --slow-query-ms=N     only log queries taking >= N ms\n"
                "  --trace=FILE          record per-stage spans and write\n"
                "                        chrome://tracing JSON to FILE\n"
-               "(no-ops when built with -DTREESIM_METRICS=OFF)\n");
+               "  --flight-recorder=N   keep the last N completed query\n"
+               "                        records in memory and print them\n"
+               "                        after the command\n"
+               "  --triage-dir=DIR      directory for crash-time triage\n"
+               "                        dumps (default: current directory;\n"
+               "                        render with tools/triage_report.py)\n"
+               "(query log, trace and flight recorder are no-ops when built\n"
+               "with -DTREESIM_METRICS=OFF)\n"
+               "\n"
+               "treesim_cli --version prints build provenance.\n");
   return 2;
+}
+
+int PrintVersion() {
+  std::printf("treesim_cli\n");
+  std::printf("git_sha %s%s\n", build_info::kGitSha,
+              build_info::kGitDirty ? " (dirty)" : "");
+  std::printf("build_type %s\n", build_info::kBuildType);
+  std::printf("compiler %s\n", build_info::kCompiler);
+  std::printf("metrics %s\n", kMetricsEnabled ? "on" : "off");
+  return 0;
 }
 
 std::unique_ptr<FilterIndex> MakeFilter(const std::string& name) {
@@ -391,7 +416,43 @@ int CmdCluster(const FlagParser& flags) {
   return 0;
 }
 
+/// Hidden command exercised by the crash-diagnostics selftest: seeds the
+/// flight recorder with synthetic records, then dies the requested way so
+/// the triage handler's output can be asserted on from a parent process.
+/// `--mode=dump` writes a dump without crashing (exit 0).
+int CmdCrashSelftest(const FlagParser& flags) {
+  const std::string mode = flags.GetString("mode", "check");
+  for (int i = 0; i < 3; ++i) {
+    const ScopedQueryContext qctx("crash_selftest");
+    FlightRecord rec;
+    rec.query_id = qctx.query_id();
+    rec.ts_micros = UnixMicros();
+    rec.op = "crash_selftest";
+    rec.param = i;
+    rec.results = i + 1;
+    rec.total_micros = 10 * (i + 1);
+    FlightRecorder::Global().Record(rec);
+    TREESIM_COUNTER_INC("selftest.queries");
+  }
+  if (mode == "dump") {
+    if (!WriteTriageDump("selftest")) {
+      std::fprintf(stderr, "cannot write triage dump\n");
+      return 1;
+    }
+    std::printf("wrote %s\n", LastTriagePath());
+    return 0;
+  }
+  if (mode == "check") {
+    TREESIM_CHECK(1 < 0) << "crash-selftest requested CHECK failure";
+  }
+  if (mode == "abort") std::abort();
+  if (mode == "segv") raise(SIGSEGV);
+  return Fail(Status::InvalidArgument("unknown --mode '" + mode +
+                                      "' (want check|abort|segv|dump)"));
+}
+
 int Dispatch(const std::string& command, const FlagParser& flags) {
+  if (command == "crash-selftest") return CmdCrashSelftest(flags);
   if (command == "generate") return CmdGenerate(flags);
   if (command == "import") return CmdImport(flags);
   if (command == "stats") return CmdStats(flags);
@@ -490,18 +551,67 @@ int WriteTrace(const std::string& path) {
   return 0;
 }
 
+/// `--flight-recorder=N` sizes the always-on ring and asks Main to print
+/// its contents after the command. Like --query-log, requesting it in a
+/// -DTREESIM_METRICS=OFF build is an error rather than silence.
+int ConfigureFlightRecorder(const FlagParser& flags, bool* dump_after) {
+  const int64_t n = flags.GetInt("flight-recorder", 0);
+  if (n <= 0) return 0;
+  if (!kMetricsEnabled) {
+    std::fprintf(stderr,
+                 "--flight-recorder requires a build with metrics enabled "
+                 "(-DTREESIM_METRICS=ON)\n");
+    return 2;
+  }
+  FlightRecorder::Global().Configure(static_cast<int>(n));
+  *dump_after = true;
+  return 0;
+}
+
+void DumpFlightRecorder() {
+  const std::vector<FlightRecord> records = FlightRecorder::Global().Snapshot();
+  std::printf("== flight recorder (%zu of last %d queries) ==\n",
+              records.size(), FlightRecorder::Global().capacity());
+  for (const FlightRecord& r : records) {
+    std::printf("query_id=%lld op=%s param=%lld db=%lld candidates=%lld "
+                "refined=%lld results=%lld filter_us=%lld refine_us=%lld "
+                "total_us=%lld bounded_cells=%lld slow=%d\n",
+                static_cast<long long>(r.query_id), r.op,
+                static_cast<long long>(r.param),
+                static_cast<long long>(r.database_size),
+                static_cast<long long>(r.candidates),
+                static_cast<long long>(r.refined),
+                static_cast<long long>(r.results),
+                static_cast<long long>(r.filter_micros),
+                static_cast<long long>(r.refine_micros),
+                static_cast<long long>(r.total_micros),
+                static_cast<long long>(r.bounded_cells_delta),
+                r.slow ? 1 : 0);
+  }
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
+  if (command == "--version" || command == "version") return PrintVersion();
   const FlagParser flags(argc - 1, argv + 1);
+  // Crash triage is always armed: it costs nothing until a fatal signal or
+  // TREESIM_CHECK failure, and then preserves the telemetry of the run.
+  InstallCrashHandler();
+  const std::string triage_dir = flags.GetString("triage-dir", "");
+  if (!triage_dir.empty()) SetTriageDir(triage_dir.c_str());
   const std::string metrics_mode = flags.GetString("metrics", "");
   const std::string metrics_out = flags.GetString("metrics-out", "");
   const std::string trace_path = flags.GetString("trace", "");
   const int log_code = OpenQueryLog(flags);
   if (log_code != 0) return log_code;
+  bool dump_flight = false;
+  const int flight_code = ConfigureFlightRecorder(flags, &dump_flight);
+  if (flight_code != 0) return flight_code;
   if (!trace_path.empty()) Tracer::Global().Enable();
   const int code = Dispatch(command, flags);
   StructuredLog::Global().Close();
+  if (dump_flight) DumpFlightRecorder();
   if (!trace_path.empty()) {
     const int trace_code = WriteTrace(trace_path);
     if (code == 0 && trace_code != 0) return trace_code;
